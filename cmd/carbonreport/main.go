@@ -1,0 +1,79 @@
+// Command carbonreport regenerates the paper's §3 carbon arithmetic:
+// base-year emissions, the 2021-2030 projection, carbon-credit pricing,
+// and the density gains of the SOS layout — plus a fleet what-if.
+//
+// Usage:
+//
+//	carbonreport
+//	carbonreport -devices 1500000000 -capacity 128
+//	carbonreport -growth 0.25 -density 4 -shareboost 1.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sos/internal/carbon"
+	"sos/internal/flash"
+	"sos/internal/metrics"
+)
+
+func main() {
+	var (
+		devices  = flag.Int64("devices", 1_400_000_000, "annual personal-device fleet for the what-if")
+		capacity = flag.Float64("capacity", 128, "device capacity in GB")
+		growth   = flag.Float64("growth", 0.30, "annual data growth rate")
+		density  = flag.Float64("density", 4.0, "density gain multiple by the horizon")
+		share    = flag.Float64("shareboost", 2.0, "flash share-of-storage growth by the horizon")
+		baseline = flag.String("baseline", "tlc", "fleet baseline technology: tlc|qlc")
+	)
+	flag.Parse()
+
+	// Base year.
+	mt := carbon.EmissionsMt(carbon.BaseProductionEB2021, carbon.KgCO2ePerGB)
+	fmt.Printf("2021 flash production: %.0f EB -> %.1f Mt CO2e (= %.1fM people)\n\n",
+		carbon.BaseProductionEB2021, mt, carbon.PeopleEquivalent(mt)/1e6)
+
+	// Projection.
+	p := carbon.DefaultProjection()
+	p.DataGrowth = *growth
+	p.DensityGainByHorizon = *density
+	p.ShareBoostByHorizon = *share
+	tab, err := p.Table()
+	fail(err)
+	t := &metrics.Table{Header: []string{"year", "EB", "Mt_CO2e", "people_M", "wafer_x"}}
+	for _, pt := range tab {
+		t.AddRow(pt.Year, pt.ProductionEB, pt.EmissionsMt, pt.PeopleEquiv/1e6, pt.WaferGrowth)
+	}
+	fmt.Println(t)
+
+	// Credits.
+	c := carbon.DefaultCreditModel()
+	fmt.Printf("carbon credits: $%.0f/t x %.2f kg/GB = $%.2f/TB = %.0f%% of a $%.0f/TB SSD\n\n",
+		c.PricePerTonne, carbon.KgCO2ePerGB, c.TaxPerTB(), c.TaxFraction()*100, c.SSDPricePerTB)
+
+	// Fleet what-if.
+	var base flash.Tech
+	switch *baseline {
+	case "tlc":
+		base = flash.TLC
+	case "qlc":
+		base = flash.QLC
+	default:
+		fail(fmt.Errorf("unknown baseline %q", *baseline))
+	}
+	bkg, skg, saved, err := carbon.FleetSavings(*devices, *capacity, base)
+	fail(err)
+	fmt.Printf("fleet what-if: %d devices x %.0f GB\n", *devices, *capacity)
+	fmt.Printf("  %s baseline: %.2f Mt CO2e\n", base, bkg/1e9)
+	fmt.Printf("  SOS split:   %.2f Mt CO2e\n", skg/1e9)
+	fmt.Printf("  saved:       %.2f Mt CO2e (%.1f%%)\n", (bkg-skg)/1e9, saved*100)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carbonreport:", err)
+		os.Exit(1)
+	}
+}

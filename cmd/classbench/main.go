@@ -1,0 +1,74 @@
+// Command classbench trains and evaluates the SOS file classifiers on
+// the synthetic corpus (§4.4): accuracy, the sys-loss risk, and the
+// caution threshold sweep.
+//
+// Usage:
+//
+//	classbench -n 20000
+//	classbench -n 50000 -model nb -threshold 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sos/internal/classify"
+	"sos/internal/metrics"
+	"sos/internal/sim"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 20000, "corpus size")
+		seed      = flag.Uint64("seed", 2024, "corpus seed")
+		model     = flag.String("model", "both", "model: nb|lr|both")
+		threshold = flag.Float64("threshold", 0.5, "decision threshold for the headline row")
+	)
+	flag.Parse()
+
+	corpus, err := classify.GenerateCorpus(sim.NewRNG(*seed), *n)
+	fail(err)
+	train, test := corpus.Split(sim.NewRNG(*seed+1), 0.75)
+	fmt.Printf("corpus: %d files, %.1f%% spare-labeled, %d train / %d test\n\n",
+		*n, corpus.SpareFraction()*100, len(train.Metas), len(test.Metas))
+
+	var models []classify.Classifier
+	switch *model {
+	case "nb":
+		models = []classify.Classifier{&classify.NaiveBayes{}}
+	case "lr":
+		models = []classify.Classifier{&classify.Logistic{}}
+	case "both":
+		models = []classify.Classifier{&classify.NaiveBayes{}, &classify.Logistic{}}
+	default:
+		fail(fmt.Errorf("unknown model %q", *model))
+	}
+
+	head := &metrics.Table{Header: []string{"model", "accuracy_%", "precision_%", "recall_%", "sys_loss_%"}}
+	for _, m := range models {
+		fail(m.Train(train.Metas, train.Labels))
+		met, err := classify.Evaluate(m, test, *threshold)
+		fail(err)
+		head.AddRow(m.Name(), met.Accuracy*100, met.Precision*100, met.Recall*100, met.SysLossRate*100)
+	}
+	fmt.Println(head)
+
+	sweepT := &metrics.Table{Header: []string{"model", "threshold", "spare_share_%", "sys_loss_%", "accuracy_%"}}
+	for _, m := range models {
+		pts, err := classify.ThresholdSweep(m, test, []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95})
+		fail(err)
+		for _, p := range pts {
+			sweepT.AddRow(m.Name(), p.Threshold, p.SpareShare*100, p.Metrics.SysLossRate*100, p.Metrics.Accuracy*100)
+		}
+	}
+	fmt.Println(sweepT)
+	fmt.Println("paper reference: ~79% deletion-prediction accuracy [68]")
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "classbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,166 @@
+// Command sossim runs the paper-reproduction experiments and ad-hoc
+// device simulations.
+//
+// Usage:
+//
+//	sossim -list                 list experiments
+//	sossim -exp E7               run one experiment (full fidelity)
+//	sossim -exp all -quick       run everything fast
+//	sossim -sim -days 365        simulate a year of phone use on SOS
+//	sossim -sim -profile tlc     ... on the TLC baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sos"
+	"sos/internal/core"
+	"sos/internal/experiments"
+	"sos/internal/trace"
+	"sos/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiment ids and titles")
+		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
+		quick   = flag.Bool("quick", false, "reduced-fidelity fast mode")
+		runSim  = flag.Bool("sim", false, "run an ad-hoc personal-device simulation")
+		days    = flag.Int("days", 365, "simulated days for -sim")
+		profile = flag.String("profile", "sos", "device profile for -sim: sos|tlc|qlc")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		record  = flag.String("record", "", "with -sim: record the workload trace to this file")
+		replay  = flag.String("replay", "", "with -sim: replay a recorded trace instead of generating")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-4s %s\n", id, title)
+		}
+	case *exp == "all":
+		rs, err := experiments.RunAll(*quick)
+		for _, r := range rs {
+			fmt.Println(r)
+		}
+		fail(err)
+	case *exp != "":
+		r, err := experiments.Run(*exp, *quick)
+		fail(err)
+		fmt.Println(r)
+	case *runSim:
+		fail(simulate(*profile, *days, *seed, *record, *replay))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sossim:", err)
+		os.Exit(1)
+	}
+}
+
+func simulate(profile string, days int, seed uint64, record, replay string) error {
+	var p sos.Profile
+	switch profile {
+	case "sos":
+		p = sos.ProfileSOS
+	case "tlc":
+		p = sos.ProfileTLC
+	case "qlc":
+		p = sos.ProfileQLC
+	default:
+		return fmt.Errorf("unknown profile %q", profile)
+	}
+	sys, err := sos.New(sos.Config{Profile: p, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	var gen workload.Generator
+	switch {
+	case replay != "":
+		f, err := os.Open(replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r := trace.NewReader(f)
+		defer func() {
+			if r.Err() != nil {
+				fmt.Fprintln(os.Stderr, "sossim: trace:", r.Err())
+			}
+		}()
+		gen = r
+	default:
+		cfg := workload.DefaultPersonalConfig(days)
+		cfg.Seed = seed + 0x7ead
+		gen, err = workload.NewPersonal(cfg)
+		if err != nil {
+			return err
+		}
+		if record != "" {
+			// Materialize the trace first, then replay it into the
+			// simulation so the file matches the run exactly.
+			f, err := os.Create(record)
+			if err != nil {
+				return err
+			}
+			if _, err := trace.Record(f, gen); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			rf, err := os.Open(record)
+			if err != nil {
+				return err
+			}
+			defer rf.Close()
+			gen = trace.NewReader(rf)
+			fmt.Printf("trace recorded to %s\n", record)
+		}
+	}
+
+	rep, err := sys.Run(gen, core.RunConfig{})
+	if err != nil {
+		return err
+	}
+	smart := rep.FinalSmart
+	es := rep.EngineStats
+	fmt.Printf("profile          %s\n", p)
+	fmt.Printf("simulated        %v (%d events, %d skipped reads, %d no-space)\n",
+		rep.Elapsed, rep.Events, rep.SkippedReads, rep.NoSpace)
+	fmt.Printf("capacity         %d bytes (page %d B)\n", smart.CapacityBytes, smart.PageSize)
+	fmt.Printf("wear             avg %.2f%%  max %.2f%%\n", smart.AvgWearFrac*100, smart.MaxWearFrac*100)
+	fmt.Printf("write amp        %.2f\n", smart.WriteAmp)
+	fmt.Printf("device busy      %v\n", smart.BusyTime.Duration())
+	fmt.Printf("files            created=%d deleted=%d auto-deleted=%d\n", es.Created, es.Deleted, es.AutoDeleted)
+	fmt.Printf("classification   reviewed=%d demoted=%d promoted=%d sys-misplaced=%d\n",
+		es.Reviewed, es.Demoted, es.Promoted, es.SysMisplaced)
+	fmt.Printf("degradation      degraded-reads=%d regret-reads=%d scrub-moves=%d\n",
+		es.DegradedReads, es.RegretReads, es.ScrubMoves)
+	fmt.Printf("blocks           retired=%d resuscitated=%d of %d\n",
+		smart.RetiredBlocks, smart.Resuscitations, smart.TotalBlocks)
+	fmt.Printf("wear histogram   ")
+	for i, c := range smart.WearHistogram {
+		if c > 0 {
+			fmt.Printf("[%d0-%d0%%)=%d ", i, i+1, c)
+		}
+	}
+	fmt.Println()
+	kg, err := sys.EmbodiedKg()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("embodied carbon  %.3f kg CO2e\n", kg)
+	return nil
+}

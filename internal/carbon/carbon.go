@@ -1,0 +1,320 @@
+// Package carbon implements the paper's §3 carbon-footprint arithmetic:
+// the Figure 1 flash market-share dataset, production-emission
+// accounting (0.16 kg CO2e per GB of flash, after Tannu & Nair [8]),
+// the 2021->2030 production/density projection, the carbon-credit cost
+// model, and the density/embodied-carbon gains of the SOS split
+// pseudo-QLC/PLC scheme (§4.1-§4.2).
+package carbon
+
+import (
+	"fmt"
+	"math"
+
+	"sos/internal/flash"
+)
+
+// Constants from the paper and its citations.
+const (
+	// KgCO2ePerGB is the embodied carbon of flash production per GB at
+	// the 2021 technology mix (mostly TLC) [8].
+	KgCO2ePerGB = 0.16
+	// BaseProductionEB2021 is annual flash capacity production in 2021
+	// [11]: ~765 exabytes.
+	BaseProductionEB2021 = 765.0
+	// PerCapitaTonnes is the average annual CO2 emissions per person
+	// [12]; 765 EB x 0.16 kg/GB = ~122 Mt = 28M people's emissions.
+	PerCapitaTonnes = 4.37
+	// ReferenceBitsPerCell is the density of the technology the
+	// KgCO2ePerGB reference assumes (TLC).
+	ReferenceBitsPerCell = 3
+)
+
+// DeviceShare is one slice of the Figure 1 market-share pie.
+type DeviceShare struct {
+	Name  string
+	Share float64 // fraction of annual flash bit production
+}
+
+// MarketShare2020 returns the Figure 1 dataset [39]: flash bit
+// production by target device type. Smartphone, SSD and tablet shares
+// are printed in the figure (38%, 32%, 8%); the memory-card and other
+// slices split the remaining 22% (14%/8%), consistent with the figure's
+// rendering.
+func MarketShare2020() []DeviceShare {
+	return []DeviceShare{
+		{Name: "smartphone", Share: 0.38},
+		{Name: "ssd", Share: 0.32},
+		{Name: "memory-card", Share: 0.14},
+		{Name: "tablet", Share: 0.08},
+		{Name: "other", Share: 0.08},
+	}
+}
+
+// PersonalShare returns the fraction of flash bits going into personal
+// storage devices (phone + tablet): the paper's "approximately half".
+func PersonalShare() float64 {
+	total := 0.0
+	for _, s := range MarketShare2020() {
+		if s.Name == "smartphone" || s.Name == "tablet" {
+			total += s.Share
+		}
+	}
+	return total
+}
+
+// EmissionsMt converts exabytes of flash production into megatonnes of
+// CO2e at a given per-GB intensity.
+func EmissionsMt(exabytes, kgPerGB float64) float64 {
+	gb := exabytes * 1e9
+	kg := gb * kgPerGB
+	return kg / 1e9 // kg -> Mt
+}
+
+// PeopleEquivalent converts megatonnes of CO2e into the number of
+// average people emitting that much annually.
+func PeopleEquivalent(mt float64) float64 {
+	return mt * 1e6 / PerCapitaTonnes
+}
+
+// Projection models flash production emissions through a horizon.
+type Projection struct {
+	// BaseYear anchors the projection (2021).
+	BaseYear int
+	// BaseEB is production in the base year.
+	BaseEB float64
+	// DataGrowth is annual demand growth for flash bits (0.20-0.30 per
+	// [55, 56]).
+	DataGrowth float64
+	// DensityGainByHorizon is the multiplicative density improvement
+	// reached at the horizon (vendors project ~4x by 2030 [24]).
+	DensityGainByHorizon float64
+	// HorizonYears is the projection span (9: 2021->2030).
+	HorizonYears int
+	// ShareBoostByHorizon is the multiplicative growth of flash's share
+	// of total storage by the horizon (SSDs overtaking HDDs [13, 58]
+	// plus high-capacity phones [59]); 1.0 disables the effect.
+	ShareBoostByHorizon float64
+}
+
+// DefaultProjection returns the paper-calibrated projection.
+func DefaultProjection() Projection {
+	return Projection{
+		BaseYear:             2021,
+		BaseEB:               BaseProductionEB2021,
+		DataGrowth:           0.30,
+		DensityGainByHorizon: 4.0,
+		HorizonYears:         9,
+		ShareBoostByHorizon:  2.0,
+	}
+}
+
+// YearPoint is one projected year.
+type YearPoint struct {
+	Year         int
+	ProductionEB float64 // flash bits produced that year
+	DensityGain  float64 // density relative to base year
+	KgPerGB      float64 // embodied carbon intensity that year
+	EmissionsMt  float64
+	PeopleEquiv  float64
+	WaferGrowth  float64 // wafer-equivalent output relative to base year
+}
+
+// At projects a single year (year >= BaseYear).
+func (p Projection) At(year int) (YearPoint, error) {
+	if year < p.BaseYear {
+		return YearPoint{}, fmt.Errorf("carbon: year %d before base %d", year, p.BaseYear)
+	}
+	dy := float64(year - p.BaseYear)
+	h := float64(p.HorizonYears)
+	if h <= 0 {
+		return YearPoint{}, fmt.Errorf("carbon: non-positive horizon %d", p.HorizonYears)
+	}
+	demand := math.Pow(1+p.DataGrowth, dy)
+	share := math.Pow(p.ShareBoostByHorizon, dy/h)
+	density := math.Pow(p.DensityGainByHorizon, dy/h)
+	prodEB := p.BaseEB * demand * share
+	kgPerGB := KgCO2ePerGB / density
+	mt := EmissionsMt(prodEB, kgPerGB)
+	return YearPoint{
+		Year:         year,
+		ProductionEB: prodEB,
+		DensityGain:  density,
+		KgPerGB:      kgPerGB,
+		EmissionsMt:  mt,
+		PeopleEquiv:  PeopleEquivalent(mt),
+		WaferGrowth:  prodEB / p.BaseEB / density,
+	}, nil
+}
+
+// Table projects every year from BaseYear through BaseYear+HorizonYears.
+func (p Projection) Table() ([]YearPoint, error) {
+	var out []YearPoint
+	for y := p.BaseYear; y <= p.BaseYear+p.HorizonYears; y++ {
+		pt, err := p.At(y)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// CreditModel prices emissions through carbon credits (§3).
+type CreditModel struct {
+	// PricePerTonne is the carbon credit price in USD/tCO2e (EU peak
+	// $111 [61]).
+	PricePerTonne float64
+	// SSDPricePerTB is the drive street price in USD/TB ($45 for QLC
+	// [65]).
+	SSDPricePerTB float64
+	// KgPerGB is the embodied intensity (defaults to KgCO2ePerGB).
+	KgPerGB float64
+}
+
+// DefaultCreditModel returns the paper's worked example.
+func DefaultCreditModel() CreditModel {
+	return CreditModel{PricePerTonne: 111, SSDPricePerTB: 45, KgPerGB: KgCO2ePerGB}
+}
+
+// TaxPerTB returns the carbon cost of producing one TB, in USD.
+func (c CreditModel) TaxPerTB() float64 {
+	kgPerGB := c.KgPerGB
+	if kgPerGB == 0 {
+		kgPerGB = KgCO2ePerGB
+	}
+	kgPerTB := kgPerGB * 1000
+	return kgPerTB / 1000 * c.PricePerTonne // tonnes * $/tonne
+}
+
+// TaxFraction returns the carbon tax as a fraction of the drive price
+// (the paper's "40% price increase").
+func (c CreditModel) TaxFraction() float64 {
+	if c.SSDPricePerTB == 0 {
+		return 0
+	}
+	return c.TaxPerTB() / c.SSDPricePerTB
+}
+
+// PartitionSpec is one partition of a device for density accounting.
+type PartitionSpec struct {
+	Mode flash.Mode
+	// CapacityFrac is this partition's fraction of logical capacity.
+	CapacityFrac float64
+}
+
+// CellsPerBit returns the physical cells needed per stored bit in the
+// given mode.
+func CellsPerBit(m flash.Mode) float64 { return 1 / float64(m.OpBits) }
+
+// DensityGain returns how many fewer cells the given partition layout
+// needs relative to storing the same capacity on baseline cells:
+// gain = cells(baseline) / cells(layout). The paper's headline: a
+// half pseudo-QLC / half PLC split gains ~1.48x over TLC (+50%) and
+// ~1.11x over QLC (+10%).
+func DensityGain(baseline flash.Mode, layout []PartitionSpec) (float64, error) {
+	var frac, cells float64
+	for _, p := range layout {
+		if p.CapacityFrac < 0 {
+			return 0, fmt.Errorf("carbon: negative capacity fraction %v", p.CapacityFrac)
+		}
+		if !p.Mode.Valid() {
+			return 0, fmt.Errorf("carbon: invalid mode in layout")
+		}
+		frac += p.CapacityFrac
+		cells += p.CapacityFrac * CellsPerBit(p.Mode)
+	}
+	if math.Abs(frac-1) > 1e-9 {
+		return 0, fmt.Errorf("carbon: capacity fractions sum to %v, want 1", frac)
+	}
+	if cells == 0 {
+		return 0, fmt.Errorf("carbon: empty layout")
+	}
+	return CellsPerBit(baseline) / cells, nil
+}
+
+// SOSLayout returns the paper's split: half the capacity on pseudo-QLC
+// (SYS), half on native PLC (SPARE).
+func SOSLayout() []PartitionSpec {
+	pQLC, err := flash.PseudoMode(flash.PLC, 4)
+	if err != nil {
+		panic(err)
+	}
+	return []PartitionSpec{
+		{Mode: pQLC, CapacityFrac: 0.5},
+		{Mode: flash.NativeMode(flash.PLC), CapacityFrac: 0.5},
+	}
+}
+
+// EmbodiedKgPerGB returns the embodied carbon of one logical GB stored
+// in the given mode: wafer area scales with cells, so intensity scales
+// with ReferenceBitsPerCell/OpBits relative to the TLC-mix reference.
+func EmbodiedKgPerGB(m flash.Mode) float64 {
+	return KgCO2ePerGB * float64(ReferenceBitsPerCell) / float64(m.OpBits)
+}
+
+// DeviceEmbodiedKg returns the embodied carbon of a device with the
+// given logical capacity split across partitions.
+func DeviceEmbodiedKg(capacityGB float64, layout []PartitionSpec) (float64, error) {
+	var frac, kg float64
+	for _, p := range layout {
+		if !p.Mode.Valid() {
+			return 0, fmt.Errorf("carbon: invalid mode in layout")
+		}
+		frac += p.CapacityFrac
+		kg += capacityGB * p.CapacityFrac * EmbodiedKgPerGB(p.Mode)
+	}
+	if math.Abs(frac-1) > 1e-9 {
+		return 0, fmt.Errorf("carbon: capacity fractions sum to %v, want 1", frac)
+	}
+	return kg, nil
+}
+
+// OperationalModel converts device activity into operational carbon —
+// the lifecycle phase the paper argues is already optimized and dwarfed
+// by production emissions (§1, §3). Energy figures are datasheet-class
+// per-operation values for mobile flash.
+type OperationalModel struct {
+	// MicroJoulePerRead/Write/Erase are per-page/per-block energies.
+	MicroJoulePerRead  float64
+	MicroJoulePerWrite float64
+	MicroJoulePerErase float64
+	// GridKgPerKWh is the grid carbon intensity (world average ~0.44).
+	GridKgPerKWh float64
+}
+
+// DefaultOperationalModel returns mobile-flash-class energy numbers.
+func DefaultOperationalModel() OperationalModel {
+	return OperationalModel{
+		MicroJoulePerRead:  15,
+		MicroJoulePerWrite: 60,
+		MicroJoulePerErase: 250,
+		GridKgPerKWh:       0.44,
+	}
+}
+
+// KgCO2e returns the operational carbon of the given op counts.
+func (m OperationalModel) KgCO2e(reads, writes, erases int64) float64 {
+	uj := float64(reads)*m.MicroJoulePerRead +
+		float64(writes)*m.MicroJoulePerWrite +
+		float64(erases)*m.MicroJoulePerErase
+	kwh := uj / 1e6 / 3600 / 1000 // uJ -> J -> kWh
+	return kwh * m.GridKgPerKWh
+}
+
+// FleetSavings compares the embodied carbon of producing `devices`
+// personal devices of capacityGB under a baseline technology vs the SOS
+// layout, returning (baselineKg, sosKg, savedFrac).
+func FleetSavings(devices int64, capacityGB float64, baseline flash.Tech) (baseKg, sosKg, savedFrac float64, err error) {
+	baseKg, err = DeviceEmbodiedKg(capacityGB, []PartitionSpec{{Mode: flash.NativeMode(baseline), CapacityFrac: 1}})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sosKg, err = DeviceEmbodiedKg(capacityGB, SOSLayout())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	baseKg *= float64(devices)
+	sosKg *= float64(devices)
+	savedFrac = 1 - sosKg/baseKg
+	return baseKg, sosKg, savedFrac, nil
+}

@@ -1,0 +1,222 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+
+	"sos/internal/flash"
+)
+
+func TestMarketShareSumsToOne(t *testing.T) {
+	total := 0.0
+	for _, s := range MarketShare2020() {
+		if s.Share <= 0 {
+			t.Errorf("%s share %v", s.Name, s.Share)
+		}
+		total += s.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %v", total)
+	}
+}
+
+func TestFigure1PrintedShares(t *testing.T) {
+	want := map[string]float64{"smartphone": 0.38, "ssd": 0.32, "tablet": 0.08}
+	for _, s := range MarketShare2020() {
+		if w, ok := want[s.Name]; ok && s.Share != w {
+			t.Errorf("%s share = %v, want %v", s.Name, s.Share, w)
+		}
+	}
+}
+
+func TestPersonalShareIsAboutHalf(t *testing.T) {
+	// §2.3.2: personal devices are "approximately half" of production.
+	p := PersonalShare()
+	if p < 0.4 || p > 0.55 {
+		t.Fatalf("personal share %v not ~half", p)
+	}
+}
+
+func TestBaseYearEmissions(t *testing.T) {
+	// 765 EB x 0.16 kg/GB = ~122 Mt CO2e = ~28M people.
+	mt := EmissionsMt(BaseProductionEB2021, KgCO2ePerGB)
+	if mt < 120 || mt > 125 {
+		t.Fatalf("2021 emissions %v Mt, want ~122", mt)
+	}
+	people := PeopleEquivalent(mt)
+	if people < 26e6 || people > 30e6 {
+		t.Fatalf("people equivalent %v, want ~28M", people)
+	}
+}
+
+func TestProjection2030(t *testing.T) {
+	// §3: by 2030 the paper expects the equivalent of over 150M people.
+	p := DefaultProjection()
+	pt, err := p.At(2030)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.PeopleEquiv < 100e6 {
+		t.Fatalf("2030 people equivalent %v too low", pt.PeopleEquiv)
+	}
+	if pt.DensityGain < 3.9 || pt.DensityGain > 4.1 {
+		t.Fatalf("2030 density gain %v, want ~4", pt.DensityGain)
+	}
+	// Wafer output must expand beyond density gains (the §3 conclusion).
+	if pt.WaferGrowth <= 1 {
+		t.Fatalf("wafer growth %v does not exceed density gains", pt.WaferGrowth)
+	}
+}
+
+func TestProjectionMonotone(t *testing.T) {
+	p := DefaultProjection()
+	tab, err := p.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab) != 10 {
+		t.Fatalf("table has %d rows", len(tab))
+	}
+	for i := 1; i < len(tab); i++ {
+		if tab[i].EmissionsMt <= tab[i-1].EmissionsMt {
+			t.Fatalf("emissions not growing at %d", tab[i].Year)
+		}
+		if tab[i].KgPerGB >= tab[i-1].KgPerGB {
+			t.Fatalf("intensity not falling at %d", tab[i].Year)
+		}
+	}
+}
+
+func TestProjectionErrors(t *testing.T) {
+	p := DefaultProjection()
+	if _, err := p.At(2019); err == nil {
+		t.Fatal("pre-base year accepted")
+	}
+	p.HorizonYears = 0
+	if _, err := p.At(2025); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestCreditModel(t *testing.T) {
+	// §3 worked example: $111/t x 0.16 kg/GB => ~40% of a $45/TB SSD.
+	c := DefaultCreditModel()
+	tax := c.TaxPerTB()
+	if tax < 17 || tax > 18.5 {
+		t.Fatalf("tax per TB = $%.2f, want ~$17.8", tax)
+	}
+	frac := c.TaxFraction()
+	if frac < 0.35 || frac > 0.45 {
+		t.Fatalf("tax fraction = %v, want ~0.40", frac)
+	}
+}
+
+func TestCreditModelEdges(t *testing.T) {
+	c := CreditModel{PricePerTonne: 100}
+	if c.TaxFraction() != 0 {
+		t.Fatal("zero price should yield zero fraction")
+	}
+	if c.TaxPerTB() <= 0 {
+		t.Fatal("default intensity not applied")
+	}
+}
+
+func TestDensityGainHeadline(t *testing.T) {
+	// §4.2: half pQLC / half PLC gains ~50% over TLC, ~10% over QLC.
+	overTLC, err := DensityGain(flash.NativeMode(flash.TLC), SOSLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overTLC < 1.45 || overTLC > 1.52 {
+		t.Fatalf("gain over TLC = %v, want ~1.48", overTLC)
+	}
+	overQLC, err := DensityGain(flash.NativeMode(flash.QLC), SOSLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if overQLC < 1.08 || overQLC > 1.14 {
+		t.Fatalf("gain over QLC = %v, want ~1.11", overQLC)
+	}
+}
+
+func TestDensityGainValidation(t *testing.T) {
+	base := flash.NativeMode(flash.TLC)
+	if _, err := DensityGain(base, []PartitionSpec{{Mode: base, CapacityFrac: 0.7}}); err == nil {
+		t.Fatal("non-unit fractions accepted")
+	}
+	if _, err := DensityGain(base, []PartitionSpec{{Mode: base, CapacityFrac: -1}, {Mode: base, CapacityFrac: 2}}); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if _, err := DensityGain(base, nil); err == nil {
+		t.Fatal("empty layout accepted")
+	}
+}
+
+func TestEmbodiedIntensity(t *testing.T) {
+	// TLC is the reference: exactly 0.16. Denser modes are cheaper.
+	if got := EmbodiedKgPerGB(flash.NativeMode(flash.TLC)); got != KgCO2ePerGB {
+		t.Fatalf("TLC intensity %v", got)
+	}
+	plc := EmbodiedKgPerGB(flash.NativeMode(flash.PLC))
+	if plc >= KgCO2ePerGB {
+		t.Fatal("PLC not cheaper than TLC")
+	}
+	want := KgCO2ePerGB * 3.0 / 5.0
+	if math.Abs(plc-want) > 1e-12 {
+		t.Fatalf("PLC intensity %v, want %v", plc, want)
+	}
+}
+
+func TestDeviceEmbodied(t *testing.T) {
+	kg, err := DeviceEmbodiedKg(128, SOSLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := DeviceEmbodiedKg(128, []PartitionSpec{{Mode: flash.NativeMode(flash.TLC), CapacityFrac: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := baseline / kg
+	if gain < 1.45 || gain > 1.52 {
+		t.Fatalf("device embodied gain %v, want ~1.48", gain)
+	}
+}
+
+func TestOperationalModel(t *testing.T) {
+	m := DefaultOperationalModel()
+	if m.KgCO2e(0, 0, 0) != 0 {
+		t.Fatal("zero ops emitted carbon")
+	}
+	kg := m.KgCO2e(1e9, 1e8, 1e6)
+	if kg <= 0 {
+		t.Fatal("no operational carbon")
+	}
+	// The paper's premise: a device-lifetime of operations emits far
+	// less than the device's embodied carbon. A heavy 3-year life:
+	// ~1e9 reads, 1e8 writes, 1e6 erases on a 128 GB device.
+	embodied, err := DeviceEmbodiedKg(128, []PartitionSpec{{Mode: flash.NativeMode(flash.TLC), CapacityFrac: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kg >= embodied/10 {
+		t.Fatalf("operational %v kg not dwarfed by embodied %v kg", kg, embodied)
+	}
+	// More ops => more carbon.
+	if m.KgCO2e(2e9, 2e8, 2e6) <= kg {
+		t.Fatal("operational carbon not monotone")
+	}
+}
+
+func TestFleetSavings(t *testing.T) {
+	base, sos, saved, err := FleetSavings(1e9, 128, flash.TLC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sos >= base {
+		t.Fatal("SOS fleet not cheaper")
+	}
+	// 1/1.4815 => ~32.5% embodied carbon saved.
+	if saved < 0.30 || saved > 0.35 {
+		t.Fatalf("fleet savings %v, want ~0.325", saved)
+	}
+}

@@ -1,0 +1,259 @@
+package classify
+
+import (
+	"math"
+	"testing"
+
+	"sos/internal/sim"
+)
+
+func TestFeatureExtraction(t *testing.T) {
+	m := FileMeta{
+		Path:         "/sdcard/DCIM/Camera/IMG_0001.JPG",
+		SizeBytes:    3 << 20,
+		AgeDays:      100,
+		Shared:       true,
+		InCameraRoll: true,
+	}
+	f := Features(m)
+	if f[5] != 1 || f[7] != 1 {
+		t.Fatal("boolean features not set")
+	}
+	if f[0] <= 0 || f[1] <= 0 {
+		t.Fatal("log features not positive")
+	}
+	if len(FeatureNames()) != NumFeatures {
+		t.Fatal("feature names out of sync")
+	}
+}
+
+func TestExtAndPathHelpers(t *testing.T) {
+	if (FileMeta{Path: "/a/b.JPeG"}).Ext() != "jpeg" {
+		t.Error("ext not lower-cased")
+	}
+	if (FileMeta{Path: "noext"}).Ext() != "" {
+		t.Error("missing ext not empty")
+	}
+	if (FileMeta{Path: "trailing."}).Ext() != "" {
+		t.Error("trailing dot not empty")
+	}
+	if !(FileMeta{Path: "/system/lib/libc.so"}).IsSystemPath() {
+		t.Error("system path not detected")
+	}
+	if (FileMeta{Path: "/sdcard/x.jpg"}).IsSystemPath() {
+		t.Error("user path flagged system")
+	}
+	if !(FileMeta{Path: "/x/a.mp4"}).IsMedia() {
+		t.Error("mp4 not media")
+	}
+	if !(FileMeta{Path: "/x/a.pdf"}).IsDocument() {
+		t.Error("pdf not document")
+	}
+}
+
+func TestCorpusGeneration(t *testing.T) {
+	rng := sim.NewRNG(1)
+	c, err := GenerateCorpus(rng, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Metas) != 5000 || len(c.Labels) != 5000 || len(c.CategoryOf) != 5000 {
+		t.Fatal("corpus sizes inconsistent")
+	}
+	// Media must dominate (the paper's premise: >half of data).
+	media := 0
+	for _, m := range c.Metas {
+		if m.IsMedia() {
+			media++
+		}
+	}
+	if frac := float64(media) / 5000; frac < 0.5 {
+		t.Fatalf("media fraction %v < 0.5", frac)
+	}
+	// Both labels present, spare roughly half (most media is low-value).
+	sf := c.SpareFraction()
+	if sf < 0.3 || sf > 0.7 {
+		t.Fatalf("spare fraction %v implausible", sf)
+	}
+	if _, err := GenerateCorpus(rng, 0); err == nil {
+		t.Fatal("zero corpus accepted")
+	}
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	a, _ := GenerateCorpus(sim.NewRNG(7), 500)
+	b, _ := GenerateCorpus(sim.NewRNG(7), 500)
+	for i := range a.Metas {
+		if a.Metas[i].Path != b.Metas[i].Path || a.Labels[i] != b.Labels[i] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestSystemFilesNeverSpare(t *testing.T) {
+	c, _ := GenerateCorpus(sim.NewRNG(2), 10000)
+	for i, m := range c.Metas {
+		if m.IsSystemPath() && c.Labels[i] == LabelSpare {
+			t.Fatalf("system file %q labeled spare", m.Path)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	c, _ := GenerateCorpus(sim.NewRNG(3), 1000)
+	train, test := c.Split(sim.NewRNG(4), 0.8)
+	if len(train.Metas) != 800 || len(test.Metas) != 200 {
+		t.Fatalf("split sizes %d/%d", len(train.Metas), len(test.Metas))
+	}
+	// No leakage: paths are unique per index so check disjointness.
+	seen := map[string]bool{}
+	for _, m := range train.Metas {
+		seen[m.Path] = true
+	}
+	overlap := 0
+	for _, m := range test.Metas {
+		if seen[m.Path] {
+			overlap++
+		}
+	}
+	// Generated paths can repeat across categories only by seq reuse;
+	// tolerate tiny overlap but not wholesale leakage.
+	if overlap > len(test.Metas)/20 {
+		t.Fatalf("train/test overlap %d", overlap)
+	}
+}
+
+func trainedModels(t *testing.T) (train, test *Corpus, models []Classifier) {
+	t.Helper()
+	corpus, err := GenerateCorpus(sim.NewRNG(42), 12000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test = corpus.Split(sim.NewRNG(43), 0.75)
+	nb := &NaiveBayes{}
+	lr := &Logistic{}
+	for _, m := range []Classifier{nb, lr} {
+		if err := m.Train(train.Metas, train.Labels); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return train, test, []Classifier{nb, lr}
+}
+
+func TestModelsReachPaperAccuracy(t *testing.T) {
+	// E10: the paper cites ~79% prediction accuracy [68]. The corpus
+	// noise is calibrated so learned models land in the 0.72-0.90 band.
+	_, test, models := trainedModels(t)
+	for _, m := range models {
+		met, err := Evaluate(m, test, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.Accuracy < 0.72 || met.Accuracy > 0.92 {
+			t.Errorf("%s accuracy %.3f outside the plausible band", m.Name(), met.Accuracy)
+		}
+	}
+}
+
+func TestModelsBeatMajorityBaseline(t *testing.T) {
+	train, test, models := trainedModels(t)
+	maj := train.SpareFraction()
+	baseline := math.Max(maj, 1-maj)
+	for _, m := range models {
+		met, _ := Evaluate(m, test, 0.5)
+		if met.Accuracy <= baseline {
+			t.Errorf("%s accuracy %.3f does not beat majority %.3f", m.Name(), met.Accuracy, baseline)
+		}
+	}
+}
+
+func TestUntrainedScoreNeutral(t *testing.T) {
+	nb := &NaiveBayes{}
+	lr := &Logistic{}
+	m := FileMeta{Path: "/sdcard/x.jpg"}
+	if nb.Score(m) != 0.5 || lr.Score(m) != 0.5 {
+		t.Fatal("untrained models not neutral")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	nb := &NaiveBayes{}
+	if err := nb.Train(nil, nil); err == nil {
+		t.Fatal("empty training accepted")
+	}
+	metas := []FileMeta{{Path: "/a.jpg"}, {Path: "/b.jpg"}}
+	if err := nb.Train(metas, []Label{LabelSys}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := nb.Train(metas, []Label{LabelSys, LabelSys}); err == nil {
+		t.Fatal("single-class training accepted")
+	}
+	lr := &Logistic{}
+	if err := lr.Train(nil, nil); err == nil {
+		t.Fatal("empty logistic training accepted")
+	}
+}
+
+func TestHigherThresholdReducesSysLoss(t *testing.T) {
+	// §4.3 "erring on the side of caution": raising the confidence
+	// threshold must monotonically (weakly) cut SysLossRate and shrink
+	// the SPARE share.
+	_, test, models := trainedModels(t)
+	for _, m := range models {
+		pts, err := ThresholdSweep(m, test, []float64{0.5, 0.7, 0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Metrics.SysLossRate > pts[i-1].Metrics.SysLossRate+1e-9 {
+				t.Errorf("%s: sys-loss rose with threshold: %v", m.Name(), pts)
+			}
+			if pts[i].SpareShare > pts[i-1].SpareShare+1e-9 {
+				t.Errorf("%s: spare share rose with threshold", m.Name())
+			}
+		}
+	}
+}
+
+func TestScoresAreProbabilities(t *testing.T) {
+	_, test, models := trainedModels(t)
+	for _, m := range models {
+		for _, meta := range test.Metas[:500] {
+			s := m.Score(meta)
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				t.Fatalf("%s score %v out of range", m.Name(), s)
+			}
+		}
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(&NaiveBayes{}, nil, 0.5); err == nil {
+		t.Fatal("nil corpus accepted")
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{N: 10, Accuracy: 0.8}
+	if m.String() == "" {
+		t.Fatal("empty metrics string")
+	}
+}
+
+func TestPredictThreshold(t *testing.T) {
+	_, test, models := trainedModels(t)
+	// At threshold > 1 nothing can be spare.
+	for _, m := range models {
+		for _, meta := range test.Metas[:200] {
+			if Predict(m, meta, 1.01) != LabelSys {
+				t.Fatalf("%s predicted spare above threshold 1", m.Name())
+			}
+		}
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if LabelSys.String() != "sys" || LabelSpare.String() != "spare" {
+		t.Fatal("label names")
+	}
+}

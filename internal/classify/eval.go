@@ -1,0 +1,80 @@
+package classify
+
+import "fmt"
+
+// Metrics summarizes classifier performance on a labeled set. The
+// operationally critical number for SOS is SysLossRate: the fraction of
+// truly-critical files the classifier would send to lossy storage.
+type Metrics struct {
+	N           int
+	Accuracy    float64
+	Precision   float64 // of predicted-spare, fraction truly spare
+	Recall      float64 // of truly-spare, fraction predicted spare
+	SysLossRate float64 // of truly-sys, fraction predicted spare
+	// Confusion[actual][predicted], indices are Label values.
+	Confusion [2][2]int
+}
+
+// Evaluate scores a trained classifier on a labeled corpus at the given
+// SPARE-confidence threshold.
+func Evaluate(c Classifier, corpus *Corpus, threshold float64) (Metrics, error) {
+	if corpus == nil || len(corpus.Metas) == 0 {
+		return Metrics{}, ErrNoData
+	}
+	var m Metrics
+	m.N = len(corpus.Metas)
+	for i, meta := range corpus.Metas {
+		pred := Predict(c, meta, threshold)
+		m.Confusion[corpus.Labels[i]][pred]++
+	}
+	correct := m.Confusion[LabelSys][LabelSys] + m.Confusion[LabelSpare][LabelSpare]
+	m.Accuracy = float64(correct) / float64(m.N)
+	predSpare := m.Confusion[LabelSys][LabelSpare] + m.Confusion[LabelSpare][LabelSpare]
+	if predSpare > 0 {
+		m.Precision = float64(m.Confusion[LabelSpare][LabelSpare]) / float64(predSpare)
+	}
+	actSpare := m.Confusion[LabelSpare][LabelSys] + m.Confusion[LabelSpare][LabelSpare]
+	if actSpare > 0 {
+		m.Recall = float64(m.Confusion[LabelSpare][LabelSpare]) / float64(actSpare)
+	}
+	actSys := m.Confusion[LabelSys][LabelSys] + m.Confusion[LabelSys][LabelSpare]
+	if actSys > 0 {
+		m.SysLossRate = float64(m.Confusion[LabelSys][LabelSpare]) / float64(actSys)
+	}
+	return m, nil
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("n=%d acc=%.3f prec=%.3f rec=%.3f sys-loss=%.3f",
+		m.N, m.Accuracy, m.Precision, m.Recall, m.SysLossRate)
+}
+
+// SweepPoint is one operating point of the threshold sweep.
+type SweepPoint struct {
+	Threshold float64
+	Metrics   Metrics
+	// SpareShare is the fraction of files routed to SPARE at this
+	// threshold — the density (and carbon) win SOS realizes.
+	SpareShare float64
+}
+
+// ThresholdSweep evaluates the classifier across thresholds, exposing
+// the caution/capacity trade-off of §4.3: higher thresholds cut the
+// risk of degrading critical files but shrink the SPARE partition's
+// payoff.
+func ThresholdSweep(c Classifier, corpus *Corpus, thresholds []float64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, th := range thresholds {
+		m, err := Evaluate(c, corpus, th)
+		if err != nil {
+			return nil, err
+		}
+		spare := m.Confusion[LabelSys][LabelSpare] + m.Confusion[LabelSpare][LabelSpare]
+		out = append(out, SweepPoint{
+			Threshold:  th,
+			Metrics:    m,
+			SpareShare: float64(spare) / float64(m.N),
+		})
+	}
+	return out, nil
+}

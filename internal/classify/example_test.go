@@ -1,0 +1,56 @@
+package classify_test
+
+import (
+	"fmt"
+
+	"sos/internal/classify"
+	"sos/internal/sim"
+)
+
+// Example trains the logistic classifier on the synthetic corpus and
+// classifies two archetypal files.
+func Example() {
+	corpus, err := classify.GenerateCorpus(sim.NewRNG(42), 6000)
+	if err != nil {
+		panic(err)
+	}
+	lr := &classify.Logistic{}
+	if err := lr.Train(corpus.Metas, corpus.Labels); err != nil {
+		panic(err)
+	}
+
+	systemLib := classify.FileMeta{
+		Path: "/system/lib64/libmedia.so", SizeBytes: 256 << 10,
+		AccessCount: 400, Modifications: 1,
+	}
+	oldScreenshot := classify.FileMeta{
+		Path:      "/sdcard/Pictures/Screenshots/Screenshot_0001.png",
+		SizeBytes: 800 << 10, DaysSinceAccess: 400, IsScreenshot: true,
+		DuplicateCount: 2,
+	}
+	const threshold = 0.7
+	fmt.Println("system library ->", classify.Predict(lr, systemLib, threshold))
+	fmt.Println("old screenshot ->", classify.Predict(lr, oldScreenshot, threshold))
+	// Output:
+	// system library -> sys
+	// old screenshot -> spare
+}
+
+// ExampleWithPrefs shows setup-time preferences shifting a decision.
+func ExampleWithPrefs() {
+	corpus, _ := classify.GenerateCorpus(sim.NewRNG(42), 6000)
+	lr := &classify.Logistic{}
+	if err := lr.Train(corpus.Metas, corpus.Labels); err != nil {
+		panic(err)
+	}
+	oldVacationPhoto := classify.FileMeta{
+		Path: "/sdcard/DCIM/Camera/IMG_0042.jpg", SizeBytes: 3 << 20,
+		DaysSinceAccess: 500, InCameraRoll: true, DuplicateCount: 1,
+	}
+	neutral := classify.Predict(lr, oldVacationPhoto, 0.7)
+	protective := classify.WithPrefs(lr, classify.Prefs{KeepCameraRoll: true})
+	kept := classify.Predict(protective, oldVacationPhoto, 0.7)
+	fmt.Println("neutral:", neutral, "| keep-camera-roll:", kept)
+	// Output:
+	// neutral: spare | keep-camera-roll: sys
+}

@@ -1,0 +1,127 @@
+// Package classify implements the machine-driven data classification of
+// §4.4: a file-metadata classifier that separates critical (SYS) files
+// from low-priority, degradation-tolerant (SPARE) files. Two model
+// families are implemented from scratch — Gaussian naive Bayes and
+// logistic regression — together with a synthetic labeled corpus whose
+// label noise is calibrated so held-out accuracy lands near the ~79%
+// the paper cites for automatic deletion prediction [68].
+package classify
+
+import (
+	"math"
+	"strings"
+)
+
+// Label is the classification target.
+type Label int
+
+// Classification labels.
+const (
+	// LabelSys marks critical data that must not degrade.
+	LabelSys Label = iota
+	// LabelSpare marks low-priority data that may degrade.
+	LabelSpare
+)
+
+func (l Label) String() string {
+	if l == LabelSys {
+		return "sys"
+	}
+	return "spare"
+}
+
+// FileMeta is the metadata the classifier sees for one file. It mirrors
+// the attribute families [68] found predictive: location, type, age,
+// access history, and lightweight content signals (faces, screenshots)
+// that stand in for the paper's visual inspection.
+type FileMeta struct {
+	Path            string
+	SizeBytes       int64
+	AgeDays         float64 // since creation
+	DaysSinceAccess float64
+	AccessCount     int  // lifetime opens
+	Modifications   int  // lifetime writes
+	Shared          bool // ever sent/shared by the user
+	FromMessaging   bool // arrived via a messaging app
+	InCameraRoll    bool
+	IsScreenshot    bool
+	HasFaces        bool // content-derived signal
+	DuplicateCount  int  // near-duplicates on the device
+}
+
+// Ext returns the lower-cased path extension without the dot.
+func (m FileMeta) Ext() string {
+	i := strings.LastIndexByte(m.Path, '.')
+	if i < 0 || i == len(m.Path)-1 {
+		return ""
+	}
+	return strings.ToLower(m.Path[i+1:])
+}
+
+// IsSystemPath reports whether the file lives under an OS/app-managed
+// directory (always critical, identifiable "by experts according to
+// name conventions and file locations").
+func (m FileMeta) IsSystemPath() bool {
+	p := m.Path
+	for _, prefix := range []string{"/system/", "/vendor/", "/data/app/", "/data/dalvik-cache/", "/apex/"} {
+		if strings.HasPrefix(p, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+var mediaExts = map[string]bool{
+	"jpg": true, "jpeg": true, "png": true, "heic": true, "gif": true,
+	"mp4": true, "mov": true, "mkv": true, "webm": true, "3gp": true,
+	"mp3": true, "aac": true, "flac": true, "ogg": true, "wav": true,
+}
+
+var docExts = map[string]bool{
+	"pdf": true, "doc": true, "docx": true, "xls": true, "xlsx": true,
+	"txt": true, "key": true, "ppt": true, "pptx": true, "csv": true,
+}
+
+// IsMedia reports whether the extension is an image/video/audio type.
+func (m FileMeta) IsMedia() bool { return mediaExts[m.Ext()] }
+
+// IsDocument reports whether the extension is a document type.
+func (m FileMeta) IsDocument() bool { return docExts[m.Ext()] }
+
+// NumFeatures is the feature-vector dimensionality.
+const NumFeatures = 12
+
+// FeatureNames labels the vector dimensions (telemetry/debugging).
+func FeatureNames() []string {
+	return []string{
+		"log_size", "log_age", "log_idle", "log_access", "log_mods",
+		"shared", "messaging", "camera_roll", "screenshot", "faces",
+		"duplicates", "system_or_doc",
+	}
+}
+
+// Features converts metadata to a fixed-length vector. Heavy-tailed
+// quantities are log-compressed.
+func Features(m FileMeta) [NumFeatures]float64 {
+	var f [NumFeatures]float64
+	f[0] = math.Log1p(float64(m.SizeBytes) / 1024)
+	f[1] = math.Log1p(m.AgeDays)
+	f[2] = math.Log1p(m.DaysSinceAccess)
+	f[3] = math.Log1p(float64(m.AccessCount))
+	f[4] = math.Log1p(float64(m.Modifications))
+	f[5] = b2f(m.Shared)
+	f[6] = b2f(m.FromMessaging)
+	f[7] = b2f(m.InCameraRoll)
+	f[8] = b2f(m.IsScreenshot)
+	f[9] = b2f(m.HasFaces)
+	f[10] = math.Log1p(float64(m.DuplicateCount))
+	f[11] = b2f(m.IsSystemPath() || m.IsDocument())
+	return f
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

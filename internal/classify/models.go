@@ -1,0 +1,221 @@
+package classify
+
+import (
+	"errors"
+	"math"
+)
+
+// Classifier is a trainable binary file classifier.
+type Classifier interface {
+	// Name identifies the model in experiment tables.
+	Name() string
+	// Train fits the model. len(metas) == len(labels) > 0.
+	Train(metas []FileMeta, labels []Label) error
+	// Score returns P(LabelSpare | meta) in [0, 1].
+	Score(meta FileMeta) float64
+}
+
+// Predict applies the SOS decision rule: a file goes to SPARE only when
+// the classifier is confident enough, "erring on the side of caution"
+// (§4.3). threshold is the minimum spare-probability (0.5 = plain
+// argmax; higher = more conservative).
+func Predict(c Classifier, meta FileMeta, threshold float64) Label {
+	if c.Score(meta) >= threshold {
+		return LabelSpare
+	}
+	return LabelSys
+}
+
+// ErrNoData reports an empty or inconsistent training set.
+var ErrNoData = errors.New("classify: empty or inconsistent training set")
+
+// ---- Gaussian naive Bayes ----
+
+// NaiveBayes is a Gaussian naive Bayes model over the feature vector.
+type NaiveBayes struct {
+	prior [2]float64
+	mean  [2][NumFeatures]float64
+	vari  [2][NumFeatures]float64
+	ready bool
+}
+
+// Name implements Classifier.
+func (nb *NaiveBayes) Name() string { return "naive-bayes" }
+
+// Train implements Classifier.
+func (nb *NaiveBayes) Train(metas []FileMeta, labels []Label) error {
+	if len(metas) == 0 || len(metas) != len(labels) {
+		return ErrNoData
+	}
+	var count [2]int
+	var sum [2][NumFeatures]float64
+	for i, m := range metas {
+		c := int(labels[i])
+		f := Features(m)
+		count[c]++
+		for j := range f {
+			sum[c][j] += f[j]
+		}
+	}
+	if count[0] == 0 || count[1] == 0 {
+		return errors.New("classify: training set needs both classes")
+	}
+	for c := 0; c < 2; c++ {
+		for j := 0; j < NumFeatures; j++ {
+			nb.mean[c][j] = sum[c][j] / float64(count[c])
+		}
+	}
+	var ss [2][NumFeatures]float64
+	for i, m := range metas {
+		c := int(labels[i])
+		f := Features(m)
+		for j := range f {
+			d := f[j] - nb.mean[c][j]
+			ss[c][j] += d * d
+		}
+	}
+	for c := 0; c < 2; c++ {
+		nb.prior[c] = float64(count[c]) / float64(len(metas))
+		for j := 0; j < NumFeatures; j++ {
+			// Variance floor keeps binary features from degenerating.
+			nb.vari[c][j] = ss[c][j]/float64(count[c]) + 1e-3
+		}
+	}
+	nb.ready = true
+	return nil
+}
+
+// Score implements Classifier.
+func (nb *NaiveBayes) Score(meta FileMeta) float64 {
+	if !nb.ready {
+		return 0.5
+	}
+	f := Features(meta)
+	var logp [2]float64
+	for c := 0; c < 2; c++ {
+		lp := math.Log(nb.prior[c])
+		for j := range f {
+			v := nb.vari[c][j]
+			d := f[j] - nb.mean[c][j]
+			lp += -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
+		}
+		logp[c] = lp
+	}
+	// Softmax over the two log-joint scores.
+	m := math.Max(logp[0], logp[1])
+	p0 := math.Exp(logp[0] - m)
+	p1 := math.Exp(logp[1] - m)
+	return p1 / (p0 + p1)
+}
+
+// ---- Logistic regression ----
+
+// Logistic is an L2-regularized logistic regression trained with
+// full-batch gradient descent on standardized features. Training is
+// deterministic.
+type Logistic struct {
+	w     [NumFeatures]float64
+	b     float64
+	mu    [NumFeatures]float64
+	sigma [NumFeatures]float64
+	ready bool
+
+	// Epochs (default 300), LearningRate (default 0.5) and L2 (default
+	// 1e-4) may be tuned before Train.
+	Epochs       int
+	LearningRate float64
+	L2           float64
+}
+
+// Name implements Classifier.
+func (lr *Logistic) Name() string { return "logistic" }
+
+// Train implements Classifier.
+func (lr *Logistic) Train(metas []FileMeta, labels []Label) error {
+	if len(metas) == 0 || len(metas) != len(labels) {
+		return ErrNoData
+	}
+	if lr.Epochs == 0 {
+		lr.Epochs = 300
+	}
+	if lr.LearningRate == 0 {
+		lr.LearningRate = 0.5
+	}
+	if lr.L2 == 0 {
+		lr.L2 = 1e-4
+	}
+	n := len(metas)
+	X := make([][NumFeatures]float64, n)
+	y := make([]float64, n)
+	for i, m := range metas {
+		X[i] = Features(m)
+		if labels[i] == LabelSpare {
+			y[i] = 1
+		}
+	}
+	// Standardize.
+	for j := 0; j < NumFeatures; j++ {
+		var sum float64
+		for i := range X {
+			sum += X[i][j]
+		}
+		lr.mu[j] = sum / float64(n)
+		var ss float64
+		for i := range X {
+			d := X[i][j] - lr.mu[j]
+			ss += d * d
+		}
+		lr.sigma[j] = math.Sqrt(ss/float64(n)) + 1e-9
+		for i := range X {
+			X[i][j] = (X[i][j] - lr.mu[j]) / lr.sigma[j]
+		}
+	}
+	// Gradient descent.
+	lr.w = [NumFeatures]float64{}
+	lr.b = 0
+	for epoch := 0; epoch < lr.Epochs; epoch++ {
+		var gw [NumFeatures]float64
+		var gb float64
+		for i := range X {
+			z := lr.b
+			for j := range lr.w {
+				z += lr.w[j] * X[i][j]
+			}
+			p := sigmoid(z)
+			e := p - y[i]
+			for j := range gw {
+				gw[j] += e * X[i][j]
+			}
+			gb += e
+		}
+		inv := 1 / float64(n)
+		for j := range lr.w {
+			lr.w[j] -= lr.LearningRate * (gw[j]*inv + lr.L2*lr.w[j])
+		}
+		lr.b -= lr.LearningRate * gb * inv
+	}
+	lr.ready = true
+	return nil
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		e := math.Exp(-z)
+		return 1 / (1 + e)
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Score implements Classifier.
+func (lr *Logistic) Score(meta FileMeta) float64 {
+	if !lr.ready {
+		return 0.5
+	}
+	f := Features(meta)
+	z := lr.b
+	for j := range f {
+		z += lr.w[j] * (f[j] - lr.mu[j]) / lr.sigma[j]
+	}
+	return sigmoid(z)
+}

@@ -1,0 +1,65 @@
+package classify
+
+// Prefs captures coarse user preferences gathered "on device setup"
+// (§4.4's proposed lightweight user input): a handful of switches that
+// bias classification without per-file interaction. Positive bias makes
+// demotion less likely.
+type Prefs struct {
+	// KeepCameraRoll protects camera-roll media wholesale.
+	KeepCameraRoll bool
+	// KeepShared protects anything the user ever shared.
+	KeepShared bool
+	// PurgeScreenshots treats screenshots as always expendable.
+	PurgeScreenshots bool
+	// PurgeMessagingMedia treats messaging-app media as expendable.
+	PurgeMessagingMedia bool
+	// Caution shifts every score toward SYS by this amount
+	// (0 = neutral; 0.2 = quite protective; negative = aggressive).
+	Caution float64
+}
+
+// prefClassifier wraps a base classifier with preference adjustments.
+type prefClassifier struct {
+	base  Classifier
+	prefs Prefs
+}
+
+// WithPrefs returns a classifier whose scores reflect the user's setup
+// preferences. The base classifier is not modified.
+func WithPrefs(base Classifier, prefs Prefs) Classifier {
+	return &prefClassifier{base: base, prefs: prefs}
+}
+
+// Name implements Classifier.
+func (p *prefClassifier) Name() string { return p.base.Name() + "+prefs" }
+
+// Train implements Classifier by delegating.
+func (p *prefClassifier) Train(metas []FileMeta, labels []Label) error {
+	return p.base.Train(metas, labels)
+}
+
+// Score implements Classifier: the base probability shifted by the
+// user's standing preferences, clamped to [0, 1].
+func (p *prefClassifier) Score(meta FileMeta) float64 {
+	s := p.base.Score(meta)
+	if p.prefs.KeepCameraRoll && meta.InCameraRoll {
+		s -= 0.35
+	}
+	if p.prefs.KeepShared && meta.Shared {
+		s -= 0.3
+	}
+	if p.prefs.PurgeScreenshots && meta.IsScreenshot {
+		s += 0.3
+	}
+	if p.prefs.PurgeMessagingMedia && meta.FromMessaging {
+		s += 0.25
+	}
+	s -= p.prefs.Caution
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

@@ -1,0 +1,126 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+
+	"sos/internal/sim"
+)
+
+func trainedLR(t *testing.T) Classifier {
+	t.Helper()
+	corpus, err := GenerateCorpus(sim.NewRNG(90), 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := &Logistic{}
+	if err := lr.Train(corpus.Metas, corpus.Labels); err != nil {
+		t.Fatal(err)
+	}
+	return lr
+}
+
+func TestPrefsKeepCameraRoll(t *testing.T) {
+	base := trainedLR(t)
+	prefs := WithPrefs(base, Prefs{KeepCameraRoll: true})
+	m := FileMeta{
+		Path:            "/sdcard/DCIM/Camera/IMG_1.jpg",
+		SizeBytes:       3 << 20,
+		DaysSinceAccess: 300,
+		InCameraRoll:    true,
+	}
+	if prefs.Score(m) >= base.Score(m) {
+		t.Fatal("KeepCameraRoll did not lower the spare score")
+	}
+	// Non-camera files are unaffected.
+	other := FileMeta{Path: "/sdcard/Music/a.mp3", SizeBytes: 5 << 20}
+	if prefs.Score(other) != base.Score(other) {
+		t.Fatal("preference leaked onto unrelated files")
+	}
+}
+
+func TestPrefsPurgeScreenshots(t *testing.T) {
+	base := trainedLR(t)
+	prefs := WithPrefs(base, Prefs{PurgeScreenshots: true})
+	m := FileMeta{
+		Path:         "/sdcard/Pictures/Screenshots/s.png",
+		SizeBytes:    800 << 10,
+		IsScreenshot: true,
+	}
+	if prefs.Score(m) <= base.Score(m) {
+		t.Fatal("PurgeScreenshots did not raise the spare score")
+	}
+}
+
+func TestPrefsCautionShiftsEverything(t *testing.T) {
+	base := trainedLR(t)
+	cautious := WithPrefs(base, Prefs{Caution: 0.2})
+	corpus, _ := GenerateCorpus(sim.NewRNG(91), 300)
+	for _, m := range corpus.Metas {
+		b, c := base.Score(m), cautious.Score(m)
+		if c > b {
+			t.Fatalf("caution raised a score: %v -> %v", b, c)
+		}
+	}
+}
+
+func TestPrefsScoresStayProbabilities(t *testing.T) {
+	base := trainedLR(t)
+	extreme := WithPrefs(base, Prefs{
+		KeepCameraRoll: true, KeepShared: true,
+		PurgeScreenshots: true, PurgeMessagingMedia: true,
+		Caution: 0.5,
+	})
+	corpus, _ := GenerateCorpus(sim.NewRNG(92), 500)
+	for _, m := range corpus.Metas {
+		s := extreme.Score(m)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v out of [0,1]", s)
+		}
+	}
+}
+
+func TestPrefsReducesSysLoss(t *testing.T) {
+	// The point of the feature: a protective preference set must cut
+	// the rate of critical files routed to SPARE.
+	base := trainedLR(t)
+	prefs := WithPrefs(base, Prefs{KeepCameraRoll: true, KeepShared: true})
+	corpus, _ := GenerateCorpus(sim.NewRNG(93), 6000)
+	mBase, err := Evaluate(base, corpus, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPrefs, err := Evaluate(prefs, corpus, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mPrefs.SysLossRate >= mBase.SysLossRate {
+		t.Fatalf("prefs did not reduce sys loss: %.3f vs %.3f",
+			mPrefs.SysLossRate, mBase.SysLossRate)
+	}
+}
+
+func TestPrefsName(t *testing.T) {
+	p := WithPrefs(&Logistic{}, Prefs{})
+	if !strings.HasSuffix(p.Name(), "+prefs") {
+		t.Fatalf("name %q", p.Name())
+	}
+}
+
+func TestPrefsTrainDelegates(t *testing.T) {
+	corpus, _ := GenerateCorpus(sim.NewRNG(94), 1000)
+	p := WithPrefs(&Logistic{}, Prefs{})
+	if err := p.Train(corpus.Metas, corpus.Labels); err != nil {
+		t.Fatal(err)
+	}
+	// After delegated training, scores must be informative (not 0.5).
+	informative := 0
+	for _, m := range corpus.Metas[:100] {
+		if s := p.Score(m); s < 0.45 || s > 0.55 {
+			informative++
+		}
+	}
+	if informative == 0 {
+		t.Fatal("delegated training produced a neutral model")
+	}
+}

@@ -1,0 +1,545 @@
+// Package core implements the SOS policy engine — the paper's primary
+// contribution (§4). It wires the machine classifier to the device's
+// class-hint interface: new files land on the conservatively-managed SYS
+// partition, a periodic review demotes low-priority files to the
+// approximate SPARE partition (Figure 2), a degradation monitor scrubs
+// and repairs, capacity pressure switches the engine into auto-delete
+// mode until 3% of capacity is free (§4.5), and an optional cloud-backed
+// copy amends overly-degraded files (§4.3).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sos/internal/classify"
+	"sos/internal/device"
+	"sos/internal/fs"
+	"sos/internal/media"
+	"sos/internal/sim"
+)
+
+// Engine errors.
+var (
+	ErrNotTracked = errors.New("core: file not tracked by the engine")
+	ErrNoBackup   = errors.New("core: no cloud-backed copy available")
+)
+
+// Config configures the engine.
+type Config struct {
+	// FS is the mounted filesystem (required).
+	FS *fs.FS
+	// Classifier decides SYS vs SPARE (required; train it first).
+	Classifier classify.Classifier
+	// Threshold is the minimum spare-confidence for demotion
+	// (default 0.7 — "erring on the side of caution").
+	Threshold float64
+	// ReviewInterval is how often the background review runs
+	// (default 1 day, per §4.4).
+	ReviewInterval sim.Time
+	// ScrubInterval is how often the degradation monitor runs
+	// (default 7 days).
+	ScrubInterval sim.Time
+	// ScrubBudget bounds page moves per scrub pass (0 = unlimited).
+	ScrubBudget int
+	// FreeTarget is the capacity fraction auto-delete frees before
+	// returning to degradation-only mode (default 0.03, §4.5).
+	FreeTarget float64
+	// CloudBackup enables repair of degraded files from pristine
+	// copies (the opportunistic cloud path of §4.3).
+	CloudBackup bool
+	// TranscodeBeforeDelete makes auto-delete first try shrinking a
+	// media payload (downscale + re-encode at lower quality) before
+	// removing the file — the §4.5 idea of *transforming* the
+	// degradation scheme under pressure rather than only deleting.
+	TranscodeBeforeDelete bool
+	// MinReviewAge holds files out of review until they have settled
+	// (default 12h): freshly-created files stay on SYS briefly.
+	MinReviewAge sim.Time
+	// ReReviewAge re-evaluates files this long after their last review
+	// (default 90 days) — the paper's periodic re-evaluation of user
+	// preferences and access patterns (§4.4, [68, 79]). Demoted files
+	// whose score has dropped well below the threshold are promoted
+	// back to SYS. Negative disables re-review.
+	ReReviewAge sim.Time
+	// PromoteHysteresis is how far below Threshold a demoted file's
+	// score must fall before promotion back to SYS (default 0.15),
+	// preventing ping-ponging.
+	PromoteHysteresis float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Threshold == 0 {
+		c.Threshold = 0.7
+	}
+	if c.ReviewInterval == 0 {
+		c.ReviewInterval = sim.Day
+	}
+	if c.ScrubInterval == 0 {
+		c.ScrubInterval = 7 * sim.Day
+	}
+	if c.FreeTarget == 0 {
+		c.FreeTarget = 0.03
+	}
+	if c.MinReviewAge == 0 {
+		c.MinReviewAge = 12 * sim.Hour
+	}
+	if c.ReReviewAge == 0 {
+		c.ReReviewAge = 90 * sim.Day
+	}
+	if c.PromoteHysteresis == 0 {
+		c.PromoteHysteresis = 0.15
+	}
+}
+
+// fileState is the engine's per-file record.
+type fileState struct {
+	meta       classify.FileMeta
+	trueLabel  classify.Label
+	reviewed   bool
+	demoted    bool
+	score      float64 // last classifier score
+	backup     []byte  // pristine copy (cloud), real files only
+	createdAt  sim.Time
+	lastAccess sim.Time
+	lastReview sim.Time
+	transcoded bool // already shrunk once by pressure handling
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Created        int64
+	Deleted        int64
+	Reviewed       int64
+	Demoted        int64
+	Promoted       int64 // demoted files promoted back to SYS on re-review
+	SysMisplaced   int64 // truly-critical files demoted to SPARE
+	SpareRetained  int64 // truly-spare files kept on SYS (capacity cost)
+	AutoDeleted    int64
+	AutoDeleteRuns int64
+	Transcoded     int64 // media shrunk in place instead of deleted
+	CloudRepairs   int64
+	DegradedReads  int64 // reads that returned degraded data
+	RegretReads    int64 // degraded reads of truly-critical files
+	ScrubPasses    int64
+	ScrubMoves     int64
+}
+
+// Engine is the SOS policy engine.
+type Engine struct {
+	cfg Config
+	fs  *fs.FS
+	dev *device.Device
+
+	files map[fs.FileID]*fileState
+
+	nextReview sim.Time
+	nextScrub  sim.Time
+
+	autoDeleteMode    bool
+	autoDeleteBackoff int // skip counter after a fruitless run
+	stats             Stats
+}
+
+// New builds an engine and installs the capacity-pressure handler.
+func New(cfg Config) (*Engine, error) {
+	if cfg.FS == nil {
+		return nil, errors.New("core: nil filesystem")
+	}
+	if cfg.Classifier == nil {
+		return nil, errors.New("core: nil classifier")
+	}
+	cfg.applyDefaults()
+	e := &Engine{
+		cfg:   cfg,
+		fs:    cfg.FS,
+		dev:   cfg.FS.Device(),
+		files: make(map[fs.FileID]*fileState),
+	}
+	e.nextReview = e.now() + cfg.ReviewInterval
+	e.nextScrub = e.now() + cfg.ScrubInterval
+	e.fs.PressureFrac = 1 - cfg.FreeTarget
+	e.fs.OnPressure = func(used, capacity int64) { e.autoDelete() }
+	return e, nil
+}
+
+func (e *Engine) now() sim.Time { return e.dev.Clock().Now() }
+
+// CreateFile ingests a new file. Per §4.4, new data is first written to
+// the high-endurance SYS partition; the periodic review demotes it later
+// if the classifier deems it low-priority. trueLabel is ground truth for
+// regret accounting only.
+func (e *Engine) CreateFile(meta classify.FileMeta, payload []byte, size int64, trueLabel classify.Label) (fs.FileID, error) {
+	id, err := e.fs.Create(meta.Path, payload, size, device.ClassSys)
+	if err != nil {
+		return 0, err
+	}
+	st := &fileState{meta: meta, trueLabel: trueLabel, createdAt: e.now(), lastAccess: e.now()}
+	if payload != nil && e.cfg.CloudBackup {
+		st.backup = append([]byte(nil), payload...)
+	}
+	e.files[id] = st
+	e.stats.Created++
+	return id, nil
+}
+
+// UpdateFile rewrites a file's content. Updated files are re-reviewed
+// (their access pattern changed).
+func (e *Engine) UpdateFile(id fs.FileID, payload []byte, size int64) error {
+	st, ok := e.files[id]
+	if !ok {
+		return ErrNotTracked
+	}
+	if err := e.fs.Update(id, payload, size); err != nil {
+		return err
+	}
+	st.meta.Modifications++
+	st.meta.DaysSinceAccess = 0
+	st.lastAccess = e.now()
+	if payload != nil && e.cfg.CloudBackup {
+		st.backup = append(st.backup[:0], payload...)
+	}
+	return nil
+}
+
+// ReadResult augments the filesystem read with engine-level accounting.
+type ReadResult struct {
+	fs.ReadResult
+	// Regret reports a degraded read of a truly-critical file — the
+	// outcome SOS's cautious classification tries to avoid.
+	Regret bool
+}
+
+// ReadFile reads a file, tracking degradation and access recency.
+func (e *Engine) ReadFile(id fs.FileID) (ReadResult, error) {
+	st, ok := e.files[id]
+	if !ok {
+		return ReadResult{}, ErrNotTracked
+	}
+	res, err := e.fs.Read(id)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	st.meta.AccessCount++
+	st.meta.DaysSinceAccess = 0
+	st.lastAccess = e.now()
+	out := ReadResult{ReadResult: res}
+	if res.DegradedPages > 0 {
+		e.stats.DegradedReads++
+		if st.trueLabel == classify.LabelSys {
+			e.stats.RegretReads++
+			out.Regret = true
+		}
+	}
+	return out, nil
+}
+
+// DeleteFile removes a file (user-initiated).
+func (e *Engine) DeleteFile(id fs.FileID) error {
+	if _, ok := e.files[id]; !ok {
+		return ErrNotTracked
+	}
+	if err := e.fs.Delete(id); err != nil {
+		return err
+	}
+	delete(e.files, id)
+	e.stats.Deleted++
+	return nil
+}
+
+// Tick advances engine background work to the current clock time:
+// periodic review and scrub run when due. Call it between workload
+// events (the runner does).
+func (e *Engine) Tick() error {
+	now := e.now()
+	for now >= e.nextReview {
+		if _, err := e.Review(); err != nil {
+			return err
+		}
+		e.nextReview += e.cfg.ReviewInterval
+	}
+	for now >= e.nextScrub {
+		if err := e.Scrub(); err != nil {
+			return err
+		}
+		e.nextScrub += e.cfg.ScrubInterval
+	}
+	return nil
+}
+
+// ReviewReport summarizes one review pass.
+type ReviewReport struct {
+	Scanned  int
+	Demoted  int
+	Promoted int
+}
+
+// Review is the periodic classification pass (§4.4): it scores settled,
+// unreviewed files and demotes confident-spare ones to the SPARE
+// stream. Files reviewed long ago are re-evaluated — access patterns
+// and preferences drift [68, 79] — and demoted files whose score has
+// fallen well below the threshold are promoted back to SYS.
+func (e *Engine) Review() (ReviewReport, error) {
+	var rep ReviewReport
+	now := e.now()
+	ids := e.sortedIDs()
+	for _, id := range ids {
+		st := e.files[id]
+		if st == nil {
+			// Deleted mid-pass by pressure handling (demotion can
+			// trigger auto-delete of other files).
+			continue
+		}
+		fresh := !st.reviewed
+		if fresh && now-st.createdAt < e.cfg.MinReviewAge {
+			continue
+		}
+		if !fresh {
+			if e.cfg.ReReviewAge < 0 || now-st.lastReview < e.cfg.ReReviewAge {
+				continue
+			}
+		}
+		// Age the metadata the classifier sees.
+		st.meta.AgeDays = (now - st.createdAt).Days()
+		st.meta.DaysSinceAccess = (now - st.lastAccess).Days()
+		rep.Scanned++
+		st.score = e.cfg.Classifier.Score(st.meta)
+		st.reviewed = true
+		st.lastReview = now
+		e.stats.Reviewed++
+
+		switch {
+		case !st.demoted && st.score >= e.cfg.Threshold:
+			err := e.fs.Reclassify(id, device.ClassSpare)
+			if errors.Is(err, fs.ErrNoSpace) {
+				// Device too full to relocate right now; a later
+				// review retries after pressure relief.
+				st.reviewed = false
+				continue
+			}
+			if err != nil {
+				return rep, fmt.Errorf("core: demote %d: %w", id, err)
+			}
+			st.demoted = true
+			rep.Demoted++
+			e.stats.Demoted++
+			if st.trueLabel == classify.LabelSys {
+				e.stats.SysMisplaced++
+			}
+		case st.demoted && st.score < e.cfg.Threshold-e.cfg.PromoteHysteresis:
+			err := e.fs.Reclassify(id, device.ClassSys)
+			if errors.Is(err, fs.ErrNoSpace) {
+				continue // promotion can wait for space
+			}
+			if err != nil {
+				return rep, fmt.Errorf("core: promote %d: %w", id, err)
+			}
+			st.demoted = false
+			rep.Promoted++
+			e.stats.Promoted++
+		case fresh && st.trueLabel == classify.LabelSpare:
+			e.stats.SpareRetained++
+		}
+	}
+	return rep, nil
+}
+
+// Scrub runs the device degradation monitor and, when cloud backup is
+// enabled, repairs real-payload files whose content degraded.
+func (e *Engine) Scrub() error {
+	rep, err := e.dev.Scrub(e.cfg.ScrubBudget)
+	if err != nil {
+		return err
+	}
+	e.stats.ScrubPasses++
+	e.stats.ScrubMoves += int64(rep.PagesRelocated)
+	if !e.cfg.CloudBackup {
+		return nil
+	}
+	for _, id := range e.sortedIDs() {
+		st := e.files[id]
+		if st == nil || st.backup == nil {
+			continue
+		}
+		res, err := e.fs.Read(id)
+		if err != nil {
+			return err
+		}
+		if res.DegradedPages > 0 {
+			if err := e.RepairFromCloud(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RepairFromCloud rewrites a file from its pristine backup copy,
+// restoring full quality (§4.3's opportunistic repair).
+func (e *Engine) RepairFromCloud(id fs.FileID) error {
+	st, ok := e.files[id]
+	if !ok {
+		return ErrNotTracked
+	}
+	if st.backup == nil {
+		return ErrNoBackup
+	}
+	if err := e.fs.Update(id, st.backup, 0); err != nil {
+		return err
+	}
+	e.stats.CloudRepairs++
+	return nil
+}
+
+// autoDelete is the §4.5 emergency mode: delete the most expendable
+// SPARE files (highest classifier score, i.e. best auto-delete
+// prediction) until enough capacity is free. "Enough" is the configured
+// FreeTarget, but never less than FreeTarget beyond the level at entry:
+// when invoked because the *physical* device is full (logical free space
+// can look healthy then), progress still gets made.
+func (e *Engine) autoDelete() {
+	if e.autoDeleteMode {
+		return // re-entrancy guard: deletes fire usage callbacks
+	}
+	if e.autoDeleteBackoff > 0 {
+		// The previous run found nothing deletable; the population
+		// will not have changed within a few operations, so don't
+		// re-rank the whole file set on every write.
+		e.autoDeleteBackoff--
+		return
+	}
+	e.autoDeleteMode = true
+	defer func() { e.autoDeleteMode = false }()
+	e.stats.AutoDeleteRuns++
+	target := e.cfg.FreeTarget
+	if entry := e.fs.FreeFrac(); entry+e.cfg.FreeTarget > target {
+		target = entry + e.cfg.FreeTarget
+	}
+
+	// Candidate tiers, per §4.5's escalation: (0) files already judged
+	// expendable and demoted to SPARE; (1) files the classifier already
+	// scored expendable but that have not moved yet; (2) under
+	// continued pressure, an emergency classification of files the
+	// periodic review has not reached. Files scoring below the
+	// demotion threshold are never auto-deleted.
+	type cand struct {
+		id    fs.FileID
+		tier  int
+		score float64
+	}
+	var cands []cand
+	busy := e.fs.Busy()
+	for _, id := range e.sortedIDs() {
+		if id == busy {
+			// Never delete the file inside the operation that raised
+			// the pressure.
+			continue
+		}
+		st := e.files[id]
+		score := st.score
+		tier := 2
+		switch {
+		case st.demoted:
+			tier = 0
+		case st.reviewed:
+			tier = 1
+		default:
+			score = e.cfg.Classifier.Score(st.meta)
+			st.score = score
+		}
+		if score < e.cfg.Threshold {
+			continue
+		}
+		cands = append(cands, cand{id: id, tier: tier, score: score})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].tier != cands[j].tier {
+			return cands[i].tier < cands[j].tier
+		}
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return cands[i].id < cands[j].id
+	})
+	freed := 0
+	for _, c := range cands {
+		if e.fs.FreeFrac() >= target {
+			break
+		}
+		if e.cfg.TranscodeBeforeDelete && e.tryTranscode(c.id) {
+			freed++
+			continue
+		}
+		if err := e.fs.Delete(c.id); err != nil {
+			continue
+		}
+		delete(e.files, c.id)
+		e.stats.AutoDeleted++
+		freed++
+	}
+	if freed == 0 {
+		e.autoDeleteBackoff = 50
+	}
+}
+
+// tryTranscode attempts to shrink a media file in place (downscale +
+// re-encode) instead of deleting it. Returns true when the file was
+// shrunk; files that are not decodable media, already transcoded, or
+// that fail to shrink report false and fall through to deletion.
+func (e *Engine) tryTranscode(id fs.FileID) bool {
+	st := e.files[id]
+	if st == nil || st.transcoded {
+		return false
+	}
+	res, err := e.fs.Read(id)
+	if err != nil || res.Data == nil {
+		return false
+	}
+	smaller, err := media.Transcode(res.Data, 2, 55)
+	if err != nil {
+		return false
+	}
+	if err := e.fs.Update(id, smaller, 0); err != nil {
+		return false
+	}
+	st.transcoded = true
+	if st.backup != nil {
+		// The backup mirrors what the device should restore: after a
+		// deliberate quality reduction, that is the transcoded copy.
+		st.backup = append(st.backup[:0], smaller...)
+	}
+	e.stats.Transcoded++
+	return true
+}
+
+// sortedIDs returns live file ids in deterministic order.
+func (e *Engine) sortedIDs() []fs.FileID {
+	ids := make([]fs.FileID, 0, len(e.files))
+	for id := range e.files {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// FS exposes the filesystem.
+func (e *Engine) FS() *fs.FS { return e.fs }
+
+// Device exposes the device.
+func (e *Engine) Device() *device.Device { return e.dev }
+
+// Files returns the number of tracked files.
+func (e *Engine) Files() int { return len(e.files) }
+
+// TrackedLabel returns the ground-truth label of a tracked file.
+func (e *Engine) TrackedLabel(id fs.FileID) (classify.Label, bool) {
+	st, ok := e.files[id]
+	if !ok {
+		return 0, false
+	}
+	return st.trueLabel, true
+}

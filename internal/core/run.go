@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sos/internal/device"
+	"sos/internal/fs"
+	"sos/internal/metrics"
+	"sos/internal/sim"
+	"sos/internal/workload"
+)
+
+// RunConfig parameterizes a workload run.
+type RunConfig struct {
+	// SampleEvery sets the time-series sampling interval
+	// (default 30 days).
+	SampleEvery sim.Time
+	// PayloadFor, when set, supplies real payload bytes for a create
+	// event (nil = accounting-only). Used to track a handful of real
+	// media files for quality measurement inside a bulk workload.
+	PayloadFor func(ev workload.Event) []byte
+	// Horizon extends the run past the last event (retention keeps
+	// acting on idle data); 0 ends at the last event.
+	Horizon sim.Time
+}
+
+// RunReport is the outcome of a workload run.
+type RunReport struct {
+	Events       int
+	SkippedReads int // reads of deleted files (tolerated)
+	NoSpace      int // creates/updates dropped for lack of space
+	Elapsed      sim.Time
+
+	// Time series sampled during the run (X = days).
+	CapacityBytes metrics.Series
+	UsedBytes     metrics.Series
+	AvgWear       metrics.Series
+	MaxWear       metrics.Series
+	DegradedReads metrics.Series
+
+	FinalSmart  device.Smart
+	EngineStats Stats
+}
+
+// Run drives the engine with a workload, advancing the simulation clock
+// to each event's timestamp and running background work in between.
+func Run(e *Engine, gen workload.Generator, cfg RunConfig) (*RunReport, error) {
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 30 * sim.Day
+	}
+	rep := &RunReport{}
+	clock := e.Device().Clock()
+	idMap := make(map[int64]fs.FileID)
+	nextSample := clock.Now()
+
+	sample := func() {
+		days := clock.Now().Days()
+		used, capacity := e.FS().Usage()
+		smart := e.Device().Smart()
+		rep.CapacityBytes.Add(days, float64(capacity))
+		rep.UsedBytes.Add(days, float64(used))
+		rep.AvgWear.Add(days, smart.AvgWearFrac)
+		rep.MaxWear.Add(days, smart.MaxWearFrac)
+		rep.DegradedReads.Add(days, float64(e.Stats().DegradedReads))
+	}
+
+	for {
+		ev, ok := gen.Next()
+		if !ok {
+			break
+		}
+		if ev.At > clock.Now() {
+			clock.SetNow(ev.At)
+		}
+		for clock.Now() >= nextSample {
+			sample()
+			nextSample += cfg.SampleEvery
+		}
+		if err := e.Tick(); err != nil {
+			return rep, fmt.Errorf("core: tick at %v: %w", clock.Now(), err)
+		}
+		rep.Events++
+
+		switch ev.Kind {
+		case workload.EvCreate:
+			var payload []byte
+			if cfg.PayloadFor != nil {
+				payload = cfg.PayloadFor(ev)
+			}
+			id, err := e.CreateFile(ev.Meta, payload, ev.Size, ev.TrueLabel)
+			switch {
+			case errors.Is(err, fs.ErrNoSpace):
+				rep.NoSpace++
+			case errors.Is(err, fs.ErrExists):
+				// Name collision across generator categories: skip.
+			case err != nil:
+				return rep, fmt.Errorf("core: create %q: %w", ev.Meta.Path, err)
+			default:
+				idMap[ev.FileID] = id
+			}
+		case workload.EvUpdate:
+			id, ok := idMap[ev.FileID]
+			if !ok {
+				rep.SkippedReads++
+				continue
+			}
+			err := e.UpdateFile(id, nil, ev.Size)
+			switch {
+			case errors.Is(err, fs.ErrNoSpace):
+				rep.NoSpace++
+			case errors.Is(err, ErrNotTracked):
+				rep.SkippedReads++
+			case err != nil:
+				return rep, fmt.Errorf("core: update %d: %w", id, err)
+			}
+		case workload.EvRead:
+			id, ok := idMap[ev.FileID]
+			if !ok {
+				rep.SkippedReads++
+				continue
+			}
+			if _, err := e.ReadFile(id); err != nil {
+				if errors.Is(err, ErrNotTracked) || errors.Is(err, fs.ErrNotFound) {
+					rep.SkippedReads++
+					continue
+				}
+				return rep, fmt.Errorf("core: read %d: %w", id, err)
+			}
+		case workload.EvDelete:
+			id, ok := idMap[ev.FileID]
+			if !ok {
+				rep.SkippedReads++
+				continue
+			}
+			if err := e.DeleteFile(id); err != nil && !errors.Is(err, ErrNotTracked) {
+				return rep, fmt.Errorf("core: delete %d: %w", id, err)
+			}
+			delete(idMap, ev.FileID)
+		}
+	}
+
+	if cfg.Horizon > 0 {
+		end := clock.Now() + cfg.Horizon
+		for clock.Now() < end {
+			step := cfg.SampleEvery
+			if clock.Now()+step > end {
+				step = end - clock.Now()
+			}
+			clock.Advance(step)
+			if err := e.Tick(); err != nil {
+				return rep, err
+			}
+			sample()
+		}
+	}
+
+	sample()
+	rep.Elapsed = clock.Now()
+	rep.FinalSmart = e.Device().Smart()
+	rep.EngineStats = e.Stats()
+	return rep, nil
+}

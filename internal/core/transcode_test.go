@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"sos/internal/classify"
+	"sos/internal/fs"
+	"sos/internal/media"
+	"sos/internal/sim"
+)
+
+// TestTranscodeBeforeDelete: under pressure, decodable media shrinks in
+// place instead of disappearing.
+func TestTranscodeBeforeDelete(t *testing.T) {
+	clock := &sim.Clock{}
+	e := buildEngineWith(t, clock, Config{TranscodeBeforeDelete: true})
+
+	// Real media payloads (decodable) with expendable metadata.
+	img, err := media.Synthetic(sim.NewRNG(5), 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := media.EncodeImage(img, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []fs.FileID
+	for i := 0; i < 12; i++ {
+		meta := spareMeta(i)
+		meta.SizeBytes = int64(len(enc))
+		id, err := e.CreateFile(meta, enc, 0, classify.LabelSpare)
+		if errors.Is(err, fs.ErrNoSpace) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		clock.Advance(sim.Hour)
+	}
+	clock.Advance(2 * sim.Day)
+	if _, err := e.Review(); err != nil {
+		t.Fatal(err)
+	}
+	// Force pressure by filling with accounting data until the first
+	// transcode happens, then stop (sustained pressure would legitimately
+	// delete even transcoded files).
+	for i := 0; i < 200 && e.Stats().Transcoded == 0; i++ {
+		_, err := e.CreateFile(spareMeta(100+i), nil, 4096, classify.LabelSpare)
+		if errors.Is(err, fs.ErrNoSpace) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(sim.Hour)
+	}
+	st := e.Stats()
+	if st.AutoDeleteRuns == 0 {
+		t.Skip("pressure never engaged; device too large for this test")
+	}
+	if st.Transcoded == 0 {
+		t.Fatal("no media transcoded under pressure")
+	}
+	// Transcoded files must survive and decode at reduced size.
+	survived := 0
+	for _, id := range ids {
+		res, err := e.ReadFile(id)
+		if err != nil {
+			continue
+		}
+		survived++
+		if res.Data == nil {
+			continue
+		}
+		dec, err := media.DecodeImage(res.Data)
+		if err != nil {
+			continue
+		}
+		if int64(len(res.Data)) < int64(len(enc)) && dec.W != 32 {
+			t.Fatalf("transcoded copy has width %d, want 32", dec.W)
+		}
+	}
+	if survived == 0 {
+		t.Fatal("every media file was deleted despite transcoding")
+	}
+}
+
+// TestTranscodeOnlyOnce: a file shrinks at most once; the second round
+// of pressure deletes it.
+func TestTranscodeOnlyOnce(t *testing.T) {
+	clock := &sim.Clock{}
+	e := buildEngineWith(t, clock, Config{TranscodeBeforeDelete: true})
+	img, _ := media.Synthetic(sim.NewRNG(6), 64, 64)
+	enc, _ := media.EncodeImage(img, 85)
+	meta := spareMeta(0)
+	id, err := e.CreateFile(meta, enc, 0, classify.LabelSpare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * sim.Day)
+	if _, err := e.Review(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.tryTranscode(id) {
+		t.Fatal("first transcode failed")
+	}
+	if e.tryTranscode(id) {
+		t.Fatal("second transcode succeeded; must fall through to delete")
+	}
+	if e.Stats().Transcoded != 1 {
+		t.Fatalf("transcoded count %d", e.Stats().Transcoded)
+	}
+}
+
+// TestTranscodeSkipsAccountingFiles: payload-less files cannot be
+// transcoded and must fall through to deletion.
+func TestTranscodeSkipsAccountingFiles(t *testing.T) {
+	clock := &sim.Clock{}
+	e := buildEngineWith(t, clock, Config{TranscodeBeforeDelete: true})
+	id, err := e.CreateFile(spareMeta(1), nil, 4096, classify.LabelSpare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.tryTranscode(id) {
+		t.Fatal("accounting file transcoded")
+	}
+}

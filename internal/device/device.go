@@ -1,0 +1,385 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+
+	"sos/internal/ecc"
+	"sos/internal/flash"
+	"sos/internal/ftl"
+	"sos/internal/sim"
+)
+
+// Class is the host's data classification hint attached to each write —
+// the thin co-design interface of Figure 2. The device maps classes to
+// streams.
+type Class int
+
+// Data classes.
+const (
+	// ClassSys marks critical data: OS files, app metadata, documents,
+	// personally significant media. Stored conservatively.
+	ClassSys Class = iota
+	// ClassSpare marks low-priority, read-dominant, error-tolerant
+	// data. Stored approximately on the densest blocks.
+	ClassSpare
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassSys:
+		return "sys"
+	case ClassSpare:
+		return "spare"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// ErrBadClass reports an unknown classification hint.
+var ErrBadClass = errors.New("device: unknown data class")
+
+// Config builds a device.
+type Config struct {
+	// Geometry of the underlying chip. Zero value selects a small
+	// default suitable for tests.
+	Geometry flash.Geometry
+	// Tech is the physical cell technology (default PLC for SOS
+	// devices; baselines override).
+	Tech flash.Tech
+	// Streams define the partitions. Use SOSStreams / BaselineStreams
+	// helpers. Stream index must correspond to Class values for the
+	// classes the device accepts.
+	Streams []ftl.StreamPolicy
+	// Latency is the timing model (zero value => default profile).
+	Latency *LatencyProfile
+	// Clock, if nil, a fresh clock is created.
+	Clock *sim.Clock
+	// Seed for deterministic error injection.
+	Seed uint64
+	// EnduranceSigma is block-to-block endurance variance.
+	EnduranceSigma float64
+	// OverProvisionPct / GCLowWater pass through to the FTL.
+	OverProvisionPct int
+	GCLowWater       int
+}
+
+// SOSStreams returns the paper's split pseudo-QLC / PLC stream layout
+// over PLC silicon: stream 0 (SYS) on pseudo-QLC with Reed-Solomon and
+// wear leveling; stream 1 (SPARE) on native PLC with detect-only
+// integrity, no wear leveling, and a pseudo-TLC resuscitation ladder.
+func SOSStreams() []ftl.StreamPolicy {
+	pQLC, err := flash.PseudoMode(flash.PLC, 4)
+	if err != nil {
+		panic(err)
+	}
+	return []ftl.StreamPolicy{
+		{
+			Name:         "sys",
+			Mode:         pQLC,
+			Scheme:       ecc.MustRSScheme(223, 32),
+			WearLeveling: true,
+		},
+		{
+			Name:        "spare",
+			Mode:        flash.NativeMode(flash.PLC),
+			Scheme:      ecc.DetectOnly{},
+			Resuscitate: []int{3}, // worn PLC reborn as pseudo-TLC
+			// SPARE runs its blocks ~15% past the conservative rating
+			// before the resuscitation ladder engages: degradation is
+			// the product, not a failure (§4.2-§4.3).
+			WearRetireFrac: 1.15,
+		},
+	}
+}
+
+// BaselineStreams returns the conventional single-partition layout used
+// by the paper's implicit baselines: everything on native cells of the
+// given technology, strong ECC, wear leveling on. Both classes map to
+// the single stream.
+func BaselineStreams(tech flash.Tech) []ftl.StreamPolicy {
+	return []ftl.StreamPolicy{
+		{
+			Name:         "all",
+			Mode:         flash.NativeMode(tech),
+			Scheme:       ecc.MustRSScheme(223, 32),
+			WearLeveling: true,
+		},
+	}
+}
+
+// Device is a simulated personal storage device.
+type Device struct {
+	chip    *flash.Chip
+	ftl     *ftl.FTL
+	clock   *sim.Clock
+	latency LatencyProfile
+
+	// busy accumulates modelled device time (not wall time).
+	busy sim.Time
+
+	readCount  int64
+	writeCount int64
+
+	// OnCapacityChange fires with the new advertised capacity in bytes
+	// whenever retirement/resuscitation shrinks the device.
+	OnCapacityChange func(bytes int64)
+}
+
+// DefaultGeometry is a small-but-structured chip for tests and examples:
+// 4 KiB pages + 1 KiB spare, 64 pages/block, 256 blocks = 64 MiB native.
+func DefaultGeometry() flash.Geometry {
+	return flash.Geometry{PageSize: 4096, Spare: 1024, PagesPerBlock: 64, Blocks: 256}
+}
+
+// New builds a device.
+func New(cfg Config) (*Device, error) {
+	if cfg.Geometry == (flash.Geometry{}) {
+		cfg.Geometry = DefaultGeometry()
+	}
+	if cfg.Tech == 0 {
+		cfg.Tech = flash.PLC
+	}
+	if len(cfg.Streams) == 0 {
+		return nil, errors.New("device: no streams configured")
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = &sim.Clock{}
+	}
+	chip, err := flash.NewChip(flash.ChipConfig{
+		Geometry:       cfg.Geometry,
+		Tech:           cfg.Tech,
+		Clock:          clock,
+		Seed:           cfg.Seed,
+		EnduranceSigma: cfg.EnduranceSigma,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f, err := ftl.New(ftl.Config{
+		Chip:             chip,
+		Streams:          cfg.Streams,
+		OverProvisionPct: cfg.OverProvisionPct,
+		GCLowWater:       cfg.GCLowWater,
+	})
+	if err != nil {
+		return nil, err
+	}
+	lat := DefaultLatencyProfile()
+	if cfg.Latency != nil {
+		lat = *cfg.Latency
+	}
+	d := &Device{chip: chip, ftl: f, clock: clock, latency: lat}
+	f.OnCapacityChange = func(pages int) {
+		if d.OnCapacityChange != nil {
+			d.OnCapacityChange(int64(pages) * int64(cfg.Geometry.PageSize))
+		}
+	}
+	return d, nil
+}
+
+// NewSOS builds the paper's SOS device on PLC silicon.
+func NewSOS(geo flash.Geometry, seed uint64, clock *sim.Clock) (*Device, error) {
+	return New(Config{
+		Geometry:       geo,
+		Tech:           flash.PLC,
+		Streams:        SOSStreams(),
+		Clock:          clock,
+		Seed:           seed,
+		EnduranceSigma: 0.1,
+	})
+}
+
+// NewBaseline builds a conventional device on native cells of tech.
+func NewBaseline(tech flash.Tech, geo flash.Geometry, seed uint64, clock *sim.Clock) (*Device, error) {
+	return New(Config{
+		Geometry:       geo,
+		Tech:           tech,
+		Streams:        BaselineStreams(tech),
+		Clock:          clock,
+		Seed:           seed,
+		EnduranceSigma: 0.1,
+	})
+}
+
+// streamFor maps a class hint to a stream, clamping to the last stream
+// for single-partition baselines.
+func (d *Device) streamFor(c Class) (ftl.StreamID, error) {
+	if c != ClassSys && c != ClassSpare {
+		return 0, ErrBadClass
+	}
+	n := len(d.ftl.Streams())
+	id := int(c)
+	if id >= n {
+		id = n - 1
+	}
+	return ftl.StreamID(id), nil
+}
+
+// PageSize returns the logical page size in bytes.
+func (d *Device) PageSize() int { return d.ftl.LogicalPageSize() }
+
+// CapacityBytes returns the currently advertised logical capacity. It
+// shrinks under capacity variance (§4.3).
+func (d *Device) CapacityBytes() int64 {
+	return int64(d.ftl.UsablePages()) * int64(d.PageSize())
+}
+
+// Clock returns the device's simulation clock.
+func (d *Device) Clock() *sim.Clock { return d.clock }
+
+// FTL exposes the translation layer for experiments and telemetry.
+func (d *Device) FTL() *ftl.FTL { return d.ftl }
+
+// Chip exposes the flash chip for experiments and telemetry.
+func (d *Device) Chip() *flash.Chip { return d.chip }
+
+// Write stores one logical page under the given class hint. data may be
+// nil with dataLen set for accounting-only traffic. The returned latency
+// is the modelled device time for the operation.
+func (d *Device) Write(lba int64, data []byte, dataLen int, c Class) (sim.Time, error) {
+	id, err := d.streamFor(c)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.ftl.Write(lba, data, dataLen, id); err != nil {
+		return 0, err
+	}
+	pol := d.ftl.Streams()[id]
+	lat := d.latency.ProgramLatency(pol.Mode)
+	d.busy += lat
+	d.writeCount++
+	return lat, nil
+}
+
+// ReadResult augments the FTL result with modelled latency.
+type ReadResult struct {
+	ftl.ReadResult
+	Latency sim.Time
+}
+
+// Read fetches one logical page. Tolerant reads (SPARE-class data under
+// approximate storage) skip the read-retry ladder.
+func (d *Device) Read(lba int64) (ReadResult, error) {
+	res, err := d.ftl.Read(lba)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	pol := d.ftl.Streams()[res.Stream]
+	_, tolerant := pol.Scheme.(ecc.None)
+	if _, det := pol.Scheme.(ecc.DetectOnly); det {
+		tolerant = true
+	}
+	// Approximate the page's RBER from its flip count for the retry model.
+	rber := 0.0
+	if res.DataLen > 0 {
+		rber = float64(res.RawFlips) / float64(res.DataLen*8)
+	}
+	lat := d.latency.ReadLatency(pol.Mode, rber, tolerant)
+	d.busy += lat
+	d.readCount++
+	return ReadResult{ReadResult: res, Latency: lat}, nil
+}
+
+// Trim discards a logical page.
+func (d *Device) Trim(lba int64) error { return d.ftl.Trim(lba) }
+
+// Reclassify moves a logical page to the stream of the given class —
+// the device side of the classifier's periodic review (§4.4).
+func (d *Device) Reclassify(lba int64, c Class) error {
+	id, err := d.streamFor(c)
+	if err != nil {
+		return err
+	}
+	if cur, ok := d.ftl.StreamOf(lba); ok && cur == id {
+		return nil // already there
+	}
+	return d.ftl.Relocate(lba, id)
+}
+
+// ClassOf reports the class a mapped page is currently stored under.
+func (d *Device) ClassOf(lba int64) (Class, bool) {
+	id, ok := d.ftl.StreamOf(lba)
+	if !ok {
+		return 0, false
+	}
+	if int(id) >= int(ClassSpare) {
+		return ClassSpare, true
+	}
+	return ClassSys, true
+}
+
+// Scrub runs one degradation-monitor pass with the given move budget.
+func (d *Device) Scrub(maxMoves int) (ftl.ScrubReport, error) {
+	return d.ftl.Scrub(maxMoves)
+}
+
+// Smart is SMART-style device telemetry.
+type Smart struct {
+	CapacityBytes   int64
+	PageSize        int
+	Reads           int64
+	Writes          int64
+	BusyTime        sim.Time
+	FTL             ftl.Stats
+	AvgWearFrac     float64 // mean block wear fraction
+	MaxWearFrac     float64
+	RetiredBlocks   int64
+	Resuscitations  int64
+	WriteAmp        float64
+	DegradedReads   int64
+	TotalBlocks     int
+	PercentLifeUsed float64 // max wear as percentage, the warranty metric
+	// WearHistogram buckets blocks by wear fraction: [0] holds blocks
+	// under 10% worn, [9] blocks at 90%+ (including past-rating blocks).
+	WearHistogram [10]int
+}
+
+// Smart returns a telemetry snapshot.
+func (d *Device) Smart() Smart {
+	st := d.ftl.Stats()
+	var sum, max float64
+	var hist [10]int
+	n := 0
+	for b := 0; b < d.chip.Blocks(); b++ {
+		info, err := d.chip.Info(b)
+		if err != nil {
+			continue
+		}
+		sum += info.WearFrac
+		if info.WearFrac > max {
+			max = info.WearFrac
+		}
+		bucket := int(info.WearFrac * 10)
+		if bucket > 9 {
+			bucket = 9
+		}
+		if bucket < 0 {
+			bucket = 0
+		}
+		hist[bucket]++
+		n++
+	}
+	avg := 0.0
+	if n > 0 {
+		avg = sum / float64(n)
+	}
+	return Smart{
+		CapacityBytes:   d.CapacityBytes(),
+		PageSize:        d.PageSize(),
+		Reads:           d.readCount,
+		Writes:          d.writeCount,
+		BusyTime:        d.busy,
+		FTL:             st,
+		AvgWearFrac:     avg,
+		MaxWearFrac:     max,
+		RetiredBlocks:   st.Retired,
+		Resuscitations:  st.Resuscitated,
+		WriteAmp:        d.ftl.WriteAmplification(),
+		DegradedReads:   st.DegradedReads,
+		TotalBlocks:     d.chip.Blocks(),
+		PercentLifeUsed: avg * 100,
+		WearHistogram:   hist,
+	}
+}

@@ -1,0 +1,81 @@
+package ecc
+
+import "testing"
+
+func TestEstimateDecodeNone(t *testing.T) {
+	if !(None{}).EstimateDecode(100000, 4096) {
+		t.Fatal("None must always estimate success")
+	}
+}
+
+func TestEstimateDecodeDetectOnly(t *testing.T) {
+	var s DetectOnly
+	if !s.EstimateDecode(0, 4096) {
+		t.Fatal("clean page flagged")
+	}
+	if s.EstimateDecode(1, 4096) {
+		t.Fatal("single error not detected")
+	}
+}
+
+func TestEstimateDecodeHamming(t *testing.T) {
+	var s HammingScheme
+	if !s.EstimateDecode(0, 4096) || !s.EstimateDecode(1, 4096) {
+		t.Fatal("trivially correctable flagged")
+	}
+	// 4096 bytes = 512 words. A handful of scattered errors is fine.
+	if !s.EstimateDecode(10, 4096) {
+		t.Fatal("10 errors over 512 words flagged")
+	}
+	// Hundreds of errors must fail (birthday collisions certain).
+	if s.EstimateDecode(500, 4096) {
+		t.Fatal("500 errors over 512 words estimated correctable")
+	}
+	if s.EstimateDecode(2, 0) {
+		t.Fatal("zero-length payload with errors accepted")
+	}
+}
+
+func TestEstimateDecodeRS(t *testing.T) {
+	s := MustRSScheme(223, 32) // t = 16, 4096 bytes -> 19 shards
+	if !s.EstimateDecode(0, 4096) {
+		t.Fatal("clean flagged")
+	}
+	// 19 shards x 16 budget = 304 total; mean-based margin 0.85.
+	if !s.EstimateDecode(100, 4096) {
+		t.Fatal("100 scattered errors flagged")
+	}
+	if s.EstimateDecode(400, 4096) {
+		t.Fatal("400 errors estimated correctable")
+	}
+}
+
+func TestEstimateDecodeMonotone(t *testing.T) {
+	// More errors can only make things worse for every scheme.
+	schemes := []Scheme{None{}, DetectOnly{}, HammingScheme{}, MustRSScheme(223, 32)}
+	for _, s := range schemes {
+		prev := true
+		for f := 0; f < 2000; f += 25 {
+			ok := s.EstimateDecode(f, 4096)
+			if ok && !prev {
+				t.Errorf("%s: EstimateDecode recovered at f=%d", s.Name(), f)
+			}
+			prev = ok
+		}
+	}
+}
+
+func TestEstimateConsistentWithRealDecode(t *testing.T) {
+	// The estimate must roughly agree with the real decoder: well under
+	// budget succeeds, far over budget fails, for the same error counts.
+	s := MustRSScheme(64, 16) // t=8 per 80-byte shard
+	n := 256                  // 4 shards
+	under := 12               // ~3/shard
+	over := 200               // ~50/shard
+	if !s.EstimateDecode(under, n) {
+		t.Error("estimate rejects load the decoder would handle")
+	}
+	if s.EstimateDecode(over, n) {
+		t.Error("estimate accepts load the decoder would reject")
+	}
+}

@@ -1,0 +1,47 @@
+package ecc_test
+
+import (
+	"fmt"
+
+	"sos/internal/ecc"
+)
+
+// ExampleRS demonstrates Reed-Solomon correction of byte errors.
+func ExampleRS() {
+	rs, err := ecc.NewRS(16) // corrects up to 8 byte errors
+	if err != nil {
+		panic(err)
+	}
+	cw, err := rs.Encode([]byte("degrading data to save the planet"))
+	if err != nil {
+		panic(err)
+	}
+	cw[3] ^= 0xff // corrupt three bytes
+	cw[17] ^= 0x5a
+	cw[30] ^= 0x01
+	data, corrected, err := rs.Decode(cw)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("corrected %d errors: %s\n", corrected, data)
+	// Output:
+	// corrected 3 errors: degrading data to save the planet
+}
+
+// ExampleScheme contrasts the protection tiers on the same payload.
+func ExampleScheme() {
+	payload := make([]byte, 4096)
+	for _, name := range []string{"none", "crc32c", "hamming", "rs-strong"} {
+		s, err := ecc.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		over := s.Overhead(len(payload)) - len(payload)
+		fmt.Printf("%-14s +%d bytes\n", s.Name(), over)
+	}
+	// Output:
+	// none           +0 bytes
+	// crc32c         +4 bytes
+	// hamming-secded +512 bytes
+	// rs(255,223)    +608 bytes
+}

@@ -1,0 +1,151 @@
+package ecc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sos/internal/sim"
+)
+
+func TestHammingCleanRoundtrip(t *testing.T) {
+	data := []byte("0123456789abcdef") // 16 bytes = 2 words
+	cw := HammingEncode(data)
+	if len(cw) != 18 {
+		t.Fatalf("encoded length %d, want 18", len(cw))
+	}
+	got, corrected, err := HammingDecode(cw)
+	if err != nil || corrected != 0 {
+		t.Fatalf("clean decode corrected=%d err=%v", corrected, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("roundtrip mismatch")
+	}
+}
+
+func TestHammingCorrectsSingleBitAnyPosition(t *testing.T) {
+	data := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x23, 0x45, 0x67}
+	for bit := 0; bit < 64; bit++ {
+		cw := HammingEncode(data)
+		cw[bit/8] ^= 1 << uint(bit%8)
+		got, corrected, err := HammingDecode(cw)
+		if err != nil {
+			t.Fatalf("bit %d: %v", bit, err)
+		}
+		if corrected != 1 {
+			t.Fatalf("bit %d: corrected=%d", bit, corrected)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("bit %d: data mismatch", bit)
+		}
+	}
+}
+
+func TestHammingCorrectsCheckByteError(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	for bit := 0; bit < 8; bit++ {
+		cw := HammingEncode(data)
+		cw[8] ^= 1 << uint(bit)
+		got, _, err := HammingDecode(cw)
+		if err != nil {
+			t.Fatalf("check bit %d: %v", bit, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("check bit %d: data corrupted", bit)
+		}
+	}
+}
+
+func TestHammingDetectsDoubleBit(t *testing.T) {
+	rng := sim.NewRNG(5)
+	data := make([]byte, 8)
+	detected := 0
+	const trials = 500
+	for trial := 0; trial < trials; trial++ {
+		for i := range data {
+			data[i] = byte(rng.Uint64())
+		}
+		cw := HammingEncode(data)
+		// Flip two distinct data bits within the word.
+		a := rng.Intn(64)
+		b := rng.Intn(64)
+		for b == a {
+			b = rng.Intn(64)
+		}
+		cw[a/8] ^= 1 << uint(a%8)
+		cw[b/8] ^= 1 << uint(b%8)
+		if _, _, err := HammingDecode(cw); errors.Is(err, ErrUncorrectable) {
+			detected++
+		}
+	}
+	if detected != trials {
+		t.Fatalf("double-bit detection missed %d/%d", trials-detected, trials)
+	}
+}
+
+func TestHammingMultiWord(t *testing.T) {
+	rng := sim.NewRNG(6)
+	data := make([]byte, 64) // 8 words
+	for i := range data {
+		data[i] = byte(rng.Uint64())
+	}
+	cw := HammingEncode(data)
+	// One bit error in each of three different words.
+	cw[3] ^= 0x10
+	cw[17] ^= 0x02
+	cw[40] ^= 0x80
+	got, corrected, err := HammingDecode(cw)
+	if err != nil || corrected != 3 {
+		t.Fatalf("corrected=%d err=%v", corrected, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-word mismatch")
+	}
+}
+
+func TestHammingProperty(t *testing.T) {
+	rng := sim.NewRNG(7)
+	err := quick.Check(func(w uint64, bitRaw uint8) bool {
+		var buf [8]byte
+		putLE64(buf[:], w)
+		cw := HammingEncode(buf[:])
+		bit := int(bitRaw) % 72
+		cw[bit/8] ^= 1 << uint(bit%8)
+		got, corrected, err := HammingDecode(cw)
+		if err != nil || corrected != 1 {
+			return false
+		}
+		return le64(got) == w
+	}, &quick.Config{MaxCount: 500, Rand: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rng
+}
+
+func TestHammingBadLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unaligned encode did not panic")
+		}
+	}()
+	HammingEncode(make([]byte, 7))
+}
+
+func TestHammingDecodeBadLength(t *testing.T) {
+	if _, _, err := HammingDecode(make([]byte, 10)); err == nil {
+		t.Fatal("bad codeword length accepted")
+	}
+}
+
+func TestLE64Roundtrip(t *testing.T) {
+	err := quick.Check(func(v uint64) bool {
+		var b [8]byte
+		putLE64(b[:], v)
+		return le64(b[:]) == v
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

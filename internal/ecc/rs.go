@@ -1,0 +1,207 @@
+package ecc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUncorrectable reports that a codeword held more errors than the code
+// can correct. The caller (the flash read path) decides whether that is a
+// hard failure (SYS data) or tolerated degradation (SPARE data).
+var ErrUncorrectable = errors.New("ecc: uncorrectable codeword")
+
+// RS is a systematic Reed-Solomon code over GF(2^8) with nparity check
+// bytes per codeword, correcting up to nparity/2 byte errors. Codewords
+// are data||parity with len(data)+nparity <= 255.
+type RS struct {
+	nparity int
+	gen     []byte // generator polynomial, highest-degree first
+}
+
+// NewRS returns a Reed-Solomon coder with the given number of parity
+// bytes (must be in [2, 254] and even for a sensible correction budget;
+// odd values are allowed and floor the budget).
+func NewRS(nparity int) (*RS, error) {
+	if nparity < 1 || nparity > 254 {
+		return nil, fmt.Errorf("ecc: invalid parity count %d", nparity)
+	}
+	gen := []byte{1}
+	for i := 0; i < nparity; i++ {
+		gen = polyMul(gen, []byte{1, gfExp[i]})
+	}
+	return &RS{nparity: nparity, gen: gen}, nil
+}
+
+// ParityBytes returns the per-codeword parity overhead.
+func (r *RS) ParityBytes() int { return r.nparity }
+
+// CorrectableErrors returns the per-codeword correction budget t.
+func (r *RS) CorrectableErrors() int { return r.nparity / 2 }
+
+// MaxData returns the largest data length per codeword.
+func (r *RS) MaxData() int { return 255 - r.nparity }
+
+// Encode appends nparity parity bytes to data and returns the codeword.
+// len(data) must be in (0, MaxData].
+func (r *RS) Encode(data []byte) ([]byte, error) {
+	if len(data) == 0 || len(data) > r.MaxData() {
+		return nil, fmt.Errorf("ecc: data length %d out of range (1..%d)", len(data), r.MaxData())
+	}
+	cw := make([]byte, len(data)+r.nparity)
+	copy(cw, data)
+	// Systematic encoding: parity is the remainder of data * x^nparity
+	// divided by the generator, computed with a shift register.
+	reg := make([]byte, r.nparity)
+	for _, d := range data {
+		feedback := d ^ reg[0]
+		copy(reg, reg[1:])
+		reg[r.nparity-1] = 0
+		if feedback != 0 {
+			for j := 0; j < r.nparity; j++ {
+				// gen[0] is 1; gen[j+1] multiplies feedback.
+				reg[j] ^= gfMul(feedback, r.gen[j+1])
+			}
+		}
+	}
+	copy(cw[len(data):], reg)
+	return cw, nil
+}
+
+// syndromes computes the nparity syndromes of the codeword; all-zero
+// syndromes mean no detectable error.
+func (r *RS) syndromes(cw []byte) ([]byte, bool) {
+	syn := make([]byte, r.nparity)
+	clean := true
+	for i := 0; i < r.nparity; i++ {
+		s := polyEval(cw, gfExp[i])
+		syn[i] = s
+		if s != 0 {
+			clean = false
+		}
+	}
+	return syn, clean
+}
+
+// Decode corrects up to CorrectableErrors byte errors in place and
+// returns the data portion along with the number of corrected bytes.
+// If the codeword is uncorrectable it returns ErrUncorrectable; the
+// (possibly corrupt) data portion is still returned so approximate
+// consumers can use it.
+func (r *RS) Decode(cw []byte) (data []byte, corrected int, err error) {
+	if len(cw) <= r.nparity || len(cw) > 255 {
+		return nil, 0, fmt.Errorf("ecc: codeword length %d out of range", len(cw))
+	}
+	data = cw[:len(cw)-r.nparity]
+	syn, clean := r.syndromes(cw)
+	if clean {
+		return data, 0, nil
+	}
+
+	// Berlekamp-Massey: find error locator polynomial sigma
+	// (lowest-degree first here for convenience).
+	sigma := []byte{1}
+	prev := []byte{1}
+	var l, m int = 0, 1
+	var b byte = 1
+	for n := 0; n < r.nparity; n++ {
+		var delta byte = syn[n]
+		for i := 1; i <= l; i++ {
+			if i < len(sigma) {
+				delta ^= gfMul(sigma[i], syn[n-i])
+			}
+		}
+		if delta == 0 {
+			m++
+			continue
+		}
+		if 2*l <= n {
+			tmp := make([]byte, len(sigma))
+			copy(tmp, sigma)
+			sigma = polyAddShift(sigma, prev, gfDiv(delta, b), m)
+			l = n + 1 - l
+			prev = tmp
+			b = delta
+			m = 1
+		} else {
+			sigma = polyAddShift(sigma, prev, gfDiv(delta, b), m)
+			m++
+		}
+	}
+	nerr := l
+	if nerr > r.CorrectableErrors() || len(sigma)-1 > nerr {
+		return data, 0, ErrUncorrectable
+	}
+
+	// Chien search: roots of sigma give error positions.
+	n := len(cw)
+	var errPos []int
+	for i := 0; i < n; i++ {
+		// Position i (0 = first byte) corresponds to locator alpha^(n-1-i).
+		xinv := gfExp[(255-(n-1-i))%255] // alpha^-(n-1-i)
+		var v byte
+		for j := len(sigma) - 1; j >= 0; j-- {
+			v = gfMul(v, xinv) ^ sigma[j]
+		}
+		if v == 0 {
+			errPos = append(errPos, i)
+		}
+	}
+	if len(errPos) != nerr {
+		return data, 0, ErrUncorrectable
+	}
+
+	// Forney algorithm: error magnitudes.
+	// Omega = (syn * sigma) mod x^nparity, syn as polynomial s1 + s2 x + ...
+	omega := make([]byte, r.nparity)
+	for i := 0; i < r.nparity; i++ {
+		var v byte
+		for j := 0; j <= i && j < len(sigma); j++ {
+			v ^= gfMul(sigma[j], syn[i-j])
+		}
+		omega[i] = v
+	}
+	// sigma' (formal derivative): odd-power coefficients.
+	for _, pos := range errPos {
+		xi := gfExp[(n-1-pos)%255] // locator X_i
+		xinv := gfInv(xi)
+		// omega(X_i^-1)
+		var ov byte
+		for j := len(omega) - 1; j >= 0; j-- {
+			ov = gfMul(ov, xinv) ^ omega[j]
+		}
+		// sigma'(X_i^-1)
+		var dv byte
+		for j := 1; j < len(sigma); j += 2 {
+			dv ^= gfMul(sigma[j], gfPow(xinv, j-1))
+		}
+		if dv == 0 {
+			return data, 0, ErrUncorrectable
+		}
+		// Forney with first consecutive root alpha^0 (b=0) carries an
+		// extra X_i^(1-b) = X_i factor.
+		mag := gfMul(xi, gfDiv(ov, dv))
+		cw[pos] ^= mag
+	}
+
+	// Verify the correction actually zeroed the syndromes; miscorrection
+	// beyond the budget must not silently pass.
+	if _, ok := r.syndromes(cw); !ok {
+		return data, 0, ErrUncorrectable
+	}
+	return cw[:len(cw)-r.nparity], len(errPos), nil
+}
+
+// polyAddShift returns a + scale * x^shift * b, where polynomials are
+// lowest-degree first.
+func polyAddShift(a, b []byte, scale byte, shift int) []byte {
+	outLen := len(a)
+	if len(b)+shift > outLen {
+		outLen = len(b) + shift
+	}
+	out := make([]byte, outLen)
+	copy(out, a)
+	for i, c := range b {
+		out[i+shift] ^= gfMul(c, scale)
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package ecc
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Scheme is the protection policy applied to a flash page. The FTL picks
+// a Scheme per stream: SYS pages get strong Reed-Solomon, SPARE pages get
+// detect-only or nothing (approximate storage, §4.2).
+type Scheme interface {
+	// Name identifies the scheme in telemetry and experiment tables.
+	Name() string
+	// Encode returns the stored representation of data.
+	Encode(data []byte) ([]byte, error)
+	// Decode recovers data from a stored representation, reporting how
+	// many byte corrections were applied. For detect-only and no-ECC
+	// schemes corrected is always 0; detect-only returns
+	// ErrUncorrectable when the payload no longer matches its checksum,
+	// while still returning the degraded data for approximate consumers.
+	Decode(stored []byte) (data []byte, corrected int, err error)
+	// Overhead returns the stored size for n data bytes.
+	Overhead(n int) int
+	// EstimateDecode predicts whether a stored payload of n data bytes
+	// with flippedBits uniformly-placed raw bit errors would decode
+	// cleanly. It is used for accounting-only pages, where the flash
+	// layer tracks error counts but no payload. The estimate is
+	// mean-based (expected per-codeword error load vs. the correction
+	// budget) and documented as such.
+	EstimateDecode(flippedBits, n int) bool
+}
+
+// None is the no-protection scheme: bits read back exactly as the medium
+// degraded them. This is the paper's approximate storage for SPARE media.
+type None struct{}
+
+// Name implements Scheme.
+func (None) Name() string { return "none" }
+
+// Encode implements Scheme.
+func (None) Encode(data []byte) ([]byte, error) {
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Decode implements Scheme.
+func (None) Decode(stored []byte) ([]byte, int, error) { return stored, 0, nil }
+
+// Overhead implements Scheme.
+func (None) Overhead(n int) int { return n }
+
+// EstimateDecode implements Scheme: no ECC never fails to "decode" —
+// errors pass through as degradation.
+func (None) EstimateDecode(flippedBits, n int) bool { return true }
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// DetectOnly appends a CRC32C so corruption is *detected* (enabling the
+// degradation monitor to act) but never corrected.
+type DetectOnly struct{}
+
+// Name implements Scheme.
+func (DetectOnly) Name() string { return "crc32c" }
+
+// Encode implements Scheme.
+func (DetectOnly) Encode(data []byte) ([]byte, error) {
+	out := make([]byte, len(data)+4)
+	copy(out, data)
+	c := crc32.Checksum(data, castagnoli)
+	out[len(data)] = byte(c)
+	out[len(data)+1] = byte(c >> 8)
+	out[len(data)+2] = byte(c >> 16)
+	out[len(data)+3] = byte(c >> 24)
+	return out, nil
+}
+
+// Decode implements Scheme.
+func (DetectOnly) Decode(stored []byte) ([]byte, int, error) {
+	if len(stored) < 4 {
+		return nil, 0, fmt.Errorf("ecc: stored payload too short for crc (%d bytes)", len(stored))
+	}
+	data := stored[:len(stored)-4]
+	tail := stored[len(stored)-4:]
+	want := uint32(tail[0]) | uint32(tail[1])<<8 | uint32(tail[2])<<16 | uint32(tail[3])<<24
+	if crc32.Checksum(data, castagnoli) != want {
+		return data, 0, ErrUncorrectable
+	}
+	return data, 0, nil
+}
+
+// Overhead implements Scheme.
+func (DetectOnly) Overhead(n int) int { return n + 4 }
+
+// EstimateDecode implements Scheme: any error is detected (and none
+// corrected).
+func (DetectOnly) EstimateDecode(flippedBits, n int) bool { return flippedBits == 0 }
+
+// HammingScheme provides SEC-DED per 64-bit word; the light protection
+// tier. Data lengths must be multiples of 8 (flash pages are).
+type HammingScheme struct{}
+
+// Name implements Scheme.
+func (HammingScheme) Name() string { return "hamming-secded" }
+
+// Encode implements Scheme.
+func (HammingScheme) Encode(data []byte) ([]byte, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("ecc: hamming needs 8-byte aligned data, got %d", len(data))
+	}
+	return HammingEncode(data), nil
+}
+
+// Decode implements Scheme.
+func (HammingScheme) Decode(stored []byte) ([]byte, int, error) {
+	return HammingDecode(stored)
+}
+
+// Overhead implements Scheme.
+func (HammingScheme) Overhead(n int) int { return HammingOverhead(n) }
+
+// EstimateDecode implements Scheme: SEC-DED fails when some 72-bit word
+// collects two errors. Mean-based estimate: with f errors over w words
+// the expected number of double-hit words is ~f*(f-1)/(2w); we predict
+// failure when that expectation reaches 1/2.
+func (HammingScheme) EstimateDecode(flippedBits, n int) bool {
+	if flippedBits <= 1 {
+		return true
+	}
+	words := n / 8
+	if words == 0 {
+		return false
+	}
+	f := float64(flippedBits)
+	return f*(f-1)/(2*float64(words)) < 0.5
+}
+
+// RSScheme shards data across interleaved Reed-Solomon codewords. This is
+// the strong protection used for SYS data; with the default geometry
+// (223+32) it corrects 16 byte errors per 255-byte codeword, the class of
+// strength real SSD BCH/LDPC achieves.
+type RSScheme struct {
+	rs        *RS
+	dataShard int
+}
+
+// NewRSScheme builds an RS scheme with dataShard data bytes and nparity
+// parity bytes per codeword (dataShard+nparity <= 255).
+func NewRSScheme(dataShard, nparity int) (*RSScheme, error) {
+	rs, err := NewRS(nparity)
+	if err != nil {
+		return nil, err
+	}
+	if dataShard <= 0 || dataShard > rs.MaxData() {
+		return nil, fmt.Errorf("ecc: data shard %d out of range (1..%d)", dataShard, rs.MaxData())
+	}
+	return &RSScheme{rs: rs, dataShard: dataShard}, nil
+}
+
+// MustRSScheme is NewRSScheme panicking on bad geometry; for package-level
+// defaults with constant arguments.
+func MustRSScheme(dataShard, nparity int) *RSScheme {
+	s, err := NewRSScheme(dataShard, nparity)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name implements Scheme.
+func (s *RSScheme) Name() string {
+	return fmt.Sprintf("rs(%d,%d)", s.dataShard+s.rs.ParityBytes(), s.dataShard)
+}
+
+// CorrectableErrorsPerShard reports the per-codeword correction budget.
+func (s *RSScheme) CorrectableErrorsPerShard() int { return s.rs.CorrectableErrors() }
+
+// Encode implements Scheme. Data is split into dataShard-byte chunks,
+// each encoded independently; the final chunk may be shorter (RS is
+// length-agnostic for shortened codes).
+func (s *RSScheme) Encode(data []byte) ([]byte, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("ecc: empty payload")
+	}
+	var out []byte
+	for off := 0; off < len(data); off += s.dataShard {
+		end := off + s.dataShard
+		if end > len(data) {
+			end = len(data)
+		}
+		cw, err := s.rs.Encode(data[off:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cw...)
+	}
+	return out, nil
+}
+
+// Decode implements Scheme. Every shard is decoded even when an earlier
+// shard fails, so the caller gets maximally repaired data either way.
+func (s *RSScheme) Decode(stored []byte) ([]byte, int, error) {
+	full := s.dataShard + s.rs.ParityBytes()
+	var data []byte
+	corrected := 0
+	var firstErr error
+	for off := 0; off < len(stored); off += full {
+		end := off + full
+		if end > len(stored) {
+			end = len(stored)
+		}
+		shard := stored[off:end]
+		if len(shard) <= s.rs.ParityBytes() {
+			return nil, corrected, fmt.Errorf("ecc: truncated RS shard (%d bytes)", len(shard))
+		}
+		d, c, err := s.rs.Decode(shard)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		corrected += c
+		data = append(data, d...)
+	}
+	return data, corrected, firstErr
+}
+
+// Overhead implements Scheme.
+func (s *RSScheme) Overhead(n int) int {
+	shards := (n + s.dataShard - 1) / s.dataShard
+	return n + shards*s.rs.ParityBytes()
+}
+
+// EstimateDecode implements Scheme: with uniformly placed bit errors the
+// expected byte-error load per codeword is flippedBits/shards (distinct
+// bytes at flash error rates); decode succeeds while that stays within
+// ~85% of the correction budget t (margin for clustering above the mean).
+func (s *RSScheme) EstimateDecode(flippedBits, n int) bool {
+	if flippedBits == 0 {
+		return true
+	}
+	shards := (n + s.dataShard - 1) / s.dataShard
+	if shards == 0 {
+		return false
+	}
+	perShard := float64(flippedBits) / float64(shards)
+	return perShard <= 0.85*float64(s.rs.CorrectableErrors())
+}
+
+// ByName returns a Scheme from its configuration name. Recognized:
+// "none", "crc32c", "hamming", "rs-light" (16 parity), "rs-strong"
+// (32 parity).
+func ByName(name string) (Scheme, error) {
+	switch name {
+	case "none":
+		return None{}, nil
+	case "crc32c":
+		return DetectOnly{}, nil
+	case "hamming":
+		return HammingScheme{}, nil
+	case "rs-light":
+		return NewRSScheme(239, 16)
+	case "rs-strong":
+		return NewRSScheme(223, 32)
+	default:
+		return nil, fmt.Errorf("ecc: unknown scheme %q", name)
+	}
+}

@@ -1,0 +1,105 @@
+// Package experiments reproduces every figure and quantitative claim of
+// the paper as a runnable experiment (E1-E14; see DESIGN.md §4 for the
+// index). Each experiment returns plain-text tables in the shape the
+// paper states its numbers, so paper-vs-measured comparison is direct.
+// EXPERIMENTS.md records the comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sos/internal/metrics"
+)
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Tables []*metrics.Table
+	Notes  []string
+}
+
+// String renders the result for terminal output.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner produces a Result. quick trades fidelity for speed (used by
+// unit tests and -short benchmarks); the full setting is what
+// EXPERIMENTS.md records.
+type Runner func(quick bool) (*Result, error)
+
+// registry maps experiment ids to runners.
+var registry = map[string]struct {
+	title string
+	run   Runner
+}{}
+
+func register(id, title string, run Runner) {
+	registry[id] = struct {
+		title string
+		run   Runner
+	}{title, run}
+}
+
+// IDs returns all experiment ids in order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// Numeric-aware: E2 before E10.
+		return idKey(ids[i]) < idKey(ids[j])
+	})
+	return ids
+}
+
+func idKey(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}
+
+// Title returns an experiment's title.
+func Title(id string) (string, bool) {
+	e, ok := registry[id]
+	return e.title, ok
+}
+
+// Run executes one experiment by id.
+func Run(id string, quick bool) (*Result, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return e.run(quick)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(quick bool) ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		r, err := Run(id, quick)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

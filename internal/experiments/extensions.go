@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"sos/internal/classify"
+	"sos/internal/core"
+	"sos/internal/device"
+	"sos/internal/fs"
+	"sos/internal/media"
+	"sos/internal/metrics"
+	"sos/internal/sim"
+)
+
+func init() {
+	register("E15", "extensions: user preferences, re-review promotion, transcode-before-delete", runE15)
+}
+
+// buildExtEngine assembles an engine with extension options.
+func buildExtEngine(prefs *classify.Prefs, transcode bool, seed uint64) (*core.Engine, *sim.Clock, error) {
+	clock := &sim.Clock{}
+	dev, err := device.NewSOS(e3Geometry(24), seed, clock)
+	if err != nil {
+		return nil, nil, err
+	}
+	fsys, err := fs.New(dev)
+	if err != nil {
+		return nil, nil, err
+	}
+	cls, err := classifierForExperiments()
+	if err != nil {
+		return nil, nil, err
+	}
+	if prefs != nil {
+		cls = classify.WithPrefs(cls, *prefs)
+	}
+	eng, err := core.New(core.Config{
+		FS: fsys, Classifier: cls, TranscodeBeforeDelete: transcode,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng, clock, nil
+}
+
+func runE15(quick bool) (*Result, error) {
+	// Part 1: preference ablation — demotion counts under neutral vs
+	// protective vs aggressive setups on the same file population.
+	prefTab := &metrics.Table{Header: []string{"prefs", "demoted", "of_files", "spare_share_%"}}
+	nFiles := 60
+	if quick {
+		nFiles = 30
+	}
+	prefSets := []struct {
+		name  string
+		prefs *classify.Prefs
+	}{
+		{"neutral", nil},
+		{"protective (keep camera+shared)", &classify.Prefs{KeepCameraRoll: true, KeepShared: true}},
+		{"aggressive (purge shots+messaging)", &classify.Prefs{PurgeScreenshots: true, PurgeMessagingMedia: true}},
+	}
+	for _, ps := range prefSets {
+		eng, clock, err := buildExtEngine(ps.prefs, false, 71)
+		if err != nil {
+			return nil, err
+		}
+		corpus, err := classify.GenerateCorpus(sim.NewRNG(72), nFiles)
+		if err != nil {
+			return nil, err
+		}
+		created := 0
+		for i, meta := range corpus.Metas {
+			meta.Path = fmt.Sprintf("/e15/%02d%s", i, meta.Path)
+			if _, err := eng.CreateFile(meta, nil, 2048, corpus.Labels[i]); err != nil {
+				if errors.Is(err, fs.ErrNoSpace) {
+					break
+				}
+				return nil, err
+			}
+			created++
+			clock.Advance(sim.Hour)
+		}
+		clock.Advance(2 * sim.Day)
+		if _, err := eng.Review(); err != nil {
+			return nil, err
+		}
+		st := eng.Stats()
+		share := 0.0
+		if created > 0 {
+			share = float64(st.Demoted) / float64(created) * 100
+		}
+		prefTab.AddRow(ps.name, st.Demoted, created, share)
+	}
+
+	// Part 2: re-review promotion — a demoted file turned hot comes back.
+	promoTab := &metrics.Table{Header: []string{"phase", "class"}}
+	{
+		eng, clock, err := buildExtEngine(nil, false, 73)
+		if err != nil {
+			return nil, err
+		}
+		meta := classify.FileMeta{
+			Path: "/sdcard/WhatsApp/Media/rediscovered.mp4", SizeBytes: 400 * 1024,
+			DaysSinceAccess: 300, FromMessaging: true, DuplicateCount: 3,
+		}
+		id, err := eng.CreateFile(meta, []byte("clip"), 0, classify.LabelSys)
+		if err != nil {
+			return nil, err
+		}
+		clock.Advance(2 * sim.Day)
+		if _, err := eng.Review(); err != nil {
+			return nil, err
+		}
+		st, err := eng.FS().Stat(id)
+		if err != nil {
+			return nil, err
+		}
+		promoTab.AddRow("after first review (cold file)", st.Class.String())
+		for day := 0; day < 120; day++ {
+			clock.Advance(sim.Day)
+			for i := 0; i < 5; i++ {
+				if _, err := eng.ReadFile(id); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if _, err := eng.Review(); err != nil {
+			return nil, err
+		}
+		st, err = eng.FS().Stat(id)
+		if err != nil {
+			return nil, err
+		}
+		promoTab.AddRow("after 120 hot days + re-review", st.Class.String())
+	}
+
+	// Part 3: transcode-before-delete — bytes retained under pressure.
+	transTab := &metrics.Table{Header: []string{"mode", "auto_deleted", "transcoded", "media_surviving"}}
+	for _, transcode := range []bool{false, true} {
+		eng, clock, err := buildExtEngine(nil, transcode, 74)
+		if err != nil {
+			return nil, err
+		}
+		img, err := media.Synthetic(sim.NewRNG(75), 64, 64)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := media.EncodeImage(img, 85)
+		if err != nil {
+			return nil, err
+		}
+		var ids []fs.FileID
+		for i := 0; i < 10; i++ {
+			meta := classify.FileMeta{
+				Path:            fmt.Sprintf("/sdcard/WhatsApp/Media/pic-%02d.jpg", i),
+				SizeBytes:       int64(len(enc)),
+				DaysSinceAccess: 200,
+				FromMessaging:   true,
+				DuplicateCount:  2,
+			}
+			id, err := eng.CreateFile(meta, enc, 0, classify.LabelSpare)
+			if err != nil {
+				if errors.Is(err, fs.ErrNoSpace) {
+					break
+				}
+				return nil, err
+			}
+			ids = append(ids, id)
+			clock.Advance(sim.Hour)
+		}
+		clock.Advance(2 * sim.Day)
+		if _, err := eng.Review(); err != nil {
+			return nil, err
+		}
+		// Pressure: bulk ingest until auto-delete has engaged twice.
+		for i := 0; i < 300 && eng.Stats().AutoDeleteRuns < 2; i++ {
+			meta := classify.FileMeta{
+				Path: fmt.Sprintf("/sdcard/bulk/%03d.bin", i), SizeBytes: 4096,
+				DaysSinceAccess: 100, FromMessaging: true,
+			}
+			if _, err := eng.CreateFile(meta, nil, 4096, classify.LabelSpare); err != nil {
+				if errors.Is(err, fs.ErrNoSpace) {
+					break
+				}
+				return nil, err
+			}
+			clock.Advance(sim.Hour)
+		}
+		surviving := 0
+		for _, id := range ids {
+			if _, err := eng.ReadFile(id); err == nil {
+				surviving++
+			}
+		}
+		st := eng.Stats()
+		name := "delete-only (paper baseline)"
+		if transcode {
+			name = "transcode-before-delete"
+		}
+		transTab.AddRow(name, st.AutoDeleted, st.Transcoded, surviving)
+	}
+
+	return &Result{
+		ID: "E15", Title: "extension features (beyond the paper's core design)",
+		Tables: []*metrics.Table{prefTab, promoTab, transTab},
+		Notes: []string{
+			"EXTENSION: these mechanisms implement the paper's future-work sketches — setup-time user preferences, periodic re-evaluation with SPARE->SYS promotion, and transforming the degradation scheme (transcode) before deleting (§4.2 end, §4.4, §4.5)",
+			"protective preferences cut demotions (less capacity win, less risk); aggressive ones do the opposite",
+			"transcoding retains more media under the same pressure at reduced resolution",
+		},
+	}, nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sos/internal/classify"
+	"sos/internal/core"
+	"sos/internal/device"
+	"sos/internal/flash"
+	"sos/internal/fs"
+	"sos/internal/sim"
+	"sos/internal/workload"
+)
+
+// Profile selects a device build for system-level experiments.
+type Profile int
+
+// Profiles under comparison.
+const (
+	ProfileSOS Profile = iota
+	ProfileTLC
+	ProfileQLC
+)
+
+func (p Profile) String() string {
+	switch p {
+	case ProfileSOS:
+		return "sos"
+	case ProfileTLC:
+		return "tlc"
+	case ProfileQLC:
+		return "qlc"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// system bundles one experiment stack.
+type system struct {
+	clock  *sim.Clock
+	dev    *device.Device
+	fs     *fs.FS
+	engine *core.Engine
+}
+
+// sharedClassifier is trained once; experiments share it (training is
+// deterministic, so this does not couple experiments).
+var sharedClassifier classify.Classifier
+
+func classifierForExperiments() (classify.Classifier, error) {
+	if sharedClassifier != nil {
+		return sharedClassifier, nil
+	}
+	corpus, err := classify.GenerateCorpus(sim.NewRNG(0xeca1), 8000)
+	if err != nil {
+		return nil, err
+	}
+	lr := &classify.Logistic{}
+	if err := lr.Train(corpus.Metas, corpus.Labels); err != nil {
+		return nil, err
+	}
+	sharedClassifier = lr
+	return lr, nil
+}
+
+// buildSystem assembles a device+fs+engine stack for a profile.
+func buildSystem(p Profile, geo flash.Geometry, seed uint64) (*system, error) {
+	clock := &sim.Clock{}
+	var dev *device.Device
+	var err error
+	switch p {
+	case ProfileSOS:
+		dev, err = device.NewSOS(geo, seed, clock)
+	case ProfileTLC:
+		dev, err = device.NewBaseline(flash.TLC, geo, seed, clock)
+	case ProfileQLC:
+		dev, err = device.NewBaseline(flash.QLC, geo, seed, clock)
+	default:
+		err = fmt.Errorf("experiments: unknown profile %d", int(p))
+	}
+	if err != nil {
+		return nil, err
+	}
+	fsys, err := fs.New(dev)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := classifierForExperiments()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(core.Config{FS: fsys, Classifier: cls})
+	if err != nil {
+		return nil, err
+	}
+	return &system{clock: clock, dev: dev, fs: fsys, engine: eng}, nil
+}
+
+// Run drives the system's engine with a generator using a default
+// sampling interval.
+func (s *system) Run(gen workload.Generator) (*core.RunReport, error) {
+	return core.Run(s.engine, gen, core.RunConfig{SampleEvery: 30 * sim.Day})
+}
+
+// offsetGen shifts a generator's timestamps by a fixed offset so a
+// second phase can follow a first on the same clock.
+type offsetGen struct {
+	g   workload.Generator
+	off sim.Time
+}
+
+// Next implements workload.Generator.
+func (o *offsetGen) Next() (workload.Event, bool) {
+	ev, ok := o.g.Next()
+	if !ok {
+		return ev, false
+	}
+	ev.At += o.off
+	return ev, true
+}
+
+// lightFollowOn builds a genuinely light read-mostly phase (capacity
+// turnover ~400 days) starting after startDays on the shared clock.
+func lightFollowOn(startDays, days int, capacityBytes int64) (workload.Generator, error) {
+	gen, err := scaledPersonal(days, capacityBytes, 400, 19)
+	if err != nil {
+		return nil, err
+	}
+	return &offsetGen{g: gen, off: sim.Time(startDays) * sim.Day}, nil
+}
+
+// cycleBlock erases a block `cycles` times, retrying sporadic
+// erase-status failures (expected when cycling past the rating). It
+// gives up if failures become persistent.
+func cycleBlock(chip *flash.Chip, b, cycles int) error {
+	failures := 0
+	for i := 0; i < cycles; {
+		err := chip.Erase(b)
+		if err == nil {
+			i++
+			failures = 0
+			continue
+		}
+		failures++
+		if failures > 50 {
+			return fmt.Errorf("experiments: block %d stuck after %d cycles: %w", b, i, err)
+		}
+	}
+	return nil
+}
+
+// cellsPerBlock returns the physical cell count of one erase block:
+// native pages x page bits / bits-per-cell. Used to build cell-equal
+// geometries across technologies.
+func cellsPerBlock(geo flash.Geometry, tech flash.Tech) int64 {
+	return int64(geo.PagesPerBlock) * int64(geo.PageSize) * 8 / int64(tech.BitsPerCell())
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"sos/internal/core"
+	"sos/internal/flash"
+	"sos/internal/metrics"
+	"sos/internal/sim"
+	"sos/internal/workload"
+)
+
+func init() {
+	register("E3", "§2.3.2: wear gap — typical use consumes a tiny fraction of endurance", runE3)
+}
+
+// scaledPersonal builds a personal workload whose daily write volume is
+// capacityBytes/turnoverDays — the capacity-relative write rate that
+// makes a scaled-down device wear like a real phone (a phone writing
+// ~1/16th of its capacity per day is on the heavy side of the [38]
+// distribution).
+func scaledPersonal(days int, capacityBytes int64, turnoverDays float64, seed uint64) (workload.Generator, error) {
+	daily := float64(capacityBytes) / turnoverDays
+	cfg := workload.PersonalConfig{
+		Days:               days,
+		NewMediaPerDay:     4,
+		MediaBytes:         int64(daily * 0.45 / 4),
+		AppDBCount:         8,
+		AppDBBytes:         int64(daily * 0.55 / 20),
+		AppDBUpdatesPerDay: 20,
+		ReadsPerDay:        100,
+		DeletesPerDay:      2,
+		Seed:               seed,
+	}
+	if cfg.MediaBytes < 512 {
+		cfg.MediaBytes = 512
+	}
+	if cfg.AppDBBytes < 512 {
+		cfg.AppDBBytes = 512
+	}
+	return workload.NewPersonal(cfg)
+}
+
+// e3Geometry is the scaled-down phone chip used by E3/E7/E11.
+func e3Geometry(blocks int) flash.Geometry {
+	return flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 30, Blocks: blocks}
+}
+
+func runE3(quick bool) (*Result, error) {
+	horizons := []int{730, 1095} // 2y warranty, 3y use life
+	if quick {
+		horizons = []int{240}
+	}
+	t := &metrics.Table{Header: []string{
+		"profile", "workload", "days", "avg_wear_%", "max_wear_%", "write_amp", "flash_outlives_device_x",
+	}}
+	addRow := func(profile Profile, label string, days int, gen workload.Generator) error {
+		sys, err := buildSystem(profile, e3Geometry(60), 20+uint64(days))
+		if err != nil {
+			return err
+		}
+		if gen == nil {
+			gen, err = scaledPersonal(days, sys.fs.Device().CapacityBytes(), 16, 7)
+			if err != nil {
+				return err
+			}
+		}
+		rep, err := core.Run(sys.engine, gen, core.RunConfig{SampleEvery: 60 * sim.Day})
+		if err != nil {
+			return err
+		}
+		smart := rep.FinalSmart
+		outlive := 0.0
+		if smart.AvgWearFrac > 0 {
+			outlive = 1 / smart.AvgWearFrac
+		}
+		t.AddRow(profile.String(), label, days,
+			smart.AvgWearFrac*100, smart.MaxWearFrac*100,
+			smart.WriteAmp, outlive)
+		return nil
+	}
+	for _, days := range horizons {
+		for _, profile := range []Profile{ProfileTLC, ProfileSOS} {
+			if err := addRow(profile, "personal", days, nil); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// §2.3.1 contrast: "even under relatively stressful use in
+	// enterprise settings, wear out ... is a minor cause for drive
+	// failure". Steady 24/7 overwrites at 2x the personal daily volume.
+	{
+		days := horizons[len(horizons)-1]
+		sys, err := buildSystem(ProfileTLC, e3Geometry(60), 99)
+		if err != nil {
+			return nil, err
+		}
+		capacity := sys.fs.Device().CapacityBytes()
+		daily := float64(capacity) / 8 // capacity every 8 days
+		files := 40
+		gen, err := workload.NewEnterprise(workload.EnterpriseConfig{
+			Days: days, Files: files,
+			FileBytes:        capacity / int64(files) / 2,
+			OverwritesPerDay: daily / (float64(capacity) / float64(files) / 2),
+			ReadsPerDay:      300,
+			Seed:             9,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep, err := core.Run(sys.engine, gen, core.RunConfig{SampleEvery: 60 * sim.Day})
+		if err != nil {
+			return nil, err
+		}
+		smart := rep.FinalSmart
+		outlive := 0.0
+		if smart.AvgWearFrac > 0 {
+			outlive = 1 / smart.AvgWearFrac
+		}
+		t.AddRow("tlc", "enterprise", days,
+			smart.AvgWearFrac*100, smart.MaxWearFrac*100, smart.WriteAmp, outlive)
+	}
+	return &Result{
+		ID: "E3", Title: "wear gap under typical personal use",
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			"paper: users wear out ~5% of endurance within the warranty period; flash outlasts the device by an order of magnitude",
+			"SOS on low-endurance PLC/pQLC wears faster than TLC in relative terms yet still retains a large margin at 3 years",
+			"even the stressful 24/7 enterprise pattern (§2.3.1) leaves most of the endurance unused",
+		},
+	}, nil
+}

@@ -1,0 +1,563 @@
+package flash
+
+import (
+	"errors"
+	"fmt"
+
+	"sos/internal/sim"
+)
+
+// Chip-level errors. The FTL turns these into retirement and relocation
+// decisions.
+var (
+	ErrBadAddress   = errors.New("flash: address out of range")
+	ErrNotErased    = errors.New("flash: programming a page that is not erased")
+	ErrOutOfOrder   = errors.New("flash: pages within a block must be programmed in order")
+	ErrNotWritten   = errors.New("flash: reading an unwritten page")
+	ErrRetired      = errors.New("flash: block is retired")
+	ErrPageTooLarge = errors.New("flash: payload exceeds page size")
+	ErrModeInUse    = errors.New("flash: mode change requires an erased block")
+	// ErrProgramFail reports a program-status failure: the cell array
+	// could not be charged to target levels. Real NAND signals this
+	// once blocks wear past their limits; controllers respond by
+	// marking the block bad. The page is left unwritten.
+	ErrProgramFail = errors.New("flash: program operation failed")
+	// ErrEraseFail reports an erase-status failure, the other hard
+	// wear-out signal.
+	ErrEraseFail = errors.New("flash: erase operation failed")
+)
+
+// Geometry describes a chip's physical layout. PageSize is the data
+// bytes per page at full density; Spare is the out-of-band area per page
+// where controllers keep ECC parity and metadata (so protection strength
+// does not change logical capacity). A block operated in a pseudo-mode
+// exposes proportionally fewer pages (the cells hold fewer bits), not
+// smaller pages.
+type Geometry struct {
+	PageSize      int // data bytes per page
+	Spare         int // out-of-band bytes per page (ECC parity space)
+	PagesPerBlock int // pages per erase block at native density
+	Blocks        int // erase blocks on the chip
+}
+
+// Validate checks the geometry for sanity.
+func (g Geometry) Validate() error {
+	if g.PageSize <= 0 || g.PageSize%8 != 0 {
+		return fmt.Errorf("flash: page size %d must be positive and 8-byte aligned", g.PageSize)
+	}
+	if g.Spare < 0 {
+		return fmt.Errorf("flash: negative spare area %d", g.Spare)
+	}
+	if g.PagesPerBlock <= 0 {
+		return fmt.Errorf("flash: pages per block %d", g.PagesPerBlock)
+	}
+	if g.Blocks <= 0 {
+		return fmt.Errorf("flash: block count %d", g.Blocks)
+	}
+	return nil
+}
+
+// RawPageBytes returns the total programmable bytes per page
+// (data + spare).
+func (g Geometry) RawPageBytes() int { return g.PageSize + g.Spare }
+
+// BytesNative returns the chip capacity at native density.
+func (g Geometry) BytesNative() int64 {
+	return int64(g.PageSize) * int64(g.PagesPerBlock) * int64(g.Blocks)
+}
+
+// PageTag is controller metadata kept in a page's out-of-band area:
+// enough for an FTL to rebuild its mapping tables after power loss by
+// scanning the chip. Real controllers protect OOB metadata with its own
+// dedicated ECC, so tags are modelled as error-free.
+type PageTag struct {
+	// LPA is the logical page address stored here.
+	LPA int64
+	// Stream is the owning stream id.
+	Stream uint8
+	// DataLen is the logical payload length.
+	DataLen int32
+	// Serial is a monotonically increasing write sequence number; when
+	// two physical pages claim the same LPA, the higher serial wins.
+	Serial uint64
+}
+
+// PageState tracks a written page's history for error modelling.
+type PageState uint8
+
+// Page states.
+const (
+	PageErased PageState = iota
+	PageWritten
+	PageStale // superseded by the FTL; contents irrelevant
+)
+
+// block is the per-erase-block state.
+type block struct {
+	mode      Mode
+	pec       int     // program/erase cycles endured
+	endScale  float64 // manufacturing endurance variance (1.0 nominal)
+	retired   bool
+	nextPage  int // next programmable page index (in-order constraint)
+	pagesAvab int // pages available in current mode
+
+	state     []PageState
+	data      [][]byte   // nil for accounting-only pages
+	dataLen   []int32    // payload length (also for accounting-only)
+	writtenAt []sim.Time // program time per page
+	reads     []uint32   // reads since program, per page
+	flips     []uint32   // cumulative bits already flipped in stored data
+	injected  []float64  // cumulative flip expectation already drawn
+	tags      []PageTag  // OOB controller metadata
+	tagged    []bool     // whether the page carries a tag
+}
+
+// Chip is a simulated NAND die. It is not safe for concurrent use; the
+// device layer serializes access per chip, as a real channel would.
+type Chip struct {
+	geo   Geometry
+	phys  Tech
+	model ErrorModel
+	clock *sim.Clock
+	rng   *sim.RNG
+
+	blocks []block
+
+	// Telemetry.
+	programs   int64
+	readsT     int64
+	erases     int64
+	bitFlips   int64
+	progFails  int64
+	eraseFails int64
+}
+
+// ChipConfig configures a simulated chip.
+type ChipConfig struct {
+	Geometry Geometry
+	Tech     Tech       // physical cell technology
+	Model    ErrorModel // zero value => DefaultErrorModel
+	Clock    *sim.Clock // required
+	Seed     uint64     // RNG seed for error injection and variance
+	// EnduranceSigma is the lognormal sigma of block-to-block endurance
+	// variance; 0 disables variance.
+	EnduranceSigma float64
+}
+
+// NewChip builds a chip with every block erased in native mode.
+func NewChip(cfg ChipConfig) (*Chip, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Tech.Valid() {
+		return nil, fmt.Errorf("flash: invalid tech %d", int(cfg.Tech))
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("flash: chip requires a clock")
+	}
+	model := cfg.Model
+	if model == (ErrorModel{}) {
+		model = DefaultErrorModel()
+	}
+	c := &Chip{
+		geo:    cfg.Geometry,
+		phys:   cfg.Tech,
+		model:  model,
+		clock:  cfg.Clock,
+		rng:    sim.NewRNG(cfg.Seed),
+		blocks: make([]block, cfg.Geometry.Blocks),
+	}
+	varRNG := sim.NewRNG(cfg.Seed + 0x5eed)
+	for i := range c.blocks {
+		scale := 1.0
+		if cfg.EnduranceSigma > 0 {
+			scale = lognormal(varRNG, cfg.EnduranceSigma)
+		}
+		c.blocks[i] = newBlock(NativeMode(cfg.Tech), cfg.Geometry.PagesPerBlock, scale)
+	}
+	return c, nil
+}
+
+func lognormal(rng *sim.RNG, sigma float64) float64 {
+	v := rng.NormFloat64() * sigma
+	// exp(v) with mean-preserving correction is overkill; clamp tails.
+	scale := 1.0
+	switch {
+	case v > 1:
+		scale = 2.7
+	case v < -1:
+		scale = 0.37
+	default:
+		scale = 1 + v + v*v/2 // cheap exp approximation near 1
+	}
+	return scale
+}
+
+func newBlock(mode Mode, nativePages int, endScale float64) block {
+	pages := nativePages * mode.OpBits / mode.Phys.BitsPerCell()
+	if pages < 1 {
+		pages = 1
+	}
+	return block{
+		mode:      mode,
+		endScale:  endScale,
+		pagesAvab: pages,
+		state:     make([]PageState, pages),
+		data:      make([][]byte, pages),
+		dataLen:   make([]int32, pages),
+		writtenAt: make([]sim.Time, pages),
+		reads:     make([]uint32, pages),
+		flips:     make([]uint32, pages),
+		injected:  make([]float64, pages),
+		tags:      make([]PageTag, pages),
+		tagged:    make([]bool, pages),
+	}
+}
+
+// Geometry returns the chip geometry.
+func (c *Chip) Geometry() Geometry { return c.geo }
+
+// Tech returns the physical cell technology.
+func (c *Chip) Tech() Tech { return c.phys }
+
+// Blocks returns the number of erase blocks.
+func (c *Chip) Blocks() int { return len(c.blocks) }
+
+// PagesIn returns the number of pages block b exposes in its current
+// operating mode.
+func (c *Chip) PagesIn(b int) (int, error) {
+	if b < 0 || b >= len(c.blocks) {
+		return 0, ErrBadAddress
+	}
+	return c.blocks[b].pagesAvab, nil
+}
+
+// checkAddr validates a block/page address.
+func (c *Chip) checkAddr(b, page int) (*block, error) {
+	if b < 0 || b >= len(c.blocks) {
+		return nil, ErrBadAddress
+	}
+	blk := &c.blocks[b]
+	if page < 0 || page >= blk.pagesAvab {
+		return nil, ErrBadAddress
+	}
+	return blk, nil
+}
+
+// Program writes data to (b, page). Pages must be programmed in order
+// within an erased block; data may be nil for an accounting-only page
+// (length dataLen), which models bulk traffic without storing payload
+// bytes. Programming bumps nothing on wear — wear accrues at erase.
+func (c *Chip) Program(b, page int, data []byte, dataLen int) error {
+	blk, err := c.checkAddr(b, page)
+	if err != nil {
+		return err
+	}
+	if blk.retired {
+		return ErrRetired
+	}
+	if blk.state[page] != PageErased {
+		return ErrNotErased
+	}
+	if page != blk.nextPage {
+		return ErrOutOfOrder
+	}
+	// Hard wear-out: programs past the endurance limit start failing
+	// their status checks. The page stays erased.
+	if p := c.model.FailureProb(blk.mode, blk.pec, blk.endScale); p > 0 && c.rng.Bool(p) {
+		c.progFails++
+		return ErrProgramFail
+	}
+	if data != nil {
+		dataLen = len(data)
+	}
+	if dataLen > c.geo.RawPageBytes() {
+		return ErrPageTooLarge
+	}
+	if dataLen < 0 {
+		return fmt.Errorf("flash: negative payload length %d", dataLen)
+	}
+	if data != nil {
+		stored := make([]byte, len(data))
+		copy(stored, data)
+		blk.data[page] = stored
+	} else {
+		blk.data[page] = nil
+	}
+	blk.dataLen[page] = int32(dataLen)
+	blk.state[page] = PageWritten
+	blk.writtenAt[page] = c.clock.Now()
+	blk.reads[page] = 0
+	blk.flips[page] = 0
+	blk.injected[page] = 0
+	blk.tagged[page] = false
+	blk.nextPage = page + 1
+	c.programs++
+	return nil
+}
+
+// ProgramTagged programs a page and records OOB controller metadata for
+// later table rebuilds.
+func (c *Chip) ProgramTagged(b, page int, data []byte, dataLen int, tag PageTag) error {
+	if err := c.Program(b, page, data, dataLen); err != nil {
+		return err
+	}
+	blk := &c.blocks[b]
+	blk.tags[page] = tag
+	blk.tagged[page] = true
+	return nil
+}
+
+// Tag returns the OOB metadata of a written page, if any.
+func (c *Chip) Tag(b, page int) (PageTag, bool, error) {
+	blk, err := c.checkAddr(b, page)
+	if err != nil {
+		return PageTag{}, false, err
+	}
+	if blk.state[page] != PageWritten && blk.state[page] != PageStale {
+		return PageTag{}, false, ErrNotWritten
+	}
+	return blk.tags[page], blk.tagged[page], nil
+}
+
+// ReadResult reports the outcome of a page read.
+type ReadResult struct {
+	// Data is the payload with accumulated bit errors applied, or nil
+	// for accounting-only pages.
+	Data []byte
+	// DataLen is the payload length (valid for accounting-only pages).
+	DataLen int
+	// FlippedTotal is the cumulative number of raw bit errors now
+	// present in the page.
+	FlippedTotal int
+	// FlippedNew is how many errors this read added (disturb et al.).
+	FlippedNew int
+	// RBER is the modelled raw bit error rate at read time.
+	RBER float64
+}
+
+// Read returns the page contents with the raw bit errors the medium has
+// accumulated. Error injection is cumulative and monotone: once a bit
+// flips it stays flipped until the block is erased (retention and wear
+// failures are persistent charge loss, not transient noise).
+func (c *Chip) Read(b, page int) (ReadResult, error) {
+	blk, err := c.checkAddr(b, page)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	if blk.state[page] != PageWritten && blk.state[page] != PageStale {
+		return ReadResult{}, ErrNotWritten
+	}
+	blk.reads[page]++
+	c.readsT++
+
+	retention := c.clock.Now() - blk.writtenAt[page]
+	rber := c.model.RBER(blk.mode, blk.pec, retention, int(blk.reads[page]), blk.endScale)
+	nbits := int(blk.dataLen[page]) * 8
+	// Errors are persistent: the cumulative expected flip count for this
+	// page is nbits*rber, which only grows (retention, disturb, wear at
+	// erase all increase rber). We draw the *increment* over what has
+	// already been injected, tracking drawn expectation — not drawn
+	// flips — so repeated reads stay unbiased.
+	target := float64(nbits) * rber
+	newFlips := 0
+	if delta := target - blk.injected[page]; delta > 0 {
+		newFlips = c.rng.Poisson(delta)
+		if max := nbits - int(blk.flips[page]); newFlips > max {
+			newFlips = max
+		}
+		blk.injected[page] = target
+	}
+	if newFlips > 0 {
+		if blk.data[page] != nil {
+			c.flipBits(blk.data[page], newFlips)
+		}
+		blk.flips[page] += uint32(newFlips)
+		c.bitFlips += int64(newFlips)
+	}
+
+	res := ReadResult{
+		DataLen:      int(blk.dataLen[page]),
+		FlippedTotal: int(blk.flips[page]),
+		FlippedNew:   newFlips,
+		RBER:         rber,
+	}
+	if blk.data[page] != nil {
+		out := make([]byte, len(blk.data[page]))
+		copy(out, blk.data[page])
+		res.Data = out
+	}
+	return res, nil
+}
+
+// flipBits flips n random bit positions in data (repeats allowed across
+// calls; within a call positions are drawn independently, which at flash
+// error rates almost never collides).
+func (c *Chip) flipBits(data []byte, n int) {
+	nbits := len(data) * 8
+	if nbits == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		pos := c.rng.Intn(nbits)
+		data[pos/8] ^= 1 << uint(pos%8)
+	}
+}
+
+// MarkStale marks a page's contents as superseded (the FTL moved the
+// logical page elsewhere). The medium still holds the bits; the state is
+// bookkeeping for GC.
+func (c *Chip) MarkStale(b, page int) error {
+	blk, err := c.checkAddr(b, page)
+	if err != nil {
+		return err
+	}
+	if blk.state[page] != PageWritten {
+		return ErrNotWritten
+	}
+	blk.state[page] = PageStale
+	return nil
+}
+
+// Erase wipes block b, incrementing its wear. Erasing a retired block is
+// an error.
+func (c *Chip) Erase(b int) error {
+	if b < 0 || b >= len(c.blocks) {
+		return ErrBadAddress
+	}
+	blk := &c.blocks[b]
+	if blk.retired {
+		return ErrRetired
+	}
+	if p := c.model.FailureProb(blk.mode, blk.pec, blk.endScale); p > 0 && c.rng.Bool(p) {
+		c.eraseFails++
+		return ErrEraseFail
+	}
+	blk.pec++
+	blk.nextPage = 0
+	for i := 0; i < blk.pagesAvab; i++ {
+		blk.state[i] = PageErased
+		blk.data[i] = nil
+		blk.dataLen[i] = 0
+		blk.reads[i] = 0
+		blk.flips[i] = 0
+		blk.injected[i] = 0
+		blk.tagged[i] = false
+	}
+	c.erases++
+	return nil
+}
+
+// SetMode changes the operating mode of a fully-erased block: the
+// resuscitation path (worn PLC reborn as pseudo-TLC) and the SYS
+// partition's pseudo-QLC provisioning. The block's wear carries over.
+func (c *Chip) SetMode(b int, m Mode) error {
+	if b < 0 || b >= len(c.blocks) {
+		return ErrBadAddress
+	}
+	if !m.Valid() || m.Phys != c.phys {
+		return fmt.Errorf("flash: mode %v invalid for %v chip", m, c.phys)
+	}
+	blk := &c.blocks[b]
+	if blk.retired {
+		return ErrRetired
+	}
+	for i := 0; i < blk.pagesAvab; i++ {
+		if blk.state[i] != PageErased {
+			return ErrModeInUse
+		}
+	}
+	nb := newBlock(m, c.geo.PagesPerBlock, blk.endScale)
+	nb.pec = blk.pec
+	c.blocks[b] = nb
+	return nil
+}
+
+// Retire permanently removes block b from service.
+func (c *Chip) Retire(b int) error {
+	if b < 0 || b >= len(c.blocks) {
+		return ErrBadAddress
+	}
+	c.blocks[b].retired = true
+	return nil
+}
+
+// BlockInfo is a telemetry snapshot of one block.
+type BlockInfo struct {
+	Mode        Mode
+	PEC         int
+	Retired     bool
+	Pages       int
+	NextPage    int
+	EndScale    float64
+	RatedPEC    int     // rated endurance in the current mode (nominal)
+	WearFrac    float64 // PEC / (rated * endScale)
+	CurrentRBER float64 // RBER of a page written now and read now
+}
+
+// Info returns the telemetry snapshot for block b.
+func (c *Chip) Info(b int) (BlockInfo, error) {
+	if b < 0 || b >= len(c.blocks) {
+		return BlockInfo{}, ErrBadAddress
+	}
+	blk := &c.blocks[b]
+	rated := blk.mode.RatedPEC()
+	return BlockInfo{
+		Mode:        blk.mode,
+		PEC:         blk.pec,
+		Retired:     blk.retired,
+		Pages:       blk.pagesAvab,
+		NextPage:    blk.nextPage,
+		EndScale:    blk.endScale,
+		RatedPEC:    rated,
+		WearFrac:    float64(blk.pec) / (float64(rated) * blk.endScale),
+		CurrentRBER: c.model.RBER(blk.mode, blk.pec, 0, 0, blk.endScale),
+	}, nil
+}
+
+// PageRBER returns the modelled RBER a read of (b, page) would see now,
+// without performing the read (no disturb added). Used by the scrubber.
+func (c *Chip) PageRBER(b, page int) (float64, error) {
+	blk, err := c.checkAddr(b, page)
+	if err != nil {
+		return 0, err
+	}
+	if blk.state[page] != PageWritten && blk.state[page] != PageStale {
+		return 0, ErrNotWritten
+	}
+	retention := c.clock.Now() - blk.writtenAt[page]
+	return c.model.RBER(blk.mode, blk.pec, retention, int(blk.reads[page]), blk.endScale), nil
+}
+
+// StateOf returns the state of (b, page).
+func (c *Chip) StateOf(b, page int) (PageState, error) {
+	blk, err := c.checkAddr(b, page)
+	if err != nil {
+		return 0, err
+	}
+	return blk.state[page], nil
+}
+
+// Stats is chip-level telemetry.
+type Stats struct {
+	Programs   int64
+	Reads      int64
+	Erases     int64
+	BitFlips   int64
+	ProgFails  int64
+	EraseFails int64
+}
+
+// Stats returns cumulative operation counts.
+func (c *Chip) Stats() Stats {
+	return Stats{
+		Programs: c.programs, Reads: c.readsT, Erases: c.erases,
+		BitFlips: c.bitFlips, ProgFails: c.progFails, EraseFails: c.eraseFails,
+	}
+}
+
+// Model returns the chip's error model.
+func (c *Chip) Model() ErrorModel { return c.model }
+
+// Clock returns the chip's simulation clock.
+func (c *Chip) Clock() *sim.Clock { return c.clock }

@@ -1,0 +1,420 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sos/internal/sim"
+)
+
+func testChip(t *testing.T, tech Tech) (*Chip, *sim.Clock) {
+	t.Helper()
+	clock := &sim.Clock{}
+	c, err := NewChip(ChipConfig{
+		Geometry: Geometry{PageSize: 256, PagesPerBlock: 30, Blocks: 16},
+		Tech:     tech,
+		Clock:    clock,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, clock
+}
+
+func TestChipConfigValidation(t *testing.T) {
+	clock := &sim.Clock{}
+	bad := []ChipConfig{
+		{Geometry: Geometry{PageSize: 0, PagesPerBlock: 4, Blocks: 4}, Tech: TLC, Clock: clock},
+		{Geometry: Geometry{PageSize: 12, PagesPerBlock: 4, Blocks: 4}, Tech: TLC, Clock: clock},
+		{Geometry: Geometry{PageSize: 256, PagesPerBlock: 0, Blocks: 4}, Tech: TLC, Clock: clock},
+		{Geometry: Geometry{PageSize: 256, PagesPerBlock: 4, Blocks: 0}, Tech: TLC, Clock: clock},
+		{Geometry: Geometry{PageSize: 256, PagesPerBlock: 4, Blocks: 4}, Tech: Tech(99), Clock: clock},
+		{Geometry: Geometry{PageSize: 256, PagesPerBlock: 4, Blocks: 4}, Tech: TLC, Clock: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := NewChip(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestProgramReadRoundtrip(t *testing.T) {
+	c, _ := testChip(t, TLC)
+	data := bytes.Repeat([]byte{0xa5}, 256)
+	if err := c.Program(0, 0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Read(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh TLC at zero retention: error probability is ~1e-7*2048
+	// bits ~ 2e-4; a single read should come back clean.
+	if !bytes.Equal(res.Data, data) && res.FlippedTotal == 0 {
+		t.Fatal("data mismatch without recorded flips")
+	}
+	if res.DataLen != 256 {
+		t.Fatalf("DataLen = %d", res.DataLen)
+	}
+}
+
+func TestProgramConstraints(t *testing.T) {
+	c, _ := testChip(t, TLC)
+	data := make([]byte, 64)
+	// Out of order.
+	if err := c.Program(0, 1, data, 0); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("out-of-order program: %v", err)
+	}
+	if err := c.Program(0, 0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Reprogram without erase.
+	if err := c.Program(0, 0, data, 0); err == nil {
+		t.Fatal("reprogram accepted")
+	}
+	// Oversize payload.
+	if err := c.Program(0, 1, make([]byte, 257), 0); !errors.Is(err, ErrPageTooLarge) {
+		t.Fatalf("oversize program: %v", err)
+	}
+	// Bad addresses.
+	if err := c.Program(99, 0, data, 0); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("bad block: %v", err)
+	}
+	if err := c.Program(0, 99, data, 0); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("bad page: %v", err)
+	}
+}
+
+func TestReadUnwritten(t *testing.T) {
+	c, _ := testChip(t, TLC)
+	if _, err := c.Read(0, 0); !errors.Is(err, ErrNotWritten) {
+		t.Fatalf("read of erased page: %v", err)
+	}
+}
+
+func TestAccountingOnlyPages(t *testing.T) {
+	c, _ := testChip(t, QLC)
+	if err := c.Program(1, 0, nil, 200); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Read(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data != nil {
+		t.Fatal("accounting page returned data")
+	}
+	if res.DataLen != 200 {
+		t.Fatalf("DataLen = %d", res.DataLen)
+	}
+	if err := c.Program(1, 1, nil, -1); err == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestEraseResetsBlock(t *testing.T) {
+	c, _ := testChip(t, TLC)
+	data := make([]byte, 32)
+	for p := 0; p < 3; p++ {
+		if err := c.Program(2, p, data, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Erase(2); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := c.Info(2)
+	if info.PEC != 1 {
+		t.Fatalf("PEC = %d after one erase", info.PEC)
+	}
+	if info.NextPage != 0 {
+		t.Fatalf("NextPage = %d after erase", info.NextPage)
+	}
+	if _, err := c.Read(2, 0); !errors.Is(err, ErrNotWritten) {
+		t.Fatal("erased page still readable")
+	}
+	// Can program from page 0 again.
+	if err := c.Program(2, 0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWearAccumulatesErrors(t *testing.T) {
+	clock := &sim.Clock{}
+	c, err := NewChip(ChipConfig{
+		Geometry: Geometry{PageSize: 4096, PagesPerBlock: 8, Blocks: 2},
+		Tech:     PLC,
+		Clock:    clock,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5a}, 4096)
+
+	// Cycle block 0 to its rated endurance.
+	for i := 0; i < PLC.RatedPEC(); i++ {
+		if err := c.Erase(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Program(0, 0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// One year of retention on a worn PLC block must corrupt data.
+	clock.Advance(sim.Year)
+	res, err := c.Read(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlippedTotal == 0 {
+		t.Fatal("worn PLC block with 1y retention stored data perfectly")
+	}
+	if bytes.Equal(res.Data, data) {
+		t.Fatal("flips recorded but data intact")
+	}
+
+	// Fresh block for comparison: far fewer errors.
+	if err := c.Program(1, 0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	resFresh, err := c.Read(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resFresh.FlippedTotal >= res.FlippedTotal {
+		t.Fatalf("fresh block (%d flips) not better than worn (%d flips)",
+			resFresh.FlippedTotal, res.FlippedTotal)
+	}
+}
+
+func TestErrorsArePersistent(t *testing.T) {
+	clock := &sim.Clock{}
+	c, _ := NewChip(ChipConfig{
+		Geometry: Geometry{PageSize: 4096, PagesPerBlock: 4, Blocks: 1},
+		Tech:     PLC,
+		Clock:    clock,
+		Seed:     9,
+	})
+	for i := 0; i < PLC.RatedPEC()/2; i++ {
+		if err := c.Erase(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := bytes.Repeat([]byte{0xff}, 4096)
+	if err := c.Program(0, 0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * sim.Year)
+	res1, _ := c.Read(0, 0)
+	res2, _ := c.Read(0, 0)
+	if res2.FlippedTotal < res1.FlippedTotal {
+		t.Fatalf("flips went backwards: %d then %d", res1.FlippedTotal, res2.FlippedTotal)
+	}
+	// The previously flipped bits must still be flipped (monotone decay):
+	// count differing bytes; res2 must contain at least the corruption
+	// level of res1 (statistically; exact positions persist).
+	d1 := countDiff(res1.Data, data)
+	d2 := countDiff(res2.Data, data)
+	if d2 < d1 {
+		t.Fatalf("corruption healed itself: %d then %d differing bytes", d1, d2)
+	}
+}
+
+func countDiff(a, b []byte) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestReadDisturbAccumulates(t *testing.T) {
+	clock := &sim.Clock{}
+	c, _ := NewChip(ChipConfig{
+		Geometry: Geometry{PageSize: 4096, PagesPerBlock: 4, Blocks: 1},
+		Tech:     PLC,
+		Clock:    clock,
+		Seed:     11,
+	})
+	for i := 0; i < PLC.RatedPEC()*3/4; i++ {
+		if err := c.Erase(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := make([]byte, 4096)
+	if err := c.Program(0, 0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := c.Read(0, 0)
+	var last ReadResult
+	for i := 0; i < 50000; i++ {
+		last, _ = c.Read(0, 0)
+	}
+	if last.RBER <= first.RBER {
+		t.Fatalf("read disturb did not raise RBER: %g -> %g", first.RBER, last.RBER)
+	}
+	if last.FlippedTotal < first.FlippedTotal {
+		t.Fatal("flips decreased under read disturb")
+	}
+}
+
+func TestPseudoModeCapacityAndEndurance(t *testing.T) {
+	c, _ := testChip(t, PLC)
+	pages0, _ := c.PagesIn(0)
+	if pages0 != 30 {
+		t.Fatalf("native PLC pages = %d", pages0)
+	}
+	pQLC, _ := PseudoMode(PLC, 4)
+	if err := c.SetMode(0, pQLC); err != nil {
+		t.Fatal(err)
+	}
+	pages, _ := c.PagesIn(0)
+	if pages != 24 { // 30 * 4/5
+		t.Fatalf("pQLC pages = %d, want 24", pages)
+	}
+	info, _ := c.Info(0)
+	if info.Mode != pQLC {
+		t.Fatalf("mode = %v", info.Mode)
+	}
+	if info.RatedPEC <= PLC.RatedPEC() {
+		t.Fatal("pQLC rated PEC not above native PLC")
+	}
+}
+
+func TestSetModeRequiresErasedAndKeepsWear(t *testing.T) {
+	c, _ := testChip(t, PLC)
+	if err := c.Erase(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Program(3, 0, make([]byte, 8), 0); err != nil {
+		t.Fatal(err)
+	}
+	pTLC, _ := PseudoMode(PLC, 3)
+	if err := c.SetMode(3, pTLC); !errors.Is(err, ErrModeInUse) {
+		t.Fatalf("mode change on written block: %v", err)
+	}
+	if err := c.Erase(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetMode(3, pTLC); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := c.Info(3)
+	if info.PEC != 2 {
+		t.Fatalf("wear lost across mode change: PEC=%d, want 2", info.PEC)
+	}
+	if info.Pages != 18 { // 30 * 3/5
+		t.Fatalf("pTLC pages = %d, want 18", info.Pages)
+	}
+}
+
+func TestSetModeRejectsForeignTech(t *testing.T) {
+	c, _ := testChip(t, PLC)
+	if err := c.SetMode(0, NativeMode(TLC)); err == nil {
+		t.Fatal("mode for different physical tech accepted")
+	}
+}
+
+func TestRetire(t *testing.T) {
+	c, _ := testChip(t, QLC)
+	if err := c.Retire(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Program(5, 0, make([]byte, 8), 0); !errors.Is(err, ErrRetired) {
+		t.Fatalf("program on retired block: %v", err)
+	}
+	if err := c.Erase(5); !errors.Is(err, ErrRetired) {
+		t.Fatalf("erase on retired block: %v", err)
+	}
+	info, _ := c.Info(5)
+	if !info.Retired {
+		t.Fatal("retired flag not set")
+	}
+}
+
+func TestMarkStale(t *testing.T) {
+	c, _ := testChip(t, TLC)
+	if err := c.MarkStale(0, 0); !errors.Is(err, ErrNotWritten) {
+		t.Fatalf("stale on unwritten: %v", err)
+	}
+	if err := c.Program(0, 0, make([]byte, 8), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.MarkStale(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.StateOf(0, 0)
+	if st != PageStale {
+		t.Fatalf("state = %v", st)
+	}
+	// Stale pages remain readable (GC may still move them).
+	if _, err := c.Read(0, 0); err != nil {
+		t.Fatalf("read of stale page: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, _ := testChip(t, TLC)
+	_ = c.Program(0, 0, make([]byte, 8), 0)
+	_, _ = c.Read(0, 0)
+	_ = c.Erase(0)
+	s := c.Stats()
+	if s.Programs != 1 || s.Reads != 1 || s.Erases != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPageRBERNoDisturb(t *testing.T) {
+	c, _ := testChip(t, PLC)
+	if err := c.Program(0, 0, make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := c.PageRBER(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := c.PageRBER(0, 0)
+	if r1 != r2 {
+		t.Fatal("PageRBER itself disturbed the page")
+	}
+	if _, err := c.PageRBER(0, 1); !errors.Is(err, ErrNotWritten) {
+		t.Fatalf("PageRBER on unwritten: %v", err)
+	}
+}
+
+func TestEnduranceVariance(t *testing.T) {
+	clock := &sim.Clock{}
+	c, err := NewChip(ChipConfig{
+		Geometry:       Geometry{PageSize: 256, PagesPerBlock: 4, Blocks: 64},
+		Tech:           PLC,
+		Clock:          clock,
+		Seed:           3,
+		EnduranceSigma: 0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[float64]bool{}
+	for b := 0; b < 64; b++ {
+		info, _ := c.Info(b)
+		if info.EndScale <= 0 {
+			t.Fatalf("block %d endurance scale %v", b, info.EndScale)
+		}
+		distinct[info.EndScale] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("endurance variance produced only %d distinct scales", len(distinct))
+	}
+}
+
+func TestGeometryBytes(t *testing.T) {
+	g := Geometry{PageSize: 4096, PagesPerBlock: 64, Blocks: 128}
+	if got := g.BytesNative(); got != 4096*64*128 {
+		t.Fatalf("BytesNative = %d", got)
+	}
+}

@@ -1,0 +1,144 @@
+package flash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sos/internal/sim"
+)
+
+func TestRBERMonotoneInWear(t *testing.T) {
+	em := DefaultErrorModel()
+	for _, tech := range AllTechs() {
+		m := NativeMode(tech)
+		prev := 0.0
+		for pec := 0; pec <= tech.RatedPEC(); pec += tech.RatedPEC() / 10 {
+			r := em.RBER(m, pec, 0, 0, 1)
+			if r < prev {
+				t.Errorf("%v: RBER decreased with wear at pec=%d", tech, pec)
+			}
+			prev = r
+		}
+	}
+}
+
+func TestRBERMonotoneInRetention(t *testing.T) {
+	em := DefaultErrorModel()
+	m := NativeMode(QLC)
+	prev := 0.0
+	for years := 0; years <= 5; years++ {
+		r := em.RBER(m, 500, sim.Time(years)*sim.Year, 0, 1)
+		if r < prev {
+			t.Errorf("RBER decreased with retention at %dy", years)
+		}
+		prev = r
+	}
+}
+
+func TestRBERMonotoneInReads(t *testing.T) {
+	em := DefaultErrorModel()
+	m := NativeMode(TLC)
+	r0 := em.RBER(m, 100, 0, 0, 1)
+	r1 := em.RBER(m, 100, 0, 100000, 1)
+	if r1 <= r0 {
+		t.Errorf("read disturb had no effect: %g vs %g", r0, r1)
+	}
+}
+
+func TestRBERPropertyMonotone(t *testing.T) {
+	em := DefaultErrorModel()
+	err := quick.Check(func(pecA, pecB uint16, retA, retB uint8) bool {
+		m := NativeMode(QLC)
+		pa, pb := int(pecA), int(pecB)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		ra, rb := sim.Time(retA)*sim.Day, sim.Time(retB)*sim.Day
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		return em.RBER(m, pa, ra, 0, 1) <= em.RBER(m, pb, rb, 0, 1)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBERCapped(t *testing.T) {
+	em := DefaultErrorModel()
+	r := em.RBER(NativeMode(PLC), 1000000, 100*sim.Year, 1<<30, 1)
+	if r > 0.5 {
+		t.Fatalf("RBER %g above cap", r)
+	}
+}
+
+func TestRBERAtRatedIsEOL(t *testing.T) {
+	em := DefaultErrorModel()
+	for _, tech := range AllTechs() {
+		m := NativeMode(tech)
+		r := em.RBER(m, tech.RatedPEC(), 0, 0, 1)
+		if r < EOLRBER*0.99 || r > EOLRBER*1.01 {
+			t.Errorf("%v: RBER at rated PEC = %g, want ~%g", tech, r, EOLRBER)
+		}
+	}
+}
+
+func TestEnduranceAtReproducesLadder(t *testing.T) {
+	// E2 core check: measured endurance (zero retention) must equal the
+	// rated value by construction, and 1-year retention must cost some
+	// but not most of it.
+	em := DefaultErrorModel()
+	for _, tech := range AllTechs() {
+		m := NativeMode(tech)
+		e0 := em.EnduranceAt(m, 0)
+		if diff := e0 - tech.RatedPEC(); diff < -1 || diff > 1 {
+			t.Errorf("%v: endurance at 0 retention = %d, want %d", tech, e0, tech.RatedPEC())
+		}
+		e1 := em.EnduranceAt(m, sim.Year)
+		if e1 >= e0 {
+			t.Errorf("%v: retention did not reduce endurance (%d vs %d)", tech, e1, e0)
+		}
+		if e1 < e0/2 {
+			t.Errorf("%v: 1y retention halved endurance (%d vs %d) — model too aggressive", tech, e1, e0)
+		}
+	}
+}
+
+func TestEnduranceScaleShiftsEndurance(t *testing.T) {
+	em := DefaultErrorModel()
+	m := NativeMode(QLC)
+	weak := em.RBER(m, 500, 0, 0, 0.5)
+	nominal := em.RBER(m, 500, 0, 0, 1.0)
+	strong := em.RBER(m, 500, 0, 0, 1.5)
+	if !(weak > nominal && nominal > strong) {
+		t.Errorf("endurance scale ordering broken: %g %g %g", weak, nominal, strong)
+	}
+}
+
+func TestEnduranceScaleZeroDefaultsToNominal(t *testing.T) {
+	em := DefaultErrorModel()
+	m := NativeMode(QLC)
+	if em.RBER(m, 500, 0, 0, 0) != em.RBER(m, 500, 0, 0, 1) {
+		t.Error("zero endurance scale not treated as nominal")
+	}
+}
+
+func TestNegativeRetentionClamped(t *testing.T) {
+	em := DefaultErrorModel()
+	m := NativeMode(TLC)
+	if em.RBER(m, 0, -sim.Year, 0, 1) != em.RBER(m, 0, 0, 0, 1) {
+		t.Error("negative retention not clamped")
+	}
+}
+
+func TestPseudoModeEnduranceMeasured(t *testing.T) {
+	// Through the full model: pQLC(PLC) must endure more cycles than
+	// native PLC before hitting EOL.
+	em := DefaultErrorModel()
+	pQLC, _ := PseudoMode(PLC, 4)
+	ePseudo := em.EnduranceAt(pQLC, 0)
+	eNative := em.EnduranceAt(NativeMode(PLC), 0)
+	if ePseudo <= eNative {
+		t.Errorf("pQLC measured endurance %d not above PLC %d", ePseudo, eNative)
+	}
+}

@@ -1,0 +1,184 @@
+// Package flash simulates NAND flash at block/page granularity with a
+// cell-technology-aware raw bit error rate (RBER) model. It is the
+// hardware substrate under the SOS design: SLC through PLC cell
+// technologies, pseudo-mode operation (a high-density cell programmed at
+// reduced bits per cell, e.g. PLC as pseudo-QLC or pseudo-TLC), wear
+// accumulation per program/erase cycle, retention and read-disturb
+// errors, and real bit corruption of stored payloads.
+//
+// The paper's claims rest on the *relative* density/endurance ladder
+// (§2.2): roughly 100K P/E cycles for SLC falling to ~1K for QLC and a
+// further 2x drop for PLC. The model is calibrated so that cycling a
+// block to its rated endurance brings the RBER to the industry
+// end-of-life threshold (~1e-3, the strongest-practical-BCH limit), which
+// makes "rated PEC" an emergent, measurable property rather than a
+// hard-coded cliff.
+package flash
+
+import "fmt"
+
+// Tech is a physical NAND cell technology (bits the cell geometry was
+// built to hold).
+type Tech int
+
+// Cell technologies ordered by density.
+const (
+	SLC Tech = iota + 1 // 1 bit/cell
+	MLC                 // 2 bits/cell
+	TLC                 // 3 bits/cell
+	QLC                 // 4 bits/cell
+	PLC                 // 5 bits/cell
+)
+
+// BitsPerCell returns the number of bits a cell of this technology
+// stores at full density.
+func (t Tech) BitsPerCell() int { return int(t) }
+
+// RatedPEC returns the nominal program/erase endurance of the technology
+// at full density: cycles until RBER reaches the end-of-life ECC limit.
+// Values follow §2.2 and [22]: ~100K (SLC) ... ~1K (QLC), PLC ~2x worse
+// than QLC / 6-10x worse than TLC.
+func (t Tech) RatedPEC() int {
+	switch t {
+	case SLC:
+		return 100000
+	case MLC:
+		return 10000
+	case TLC:
+		return 3000
+	case QLC:
+		return 1000
+	case PLC:
+		return 400
+	default:
+		panic(fmt.Sprintf("flash: unknown tech %d", int(t)))
+	}
+}
+
+// freshRBER is the raw bit error rate of a pristine (0 PEC, 0 retention)
+// block per technology; denser cells have narrower voltage windows and
+// higher baseline error rates.
+func (t Tech) freshRBER() float64 {
+	switch t {
+	case SLC:
+		return 1e-9
+	case MLC:
+		return 1e-8
+	case TLC:
+		return 1e-7
+	case QLC:
+		return 1e-6
+	case PLC:
+		return 4e-6
+	default:
+		panic(fmt.Sprintf("flash: unknown tech %d", int(t)))
+	}
+}
+
+func (t Tech) String() string {
+	switch t {
+	case SLC:
+		return "SLC"
+	case MLC:
+		return "MLC"
+	case TLC:
+		return "TLC"
+	case QLC:
+		return "QLC"
+	case PLC:
+		return "PLC"
+	default:
+		return fmt.Sprintf("Tech(%d)", int(t))
+	}
+}
+
+// Valid reports whether t is a known technology.
+func (t Tech) Valid() bool { return t >= SLC && t <= PLC }
+
+// TechForBits returns the technology whose native density is bits per
+// cell.
+func TechForBits(bits int) (Tech, error) {
+	t := Tech(bits)
+	if !t.Valid() {
+		return 0, fmt.Errorf("flash: no technology with %d bits/cell", bits)
+	}
+	return t, nil
+}
+
+// AllTechs lists the technologies densest-last.
+func AllTechs() []Tech { return []Tech{SLC, MLC, TLC, QLC, PLC} }
+
+// Mode describes how a block is operated: the physical cell technology
+// plus the bits per cell actually programmed. OpBits < Phys.BitsPerCell
+// is a pseudo-mode (e.g. PLC cells programmed as pseudo-QLC), trading
+// capacity for wider voltage margins, better endurance and lower RBER —
+// the mechanism behind both the paper's pseudo-QLC SYS partition (§4.2)
+// and resuscitation of worn PLC as pseudo-TLC (§4.3).
+type Mode struct {
+	Phys   Tech
+	OpBits int
+}
+
+// NativeMode operates the technology at full density.
+func NativeMode(t Tech) Mode { return Mode{Phys: t, OpBits: t.BitsPerCell()} }
+
+// PseudoMode operates phys cells at opBits density.
+func PseudoMode(phys Tech, opBits int) (Mode, error) {
+	if !phys.Valid() {
+		return Mode{}, fmt.Errorf("flash: invalid technology %d", int(phys))
+	}
+	if opBits < 1 || opBits > phys.BitsPerCell() {
+		return Mode{}, fmt.Errorf("flash: cannot operate %v at %d bits/cell", phys, opBits)
+	}
+	return Mode{Phys: phys, OpBits: opBits}, nil
+}
+
+// Valid reports whether the mode is well-formed.
+func (m Mode) Valid() bool {
+	return m.Phys.Valid() && m.OpBits >= 1 && m.OpBits <= m.Phys.BitsPerCell()
+}
+
+// IsPseudo reports whether the mode runs below native density.
+func (m Mode) IsPseudo() bool { return m.OpBits < m.Phys.BitsPerCell() }
+
+// gradePenalty reflects that a high-density physical cell operated at a
+// lower density is still slightly worse than a cell natively built for
+// that density (finer lithography, more disturb-prone geometry).
+const gradePenalty = 0.7
+
+// RatedPEC returns the endurance of the mode: native endurance for
+// native modes, and the op-density technology's endurance discounted by
+// gradePenalty for pseudo-modes. E.g. PLC-as-pseudo-QLC endures
+// ~0.7 x 1000 = 700 cycles, above PLC's native 400 — the reason SOS puts
+// SYS data on pseudo-QLC.
+func (m Mode) RatedPEC() int {
+	if !m.IsPseudo() {
+		return m.Phys.RatedPEC()
+	}
+	op, err := TechForBits(m.OpBits)
+	if err != nil {
+		panic(err)
+	}
+	return int(gradePenalty * float64(op.RatedPEC()))
+}
+
+// freshRBER returns the pristine error rate of the mode.
+func (m Mode) freshRBER() float64 {
+	if !m.IsPseudo() {
+		return m.Phys.freshRBER()
+	}
+	op, err := TechForBits(m.OpBits)
+	if err != nil {
+		panic(err)
+	}
+	// Margin of the coarser levels, degraded by the penalty factor.
+	return op.freshRBER() / gradePenalty
+}
+
+func (m Mode) String() string {
+	if m.IsPseudo() {
+		op, _ := TechForBits(m.OpBits)
+		return fmt.Sprintf("p%s(%s)", op, m.Phys)
+	}
+	return m.Phys.String()
+}

@@ -1,0 +1,131 @@
+package flash
+
+import "testing"
+
+func TestTechLadder(t *testing.T) {
+	// §2.2: endurance falls monotonically with density; QLC ~1K; PLC
+	// 2x worse than QLC and 6-10x worse than TLC.
+	prev := 0
+	for i, tech := range AllTechs() {
+		if got := tech.BitsPerCell(); got != i+1 {
+			t.Errorf("%v bits = %d", tech, got)
+		}
+		if i > 0 && tech.RatedPEC() >= prev {
+			t.Errorf("%v endurance %d not below previous %d", tech, tech.RatedPEC(), prev)
+		}
+		prev = tech.RatedPEC()
+	}
+	if QLC.RatedPEC() != 1000 {
+		t.Errorf("QLC rated PEC = %d, want 1000", QLC.RatedPEC())
+	}
+	if SLC.RatedPEC() != 100000 {
+		t.Errorf("SLC rated PEC = %d, want 100000", SLC.RatedPEC())
+	}
+	ratioQLC := float64(QLC.RatedPEC()) / float64(PLC.RatedPEC())
+	if ratioQLC < 1.8 || ratioQLC > 3 {
+		t.Errorf("QLC/PLC endurance ratio = %.2f, want ~2", ratioQLC)
+	}
+	ratioTLC := float64(TLC.RatedPEC()) / float64(PLC.RatedPEC())
+	if ratioTLC < 6 || ratioTLC > 10 {
+		t.Errorf("TLC/PLC endurance ratio = %.2f, want 6-10", ratioTLC)
+	}
+}
+
+func TestTechFreshRBERMonotone(t *testing.T) {
+	prev := 0.0
+	for _, tech := range AllTechs() {
+		r := tech.freshRBER()
+		if r <= prev {
+			t.Errorf("%v fresh RBER %g not above previous %g", tech, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestTechValidity(t *testing.T) {
+	if Tech(0).Valid() || Tech(6).Valid() {
+		t.Error("invalid techs accepted")
+	}
+	if !TLC.Valid() {
+		t.Error("TLC rejected")
+	}
+	if _, err := TechForBits(0); err == nil {
+		t.Error("TechForBits(0) accepted")
+	}
+	if tech, err := TechForBits(4); err != nil || tech != QLC {
+		t.Errorf("TechForBits(4) = %v, %v", tech, err)
+	}
+}
+
+func TestTechString(t *testing.T) {
+	if SLC.String() != "SLC" || PLC.String() != "PLC" {
+		t.Error("tech names wrong")
+	}
+	if Tech(9).String() != "Tech(9)" {
+		t.Error("unknown tech string")
+	}
+}
+
+func TestPseudoModeValidation(t *testing.T) {
+	if _, err := PseudoMode(PLC, 6); err == nil {
+		t.Error("overdense pseudo-mode accepted")
+	}
+	if _, err := PseudoMode(PLC, 0); err == nil {
+		t.Error("zero-bit mode accepted")
+	}
+	m, err := PseudoMode(PLC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsPseudo() {
+		t.Error("pQLC not flagged pseudo")
+	}
+	if m.String() != "pQLC(PLC)" {
+		t.Errorf("mode string %q", m.String())
+	}
+	if NativeMode(TLC).IsPseudo() {
+		t.Error("native mode flagged pseudo")
+	}
+}
+
+func TestPseudoModeEndurance(t *testing.T) {
+	// The whole point of pseudo-QLC: PLC operated at QLC density must
+	// beat native PLC endurance while staying below native QLC.
+	pQLC, _ := PseudoMode(PLC, 4)
+	if pQLC.RatedPEC() <= PLC.RatedPEC() {
+		t.Errorf("pQLC endurance %d not above PLC %d", pQLC.RatedPEC(), PLC.RatedPEC())
+	}
+	if pQLC.RatedPEC() >= QLC.RatedPEC() {
+		t.Errorf("pQLC endurance %d not below native QLC %d", pQLC.RatedPEC(), QLC.RatedPEC())
+	}
+	// Resuscitation mode: pseudo-TLC on PLC beats pseudo-QLC on PLC.
+	pTLC, _ := PseudoMode(PLC, 3)
+	if pTLC.RatedPEC() <= pQLC.RatedPEC() {
+		t.Errorf("pTLC endurance %d not above pQLC %d", pTLC.RatedPEC(), pQLC.RatedPEC())
+	}
+}
+
+func TestPseudoModeRBER(t *testing.T) {
+	pQLC, _ := PseudoMode(PLC, 4)
+	if pQLC.freshRBER() >= PLC.freshRBER() {
+		t.Error("pQLC fresh RBER not below native PLC")
+	}
+	if pQLC.freshRBER() <= QLC.freshRBER() {
+		t.Error("pQLC fresh RBER not above native QLC (grade penalty lost)")
+	}
+}
+
+func TestNativeModeMatchesTech(t *testing.T) {
+	for _, tech := range AllTechs() {
+		m := NativeMode(tech)
+		if m.RatedPEC() != tech.RatedPEC() {
+			t.Errorf("%v native mode endurance mismatch", tech)
+		}
+		if m.freshRBER() != tech.freshRBER() {
+			t.Errorf("%v native mode RBER mismatch", tech)
+		}
+		if m.String() != tech.String() {
+			t.Errorf("%v native mode string %q", tech, m.String())
+		}
+	}
+}

@@ -1,0 +1,390 @@
+// Package fs implements a small page-granular filesystem over the
+// simulated device. It provides the host half of the SOS co-design:
+// files carry a storage class, whole files can be reclassified (the
+// classifier's demotion path), and the filesystem tolerates a *shrinking*
+// device — the capacity variance of §4.3 — by tracking advertised
+// capacity and raising pressure callbacks instead of failing outright.
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sos/internal/device"
+	"sos/internal/ftl"
+	"sos/internal/sim"
+)
+
+// Filesystem errors.
+var (
+	ErrNotFound  = errors.New("fs: file not found")
+	ErrExists    = errors.New("fs: file already exists")
+	ErrNoSpace   = errors.New("fs: out of space")
+	ErrBadSize   = errors.New("fs: invalid size")
+	ErrEmptyName = errors.New("fs: empty file name")
+)
+
+// FileID identifies a file.
+type FileID int64
+
+// fileEntry is the in-memory inode.
+type fileEntry struct {
+	id      FileID
+	name    string
+	class   device.Class
+	size    int64
+	pages   []int64 // LBAs, in order
+	real    bool    // payload bytes stored (vs accounting-only)
+	created sim.Time
+	updated sim.Time
+	reads   int64
+	writes  int64
+}
+
+// FS is the filesystem.
+type FS struct {
+	dev    *device.Device
+	byID   map[FileID]*fileEntry
+	byName map[string]FileID
+	nextID FileID
+	nextLB int64
+
+	capacity int64 // advertised device capacity (shrinks over time)
+	used     int64 // bytes consumed by live pages (page-granular)
+
+	// OnPressure fires when used capacity exceeds the given fraction of
+	// advertised capacity after a shrink or a write. The handler is
+	// expected to free space (auto-delete, §4.5).
+	OnPressure func(used, capacity int64)
+	// PressureFrac is the fraction of capacity that triggers OnPressure
+	// (default 0.97, i.e. the 3%-free target of §4.5).
+	PressureFrac float64
+
+	// busy is the file currently inside a mutating operation. Pressure
+	// handlers run re-entrantly (a write can trigger auto-delete) and
+	// must not delete the file under mutation — they consult Busy().
+	busy FileID
+}
+
+// New mounts a filesystem on the device.
+func New(dev *device.Device) (*FS, error) {
+	if dev == nil {
+		return nil, errors.New("fs: nil device")
+	}
+	f := &FS{
+		dev:          dev,
+		byID:         make(map[FileID]*fileEntry),
+		byName:       make(map[string]FileID),
+		capacity:     dev.CapacityBytes(),
+		PressureFrac: 0.97,
+		busy:         -1,
+	}
+	dev.OnCapacityChange = func(bytes int64) {
+		f.capacity = bytes
+		f.checkPressure()
+	}
+	return f, nil
+}
+
+// Busy returns the id of the file inside the current mutating
+// operation, or -1. Pressure handlers must not delete it.
+func (f *FS) Busy() FileID { return f.busy }
+
+// enter marks id busy for the duration of a mutating operation,
+// restoring the previous value on exit (operations can nest through
+// pressure callbacks).
+func (f *FS) enter(id FileID) func() {
+	prev := f.busy
+	f.busy = id
+	return func() { f.busy = prev }
+}
+
+func (f *FS) checkPressure() {
+	if f.OnPressure == nil {
+		return
+	}
+	if float64(f.used) > f.PressureFrac*float64(f.capacity) {
+		f.OnPressure(f.used, f.capacity)
+	}
+}
+
+// pageSize returns the device's logical page size.
+func (f *FS) pageSize() int64 { return int64(f.dev.PageSize()) }
+
+// pagesFor returns the page count a size needs.
+func (f *FS) pagesFor(size int64) int64 {
+	ps := f.pageSize()
+	return (size + ps - 1) / ps
+}
+
+// Create writes a new file. payload may be nil (accounting-only bulk
+// data) in which case size must be positive; with a payload, size is
+// len(payload). Returns the new file's id.
+func (f *FS) Create(name string, payload []byte, size int64, class device.Class) (FileID, error) {
+	if name == "" {
+		return 0, ErrEmptyName
+	}
+	if _, ok := f.byName[name]; ok {
+		return 0, ErrExists
+	}
+	if payload != nil {
+		size = int64(len(payload))
+	}
+	if size <= 0 {
+		return 0, ErrBadSize
+	}
+	id := f.nextID
+	f.nextID++
+	e := &fileEntry{
+		id: id, name: name, class: class, real: payload != nil,
+		created: f.dev.Clock().Now(), updated: f.dev.Clock().Now(),
+	}
+	defer f.enter(id)()
+	if err := f.writePages(e, payload, size, class); err != nil {
+		return 0, err
+	}
+	f.byID[id] = e
+	f.byName[name] = id
+	f.checkPressure()
+	return id, nil
+}
+
+// writePages (re)writes a file's content, trimming any previous pages.
+// When either the logical capacity or the physical device is exhausted
+// it invokes the pressure handler (auto-delete, §4.5) once and retries.
+func (f *FS) writePages(e *fileEntry, payload []byte, size int64, class device.Class) error {
+	err := f.writePagesOnce(e, payload, size, class)
+	if errors.Is(err, ErrNoSpace) && f.OnPressure != nil {
+		f.OnPressure(f.used, f.capacity)
+		err = f.writePagesOnce(e, payload, size, class)
+	}
+	return err
+}
+
+func (f *FS) writePagesOnce(e *fileEntry, payload []byte, size int64, class device.Class) error {
+	npages := f.pagesFor(size)
+	if f.used+npages*f.pageSize()-int64(len(e.pages))*f.pageSize() > f.capacity {
+		return ErrNoSpace
+	}
+	// Trim old pages first (an update rewrites the whole file).
+	for _, lba := range e.pages {
+		if err := f.dev.Trim(lba); err != nil {
+			return fmt.Errorf("fs: trim during rewrite: %w", err)
+		}
+	}
+	f.used -= int64(len(e.pages)) * f.pageSize()
+	e.pages = e.pages[:0]
+
+	ps := f.pageSize()
+	for p := int64(0); p < npages; p++ {
+		lba := f.nextLB
+		f.nextLB++
+		var chunk []byte
+		chunkLen := int(ps)
+		if p == npages-1 {
+			chunkLen = int(size - p*ps)
+		}
+		if payload != nil {
+			lo := p * ps
+			hi := lo + int64(chunkLen)
+			chunk = payload[lo:hi]
+		}
+		if _, err := f.dev.Write(lba, chunk, chunkLen, class); err != nil {
+			// Roll back already-written pages of this attempt.
+			for _, w := range e.pages {
+				_ = f.dev.Trim(w)
+			}
+			e.pages = e.pages[:0]
+			e.size = 0
+			if errors.Is(err, ftl.ErrNoSpace) {
+				return ErrNoSpace
+			}
+			return err
+		}
+		e.pages = append(e.pages, lba)
+	}
+	e.size = size
+	e.class = class
+	e.real = payload != nil
+	e.updated = f.dev.Clock().Now()
+	e.writes++
+	f.used += npages * ps
+	return nil
+}
+
+// Update rewrites an existing file with new content (same semantics as
+// Create for payload/size).
+func (f *FS) Update(id FileID, payload []byte, size int64) error {
+	e, ok := f.byID[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if payload != nil {
+		size = int64(len(payload))
+	}
+	if size <= 0 {
+		return ErrBadSize
+	}
+	defer f.enter(id)()
+	if err := f.writePages(e, payload, size, e.class); err != nil {
+		return err
+	}
+	f.checkPressure()
+	return nil
+}
+
+// ReadResult is the outcome of reading a whole file.
+type ReadResult struct {
+	// Data is the reassembled payload for real files, nil for
+	// accounting-only files.
+	Data []byte
+	// Size is the file size in bytes.
+	Size int64
+	// DegradedPages counts pages whose ECC failed (approximate data).
+	DegradedPages int
+	// Pages is the total page count.
+	Pages int
+	// RawFlips is the total raw bit errors across pages.
+	RawFlips int
+	// Latency is the summed modelled device latency.
+	Latency sim.Time
+}
+
+// Read fetches a file's full content.
+func (f *FS) Read(id FileID) (ReadResult, error) {
+	e, ok := f.byID[id]
+	if !ok {
+		return ReadResult{}, ErrNotFound
+	}
+	var out ReadResult
+	out.Size = e.size
+	out.Pages = len(e.pages)
+	if e.real {
+		out.Data = make([]byte, 0, e.size)
+	}
+	for _, lba := range e.pages {
+		res, err := f.dev.Read(lba)
+		if err != nil {
+			return out, fmt.Errorf("fs: read %q page: %w", e.name, err)
+		}
+		if res.Degraded {
+			out.DegradedPages++
+		}
+		out.RawFlips += res.RawFlips
+		out.Latency += res.Latency
+		if e.real {
+			out.Data = append(out.Data, res.Data...)
+		}
+	}
+	e.reads++
+	return out, nil
+}
+
+// Delete removes a file and trims its pages.
+func (f *FS) Delete(id FileID) error {
+	e, ok := f.byID[id]
+	if !ok {
+		return ErrNotFound
+	}
+	for _, lba := range e.pages {
+		if err := f.dev.Trim(lba); err != nil {
+			return fmt.Errorf("fs: trim %q: %w", e.name, err)
+		}
+	}
+	f.used -= int64(len(e.pages)) * f.pageSize()
+	delete(f.byID, id)
+	delete(f.byName, e.name)
+	return nil
+}
+
+// Reclassify moves all of a file's pages to the stream of the given
+// class.
+func (f *FS) Reclassify(id FileID, class device.Class) error {
+	e, ok := f.byID[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if e.class == class {
+		return nil
+	}
+	defer f.enter(id)()
+	for _, lba := range e.pages {
+		if err := f.dev.Reclassify(lba, class); err != nil {
+			if errors.Is(err, ftl.ErrNoSpace) {
+				// Pages moved so far stay in the new stream; the file
+				// remains logically in its old class and a later
+				// review can retry.
+				return ErrNoSpace
+			}
+			return fmt.Errorf("fs: reclassify %q: %w", e.name, err)
+		}
+	}
+	e.class = class
+	return nil
+}
+
+// Stat describes a file.
+type Stat struct {
+	ID      FileID
+	Name    string
+	Class   device.Class
+	Size    int64
+	Pages   int
+	Real    bool
+	Created sim.Time
+	Updated sim.Time
+	Reads   int64
+	Writes  int64
+}
+
+// Stat returns a file's description.
+func (f *FS) Stat(id FileID) (Stat, error) {
+	e, ok := f.byID[id]
+	if !ok {
+		return Stat{}, ErrNotFound
+	}
+	return Stat{
+		ID: e.id, Name: e.name, Class: e.class, Size: e.size,
+		Pages: len(e.pages), Real: e.real,
+		Created: e.created, Updated: e.updated,
+		Reads: e.reads, Writes: e.writes,
+	}, nil
+}
+
+// Lookup resolves a name to an id.
+func (f *FS) Lookup(name string) (FileID, error) {
+	id, ok := f.byName[name]
+	if !ok {
+		return 0, ErrNotFound
+	}
+	return id, nil
+}
+
+// List returns stats for all files, sorted by id.
+func (f *FS) List() []Stat {
+	out := make([]Stat, 0, len(f.byID))
+	for id := range f.byID {
+		st, _ := f.Stat(id)
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Usage reports used and advertised-capacity bytes.
+func (f *FS) Usage() (used, capacity int64) { return f.used, f.capacity }
+
+// FreeFrac returns the fraction of advertised capacity that is free.
+func (f *FS) FreeFrac() float64 {
+	if f.capacity <= 0 {
+		return 0
+	}
+	return 1 - float64(f.used)/float64(f.capacity)
+}
+
+// Files returns the number of live files.
+func (f *FS) Files() int { return len(f.byID) }
+
+// Device exposes the underlying device.
+func (f *FS) Device() *device.Device { return f.dev }

@@ -1,0 +1,160 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sos/internal/device"
+	"sos/internal/sim"
+)
+
+// checkFSInvariants verifies the filesystem's bookkeeping against its
+// own maps and the device:
+//   - byName and byID are inverse mappings
+//   - used equals the page-sum of live files times the page size
+//   - every file page is mapped on the device in the file's class
+func checkFSInvariants(f *FS) error {
+	if len(f.byID) != len(f.byName) {
+		return fmt.Errorf("byID has %d entries, byName %d", len(f.byID), len(f.byName))
+	}
+	var pages int64
+	for id, e := range f.byID {
+		back, ok := f.byName[e.name]
+		if !ok || back != id {
+			return fmt.Errorf("file %d (%q) not resolvable by name", id, e.name)
+		}
+		pages += int64(len(e.pages))
+		for _, lba := range e.pages {
+			c, ok := f.dev.ClassOf(lba)
+			if !ok {
+				return fmt.Errorf("file %d page %d unmapped on device", id, lba)
+			}
+			if c != e.class {
+				return fmt.Errorf("file %d page %d on %v, file says %v", id, lba, c, e.class)
+			}
+		}
+	}
+	if want := pages * f.pageSize(); f.used != want {
+		return fmt.Errorf("used = %d, page-sum = %d", f.used, want)
+	}
+	return nil
+}
+
+// TestFSRandomOpsInvariant drives random operations and verifies the
+// invariants throughout.
+func TestFSRandomOpsInvariant(t *testing.T) {
+	rng := sim.NewRNG(404)
+	f, clock := testFS(t, 32)
+	names := make([]string, 0, 64)
+	name := func(i int) string { return fmt.Sprintf("/f/%04d", i) }
+
+	for op := 0; op < 3000; op++ {
+		switch rng.Intn(6) {
+		case 0, 1: // create
+			n := name(op)
+			class := device.ClassSys
+			if rng.Bool(0.5) {
+				class = device.ClassSpare
+			}
+			size := int64(64 + rng.Intn(2000))
+			_, err := f.Create(n, nil, size, class)
+			switch {
+			case err == nil:
+				names = append(names, n)
+			case errors.Is(err, ErrNoSpace) || errors.Is(err, ErrExists):
+			default:
+				t.Fatalf("op %d create: %v", op, err)
+			}
+		case 2: // update
+			if len(names) == 0 {
+				continue
+			}
+			id, err := f.Lookup(names[rng.Intn(len(names))])
+			if err != nil {
+				continue
+			}
+			err = f.Update(id, nil, int64(64+rng.Intn(3000)))
+			if err != nil && !errors.Is(err, ErrNoSpace) && !errors.Is(err, ErrNotFound) {
+				t.Fatalf("op %d update: %v", op, err)
+			}
+		case 3: // delete
+			if len(names) == 0 {
+				continue
+			}
+			i := rng.Intn(len(names))
+			if id, err := f.Lookup(names[i]); err == nil {
+				if err := f.Delete(id); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d delete: %v", op, err)
+				}
+			}
+			names = append(names[:i], names[i+1:]...)
+		case 4: // reclassify
+			if len(names) == 0 {
+				continue
+			}
+			if id, err := f.Lookup(names[rng.Intn(len(names))]); err == nil {
+				class := device.ClassSys
+				if rng.Bool(0.5) {
+					class = device.ClassSpare
+				}
+				err := f.Reclassify(id, class)
+				if err != nil && !errors.Is(err, ErrNoSpace) && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d reclassify: %v", op, err)
+				}
+			}
+		case 5: // read
+			if len(names) == 0 {
+				continue
+			}
+			if id, err := f.Lookup(names[rng.Intn(len(names))]); err == nil {
+				if _, err := f.Read(id); err != nil && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("op %d read: %v", op, err)
+				}
+			}
+		}
+		if op%250 == 0 {
+			clock.Advance(sim.Day)
+			if err := checkFSInvariants(f); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+	if err := checkFSInvariants(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFSReclassifyPartialFailureConsistency: even when reclassification
+// aborts midway on device no-space, the invariant "every page mapped"
+// must hold (pages may temporarily live in the wrong stream, which the
+// invariant checker tolerates only via the file's class field — so the
+// file class must not have been updated).
+func TestFSReclassifyPartialFailure(t *testing.T) {
+	f, _ := testFS(t, 8)
+	// Fill the device nearly full so relocation may fail.
+	var ids []FileID
+	for i := 0; ; i++ {
+		id, err := f.Create(fmt.Sprintf("/x/%d", i), nil, 3000, device.ClassSys)
+		if err != nil {
+			break
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		t.Fatal("nothing created")
+	}
+	// Attempt to demote everything; some will fail for space.
+	for _, id := range ids {
+		err := f.Reclassify(id, device.ClassSpare)
+		if err != nil && !errors.Is(err, ErrNoSpace) {
+			t.Fatalf("reclassify: %v", err)
+		}
+	}
+	// All files must still be fully readable.
+	for _, id := range ids {
+		if _, err := f.Read(id); err != nil {
+			t.Fatalf("file %d unreadable after partial demotion: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,576 @@
+// Package ftl implements a page-mapped flash translation layer with
+// multi-stream support: each stream carries its own operating mode
+// (e.g. pseudo-QLC vs native PLC), ECC scheme, and wear-leveling policy.
+// This is the co-design surface of the paper (§4.3): the host tags data
+// with a stream (SYS or SPARE) and the device manages each stream's
+// blocks under different rules — strong protection and wear leveling for
+// SYS, approximate storage with wear leveling disabled for SPARE, plus
+// block retirement, pseudo-mode resuscitation, and capacity variance.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"sos/internal/ecc"
+	"sos/internal/flash"
+)
+
+// Exported errors.
+var (
+	ErrNoSpace       = errors.New("ftl: out of usable flash space")
+	ErrUnknownLPA    = errors.New("ftl: logical page not mapped")
+	ErrUnknownStream = errors.New("ftl: unknown stream")
+	ErrPayloadSize   = errors.New("ftl: payload exceeds logical page size")
+)
+
+// StreamID names a stream. Streams are dense small integers.
+type StreamID int
+
+// GCPolicy selects the victim-scoring rule for a stream's garbage
+// collection.
+type GCPolicy int
+
+// GC policies.
+const (
+	// GCAuto picks cost-benefit for wear-leveled streams and greedy
+	// otherwise (the paper's implied pairing).
+	GCAuto GCPolicy = iota
+	// GCGreedy picks the block with the most stale pages.
+	GCGreedy
+	// GCCostBenefit weighs reclaimed space against relocation cost and
+	// wear.
+	GCCostBenefit
+)
+
+func (p GCPolicy) String() string {
+	switch p {
+	case GCAuto:
+		return "auto"
+	case GCGreedy:
+		return "greedy"
+	case GCCostBenefit:
+		return "cost-benefit"
+	default:
+		return fmt.Sprintf("GCPolicy(%d)", int(p))
+	}
+}
+
+// StreamPolicy is the per-stream management contract.
+type StreamPolicy struct {
+	// Name for telemetry ("sys", "spare", ...).
+	Name string
+	// Mode blocks of this stream are operated in.
+	Mode flash.Mode
+	// Scheme protects pages of this stream.
+	Scheme ecc.Scheme
+	// WearLeveling enables min-wear allocation, static wear leveling,
+	// and wear-aware GC for the stream. The paper disables it on SPARE
+	// (§4.3, [73]).
+	WearLeveling bool
+	// GC selects the victim-scoring rule (GCAuto pairs cost-benefit
+	// with wear leveling, greedy without).
+	GC GCPolicy
+	// RetireRBER is the scrub threshold: pages whose modelled RBER
+	// exceeds it are relocated and their block retired or resuscitated.
+	// Zero selects DefaultRetireRBER.
+	RetireRBER float64
+	// Resuscitate lists the bits-per-cell ladder a worn block of this
+	// stream is reborn into (e.g. [3] reincarnates worn PLC blocks as
+	// pseudo-TLC). Empty means worn blocks retire outright.
+	Resuscitate []int
+	// WearRetireFrac is the wear fraction (PEC / rated endurance) at
+	// which blocks leave service at erase time. Zero selects 1.0 — the
+	// conservative policy for protected streams. Approximate streams
+	// set it above 1: SOS deliberately runs SPARE blocks past their
+	// rating, relying on the scrub threshold and hard program/erase
+	// failure handling instead (§4.3).
+	WearRetireFrac float64
+}
+
+// DefaultRetireRBER retires a block when its current-write RBER passes
+// half the end-of-life threshold; beyond that, fresh data on the block
+// is already at risk before retention is added.
+const DefaultRetireRBER = flash.EOLRBER / 2
+
+// PPA is a physical page address.
+type PPA struct {
+	Block int
+	Page  int
+}
+
+// blockState tracks FTL-side per-block bookkeeping.
+type blockState struct {
+	owner     StreamID // valid when allocated
+	allocated bool
+	valid     int // live pages
+	stale     int // superseded pages
+	fullPages int // pages programmed so far
+	retired   bool
+	resuscIdx int // next index into the owner's Resuscitate ladder
+	// progFailed marks a block whose program status failed: no further
+	// programs; GC drains it with priority and it retires at erase.
+	progFailed bool
+}
+
+// mapping is the L2P entry.
+type mapping struct {
+	ppa     PPA
+	stream  StreamID
+	dataLen int // logical payload length
+	// baseFlips carries degradation accumulated before the page's last
+	// relocation (accounting-only pages; payload pages carry corruption
+	// in the bytes themselves).
+	baseFlips int
+}
+
+// FTL is the translation layer over a single chip.
+type FTL struct {
+	chip    *flash.Chip
+	streams []StreamPolicy
+
+	l2p map[int64]mapping
+	p2l map[PPA]int64
+
+	blocks    []blockState
+	freePool  []int // erased, unallocated block ids
+	active    []int // active (partially programmed) block per stream; -1 none
+	gcLow     int   // free-pool low-water mark triggering GC
+	reserve   int   // blocks permanently held back (over-provisioning)
+	logicalSz int   // logical payload bytes per page
+
+	// Telemetry.
+	hostWrites    int64 // host-initiated page writes
+	flashPrograms int64 // total page programs incl. GC
+	gcRuns        int64
+	gcMoves       int64
+	retiredCnt    int64
+	resuscCnt     int64
+	degradedReads int64  // reads whose ECC failed (returned degraded data)
+	progFailures  int64  // program-status failures absorbed
+	staticWLMoves int64  // static wear-leveling relocations
+	allocsSinceWL int    // rate limiter for static WL checks
+	writeSerial   uint64 // monotone OOB serial for rebuilds
+
+	// OnCapacityChange, when set, fires after retirement,
+	// resuscitation, or an allocation-time mode switch changes the
+	// usable page count. Delivery is deferred to the end of the public
+	// operation that caused it.
+	OnCapacityChange func(usablePages int)
+	capDirty         bool
+}
+
+// Config configures an FTL.
+type Config struct {
+	Chip    *flash.Chip
+	Streams []StreamPolicy
+	// OverProvisionPct of blocks reserved for GC headroom (default 7).
+	OverProvisionPct int
+	// GCLowWater is the free-block count that triggers GC (default 4).
+	GCLowWater int
+}
+
+// New builds the FTL, validating stream policies against the chip.
+func New(cfg Config) (*FTL, error) {
+	if cfg.Chip == nil {
+		return nil, errors.New("ftl: nil chip")
+	}
+	if len(cfg.Streams) == 0 {
+		return nil, errors.New("ftl: at least one stream required")
+	}
+	geo := cfg.Chip.Geometry()
+	for i, s := range cfg.Streams {
+		if s.Scheme == nil {
+			return nil, fmt.Errorf("ftl: stream %d (%s) has no ECC scheme", i, s.Name)
+		}
+		if !s.Mode.Valid() || s.Mode.Phys != cfg.Chip.Tech() {
+			return nil, fmt.Errorf("ftl: stream %d (%s) mode %v invalid for %v chip",
+				i, s.Name, s.Mode, cfg.Chip.Tech())
+		}
+		if over := s.Scheme.Overhead(geo.PageSize); over > geo.RawPageBytes() {
+			return nil, fmt.Errorf("ftl: stream %d (%s): scheme %s needs %d bytes/page, chip offers %d",
+				i, s.Name, s.Scheme.Name(), over, geo.RawPageBytes())
+		}
+		if s.WearRetireFrac < 0 || s.WearRetireFrac > 3 {
+			return nil, fmt.Errorf("ftl: stream %d (%s): wear retire fraction %v out of range [0, 3]",
+				i, s.Name, s.WearRetireFrac)
+		}
+		for _, bits := range s.Resuscitate {
+			if _, err := flash.PseudoMode(cfg.Chip.Tech(), bits); err != nil {
+				return nil, fmt.Errorf("ftl: stream %d (%s): bad resuscitation density %d: %v",
+					i, s.Name, bits, err)
+			}
+			if bits >= s.Mode.OpBits {
+				return nil, fmt.Errorf("ftl: stream %d (%s): resuscitation density %d not below mode %v",
+					i, s.Name, bits, s.Mode)
+			}
+		}
+	}
+	op := cfg.OverProvisionPct
+	if op == 0 {
+		op = 7
+	}
+	if op < 0 || op >= 50 {
+		return nil, fmt.Errorf("ftl: over-provisioning %d%% out of range", op)
+	}
+	low := cfg.GCLowWater
+	if low == 0 {
+		low = 4
+	}
+	reserve := cfg.Chip.Blocks() * op / 100
+	if reserve < 1 {
+		reserve = 1
+	}
+	// GC must engage before host allocation reaches the reserve floor,
+	// or reclamation would have no destination blocks.
+	if low < reserve+2 {
+		low = reserve + 2
+	}
+
+	f := &FTL{
+		chip:      cfg.Chip,
+		streams:   cfg.Streams,
+		l2p:       make(map[int64]mapping),
+		p2l:       make(map[PPA]int64),
+		blocks:    make([]blockState, cfg.Chip.Blocks()),
+		active:    make([]int, len(cfg.Streams)),
+		gcLow:     low,
+		reserve:   reserve,
+		logicalSz: geo.PageSize,
+	}
+	for i := range f.active {
+		f.active[i] = -1
+	}
+	for b := 0; b < cfg.Chip.Blocks(); b++ {
+		f.freePool = append(f.freePool, b)
+	}
+	return f, nil
+}
+
+// LogicalPageSize returns the payload bytes per logical page.
+func (f *FTL) LogicalPageSize() int { return f.logicalSz }
+
+// Streams returns the configured stream policies.
+func (f *FTL) Streams() []StreamPolicy { return f.streams }
+
+// Chip exposes the underlying chip (telemetry, experiments).
+func (f *FTL) Chip() *flash.Chip { return f.chip }
+
+// policy returns the policy for id, or an error.
+func (f *FTL) policy(id StreamID) (*StreamPolicy, error) {
+	if id < 0 || int(id) >= len(f.streams) {
+		return nil, ErrUnknownStream
+	}
+	return &f.streams[id], nil
+}
+
+// allocBlock takes a block from the free pool for the stream, honoring
+// its wear-leveling policy, and sets the operating mode.
+func (f *FTL) allocBlock(id StreamID) (int, error) {
+	pol := &f.streams[id]
+	if len(f.freePool) == 0 {
+		return -1, ErrNoSpace
+	}
+	idx := len(f.freePool) - 1 // LIFO: reuse the hottest block (no WL)
+	if pol.WearLeveling {
+		// Min-wear allocation: classic dynamic wear leveling.
+		best := 0
+		bestPEC := int(^uint(0) >> 1)
+		for i, b := range f.freePool {
+			info, err := f.chip.Info(b)
+			if err != nil {
+				return -1, err
+			}
+			if info.PEC < bestPEC {
+				bestPEC = info.PEC
+				best = i
+			}
+		}
+		idx = best
+	}
+	b := f.freePool[idx]
+	f.freePool = append(f.freePool[:idx], f.freePool[idx+1:]...)
+
+	info, err := f.chip.Info(b)
+	if err != nil {
+		return -1, err
+	}
+	want := pol.Mode
+	// A resuscitated block stays at its reduced density even though the
+	// stream's nominal mode is denser.
+	if f.blocks[b].resuscIdx > 0 && f.blocks[b].resuscIdx <= len(pol.Resuscitate) {
+		bits := pol.Resuscitate[f.blocks[b].resuscIdx-1]
+		m, err := flash.PseudoMode(f.chip.Tech(), bits)
+		if err != nil {
+			return -1, err
+		}
+		want = m
+	}
+	if info.Mode != want {
+		if err := f.chip.SetMode(b, want); err != nil {
+			return -1, err
+		}
+		// A mode switch changes the block's page count and therefore
+		// the device's usable capacity; notify when safe.
+		f.capDirty = true
+	}
+	st := &f.blocks[b]
+	st.owner = id
+	st.allocated = true
+	st.valid = 0
+	st.stale = 0
+	st.fullPages = 0
+	return b, nil
+}
+
+// activeWritable returns the stream's current active block if it still
+// has room, rotating it out when full. Returns -1 when a new allocation
+// is needed.
+func (f *FTL) activeWritable(id StreamID) (int, error) {
+	b := f.active[id]
+	if b < 0 {
+		return -1, nil
+	}
+	pages, err := f.chip.PagesIn(b)
+	if err != nil {
+		return -1, err
+	}
+	if f.blocks[b].fullPages < pages {
+		return b, nil
+	}
+	// Block full; it remains owned by the stream for GC accounting.
+	f.active[id] = -1
+	return -1, nil
+}
+
+// writableActive returns the stream's active block with space for one
+// more page, allocating or rotating blocks as needed.
+func (f *FTL) writableActive(id StreamID) (int, error) {
+	if b, err := f.activeWritable(id); err != nil || b >= 0 {
+		return b, err
+	}
+	// Reclaim until the pool is healthy or GC stops making progress.
+	for len(f.freePool) <= f.gcLow {
+		prev := f.gcRuns
+		f.runGC(id)
+		if f.gcRuns == prev {
+			break
+		}
+	}
+	// GC relocation may have installed a fresh active block for this
+	// stream; reuse it rather than stranding it behind a new allocation.
+	if b, err := f.activeWritable(id); err != nil || b >= 0 {
+		return b, err
+	}
+	// Host allocations never drain the reserve: those blocks are GC's
+	// relocation headroom (real SSD over-provisioning).
+	if len(f.freePool) <= f.reserve {
+		return -1, ErrNoSpace
+	}
+	// Periodically check static wear leveling for leveled streams
+	// (cold blocks otherwise never re-enter rotation). Rate-limited:
+	// sweeping a cold block costs a whole block's worth of relocation,
+	// so doing it on every allocation would dominate write
+	// amplification.
+	f.allocsSinceWL++
+	if f.allocsSinceWL >= staticWLCheckEvery {
+		f.allocsSinceWL = 0
+		f.maybeStaticWL(id)
+		if b, err := f.activeWritable(id); err != nil || b >= 0 {
+			// Static WL may have installed an active block.
+			return b, err
+		}
+	}
+	nb, err := f.allocBlock(id)
+	if err != nil {
+		return -1, err
+	}
+	f.active[id] = nb
+	return nb, nil
+}
+
+// Write stores data (length <= LogicalPageSize) at lpa under the given
+// stream. A nil data with dataLen > 0 performs an accounting-only write
+// (no payload stored; error counts still modelled).
+func (f *FTL) Write(lpa int64, data []byte, dataLen int, id StreamID) error {
+	defer f.flushCapacity()
+	pol, err := f.policy(id)
+	if err != nil {
+		return err
+	}
+	if data != nil {
+		dataLen = len(data)
+	}
+	if dataLen <= 0 || dataLen > f.logicalSz {
+		return ErrPayloadSize
+	}
+	var stored []byte
+	storedLen := pol.Scheme.Overhead(dataLen)
+	if data != nil {
+		stored, err = encodeFor(pol.Scheme, data)
+		if err != nil {
+			return err
+		}
+		storedLen = len(stored)
+	}
+
+	b, page, err := f.programToStream(id, lpa, dataLen, stored, storedLen)
+	if err != nil {
+		return err
+	}
+	f.hostWrites++
+
+	// Supersede the old location.
+	if old, ok := f.l2p[lpa]; ok {
+		f.invalidate(old.ppa)
+	}
+	ppa := PPA{Block: b, Page: page}
+	f.l2p[lpa] = mapping{ppa: ppa, stream: id, dataLen: dataLen}
+	f.p2l[ppa] = lpa
+	return nil
+}
+
+// programToStream programs one page into the stream's active block,
+// absorbing program-status failures: a failed block is sealed (no
+// further programs), flagged for priority draining and retirement, and
+// the write retries on a fresh block. The page carries an OOB tag so a
+// remount can rebuild the mapping tables.
+func (f *FTL) programToStream(id StreamID, lpa int64, dataLen int, stored []byte, storedLen int) (blk, page int, err error) {
+	const maxAttempts = 4
+	f.writeSerial++
+	tag := flash.PageTag{LPA: lpa, Stream: uint8(id), DataLen: int32(dataLen), Serial: f.writeSerial}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		b, err := f.writableActive(id)
+		if err != nil {
+			return -1, -1, err
+		}
+		page := f.blocks[b].fullPages
+		perr := f.chip.ProgramTagged(b, page, stored, storedLen, tag)
+		if perr == nil {
+			f.blocks[b].fullPages++
+			f.blocks[b].valid++
+			f.flashPrograms++
+			return b, page, nil
+		}
+		if !errors.Is(perr, flash.ErrProgramFail) {
+			return -1, -1, fmt.Errorf("ftl: program %d/%d: %w", b, page, perr)
+		}
+		f.sealFailedBlock(b)
+	}
+	return -1, -1, fmt.Errorf("ftl: %d consecutive program failures: %w", maxAttempts, flash.ErrProgramFail)
+}
+
+// sealFailedBlock marks a block that failed a program: it takes no
+// further programs and is rotated out of active duty.
+func (f *FTL) sealFailedBlock(b int) {
+	st := &f.blocks[b]
+	st.progFailed = true
+	// Freeze the programmed-page count at the chip's cursor.
+	if info, err := f.chip.Info(b); err == nil {
+		st.fullPages = info.NextPage
+	}
+	if f.active[st.owner] == b {
+		f.active[st.owner] = -1
+	}
+	f.progFailures++
+}
+
+// encodeFor pads data to 8-byte alignment when the scheme needs it
+// (Hamming) and encodes. Padding is stripped on decode via dataLen.
+func encodeFor(s ecc.Scheme, data []byte) ([]byte, error) {
+	if _, isHamming := s.(ecc.HammingScheme); isHamming && len(data)%8 != 0 {
+		padded := make([]byte, (len(data)+7)&^7)
+		copy(padded, data)
+		return s.Encode(padded)
+	}
+	return s.Encode(data)
+}
+
+// invalidate marks a physical page stale and updates block accounting.
+func (f *FTL) invalidate(ppa PPA) {
+	if err := f.chip.MarkStale(ppa.Block, ppa.Page); err == nil {
+		st := &f.blocks[ppa.Block]
+		st.valid--
+		st.stale++
+	}
+	delete(f.p2l, ppa)
+}
+
+// ReadResult is the outcome of a logical read.
+type ReadResult struct {
+	// Data is the decoded payload; nil for accounting-only pages.
+	// When Degraded is true the payload carries uncorrected errors.
+	Data []byte
+	// DataLen is the logical payload length.
+	DataLen int
+	// Corrected is how many byte corrections ECC applied.
+	Corrected int
+	// Degraded reports that ECC could not fully correct (or, for
+	// detect-only schemes, that corruption was detected). The data is
+	// still returned — approximate storage semantics.
+	Degraded bool
+	// RawFlips is the raw bit error count the medium has accumulated.
+	RawFlips int
+	// Stream the page belongs to.
+	Stream StreamID
+}
+
+// Read fetches lpa, decoding through the stream's ECC scheme.
+func (f *FTL) Read(lpa int64) (ReadResult, error) {
+	m, ok := f.l2p[lpa]
+	if !ok {
+		return ReadResult{}, ErrUnknownLPA
+	}
+	pol := &f.streams[m.stream]
+	raw, err := f.chip.Read(m.ppa.Block, m.ppa.Page)
+	if err != nil {
+		return ReadResult{}, fmt.Errorf("ftl: read %v: %w", m.ppa, err)
+	}
+	res := ReadResult{DataLen: m.dataLen, RawFlips: m.baseFlips + raw.FlippedTotal, Stream: m.stream}
+	if raw.Data == nil {
+		// Accounting-only: estimate decodability from the flip count,
+		// including corruption crystallized across relocations.
+		res.Degraded = !pol.Scheme.EstimateDecode(m.baseFlips+raw.FlippedTotal, m.dataLen)
+		if res.Degraded {
+			f.degradedReads++
+		}
+		return res, nil
+	}
+	data, corrected, derr := pol.Scheme.Decode(raw.Data)
+	if len(data) > m.dataLen {
+		data = data[:m.dataLen] // strip alignment padding
+	}
+	res.Data = data
+	res.Corrected = corrected
+	if derr != nil {
+		res.Degraded = true
+		f.degradedReads++
+	}
+	return res, nil
+}
+
+// Trim drops the mapping for lpa (host discard / file delete).
+func (f *FTL) Trim(lpa int64) error {
+	m, ok := f.l2p[lpa]
+	if !ok {
+		return ErrUnknownLPA
+	}
+	f.invalidate(m.ppa)
+	delete(f.l2p, lpa)
+	return nil
+}
+
+// Contains reports whether lpa is mapped.
+func (f *FTL) Contains(lpa int64) bool {
+	_, ok := f.l2p[lpa]
+	return ok
+}
+
+// StreamOf returns the stream a mapped lpa belongs to.
+func (f *FTL) StreamOf(lpa int64) (StreamID, bool) {
+	m, ok := f.l2p[lpa]
+	return m.stream, ok
+}
+
+// MappedPages returns the number of live logical pages.
+func (f *FTL) MappedPages() int { return len(f.l2p) }

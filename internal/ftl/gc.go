@@ -1,0 +1,531 @@
+package ftl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sos/internal/flash"
+)
+
+// runGC reclaims stale capacity. Fully-dead blocks (no live pages) are
+// erased first — they need no relocation destination, so they are
+// always reclaimable even with an empty free pool. Then one live victim
+// is reclaimed, preferring the requesting stream's blocks but falling
+// back to any stream, because free blocks are a shared resource.
+func (f *FTL) runGC(prefer StreamID) {
+	// Dead-block sweep: guaranteed progress under pool exhaustion.
+	swept := false
+	for b := range f.blocks {
+		st := &f.blocks[b]
+		if st.allocated && !st.retired && st.valid == 0 && st.fullPages > 0 && !f.isActive(b) {
+			if err := f.eraseAndFree(b); err == nil {
+				f.gcRuns++
+				swept = true
+			}
+		}
+	}
+	if swept && len(f.freePool) > f.gcLow {
+		return
+	}
+	victim := f.pickVictim(prefer)
+	if victim < 0 {
+		victim = f.pickVictim(-1)
+	}
+	if victim < 0 {
+		// No garbage to collect; static wear leveling may still have
+		// work (moving cold data off pristine blocks).
+		f.maybeStaticWL(prefer)
+		return
+	}
+	if err := f.reclaim(victim); err != nil {
+		// A reclaim failure (e.g. destination exhaustion) leaves the
+		// victim as-is; the caller will surface ErrNoSpace.
+		return
+	}
+	f.gcRuns++
+	f.maybeStaticWL(prefer)
+}
+
+// staticWLGapFrac is the wear spread (as a fraction of rated endurance)
+// within a wear-leveled stream that triggers static wear leveling:
+// relocating cold data off the least-worn block so it rejoins rotation.
+const staticWLGapFrac = 0.25
+
+// staticWLCheckEvery rate-limits static WL evaluation to one check per
+// this many block allocations.
+const staticWLCheckEvery = 16
+
+// maybeStaticWL performs one static wear-leveling move for the stream if
+// its wear spread is excessive. Non-wear-leveled streams never run it —
+// that is the paper's deliberate SPARE policy (§4.3, [73]).
+func (f *FTL) maybeStaticWL(id StreamID) {
+	if id < 0 || int(id) >= len(f.streams) || !f.streams[id].WearLeveling {
+		return
+	}
+	if len(f.freePool) <= f.reserve {
+		return // no headroom for voluntary moves
+	}
+	coldest, hottest := -1, -1
+	var coldPEC, hotPEC int
+	rated := 0
+	for b := range f.blocks {
+		st := &f.blocks[b]
+		if !st.allocated || st.retired || st.owner != id || f.isActive(b) {
+			continue
+		}
+		info, err := f.chip.Info(b)
+		if err != nil {
+			continue
+		}
+		rated = info.RatedPEC
+		if coldest < 0 || info.PEC < coldPEC {
+			// Only fully-live cold blocks matter: blocks with stale
+			// pages are reachable through normal GC already.
+			if st.valid > 0 && st.stale == 0 {
+				coldest = b
+				coldPEC = info.PEC
+			}
+		}
+		if hottest < 0 || info.PEC > hotPEC {
+			hottest = b
+			hotPEC = info.PEC
+		}
+	}
+	if coldest < 0 || hottest < 0 || rated == 0 {
+		return
+	}
+	if float64(hotPEC-coldPEC) < staticWLGapFrac*float64(rated) {
+		return
+	}
+	if err := f.reclaim(coldest); err == nil {
+		f.gcRuns++
+		f.staticWLMoves++
+	}
+}
+
+// pickVictim chooses the block with the most reclaimable space among
+// blocks owned by stream id (or any stream if id < 0). Active blocks are
+// exempt. For wear-leveled streams the score is cost-benefit
+// (stale / (valid+1), scaled down for high-wear blocks); for
+// non-wear-leveled streams it is pure greedy stale count — wear is
+// deliberately ignored (§4.3).
+func (f *FTL) pickVictim(id StreamID) int {
+	best := -1
+	bestScore := 0.0
+	for b := range f.blocks {
+		st := &f.blocks[b]
+		if !st.allocated || st.retired {
+			continue
+		}
+		if id >= 0 && st.owner != id {
+			continue
+		}
+		if f.isActive(b) {
+			continue
+		}
+		if st.progFailed {
+			// Drain failed blocks first: their data must move off the
+			// dying silicon regardless of garbage content.
+			return b
+		}
+		if st.stale == 0 {
+			continue
+		}
+		pol := &f.streams[st.owner]
+		costBenefit := pol.GC == GCCostBenefit ||
+			(pol.GC == GCAuto && pol.WearLeveling)
+		score := float64(st.stale)
+		if costBenefit {
+			info, err := f.chip.Info(b)
+			if err != nil {
+				continue
+			}
+			// Cost-benefit: prefer high-garbage, low-wear victims.
+			score = float64(st.stale) / float64(st.valid+1) / (1 + info.WearFrac)
+		}
+		if score > bestScore {
+			bestScore = score
+			best = b
+		}
+	}
+	return best
+}
+
+// isActive reports whether b is some stream's active block.
+func (f *FTL) isActive(b int) bool {
+	for _, a := range f.active {
+		if a == b {
+			return true
+		}
+	}
+	return false
+}
+
+// reclaim moves the victim's live pages to their stream's active block
+// and erases the victim back into the free pool.
+func (f *FTL) reclaim(victim int) error {
+	st := &f.blocks[victim]
+	for page := 0; page < st.fullPages; page++ {
+		ppa := PPA{Block: victim, Page: page}
+		lpa, live := f.p2l[ppa]
+		if !live {
+			continue
+		}
+		if err := f.moveLive(lpa); err != nil {
+			return err
+		}
+	}
+	return f.eraseAndFree(victim)
+}
+
+// moveLive relocates the live page lpa within its stream, preserving
+// accumulated degradation (corruption crystallizes across moves).
+func (f *FTL) moveLive(lpa int64) error {
+	m := f.l2p[lpa]
+	return f.relocate(lpa, m.stream)
+}
+
+// relocate rewrites lpa into stream dst (same stream = GC/refresh move,
+// different stream = classification-driven promotion/demotion, §4.4).
+func (f *FTL) relocate(lpa int64, dst StreamID) error {
+	m, ok := f.l2p[lpa]
+	if !ok {
+		return ErrUnknownLPA
+	}
+	pol := &f.streams[dst]
+	raw, err := f.chip.Read(m.ppa.Block, m.ppa.Page)
+	if err != nil {
+		return fmt.Errorf("ftl: relocate read %v: %w", m.ppa, err)
+	}
+
+	var stored []byte
+	storedLen := pol.Scheme.Overhead(m.dataLen)
+	baseFlips := m.baseFlips
+	if raw.Data != nil {
+		// Decode with the source scheme to repair what it can; what it
+		// cannot repair crystallizes into the new copy.
+		srcPol := &f.streams[m.stream]
+		data, _, derr := srcPol.Scheme.Decode(raw.Data)
+		if len(data) > m.dataLen {
+			data = data[:m.dataLen]
+		}
+		if derr != nil {
+			f.degradedReads++
+		}
+		stored, err = encodeFor(pol.Scheme, data)
+		if err != nil {
+			return err
+		}
+		storedLen = len(stored)
+	} else {
+		// Accounting page: the medium's accumulated flips crystallize
+		// into the mapping so degradation survives the move.
+		baseFlips += raw.FlippedTotal
+	}
+
+	b, page, err := f.programForRelocation(dst, lpa, m.dataLen, stored, storedLen)
+	if err != nil {
+		return err
+	}
+	f.gcMoves++
+
+	f.invalidate(m.ppa)
+	ppa := PPA{Block: b, Page: page}
+	f.l2p[lpa] = mapping{ppa: ppa, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips}
+	f.p2l[ppa] = lpa
+	return nil
+}
+
+// programForRelocation programs one relocated page, absorbing
+// program-status failures the same way the host write path does.
+func (f *FTL) programForRelocation(dst StreamID, lpa int64, dataLen int, stored []byte, storedLen int) (blk, page int, err error) {
+	const maxAttempts = 4
+	f.writeSerial++
+	tag := flash.PageTag{LPA: lpa, Stream: uint8(dst), DataLen: int32(dataLen), Serial: f.writeSerial}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		b, err := f.relocTarget(dst)
+		if err != nil {
+			return -1, -1, err
+		}
+		page := f.blocks[b].fullPages
+		perr := f.chip.ProgramTagged(b, page, stored, storedLen, tag)
+		if perr == nil {
+			f.blocks[b].fullPages++
+			f.blocks[b].valid++
+			f.flashPrograms++
+			return b, page, nil
+		}
+		if !errors.Is(perr, flash.ErrProgramFail) {
+			return -1, -1, fmt.Errorf("ftl: relocate program: %w", perr)
+		}
+		f.sealFailedBlock(b)
+	}
+	return -1, -1, fmt.Errorf("ftl: relocation hit %d consecutive program failures: %w",
+		maxAttempts, flash.ErrProgramFail)
+}
+
+// relocTarget returns a writable block for relocation without triggering
+// recursive GC; it may dip into the reserve.
+func (f *FTL) relocTarget(id StreamID) (int, error) {
+	b := f.active[id]
+	if b >= 0 {
+		pages, err := f.chip.PagesIn(b)
+		if err != nil {
+			return -1, err
+		}
+		if f.blocks[b].fullPages < pages {
+			return b, nil
+		}
+		f.active[id] = -1
+	}
+	if len(f.freePool) == 0 {
+		return -1, ErrNoSpace
+	}
+	nb, err := f.allocBlock(id)
+	if err != nil {
+		return -1, err
+	}
+	f.active[id] = nb
+	return nb, nil
+}
+
+// eraseAndFree erases a fully-invalidated block, then applies the wear
+// policy: healthy blocks return to the free pool; worn blocks are
+// resuscitated down the stream's density ladder or retired.
+func (f *FTL) eraseAndFree(b int) error {
+	st := &f.blocks[b]
+	if st.valid != 0 {
+		return fmt.Errorf("ftl: erasing block %d with %d live pages", b, st.valid)
+	}
+	owner := st.owner
+	if err := f.chip.Erase(b); err != nil {
+		// Erase failure is a hard wear signal: retire immediately.
+		f.retireBlock(b)
+		return nil
+	}
+	st.allocated = false
+	st.stale = 0
+	st.fullPages = 0
+	if f.active[owner] == b {
+		f.active[owner] = -1
+	}
+
+	info, err := f.chip.Info(b)
+	if err != nil {
+		return err
+	}
+	if st.progFailed {
+		// A program-status failure is a hard wear signal: retire
+		// without trying the resuscitation ladder.
+		f.retireBlock(b)
+		return nil
+	}
+	pol0 := &f.streams[owner]
+	retireAt := pol0.WearRetireFrac
+	if retireAt == 0 {
+		retireAt = 1.0
+	}
+	if info.WearFrac >= retireAt {
+		pol := &f.streams[owner]
+		if st.resuscIdx < len(pol.Resuscitate) {
+			bits := pol.Resuscitate[st.resuscIdx]
+			m, err := flash.PseudoMode(f.chip.Tech(), bits)
+			if err != nil {
+				return err
+			}
+			if err := f.chip.SetMode(b, m); err != nil {
+				return err
+			}
+			st.resuscIdx++
+			f.resuscCnt++
+			f.freePool = append(f.freePool, b)
+			f.notifyCapacity()
+			return nil
+		}
+		f.retireBlock(b)
+		return nil
+	}
+	f.freePool = append(f.freePool, b)
+	return nil
+}
+
+// retireBlock permanently removes b from service.
+func (f *FTL) retireBlock(b int) {
+	st := &f.blocks[b]
+	st.retired = true
+	st.allocated = false
+	if err := f.chip.Retire(b); err != nil {
+		// Retire only fails on a bad address, which cannot happen here.
+		panic(err)
+	}
+	for i, a := range f.active {
+		if a == b {
+			f.active[i] = -1
+		}
+	}
+	f.retiredCnt++
+	f.notifyCapacity()
+}
+
+func (f *FTL) notifyCapacity() {
+	f.capDirty = true
+}
+
+// flushCapacity delivers a pending capacity-change notification. Called
+// (deferred) at the end of public mutating operations so the callback
+// never observes the FTL mid-operation.
+func (f *FTL) flushCapacity() {
+	if !f.capDirty {
+		return
+	}
+	f.capDirty = false
+	if f.OnCapacityChange != nil {
+		f.OnCapacityChange(f.UsablePages())
+	}
+}
+
+// UsablePages returns the number of physical pages on non-retired blocks
+// in their current operating modes, minus the over-provisioning reserve.
+// The device layer derives its advertised (possibly shrinking) capacity
+// from this — the paper's capacity variance (§4.3).
+func (f *FTL) UsablePages() int {
+	total := 0
+	for b := range f.blocks {
+		if f.blocks[b].retired {
+			continue
+		}
+		pages, err := f.chip.PagesIn(b)
+		if err != nil {
+			continue
+		}
+		total += pages
+	}
+	total -= f.reserve * f.chip.Geometry().PagesPerBlock
+	if total < 0 {
+		total = 0
+	}
+	return total
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	PagesChecked   int
+	PagesRelocated int
+	BlocksFreed    int
+}
+
+// Scrub is the degradation monitor (§4.3): it walks live pages, and any
+// page whose modelled RBER exceeds its stream's retire threshold is
+// relocated (refreshing its charge and crystallizing uncorrectable
+// damage). Blocks left empty by relocation are erased, which applies
+// retirement/resuscitation policy. maxMoves bounds the work per pass
+// (0 = unlimited).
+func (f *FTL) Scrub(maxMoves int) (ScrubReport, error) {
+	defer f.flushCapacity()
+	var rep ScrubReport
+	// Snapshot LPAs: relocation mutates the map.
+	lpas := make([]int64, 0, len(f.l2p))
+	for lpa := range f.l2p {
+		lpas = append(lpas, lpa)
+	}
+	sort.Slice(lpas, func(i, j int) bool { return lpas[i] < lpas[j] })
+
+	dirty := map[int]bool{}
+	for _, lpa := range lpas {
+		m, ok := f.l2p[lpa]
+		if !ok {
+			continue
+		}
+		rep.PagesChecked++
+		rber, err := f.chip.PageRBER(m.ppa.Block, m.ppa.Page)
+		if err != nil {
+			continue
+		}
+		pol := &f.streams[m.stream]
+		threshold := pol.RetireRBER
+		if threshold == 0 {
+			threshold = DefaultRetireRBER
+		}
+		if rber < threshold {
+			continue
+		}
+		if maxMoves > 0 && rep.PagesRelocated >= maxMoves {
+			break
+		}
+		if err := f.relocate(lpa, m.stream); err != nil {
+			return rep, err
+		}
+		dirty[m.ppa.Block] = true
+		rep.PagesRelocated++
+	}
+	// Erase blocks fully drained by the scrub.
+	for b := range dirty {
+		st := &f.blocks[b]
+		if st.allocated && st.valid == 0 && !f.isActive(b) {
+			if err := f.eraseAndFree(b); err != nil {
+				return rep, err
+			}
+			rep.BlocksFreed++
+		}
+	}
+	return rep, nil
+}
+
+// Relocate moves a logical page to a different stream; this is the
+// mechanism behind classifier-driven demotion (SYS -> SPARE) and
+// cloud-repair promotion. When the free pool is exhausted it runs GC
+// and retries once before giving up.
+func (f *FTL) Relocate(lpa int64, dst StreamID) error {
+	defer f.flushCapacity()
+	if _, err := f.policy(dst); err != nil {
+		return err
+	}
+	err := f.relocate(lpa, dst)
+	if errors.Is(err, ErrNoSpace) {
+		f.runGC(dst)
+		err = f.relocate(lpa, dst)
+	}
+	return err
+}
+
+// Stats is FTL telemetry.
+type Stats struct {
+	HostWrites    int64
+	FlashPrograms int64
+	GCRuns        int64
+	GCMoves       int64
+	Retired       int64
+	Resuscitated  int64
+	DegradedReads int64
+	ProgFailures  int64
+	StaticWLMoves int64
+	FreeBlocks    int
+	MappedPages   int
+}
+
+// Stats returns a telemetry snapshot.
+func (f *FTL) Stats() Stats {
+	return Stats{
+		HostWrites:    f.hostWrites,
+		FlashPrograms: f.flashPrograms,
+		GCRuns:        f.gcRuns,
+		GCMoves:       f.gcMoves,
+		Retired:       f.retiredCnt,
+		Resuscitated:  f.resuscCnt,
+		DegradedReads: f.degradedReads,
+		ProgFailures:  f.progFailures,
+		StaticWLMoves: f.staticWLMoves,
+		FreeBlocks:    len(f.freePool),
+		MappedPages:   len(f.l2p),
+	}
+}
+
+// WriteAmplification returns flash programs per host write (>= 1 once
+// writes occurred).
+func (f *FTL) WriteAmplification() float64 {
+	if f.hostWrites == 0 {
+		return 0
+	}
+	return float64(f.flashPrograms) / float64(f.hostWrites)
+}

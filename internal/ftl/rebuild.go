@@ -1,0 +1,134 @@
+package ftl
+
+import (
+	"fmt"
+
+	"sos/internal/flash"
+)
+
+// Rebuild reconstructs an FTL's volatile state (L2P/P2L maps, per-block
+// accounting, free pool, write serial) by scanning the chip's OOB page
+// tags — the power-loss recovery path of a real controller. The FTL
+// must have been created with New over the surviving chip and not yet
+// written to.
+//
+// Semantics after a rebuild:
+//   - every logical page written before the "crash" is mapped again,
+//     with the newest copy (highest serial) winning;
+//   - superseded copies are marked stale so GC can reclaim them;
+//   - per-block wear (PEC) survives in the chip itself;
+//   - soft state is conservatively reset: crystallized degradation
+//     estimates (baseFlips) restart at zero, program-failure seals and
+//     resuscitation ladder positions are forgotten (a sealed block will
+//     simply fail again and be resealed).
+func (f *FTL) Rebuild() error {
+	if len(f.l2p) != 0 || f.hostWrites != 0 {
+		return fmt.Errorf("ftl: rebuild requires a fresh FTL instance")
+	}
+	type winner struct {
+		ppa PPA
+		tag flash.PageTag
+	}
+	best := make(map[int64]winner)
+	var losers []PPA
+
+	// Pass 1: scan every written page, electing the newest copy per LPA.
+	f.freePool = f.freePool[:0]
+	maxSerial := uint64(0)
+	for b := 0; b < f.chip.Blocks(); b++ {
+		info, err := f.chip.Info(b)
+		if err != nil {
+			return err
+		}
+		st := &f.blocks[b]
+		*st = blockState{}
+		if info.Retired {
+			st.retired = true
+			f.retiredCnt++
+			continue
+		}
+		if info.NextPage == 0 {
+			// Fully erased: back to the free pool.
+			f.freePool = append(f.freePool, b)
+			continue
+		}
+		st.allocated = true
+		st.fullPages = info.NextPage
+		for p := 0; p < info.NextPage; p++ {
+			state, err := f.chip.StateOf(b, p)
+			if err != nil {
+				return err
+			}
+			if state != flash.PageWritten && state != flash.PageStale {
+				continue
+			}
+			tag, ok, err := f.chip.Tag(b, p)
+			if err != nil {
+				return err
+			}
+			ppa := PPA{Block: b, Page: p}
+			if !ok {
+				// Untagged page (not written by this FTL): garbage.
+				losers = append(losers, ppa)
+				continue
+			}
+			if int(tag.Stream) < len(f.streams) {
+				st.owner = StreamID(tag.Stream)
+			}
+			if tag.Serial > maxSerial {
+				maxSerial = tag.Serial
+			}
+			if w, dup := best[tag.LPA]; !dup || tag.Serial > w.tag.Serial {
+				if dup {
+					losers = append(losers, w.ppa)
+				}
+				best[tag.LPA] = winner{ppa: ppa, tag: tag}
+			} else {
+				losers = append(losers, ppa)
+			}
+		}
+	}
+
+	// Pass 2: install winners, mark losers stale.
+	for lpa, w := range best {
+		f.l2p[lpa] = mapping{
+			ppa:     w.ppa,
+			stream:  StreamID(w.tag.Stream),
+			dataLen: int(w.tag.DataLen),
+		}
+		f.p2l[w.ppa] = lpa
+		f.blocks[w.ppa.Block].valid++
+	}
+	for _, ppa := range losers {
+		st := &f.blocks[ppa.Block]
+		st.stale++
+		// The chip may still consider the page live; align its state.
+		if state, err := f.chip.StateOf(ppa.Block, ppa.Page); err == nil && state == flash.PageWritten {
+			if err := f.chip.MarkStale(ppa.Block, ppa.Page); err != nil {
+				return err
+			}
+		}
+	}
+	f.writeSerial = maxSerial
+
+	// Pass 3: adopt partially-filled blocks as their stream's active
+	// block (at most one per stream; the rest stay as-is and are
+	// GC-reclaimable once stale).
+	for i := range f.active {
+		f.active[i] = -1
+	}
+	for b := 0; b < f.chip.Blocks(); b++ {
+		st := &f.blocks[b]
+		if !st.allocated || st.retired {
+			continue
+		}
+		pages, err := f.chip.PagesIn(b)
+		if err != nil {
+			return err
+		}
+		if st.fullPages < pages && f.active[st.owner] == -1 {
+			f.active[st.owner] = b
+		}
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package ftl
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sos/internal/ecc"
+	"sos/internal/flash"
+	"sos/internal/sim"
+)
+
+// rebuildPair builds a chip and two FTL views over it: the "before
+// crash" instance and a constructor for the remounted instance.
+func rebuildChip(t *testing.T) (*flash.Chip, func() *FTL) {
+	t.Helper()
+	clock := &sim.Clock{}
+	chip, err := flash.NewChip(flash.ChipConfig{
+		Geometry: flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 10, Blocks: 24},
+		Tech:     flash.PLC,
+		Clock:    clock,
+		Seed:     61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *FTL {
+		pQLC, err := flash.PseudoMode(flash.PLC, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := New(Config{
+			Chip: chip,
+			Streams: []StreamPolicy{
+				{Name: "sys", Mode: pQLC, Scheme: ecc.MustRSScheme(223, 32), WearLeveling: true},
+				{Name: "spare", Mode: flash.NativeMode(flash.PLC), Scheme: ecc.DetectOnly{}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	return chip, mk
+}
+
+func TestRebuildRecoversMappings(t *testing.T) {
+	_, mk := rebuildChip(t)
+	before := mk()
+	payload := func(lpa int64) []byte {
+		b := make([]byte, 100)
+		for i := range b {
+			b[i] = byte(lpa*13 + int64(i))
+		}
+		return b
+	}
+	// A mix of streams, overwrites, trims, and accounting pages.
+	for lpa := int64(0); lpa < 30; lpa++ {
+		stream := StreamID(lpa % 2)
+		if err := before.Write(lpa, payload(lpa), 0, stream); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lpa := int64(0); lpa < 10; lpa++ { // overwrite: old copies go stale
+		if err := before.Write(lpa, payload(lpa+100), 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lpa := int64(40); lpa < 45; lpa++ { // accounting pages
+		if err := before.Write(lpa, nil, 256, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := before.Trim(25); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": discard the FTL, remount over the same chip.
+	after := mk()
+	if err := after.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trimmed page stays... trimmed pages were marked stale but their
+	// tag remains — rebuild resurrects the newest copy. Real FTLs
+	// journal trims; ours documents that trims may be resurrected, so
+	// LPA 25 is allowed to reappear. Everything else must match.
+	for lpa := int64(0); lpa < 30; lpa++ {
+		if lpa == 25 {
+			continue
+		}
+		res, err := after.Read(lpa)
+		if err != nil {
+			t.Fatalf("lpa %d lost in rebuild: %v", lpa, err)
+		}
+		want := payload(lpa)
+		if lpa < 10 {
+			want = payload(lpa + 100) // overwritten version must win
+		}
+		if !bytes.Equal(res.Data, want) {
+			t.Fatalf("lpa %d: wrong copy after rebuild", lpa)
+		}
+		wantStream := StreamID(lpa % 2)
+		if lpa < 10 {
+			wantStream = 0
+		}
+		if got, _ := after.StreamOf(lpa); got != wantStream {
+			t.Fatalf("lpa %d stream %d, want %d", lpa, got, wantStream)
+		}
+	}
+	for lpa := int64(40); lpa < 45; lpa++ {
+		res, err := after.Read(lpa)
+		if err != nil {
+			t.Fatalf("accounting lpa %d lost: %v", lpa, err)
+		}
+		if res.DataLen != 256 {
+			t.Fatalf("accounting lpa %d len %d", lpa, res.DataLen)
+		}
+	}
+	if err := checkInvariants(after); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRebuildThenWrite(t *testing.T) {
+	_, mk := rebuildChip(t)
+	before := mk()
+	for lpa := int64(0); lpa < 20; lpa++ {
+		if err := before.Write(lpa, nil, 200, StreamID(lpa%2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := mk()
+	if err := after.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	// Continue writing: serials must not collide, GC must work.
+	for i := 0; i < 800; i++ {
+		if err := after.Write(int64(i%25), nil, 200, StreamID(i%2)); err != nil {
+			if errors.Is(err, ErrNoSpace) {
+				break
+			}
+			t.Fatalf("write %d after rebuild: %v", i, err)
+		}
+	}
+	if err := checkInvariants(after); err != nil {
+		t.Fatal(err)
+	}
+	// Remount a second time: still consistent.
+	again := mk()
+	if err := again.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkInvariants(again); err != nil {
+		t.Fatal(err)
+	}
+	if again.MappedPages() != after.MappedPages() {
+		t.Fatalf("second rebuild mapped %d pages, live state had %d",
+			again.MappedPages(), after.MappedPages())
+	}
+}
+
+func TestRebuildRequiresFreshFTL(t *testing.T) {
+	_, mk := rebuildChip(t)
+	f := mk()
+	if err := f.Write(1, nil, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Rebuild(); err == nil {
+		t.Fatal("rebuild on a used FTL accepted")
+	}
+}
+
+func TestRebuildEmptyChip(t *testing.T) {
+	_, mk := rebuildChip(t)
+	f := mk()
+	if err := f.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if f.MappedPages() != 0 {
+		t.Fatalf("empty chip rebuilt %d mappings", f.MappedPages())
+	}
+	if f.Stats().FreeBlocks != 24 {
+		t.Fatalf("free blocks %d", f.Stats().FreeBlocks)
+	}
+	// Fully usable afterwards.
+	if err := f.Write(1, []byte("post-rebuild"), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebuildEquivalenceProperty: after ANY random operation sequence,
+// a rebuild over the same chip reproduces every live mapping (same
+// stream, same length) except trims, which may be resurrected. Run
+// across several seeds.
+func TestRebuildEquivalenceProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := sim.NewRNG(seed * 1000)
+		chipClock := &sim.Clock{}
+		chip, err := flash.NewChip(flash.ChipConfig{
+			Geometry: flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 8, Blocks: 20},
+			Tech:     flash.PLC,
+			Clock:    chipClock,
+			Seed:     seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk := func() *FTL {
+			f, err := New(Config{
+				Chip: chip,
+				Streams: []StreamPolicy{
+					{Name: "a", Mode: flash.NativeMode(flash.PLC), Scheme: ecc.None{}},
+					{Name: "b", Mode: flash.NativeMode(flash.PLC), Scheme: ecc.DetectOnly{}, WearLeveling: true},
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return f
+		}
+		live := mk()
+		type expect struct {
+			stream  StreamID
+			dataLen int
+		}
+		want := map[int64]expect{}
+		for op := 0; op < 1200; op++ {
+			lpa := int64(rng.Intn(40))
+			switch rng.Intn(5) {
+			case 0, 1, 2:
+				stream := StreamID(rng.Intn(2))
+				n := 64 + rng.Intn(400)
+				err := live.Write(lpa, nil, n, stream)
+				if errors.Is(err, ErrNoSpace) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("seed %d op %d: %v", seed, op, err)
+				}
+				want[lpa] = expect{stream: stream, dataLen: n}
+			case 3:
+				if live.Contains(lpa) {
+					if err := live.Trim(lpa); err != nil {
+						t.Fatal(err)
+					}
+					delete(want, lpa)
+				}
+			case 4:
+				_, _ = live.Read(lpa)
+			}
+		}
+		rebuilt := mk()
+		if err := rebuilt.Rebuild(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for lpa, ex := range want {
+			res, err := rebuilt.Read(lpa)
+			if err != nil {
+				t.Fatalf("seed %d: lpa %d lost: %v", seed, lpa, err)
+			}
+			if res.DataLen != ex.dataLen {
+				t.Fatalf("seed %d: lpa %d len %d, want %d", seed, lpa, res.DataLen, ex.dataLen)
+			}
+			if res.Stream != ex.stream {
+				t.Fatalf("seed %d: lpa %d stream %d, want %d", seed, lpa, res.Stream, ex.stream)
+			}
+		}
+		if err := checkInvariants(rebuilt); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestRebuildPreservesWear(t *testing.T) {
+	chip, mk := rebuildChip(t)
+	before := mk()
+	// Churn to accumulate wear.
+	for i := 0; i < 3000; i++ {
+		if err := before.Write(int64(i%15), nil, 200, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wearBefore float64
+	for b := 0; b < chip.Blocks(); b++ {
+		info, _ := chip.Info(b)
+		wearBefore += info.WearFrac
+	}
+	after := mk()
+	if err := after.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	var wearAfter float64
+	for b := 0; b < chip.Blocks(); b++ {
+		info, _ := chip.Info(b)
+		wearAfter += info.WearFrac
+	}
+	if wearBefore != wearAfter {
+		t.Fatalf("wear changed across rebuild: %v -> %v", wearBefore, wearAfter)
+	}
+}

@@ -1,0 +1,196 @@
+package media
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sos/internal/sim"
+)
+
+func TestSyntheticClip(t *testing.T) {
+	c, err := SyntheticClip(sim.NewRNG(1), 8000, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Samples) != 16000 || c.Rate != 8000 {
+		t.Fatalf("clip %d samples @ %d", len(c.Samples), c.Rate)
+	}
+	// Non-trivial signal.
+	var energy float64
+	for _, s := range c.Samples {
+		energy += float64(s) * float64(s)
+	}
+	if energy == 0 {
+		t.Fatal("silent clip")
+	}
+	if _, err := SyntheticClip(sim.NewRNG(1), 0, 10); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+}
+
+func TestAudioRoundtripSNR(t *testing.T) {
+	c, _ := SyntheticClip(sim.NewRNG(2), 8000, 20000)
+	enc, err := EncodeClip(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) != EncodedAudioSize(len(c.Samples)) {
+		t.Fatalf("encoded %d bytes, want %d", len(enc), EncodedAudioSize(len(c.Samples)))
+	}
+	// 4:1 compression.
+	if len(enc) > len(c.Samples)*2/3 {
+		t.Fatalf("poor compression: %d bytes for %d samples", len(enc), len(c.Samples))
+	}
+	dec, err := DecodeClip(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Rate != c.Rate {
+		t.Fatalf("rate %d", dec.Rate)
+	}
+	snr, err := SNR(c, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr < 20 {
+		t.Fatalf("ADPCM roundtrip SNR %v dB", snr)
+	}
+}
+
+func TestAudioErrorContainment(t *testing.T) {
+	// Corruption in one block must not leak beyond it: SNR computed on
+	// untouched blocks stays at roundtrip quality.
+	rng := sim.NewRNG(3)
+	c, _ := SyntheticClip(rng, 8000, AudioBlockSamples*4)
+	enc, _ := EncodeClip(c)
+	clean, _ := DecodeClip(enc)
+
+	// Corrupt bytes inside block 1's payload only.
+	b0 := audioHeaderLen + audioBlockBytes(AudioBlockSamples) // block 1 start
+	for i := 0; i < 40; i++ {
+		pos := b0 + 6 + rng.Intn(AudioBlockSamples/2-1)
+		enc[pos] ^= byte(1 + rng.Intn(255))
+	}
+	dirty, err := DecodeClip(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks 0, 2, 3 identical to the clean decode.
+	for _, blk := range []int{0, 2, 3} {
+		lo := blk * AudioBlockSamples
+		hi := lo + AudioBlockSamples
+		for i := lo; i < hi; i++ {
+			if dirty.Samples[i] != clean.Samples[i] {
+				t.Fatalf("corruption leaked into block %d at sample %d", blk, i)
+			}
+		}
+	}
+	// Block 1 audibly degraded.
+	var diff int
+	for i := AudioBlockSamples; i < 2*AudioBlockSamples; i++ {
+		if dirty.Samples[i] != clean.Samples[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("corruption had no effect on its own block")
+	}
+}
+
+func TestAudioGracefulDegradation(t *testing.T) {
+	rng := sim.NewRNG(4)
+	c, _ := SyntheticClip(rng, 8000, AudioBlockSamples*6)
+	enc, _ := EncodeClip(c)
+
+	snrAt := func(nflips int) float64 {
+		buf := make([]byte, len(enc))
+		copy(buf, enc)
+		for i := 0; i < nflips; i++ {
+			pos := audioHeaderLen + rng.Intn(len(buf)-audioHeaderLen)
+			buf[pos] ^= 1 << uint(rng.Intn(8))
+		}
+		dec, err := DecodeClip(buf)
+		if err != nil {
+			return 0
+		}
+		s, _ := SNR(c, dec)
+		if math.IsInf(s, 1) {
+			s = 99
+		}
+		return s
+	}
+	s0 := snrAt(0)
+	s5 := snrAt(5)
+	s100 := snrAt(100)
+	if !(s0 >= s5 && s5 >= s100) {
+		t.Fatalf("SNR not monotone: %v %v %v", s0, s5, s100)
+	}
+	if s5 < 5 {
+		t.Fatalf("5 flips destroyed the clip: %v dB", s5)
+	}
+	// Heavy corruption yields loud artifacts (corrupted block headers
+	// mis-seed whole blocks) but the stream still decodes end to end.
+	if s100 < -30 {
+		t.Fatalf("decoder collapsed: %v dB", s100)
+	}
+}
+
+func TestAudioHeaderDestroyed(t *testing.T) {
+	c, _ := SyntheticClip(sim.NewRNG(5), 8000, 4000)
+	enc, _ := EncodeClip(c)
+	enc[0] = 'X'
+	if _, err := DecodeClip(enc); !errors.Is(err, ErrCorruptHeader) {
+		t.Fatal("bad magic accepted")
+	}
+	enc2, _ := EncodeClip(c)
+	if _, err := DecodeClip(enc2[:len(enc2)-4]); !errors.Is(err, ErrCorruptHeader) {
+		t.Fatal("truncation accepted")
+	}
+	if _, err := DecodeClip(nil); !errors.Is(err, ErrCorruptHeader) {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestEncodeClipValidation(t *testing.T) {
+	if _, err := EncodeClip(nil); err == nil {
+		t.Fatal("nil clip accepted")
+	}
+	if _, err := EncodeClip(&Clip{Rate: 8000}); err == nil {
+		t.Fatal("empty clip accepted")
+	}
+	if _, err := EncodeClip(&Clip{Rate: 1 << 17, Samples: make([]int16, 10)}); err == nil {
+		t.Fatal("oversize rate accepted")
+	}
+}
+
+func TestSNRBasics(t *testing.T) {
+	a := &Clip{Rate: 8000, Samples: []int16{100, -200, 300}}
+	if s, _ := SNR(a, a); !math.IsInf(s, 1) {
+		t.Fatal("identical clips not +Inf")
+	}
+	b := &Clip{Rate: 8000, Samples: []int16{100, -200, 301}}
+	s, err := SNR(a, b)
+	if err != nil || s < 20 {
+		t.Fatalf("SNR %v, %v", s, err)
+	}
+	short := &Clip{Rate: 8000, Samples: []int16{1}}
+	if _, err := SNR(a, short); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestOddSampleCount(t *testing.T) {
+	c, _ := SyntheticClip(sim.NewRNG(6), 8000, AudioBlockSamples+7)
+	enc, err := EncodeClip(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeClip(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Samples) != len(c.Samples) {
+		t.Fatalf("decoded %d samples, want %d", len(dec.Samples), len(c.Samples))
+	}
+}

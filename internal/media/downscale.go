@@ -1,0 +1,59 @@
+package media
+
+import "fmt"
+
+// Downscale returns the image reduced by an integer factor (box filter).
+// It is the quality-degradation primitive behind transcode-instead-of-
+// delete: a photo shrunk 2x keeps a quarter of its bytes and most of its
+// usefulness.
+func Downscale(im *Image, factor int) (*Image, error) {
+	if factor < 2 {
+		return nil, fmt.Errorf("media: downscale factor %d must be >= 2", factor)
+	}
+	w := im.W / factor
+	h := im.H / factor
+	if w < 8 || h < 8 {
+		return nil, fmt.Errorf("media: %dx%d too small to downscale by %d", im.W, im.H, factor)
+	}
+	out, err := NewImage(w, h)
+	if err != nil {
+		return nil, err
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sum int
+			for dy := 0; dy < factor; dy++ {
+				for dx := 0; dx < factor; dx++ {
+					sum += int(im.At(x*factor+dx, y*factor+dy))
+				}
+			}
+			out.Pix[y*w+x] = uint8(sum / (factor * factor))
+		}
+	}
+	return out, nil
+}
+
+// Transcode re-encodes an encoded image at reduced resolution and
+// quality, returning the smaller payload. It is lossy by design: this
+// is the §4.5 degradation scheme that frees space without deleting the
+// file outright. The input must decode (a destroyed header cannot be
+// transcoded).
+func Transcode(encoded []byte, factor, quality int) ([]byte, error) {
+	im, err := DecodeImage(encoded)
+	if err != nil {
+		return nil, err
+	}
+	small, err := Downscale(im, factor)
+	if err != nil {
+		return nil, err
+	}
+	out, err := EncodeImage(small, quality)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) >= len(encoded) {
+		return nil, fmt.Errorf("media: transcode did not shrink payload (%d -> %d bytes)",
+			len(encoded), len(out))
+	}
+	return out, nil
+}

@@ -1,0 +1,84 @@
+package media
+
+import (
+	"testing"
+
+	"sos/internal/sim"
+)
+
+func TestDownscaleBasics(t *testing.T) {
+	im, _ := Synthetic(sim.NewRNG(1), 64, 48)
+	out, err := Downscale(im, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.W != 32 || out.H != 24 {
+		t.Fatalf("downscaled to %dx%d", out.W, out.H)
+	}
+	// Box filter of a constant region stays constant.
+	flat, _ := NewImage(16, 16)
+	for i := range flat.Pix {
+		flat.Pix[i] = 120
+	}
+	small, err := Downscale(flat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range small.Pix {
+		if p != 120 {
+			t.Fatalf("flat downscale produced %d", p)
+		}
+	}
+}
+
+func TestDownscaleValidation(t *testing.T) {
+	im, _ := Synthetic(sim.NewRNG(2), 32, 32)
+	if _, err := Downscale(im, 1); err == nil {
+		t.Fatal("factor 1 accepted")
+	}
+	if _, err := Downscale(im, 8); err == nil {
+		t.Fatal("downscale below 8px accepted")
+	}
+}
+
+func TestTranscodeShrinksAndDecodes(t *testing.T) {
+	im, _ := Synthetic(sim.NewRNG(3), 96, 96)
+	enc, err := EncodeImage(im, 85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Transcode(enc, 2, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) >= len(enc) {
+		t.Fatalf("transcode grew payload: %d -> %d", len(enc), len(small))
+	}
+	// 2x downscale quarters the block count: expect roughly 4x shrink.
+	if len(small) > len(enc)/3 {
+		t.Fatalf("transcode shrank only %d -> %d", len(enc), len(small))
+	}
+	dec, err := DecodeImage(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.W != 48 || dec.H != 48 {
+		t.Fatalf("transcoded dimensions %dx%d", dec.W, dec.H)
+	}
+	// The small copy still resembles the original (compare against a
+	// reference downscale).
+	ref, _ := Downscale(im, 2)
+	p, err := PSNR(ref, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 25 {
+		t.Fatalf("transcoded quality %v dB", p)
+	}
+}
+
+func TestTranscodeRejectsGarbage(t *testing.T) {
+	if _, err := Transcode([]byte("not media"), 2, 50); err == nil {
+		t.Fatal("garbage transcoded")
+	}
+}

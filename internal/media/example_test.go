@@ -1,0 +1,56 @@
+package media_test
+
+import (
+	"fmt"
+
+	"sos/internal/media"
+	"sos/internal/sim"
+)
+
+// ExampleEncodeImage shows the codec roundtrip and the critical-prefix
+// split used by priority placement.
+func ExampleEncodeImage() {
+	img, err := media.Synthetic(sim.NewRNG(1), 64, 64)
+	if err != nil {
+		panic(err)
+	}
+	enc, err := media.EncodeImage(img, 80)
+	if err != nil {
+		panic(err)
+	}
+	crit, err := media.CriticalPrefixLen(enc)
+	if err != nil {
+		panic(err)
+	}
+	dec, err := media.DecodeImage(enc)
+	if err != nil {
+		panic(err)
+	}
+	p, err := media.PSNR(img, dec)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("encoded %d bytes, critical prefix %d bytes, roundtrip > 30 dB: %v\n",
+		len(enc), crit, p > 30)
+	// Output:
+	// encoded 4168 bytes, critical prefix 136 bytes, roundtrip > 30 dB: true
+}
+
+// ExampleTranscode shows the §4.5 shrink-instead-of-delete primitive.
+func ExampleTranscode() {
+	img, err := media.Synthetic(sim.NewRNG(2), 96, 96)
+	if err != nil {
+		panic(err)
+	}
+	enc, err := media.EncodeImage(img, 85)
+	if err != nil {
+		panic(err)
+	}
+	small, err := media.Transcode(enc, 2, 55)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("shrunk to under a third: %v\n", len(small)*3 < len(enc))
+	// Output:
+	// shrunk to under a third: true
+}

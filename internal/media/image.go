@@ -1,0 +1,461 @@
+// Package media implements a simplified transform codec (8x8 DCT with
+// JPEG-style quantization) for grayscale images and I/P-frame video,
+// plus PSNR quality measurement. It exists to make the paper's
+// "media files can degrade slightly while retaining sufficient quality"
+// claim (§4.2, [70-72]) measurable: encoded payloads stored on simulated
+// flash really do corrupt bit by bit, and decoding them quantifies the
+// quality loss.
+//
+// The bitstream is priority-ordered (header, then all DC coefficients,
+// then AC coefficients low-frequency first), so the damage a random bit
+// error causes decreases along the stream — the property approximate
+// storage exploits when it maps the critical prefix to reliable cells.
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"sos/internal/sim"
+)
+
+// Image is an 8-bit grayscale image.
+type Image struct {
+	W, H int
+	Pix  []uint8 // row-major, len W*H
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) (*Image, error) {
+	if w <= 0 || h <= 0 || w > 1<<14 || h > 1<<14 {
+		return nil, fmt.Errorf("media: bad dimensions %dx%d", w, h)
+	}
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h)}, nil
+}
+
+// At returns the pixel at (x, y); out-of-range coordinates clamp.
+func (im *Image) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-range coordinates are ignored.
+func (im *Image) Set(x, y int, v uint8) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	out := &Image{W: im.W, H: im.H, Pix: make([]uint8, len(im.Pix))}
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// Synthetic returns a photo-like test image: smooth gradients with a few
+// soft disc features and mild texture, deterministic in the RNG.
+func Synthetic(rng *sim.RNG, w, h int) (*Image, error) {
+	im, err := NewImage(w, h)
+	if err != nil {
+		return nil, err
+	}
+	type disc struct{ cx, cy, r, amp float64 }
+	discs := make([]disc, 4)
+	for i := range discs {
+		discs[i] = disc{
+			cx:  rng.Float64() * float64(w),
+			cy:  rng.Float64() * float64(h),
+			r:   (0.1 + rng.Float64()*0.25) * float64(w),
+			amp: 40 + rng.Float64()*60,
+		}
+	}
+	gx := rng.Float64() * 80
+	gy := rng.Float64() * 80
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 90 + gx*float64(x)/float64(w) + gy*float64(y)/float64(h)
+			for _, d := range discs {
+				dx := float64(x) - d.cx
+				dy := float64(y) - d.cy
+				dist := math.Sqrt(dx*dx + dy*dy)
+				if dist < d.r {
+					v += d.amp * (1 - dist/d.r)
+				}
+			}
+			v += rng.NormFloat64() * 2 // sensor-like noise
+			im.Set(x, y, clamp8(v))
+		}
+	}
+	return im, nil
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// PSNR returns the peak signal-to-noise ratio between two images of the
+// same dimensions, in dB. Identical images return +Inf.
+func PSNR(a, b *Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("media: dimension mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var se float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		se += d * d
+	}
+	if se == 0 {
+		return math.Inf(1), nil
+	}
+	mse := se / float64(len(a.Pix))
+	return 10 * math.Log10(255*255/mse), nil
+}
+
+// ---- DCT machinery ----
+
+var cosTab [8][8]float64
+
+func init() {
+	for x := 0; x < 8; x++ {
+		for u := 0; u < 8; u++ {
+			cosTab[x][u] = math.Cos((2*float64(x) + 1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+func alpha(u int) float64 {
+	if u == 0 {
+		return 1 / math.Sqrt2
+	}
+	return 1
+}
+
+// fdct8 computes the 2D DCT-II of an 8x8 block (level-shifted input).
+func fdct8(in *[64]float64, out *[64]float64) {
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			var s float64
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					s += in[y*8+x] * cosTab[x][u] * cosTab[y][v]
+				}
+			}
+			out[v*8+u] = 0.25 * alpha(u) * alpha(v) * s
+		}
+	}
+}
+
+// idct8 inverts fdct8.
+func idct8(in *[64]float64, out *[64]float64) {
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			var s float64
+			for v := 0; v < 8; v++ {
+				for u := 0; u < 8; u++ {
+					s += alpha(u) * alpha(v) * in[v*8+u] * cosTab[x][u] * cosTab[y][v]
+				}
+			}
+			out[y*8+x] = 0.25 * s
+		}
+	}
+}
+
+// baseQuant is the JPEG Annex K luminance quantization table.
+var baseQuant = [64]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// quantTable scales the base table for a quality setting 1..100
+// (JPEG-style scaling).
+func quantTable(quality int) [64]int {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	scale := 0
+	if quality < 50 {
+		scale = 5000 / quality
+	} else {
+		scale = 200 - 2*quality
+	}
+	var q [64]int
+	for i, b := range baseQuant {
+		v := (b*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		q[i] = v
+	}
+	return q
+}
+
+// zigzag maps scan order -> block position, so low-frequency
+// coefficients serialize first.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// Bitstream layout (little-endian):
+//
+//	[0:2]  magic "SM"
+//	[2]    version (1 = intra image, 2 = delta frame)
+//	[3]    quality
+//	[4:6]  width
+//	[6:8]  height
+//	[8:]   DC section: one int16 per block (raster block order)
+//	[...]  AC section: 63 int8 per block, zigzag order, *plane by plane*:
+//	       all blocks' coefficient 1, then all blocks' coefficient 2, ...
+//	       so damage importance decreases along the stream.
+const (
+	headerLen = 8
+	magic0    = 'S'
+	magic1    = 'M'
+	verIntra  = 1
+	verDelta  = 2
+)
+
+// ErrCorruptHeader reports an unusable encoded payload (the critical
+// prefix was damaged, or the payload is not a media bitstream).
+var ErrCorruptHeader = errors.New("media: corrupt or foreign header")
+
+// clampCoef applies decoder-side range sanity to a dequantized
+// coefficient: natural images concentrate energy at low frequencies, so
+// a mid/high-frequency coefficient claiming a huge magnitude is almost
+// certainly a storage error. Bounding it (as error-resilient decoders
+// do) turns a flipped most-significant bit from a block-destroying
+// artifact into a mild one, without affecting clean streams — legitimate
+// coefficients fit comfortably inside the envelope.
+func clampCoef(v float64, k int) float64 {
+	// k is the zigzag scan index (0 = DC). The envelope starts at the
+	// physical DC maximum (|sum of shifted pixels|/8 <= 1024) and decays
+	// toward the high frequencies.
+	bound := 1100.0 / (1 + 0.12*float64(k))
+	if v > bound {
+		return bound
+	}
+	if v < -bound {
+		return -bound
+	}
+	return v
+}
+
+// EncodedSize returns the byte length of an encoded w x h image.
+func EncodedSize(w, h int) int {
+	bw := (w + 7) / 8
+	bh := (h + 7) / 8
+	return headerLen + bw*bh*2 + bw*bh*63
+}
+
+func encodeCommon(im *Image, quality int, version byte, plane []float64) []byte {
+	bw := (im.W + 7) / 8
+	bh := (im.H + 7) / 8
+	nblocks := bw * bh
+	q := quantTable(quality)
+
+	out := make([]byte, EncodedSize(im.W, im.H))
+	out[0], out[1], out[2], out[3] = magic0, magic1, version, byte(quality)
+	binary.LittleEndian.PutUint16(out[4:6], uint16(im.W))
+	binary.LittleEndian.PutUint16(out[6:8], uint16(im.H))
+	dcOff := headerLen
+	acOff := headerLen + nblocks*2
+
+	var in, coef [64]float64
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			bi := by*bw + bx
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					in[y*8+x] = plane[blockIndex(im, bx*8+x, by*8+y)]
+				}
+			}
+			fdct8(&in, &coef)
+			// DC: int16.
+			dc := int(math.Round(coef[0] / float64(q[0])))
+			if dc > math.MaxInt16 {
+				dc = math.MaxInt16
+			}
+			if dc < math.MinInt16 {
+				dc = math.MinInt16
+			}
+			binary.LittleEndian.PutUint16(out[dcOff+bi*2:], uint16(int16(dc)))
+			// AC: int8, plane-interleaved (coefficient-major).
+			for k := 1; k < 64; k++ {
+				v := int(math.Round(coef[zigzag[k]] / float64(q[zigzag[k]])))
+				if v > 127 {
+					v = 127
+				}
+				if v < -128 {
+					v = -128
+				}
+				out[acOff+(k-1)*nblocks+bi] = byte(int8(v))
+			}
+		}
+	}
+	return out
+}
+
+// blockIndex returns the plane index for (x, y) with edge clamping.
+func blockIndex(im *Image, x, y int) int {
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return y*im.W + x
+}
+
+// EncodeImage encodes an intra image at the given quality (1..100).
+func EncodeImage(im *Image, quality int) ([]byte, error) {
+	if im == nil || len(im.Pix) != im.W*im.H || im.W <= 0 || im.H <= 0 {
+		return nil, errors.New("media: invalid image")
+	}
+	plane := make([]float64, len(im.Pix))
+	for i, p := range im.Pix {
+		plane[i] = float64(p) - 128
+	}
+	return encodeCommon(im, quality, verIntra, plane), nil
+}
+
+// decodeHeader validates and parses the header.
+func decodeHeader(data []byte) (w, h, quality int, version byte, err error) {
+	if len(data) < headerLen || data[0] != magic0 || data[1] != magic1 {
+		return 0, 0, 0, 0, ErrCorruptHeader
+	}
+	version = data[2]
+	if version != verIntra && version != verDelta {
+		return 0, 0, 0, 0, ErrCorruptHeader
+	}
+	quality = int(data[3])
+	if quality < 1 || quality > 100 {
+		return 0, 0, 0, 0, ErrCorruptHeader
+	}
+	w = int(binary.LittleEndian.Uint16(data[4:6]))
+	h = int(binary.LittleEndian.Uint16(data[6:8]))
+	if w == 0 || h == 0 {
+		return 0, 0, 0, 0, ErrCorruptHeader
+	}
+	if len(data) != EncodedSize(w, h) {
+		return 0, 0, 0, 0, ErrCorruptHeader
+	}
+	return w, h, quality, version, nil
+}
+
+// decodeCommon reconstructs the level-shifted plane.
+func decodeCommon(data []byte) (w, h int, version byte, plane []float64, err error) {
+	w, h, quality, version, err := decodeHeader(data)
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	bw := (w + 7) / 8
+	bh := (h + 7) / 8
+	nblocks := bw * bh
+	q := quantTable(quality)
+	dcOff := headerLen
+	acOff := headerLen + nblocks*2
+
+	plane = make([]float64, w*h)
+	var coef, px [64]float64
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			bi := by*bw + bx
+			for i := range coef {
+				coef[i] = 0
+			}
+			dc := int16(binary.LittleEndian.Uint16(data[dcOff+bi*2:]))
+			coef[0] = clampCoef(float64(dc)*float64(q[0]), 0)
+			for k := 1; k < 64; k++ {
+				v := int8(data[acOff+(k-1)*nblocks+bi])
+				coef[zigzag[k]] = clampCoef(float64(v)*float64(q[zigzag[k]]), k)
+			}
+			idct8(&coef, &px)
+			for y := 0; y < 8; y++ {
+				yy := by*8 + y
+				if yy >= h {
+					break
+				}
+				for x := 0; x < 8; x++ {
+					xx := bx*8 + x
+					if xx >= w {
+						break
+					}
+					plane[yy*w+xx] = px[y*8+x]
+				}
+			}
+		}
+	}
+	return w, h, version, plane, nil
+}
+
+// DecodeImage decodes an intra image. Corruption in the coefficient
+// sections degrades the output; only header damage fails.
+func DecodeImage(data []byte) (*Image, error) {
+	w, h, version, plane, err := decodeCommon(data)
+	if err != nil {
+		return nil, err
+	}
+	if version != verIntra {
+		return nil, fmt.Errorf("media: expected intra frame, got version %d", version)
+	}
+	im, err := NewImage(w, h)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range plane {
+		im.Pix[i] = clamp8(v + 128)
+	}
+	return im, nil
+}
+
+// CriticalPrefixLen returns the length of the bitstream prefix (header +
+// DC section) whose integrity matters most; approximate placement can
+// map this prefix to reliable storage and the AC tail to lossy cells.
+func CriticalPrefixLen(data []byte) (int, error) {
+	w, h, _, _, err := decodeHeader(data)
+	if err != nil {
+		return 0, err
+	}
+	bw := (w + 7) / 8
+	bh := (h + 7) / 8
+	return headerLen + bw*bh*2, nil
+}

@@ -1,0 +1,275 @@
+package media
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sos/internal/sim"
+)
+
+func TestNewImageValidation(t *testing.T) {
+	if _, err := NewImage(0, 10); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewImage(10, -1); err == nil {
+		t.Error("negative height accepted")
+	}
+	if _, err := NewImage(1<<15, 8); err == nil {
+		t.Error("oversize accepted")
+	}
+}
+
+func TestImageAccessClamping(t *testing.T) {
+	im, _ := NewImage(4, 4)
+	im.Set(3, 3, 200)
+	if im.At(10, 10) != 200 {
+		t.Error("At did not clamp to edge")
+	}
+	im.Set(10, 10, 99) // must be ignored
+	if im.At(3, 3) != 200 {
+		t.Error("out-of-range Set wrote somewhere")
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a, err := Synthetic(sim.NewRNG(5), 64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Synthetic(sim.NewRNG(5), 64, 48)
+	p, _ := PSNR(a, b)
+	if !math.IsInf(p, 1) {
+		t.Fatal("same seed produced different images")
+	}
+	c, _ := Synthetic(sim.NewRNG(6), 64, 48)
+	p, _ = PSNR(a, c)
+	if math.IsInf(p, 1) {
+		t.Fatal("different seeds produced identical images")
+	}
+}
+
+func TestPSNRBasics(t *testing.T) {
+	a, _ := NewImage(8, 8)
+	b, _ := NewImage(8, 8)
+	if p, _ := PSNR(a, b); !math.IsInf(p, 1) {
+		t.Fatal("identical images not +Inf")
+	}
+	b.Pix[0] = 255
+	p, err := PSNR(a, b)
+	if err != nil || math.IsInf(p, 1) || p <= 0 {
+		t.Fatalf("PSNR = %v, %v", p, err)
+	}
+	c, _ := NewImage(4, 4)
+	if _, err := PSNR(a, c); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestDCTRoundtripLossless(t *testing.T) {
+	// fdct8/idct8 are exact inverses up to float error.
+	rng := sim.NewRNG(9)
+	var in, coef, out [64]float64
+	for i := range in {
+		in[i] = float64(rng.Intn(256)) - 128
+	}
+	fdct8(&in, &coef)
+	idct8(&coef, &out)
+	for i := range in {
+		if math.Abs(in[i]-out[i]) > 1e-9 {
+			t.Fatalf("DCT roundtrip error at %d: %v vs %v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestEncodeDecodeQuality(t *testing.T) {
+	rng := sim.NewRNG(11)
+	im, _ := Synthetic(rng, 64, 64)
+	for _, q := range []int{30, 60, 90} {
+		enc, err := EncodeImage(im, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(enc) != EncodedSize(64, 64) {
+			t.Fatalf("q=%d: encoded %d bytes, want %d", q, len(enc), EncodedSize(64, 64))
+		}
+		dec, err := DecodeImage(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := PSNR(im, dec)
+		if p < 28 {
+			t.Fatalf("q=%d: PSNR %v dB too low", q, p)
+		}
+	}
+}
+
+func TestHigherQualityHigherPSNR(t *testing.T) {
+	im, _ := Synthetic(sim.NewRNG(13), 64, 64)
+	psnrAt := func(q int) float64 {
+		enc, _ := EncodeImage(im, q)
+		dec, _ := DecodeImage(enc)
+		p, _ := PSNR(im, dec)
+		return p
+	}
+	lo, hi := psnrAt(20), psnrAt(95)
+	if hi <= lo {
+		t.Fatalf("quality 95 PSNR %v not above quality 20 PSNR %v", hi, lo)
+	}
+}
+
+func TestNonMultipleOf8Dimensions(t *testing.T) {
+	im, _ := Synthetic(sim.NewRNG(17), 50, 35)
+	enc, err := EncodeImage(im, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeImage(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.W != 50 || dec.H != 35 {
+		t.Fatalf("decoded %dx%d", dec.W, dec.H)
+	}
+	p, _ := PSNR(im, dec)
+	if p < 28 {
+		t.Fatalf("odd-size PSNR %v", p)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeImage(nil); !errors.Is(err, ErrCorruptHeader) {
+		t.Fatal("nil accepted")
+	}
+	if _, err := DecodeImage([]byte("not a bitstream at all")); !errors.Is(err, ErrCorruptHeader) {
+		t.Fatal("garbage accepted")
+	}
+	im, _ := Synthetic(sim.NewRNG(19), 16, 16)
+	enc, _ := EncodeImage(im, 50)
+	enc[0] = 'X'
+	if _, err := DecodeImage(enc); !errors.Is(err, ErrCorruptHeader) {
+		t.Fatal("bad magic accepted")
+	}
+	enc2, _ := EncodeImage(im, 50)
+	if _, err := DecodeImage(enc2[:len(enc2)-3]); !errors.Is(err, ErrCorruptHeader) {
+		t.Fatal("truncation accepted")
+	}
+}
+
+func TestGracefulDegradationUnderBitErrors(t *testing.T) {
+	// The E13 property: increasing corruption of the AC tail lowers
+	// PSNR progressively, and moderate corruption keeps the image
+	// usable (>20 dB).
+	rng := sim.NewRNG(23)
+	im, _ := Synthetic(rng, 64, 64)
+	enc, _ := EncodeImage(im, 75)
+	crit, err := CriticalPrefixLen(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(nflips int) float64 {
+		buf := make([]byte, len(enc))
+		copy(buf, enc)
+		tail := len(buf) - crit
+		for i := 0; i < nflips; i++ {
+			pos := crit + rng.Intn(tail)
+			buf[pos] ^= 1 << uint(rng.Intn(8))
+		}
+		dec, err := DecodeImage(buf)
+		if err != nil {
+			t.Fatalf("tail corruption broke decode: %v", err)
+		}
+		p, _ := PSNR(im, dec)
+		return p
+	}
+	p0 := corrupt(0)
+	p3 := corrupt(3)
+	p200 := corrupt(200)
+	if !(p0 >= p3 && p3 >= p200) {
+		t.Fatalf("PSNR not monotone in corruption: %v %v %v", p0, p3, p200)
+	}
+	// A few flips (the realistic early-degradation regime) must keep
+	// the image usable; heavy corruption produces visible artifacts but
+	// still decodes.
+	if p3 < 20 {
+		t.Fatalf("3 bit flips already unusable: %v dB", p3)
+	}
+	if p200 <= 5 {
+		t.Fatalf("decoder collapsed entirely at 200 flips: %v dB", p200)
+	}
+}
+
+func TestCriticalPrefixMattersMore(t *testing.T) {
+	// Flipping N bits in the DC section must hurt much more than
+	// flipping N bits in the AC tail — the property that justifies
+	// priority mapping.
+	rng := sim.NewRNG(29)
+	im, _ := Synthetic(rng, 64, 64)
+	enc, _ := EncodeImage(im, 75)
+	crit, _ := CriticalPrefixLen(enc)
+
+	flipIn := func(lo, hi, n int) float64 {
+		buf := make([]byte, len(enc))
+		copy(buf, enc)
+		for i := 0; i < n; i++ {
+			pos := lo + rng.Intn(hi-lo)
+			buf[pos] ^= 0x80 // high bit: worst case per byte
+		}
+		dec, err := DecodeImage(buf)
+		if err != nil {
+			return 0
+		}
+		p, _ := PSNR(im, dec)
+		return p
+	}
+	const n = 12
+	dcHit := flipIn(headerLen, crit, n)
+	acHit := flipIn(crit+(len(enc)-crit)/2, len(enc), n) // far tail
+	if dcHit >= acHit {
+		t.Fatalf("DC corruption (%v dB) not worse than AC tail corruption (%v dB)", dcHit, acHit)
+	}
+}
+
+func TestCriticalPrefixLenValidation(t *testing.T) {
+	if _, err := CriticalPrefixLen([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short payload accepted")
+	}
+}
+
+func TestEncodeImageValidation(t *testing.T) {
+	if _, err := EncodeImage(nil, 50); err == nil {
+		t.Fatal("nil image accepted")
+	}
+	if _, err := EncodeImage(&Image{W: 4, H: 4, Pix: make([]uint8, 3)}, 50); err == nil {
+		t.Fatal("inconsistent image accepted")
+	}
+}
+
+func TestQuantTableBounds(t *testing.T) {
+	err := quick.Check(func(qRaw uint8) bool {
+		q := quantTable(int(qRaw))
+		for _, v := range q {
+			if v < 1 || v > 255 {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower quality => coarser (larger) quantizers.
+	q20 := quantTable(20)
+	q90 := quantTable(90)
+	coarser := 0
+	for i := range q20 {
+		if q20[i] >= q90[i] {
+			coarser++
+		}
+	}
+	if coarser < 60 {
+		t.Fatalf("quality scaling inverted (%d/64 coarser)", coarser)
+	}
+}

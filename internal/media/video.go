@@ -1,0 +1,202 @@
+package media
+
+import (
+	"errors"
+	"fmt"
+
+	"sos/internal/sim"
+)
+
+// Video is a grayscale frame sequence.
+type Video struct {
+	W, H   int
+	Frames []*Image
+}
+
+// SyntheticVideo generates a deterministic clip: a base scene with a
+// feature drifting across frames (so P-frame deltas are small but
+// non-zero, as in real footage).
+func SyntheticVideo(rng *sim.RNG, w, h, frames int) (*Video, error) {
+	if frames <= 0 {
+		return nil, errors.New("media: non-positive frame count")
+	}
+	base, err := Synthetic(rng, w, h)
+	if err != nil {
+		return nil, err
+	}
+	v := &Video{W: w, H: h}
+	for f := 0; f < frames; f++ {
+		fr := base.Clone()
+		// A bright square drifting diagonally.
+		x0 := (f * 3) % (w - w/8 + 1)
+		y0 := (f * 2) % (h - h/8 + 1)
+		for y := y0; y < y0+h/8; y++ {
+			for x := x0; x < x0+w/8; x++ {
+				fr.Set(x, y, clamp8(float64(fr.At(x, y))+50))
+			}
+		}
+		v.Frames = append(v.Frames, fr)
+	}
+	return v, nil
+}
+
+// EncodeVideo encodes frames with an I-frame every gop frames and
+// P-frames (DCT of the difference to the previous *reconstructed*
+// frame) in between — the structure that makes MPEG-like content
+// error-tolerant in the paper's sense: damage in P-frames is bounded by
+// the GOP, while I-frame damage propagates to the next I.
+func EncodeVideo(v *Video, quality, gop int) ([][]byte, error) {
+	if v == nil || len(v.Frames) == 0 {
+		return nil, errors.New("media: empty video")
+	}
+	if gop <= 0 {
+		return nil, errors.New("media: non-positive GOP")
+	}
+	out := make([][]byte, len(v.Frames))
+	var prev *Image // previous reconstructed frame
+	for i, fr := range v.Frames {
+		if fr.W != v.W || fr.H != v.H {
+			return nil, fmt.Errorf("media: frame %d dimension mismatch", i)
+		}
+		if i%gop == 0 {
+			enc, err := EncodeImage(fr, quality)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = enc
+			dec, err := DecodeImage(enc)
+			if err != nil {
+				return nil, err
+			}
+			prev = dec
+			continue
+		}
+		// Delta plane: current - previous reconstruction, half-scaled
+		// into the int8-friendly range.
+		plane := make([]float64, v.W*v.H)
+		for p := range plane {
+			plane[p] = (float64(fr.Pix[p]) - float64(prev.Pix[p])) / 2
+		}
+		enc := encodeCommon(fr, quality, verDelta, plane)
+		out[i] = enc
+		rec, err := applyDelta(prev, enc)
+		if err != nil {
+			return nil, err
+		}
+		prev = rec
+	}
+	return out, nil
+}
+
+// applyDelta reconstructs a frame from the previous reconstruction and
+// an encoded delta payload.
+func applyDelta(prev *Image, data []byte) (*Image, error) {
+	w, h, version, plane, err := decodeCommon(data)
+	if err != nil {
+		return nil, err
+	}
+	if version != verDelta {
+		return nil, fmt.Errorf("media: expected delta frame, got version %d", version)
+	}
+	if w != prev.W || h != prev.H {
+		return nil, fmt.Errorf("media: delta dimensions %dx%d vs %dx%d", w, h, prev.W, prev.H)
+	}
+	out, err := NewImage(w, h)
+	if err != nil {
+		return nil, err
+	}
+	for i := range plane {
+		out.Pix[i] = clamp8(float64(prev.Pix[i]) + plane[i]*2)
+	}
+	return out, nil
+}
+
+// DecodeVideo reconstructs a clip from per-frame payloads. A frame whose
+// header is destroyed decodes as a copy of the previous frame (freeze),
+// or mid-gray for a leading frame — the tolerant behaviour a real
+// player exhibits. The returned error count reports frozen frames.
+func DecodeVideo(payloads [][]byte) (*Video, int, error) {
+	if len(payloads) == 0 {
+		return nil, 0, errors.New("media: no payloads")
+	}
+	var v *Video
+	var prev *Image
+	frozen := 0
+	for i, data := range payloads {
+		var fr *Image
+		w, h, _, version, err := decodeHeader(data)
+		switch {
+		case err != nil:
+			frozen++
+			if prev != nil {
+				fr = prev.Clone()
+			}
+		case version == verIntra:
+			fr, err = DecodeImage(data)
+			if err != nil {
+				frozen++
+				if prev != nil {
+					fr = prev.Clone()
+				}
+			}
+		default: // delta
+			if prev == nil {
+				frozen++
+			} else {
+				fr, err = applyDelta(prev, data)
+				if err != nil {
+					frozen++
+					fr = prev.Clone()
+				}
+			}
+		}
+		if fr == nil {
+			// No usable reference at stream start: mid-gray frame.
+			if w == 0 || h == 0 {
+				if v != nil {
+					w, h = v.W, v.H
+				} else {
+					return nil, frozen, fmt.Errorf("media: frame %d undecodable with no reference", i)
+				}
+			}
+			fr, err = NewImage(w, h)
+			if err != nil {
+				return nil, frozen, err
+			}
+			for p := range fr.Pix {
+				fr.Pix[p] = 128
+			}
+		}
+		if v == nil {
+			v = &Video{W: fr.W, H: fr.H}
+		}
+		v.Frames = append(v.Frames, fr)
+		prev = fr
+	}
+	return v, frozen, nil
+}
+
+// VideoPSNR returns the mean per-frame PSNR between two clips of equal
+// length and dimensions. Infinite per-frame values (identical frames)
+// are capped at 99 dB before averaging so a single perfect frame cannot
+// dominate the mean.
+func VideoPSNR(a, b *Video) (float64, error) {
+	if len(a.Frames) != len(b.Frames) {
+		return 0, fmt.Errorf("media: frame count %d vs %d", len(a.Frames), len(b.Frames))
+	}
+	if len(a.Frames) == 0 {
+		return 0, errors.New("media: empty clips")
+	}
+	sum := 0.0
+	for i := range a.Frames {
+		p, err := PSNR(a.Frames[i], b.Frames[i])
+		if err != nil {
+			return 0, fmt.Errorf("media: frame %d: %w", i, err)
+		}
+		if p > 99 {
+			p = 99
+		}
+		sum += p
+	}
+	return sum / float64(len(a.Frames)), nil
+}

@@ -1,0 +1,164 @@
+package media
+
+import (
+	"testing"
+
+	"sos/internal/sim"
+)
+
+func TestSyntheticVideo(t *testing.T) {
+	v, err := SyntheticVideo(sim.NewRNG(1), 48, 32, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Frames) != 12 {
+		t.Fatalf("frames = %d", len(v.Frames))
+	}
+	// Consecutive frames differ (the drifting feature).
+	p, _ := PSNR(v.Frames[0], v.Frames[5])
+	if p > 60 {
+		t.Fatalf("frames nearly identical: %v dB", p)
+	}
+	if _, err := SyntheticVideo(sim.NewRNG(1), 48, 32, 0); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+}
+
+func TestVideoRoundtrip(t *testing.T) {
+	v, _ := SyntheticVideo(sim.NewRNG(2), 48, 32, 10)
+	payloads, err := EncodeVideo(v, 75, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payloads) != 10 {
+		t.Fatalf("payloads = %d", len(payloads))
+	}
+	dec, frozen, err := DecodeVideo(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen != 0 {
+		t.Fatalf("%d frozen frames on a clean stream", frozen)
+	}
+	p, err := VideoPSNR(v, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 28 {
+		t.Fatalf("clean roundtrip PSNR %v", p)
+	}
+}
+
+func TestVideoValidation(t *testing.T) {
+	if _, err := EncodeVideo(nil, 75, 5); err == nil {
+		t.Fatal("nil video accepted")
+	}
+	v, _ := SyntheticVideo(sim.NewRNG(3), 16, 16, 3)
+	if _, err := EncodeVideo(v, 75, 0); err == nil {
+		t.Fatal("zero GOP accepted")
+	}
+	if _, _, err := DecodeVideo(nil); err == nil {
+		t.Fatal("empty payloads accepted")
+	}
+}
+
+func TestPFrameDamageHealsAtNextI(t *testing.T) {
+	// Corrupt one P-frame's payload heavily: quality dips for frames in
+	// that GOP but recovers at the next I-frame.
+	rng := sim.NewRNG(4)
+	v, _ := SyntheticVideo(rng, 48, 32, 12)
+	payloads, _ := EncodeVideo(v, 80, 4) // I at 0, 4, 8
+	// Frame 5 is a P-frame; corrupt its AC tail heavily.
+	crit, err := CriticalPrefixLen(payloads[5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		pos := crit + rng.Intn(len(payloads[5])-crit)
+		payloads[5][pos] ^= 0xff
+	}
+	dec, _, err := DecodeVideo(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnrAt := func(i int) float64 {
+		p, _ := PSNR(v.Frames[i], dec.Frames[i])
+		if p > 99 {
+			p = 99
+		}
+		return p
+	}
+	if psnrAt(5) >= psnrAt(4) {
+		t.Fatalf("corruption had no effect: f5=%v f4=%v", psnrAt(5), psnrAt(4))
+	}
+	// Frames 8+ start a fresh GOP: quality must recover.
+	if psnrAt(8) <= psnrAt(5)+3 {
+		t.Fatalf("next I-frame did not heal: f8=%v f5=%v", psnrAt(8), psnrAt(5))
+	}
+}
+
+func TestDestroyedFrameFreezes(t *testing.T) {
+	rng := sim.NewRNG(5)
+	v, _ := SyntheticVideo(rng, 32, 32, 6)
+	payloads, _ := EncodeVideo(v, 75, 3)
+	// Destroy frame 4's header entirely.
+	for i := 0; i < headerLen; i++ {
+		payloads[4][i] = 0
+	}
+	dec, frozen, err := DecodeVideo(payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frozen != 1 {
+		t.Fatalf("frozen = %d, want 1", frozen)
+	}
+	// Frame 4 should be a copy of decoded frame 3.
+	p, _ := PSNR(dec.Frames[4], dec.Frames[3])
+	if p < 99 {
+		t.Fatalf("frozen frame is not a freeze: %v dB vs previous", p)
+	}
+}
+
+func TestLeadingFrameDestroyed(t *testing.T) {
+	rng := sim.NewRNG(6)
+	v, _ := SyntheticVideo(rng, 32, 32, 4)
+	payloads, _ := EncodeVideo(v, 75, 2)
+	for i := range payloads[0] {
+		payloads[0][i] = 0xAA
+	}
+	// Frame 0 undecodable with no reference and no known dimensions:
+	// decode degrades but must not crash. DecodeVideo may error (no
+	// reference) or produce a gray frame if dimensions are recoverable.
+	dec, frozen, err := DecodeVideo(payloads)
+	if err == nil {
+		if frozen == 0 {
+			t.Fatal("destroyed leading frame not counted frozen")
+		}
+		if len(dec.Frames) != 4 {
+			t.Fatalf("frames = %d", len(dec.Frames))
+		}
+	}
+}
+
+func TestVideoPSNRValidation(t *testing.T) {
+	a, _ := SyntheticVideo(sim.NewRNG(7), 16, 16, 3)
+	b, _ := SyntheticVideo(sim.NewRNG(7), 16, 16, 4)
+	if _, err := VideoPSNR(a, b); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	empty := &Video{}
+	if _, err := VideoPSNR(empty, empty); err == nil {
+		t.Fatal("empty clips accepted")
+	}
+}
+
+func TestVideoPSNRIdenticalCapped(t *testing.T) {
+	v, _ := SyntheticVideo(sim.NewRNG(8), 16, 16, 3)
+	p, err := VideoPSNR(v, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 99 {
+		t.Fatalf("identical clips PSNR %v, want capped 99", p)
+	}
+}

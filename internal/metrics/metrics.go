@@ -1,0 +1,242 @@
+// Package metrics provides lightweight counters, distributions, and time
+// series used by the experiment harnesses to report results in the shape
+// the paper reports them (totals, means, percentiles, curves over time).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by d (d must be >= 0).
+func (c *Counter) Add(d int64) {
+	if d < 0 {
+		panic("metrics: negative counter increment")
+	}
+	c.n += d
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Gauge is a value that can move in both directions.
+type Gauge struct {
+	v float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Dist accumulates a distribution of float64 samples with exact quantiles
+// (it keeps all samples; experiment scales here are modest).
+type Dist struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// Observe records one sample.
+func (d *Dist) Observe(v float64) {
+	if len(d.samples) == 0 {
+		d.min, d.max = v, v
+	} else {
+		if v < d.min {
+			d.min = v
+		}
+		if v > d.max {
+			d.max = v
+		}
+	}
+	d.samples = append(d.samples, v)
+	d.sum += v
+	d.sorted = false
+}
+
+// Count returns the number of samples.
+func (d *Dist) Count() int { return len(d.samples) }
+
+// Sum returns the sum of samples.
+func (d *Dist) Sum() float64 { return d.sum }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	return d.sum / float64(len(d.samples))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (d *Dist) Min() float64 { return d.min }
+
+// Max returns the largest sample, or 0 with no samples.
+func (d *Dist) Max() float64 { return d.max }
+
+// Stddev returns the population standard deviation.
+func (d *Dist) Stddev() float64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	mean := d.Mean()
+	var ss float64
+	for _, v := range d.samples {
+		dv := v - mean
+		ss += dv * dv
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Quantile returns the q-quantile (q in [0,1]) by nearest-rank on the
+// sorted samples. With no samples it returns 0.
+func (d *Dist) Quantile(q float64) float64 {
+	n := len(d.samples)
+	if n == 0 {
+		return 0
+	}
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+	if q <= 0 {
+		return d.samples[0]
+	}
+	if q >= 1 {
+		return d.samples[n-1]
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d.samples[idx]
+}
+
+// String summarizes the distribution.
+func (d *Dist) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p99=%.4g min=%.4g max=%.4g",
+		d.Count(), d.Mean(), d.Quantile(0.5), d.Quantile(0.99), d.Min(), d.Max())
+}
+
+// Point is one sample in a time series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is an ordered list of (x, y) points, typically (time, value),
+// used to regenerate the paper's curves.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point. X values are expected to be non-decreasing.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Last returns the most recent point, or a zero Point if empty.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// At returns the Y value at the greatest X <= x (step interpolation), or
+// 0 if x precedes all points.
+func (s *Series) At(x float64) float64 {
+	y := 0.0
+	for _, p := range s.Points {
+		if p.X > x {
+			break
+		}
+		y = p.Y
+	}
+	return y
+}
+
+// Table renders aligned rows for experiment output. It is deliberately
+// plain text so harness output can be diffed between runs.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row of cells, formatting each with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// String renders the table with column alignment.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

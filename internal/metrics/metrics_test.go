@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestCounterNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	var c Counter
+	c.Add(-1)
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %v, want 7", g.Value())
+	}
+}
+
+func TestDistBasics(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{3, 1, 4, 1, 5, 9, 2, 6} {
+		d.Observe(v)
+	}
+	if d.Count() != 8 {
+		t.Errorf("count = %d", d.Count())
+	}
+	if d.Min() != 1 || d.Max() != 9 {
+		t.Errorf("min/max = %v/%v", d.Min(), d.Max())
+	}
+	if got := d.Mean(); math.Abs(got-31.0/8) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+	if d.Sum() != 31 {
+		t.Errorf("sum = %v", d.Sum())
+	}
+}
+
+func TestDistEmpty(t *testing.T) {
+	var d Dist
+	if d.Mean() != 0 || d.Quantile(0.5) != 0 || d.Stddev() != 0 {
+		t.Fatal("empty dist should report zeros")
+	}
+}
+
+func TestDistQuantiles(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 100; i++ {
+		d.Observe(float64(i))
+	}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.5, 50}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := d.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestDistQuantileMonotonic(t *testing.T) {
+	var d Dist
+	for i := 0; i < 500; i++ {
+		d.Observe(math.Sin(float64(i)) * 100)
+	}
+	err := quick.Check(func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		if a > b {
+			a, b = b, a
+		}
+		return d.Quantile(a) <= d.Quantile(b)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistObserveAfterQuantile(t *testing.T) {
+	var d Dist
+	d.Observe(5)
+	_ = d.Quantile(0.5)
+	d.Observe(1)
+	if got := d.Quantile(0); got != 1 {
+		t.Fatalf("quantile after late observe = %v, want 1", got)
+	}
+}
+
+func TestDistStddev(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		d.Observe(v)
+	}
+	if got := d.Stddev(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(0, 100)
+	s.Add(10, 90)
+	s.Add(20, 80)
+	if s.Len() != 3 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if p := s.Last(); p.X != 20 || p.Y != 80 {
+		t.Fatalf("last = %+v", p)
+	}
+	if y := s.At(15); y != 90 {
+		t.Fatalf("At(15) = %v, want 90 (step)", y)
+	}
+	if y := s.At(-5); y != 0 {
+		t.Fatalf("At before first point = %v, want 0", y)
+	}
+	if y := s.At(100); y != 80 {
+		t.Fatalf("At past end = %v, want 80", y)
+	}
+}
+
+func TestSeriesEmptyLast(t *testing.T) {
+	var s Series
+	if p := s.Last(); p.X != 0 || p.Y != 0 {
+		t.Fatalf("empty series Last = %+v", p)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := Table{Header: []string{"tech", "pec", "share"}}
+	tb.AddRow("SLC", 100000, 0.381)
+	tb.AddRow("PLC", 300, 2.0)
+	out := tb.String()
+	if !strings.Contains(out, "SLC") || !strings.Contains(out, "100000") {
+		t.Fatalf("table missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	// Integral floats render without a mantissa tail.
+	if !strings.Contains(out, " 2\n") && !strings.HasSuffix(out, " 2") && !strings.Contains(out, "2\n") {
+		t.Fatalf("integral float rendered oddly:\n%s", out)
+	}
+}
+
+func TestDistString(t *testing.T) {
+	var d Dist
+	d.Observe(1)
+	d.Observe(2)
+	s := d.String()
+	if !strings.Contains(s, "n=2") {
+		t.Fatalf("Dist.String = %q", s)
+	}
+}

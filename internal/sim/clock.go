@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is simulated time measured in nanoseconds since simulation start.
+// It deliberately mirrors time.Duration arithmetic but is a distinct type
+// so that wall-clock values cannot be mixed in by accident.
+type Time int64
+
+// Common simulated durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+	Day              = 24 * Hour
+	Year             = 365 * Day
+)
+
+// Duration converts a simulated time span to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Days returns the time as floating-point days.
+func (t Time) Days() float64 { return float64(t) / float64(Day) }
+
+// Years returns the time as floating-point years (365-day years).
+func (t Time) Years() float64 { return float64(t) / float64(Year) }
+
+func (t Time) String() string {
+	switch {
+	case t >= Year:
+		return fmt.Sprintf("%.2fy", t.Years())
+	case t >= Day:
+		return fmt.Sprintf("%.2fd", t.Days())
+	default:
+		return time.Duration(t).String()
+	}
+}
+
+// Clock is a virtual clock. The zero value starts at time 0.
+type Clock struct {
+	now Time
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// Advance moves the clock forward by d. It panics on negative d, which
+// would indicate a scheduling bug.
+func (c *Clock) Advance(d Time) {
+	if d < 0 {
+		panic("sim: clock moved backwards")
+	}
+	c.now += d
+}
+
+// SetNow jumps the clock to t, which must not be in the past.
+func (c *Clock) SetNow(t Time) {
+	if t < c.now {
+		panic("sim: clock moved backwards")
+	}
+	c.now = t
+}
+
+// Event is a scheduled callback in the discrete-event queue.
+type Event struct {
+	At   Time
+	Do   func(now Time)
+	seq  int64
+	idx  int
+	dead bool
+}
+
+// Cancel marks the event so that it will not fire. Safe to call multiple
+// times and after the event fired (then it is a no-op).
+func (e *Event) Cancel() { e.dead = true }
+
+// EventQueue is a discrete-event simulator loop bound to a Clock.
+// Events fire in timestamp order; ties break in scheduling order.
+type EventQueue struct {
+	clock *Clock
+	h     eventHeap
+	seq   int64
+}
+
+// NewEventQueue returns an event queue driving the given clock.
+func NewEventQueue(clock *Clock) *EventQueue {
+	return &EventQueue{clock: clock}
+}
+
+// Len reports the number of pending (possibly cancelled) events.
+func (q *EventQueue) Len() int { return q.h.Len() }
+
+// At schedules fn to run at absolute time t (>= now).
+func (q *EventQueue) At(t Time, fn func(now Time)) *Event {
+	if t < q.clock.Now() {
+		panic("sim: scheduling event in the past")
+	}
+	q.seq++
+	ev := &Event{At: t, Do: fn, seq: q.seq}
+	heap.Push(&q.h, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time.
+func (q *EventQueue) After(d Time, fn func(now Time)) *Event {
+	return q.At(q.clock.Now()+d, fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It returns false when the queue is empty.
+func (q *EventQueue) Step() bool {
+	for q.h.Len() > 0 {
+		ev := heap.Pop(&q.h).(*Event)
+		if ev.dead {
+			continue
+		}
+		q.clock.SetNow(ev.At)
+		ev.Do(ev.At)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires events until the queue is empty or the next event is
+// later than deadline; the clock is left at min(deadline, last event).
+// It returns the number of events fired.
+func (q *EventQueue) RunUntil(deadline Time) int {
+	fired := 0
+	for q.h.Len() > 0 {
+		// Skip cancelled heads without advancing time.
+		ev := q.h[0]
+		if ev.dead {
+			heap.Pop(&q.h)
+			continue
+		}
+		if ev.At > deadline {
+			break
+		}
+		heap.Pop(&q.h)
+		q.clock.SetNow(ev.At)
+		ev.Do(ev.At)
+		fired++
+	}
+	if q.clock.Now() < deadline {
+		q.clock.SetNow(deadline)
+	}
+	return fired
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v", c.Now())
+	}
+	c.Advance(5 * Second)
+	if c.Now() != 5*Second {
+		t.Fatalf("clock at %v, want 5s", c.Now())
+	}
+	c.Advance(0)
+	if c.Now() != 5*Second {
+		t.Fatalf("zero advance moved clock to %v", c.Now())
+	}
+}
+
+func TestClockBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockSetNowBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetNow into the past did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(Second)
+	c.SetNow(0)
+}
+
+func TestTimeConversions(t *testing.T) {
+	if d := (2 * Day).Days(); d != 2 {
+		t.Errorf("Days = %v", d)
+	}
+	if y := (Year / 2).Years(); y != 0.5 {
+		t.Errorf("Years = %v", y)
+	}
+	if s := (1500 * Millisecond).Seconds(); s != 1.5 {
+		t.Errorf("Seconds = %v", s)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{2 * Year, "2.00y"},
+		{3 * Day, "3.00d"},
+		{5 * Second, "5s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var c Clock
+	q := NewEventQueue(&c)
+	var fired []int
+	q.At(30, func(Time) { fired = append(fired, 3) })
+	q.At(10, func(Time) { fired = append(fired, 1) })
+	q.At(20, func(Time) { fired = append(fired, 2) })
+	for q.Step() {
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if c.Now() != 30 {
+		t.Fatalf("clock at %v after drain, want 30", c.Now())
+	}
+}
+
+func TestEventQueueTieBreak(t *testing.T) {
+	var c Clock
+	q := NewEventQueue(&c)
+	var fired []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.At(10, func(Time) { fired = append(fired, i) })
+	}
+	for q.Step() {
+	}
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("same-time events out of scheduling order: %v", fired)
+		}
+	}
+}
+
+func TestEventQueueCancel(t *testing.T) {
+	var c Clock
+	q := NewEventQueue(&c)
+	ran := false
+	ev := q.At(10, func(Time) { ran = true })
+	ev.Cancel()
+	for q.Step() {
+	}
+	if ran {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestEventQueueAfter(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	q := NewEventQueue(&c)
+	var at Time
+	q.After(50, func(now Time) { at = now })
+	q.Step()
+	if at != 150 {
+		t.Fatalf("After(50) fired at %v, want 150", at)
+	}
+}
+
+func TestEventQueueRunUntil(t *testing.T) {
+	var c Clock
+	q := NewEventQueue(&c)
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		q.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	n := q.RunUntil(25)
+	if n != 2 || len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %d events (%v)", n, fired)
+	}
+	if c.Now() != 25 {
+		t.Fatalf("clock at %v after RunUntil(25)", c.Now())
+	}
+	n = q.RunUntil(100)
+	if n != 2 {
+		t.Fatalf("second RunUntil fired %d", n)
+	}
+	if c.Now() != 100 {
+		t.Fatalf("clock at %v, want 100", c.Now())
+	}
+}
+
+func TestEventQueueScheduleDuringRun(t *testing.T) {
+	var c Clock
+	q := NewEventQueue(&c)
+	var fired []Time
+	q.At(10, func(now Time) {
+		fired = append(fired, now)
+		q.After(5, func(now Time) { fired = append(fired, now) })
+	})
+	q.RunUntil(100)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("nested scheduling produced %v", fired)
+	}
+}
+
+func TestEventQueuePastPanics(t *testing.T) {
+	var c Clock
+	c.Advance(100)
+	q := NewEventQueue(&c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	q.At(50, func(Time) {})
+}

@@ -1,0 +1,234 @@
+// Package sim provides deterministic simulation primitives shared by all
+// SOS substrates: a seedable random number generator, a virtual clock, and
+// a discrete event queue.
+//
+// Everything in this repository that involves randomness (bit-error
+// injection, workload synthesis, classifier corpora) draws from sim.RNG so
+// that experiments are exactly reproducible from a seed.
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** seeded via splitmix64). It is NOT safe for concurrent use;
+// callers that need concurrency should Fork per goroutine.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from seed via splitmix64, so that
+// nearby seeds still produce decorrelated streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// xoshiro must not be seeded with all zeros.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Fork derives an independent generator whose stream is decorrelated from
+// the parent. The parent advances by one draw.
+func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Box-Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	// Reject u1 == 0 to keep Log finite.
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Poisson returns a Poisson-distributed sample with the given mean using
+// Knuth's method for small means and normal approximation for large ones.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		// Normal approximation; adequate for workload synthesis.
+		v := mean + math.Sqrt(mean)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Binomial returns the number of successes in n Bernoulli(p) trials.
+// For large n*p it uses a normal approximation, otherwise exact sampling;
+// this is the hot path of flash bit-error injection, where n is bits per
+// page (tens of thousands) and p is the raw bit error rate.
+func (r *RNG) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	mean := float64(n) * p
+	if mean < 16 {
+		// Poisson approximation is accurate for small p and keeps the
+		// common low-error case O(errors) rather than O(bits).
+		if p < 0.01 {
+			k := r.Poisson(mean)
+			if k > n {
+				k = n
+			}
+			return k
+		}
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	sd := math.Sqrt(mean * (1 - p))
+	v := mean + sd*r.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	if v > float64(n) {
+		return n
+	}
+	return int(v + 0.5)
+}
+
+// Zipf samples from a Zipf distribution over [0, n) with exponent s > 0
+// using rejection-inversion. It is used for skewed file popularity.
+type Zipf struct {
+	rng  *RNG
+	n    float64
+	s    float64
+	hx0  float64
+	hn   float64
+	oneS float64
+}
+
+// NewZipf returns a Zipf sampler over ranks [0, n) with exponent s.
+// s must be > 0 and != 1-adjacent pathological values are handled.
+func NewZipf(rng *RNG, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("sim: NewZipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("sim: NewZipf with non-positive s")
+	}
+	z := &Zipf{rng: rng, n: float64(n), s: s, oneS: 1 - s}
+	z.hx0 = z.h(0.5) - 1
+	z.hn = z.h(z.n + 0.5)
+	return z
+}
+
+// h is the integral of x^-s (the harmonic-like envelope).
+func (z *Zipf) h(x float64) float64 {
+	if z.oneS == 0 {
+		return math.Log(x)
+	}
+	return math.Pow(x, z.oneS) / z.oneS
+}
+
+func (z *Zipf) hInv(x float64) float64 {
+	if z.oneS == 0 {
+		return math.Exp(x)
+	}
+	return math.Pow(x*z.oneS, 1/z.oneS)
+}
+
+// Next returns the next sample in [0, n), rank 0 being most popular.
+func (z *Zipf) Next() int {
+	for {
+		u := z.hx0 + z.rng.Float64()*(z.hn-z.hx0)
+		x := z.hInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		}
+		if k > z.n {
+			k = z.n
+		}
+		if k-x <= 0.5 || u >= z.h(k+0.5)-math.Pow(k, -z.s) {
+			return int(k) - 1
+		}
+	}
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDecorrelated(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a stuck generator")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(7)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("exponential sample negative: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(17)
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonPositiveMean(t *testing.T) {
+	r := NewRNG(1)
+	if v := r.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d", v)
+	}
+	if v := r.Poisson(-3); v != 0 {
+		t.Fatalf("Poisson(-3) = %d", v)
+	}
+}
+
+func TestBinomialBounds(t *testing.T) {
+	r := NewRNG(19)
+	err := quick.Check(func(nRaw uint16, pRaw uint16) bool {
+		n := int(nRaw % 50000)
+		p := float64(pRaw) / 65535.0
+		k := r.Binomial(n, p)
+		return k >= 0 && k <= n
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialEdges(t *testing.T) {
+	r := NewRNG(23)
+	if v := r.Binomial(100, 0); v != 0 {
+		t.Fatalf("Binomial(100, 0) = %d", v)
+	}
+	if v := r.Binomial(100, 1); v != 100 {
+		t.Fatalf("Binomial(100, 1) = %d", v)
+	}
+	if v := r.Binomial(0, 0.5); v != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", v)
+	}
+}
+
+func TestBinomialMean(t *testing.T) {
+	r := NewRNG(29)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{32768, 1e-4}, // typical flash page error injection regime
+		{32768, 1e-2},
+		{100, 0.5},
+		{10, 0.3},
+	}
+	for _, c := range cases {
+		const trials = 20000
+		sum := 0
+		for i := 0; i < trials; i++ {
+			sum += r.Binomial(c.n, c.p)
+		}
+		want := float64(c.n) * c.p
+		got := float64(sum) / trials
+		tol := math.Max(want*0.05, 0.1)
+		if math.Abs(got-want) > tol {
+			t.Errorf("Binomial(%d, %g) mean = %v, want ~%v", c.n, c.p, got, want)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(31)
+	z := NewZipf(r, 1.1, 1000)
+	counts := make([]int, 1000)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Next()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf sample out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[500] {
+		t.Errorf("Zipf not skewed: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+	// Rank 0 should dominate: for s=1.1 over 1000 items it holds >10% of mass.
+	if float64(counts[0])/n < 0.05 {
+		t.Errorf("Zipf rank 0 mass too small: %d/%d", counts[0], n)
+	}
+}
+
+func TestZipfExponentOne(t *testing.T) {
+	r := NewRNG(37)
+	z := NewZipf(r, 1.0, 100)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf(s=1) sample out of range: %d", v)
+		}
+	}
+}
+
+func TestShufflePermutation(t *testing.T) {
+	r := NewRNG(41)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(99)
+	child := parent.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked stream correlated with parent: %d matches", same)
+	}
+}

@@ -1,0 +1,88 @@
+// Package trace records and replays workload event streams as JSON
+// lines, so an experiment's exact input can be persisted, inspected and
+// re-run. The format is deliberately plain: one Event per line.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sos/internal/workload"
+)
+
+// Writer serializes events to an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one event.
+func (t *Writer) Write(ev workload.Event) error {
+	if err := t.enc.Encode(ev); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	t.n++
+	return nil
+}
+
+// Count returns the number of events written.
+func (t *Writer) Count() int { return t.n }
+
+// Flush flushes buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Record drains a generator into w, returning the event count.
+func Record(w io.Writer, g workload.Generator) (int, error) {
+	tw := NewWriter(w)
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(ev); err != nil {
+			return tw.Count(), err
+		}
+	}
+	return tw.Count(), tw.Flush()
+}
+
+// Reader replays a recorded stream as a workload.Generator.
+type Reader struct {
+	dec *json.Decoder
+	err error
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Next implements workload.Generator. Decoding errors terminate the
+// stream; check Err afterwards.
+func (t *Reader) Next() (workload.Event, bool) {
+	if t.err != nil {
+		return workload.Event{}, false
+	}
+	var ev workload.Event
+	if err := t.dec.Decode(&ev); err != nil {
+		if err != io.EOF {
+			t.err = fmt.Errorf("trace: decode: %w", err)
+		}
+		return workload.Event{}, false
+	}
+	return ev, true
+}
+
+// Err returns the first decoding error, if any.
+func (t *Reader) Err() error { return t.err }
+
+var _ workload.Generator = (*Reader)(nil)

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sos/internal/workload"
+)
+
+func TestRecordReplayRoundtrip(t *testing.T) {
+	g, err := workload.NewPersonal(workload.DefaultPersonalConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := workload.Collect(g)
+
+	g2, _ := workload.NewPersonal(workload.DefaultPersonalConfig(5))
+	var buf bytes.Buffer
+	n, err := Record(&buf, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(orig) {
+		t.Fatalf("recorded %d events, generated %d", n, len(orig))
+	}
+
+	replayed := workload.Collect(NewReader(&buf))
+	if len(replayed) != len(orig) {
+		t.Fatalf("replayed %d events, want %d", len(replayed), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], replayed[i]
+		if a.At != b.At || a.Kind != b.Kind || a.FileID != b.FileID ||
+			a.Size != b.Size || a.Meta.Path != b.Meta.Path || a.TrueLabel != b.TrueLabel {
+			t.Fatalf("event %d mismatch:\n%+v\n%+v", i, a, b)
+		}
+	}
+}
+
+func TestReaderEmpty(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, ok := r.Next(); ok {
+		t.Fatal("empty stream yielded an event")
+	}
+	if r.Err() != nil {
+		t.Fatalf("EOF reported as error: %v", r.Err())
+	}
+}
+
+func TestReaderCorruptLine(t *testing.T) {
+	r := NewReader(strings.NewReader("{\"At\":1}\nnot-json\n"))
+	if _, ok := r.Next(); !ok {
+		t.Fatal("first valid event not returned")
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("corrupt line yielded an event")
+	}
+	if r.Err() == nil {
+		t.Fatal("corrupt line not reported")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 3; i++ {
+		if err := w.Write(workload.Event{FileID: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(buf.Bytes(), []byte("\n")); lines != 3 {
+		t.Fatalf("lines = %d", lines)
+	}
+}

@@ -1,0 +1,87 @@
+package workload
+
+import (
+	"testing"
+
+	"sos/internal/classify"
+	"sos/internal/sim"
+)
+
+func TestEnterpriseGenerator(t *testing.T) {
+	g, err := NewEnterprise(EnterpriseConfig{
+		Days: 10, Files: 50, FileBytes: 4096,
+		OverwritesPerDay: 200, ReadsPerDay: 400, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := Collect(g)
+	var creates, updates, reads int
+	live := map[int64]bool{}
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EvCreate:
+			creates++
+			live[ev.FileID] = true
+			if ev.TrueLabel != classify.LabelSys {
+				t.Fatal("enterprise data labeled spare")
+			}
+		case EvUpdate:
+			updates++
+			if !live[ev.FileID] {
+				t.Fatalf("update of uncreated file %d", ev.FileID)
+			}
+		case EvRead:
+			reads++
+		default:
+			t.Fatalf("unexpected kind %v", ev.Kind)
+		}
+	}
+	if creates != 50 {
+		t.Fatalf("creates = %d", creates)
+	}
+	// ~200/day x 10 days.
+	if updates < 1500 || updates > 2500 {
+		t.Fatalf("updates = %d", updates)
+	}
+	if reads < 3000 || reads > 5000 {
+		t.Fatalf("reads = %d", reads)
+	}
+	var prev sim.Time
+	for i, ev := range evs {
+		if ev.At < prev {
+			t.Fatalf("event %d out of order", i)
+		}
+		prev = ev.At
+	}
+}
+
+func TestEnterpriseValidation(t *testing.T) {
+	if _, err := NewEnterprise(EnterpriseConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestEnterpriseUniformSpread(t *testing.T) {
+	g, _ := NewEnterprise(EnterpriseConfig{
+		Days: 20, Files: 20, FileBytes: 1024,
+		OverwritesPerDay: 300, Seed: 2,
+	})
+	counts := map[int64]int{}
+	for _, ev := range Collect(g) {
+		if ev.Kind == EvUpdate {
+			counts[ev.FileID]++
+		}
+	}
+	// Uniform: no file should take more than ~3x its fair share.
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	fair := total / 20
+	for id, c := range counts {
+		if c > fair*3 {
+			t.Fatalf("file %d took %d of %d updates (fair %d)", id, c, total, fair)
+		}
+	}
+}

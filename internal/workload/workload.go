@@ -1,0 +1,421 @@
+// Package workload synthesizes personal-device storage activity: the
+// daily mix of media ingest, app-database churn, skewed read traffic and
+// occasional deletes that characterizes phones and tablets [38, 66-68],
+// plus the adversarial write-torture pattern ("playing Final Fantasy
+// nine hours daily") and a steady enterprise-style pattern used as
+// contrast. Generators emit file-level events against simulated time;
+// the SOS engine executes them.
+package workload
+
+import (
+	"fmt"
+
+	"sos/internal/classify"
+	"sos/internal/sim"
+)
+
+// EventKind is the type of a file-level event.
+type EventKind int
+
+// Event kinds.
+const (
+	// EvCreate introduces a new file (full write of Size bytes).
+	EvCreate EventKind = iota
+	// EvUpdate rewrites an existing file (app databases, edited docs).
+	EvUpdate
+	// EvRead reads a file fully.
+	EvRead
+	// EvDelete removes a file.
+	EvDelete
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvCreate:
+		return "create"
+	case EvUpdate:
+		return "update"
+	case EvRead:
+		return "read"
+	case EvDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one file-level operation.
+type Event struct {
+	At     sim.Time
+	Kind   EventKind
+	FileID int64
+	// Meta is set on EvCreate (the file's metadata at creation).
+	Meta classify.FileMeta
+	// TrueLabel is the ground-truth criticality (for regret accounting;
+	// the engine must not use it for placement).
+	TrueLabel classify.Label
+	// Size is the file size for creates/updates.
+	Size int64
+}
+
+// Generator produces a stream of events ordered by time.
+type Generator interface {
+	// Next returns the next event; ok=false ends the stream.
+	Next() (Event, bool)
+}
+
+// PersonalConfig parameterizes the personal-device generator. Volumes
+// are expressed per simulated day; scale them down together with device
+// capacity for laptop-scale runs.
+type PersonalConfig struct {
+	// Days of activity to generate.
+	Days int
+	// NewMediaPerDay is the mean count of new media files (photos,
+	// received media, screenshots).
+	NewMediaPerDay float64
+	// MediaBytes is the mean size of a media file.
+	MediaBytes int64
+	// AppDBCount is the number of app database files churned daily.
+	AppDBCount int
+	// AppDBBytes is the mean size of an app database.
+	AppDBBytes int64
+	// AppDBUpdatesPerDay is the mean rewrite count across databases.
+	AppDBUpdatesPerDay float64
+	// ReadsPerDay is the mean count of whole-file media reads
+	// (read-dominant behaviour; popularity is Zipf-skewed).
+	ReadsPerDay float64
+	// DeletesPerDay is the mean count of user deletions.
+	DeletesPerDay float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultPersonalConfig returns a scaled-down phone profile: media
+// dominates capacity, app databases dominate write counts, reads
+// dominate operations.
+func DefaultPersonalConfig(days int) PersonalConfig {
+	return PersonalConfig{
+		Days:               days,
+		NewMediaPerDay:     8,
+		MediaBytes:         96 * 1024,
+		AppDBCount:         12,
+		AppDBBytes:         24 * 1024,
+		AppDBUpdatesPerDay: 40,
+		ReadsPerDay:        120,
+		DeletesPerDay:      1,
+		Seed:               1,
+	}
+}
+
+// personalGen implements Generator for the phone profile.
+type personalGen struct {
+	cfg  PersonalConfig
+	rng  *sim.RNG
+	cats []classify.Category
+	cum  []float64
+
+	day     int
+	pending []Event
+	nextID  int64
+
+	media []int64 // live media file ids (zipf read targets)
+	dbs   []int64 // app database ids
+	seq   int
+}
+
+// NewPersonal builds the personal-device generator.
+func NewPersonal(cfg PersonalConfig) (Generator, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("workload: non-positive days %d", cfg.Days)
+	}
+	if cfg.MediaBytes <= 0 || cfg.AppDBBytes <= 0 {
+		return nil, fmt.Errorf("workload: non-positive sizes")
+	}
+	g := &personalGen{cfg: cfg, rng: sim.NewRNG(cfg.Seed), cats: classify.Categories()}
+	total := 0.0
+	for _, c := range g.cats {
+		total += c.Weight
+		g.cum = append(g.cum, total)
+	}
+	g.bootstrapDBs()
+	return g, nil
+}
+
+// bootstrapDBs creates the app databases on day 0.
+func (g *personalGen) bootstrapDBs() {
+	for i := 0; i < g.cfg.AppDBCount; i++ {
+		id := g.nextID
+		g.nextID++
+		meta := classify.FileMeta{
+			Path:          fmt.Sprintf("/data/data/com.vendor.app%03d/databases/main.db", i),
+			SizeBytes:     g.cfg.AppDBBytes,
+			Modifications: 1,
+		}
+		g.dbs = append(g.dbs, id)
+		g.pending = append(g.pending, Event{
+			At: 0, Kind: EvCreate, FileID: id, Meta: meta,
+			TrueLabel: classify.LabelSys, Size: g.cfg.AppDBBytes,
+		})
+	}
+}
+
+// mediaCategory samples a media-bearing category (camera photo,
+// screenshot, messaging media, personal video) in proportion.
+func (g *personalGen) mediaCategory() *classify.Category {
+	for {
+		r := g.rng.Float64() * g.cum[len(g.cum)-1]
+		ci := len(g.cats) - 1
+		for j, c := range g.cum {
+			if r <= c {
+				ci = j
+				break
+			}
+		}
+		switch g.cats[ci].Name {
+		case "camera-photo", "screenshot", "messaging-media", "personal-video", "music", "download":
+			return &g.cats[ci]
+		}
+	}
+}
+
+// genDay fills pending with one day of events at day boundary d.
+// Reads and deletes only target files settled on previous days so that
+// within-day timestamp shuffling cannot order an access before its
+// file's create event.
+func (g *personalGen) genDay(d int) {
+	base := sim.Time(d) * sim.Day
+	at := func() sim.Time { return base + sim.Time(g.rng.Int63n(int64(sim.Day))) }
+	settled := len(g.media)
+
+	// New media.
+	n := g.rng.Poisson(g.cfg.NewMediaPerDay)
+	for i := 0; i < n; i++ {
+		cat := g.mediaCategory()
+		meta := cat.Gen(g.rng, g.seq)
+		g.seq++
+		meta.AgeDays = 0
+		meta.DaysSinceAccess = 0
+		size := g.cfg.MediaBytes/2 + g.rng.Int63n(g.cfg.MediaBytes)
+		meta.SizeBytes = size
+		id := g.nextID
+		g.nextID++
+		label := labelOf(g.rng, cat, meta)
+		g.media = append(g.media, id)
+		g.pending = append(g.pending, Event{
+			At: at(), Kind: EvCreate, FileID: id, Meta: meta, TrueLabel: label, Size: size,
+		})
+	}
+
+	// App database churn.
+	u := g.rng.Poisson(g.cfg.AppDBUpdatesPerDay)
+	for i := 0; i < u && len(g.dbs) > 0; i++ {
+		id := g.dbs[g.rng.Intn(len(g.dbs))]
+		g.pending = append(g.pending, Event{
+			At: at(), Kind: EvUpdate, FileID: id, Size: g.cfg.AppDBBytes,
+		})
+	}
+
+	// Skewed media reads over previously-settled files.
+	r := g.rng.Poisson(g.cfg.ReadsPerDay)
+	if settled > 0 {
+		z := sim.NewZipf(g.rng.Fork(), 1.1, settled)
+		for i := 0; i < r; i++ {
+			// Rank 0 = newest settled file: recency-skewed popularity.
+			rank := z.Next()
+			id := g.media[settled-1-rank]
+			g.pending = append(g.pending, Event{At: at(), Kind: EvRead, FileID: id})
+		}
+	}
+
+	// Deletions, also restricted to settled files.
+	del := g.rng.Poisson(g.cfg.DeletesPerDay)
+	for i := 0; i < del && settled > 1; i++ {
+		idx := g.rng.Intn(settled)
+		id := g.media[idx]
+		g.media = append(g.media[:idx], g.media[idx+1:]...)
+		settled--
+		g.pending = append(g.pending, Event{At: at(), Kind: EvDelete, FileID: id})
+	}
+
+	// Order the day's events by time (stable enough: sort by At).
+	sortEvents(g.pending)
+}
+
+// labelOf mirrors the corpus labeling rule for generated media.
+func labelOf(rng *sim.RNG, cat *classify.Category, m classify.FileMeta) classify.Label {
+	p := cat.SpareProb
+	if m.HasFaces {
+		p -= 0.25
+	}
+	if m.Shared {
+		p -= 0.15
+	}
+	if p < 0 {
+		p = 0
+	}
+	if rng.Bool(p) {
+		return classify.LabelSpare
+	}
+	return classify.LabelSys
+}
+
+func sortEvents(evs []Event) {
+	// Insertion sort: days are small and almost sorted.
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].At < evs[j-1].At; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+}
+
+// Next implements Generator.
+func (g *personalGen) Next() (Event, bool) {
+	for len(g.pending) == 0 {
+		if g.day >= g.cfg.Days {
+			return Event{}, false
+		}
+		g.genDay(g.day)
+		g.day++
+	}
+	ev := g.pending[0]
+	g.pending = g.pending[1:]
+	return ev, true
+}
+
+// TortureConfig parameterizes the write-intensive adversarial workload
+// (§4.5 "exceptionally write-intensive workloads").
+type TortureConfig struct {
+	Days         int
+	WritesPerDay int
+	FileBytes    int64
+	WorkingSet   int // distinct files rewritten in a loop
+	Seed         uint64
+}
+
+// NewTorture builds a generator that rewrites a small working set at a
+// sustained rate — the pattern that prematurely wears PLC blocks.
+func NewTorture(cfg TortureConfig) (Generator, error) {
+	if cfg.Days <= 0 || cfg.WritesPerDay <= 0 || cfg.WorkingSet <= 0 || cfg.FileBytes <= 0 {
+		return nil, fmt.Errorf("workload: invalid torture config %+v", cfg)
+	}
+	return &tortureGen{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}, nil
+}
+
+type tortureGen struct {
+	cfg     TortureConfig
+	rng     *sim.RNG
+	emitted int
+	created int
+}
+
+// Next implements Generator.
+func (t *tortureGen) Next() (Event, bool) {
+	total := t.cfg.Days * t.cfg.WritesPerDay
+	if t.emitted >= total {
+		return Event{}, false
+	}
+	step := sim.Time(int64(sim.Day) / int64(t.cfg.WritesPerDay))
+	at := sim.Time(t.emitted) * step
+	defer func() { t.emitted++ }()
+	if t.created < t.cfg.WorkingSet {
+		id := int64(t.created)
+		t.created++
+		meta := classify.FileMeta{
+			Path:      fmt.Sprintf("/sdcard/Android/data/game/save-%03d.bin", id),
+			SizeBytes: t.cfg.FileBytes,
+		}
+		return Event{At: at, Kind: EvCreate, FileID: id, Meta: meta,
+			TrueLabel: classify.LabelSpare, Size: t.cfg.FileBytes}, true
+	}
+	id := int64(t.rng.Intn(t.cfg.WorkingSet))
+	return Event{At: at, Kind: EvUpdate, FileID: id, Size: t.cfg.FileBytes}, true
+}
+
+// EnterpriseConfig parameterizes a server-style workload: sustained
+// 24/7 random overwrites across a large working set. Used as the §2.3.1
+// contrast — even "relatively stressful" enterprise use wears flash
+// slowly relative to warranty periods.
+type EnterpriseConfig struct {
+	Days int
+	// Files in the working set (all created up front).
+	Files int
+	// FileBytes per file.
+	FileBytes int64
+	// OverwritesPerDay across the set, uniformly distributed.
+	OverwritesPerDay float64
+	// ReadsPerDay across the set, uniformly distributed.
+	ReadsPerDay float64
+	Seed        uint64
+}
+
+// NewEnterprise builds the server-style generator.
+func NewEnterprise(cfg EnterpriseConfig) (Generator, error) {
+	if cfg.Days <= 0 || cfg.Files <= 0 || cfg.FileBytes <= 0 {
+		return nil, fmt.Errorf("workload: invalid enterprise config %+v", cfg)
+	}
+	return &enterpriseGen{cfg: cfg, rng: sim.NewRNG(cfg.Seed)}, nil
+}
+
+type enterpriseGen struct {
+	cfg     EnterpriseConfig
+	rng     *sim.RNG
+	day     int
+	created int
+	pending []Event
+}
+
+// Next implements Generator.
+func (g *enterpriseGen) Next() (Event, bool) {
+	// Bootstrap: create the working set on day 0.
+	if g.created < g.cfg.Files {
+		id := int64(g.created)
+		g.created++
+		meta := classify.FileMeta{
+			Path:          fmt.Sprintf("/srv/data/obj-%06d.dat", id),
+			SizeBytes:     g.cfg.FileBytes,
+			Modifications: 1,
+			AccessCount:   1,
+		}
+		return Event{
+			At: 0, Kind: EvCreate, FileID: id, Meta: meta,
+			TrueLabel: classify.LabelSys, Size: g.cfg.FileBytes,
+		}, true
+	}
+	for len(g.pending) == 0 {
+		if g.day >= g.cfg.Days {
+			return Event{}, false
+		}
+		base := sim.Time(g.day) * sim.Day
+		at := func() sim.Time { return base + sim.Time(g.rng.Int63n(int64(sim.Day))) }
+		w := g.rng.Poisson(g.cfg.OverwritesPerDay)
+		for i := 0; i < w; i++ {
+			g.pending = append(g.pending, Event{
+				At: at(), Kind: EvUpdate,
+				FileID: int64(g.rng.Intn(g.cfg.Files)), Size: g.cfg.FileBytes,
+			})
+		}
+		r := g.rng.Poisson(g.cfg.ReadsPerDay)
+		for i := 0; i < r; i++ {
+			g.pending = append(g.pending, Event{
+				At: at(), Kind: EvRead, FileID: int64(g.rng.Intn(g.cfg.Files)),
+			})
+		}
+		sortEvents(g.pending)
+		g.day++
+	}
+	ev := g.pending[0]
+	g.pending = g.pending[1:]
+	return ev, true
+}
+
+// Collect drains a generator into a slice (tests, trace recording).
+func Collect(g Generator) []Event {
+	var out []Event
+	for {
+		ev, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}

@@ -1,0 +1,226 @@
+package workload
+
+import (
+	"testing"
+
+	"sos/internal/classify"
+	"sos/internal/sim"
+)
+
+func TestPersonalGeneratorShape(t *testing.T) {
+	g, err := NewPersonal(DefaultPersonalConfig(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := Collect(g)
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	var creates, updates, reads, deletes int
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EvCreate:
+			creates++
+		case EvUpdate:
+			updates++
+		case EvRead:
+			reads++
+		case EvDelete:
+			deletes++
+		}
+	}
+	if creates == 0 || updates == 0 || reads == 0 {
+		t.Fatalf("missing event kinds: c=%d u=%d r=%d d=%d", creates, updates, reads, deletes)
+	}
+	// Read-dominant: reads outnumber all writes (the §4.2 premise).
+	if reads <= creates+updates {
+		t.Fatalf("not read-dominant: %d reads vs %d writes", reads, creates+updates)
+	}
+}
+
+func TestPersonalEventsTimeOrderedPerDay(t *testing.T) {
+	g, _ := NewPersonal(DefaultPersonalConfig(10))
+	evs := Collect(g)
+	var prev sim.Time
+	for i, ev := range evs {
+		if ev.At < prev {
+			t.Fatalf("event %d at %v before previous %v", i, ev.At, prev)
+		}
+		prev = ev.At
+		if ev.At > 10*sim.Day {
+			t.Fatalf("event beyond horizon: %v", ev.At)
+		}
+	}
+}
+
+func TestPersonalDeterminism(t *testing.T) {
+	a := Collect(mustPersonal(t, DefaultPersonalConfig(5)))
+	b := Collect(mustPersonal(t, DefaultPersonalConfig(5)))
+	if len(a) != len(b) {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Kind != b[i].Kind || a[i].FileID != b[i].FileID {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func mustPersonal(t *testing.T, cfg PersonalConfig) Generator {
+	t.Helper()
+	g, err := NewPersonal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPersonalValidation(t *testing.T) {
+	cfg := DefaultPersonalConfig(0)
+	if _, err := NewPersonal(cfg); err == nil {
+		t.Fatal("zero days accepted")
+	}
+	cfg = DefaultPersonalConfig(5)
+	cfg.MediaBytes = 0
+	if _, err := NewPersonal(cfg); err == nil {
+		t.Fatal("zero media size accepted")
+	}
+}
+
+func TestCreateEventsCarryMetadata(t *testing.T) {
+	g, _ := NewPersonal(DefaultPersonalConfig(20))
+	evs := Collect(g)
+	mediaCreates := 0
+	for _, ev := range evs {
+		if ev.Kind != EvCreate {
+			continue
+		}
+		if ev.Meta.Path == "" {
+			t.Fatal("create without path")
+		}
+		if ev.Size <= 0 {
+			t.Fatalf("create %q with size %d", ev.Meta.Path, ev.Size)
+		}
+		if ev.Meta.IsMedia() {
+			mediaCreates++
+		}
+	}
+	if mediaCreates == 0 {
+		t.Fatal("no media created in 20 days")
+	}
+}
+
+func TestReadsTargetLiveFiles(t *testing.T) {
+	g, _ := NewPersonal(DefaultPersonalConfig(15))
+	evs := Collect(g)
+	live := map[int64]bool{}
+	for _, ev := range evs {
+		switch ev.Kind {
+		case EvCreate:
+			live[ev.FileID] = true
+		case EvDelete:
+			if !live[ev.FileID] {
+				t.Fatalf("delete of unknown file %d", ev.FileID)
+			}
+			delete(live, ev.FileID)
+		case EvRead:
+			// Reads may trail a same-day delete in rare orderings, but
+			// must reference a file that was created at some point.
+		case EvUpdate:
+			if !live[ev.FileID] {
+				t.Fatalf("update of unknown file %d", ev.FileID)
+			}
+		}
+	}
+}
+
+func TestReadSkew(t *testing.T) {
+	cfg := DefaultPersonalConfig(40)
+	cfg.ReadsPerDay = 300
+	g, _ := NewPersonal(cfg)
+	evs := Collect(g)
+	counts := map[int64]int{}
+	total := 0
+	for _, ev := range evs {
+		if ev.Kind == EvRead {
+			counts[ev.FileID]++
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no reads")
+	}
+	// Zipf skew: the hottest file takes a disproportionate share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if float64(max)/float64(total) < 3.0/float64(len(counts)) {
+		t.Fatalf("reads not skewed: max=%d total=%d files=%d", max, total, len(counts))
+	}
+}
+
+func TestBothLabelsGenerated(t *testing.T) {
+	g, _ := NewPersonal(DefaultPersonalConfig(30))
+	evs := Collect(g)
+	var sys, spare int
+	for _, ev := range evs {
+		if ev.Kind != EvCreate {
+			continue
+		}
+		if ev.TrueLabel == classify.LabelSys {
+			sys++
+		} else {
+			spare++
+		}
+	}
+	if sys == 0 || spare == 0 {
+		t.Fatalf("labels degenerate: sys=%d spare=%d", sys, spare)
+	}
+}
+
+func TestTortureGenerator(t *testing.T) {
+	g, err := NewTorture(TortureConfig{Days: 2, WritesPerDay: 100, FileBytes: 4096, WorkingSet: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := Collect(g)
+	if len(evs) != 200 {
+		t.Fatalf("events = %d, want 200", len(evs))
+	}
+	creates := 0
+	for _, ev := range evs {
+		if ev.Kind == EvCreate {
+			creates++
+		} else if ev.Kind != EvUpdate {
+			t.Fatalf("unexpected kind %v", ev.Kind)
+		}
+	}
+	if creates != 5 {
+		t.Fatalf("creates = %d", creates)
+	}
+	var prev sim.Time
+	for _, ev := range evs {
+		if ev.At < prev {
+			t.Fatal("torture events out of order")
+		}
+		prev = ev.At
+	}
+}
+
+func TestTortureValidation(t *testing.T) {
+	if _, err := NewTorture(TortureConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvCreate.String() != "create" || EvDelete.String() != "delete" {
+		t.Fatal("kind names")
+	}
+	if EventKind(9).String() != "EventKind(9)" {
+		t.Fatal("unknown kind name")
+	}
+}

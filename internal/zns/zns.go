@@ -1,0 +1,458 @@
+// Package zns exposes the simulated flash as a zoned namespace — the
+// alternative host interface §4.3 names alongside multi-stream: "the
+// host is responsible for placing data blocks in relevant streams/zones
+// with different management policies". Zones are append-only groups of
+// erase blocks; the host (not an FTL) owns placement and reclamation.
+// Each zone opens with an attribute — durable (pseudo-QLC + strong ECC)
+// or approximate (native density, weak/no ECC) — mapping the SOS
+// SYS/SPARE split onto zone semantics.
+package zns
+
+import (
+	"errors"
+	"fmt"
+
+	"sos/internal/ecc"
+	"sos/internal/flash"
+)
+
+// Zone lifecycle errors.
+var (
+	ErrBadZone      = errors.New("zns: zone id out of range")
+	ErrNotOpen      = errors.New("zns: zone is not open")
+	ErrNotEmpty     = errors.New("zns: zone is not empty")
+	ErrZoneFull     = errors.New("zns: zone is full")
+	ErrOffline      = errors.New("zns: zone is offline")
+	ErrBadAddress   = errors.New("zns: address beyond write pointer")
+	ErrPayloadLarge = errors.New("zns: payload exceeds page size")
+)
+
+// ZoneState is the zone lifecycle state (a simplified NVMe ZNS model).
+type ZoneState int
+
+// Zone states.
+const (
+	ZoneEmpty ZoneState = iota
+	ZoneOpen
+	ZoneFull
+	// ZoneOffline zones have worn out and accept no further writes;
+	// their contents remain readable. This is capacity variance at the
+	// zone granularity.
+	ZoneOffline
+)
+
+func (s ZoneState) String() string {
+	switch s {
+	case ZoneEmpty:
+		return "empty"
+	case ZoneOpen:
+		return "open"
+	case ZoneFull:
+		return "full"
+	case ZoneOffline:
+		return "offline"
+	default:
+		return fmt.Sprintf("ZoneState(%d)", int(s))
+	}
+}
+
+// Attr selects a zone's management policy when opened.
+type Attr int
+
+// Zone attributes.
+const (
+	// Durable zones hold critical data: reduced density, strong ECC.
+	Durable Attr = iota
+	// Approximate zones hold degradation-tolerant data: full density,
+	// weak or no ECC.
+	Approximate
+)
+
+func (a Attr) String() string {
+	if a == Durable {
+		return "durable"
+	}
+	return "approximate"
+}
+
+// AttrPolicy is the mode/protection pair an attribute maps to.
+type AttrPolicy struct {
+	Mode   flash.Mode
+	Scheme ecc.Scheme
+}
+
+// Config builds a zoned device.
+type Config struct {
+	Chip *flash.Chip
+	// BlocksPerZone groups erase blocks into zones (default 1).
+	BlocksPerZone int
+	// Durable/Approx policies; zero values select the SOS defaults for
+	// the chip's technology.
+	Durable *AttrPolicy
+	Approx  *AttrPolicy
+	// WearRetireFrac offlines a zone whose mean wear passes this
+	// fraction at reset time (default 1.0 durable / 1.15 approximate —
+	// approximate zones run past their rating like SOS SPARE does).
+	DurableRetireFrac float64
+	ApproxRetireFrac  float64
+}
+
+// zone is internal zone state.
+type zone struct {
+	state  ZoneState
+	attr   Attr
+	wp     int // pages appended so far
+	blocks []int
+	// lens records each appended payload's logical length.
+	lens []int
+}
+
+// Device is a zoned flash device.
+type Device struct {
+	chip    *flash.Chip
+	zones   []zone
+	perZone int
+	pol     [2]AttrPolicy
+	retire  [2]float64
+
+	appends int64
+	resets  int64
+	offline int64
+}
+
+// New builds a zoned device over the chip (which must be fresh: all
+// blocks erased).
+func New(cfg Config) (*Device, error) {
+	if cfg.Chip == nil {
+		return nil, errors.New("zns: nil chip")
+	}
+	perZone := cfg.BlocksPerZone
+	if perZone == 0 {
+		perZone = 1
+	}
+	if perZone < 1 || perZone > cfg.Chip.Blocks() {
+		return nil, fmt.Errorf("zns: blocks per zone %d out of range", perZone)
+	}
+	tech := cfg.Chip.Tech()
+	durable := cfg.Durable
+	if durable == nil {
+		bits := tech.BitsPerCell() - 1
+		if bits < 1 {
+			bits = 1
+		}
+		m, err := flash.PseudoMode(tech, bits)
+		if err != nil {
+			return nil, err
+		}
+		durable = &AttrPolicy{Mode: m, Scheme: ecc.MustRSScheme(223, 32)}
+	}
+	approx := cfg.Approx
+	if approx == nil {
+		approx = &AttrPolicy{Mode: flash.NativeMode(tech), Scheme: ecc.DetectOnly{}}
+	}
+	for _, p := range []*AttrPolicy{durable, approx} {
+		if !p.Mode.Valid() || p.Mode.Phys != tech {
+			return nil, fmt.Errorf("zns: policy mode %v invalid for %v chip", p.Mode, tech)
+		}
+		if p.Scheme == nil {
+			return nil, errors.New("zns: policy without scheme")
+		}
+		geo := cfg.Chip.Geometry()
+		if over := p.Scheme.Overhead(geo.PageSize); over > geo.RawPageBytes() {
+			return nil, fmt.Errorf("zns: scheme %s does not fit page+spare", p.Scheme.Name())
+		}
+	}
+	dr := cfg.DurableRetireFrac
+	if dr == 0 {
+		dr = 1.0
+	}
+	ar := cfg.ApproxRetireFrac
+	if ar == 0 {
+		ar = 1.15
+	}
+
+	nz := cfg.Chip.Blocks() / perZone
+	d := &Device{
+		chip:    cfg.Chip,
+		perZone: perZone,
+		pol:     [2]AttrPolicy{*durable, *approx},
+		retire:  [2]float64{dr, ar},
+	}
+	for z := 0; z < nz; z++ {
+		var blocks []int
+		for i := 0; i < perZone; i++ {
+			blocks = append(blocks, z*perZone+i)
+		}
+		d.zones = append(d.zones, zone{state: ZoneEmpty, blocks: blocks})
+	}
+	return d, nil
+}
+
+// Zones returns the number of zones.
+func (d *Device) Zones() int { return len(d.zones) }
+
+// ZoneInfo is a zone telemetry snapshot.
+type ZoneInfo struct {
+	ID       int
+	State    ZoneState
+	Attr     Attr
+	WP       int // pages appended
+	Capacity int // pages appendable in the current attribute's mode
+	MeanWear float64
+}
+
+// Info returns a zone's snapshot.
+func (d *Device) Info(z int) (ZoneInfo, error) {
+	if z < 0 || z >= len(d.zones) {
+		return ZoneInfo{}, ErrBadZone
+	}
+	zn := &d.zones[z]
+	capacity := 0
+	var wear float64
+	for _, b := range zn.blocks {
+		pages, err := d.chip.PagesIn(b)
+		if err != nil {
+			return ZoneInfo{}, err
+		}
+		capacity += pages
+		info, err := d.chip.Info(b)
+		if err != nil {
+			return ZoneInfo{}, err
+		}
+		wear += info.WearFrac
+	}
+	return ZoneInfo{
+		ID: z, State: zn.state, Attr: zn.attr, WP: zn.wp,
+		Capacity: capacity, MeanWear: wear / float64(len(zn.blocks)),
+	}, nil
+}
+
+// Open transitions an empty zone to open under the given attribute,
+// setting its blocks' operating mode.
+func (d *Device) Open(z int, attr Attr) error {
+	if z < 0 || z >= len(d.zones) {
+		return ErrBadZone
+	}
+	zn := &d.zones[z]
+	switch zn.state {
+	case ZoneOffline:
+		return ErrOffline
+	case ZoneEmpty:
+	default:
+		return ErrNotEmpty
+	}
+	if attr != Durable && attr != Approximate {
+		return fmt.Errorf("zns: unknown attribute %d", int(attr))
+	}
+	mode := d.pol[attr].Mode
+	for _, b := range zn.blocks {
+		info, err := d.chip.Info(b)
+		if err != nil {
+			return err
+		}
+		if info.Mode != mode {
+			if err := d.chip.SetMode(b, mode); err != nil {
+				return err
+			}
+		}
+	}
+	zn.attr = attr
+	zn.state = ZoneOpen
+	zn.wp = 0
+	zn.lens = zn.lens[:0]
+	return nil
+}
+
+// locate maps a zone-relative page index to (block, page).
+func (d *Device) locate(zn *zone, idx int) (int, int, error) {
+	for _, b := range zn.blocks {
+		pages, err := d.chip.PagesIn(b)
+		if err != nil {
+			return 0, 0, err
+		}
+		if idx < pages {
+			return b, idx, nil
+		}
+		idx -= pages
+	}
+	return 0, 0, ErrZoneFull
+}
+
+// Append writes one payload at the zone's write pointer and returns its
+// zone-relative page index. data may be nil with dataLen set
+// (accounting-only).
+func (d *Device) Append(z int, data []byte, dataLen int) (int, error) {
+	if z < 0 || z >= len(d.zones) {
+		return 0, ErrBadZone
+	}
+	zn := &d.zones[z]
+	if zn.state == ZoneOffline {
+		return 0, ErrOffline
+	}
+	if zn.state != ZoneOpen {
+		return 0, ErrNotOpen
+	}
+	if data != nil {
+		dataLen = len(data)
+	}
+	geo := d.chip.Geometry()
+	if dataLen <= 0 || dataLen > geo.PageSize {
+		return 0, ErrPayloadLarge
+	}
+	pol := d.pol[zn.attr]
+	var stored []byte
+	storedLen := pol.Scheme.Overhead(dataLen)
+	if data != nil {
+		var err error
+		stored, err = pol.Scheme.Encode(pad8For(pol.Scheme, data))
+		if err != nil {
+			return 0, err
+		}
+		storedLen = len(stored)
+	}
+	b, page, err := d.locate(zn, zn.wp)
+	if err != nil {
+		return 0, err
+	}
+	if err := d.chip.Program(b, page, stored, storedLen); err != nil {
+		if errors.Is(err, flash.ErrProgramFail) {
+			// Hard failure: the zone finishes early; the host moves on.
+			zn.state = ZoneFull
+			return 0, ErrZoneFull
+		}
+		return 0, err
+	}
+	idx := zn.wp
+	zn.wp++
+	zn.lens = append(zn.lens, dataLen)
+	d.appends++
+	capacity := 0
+	for _, blk := range zn.blocks {
+		pages, err := d.chip.PagesIn(blk)
+		if err != nil {
+			return 0, err
+		}
+		capacity += pages
+	}
+	if zn.wp >= capacity {
+		zn.state = ZoneFull
+	}
+	return idx, nil
+}
+
+// ReadResult is the outcome of a zone read.
+type ReadResult struct {
+	Data     []byte
+	DataLen  int
+	Degraded bool
+	RawFlips int
+}
+
+// Read fetches the payload at a zone-relative page index.
+func (d *Device) Read(z, idx int) (ReadResult, error) {
+	if z < 0 || z >= len(d.zones) {
+		return ReadResult{}, ErrBadZone
+	}
+	zn := &d.zones[z]
+	if idx < 0 || idx >= zn.wp {
+		return ReadResult{}, ErrBadAddress
+	}
+	b, page, err := d.locate(zn, idx)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	raw, err := d.chip.Read(b, page)
+	if err != nil {
+		return ReadResult{}, err
+	}
+	pol := d.pol[zn.attr]
+	dataLen := zn.lens[idx]
+	res := ReadResult{DataLen: dataLen, RawFlips: raw.FlippedTotal}
+	if raw.Data == nil {
+		res.Degraded = !pol.Scheme.EstimateDecode(raw.FlippedTotal, dataLen)
+		return res, nil
+	}
+	data, _, derr := pol.Scheme.Decode(raw.Data)
+	if len(data) > dataLen {
+		data = data[:dataLen]
+	}
+	res.Data = data
+	res.Degraded = derr != nil
+	return res, nil
+}
+
+// Finish transitions an open zone to full (no more appends).
+func (d *Device) Finish(z int) error {
+	if z < 0 || z >= len(d.zones) {
+		return ErrBadZone
+	}
+	zn := &d.zones[z]
+	if zn.state != ZoneOpen {
+		return ErrNotOpen
+	}
+	zn.state = ZoneFull
+	return nil
+}
+
+// Reset erases a zone back to empty. Zones whose mean wear passed the
+// attribute's retirement fraction go offline instead (and stay
+// readable... no: an erased zone holds nothing — offline zones are
+// empty and unusable; hosts must copy data out before resetting).
+func (d *Device) Reset(z int) error {
+	if z < 0 || z >= len(d.zones) {
+		return ErrBadZone
+	}
+	zn := &d.zones[z]
+	if zn.state == ZoneOffline {
+		return ErrOffline
+	}
+	for _, b := range zn.blocks {
+		if err := d.chip.Erase(b); err != nil {
+			// Hard erase failure: the whole zone goes offline. Part of
+			// the zone was already erased, so no contents remain
+			// addressable.
+			zn.state = ZoneOffline
+			zn.wp = 0
+			zn.lens = zn.lens[:0]
+			d.offline++
+			return nil
+		}
+	}
+	zn.wp = 0
+	zn.lens = zn.lens[:0]
+	d.resets++
+
+	info, err := d.Info(z)
+	if err != nil {
+		return err
+	}
+	if info.MeanWear >= d.retire[zn.attr] {
+		zn.state = ZoneOffline
+		d.offline++
+		return nil
+	}
+	zn.state = ZoneEmpty
+	return nil
+}
+
+// Stats is device telemetry.
+type Stats struct {
+	Appends      int64
+	Resets       int64
+	OfflineZones int64
+}
+
+// Stats returns cumulative counts.
+func (d *Device) Stats() Stats {
+	return Stats{Appends: d.appends, Resets: d.resets, OfflineZones: d.offline}
+}
+
+// pad8For pads data for schemes needing 8-byte alignment.
+func pad8For(s ecc.Scheme, data []byte) []byte {
+	if _, isHamming := s.(ecc.HammingScheme); isHamming && len(data)%8 != 0 {
+		padded := make([]byte, (len(data)+7)&^7)
+		copy(padded, data)
+		return padded
+	}
+	return data
+}

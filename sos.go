@@ -1,0 +1,199 @@
+// Package sos is the public entry point to the Sustainability-Oriented
+// Storage library — a reproduction of "Degrading Data to Save the
+// Planet" (HotOS '23). It assembles the full stack (flash chip, FTL,
+// device, filesystem, classifier, policy engine) from one Config and
+// runs workloads against it.
+//
+// The quickest path:
+//
+//	sys, err := sos.New(sos.Config{})           // SOS device, defaults
+//	rep, err := sys.RunPersonal(365, 0)          // one year of phone use
+//	fmt.Println(rep.FinalSmart.MaxWearFrac)
+//
+// Three device profiles are built in: ProfileSOS (the paper's split
+// pseudo-QLC/PLC design on PLC silicon), and the ProfileTLC /
+// ProfileQLC baselines (conventional single-partition devices). All
+// subsystems are deterministic given Config.Seed.
+package sos
+
+import (
+	"errors"
+	"fmt"
+
+	"sos/internal/carbon"
+	"sos/internal/classify"
+	"sos/internal/core"
+	"sos/internal/device"
+	"sos/internal/flash"
+	"sos/internal/fs"
+	"sos/internal/sim"
+	"sos/internal/workload"
+)
+
+// Profile selects a device build.
+type Profile int
+
+// Device profiles.
+const (
+	// ProfileSOS is the paper's design: PLC silicon split into a
+	// pseudo-QLC SYS partition and an approximate PLC SPARE partition.
+	ProfileSOS Profile = iota
+	// ProfileTLC is the conventional baseline on TLC.
+	ProfileTLC
+	// ProfileQLC is the denser conventional baseline on QLC.
+	ProfileQLC
+)
+
+func (p Profile) String() string {
+	switch p {
+	case ProfileSOS:
+		return "sos"
+	case ProfileTLC:
+		return "tlc"
+	case ProfileQLC:
+		return "qlc"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// Config assembles a System.
+type Config struct {
+	// Profile selects the device build (default ProfileSOS).
+	Profile Profile
+	// Geometry of the flash chip; the zero value selects a small
+	// simulation-friendly default (64 MiB native).
+	Geometry flash.Geometry
+	// Seed drives every random subsystem (default 1).
+	Seed uint64
+	// Threshold is the classifier demotion confidence (default 0.7).
+	Threshold float64
+	// CloudBackup enables degraded-file repair from pristine copies.
+	CloudBackup bool
+	// TrainingFiles sizes the synthetic classifier corpus
+	// (default 8000).
+	TrainingFiles int
+	// Classifier overrides the default logistic regression.
+	Classifier classify.Classifier
+	// Prefs, when set, biases classification with the user's setup
+	// preferences (§4.4).
+	Prefs *classify.Prefs
+	// TranscodeBeforeDelete shrinks media in place under capacity
+	// pressure before resorting to deletion (§4.5).
+	TranscodeBeforeDelete bool
+}
+
+// System is an assembled SOS (or baseline) stack.
+type System struct {
+	Config     Config
+	Clock      *sim.Clock
+	Device     *device.Device
+	FS         *fs.FS
+	Engine     *core.Engine
+	Classifier classify.Classifier
+}
+
+// New builds a System.
+func New(cfg Config) (*System, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.TrainingFiles == 0 {
+		cfg.TrainingFiles = 8000
+	}
+	if cfg.Geometry == (flash.Geometry{}) {
+		cfg.Geometry = device.DefaultGeometry()
+	}
+	clock := &sim.Clock{}
+
+	var dev *device.Device
+	var err error
+	switch cfg.Profile {
+	case ProfileSOS:
+		dev, err = device.NewSOS(cfg.Geometry, cfg.Seed, clock)
+	case ProfileTLC:
+		dev, err = device.NewBaseline(flash.TLC, cfg.Geometry, cfg.Seed, clock)
+	case ProfileQLC:
+		dev, err = device.NewBaseline(flash.QLC, cfg.Geometry, cfg.Seed, clock)
+	default:
+		return nil, fmt.Errorf("sos: unknown profile %d", int(cfg.Profile))
+	}
+	if err != nil {
+		return nil, err
+	}
+	fsys, err := fs.New(dev)
+	if err != nil {
+		return nil, err
+	}
+
+	cls := cfg.Classifier
+	if cls == nil {
+		corpus, err := classify.GenerateCorpus(sim.NewRNG(cfg.Seed+0xc0de), cfg.TrainingFiles)
+		if err != nil {
+			return nil, err
+		}
+		lr := &classify.Logistic{}
+		if err := lr.Train(corpus.Metas, corpus.Labels); err != nil {
+			return nil, err
+		}
+		cls = lr
+	}
+	if cfg.Prefs != nil {
+		cls = classify.WithPrefs(cls, *cfg.Prefs)
+	}
+
+	eng, err := core.New(core.Config{
+		FS:                    fsys,
+		Classifier:            cls,
+		Threshold:             cfg.Threshold,
+		CloudBackup:           cfg.CloudBackup,
+		TranscodeBeforeDelete: cfg.TranscodeBeforeDelete,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Config: cfg, Clock: clock, Device: dev, FS: fsys,
+		Engine: eng, Classifier: cls,
+	}, nil
+}
+
+// RunPersonal runs `days` of the default personal-device workload, then
+// an optional idle horizon (retention keeps degrading data).
+func (s *System) RunPersonal(days int, horizon sim.Time) (*core.RunReport, error) {
+	if days <= 0 {
+		return nil, errors.New("sos: non-positive days")
+	}
+	cfg := workload.DefaultPersonalConfig(days)
+	cfg.Seed = s.Config.Seed + 0x7ead
+	gen, err := workload.NewPersonal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return core.Run(s.Engine, gen, core.RunConfig{Horizon: horizon})
+}
+
+// Run drives the system with an arbitrary workload generator.
+func (s *System) Run(gen workload.Generator, rc core.RunConfig) (*core.RunReport, error) {
+	return core.Run(s.Engine, gen, rc)
+}
+
+// EmbodiedKg returns the embodied-carbon estimate of this System's
+// device at its nominal capacity, per its profile's partition layout.
+func (s *System) EmbodiedKg() (float64, error) {
+	capGB := float64(s.Device.CapacityBytes()) / 1e9
+	switch s.Config.Profile {
+	case ProfileSOS:
+		return carbon.DeviceEmbodiedKg(capGB, carbon.SOSLayout())
+	case ProfileTLC:
+		return carbon.DeviceEmbodiedKg(capGB, []carbon.PartitionSpec{
+			{Mode: flash.NativeMode(flash.TLC), CapacityFrac: 1},
+		})
+	case ProfileQLC:
+		return carbon.DeviceEmbodiedKg(capGB, []carbon.PartitionSpec{
+			{Mode: flash.NativeMode(flash.QLC), CapacityFrac: 1},
+		})
+	default:
+		return 0, fmt.Errorf("sos: unknown profile %d", int(s.Config.Profile))
+	}
+}

@@ -1,0 +1,131 @@
+package sos
+
+import (
+	"testing"
+
+	"sos/internal/core"
+	"sos/internal/flash"
+	"sos/internal/sim"
+	"sos/internal/workload"
+)
+
+func smallCfg(p Profile) Config {
+	return Config{
+		Profile:       p,
+		Geometry:      flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 10, Blocks: 48},
+		Seed:          11,
+		TrainingFiles: 2000,
+	}
+}
+
+func TestNewProfiles(t *testing.T) {
+	for _, p := range []Profile{ProfileSOS, ProfileTLC, ProfileQLC} {
+		sys, err := New(smallCfg(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if sys.Device == nil || sys.FS == nil || sys.Engine == nil {
+			t.Fatalf("%v: incomplete system", p)
+		}
+	}
+	if _, err := New(Config{Profile: Profile(9)}); err == nil {
+		t.Fatal("bad profile accepted")
+	}
+}
+
+func TestProfileTechs(t *testing.T) {
+	sosDev, _ := New(smallCfg(ProfileSOS))
+	if sosDev.Device.Chip().Tech() != flash.PLC {
+		t.Fatal("SOS profile not on PLC")
+	}
+	tlc, _ := New(smallCfg(ProfileTLC))
+	if tlc.Device.Chip().Tech() != flash.TLC {
+		t.Fatal("TLC baseline wrong tech")
+	}
+}
+
+func TestRunPersonalSmoke(t *testing.T) {
+	sys, err := New(smallCfg(ProfileSOS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.RunPersonal(20, 30*sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events == 0 {
+		t.Fatal("no events")
+	}
+	// Horizon extends from the last event (late on day 20), so the run
+	// ends just shy of day 50.
+	if rep.Elapsed < 49*sim.Day {
+		t.Fatalf("elapsed %v", rep.Elapsed)
+	}
+	if _, err := sys.RunPersonal(0, 0); err == nil {
+		t.Fatal("zero days accepted")
+	}
+}
+
+func TestRunCustomGenerator(t *testing.T) {
+	sys, _ := New(smallCfg(ProfileTLC))
+	gen, err := workload.NewTorture(workload.TortureConfig{
+		Days: 2, WritesPerDay: 50, FileBytes: 1024, WorkingSet: 5, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run(gen, core.RunConfig{SampleEvery: sim.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Events != 100 {
+		t.Fatalf("events = %d", rep.Events)
+	}
+}
+
+func TestEmbodiedOrdering(t *testing.T) {
+	// SOS device must embody less carbon per advertised byte than the
+	// TLC baseline of the same geometry.
+	sosSys, _ := New(smallCfg(ProfileSOS))
+	tlcSys, _ := New(smallCfg(ProfileTLC))
+	sosKg, err := sosSys.EmbodiedKg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tlcKg, err := tlcSys.EmbodiedKg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sosPerByte := sosKg / float64(sosSys.Device.CapacityBytes())
+	tlcPerByte := tlcKg / float64(tlcSys.Device.CapacityBytes())
+	if sosPerByte >= tlcPerByte {
+		t.Fatalf("SOS %.3g kg/B not below TLC %.3g kg/B", sosPerByte, tlcPerByte)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		sys, err := New(smallCfg(ProfileSOS))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := sys.RunPersonal(10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(rep.Events) + rep.FinalSmart.AvgWearFrac*1e6 +
+			float64(rep.EngineStats.Demoted)*1e3
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	if ProfileSOS.String() != "sos" || ProfileQLC.String() != "qlc" {
+		t.Fatal("profile names")
+	}
+	if Profile(7).String() != "Profile(7)" {
+		t.Fatal("unknown profile name")
+	}
+}
