@@ -1,0 +1,28 @@
+# Verification tiers. Tier 1 is the seed gate (ROADMAP.md); tier 2 keeps
+# the concurrent paths honest now that experiments fan out across worker
+# goroutines. CI (or a pre-merge hand-run) should execute both.
+
+.PHONY: verify verify-race verify-all bench-parallel determinism
+
+# Tier 1: build + full test suite.
+verify:
+	go build ./... && go test ./...
+
+# Tier 2: static checks (copylocks matters: metrics types hold locks)
+# plus the whole suite under the race detector.
+verify-race:
+	go vet ./... && go test -race ./...
+
+verify-all: verify verify-race
+
+# Serial vs parallel RunAll wall-clock (quick fidelity under -short).
+bench-parallel:
+	go test -run '^$$' -bench 'BenchmarkRunAll|BenchmarkE13' -benchtime 1x -short -v .
+
+# CLI-level determinism check: experiment output must be bit-identical
+# for every -parallel value.
+determinism:
+	@go build -o /tmp/sossim-det ./cmd/sossim
+	@/tmp/sossim-det -exp all -quick -parallel 1 > /tmp/sossim-det-p1.txt
+	@/tmp/sossim-det -exp all -quick -parallel 8 > /tmp/sossim-det-p8.txt
+	@cmp /tmp/sossim-det-p1.txt /tmp/sossim-det-p8.txt && echo "determinism: OK (parallel 1 == parallel 8)"

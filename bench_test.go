@@ -177,6 +177,50 @@ func BenchmarkE15Extensions(b *testing.B) {
 	})
 }
 
+// ---- parallel runner benchmarks ----
+
+// benchRunAll regenerates every experiment per iteration at the given
+// worker count. Compare BenchmarkRunAllSerial against
+// BenchmarkRunAllParallel4 (or go test -cpu to sweep): trials fan out
+// with pre-split seeds, so the outputs are bit-identical while the
+// wall-clock drops with available cores.
+func benchRunAll(b *testing.B, workers int) {
+	b.Helper()
+	experiments.SetParallelism(workers)
+	defer experiments.SetParallelism(1)
+	quick := testing.Short()
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.RunAllParallel(quick, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) != len(experiments.IDs()) {
+			b.Fatalf("RunAll returned %d results", len(rs))
+		}
+	}
+}
+
+func BenchmarkRunAllSerial(b *testing.B)    { benchRunAll(b, 1) }
+func BenchmarkRunAllParallel2(b *testing.B) { benchRunAll(b, 2) }
+func BenchmarkRunAllParallel4(b *testing.B) { benchRunAll(b, 4) }
+
+// BenchmarkE13Serial / Parallel4 isolate intra-experiment trial fan-out
+// on the heaviest single experiment (the media decay grid).
+func benchE13(b *testing.B, workers int) {
+	b.Helper()
+	experiments.SetParallelism(workers)
+	defer experiments.SetParallelism(1)
+	quick := testing.Short()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run("E13", quick); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE13Serial(b *testing.B)    { benchE13(b, 1) }
+func BenchmarkE13Parallel4(b *testing.B) { benchE13(b, 4) }
+
 // ---- substrate micro-benchmarks ----
 
 func BenchmarkRSEncode4K(b *testing.B) {

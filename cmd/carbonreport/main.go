@@ -7,26 +7,37 @@
 //	carbonreport
 //	carbonreport -devices 1500000000 -capacity 128
 //	carbonreport -growth 0.25 -density 4 -shareboost 1.5
+//	carbonreport -capacities 64,128,256,512 -parallel 0
+//
+// -capacities adds a fleet sweep across device capacities, fanned out
+// over -parallel workers (0 = all cores). The sweep table is identical
+// for every worker count: rows are computed independently and emitted
+// in capacity order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"sos/internal/carbon"
 	"sos/internal/flash"
 	"sos/internal/metrics"
+	"sos/internal/parallel"
 )
 
 func main() {
 	var (
-		devices  = flag.Int64("devices", 1_400_000_000, "annual personal-device fleet for the what-if")
-		capacity = flag.Float64("capacity", 128, "device capacity in GB")
-		growth   = flag.Float64("growth", 0.30, "annual data growth rate")
-		density  = flag.Float64("density", 4.0, "density gain multiple by the horizon")
-		share    = flag.Float64("shareboost", 2.0, "flash share-of-storage growth by the horizon")
-		baseline = flag.String("baseline", "tlc", "fleet baseline technology: tlc|qlc")
+		devices    = flag.Int64("devices", 1_400_000_000, "annual personal-device fleet for the what-if")
+		capacity   = flag.Float64("capacity", 128, "device capacity in GB")
+		growth     = flag.Float64("growth", 0.30, "annual data growth rate")
+		density    = flag.Float64("density", 4.0, "density gain multiple by the horizon")
+		share      = flag.Float64("shareboost", 2.0, "flash share-of-storage growth by the horizon")
+		baseline   = flag.String("baseline", "tlc", "fleet baseline technology: tlc|qlc")
+		capacities = flag.String("capacities", "", "comma-separated GB list for a fleet capacity sweep")
+		par        = flag.Int("parallel", 1, "worker goroutines for the capacity sweep (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -54,21 +65,77 @@ func main() {
 		c.PricePerTonne, carbon.KgCO2ePerGB, c.TaxPerTB(), c.TaxFraction()*100, c.SSDPricePerTB)
 
 	// Fleet what-if.
-	var base flash.Tech
-	switch *baseline {
-	case "tlc":
-		base = flash.TLC
-	case "qlc":
-		base = flash.QLC
-	default:
-		fail(fmt.Errorf("unknown baseline %q", *baseline))
-	}
+	base, err := parseBaseline(*baseline)
+	fail(err)
 	bkg, skg, saved, err := carbon.FleetSavings(*devices, *capacity, base)
 	fail(err)
 	fmt.Printf("fleet what-if: %d devices x %.0f GB\n", *devices, *capacity)
 	fmt.Printf("  %s baseline: %.2f Mt CO2e\n", base, bkg/1e9)
 	fmt.Printf("  SOS split:   %.2f Mt CO2e\n", skg/1e9)
 	fmt.Printf("  saved:       %.2f Mt CO2e (%.1f%%)\n", (bkg-skg)/1e9, saved*100)
+
+	if *capacities != "" {
+		caps, err := parseCapacities(*capacities)
+		fail(err)
+		sweep, err := fleetSweep(*devices, caps, base, *par)
+		fail(err)
+		fmt.Printf("\nfleet sweep: %d devices, %s baseline\n%s", *devices, base, sweep)
+	}
+}
+
+func parseBaseline(s string) (flash.Tech, error) {
+	switch s {
+	case "tlc":
+		return flash.TLC, nil
+	case "qlc":
+		return flash.QLC, nil
+	default:
+		return 0, fmt.Errorf("unknown baseline %q", s)
+	}
+}
+
+// parseCapacities parses a comma-separated list of capacities in GB.
+func parseCapacities(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	caps := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad capacity %q", p)
+		}
+		caps = append(caps, v)
+	}
+	if len(caps) == 0 {
+		return nil, fmt.Errorf("empty capacity list")
+	}
+	return caps, nil
+}
+
+// fleetSweep computes FleetSavings for each capacity on a bounded worker
+// pool; rows come back in input order regardless of worker count.
+func fleetSweep(devices int64, caps []float64, base flash.Tech, workers int) (*metrics.Table, error) {
+	type row struct {
+		baseMt, sosMt, savedFrac float64
+	}
+	rows, err := parallel.Map(len(caps), workers, func(i int) (row, error) {
+		bkg, skg, saved, err := carbon.FleetSavings(devices, caps[i], base)
+		if err != nil {
+			return row{}, err
+		}
+		return row{bkg / 1e9, skg / 1e9, saved}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &metrics.Table{Header: []string{"GB_per_device", "baseline_Mt", "sos_Mt", "saved_%"}}
+	for i, r := range rows {
+		t.AddRow(caps[i], r.baseMt, r.sosMt, r.savedFrac*100)
+	}
+	return t, nil
 }
 
 func fail(err error) {

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"sos/internal/flash"
+)
+
+func TestParseCapacities(t *testing.T) {
+	caps, err := parseCapacities("64, 128,256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != 3 || caps[0] != 64 || caps[2] != 256 {
+		t.Fatalf("parsed %v", caps)
+	}
+	for _, bad := range []string{"", "abc", "0", "-8", ","} {
+		if _, err := parseCapacities(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseBaseline(t *testing.T) {
+	if tech, err := parseBaseline("qlc"); err != nil || tech != flash.QLC {
+		t.Fatalf("qlc: %v %v", tech, err)
+	}
+	if _, err := parseBaseline("mlc"); err == nil {
+		t.Fatal("unknown baseline accepted")
+	}
+}
+
+func TestFleetSweepDeterministicAcrossWorkers(t *testing.T) {
+	caps := []float64{32, 64, 128, 256, 512, 1024}
+	serial, err := fleetSweep(1_000_000, caps, flash.TLC, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanned, err := fleetSweep(1_000_000, caps, flash.TLC, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != fanned.String() {
+		t.Fatalf("sweep differs by worker count:\n%s\nvs\n%s", serial, fanned)
+	}
+	if len(serial.Rows) != len(caps) {
+		t.Fatalf("sweep rows %d, want %d", len(serial.Rows), len(caps))
+	}
+}

@@ -6,8 +6,12 @@
 //	sossim -list                 list experiments
 //	sossim -exp E7               run one experiment (full fidelity)
 //	sossim -exp all -quick       run everything fast
+//	sossim -exp all -parallel 0  fan out across all cores (0 = GOMAXPROCS)
 //	sossim -sim -days 365        simulate a year of phone use on SOS
 //	sossim -sim -profile tlc     ... on the TLC baseline
+//
+// Output is bit-identical for every -parallel value: per-trial seeds are
+// derived before dispatch and results are assembled in item order.
 package main
 
 import (
@@ -31,10 +35,12 @@ func main() {
 		days    = flag.Int("days", 365, "simulated days for -sim")
 		profile = flag.String("profile", "sos", "device profile for -sim: sos|tlc|qlc")
 		seed    = flag.Uint64("seed", 1, "simulation seed")
+		par     = flag.Int("parallel", 1, "worker goroutines for experiments and their trials (0 = all cores)")
 		record  = flag.String("record", "", "with -sim: record the workload trace to this file")
 		replay  = flag.String("replay", "", "with -sim: replay a recorded trace instead of generating")
 	)
 	flag.Parse()
+	experiments.SetParallelism(*par)
 
 	switch {
 	case *list:
@@ -43,9 +49,11 @@ func main() {
 			fmt.Printf("%-4s %s\n", id, title)
 		}
 	case *exp == "all":
-		rs, err := experiments.RunAll(*quick)
+		rs, err := experiments.RunAllParallel(*quick, *par)
 		for _, r := range rs {
-			fmt.Println(r)
+			if r != nil {
+				fmt.Println(r)
+			}
 		}
 		fail(err)
 	case *exp != "":

@@ -135,17 +135,21 @@ func runE8(quick bool) (*Result, error) {
 	t := &metrics.Table{Header: []string{
 		"wear_leveling", "writes_to_first_retire", "writes_to_75%cap", "writes_to_50%cap", "total_writes", "retired_blocks",
 	}}
-	var results []*wearOutResult
-	for _, wl := range []bool{true, false} {
-		f, _, err := spareOnlyFTL(wl, nil, blocks, 77)
+	// The two arms are independent wear-out campaigns with fixed seeds;
+	// fan them out and emit rows in arm order.
+	arms := []bool{true, false}
+	results, err := expMap(len(arms), func(i int) (*wearOutResult, error) {
+		f, _, err := spareOnlyFTL(arms[i], nil, blocks, 77)
 		if err != nil {
 			return nil, err
 		}
-		r, err := wearOutRun(f, budget, 99)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, r)
+		return wearOutRun(f, budget, 99)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, wl := range arms {
+		r := results[i]
 		t.AddRow(fmt.Sprintf("%v", wl), milestone(r.writesToFirstRetire),
 			milestone(r.writesTo75), milestone(r.writesTo50), r.totalWrites, r.retired)
 	}
@@ -182,16 +186,28 @@ func runE9(quick bool) (*Result, error) {
 		name   string
 		ladder []int
 	}
-	for _, r := range []run{{"off", nil}, {"pTLC", []int{3}}, {"pTLC->pMLC", []int{3, 2}}} {
-		f, _, err := spareOnlyFTL(false, r.ladder, blocks, 55)
+	runs := []run{{"off", nil}, {"pTLC", []int{3}}, {"pTLC->pMLC", []int{3, 2}}}
+	type e9Vals struct {
+		res         *wearOutResult
+		usablePages int
+	}
+	vals, err := expMap(len(runs), func(i int) (e9Vals, error) {
+		f, _, err := spareOnlyFTL(false, runs[i].ladder, blocks, 55)
 		if err != nil {
-			return nil, err
+			return e9Vals{}, err
 		}
 		res, err := wearOutRun(f, budget, 66)
 		if err != nil {
-			return nil, err
+			return e9Vals{}, err
 		}
-		t.AddRow(r.name, res.totalWrites, res.resuscitations, res.retired, f.UsablePages())
+		return e9Vals{res, f.UsablePages()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range runs {
+		v := vals[i]
+		t.AddRow(r.name, v.res.totalWrites, v.res.resuscitations, v.res.retired, v.usablePages)
 	}
 	return &Result{
 		ID: "E9", Title: "capacity variance with block resuscitation",

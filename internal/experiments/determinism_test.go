@@ -1,0 +1,84 @@
+package experiments
+
+// Determinism golden tests: every experiment must render byte-identical
+// Results regardless of the parallelism setting and across repeated
+// runs. This is the contract the parallel runner is built on — per-trial
+// seeds derived before dispatch, rows emitted in item order, no shared
+// mutable state between trials.
+
+import (
+	"testing"
+)
+
+// renderAt runs one experiment at the given parallelism and returns its
+// rendered output.
+func renderAt(t *testing.T, id string, workers int) string {
+	t.Helper()
+	old := Parallelism()
+	SetParallelism(workers)
+	defer SetParallelism(old)
+	r, err := Run(id, true)
+	if err != nil {
+		t.Fatalf("%s at parallel=%d: %v", id, workers, err)
+	}
+	return r.String()
+}
+
+func TestExperimentsDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covers every experiment twice; skipped under -short")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			serial := renderAt(t, id, 1)
+			again := renderAt(t, id, 1)
+			if serial != again {
+				t.Fatalf("%s not deterministic even serially:\n--- run1\n%s\n--- run2\n%s", id, serial, again)
+			}
+			fanned := renderAt(t, id, 8)
+			if fanned != serial {
+				t.Fatalf("%s output depends on worker count:\n--- parallel=1\n%s\n--- parallel=8\n%s", id, serial, fanned)
+			}
+		})
+	}
+}
+
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full RunAll twice; skipped under -short")
+	}
+	serial, err := RunAllParallel(true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanned, err := RunAllParallel(true, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(fanned) {
+		t.Fatalf("result count differs: %d vs %d", len(serial), len(fanned))
+	}
+	ids := IDs()
+	for i := range serial {
+		if serial[i].ID != ids[i] || fanned[i].ID != ids[i] {
+			t.Fatalf("slot %d out of order: %s / %s, want %s", i, serial[i].ID, fanned[i].ID, ids[i])
+		}
+		if serial[i].String() != fanned[i].String() {
+			t.Fatalf("%s differs between worker counts", ids[i])
+		}
+	}
+}
+
+func TestSetParallelismResolves(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", Parallelism())
+	}
+	SetParallelism(0) // auto: all cores, always >= 1
+	if Parallelism() < 1 {
+		t.Fatalf("auto parallelism resolved to %d", Parallelism())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sos/internal/carbon"
 	"sos/internal/classify"
 	"sos/internal/core"
+	"sos/internal/device"
 	"sos/internal/flash"
 	"sos/internal/metrics"
 	"sos/internal/sim"
@@ -65,35 +66,55 @@ func runE7(quick bool) (*Result, error) {
 		"degraded_reads", "regret_reads", "demoted", "auto_deleted", "write_amp", "op_mgCO2e_3y",
 	}}
 	opModel := carbon.DefaultOperationalModel()
+	builds := equalCapacityBuilds()
+	// Cell counts are pure geometry arithmetic; compute them (and the TLC
+	// reference) before fanning the simulations out.
+	cells := make([]int64, len(builds))
 	var tlcCells int64
-	var notes []string
-	for _, b := range equalCapacityBuilds() {
-		cells := cellsPerBlock(b.geo, b.tech) * int64(b.geo.Blocks)
+	for i, b := range builds {
+		cells[i] = cellsPerBlock(b.geo, b.tech) * int64(b.geo.Blocks)
 		if b.profile == ProfileTLC {
-			tlcCells = cells
+			tlcCells = cells[i]
 		}
+	}
+	type e7Vals struct {
+		smart device.Smart
+		es    core.Stats
+		opKg  float64
+	}
+	vals, err := expMap(len(builds), func(i int) (e7Vals, error) {
+		b := builds[i]
 		sys, err := buildSystem(b.profile, b.geo, 31)
 		if err != nil {
-			return nil, err
+			return e7Vals{}, err
 		}
 		// Identical workload (same seed) scaled to the common capacity.
 		gen, err := scaledPersonal(days, 540*1024/2, 16, 13)
 		if err != nil {
-			return nil, err
+			return e7Vals{}, err
 		}
 		rep, err := core.Run(sys.engine, gen, core.RunConfig{SampleEvery: 90 * sim.Day})
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.profile, err)
+			return e7Vals{}, fmt.Errorf("%s: %w", b.profile, err)
 		}
-		smart := rep.FinalSmart
-		es := rep.EngineStats
-		embodiedRel := float64(cells) / float64(tlcCells) * 100
 		chipStats := sys.dev.Chip().Stats()
-		opKg := opModel.KgCO2e(chipStats.Reads, chipStats.Programs, chipStats.Erases)
-		t.AddRow(b.profile.String(), b.geo.Blocks, float64(cells)/1e6, embodiedRel,
-			smart.AvgWearFrac*100, smart.MaxWearFrac*100,
-			es.DegradedReads, es.RegretReads, es.Demoted, es.AutoDeleted, smart.WriteAmp,
-			opKg*1e6)
+		return e7Vals{
+			smart: rep.FinalSmart,
+			es:    rep.EngineStats,
+			opKg:  opModel.KgCO2e(chipStats.Reads, chipStats.Programs, chipStats.Erases),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var notes []string
+	for i, b := range builds {
+		v := vals[i]
+		embodiedRel := float64(cells[i]) / float64(tlcCells) * 100
+		t.AddRow(b.profile.String(), b.geo.Blocks, float64(cells[i])/1e6, embodiedRel,
+			v.smart.AvgWearFrac*100, v.smart.MaxWearFrac*100,
+			v.es.DegradedReads, v.es.RegretReads, v.es.Demoted, v.es.AutoDeleted, v.smart.WriteAmp,
+			v.opKg*1e6)
 	}
 	notes = append(notes,
 		"equal logical capacity: SOS needs ~33% fewer cells than TLC (the +50% density headline), ~10% fewer than QLC",

@@ -91,15 +91,9 @@ func Run(id string, quick bool) (*Result, error) {
 	return e.run(quick)
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment in order, fanning out across the
+// package worker budget (see SetParallelism). On error the returned
+// slice still has one slot per experiment; failed slots are nil.
 func RunAll(quick bool) ([]*Result, error) {
-	var out []*Result
-	for _, id := range IDs() {
-		r, err := Run(id, quick)
-		if err != nil {
-			return out, fmt.Errorf("experiments: %s: %w", id, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return RunAllParallel(quick, Parallelism())
 }

@@ -90,21 +90,26 @@ func runE2(quick bool) (*Result, error) {
 	t := &metrics.Table{Header: []string{
 		"mode", "bits/cell", "rated_PEC", "model_endurance@0", "model_endurance@1y", "empirical_PEC@1y",
 	}}
-	for _, m := range modes {
-		e0 := em.EnduranceAt(m, 0)
-		e1 := em.EnduranceAt(m, sim.Year)
-		emp := 0
+	// Each empirical cycling campaign owns its chip and clock; fan the
+	// modes out and emit rows in ladder order.
+	emps, err := expMap(len(modes), func(i int) (int, error) {
+		m := modes[i]
 		// Empirical cycling for SLC/MLC is slow in quick mode; the
 		// model columns cover them there.
-		if !quick || m.Phys.RatedPEC() <= flash.TLC.RatedPEC() {
-			emp, err = measureEnduranceEmpirical(m, sim.Year, 42)
-			if err != nil {
-				return nil, err
-			}
+		if quick && m.Phys.RatedPEC() > flash.TLC.RatedPEC() {
+			return 0, nil
 		}
+		return measureEnduranceEmpirical(m, sim.Year, 42)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range modes {
+		e0 := em.EnduranceAt(m, 0)
+		e1 := em.EnduranceAt(m, sim.Year)
 		empCell := "-"
-		if emp > 0 {
-			empCell = fmt.Sprintf("%d", emp)
+		if emps[i] > 0 {
+			empCell = fmt.Sprintf("%d", emps[i])
 		}
 		t.AddRow(m.String(), m.OpBits, m.RatedPEC(), e0, e1, empCell)
 	}

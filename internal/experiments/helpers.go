@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"sos/internal/classify"
 	"sos/internal/core"
@@ -44,23 +45,29 @@ type system struct {
 }
 
 // sharedClassifier is trained once; experiments share it (training is
-// deterministic, so this does not couple experiments).
-var sharedClassifier classify.Classifier
+// deterministic, so this does not couple experiments). The sync.Once
+// keeps the lazy init safe when experiments run on worker goroutines.
+var (
+	sharedClassifierOnce sync.Once
+	sharedClassifier     classify.Classifier
+	sharedClassifierErr  error
+)
 
 func classifierForExperiments() (classify.Classifier, error) {
-	if sharedClassifier != nil {
-		return sharedClassifier, nil
-	}
-	corpus, err := classify.GenerateCorpus(sim.NewRNG(0xeca1), 8000)
-	if err != nil {
-		return nil, err
-	}
-	lr := &classify.Logistic{}
-	if err := lr.Train(corpus.Metas, corpus.Labels); err != nil {
-		return nil, err
-	}
-	sharedClassifier = lr
-	return lr, nil
+	sharedClassifierOnce.Do(func() {
+		corpus, err := classify.GenerateCorpus(sim.NewRNG(0xeca1), 8000)
+		if err != nil {
+			sharedClassifierErr = err
+			return
+		}
+		lr := &classify.Logistic{}
+		if err := lr.Train(corpus.Metas, corpus.Labels); err != nil {
+			sharedClassifierErr = err
+			return
+		}
+		sharedClassifier = lr
+	})
+	return sharedClassifier, sharedClassifierErr
 }
 
 // buildSystem assembles a device+fs+engine stack for a profile.

@@ -115,27 +115,47 @@ func runE13(quick bool) (*Result, error) {
 	if quick {
 		trials = 2
 	}
-	decay := &metrics.Table{Header: []string{"wear_frac", "age", "psnr_dB", "usable(>30dB)"}}
+	// Flatten the (wear, age, trial) grid into independent units and
+	// pre-split every trial's seed from one parent BEFORE dispatch: the
+	// seed a trial gets depends only on its grid position, never on which
+	// worker runs it or in what order.
+	type cell struct {
+		wear float64
+		age  sim.Time
+	}
+	var cells []cell
 	for _, w := range wears {
 		for _, age := range ages {
-			sum := 0.0
-			for trial := 0; trial < trials; trial++ {
-				dev, clock, err := mediaDevice(ecc.None{}, 1000+uint64(w*100)+uint64(trial)*31)
-				if err != nil {
-					return nil, err
-				}
-				if err := preWear(dev, w); err != nil {
-					return nil, err
-				}
-				got, err := storeAndAge(dev, clock, enc, device.ClassSpare, age, 0)
-				if err != nil {
-					return nil, err
-				}
-				sum += decodePSNR(img, got)
-			}
-			p := sum / float64(trials)
-			decay.AddRow(w, age.String(), p, p > 30)
+			cells = append(cells, cell{w, age})
 		}
+	}
+	seeds := sim.NewRNG(0xe13d).SplitSeeds(len(cells) * trials)
+	psnrs, err := expMap(len(cells)*trials, func(i int) (float64, error) {
+		c := cells[i/trials]
+		dev, clock, err := mediaDevice(ecc.None{}, seeds[i])
+		if err != nil {
+			return 0, err
+		}
+		if err := preWear(dev, c.wear); err != nil {
+			return 0, err
+		}
+		got, err := storeAndAge(dev, clock, enc, device.ClassSpare, c.age, 0)
+		if err != nil {
+			return 0, err
+		}
+		return decodePSNR(img, got), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	decay := &metrics.Table{Header: []string{"wear_frac", "age", "psnr_dB", "usable(>30dB)"}}
+	for ci, c := range cells {
+		sum := 0.0
+		for trial := 0; trial < trials; trial++ {
+			sum += psnrs[ci*trials+trial]
+		}
+		p := sum / float64(trials)
+		decay.AddRow(c.wear, c.age.String(), p, p > 30)
 	}
 
 	// Table 2: protection ablation at 0.75 wear, 2 years.
@@ -148,20 +168,26 @@ func runE13(quick bool) (*Result, error) {
 		}
 		schemes = append(schemes, rsLight)
 	}
-	for _, s := range schemes {
-		dev, clock, err := mediaDevice(s, 2000)
+	ablPSNR, err := expMap(len(schemes), func(i int) (float64, error) {
+		dev, clock, err := mediaDevice(schemes[i], 2000)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		if err := preWear(dev, 0.75); err != nil {
-			return nil, err
+			return 0, err
 		}
 		got, err := storeAndAge(dev, clock, enc, device.ClassSpare, 2*sim.Year, 0)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		return decodePSNR(img, got), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range schemes {
 		overhead := float64(s.Overhead(4096)-4096) / 4096 * 100
-		ablation.AddRow(s.Name(), decodePSNR(img, got), overhead)
+		ablation.AddRow(s.Name(), ablPSNR[i], overhead)
 	}
 
 	// Table 3: priority split — critical prefix (header+DC) on SYS, AC
@@ -311,17 +337,18 @@ func runE13(quick bool) (*Result, error) {
 		if quick {
 			rows = rows[1:3]
 		}
-		for _, r := range rows {
+		snrs, err := expMap(len(rows), func(i int) (float64, error) {
+			r := rows[i]
 			dev, clock, err := mediaDevice(r.scheme, 5000+uint64(r.wear*100))
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			if err := preWear(dev, r.wear); err != nil {
-				return nil, err
+				return 0, err
 			}
 			got, err := storeAndAge(dev, clock, encA, device.ClassSpare, r.age, 0)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			snr := 0.0
 			if dec, err := media.DecodeClip(got); err == nil {
@@ -329,7 +356,13 @@ func runE13(quick bool) (*Result, error) {
 					snr = capPSNR(s)
 				}
 			}
-			audioTab.AddRow("8kHz ADPCM", r.wear, r.scheme.Name(), r.age.String(), snr)
+			return snr, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range rows {
+			audioTab.AddRow("8kHz ADPCM", r.wear, r.scheme.Name(), r.age.String(), snrs[i])
 		}
 	}
 

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sos/internal/parallel"
+)
+
+// parallelism is the package-wide worker budget for intra-experiment
+// fan-out (trials, sweep points, contenders). 1 = serial. It is read at
+// each fan-out point so SetParallelism applies to runs started after the
+// call. Experiments are written so that results are bit-identical for
+// every setting: all seeds are derived before dispatch and rows are
+// emitted in item order, never completion order.
+var parallelism atomic.Int64
+
+func init() { parallelism.Store(1) }
+
+// SetParallelism sets the worker budget for trial-level fan-out inside
+// experiments. n < 1 selects GOMAXPROCS.
+func SetParallelism(n int) { parallelism.Store(int64(parallel.Workers(n))) }
+
+// Parallelism reports the current trial-level worker budget.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// expEach fans fn over n independent trials using the package budget.
+func expEach(n int, fn func(i int) error) error {
+	return parallel.ForEach(n, Parallelism(), fn)
+}
+
+// expMap fans fn over n independent trials and returns results in item
+// order regardless of scheduling.
+func expMap[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(n, Parallelism(), fn)
+}
+
+// RunAllParallel executes every experiment, fanning independent
+// experiments across at most workers goroutines (workers < 1 =
+// GOMAXPROCS). Results come back in registry order and are identical to
+// a serial RunAll: experiments share no mutable state (each builds its
+// own clock, chip, and RNGs from fixed seeds), so scheduling cannot
+// reach the numbers.
+func RunAllParallel(quick bool, workers int) ([]*Result, error) {
+	ids := IDs()
+	return parallel.Map(len(ids), workers, func(i int) (*Result, error) {
+		r, err := Run(ids[i], quick)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", ids[i], err)
+		}
+		return r, nil
+	})
+}

@@ -44,79 +44,106 @@ func e3Geometry(blocks int) flash.Geometry {
 	return flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 30, Blocks: blocks}
 }
 
+// e3Spec describes one E3 table row; every row is an independent trial
+// (own clock, chip, workload, fixed seeds), so rows fan out across
+// workers and are re-assembled in spec order.
+type e3Spec struct {
+	profile Profile
+	label   string
+	days    int
+}
+
+// e3Vals is the measured half of an E3 row.
+type e3Vals struct {
+	avgWear, maxWear, writeAmp, outlive float64
+}
+
+func e3Personal(spec e3Spec) (e3Vals, error) {
+	sys, err := buildSystem(spec.profile, e3Geometry(60), 20+uint64(spec.days))
+	if err != nil {
+		return e3Vals{}, err
+	}
+	gen, err := scaledPersonal(spec.days, sys.fs.Device().CapacityBytes(), 16, 7)
+	if err != nil {
+		return e3Vals{}, err
+	}
+	rep, err := core.Run(sys.engine, gen, core.RunConfig{SampleEvery: 60 * sim.Day})
+	if err != nil {
+		return e3Vals{}, err
+	}
+	smart := rep.FinalSmart
+	outlive := 0.0
+	if smart.AvgWearFrac > 0 {
+		outlive = 1 / smart.AvgWearFrac
+	}
+	return e3Vals{smart.AvgWearFrac, smart.MaxWearFrac, smart.WriteAmp, outlive}, nil
+}
+
+// e3Enterprise reproduces the §2.3.1 contrast: steady 24/7 overwrites at
+// 2x the personal daily volume on the TLC baseline.
+func e3Enterprise(days int) (e3Vals, error) {
+	sys, err := buildSystem(ProfileTLC, e3Geometry(60), 99)
+	if err != nil {
+		return e3Vals{}, err
+	}
+	capacity := sys.fs.Device().CapacityBytes()
+	daily := float64(capacity) / 8 // capacity every 8 days
+	files := 40
+	gen, err := workload.NewEnterprise(workload.EnterpriseConfig{
+		Days: days, Files: files,
+		FileBytes:        capacity / int64(files) / 2,
+		OverwritesPerDay: daily / (float64(capacity) / float64(files) / 2),
+		ReadsPerDay:      300,
+		Seed:             9,
+	})
+	if err != nil {
+		return e3Vals{}, err
+	}
+	rep, err := core.Run(sys.engine, gen, core.RunConfig{SampleEvery: 60 * sim.Day})
+	if err != nil {
+		return e3Vals{}, err
+	}
+	smart := rep.FinalSmart
+	outlive := 0.0
+	if smart.AvgWearFrac > 0 {
+		outlive = 1 / smart.AvgWearFrac
+	}
+	return e3Vals{smart.AvgWearFrac, smart.MaxWearFrac, smart.WriteAmp, outlive}, nil
+}
+
 func runE3(quick bool) (*Result, error) {
 	horizons := []int{730, 1095} // 2y warranty, 3y use life
 	if quick {
 		horizons = []int{240}
 	}
-	t := &metrics.Table{Header: []string{
-		"profile", "workload", "days", "avg_wear_%", "max_wear_%", "write_amp", "flash_outlives_device_x",
-	}}
-	addRow := func(profile Profile, label string, days int, gen workload.Generator) error {
-		sys, err := buildSystem(profile, e3Geometry(60), 20+uint64(days))
-		if err != nil {
-			return err
-		}
-		if gen == nil {
-			gen, err = scaledPersonal(days, sys.fs.Device().CapacityBytes(), 16, 7)
-			if err != nil {
-				return err
-			}
-		}
-		rep, err := core.Run(sys.engine, gen, core.RunConfig{SampleEvery: 60 * sim.Day})
-		if err != nil {
-			return err
-		}
-		smart := rep.FinalSmart
-		outlive := 0.0
-		if smart.AvgWearFrac > 0 {
-			outlive = 1 / smart.AvgWearFrac
-		}
-		t.AddRow(profile.String(), label, days,
-			smart.AvgWearFrac*100, smart.MaxWearFrac*100,
-			smart.WriteAmp, outlive)
-		return nil
-	}
+	var specs []e3Spec
 	for _, days := range horizons {
 		for _, profile := range []Profile{ProfileTLC, ProfileSOS} {
-			if err := addRow(profile, "personal", days, nil); err != nil {
-				return nil, err
-			}
+			specs = append(specs, e3Spec{profile, "personal", days})
 		}
 	}
 	// §2.3.1 contrast: "even under relatively stressful use in
 	// enterprise settings, wear out ... is a minor cause for drive
-	// failure". Steady 24/7 overwrites at 2x the personal daily volume.
-	{
-		days := horizons[len(horizons)-1]
-		sys, err := buildSystem(ProfileTLC, e3Geometry(60), 99)
-		if err != nil {
-			return nil, err
+	// failure".
+	specs = append(specs, e3Spec{ProfileTLC, "enterprise", horizons[len(horizons)-1]})
+
+	vals, err := expMap(len(specs), func(i int) (e3Vals, error) {
+		if specs[i].label == "enterprise" {
+			return e3Enterprise(specs[i].days)
 		}
-		capacity := sys.fs.Device().CapacityBytes()
-		daily := float64(capacity) / 8 // capacity every 8 days
-		files := 40
-		gen, err := workload.NewEnterprise(workload.EnterpriseConfig{
-			Days: days, Files: files,
-			FileBytes:        capacity / int64(files) / 2,
-			OverwritesPerDay: daily / (float64(capacity) / float64(files) / 2),
-			ReadsPerDay:      300,
-			Seed:             9,
-		})
-		if err != nil {
-			return nil, err
-		}
-		rep, err := core.Run(sys.engine, gen, core.RunConfig{SampleEvery: 60 * sim.Day})
-		if err != nil {
-			return nil, err
-		}
-		smart := rep.FinalSmart
-		outlive := 0.0
-		if smart.AvgWearFrac > 0 {
-			outlive = 1 / smart.AvgWearFrac
-		}
-		t.AddRow("tlc", "enterprise", days,
-			smart.AvgWearFrac*100, smart.MaxWearFrac*100, smart.WriteAmp, outlive)
+		return e3Personal(specs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &metrics.Table{Header: []string{
+		"profile", "workload", "days", "avg_wear_%", "max_wear_%", "write_amp", "flash_outlives_device_x",
+	}}
+	for i, spec := range specs {
+		v := vals[i]
+		t.AddRow(spec.profile.String(), spec.label, spec.days,
+			v.avgWear*100, v.maxWear*100, v.writeAmp, v.outlive)
 	}
 	return &Result{
 		ID: "E3", Title: "wear gap under typical personal use",

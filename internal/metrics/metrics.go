@@ -1,6 +1,10 @@
 // Package metrics provides lightweight counters, distributions, and time
 // series used by the experiment harnesses to report results in the shape
 // the paper reports them (totals, means, percentiles, curves over time).
+//
+// All accounting types (Counter, Gauge, Dist, Series) are safe for
+// concurrent use, so engines running on different worker goroutines may
+// share them. They must not be copied after first use.
 package metrics
 
 import (
@@ -8,11 +12,13 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Counter is a monotonically increasing event count.
 type Counter struct {
-	n int64
+	n atomic.Int64
 }
 
 // Add increments the counter by d (d must be >= 0).
@@ -20,32 +26,43 @@ func (c *Counter) Add(d int64) {
 	if d < 0 {
 		panic("metrics: negative counter increment")
 	}
-	c.n += d
+	c.n.Add(d)
 }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.n++ }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.n }
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Gauge is a value that can move in both directions.
 type Gauge struct {
-	v float64
+	bits atomic.Uint64 // float64 bits
 }
 
 // Set replaces the gauge value.
-func (g *Gauge) Set(v float64) { g.v = v }
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adjusts the gauge by d.
-func (g *Gauge) Add(d float64) { g.v += d }
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
 
 // Value returns the current gauge value.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Dist accumulates a distribution of float64 samples with exact quantiles
-// (it keeps all samples; experiment scales here are modest).
+// (it keeps all samples; experiment scales here are modest). NaN samples
+// are dropped on Observe, so every summary statistic is NaN-free by
+// construction.
 type Dist struct {
+	mu      sync.Mutex
 	samples []float64
 	sorted  bool
 	sum     float64
@@ -53,8 +70,14 @@ type Dist struct {
 	max     float64
 }
 
-// Observe records one sample.
+// Observe records one sample. NaN is ignored: a NaN would poison the
+// sort order Quantile depends on and leak into Mean/Sum forever.
 func (d *Dist) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if len(d.samples) == 0 {
 		d.min, d.max = v, v
 	} else {
@@ -71,13 +94,27 @@ func (d *Dist) Observe(v float64) {
 }
 
 // Count returns the number of samples.
-func (d *Dist) Count() int { return len(d.samples) }
+func (d *Dist) Count() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.samples)
+}
 
 // Sum returns the sum of samples.
-func (d *Dist) Sum() float64 { return d.sum }
+func (d *Dist) Sum() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sum
+}
 
 // Mean returns the sample mean, or 0 with no samples.
 func (d *Dist) Mean() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.meanLocked()
+}
+
+func (d *Dist) meanLocked() float64 {
 	if len(d.samples) == 0 {
 		return 0
 	}
@@ -85,18 +122,28 @@ func (d *Dist) Mean() float64 {
 }
 
 // Min returns the smallest sample, or 0 with no samples.
-func (d *Dist) Min() float64 { return d.min }
+func (d *Dist) Min() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.min
+}
 
 // Max returns the largest sample, or 0 with no samples.
-func (d *Dist) Max() float64 { return d.max }
+func (d *Dist) Max() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.max
+}
 
 // Stddev returns the population standard deviation.
 func (d *Dist) Stddev() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	n := len(d.samples)
 	if n == 0 {
 		return 0
 	}
-	mean := d.Mean()
+	mean := d.meanLocked()
 	var ss float64
 	for _, v := range d.samples {
 		dv := v - mean
@@ -106,8 +153,13 @@ func (d *Dist) Stddev() float64 {
 }
 
 // Quantile returns the q-quantile (q in [0,1]) by nearest-rank on the
-// sorted samples. With no samples it returns 0.
+// sorted samples. With no samples it returns 0; with one sample it
+// returns that sample for every q. The sample buffer is sorted in place
+// on the first call after an Observe and the order is cached, so
+// repeated quantile reads cost O(1) comparisons, not a re-sort.
 func (d *Dist) Quantile(q float64) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	n := len(d.samples)
 	if n == 0 {
 		return 0
@@ -116,7 +168,7 @@ func (d *Dist) Quantile(q float64) float64 {
 		sort.Float64s(d.samples)
 		d.sorted = true
 	}
-	if q <= 0 {
+	if q <= 0 || math.IsNaN(q) {
 		return d.samples[0]
 	}
 	if q >= 1 {
@@ -142,20 +194,35 @@ type Point struct {
 }
 
 // Series is an ordered list of (x, y) points, typically (time, value),
-// used to regenerate the paper's curves.
+// used to regenerate the paper's curves. Methods are safe for concurrent
+// use; reading Points directly is safe only once concurrent writers have
+// finished (the usual pattern: workers Add during a run, the harness
+// reads the curve after joining them).
 type Series struct {
-	Name   string
+	Name string
+
+	mu     sync.Mutex
 	Points []Point
 }
 
 // Add appends a point. X values are expected to be non-decreasing.
-func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+func (s *Series) Add(x, y float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Points = append(s.Points, Point{x, y})
+}
 
 // Len returns the number of points.
-func (s *Series) Len() int { return len(s.Points) }
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.Points)
+}
 
 // Last returns the most recent point, or a zero Point if empty.
 func (s *Series) Last() Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.Points) == 0 {
 		return Point{}
 	}
@@ -165,6 +232,8 @@ func (s *Series) Last() Point {
 // At returns the Y value at the greatest X <= x (step interpolation), or
 // 0 if x precedes all points.
 func (s *Series) At(x float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	y := 0.0
 	for _, p := range s.Points {
 		if p.X > x {

@@ -1,0 +1,120 @@
+package metrics
+
+// Concurrency tests for the accounting types. Run with -race: engines on
+// different worker goroutines share these, so every mutation path must be
+// exercised from multiple goroutines and the final values must still be
+// exact (the operations are commutative, so concurrency must not lose or
+// invent updates).
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+const (
+	raceGoroutines = 8
+	raceOpsPerG    = 10000
+)
+
+// hammer runs fn from raceGoroutines goroutines, raceOpsPerG calls each,
+// passing a distinct (goroutine, iteration) pair to every call.
+func hammer(fn func(g, i int)) {
+	var wg sync.WaitGroup
+	wg.Add(raceGoroutines)
+	for g := 0; g < raceGoroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < raceOpsPerG; i++ {
+				fn(g, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	hammer(func(g, i int) {
+		if i%2 == 0 {
+			c.Inc()
+		} else {
+			c.Add(2)
+		}
+	})
+	// Per goroutine: half Inc (+1), half Add(2) => 10000/2*1 + 10000/2*2.
+	want := int64(raceGoroutines) * (raceOpsPerG / 2 * 1 + raceOpsPerG / 2 * 2)
+	if c.Value() != want {
+		t.Fatalf("counter lost updates: %d, want %d", c.Value(), want)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	hammer(func(_, i int) {
+		if i%2 == 0 {
+			g.Add(1)
+		} else {
+			g.Add(-1)
+		}
+	})
+	if g.Value() != 0 {
+		t.Fatalf("gauge drifted to %v, want 0 (CAS lost an update)", g.Value())
+	}
+}
+
+func TestGaugeConcurrentSetAndRead(t *testing.T) {
+	var g Gauge
+	hammer(func(gid, i int) {
+		if gid == 0 {
+			g.Set(float64(i))
+			return
+		}
+		// Concurrent readers must always observe a value some writer
+		// stored — never a torn mix of two writes.
+		v := g.Value()
+		if v != math.Trunc(v) || v < 0 || v >= raceOpsPerG {
+			panic("torn gauge read")
+		}
+	})
+}
+
+func TestDistConcurrentObserve(t *testing.T) {
+	var d Dist
+	hammer(func(g, i int) {
+		d.Observe(float64(i % 100))
+		if i%512 == 0 {
+			// Interleave quantile reads: sorting must not race appends.
+			_ = d.Quantile(0.5)
+		}
+	})
+	wantN := raceGoroutines * raceOpsPerG
+	if d.Count() != wantN {
+		t.Fatalf("dist lost samples: %d, want %d", d.Count(), wantN)
+	}
+	// Every goroutine observed the same 0..99 cycle.
+	wantSum := float64(raceGoroutines) * float64(raceOpsPerG/100) * (99 * 100 / 2)
+	if d.Sum() != wantSum {
+		t.Fatalf("dist sum %v, want %v", d.Sum(), wantSum)
+	}
+	if d.Min() != 0 || d.Max() != 99 {
+		t.Fatalf("min/max = %v/%v, want 0/99", d.Min(), d.Max())
+	}
+	if q := d.Quantile(1); q != 99 {
+		t.Fatalf("p100 = %v, want 99", q)
+	}
+}
+
+func TestSeriesConcurrentAdd(t *testing.T) {
+	var s Series
+	hammer(func(g, i int) {
+		s.Add(float64(i), float64(g))
+		if i%1024 == 0 {
+			_ = s.Last()
+			_ = s.At(float64(i))
+		}
+	})
+	if s.Len() != raceGoroutines*raceOpsPerG {
+		t.Fatalf("series lost points: %d", s.Len())
+	}
+}

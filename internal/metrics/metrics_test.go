@@ -163,6 +163,99 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+func TestDistSingleSample(t *testing.T) {
+	var d Dist
+	d.Observe(7)
+	// Every quantile of a one-sample distribution is that sample.
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.99, 1, 2} {
+		if got := d.Quantile(q); got != 7 {
+			t.Fatalf("Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	if d.Mean() != 7 || d.Min() != 7 || d.Max() != 7 || d.Stddev() != 0 {
+		t.Fatalf("single-sample summary wrong: %s", d.String())
+	}
+}
+
+func TestDistQuantileOutOfRangeQ(t *testing.T) {
+	var d Dist
+	for i := 1; i <= 10; i++ {
+		d.Observe(float64(i))
+	}
+	if got := d.Quantile(-0.5); got != 1 {
+		t.Fatalf("Quantile(-0.5) = %v, want min", got)
+	}
+	if got := d.Quantile(1.5); got != 10 {
+		t.Fatalf("Quantile(1.5) = %v, want max", got)
+	}
+	if got := d.Quantile(math.NaN()); got != 1 {
+		t.Fatalf("Quantile(NaN) = %v, want min (NaN q treated as 0)", got)
+	}
+}
+
+func TestDistNaNFree(t *testing.T) {
+	var d Dist
+	// NaN observations are dropped: they would poison the sort order and
+	// stick in Sum/Mean forever.
+	d.Observe(math.NaN())
+	if d.Count() != 0 {
+		t.Fatalf("NaN observation recorded: count %d", d.Count())
+	}
+	d.Observe(3)
+	d.Observe(math.NaN())
+	d.Observe(1)
+	if d.Count() != 2 {
+		t.Fatalf("count = %d, want 2", d.Count())
+	}
+	for name, v := range map[string]float64{
+		"mean": d.Mean(), "sum": d.Sum(), "min": d.Min(), "max": d.Max(),
+		"stddev": d.Stddev(), "p0": d.Quantile(0), "p50": d.Quantile(0.5), "p100": d.Quantile(1),
+	} {
+		if math.IsNaN(v) {
+			t.Fatalf("%s is NaN", name)
+		}
+	}
+	if d.Quantile(0) != 1 || d.Quantile(1) != 3 {
+		t.Fatalf("quantiles wrong after NaN drop: p0=%v p100=%v", d.Quantile(0), d.Quantile(1))
+	}
+	// Empty-dist summaries are NaN-free too.
+	var e Dist
+	if math.IsNaN(e.Mean()) || math.IsNaN(e.Stddev()) || math.IsNaN(e.Quantile(0.5)) {
+		t.Fatal("empty dist produced NaN")
+	}
+}
+
+func TestDistQuantileCachesSort(t *testing.T) {
+	var d Dist
+	for _, v := range []float64{5, 2, 9, 1} {
+		d.Observe(v)
+	}
+	if d.Quantile(0) != 1 {
+		t.Fatal("first quantile wrong")
+	}
+	// A second read hits the cached order; a late Observe invalidates it.
+	if d.Quantile(1) != 9 {
+		t.Fatal("cached quantile wrong")
+	}
+	d.Observe(0.5)
+	if d.Quantile(0) != 0.5 {
+		t.Fatal("sort cache not invalidated by Observe")
+	}
+}
+
+func TestGaugeConcurrentSafeBasics(t *testing.T) {
+	var g Gauge
+	g.Set(1.5)
+	g.Add(2.25)
+	if g.Value() != 3.75 {
+		t.Fatalf("gauge = %v, want 3.75", g.Value())
+	}
+	g.Add(-3.75)
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %v, want 0", g.Value())
+	}
+}
+
 func TestDistString(t *testing.T) {
 	var d Dist
 	d.Observe(1)

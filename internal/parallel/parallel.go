@@ -1,0 +1,90 @@
+// Package parallel provides a bounded worker pool for deterministic
+// fan-out. Work items are addressed by index and results land in their
+// own slot, so output never depends on goroutine scheduling — the
+// invariant every experiment runner relies on to stay bit-identical
+// between -parallel 1 and -parallel N.
+//
+// Determinism contract: callers must derive any per-item randomness
+// (seeds, RNGs) BEFORE calling ForEach/Map — see sim.RNG.SplitSeeds —
+// and items must not share mutable state except through types that are
+// explicitly concurrency-safe (see internal/metrics).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count request: values < 1 mean "use all
+// available cores" (GOMAXPROCS); anything else passes through.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(0..n-1) on at most workers goroutines and waits for
+// all of them. Every item runs even if an earlier one fails; the
+// returned error is the failing item with the LOWEST index, so the
+// error surfaced is the same one a serial loop would have hit first
+// (scheduling order never leaks into the result).
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, same semantics.
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(0..n-1) on at most workers goroutines and returns the
+// results in index order. Error semantics match ForEach: all items run,
+// lowest-index error wins, and on error the results slice is still
+// returned (slots for failed items hold the zero value).
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
+}

@@ -1,0 +1,105 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Fatal("explicit worker count not honored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("auto worker count below 1")
+	}
+}
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 33} {
+		var ran int64
+		seen := make([]bool, 100)
+		err := ForEach(100, workers, func(i int) error {
+			atomic.AddInt64(&ran, 1)
+			seen[i] = true // each index visited exactly once: no race
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran != 100 {
+			t.Fatalf("workers=%d: ran %d of 100", workers, ran)
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Fatalf("workers=%d: index %d skipped", workers, i)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("boom") }); err != nil {
+		t.Fatal("ForEach(0) invoked fn")
+	}
+}
+
+func TestForEachLowestIndexError(t *testing.T) {
+	// Items 3 and 7 fail; regardless of worker count, index 3's error
+	// must be the one reported (the serial-equivalent error).
+	for _, workers := range []int{1, 2, 8} {
+		err := ForEach(10, workers, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("workers=%d: got %v, want item 3's error", workers, err)
+		}
+	}
+}
+
+func TestForEachAllItemsRunDespiteError(t *testing.T) {
+	var ran int64
+	_ = ForEach(50, 4, func(i int) error {
+		atomic.AddInt64(&ran, 1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if ran != 50 {
+		t.Fatalf("an early error cancelled later items: ran %d of 50", ran)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		out, err := Map(64, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapErrorKeepsSlots(t *testing.T) {
+	out, err := Map(4, 2, func(i int) (string, error) {
+		if i == 2 {
+			return "", errors.New("slot 2")
+		}
+		return fmt.Sprintf("v%d", i), nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if out[0] != "v0" || out[1] != "v1" || out[2] != "" || out[3] != "v3" {
+		t.Fatalf("result slots wrong: %v", out)
+	}
+}

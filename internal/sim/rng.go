@@ -54,6 +54,30 @@ func (r *RNG) Uint64() uint64 {
 // the parent. The parent advances by one draw.
 func (r *RNG) Fork() *RNG { return NewRNG(r.Uint64()) }
 
+// SplitSeeds derives n decorrelated child seeds, advancing the parent by
+// n draws. It is the dispatch-side half of parallel determinism: derive
+// every trial's seed from one parent BEFORE handing trials to worker
+// goroutines, and results cannot depend on scheduling order (each worker
+// builds its own NewRNG(seed) privately). Splitting is itself
+// deterministic: the same parent state always yields the same seeds.
+func (r *RNG) SplitSeeds(n int) []uint64 {
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = r.Uint64()
+	}
+	return seeds
+}
+
+// ForkN derives n independent generators in one call (Fork applied n
+// times). Like SplitSeeds it advances the parent by n draws.
+func (r *RNG) ForkN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = NewRNG(r.Uint64())
+	}
+	return out
+}
+
 // Float64 returns a uniform float64 in [0, 1).
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -238,6 +239,79 @@ func TestShufflePermutation(t *testing.T) {
 	}
 	if len(seen) != 10 {
 		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+// TestForkStreamsDisjoint is the property test behind parallel trial
+// dispatch: the first N outputs of many forked children must not overlap
+// each other or the parent — overlapping streams would correlate trials
+// that are supposed to be independent.
+func TestForkStreamsDisjoint(t *testing.T) {
+	parent := NewRNG(0xf02c)
+	const children = 16
+	const draws = 2000
+	kids := parent.ForkN(children)
+	seen := make(map[uint64]string, (children+1)*draws)
+	record := func(name string, r *RNG) {
+		for i := 0; i < draws; i++ {
+			v := r.Uint64()
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("draw %d of %s collides with %s (value %x)", i, name, prev, v)
+			}
+			seen[v] = name
+		}
+	}
+	record("parent", parent)
+	for c, kid := range kids {
+		record(fmt.Sprintf("child%d", c), kid)
+	}
+}
+
+// TestSplitSeedsStable: splitting is a pure function of the parent
+// state — the same parent seed always yields the same child seeds, which
+// is what makes parallel runs reproducible from a single -seed flag.
+func TestSplitSeedsStable(t *testing.T) {
+	a := NewRNG(77).SplitSeeds(32)
+	b := NewRNG(77).SplitSeeds(32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d differs across identical parents: %x vs %x", i, a[i], b[i])
+		}
+	}
+	// Distinct slots must get distinct seeds.
+	set := make(map[uint64]bool, len(a))
+	for _, s := range a {
+		if set[s] {
+			t.Fatalf("duplicate child seed %x", s)
+		}
+		set[s] = true
+	}
+	// And a different parent must not reproduce the same seed list.
+	c := NewRNG(78).SplitSeeds(32)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parents 77 and 78 share %d child seeds", same)
+	}
+}
+
+// TestSplitSeedsMatchForkN: ForkN(n) must be exactly NewRNG over
+// SplitSeeds(n), so code can pre-split seeds, ship them to workers, and
+// rebuild identical generators there.
+func TestSplitSeedsMatchForkN(t *testing.T) {
+	seeds := NewRNG(123).SplitSeeds(8)
+	kids := NewRNG(123).ForkN(8)
+	for i := range seeds {
+		rebuilt := NewRNG(seeds[i])
+		for d := 0; d < 100; d++ {
+			if rebuilt.Uint64() != kids[i].Uint64() {
+				t.Fatalf("child %d draw %d: NewRNG(SplitSeeds) != ForkN", i, d)
+			}
+		}
 	}
 }
 
