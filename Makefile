@@ -1,8 +1,9 @@
 # Verification tiers. Tier 1 is the seed gate (ROADMAP.md); tier 2 keeps
 # the concurrent paths honest now that experiments fan out across worker
-# goroutines. CI (or a pre-merge hand-run) should execute both.
+# goroutines; the torture tier replays the crash matrix under the race
+# detector. CI (or a pre-merge hand-run) should execute all three.
 
-.PHONY: verify verify-race verify-all bench-parallel determinism
+.PHONY: verify verify-race verify-all torture bench-parallel determinism
 
 # Tier 1: build + full test suite.
 verify:
@@ -13,7 +14,15 @@ verify:
 verify-race:
 	go vet ./... && go test -race ./...
 
-verify-all: verify verify-race
+# Crash-and-recovery torture: the power-cut matrix, crash-mid-GC and
+# crash-mid-resuscitation rebuilds, and fault-injection tests, under the
+# race detector at two parallelism levels (reports must be identical).
+torture:
+	go test -race ./internal/torture/ ./internal/fault/ -v
+	go test -race ./internal/ftl/ -run 'TestRebuild'
+	go test -race -parallel 8 ./internal/torture/
+
+verify-all: verify verify-race torture
 
 # Serial vs parallel RunAll wall-clock (quick fidelity under -short).
 bench-parallel:

@@ -2,12 +2,17 @@ package sos_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"sos"
 	"sos/internal/classify"
 	"sos/internal/core"
+	"sos/internal/device"
+	"sos/internal/fault"
 	"sos/internal/flash"
+	"sos/internal/fs"
+	"sos/internal/ftl"
 	"sos/internal/media"
 	"sos/internal/sim"
 	"sos/internal/workload"
@@ -198,5 +203,155 @@ func TestQuickstartPayloadSurvives(t *testing.T) {
 	st, _ := sys.FS.Stat(id)
 	if st.Class.String() == "sys" && !bytes.Equal(res.Data, payload) {
 		t.Fatal("SYS-protected personal photo corrupted")
+	}
+}
+
+// TestFaultToleranceSmart drives a fault-planned device end to end and
+// asserts the new SMART counters: retries and salvages under a read
+// burst, injector telemetry, rebuild counting across power cycles, and
+// all-zero counters on a clean device.
+func TestFaultToleranceSmart(t *testing.T) {
+	geo := flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 16, Blocks: 48}
+	dev, err := device.New(device.Config{
+		Geometry: geo,
+		Tech:     flash.PLC,
+		Streams:  device.SOSStreams(),
+		Seed:     7,
+		Fault:    &fault.Plan{ReadFaultWindow: fault.Window{From: 150, To: 400}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xa5}, 200)
+	for lpa := int64(0); lpa < 48; lpa++ {
+		class := device.ClassSys
+		if lpa%2 == 1 {
+			class = device.ClassSpare
+		}
+		if _, err := dev.Write(lpa, payload, 0, class); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 12; round++ {
+		for lpa := int64(0); lpa < 48; lpa++ {
+			res, err := dev.Read(lpa)
+			if err != nil {
+				// SYS reads may fail transiently during the burst, but
+				// the error must stay errors.Is-matchable to the flash
+				// sentinel through the device wrapping.
+				if !errors.Is(err, flash.ErrReadFault) {
+					t.Fatalf("read error lost its sentinel: %v", err)
+				}
+				continue
+			}
+			if lpa%2 == 0 && !res.Degraded && res.Data != nil && !bytes.Equal(res.Data, payload) {
+				t.Fatalf("silent corruption on SYS lpa %d", lpa)
+			}
+		}
+	}
+	s := dev.Smart()
+	if s.ReadRetries == 0 {
+		t.Error("read burst produced no retries")
+	}
+	if s.SalvagedReads == 0 {
+		t.Error("read burst salvaged nothing")
+	}
+	if s.Fault.InjectedReadFaults == 0 {
+		t.Error("injector telemetry missing from SMART")
+	}
+	if s.Rebuilds != 0 {
+		t.Errorf("rebuilds = %d before any power cycle", s.Rebuilds)
+	}
+
+	if err := dev.PowerCycle(); err != nil {
+		t.Fatalf("power cycle: %v", err)
+	}
+	if got := dev.Smart().Rebuilds; got != 1 {
+		t.Errorf("rebuilds = %d after power cycle, want 1", got)
+	}
+	for lpa := int64(0); lpa < 48; lpa += 2 { // SYS data survives the remount
+		res, err := dev.Read(lpa)
+		if err != nil {
+			t.Fatalf("SYS lpa %d lost across power cycle: %v", lpa, err)
+		}
+		if res.Data != nil && !bytes.Equal(res.Data, payload) {
+			t.Fatalf("SYS lpa %d corrupted across power cycle", lpa)
+		}
+	}
+
+	clean, err := device.NewSOS(geo, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.Write(1, payload, 0, device.ClassSys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.Read(1); err != nil {
+		t.Fatal(err)
+	}
+	cs := clean.Smart()
+	if cs.ReadRetries != 0 || cs.SalvagedReads != 0 || cs.HardReadFaults != 0 ||
+		cs.QuarantinedBlocks != 0 || cs.Rebuilds != 0 || cs.Fault != (fault.Stats{}) {
+		t.Errorf("clean device reports fault telemetry: %+v", cs)
+	}
+}
+
+// TestSentinelPropagation locks in that layer sentinels survive every
+// wrapping layer as errors.Is-matchable chains rather than strings.
+func TestSentinelPropagation(t *testing.T) {
+	geo := flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 8, Blocks: 16}
+
+	// flash.ErrReadFault: injector -> FTL -> device -> fs.
+	dev, err := device.New(device.Config{
+		Geometry: geo,
+		Tech:     flash.PLC,
+		Streams:  device.SOSStreams(),
+		Seed:     11,
+		Fault:    &fault.Plan{ReadFaultProb: 1, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := fs.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := fsys.Create("sys.doc", bytes.Repeat([]byte{1}, 900), 0, device.ClassSys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = fsys.Read(id)
+	if err == nil {
+		t.Fatal("every-read-faults plan let a SYS read through")
+	}
+	if !errors.Is(err, flash.ErrReadFault) {
+		t.Errorf("fs read error does not chain to flash.ErrReadFault: %v", err)
+	}
+
+	// ftl.ErrNotFresh surfaces through the Recover convenience.
+	f := dev.FTL()
+	if err := f.Rebuild(); !errors.Is(err, ftl.ErrNotFresh) {
+		t.Errorf("rebuild on used FTL = %v, want ErrNotFresh chain", err)
+	}
+
+	// fault.ErrPowerCut chains through FTL writes.
+	cut, err := device.New(device.Config{
+		Geometry: geo,
+		Tech:     flash.PLC,
+		Streams:  device.SOSStreams(),
+		Seed:     12,
+		Fault:    &fault.Plan{PowerCutAtOp: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cut.Write(0, []byte("x"), 0, device.ClassSys); !errors.Is(err, fault.ErrPowerCut) {
+		t.Errorf("write during cut = %v, want ErrPowerCut chain", err)
+	}
+	if err := cut.PowerCycle(); err != nil {
+		t.Fatalf("power cycle after cut: %v", err)
+	}
+	if _, err := cut.Write(0, []byte("x"), 0, device.ClassSys); err != nil {
+		t.Errorf("write after restore: %v", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sos/internal/ecc"
+	"sos/internal/fault"
 	"sos/internal/flash"
 	"sos/internal/ftl"
 	"sos/internal/sim"
@@ -62,6 +63,10 @@ type Config struct {
 	// OverProvisionPct / GCLowWater pass through to the FTL.
 	OverProvisionPct int
 	GCLowWater       int
+	// Fault, when non-nil, interposes a deterministic fault injector
+	// between the FTL and the chip (see internal/fault). Nil keeps the
+	// stack byte-identical to an uninstrumented device.
+	Fault *fault.Plan
 }
 
 // SOSStreams returns the paper's split pseudo-QLC / PLC stream layout
@@ -111,7 +116,10 @@ func BaselineStreams(tech flash.Tech) []ftl.StreamPolicy {
 // Device is a simulated personal storage device.
 type Device struct {
 	chip    *flash.Chip
+	medium  ftl.Flash       // what the FTL sees: the chip, or a fault injector over it
+	inj     *fault.Injector // nil without a fault plan
 	ftl     *ftl.FTL
+	ftlCfg  ftl.Config // stream layout kept for power-cycle remounts
 	clock   *sim.Clock
 	latency LatencyProfile
 
@@ -120,6 +128,14 @@ type Device struct {
 
 	readCount  int64
 	writeCount int64
+
+	// Read-ladder and recovery telemetry.
+	readRetries   int64
+	salvagedReads int64
+	hardFaults    map[int]int // consecutive-hard-fault count per block
+	hardFaultCnt  int64
+	quarantined   int64
+	rebuilds      int64
 
 	// OnCapacityChange fires with the new advertised capacity in bytes
 	// whenever retirement/resuscitation shrinks the device.
@@ -157,12 +173,19 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	f, err := ftl.New(ftl.Config{
-		Chip:             chip,
+	var medium ftl.Flash = chip
+	var inj *fault.Injector
+	if cfg.Fault != nil {
+		inj = fault.New(chip, *cfg.Fault)
+		medium = inj
+	}
+	fcfg := ftl.Config{
+		Chip:             medium,
 		Streams:          cfg.Streams,
 		OverProvisionPct: cfg.OverProvisionPct,
 		GCLowWater:       cfg.GCLowWater,
-	})
+	}
+	f, err := ftl.New(fcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -170,13 +193,43 @@ func New(cfg Config) (*Device, error) {
 	if cfg.Latency != nil {
 		lat = *cfg.Latency
 	}
-	d := &Device{chip: chip, ftl: f, clock: clock, latency: lat}
-	f.OnCapacityChange = func(pages int) {
+	d := &Device{
+		chip: chip, medium: medium, inj: inj,
+		ftl: f, ftlCfg: fcfg, clock: clock, latency: lat,
+		hardFaults: map[int]int{},
+	}
+	d.wireCapacity()
+	return d, nil
+}
+
+// wireCapacity forwards FTL capacity changes to the device callback;
+// re-run after every remount, since each rebuild creates a fresh FTL.
+func (d *Device) wireCapacity() {
+	pageSize := d.ftl.LogicalPageSize()
+	d.ftl.OnCapacityChange = func(pages int) {
 		if d.OnCapacityChange != nil {
-			d.OnCapacityChange(int64(pages) * int64(cfg.Geometry.PageSize))
+			d.OnCapacityChange(int64(pages) * int64(pageSize))
 		}
 	}
-	return d, nil
+}
+
+// PowerCycle simulates losing and restoring power: the in-RAM FTL is
+// discarded, the fault injector (if any) is restored, and a fresh FTL
+// is rebuilt from the surviving medium's OOB tags. The device keeps its
+// identity (telemetry counters, callbacks) across the cycle.
+func (d *Device) PowerCycle() error {
+	if d.inj != nil {
+		d.inj.Restore()
+	}
+	f, err := ftl.Recover(d.medium, d.ftlCfg)
+	if err != nil {
+		return fmt.Errorf("device: power cycle: %w", err)
+	}
+	d.ftl = f
+	d.wireCapacity()
+	d.rebuilds++
+	d.hardFaults = map[int]int{} // fault history does not survive the crash
+	return nil
 }
 
 // NewSOS builds the paper's SOS device on PLC silicon.
@@ -232,8 +285,18 @@ func (d *Device) Clock() *sim.Clock { return d.clock }
 // FTL exposes the translation layer for experiments and telemetry.
 func (d *Device) FTL() *ftl.FTL { return d.ftl }
 
-// Chip exposes the flash chip for experiments and telemetry.
+// Chip exposes the raw flash chip for experiments and telemetry. Wear
+// cycling and geometry inspection go here; I/O issued directly to the
+// chip bypasses any installed fault plan.
 func (d *Device) Chip() *flash.Chip { return d.chip }
+
+// Medium exposes what the FTL actually reads and writes: the chip, or
+// the fault injector wrapped around it.
+func (d *Device) Medium() ftl.Flash { return d.medium }
+
+// Injector returns the installed fault injector, or nil for a clean
+// device.
+func (d *Device) Injector() *fault.Injector { return d.inj }
 
 // Write stores one logical page under the given class hint. data may be
 // nil with dataLen set for accounting-only traffic. The returned latency
@@ -259,12 +322,75 @@ type ReadResult struct {
 	Latency sim.Time
 }
 
+// readRetryMax bounds immediate re-reads of a page that failed with a
+// hard interface fault (flash.ErrReadFault) before the ladder escalates
+// to relocation.
+const readRetryMax = 3
+
+// hardFaultRetireAfter is how many post-ladder hard faults a block may
+// accumulate before the device quarantines it (seal, drain, retire).
+const hardFaultRetireAfter = 3
+
+// readLadder recovers from a hard read fault: bounded retries, then
+// relocation off the failing page (which salvages approximate data),
+// then a final re-read. Blocks that keep faulting are quarantined. For
+// tolerant streams an unrecoverable page degrades — flagged, partial
+// data — rather than failing the read; SYS faults propagate.
+func (d *Device) readLadder(lba int64, rerr error) (ftl.ReadResult, error) {
+	var res ftl.ReadResult
+	var err error = rerr
+	for attempt := 0; attempt < readRetryMax && err != nil && errors.Is(err, flash.ErrReadFault); attempt++ {
+		d.readRetries++
+		res, err = d.ftl.Read(lba)
+	}
+	if err == nil {
+		d.salvagedReads++
+		return res, nil
+	}
+	if !errors.Is(err, flash.ErrReadFault) {
+		return ftl.ReadResult{}, err
+	}
+	ppa, stream, dataLen, ok := d.ftl.Locate(lba)
+	if !ok {
+		return ftl.ReadResult{}, err
+	}
+	d.hardFaultCnt++
+	d.hardFaults[ppa.Block]++
+	if d.hardFaults[ppa.Block] >= hardFaultRetireAfter {
+		// Retirement escalation: repeated hard faults condemn the block.
+		if qerr := d.ftl.Quarantine(ppa.Block); qerr == nil {
+			d.quarantined++
+			delete(d.hardFaults, ppa.Block)
+		}
+	}
+	// Move the data off the failing page; for approximate streams an
+	// unreadable source salvages to an accounting-only degraded page.
+	if rerr := d.ftl.Relocate(lba, stream); rerr == nil {
+		if res, err = d.ftl.Read(lba); err == nil {
+			d.salvagedReads++
+			return res, nil
+		}
+	}
+	pol := d.ftl.Streams()[stream]
+	if pol.Approximate() {
+		// Degradation is the product: report partial data, never fail.
+		d.salvagedReads++
+		return ftl.ReadResult{DataLen: dataLen, Degraded: true, Stream: stream}, nil
+	}
+	return ftl.ReadResult{}, fmt.Errorf("device: read lba %d: %w", lba, err)
+}
+
 // Read fetches one logical page. Tolerant reads (SPARE-class data under
 // approximate storage) skip the read-retry ladder.
 func (d *Device) Read(lba int64) (ReadResult, error) {
 	res, err := d.ftl.Read(lba)
 	if err != nil {
-		return ReadResult{}, err
+		if !errors.Is(err, flash.ErrReadFault) {
+			return ReadResult{}, err
+		}
+		if res, err = d.readLadder(lba, err); err != nil {
+			return ReadResult{}, err
+		}
 	}
 	pol := d.ftl.Streams()[res.Stream]
 	_, tolerant := pol.Scheme.(ecc.None)
@@ -334,6 +460,16 @@ type Smart struct {
 	// WearHistogram buckets blocks by wear fraction: [0] holds blocks
 	// under 10% worn, [9] blocks at 90%+ (including past-rating blocks).
 	WearHistogram [10]int
+
+	// Fault-tolerance telemetry.
+	ReadRetries       int64 // ladder re-reads after hard read faults
+	SalvagedReads     int64 // reads recovered (or degraded-not-failed) by the ladder
+	HardReadFaults    int64 // reads that exhausted immediate retries
+	QuarantinedBlocks int64 // blocks condemned by retirement escalation
+	Rebuilds          int64 // power cycles survived (FTL rebuilt from OOB)
+	// Fault reports the installed injector's counters (zero for a clean
+	// device).
+	Fault fault.Stats
 }
 
 // Smart returns a telemetry snapshot.
@@ -365,21 +501,30 @@ func (d *Device) Smart() Smart {
 	if n > 0 {
 		avg = sum / float64(n)
 	}
-	return Smart{
-		CapacityBytes:   d.CapacityBytes(),
-		PageSize:        d.PageSize(),
-		Reads:           d.readCount,
-		Writes:          d.writeCount,
-		BusyTime:        d.busy,
-		FTL:             st,
-		AvgWearFrac:     avg,
-		MaxWearFrac:     max,
-		RetiredBlocks:   st.Retired,
-		Resuscitations:  st.Resuscitated,
-		WriteAmp:        d.ftl.WriteAmplification(),
-		DegradedReads:   st.DegradedReads,
-		TotalBlocks:     d.chip.Blocks(),
-		PercentLifeUsed: avg * 100,
-		WearHistogram:   hist,
+	s := Smart{
+		CapacityBytes:     d.CapacityBytes(),
+		PageSize:          d.PageSize(),
+		Reads:             d.readCount,
+		Writes:            d.writeCount,
+		BusyTime:          d.busy,
+		FTL:               st,
+		AvgWearFrac:       avg,
+		MaxWearFrac:       max,
+		RetiredBlocks:     st.Retired,
+		Resuscitations:    st.Resuscitated,
+		WriteAmp:          d.ftl.WriteAmplification(),
+		DegradedReads:     st.DegradedReads,
+		TotalBlocks:       d.chip.Blocks(),
+		PercentLifeUsed:   avg * 100,
+		WearHistogram:     hist,
+		ReadRetries:       d.readRetries,
+		SalvagedReads:     d.salvagedReads,
+		HardReadFaults:    d.hardFaultCnt,
+		QuarantinedBlocks: d.quarantined,
+		Rebuilds:          d.rebuilds,
 	}
+	if d.inj != nil {
+		s.Fault = d.inj.FaultStats()
+	}
+	return s
 }

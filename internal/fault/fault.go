@@ -1,0 +1,398 @@
+// Package fault provides a deterministic, seeded fault-injection
+// interposer for the flash stack. An Injector wraps any chip-shaped
+// medium (structurally identical to ftl.Flash, satisfied by
+// *flash.Chip) and presents the same interface, so the FTL, device
+// layer, and experiments run unmodified against real or fault-wrapped
+// media.
+//
+// Faults are reproducible from a sim.RNG seed and come in four shapes:
+//
+//   - op-indexed windows: every read/program/erase whose global op index
+//     falls inside a window fails (transient bursts, fail storms);
+//   - probabilistic rules: each op fails with a configured probability,
+//     drawn from the plan's seeded RNG;
+//   - block ranges: all ops touching a block range fail hard (a dead
+//     die/plane region);
+//   - a power cut: the op with index N (and every op after it) fails
+//     with ErrPowerCut until Restore is called — the crash-consistency
+//     trigger. A torn cut lets op N reach the medium before power dies,
+//     modelling an unacknowledged write that persists.
+//
+// Injected program/erase faults wrap flash.ErrProgramFail and
+// flash.ErrEraseFail so the FTL's existing absorption logic (block
+// sealing, retirement) handles them unchanged; injected read faults wrap
+// flash.ErrReadFault, which the relocation and device retry ladders key
+// off. With a zero-value Plan the Injector is byte-transparent: it
+// delegates every call, draws nothing from any RNG, and perturbs no
+// downstream determinism.
+package fault
+
+import (
+	"errors"
+	"fmt"
+
+	"sos/internal/flash"
+	"sos/internal/sim"
+)
+
+// ErrPowerCut reports that the simulated medium lost power: the op (and
+// all ops after it) never completed. Recovery is host-side: Restore the
+// injector, then rebuild the FTL over the surviving state.
+var ErrPowerCut = errors.New("fault: power lost")
+
+// Medium is the chip contract the injector wraps and re-exposes. It
+// mirrors ftl.Flash method-for-method (kept structurally identical so
+// *Injector satisfies ftl.Flash without this package importing ftl);
+// *flash.Chip satisfies it directly.
+type Medium interface {
+	Geometry() flash.Geometry
+	Tech() flash.Tech
+	Blocks() int
+	PagesIn(b int) (int, error)
+	Program(b, page int, data []byte, dataLen int) error
+	ProgramTagged(b, page int, data []byte, dataLen int, tag flash.PageTag) error
+	Tag(b, page int) (flash.PageTag, bool, error)
+	Read(b, page int) (flash.ReadResult, error)
+	MarkStale(b, page int) error
+	Erase(b int) error
+	SetMode(b int, m flash.Mode) error
+	Retire(b int) error
+	Info(b int) (flash.BlockInfo, error)
+	PageRBER(b, page int) (float64, error)
+	StateOf(b, page int) (flash.PageState, error)
+	Stats() flash.Stats
+}
+
+var _ Medium = (*flash.Chip)(nil)
+
+// Window is a half-open op-index interval [From, To) over the
+// injector's global op counter (1-based: the first read/program/erase
+// is op 1). The zero value is disabled.
+type Window struct {
+	From, To int64
+}
+
+// contains reports whether idx falls inside the window.
+func (w Window) contains(idx int64) bool { return w.From < w.To && idx >= w.From && idx < w.To }
+
+// BlockRange is a half-open block-id interval [From, To) that has
+// failed hard — a dead die or plane region. Every op addressing it
+// fails deterministically.
+type BlockRange struct {
+	From, To int
+}
+
+func (r BlockRange) contains(b int) bool { return r.From < r.To && b >= r.From && b < r.To }
+
+// Plan is a deterministic fault schedule. The zero value injects
+// nothing and makes the Injector byte-transparent.
+type Plan struct {
+	// Seed feeds the probabilistic rules' RNG. Plans that only use
+	// op-indexed windows, block ranges, or the power cut never draw.
+	Seed uint64
+
+	// ReadFaultProb fails each read with this probability (transient:
+	// an immediate retry redraws). ReadFaultWindow fails every read in
+	// the op-index window.
+	ReadFaultProb   float64
+	ReadFaultWindow Window
+
+	// ProgramFailProb / ProgramFailWindow inject program-status
+	// failures (wrapping flash.ErrProgramFail): the page stays
+	// unwritten and the FTL seals the block.
+	ProgramFailProb   float64
+	ProgramFailWindow Window
+
+	// EraseFailProb / EraseFailWindow inject erase-status failures
+	// (wrapping flash.ErrEraseFail): the FTL retires the block.
+	EraseFailProb   float64
+	EraseFailWindow Window
+
+	// BadBlocks are dead regions: reads fail with flash.ErrReadFault,
+	// programs with flash.ErrProgramFail, erases with
+	// flash.ErrEraseFail — all deterministic.
+	BadBlocks []BlockRange
+
+	// PowerCutAtOp, when > 0, cuts power at exactly that op index: the
+	// op fails with ErrPowerCut and the medium stays dead until
+	// Restore. TornCut lets the cut op reach the medium first (a
+	// persisted-but-unacknowledged write or erase).
+	PowerCutAtOp int64
+	TornCut      bool
+}
+
+// probabilistic reports whether the plan ever needs an RNG.
+func (p *Plan) probabilistic() bool {
+	return p.ReadFaultProb > 0 || p.ProgramFailProb > 0 || p.EraseFailProb > 0
+}
+
+// Stats counts what the injector did.
+type Stats struct {
+	// Ops is the number of read/program/erase ops observed (including
+	// faulted ones).
+	Ops int64
+	// InjectedReadFaults / InjectedProgramFails / InjectedEraseFails
+	// count faults injected by windows, probabilities, and bad blocks.
+	InjectedReadFaults   int64
+	InjectedProgramFails int64
+	InjectedEraseFails   int64
+	// PowerCuts counts power-cut triggers (at most one per Restore).
+	PowerCuts int64
+	// OpsRejectedDown counts ops refused because power was off.
+	OpsRejectedDown int64
+}
+
+// Injected returns the total number of injected faults (excluding
+// power-cut rejections).
+func (s Stats) Injected() int64 {
+	return s.InjectedReadFaults + s.InjectedProgramFails + s.InjectedEraseFails
+}
+
+// Injector wraps a Medium and injects faults per its Plan. It is not
+// safe for concurrent use (neither is the chip it wraps; the device
+// layer serializes access).
+type Injector struct {
+	inner Medium
+	plan  Plan
+	rng   *sim.RNG // nil until a probabilistic rule needs it
+	ops   int64
+	down  bool
+	stats Stats
+}
+
+// New wraps inner with a fault plan. A zero-value plan is transparent.
+func New(inner Medium, plan Plan) *Injector {
+	i := &Injector{inner: inner}
+	i.install(plan)
+	return i
+}
+
+func (i *Injector) install(plan Plan) {
+	i.plan = plan
+	i.rng = nil
+	if plan.probabilistic() {
+		i.rng = sim.NewRNG(plan.Seed)
+	}
+}
+
+// SetPlan replaces the fault plan (reseeding the probabilistic RNG) and
+// clears any power-down state. The op counter keeps running, so
+// op-indexed rules in the new plan address the same global timeline.
+func (i *Injector) SetPlan(plan Plan) {
+	i.install(plan)
+	i.down = false
+}
+
+// Restore reattaches power after a cut: the consumed power-cut trigger
+// is cleared, every other rule stays armed (fault storms persist across
+// reboots). It is a no-op when power is on.
+func (i *Injector) Restore() {
+	i.down = false
+	i.plan.PowerCutAtOp = 0
+}
+
+// Down reports whether the medium is currently without power.
+func (i *Injector) Down() bool { return i.down }
+
+// Ops returns the global op index of the last read/program/erase.
+func (i *Injector) Ops() int64 { return i.ops }
+
+// FaultStats returns the injector's own counters. (Stats, from the
+// Medium interface, forwards the wrapped chip's telemetry.)
+func (i *Injector) FaultStats() Stats { return i.stats }
+
+// errDown is the failure every op sees while power is off.
+func (i *Injector) errDown() error {
+	i.stats.OpsRejectedDown++
+	return fmt.Errorf("fault: op on dead medium (cut at op %d): %w", i.ops, ErrPowerCut)
+}
+
+// beginOp advances the op counter and evaluates the power-cut trigger.
+// It returns (idx, cut): when cut is true the caller must fail with the
+// returned error after optionally applying a torn op.
+func (i *Injector) beginOp() (idx int64, cutErr error) {
+	i.ops++
+	i.stats.Ops++
+	if i.plan.PowerCutAtOp > 0 && i.ops >= i.plan.PowerCutAtOp {
+		i.down = true
+		i.stats.PowerCuts++
+		return i.ops, fmt.Errorf("fault: power cut at op %d: %w", i.ops, ErrPowerCut)
+	}
+	return i.ops, nil
+}
+
+// badBlock reports whether b lies in a dead region.
+func (i *Injector) badBlock(b int) bool {
+	for _, r := range i.plan.BadBlocks {
+		if r.contains(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// draw evaluates a probabilistic rule.
+func (i *Injector) draw(p float64) bool {
+	if p <= 0 || i.rng == nil {
+		return false
+	}
+	return i.rng.Bool(p)
+}
+
+// Read implements Medium.
+func (i *Injector) Read(b, page int) (flash.ReadResult, error) {
+	if i.down {
+		return flash.ReadResult{}, i.errDown()
+	}
+	idx, cutErr := i.beginOp()
+	if cutErr != nil {
+		return flash.ReadResult{}, cutErr // a torn read has no medium effect
+	}
+	if i.badBlock(b) {
+		i.stats.InjectedReadFaults++
+		return flash.ReadResult{}, fmt.Errorf("fault: read %d/%d in dead region: %w", b, page, flash.ErrReadFault)
+	}
+	if i.plan.ReadFaultWindow.contains(idx) || i.draw(i.plan.ReadFaultProb) {
+		i.stats.InjectedReadFaults++
+		return flash.ReadResult{}, fmt.Errorf("fault: injected read fault at op %d: %w", idx, flash.ErrReadFault)
+	}
+	return i.inner.Read(b, page)
+}
+
+// program centralizes the fault schedule for both program entry points.
+func (i *Injector) program(b, page int, apply func() error) error {
+	if i.down {
+		return i.errDown()
+	}
+	idx, cutErr := i.beginOp()
+	if cutErr != nil {
+		if i.plan.TornCut {
+			// The charge pulse completed before power died: the page is
+			// persisted but the host never sees the acknowledgement.
+			_ = apply()
+		}
+		return cutErr
+	}
+	if i.badBlock(b) {
+		i.stats.InjectedProgramFails++
+		return fmt.Errorf("fault: program %d/%d in dead region: %w", b, page, flash.ErrProgramFail)
+	}
+	if i.plan.ProgramFailWindow.contains(idx) || i.draw(i.plan.ProgramFailProb) {
+		i.stats.InjectedProgramFails++
+		return fmt.Errorf("fault: injected program fail at op %d: %w", idx, flash.ErrProgramFail)
+	}
+	return apply()
+}
+
+// Program implements Medium.
+func (i *Injector) Program(b, page int, data []byte, dataLen int) error {
+	return i.program(b, page, func() error { return i.inner.Program(b, page, data, dataLen) })
+}
+
+// ProgramTagged implements Medium.
+func (i *Injector) ProgramTagged(b, page int, data []byte, dataLen int, tag flash.PageTag) error {
+	return i.program(b, page, func() error { return i.inner.ProgramTagged(b, page, data, dataLen, tag) })
+}
+
+// Erase implements Medium.
+func (i *Injector) Erase(b int) error {
+	if i.down {
+		return i.errDown()
+	}
+	idx, cutErr := i.beginOp()
+	if cutErr != nil {
+		if i.plan.TornCut {
+			_ = i.inner.Erase(b)
+		}
+		return cutErr
+	}
+	if i.badBlock(b) {
+		i.stats.InjectedEraseFails++
+		return fmt.Errorf("fault: erase %d in dead region: %w", b, flash.ErrEraseFail)
+	}
+	if i.plan.EraseFailWindow.contains(idx) || i.draw(i.plan.EraseFailProb) {
+		i.stats.InjectedEraseFails++
+		return fmt.Errorf("fault: injected erase fail at op %d: %w", idx, flash.ErrEraseFail)
+	}
+	return i.inner.Erase(b)
+}
+
+// MarkStale implements Medium. Stale-marking is controller metadata; it
+// is not op-indexed, but a dead medium refuses it like everything else.
+func (i *Injector) MarkStale(b, page int) error {
+	if i.down {
+		return i.errDown()
+	}
+	return i.inner.MarkStale(b, page)
+}
+
+// SetMode implements Medium.
+func (i *Injector) SetMode(b int, m flash.Mode) error {
+	if i.down {
+		return i.errDown()
+	}
+	return i.inner.SetMode(b, m)
+}
+
+// Retire implements Medium.
+func (i *Injector) Retire(b int) error {
+	if i.down {
+		return i.errDown()
+	}
+	return i.inner.Retire(b)
+}
+
+// Tag implements Medium.
+func (i *Injector) Tag(b, page int) (flash.PageTag, bool, error) {
+	if i.down {
+		return flash.PageTag{}, false, i.errDown()
+	}
+	return i.inner.Tag(b, page)
+}
+
+// Info implements Medium.
+func (i *Injector) Info(b int) (flash.BlockInfo, error) {
+	if i.down {
+		return flash.BlockInfo{}, i.errDown()
+	}
+	return i.inner.Info(b)
+}
+
+// PageRBER implements Medium.
+func (i *Injector) PageRBER(b, page int) (float64, error) {
+	if i.down {
+		return 0, i.errDown()
+	}
+	return i.inner.PageRBER(b, page)
+}
+
+// StateOf implements Medium.
+func (i *Injector) StateOf(b, page int) (flash.PageState, error) {
+	if i.down {
+		return 0, i.errDown()
+	}
+	return i.inner.StateOf(b, page)
+}
+
+// PagesIn implements Medium.
+func (i *Injector) PagesIn(b int) (int, error) {
+	if i.down {
+		return 0, i.errDown()
+	}
+	return i.inner.PagesIn(b)
+}
+
+// Geometry implements Medium (host-side knowledge; power-independent).
+func (i *Injector) Geometry() flash.Geometry { return i.inner.Geometry() }
+
+// Tech implements Medium (host-side knowledge; power-independent).
+func (i *Injector) Tech() flash.Tech { return i.inner.Tech() }
+
+// Blocks implements Medium (host-side knowledge; power-independent).
+func (i *Injector) Blocks() int { return i.inner.Blocks() }
+
+// Stats implements Medium, forwarding the wrapped chip's telemetry.
+func (i *Injector) Stats() flash.Stats { return i.inner.Stats() }
+
+// Inner returns the wrapped medium (the surviving silicon after a cut).
+func (i *Injector) Inner() Medium { return i.inner }

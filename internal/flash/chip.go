@@ -25,6 +25,13 @@ var (
 	// ErrEraseFail reports an erase-status failure, the other hard
 	// wear-out signal.
 	ErrEraseFail = errors.New("flash: erase operation failed")
+	// ErrReadFault reports that a read operation failed outright (no
+	// data returned), as opposed to returning data with bit errors. The
+	// simulated chip itself never emits it; the fault interposer
+	// (internal/fault) wraps it to model transient interface faults and
+	// dead regions, and the FTL/device retry ladders key off it with
+	// errors.Is.
+	ErrReadFault = errors.New("flash: read operation failed")
 )
 
 // Geometry describes a chip's physical layout. PageSize is the data

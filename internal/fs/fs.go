@@ -274,7 +274,14 @@ func (f *FS) Read(id FileID) (ReadResult, error) {
 		out.RawFlips += res.RawFlips
 		out.Latency += res.Latency
 		if e.real {
-			out.Data = append(out.Data, res.Data...)
+			if res.Data == nil && res.DataLen > 0 {
+				// Salvaged page: the device degraded an unreadable SPARE
+				// page to a hole rather than failing the read. Zero-fill
+				// so the file keeps its length; DegradedPages reports it.
+				out.Data = append(out.Data, make([]byte, res.DataLen)...)
+			} else {
+				out.Data = append(out.Data, res.Data...)
+			}
 		}
 	}
 	e.reads++

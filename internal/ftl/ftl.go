@@ -88,6 +88,18 @@ type StreamPolicy struct {
 	WearRetireFrac float64
 }
 
+// Approximate reports whether the stream stores data under approximate
+// semantics (no correction capability: detect-only or no ECC). Only
+// approximate streams may salvage unreadable pages as reported loss;
+// protected streams must surface hard faults instead.
+func (p *StreamPolicy) Approximate() bool {
+	switch p.Scheme.(type) {
+	case ecc.None, ecc.DetectOnly:
+		return true
+	}
+	return false
+}
+
 // DefaultRetireRBER retires a block when its current-write RBER passes
 // half the end-of-life threshold; beyond that, fresh data on the block
 // is already at risk before retention is added.
@@ -124,9 +136,10 @@ type mapping struct {
 	baseFlips int
 }
 
-// FTL is the translation layer over a single chip.
+// FTL is the translation layer over a single chip (or any Flash, e.g. a
+// fault-injection interposer).
 type FTL struct {
-	chip    *flash.Chip
+	chip    Flash
 	streams []StreamPolicy
 
 	l2p map[int64]mapping
@@ -149,6 +162,9 @@ type FTL struct {
 	degradedReads int64  // reads whose ECC failed (returned degraded data)
 	progFailures  int64  // program-status failures absorbed
 	staticWLMoves int64  // static wear-leveling relocations
+	relocRetries  int64  // transient read faults retried during relocation
+	salvagedPages int64  // pages relocated with unreadable payload (SPARE salvage)
+	salvagedBytes int64  // logical bytes crystallized as lost by salvage
 	allocsSinceWL int    // rate limiter for static WL checks
 	writeSerial   uint64 // monotone OOB serial for rebuilds
 
@@ -162,7 +178,8 @@ type FTL struct {
 
 // Config configures an FTL.
 type Config struct {
-	Chip    *flash.Chip
+	// Chip is the medium: a *flash.Chip or any Flash wrapper around one.
+	Chip    Flash
 	Streams []StreamPolicy
 	// OverProvisionPct of blocks reserved for GC headroom (default 7).
 	OverProvisionPct int
@@ -253,8 +270,8 @@ func (f *FTL) LogicalPageSize() int { return f.logicalSz }
 // Streams returns the configured stream policies.
 func (f *FTL) Streams() []StreamPolicy { return f.streams }
 
-// Chip exposes the underlying chip (telemetry, experiments).
-func (f *FTL) Chip() *flash.Chip { return f.chip }
+// Chip exposes the underlying medium (telemetry, experiments).
+func (f *FTL) Chip() Flash { return f.chip }
 
 // policy returns the policy for id, or an error.
 func (f *FTL) policy(id StreamID) (*StreamPolicy, error) {
@@ -460,9 +477,9 @@ func (f *FTL) programToStream(id StreamID, lpa int64, dataLen int, stored []byte
 	return -1, -1, fmt.Errorf("ftl: %d consecutive program failures: %w", maxAttempts, flash.ErrProgramFail)
 }
 
-// sealFailedBlock marks a block that failed a program: it takes no
-// further programs and is rotated out of active duty.
-func (f *FTL) sealFailedBlock(b int) {
+// sealBlock marks a block as taking no further programs: GC drains it
+// with priority and it retires at erase time.
+func (f *FTL) sealBlock(b int) {
 	st := &f.blocks[b]
 	st.progFailed = true
 	// Freeze the programmed-page count at the chip's cursor.
@@ -472,6 +489,11 @@ func (f *FTL) sealFailedBlock(b int) {
 	if f.active[st.owner] == b {
 		f.active[st.owner] = -1
 	}
+}
+
+// sealFailedBlock seals a block after a program-status failure.
+func (f *FTL) sealFailedBlock(b int) {
+	f.sealBlock(b)
 	f.progFailures++
 }
 
@@ -570,6 +592,18 @@ func (f *FTL) Contains(lpa int64) bool {
 func (f *FTL) StreamOf(lpa int64) (StreamID, bool) {
 	m, ok := f.l2p[lpa]
 	return m.stream, ok
+}
+
+// Locate reports where a mapped lpa physically lives, its stream, and
+// its logical payload length. The device layer's fault ladder uses it
+// to escalate repeated hard read faults into block retirement and to
+// salvage what it can of an unreadable page.
+func (f *FTL) Locate(lpa int64) (ppa PPA, stream StreamID, dataLen int, ok bool) {
+	m, found := f.l2p[lpa]
+	if !found {
+		return PPA{}, 0, 0, false
+	}
+	return m.ppa, m.stream, m.dataLen, true
 }
 
 // MappedPages returns the number of live logical pages.

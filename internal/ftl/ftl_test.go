@@ -3,7 +3,6 @@ package ftl
 import (
 	"bytes"
 	"errors"
-	"fmt"
 	"testing"
 
 	"sos/internal/ecc"
@@ -563,33 +562,9 @@ func TestL2PInvariant(t *testing.T) {
 	}
 }
 
-func checkInvariants(f *FTL) error {
-	if len(f.l2p) != len(f.p2l) {
-		return fmt.Errorf("l2p has %d entries, p2l has %d", len(f.l2p), len(f.p2l))
-	}
-	perBlock := map[int]int{}
-	for lpa, m := range f.l2p {
-		back, ok := f.p2l[m.ppa]
-		if !ok {
-			return fmt.Errorf("lpa %d -> %v missing reverse mapping", lpa, m.ppa)
-		}
-		if back != lpa {
-			return fmt.Errorf("lpa %d -> %v -> %d", lpa, m.ppa, back)
-		}
-		perBlock[m.ppa.Block]++
-	}
-	for b := range f.blocks {
-		if f.blocks[b].allocated {
-			if f.blocks[b].valid != perBlock[b] {
-				return fmt.Errorf("block %d valid=%d but %d live mappings",
-					b, f.blocks[b].valid, perBlock[b])
-			}
-		} else if perBlock[b] != 0 {
-			return fmt.Errorf("unallocated block %d has %d live mappings", b, perBlock[b])
-		}
-	}
-	return nil
-}
+// checkInvariants delegates to the exported checker (invariants.go),
+// which the crash-torture harness shares.
+func checkInvariants(f *FTL) error { return CheckInvariants(f) }
 
 func TestInvariantsAfterScrubAndGC(t *testing.T) {
 	rng := sim.NewRNG(88)

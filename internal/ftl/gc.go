@@ -186,6 +186,23 @@ func (f *FTL) moveLive(lpa int64) error {
 	return f.relocate(lpa, m.stream)
 }
 
+// relocReadAttempts bounds the read retries relocation performs before
+// declaring a page unreadable. Transient interface faults (the fault
+// interposer's read bursts) usually clear within a retry or two; a page
+// that stays unreadable is salvaged or surfaced.
+const relocReadAttempts = 3
+
+// readForRelocate reads a physical page for relocation, retrying
+// transient read faults (flash.ErrReadFault) a bounded number of times.
+func (f *FTL) readForRelocate(ppa PPA) (flash.ReadResult, error) {
+	raw, err := f.chip.Read(ppa.Block, ppa.Page)
+	for attempt := 1; err != nil && errors.Is(err, flash.ErrReadFault) && attempt < relocReadAttempts; attempt++ {
+		f.relocRetries++
+		raw, err = f.chip.Read(ppa.Block, ppa.Page)
+	}
+	return raw, err
+}
+
 // relocate rewrites lpa into stream dst (same stream = GC/refresh move,
 // different stream = classification-driven promotion/demotion, §4.4).
 func (f *FTL) relocate(lpa int64, dst StreamID) error {
@@ -194,9 +211,19 @@ func (f *FTL) relocate(lpa int64, dst StreamID) error {
 		return ErrUnknownLPA
 	}
 	pol := &f.streams[dst]
-	raw, err := f.chip.Read(m.ppa.Block, m.ppa.Page)
+	raw, err := f.readForRelocate(m.ppa)
 	if err != nil {
-		return fmt.Errorf("ftl: relocate read %v: %w", m.ppa, err)
+		if !errors.Is(err, flash.ErrReadFault) || !f.streams[m.stream].Approximate() {
+			return fmt.Errorf("ftl: relocate read %v: %w", m.ppa, err)
+		}
+		// SPARE salvage: the medium cannot return the payload, but an
+		// approximate stream must not wedge GC on a dying block. The
+		// page moves as accounting-only with every bit marked suspect,
+		// so reads report Degraded (loss is reported, never silent).
+		raw = flash.ReadResult{DataLen: m.dataLen}
+		f.salvagedPages++
+		f.salvagedBytes += int64(m.dataLen)
+		m.baseFlips += m.dataLen * 8
 	}
 
 	var stored []byte
@@ -300,9 +327,14 @@ func (f *FTL) eraseAndFree(b int) error {
 	}
 	owner := st.owner
 	if err := f.chip.Erase(b); err != nil {
-		// Erase failure is a hard wear signal: retire immediately.
-		f.retireBlock(b)
-		return nil
+		if !errors.Is(err, flash.ErrEraseFail) {
+			// Not a wear signal (e.g. power loss from the fault
+			// interposer): surface it rather than retiring a healthy
+			// block on a transient condition.
+			return fmt.Errorf("ftl: erase block %d: %w", b, err)
+		}
+		// Erase-status failure is a hard wear signal: retire immediately.
+		return f.retireBlock(b)
 	}
 	st.allocated = false
 	st.stale = 0
@@ -318,8 +350,7 @@ func (f *FTL) eraseAndFree(b int) error {
 	if st.progFailed {
 		// A program-status failure is a hard wear signal: retire
 		// without trying the resuscitation ladder.
-		f.retireBlock(b)
-		return nil
+		return f.retireBlock(b)
 	}
 	pol0 := &f.streams[owner]
 	retireAt := pol0.WearRetireFrac
@@ -335,7 +366,7 @@ func (f *FTL) eraseAndFree(b int) error {
 				return err
 			}
 			if err := f.chip.SetMode(b, m); err != nil {
-				return err
+				return fmt.Errorf("ftl: resuscitate block %d: %w", b, err)
 			}
 			st.resuscIdx++
 			f.resuscCnt++
@@ -343,22 +374,23 @@ func (f *FTL) eraseAndFree(b int) error {
 			f.notifyCapacity()
 			return nil
 		}
-		f.retireBlock(b)
-		return nil
+		return f.retireBlock(b)
 	}
 	f.freePool = append(f.freePool, b)
 	return nil
 }
 
-// retireBlock permanently removes b from service.
-func (f *FTL) retireBlock(b int) {
+// retireBlock permanently removes b from service. On a real chip Retire
+// only fails on a bad address; through a fault interposer it can also
+// fail under power loss, in which case the FTL-side marking is undone so
+// a rebuild over the surviving chip sees consistent state.
+func (f *FTL) retireBlock(b int) error {
 	st := &f.blocks[b]
+	if err := f.chip.Retire(b); err != nil {
+		return fmt.Errorf("ftl: retire block %d: %w", b, err)
+	}
 	st.retired = true
 	st.allocated = false
-	if err := f.chip.Retire(b); err != nil {
-		// Retire only fails on a bad address, which cannot happen here.
-		panic(err)
-	}
 	for i, a := range f.active {
 		if a == b {
 			f.active[i] = -1
@@ -366,6 +398,36 @@ func (f *FTL) retireBlock(b int) {
 	}
 	f.retiredCnt++
 	f.notifyCapacity()
+	return nil
+}
+
+// Quarantine seals a block after repeated hard faults observed above the
+// FTL (the device layer's retirement escalation): the block takes no
+// further programs, GC drains its live pages with priority, and it
+// retires at erase time — the same discipline as a program-status
+// failure. Quarantining a free-pool or unallocated block retires it
+// immediately.
+func (f *FTL) Quarantine(b int) error {
+	defer f.flushCapacity()
+	if b < 0 || b >= len(f.blocks) {
+		return fmt.Errorf("ftl: quarantine block %d: %w", b, flash.ErrBadAddress)
+	}
+	st := &f.blocks[b]
+	if st.retired {
+		return nil
+	}
+	if !st.allocated {
+		// Nothing to drain: drop it from the free pool and retire.
+		for i, fb := range f.freePool {
+			if fb == b {
+				f.freePool = append(f.freePool[:i], f.freePool[i+1:]...)
+				break
+			}
+		}
+		return f.retireBlock(b)
+	}
+	f.sealBlock(b)
+	return nil
 }
 
 func (f *FTL) notifyCapacity() {
@@ -500,6 +562,12 @@ type Stats struct {
 	DegradedReads int64
 	ProgFailures  int64
 	StaticWLMoves int64
+	// RelocRetries counts transient read faults retried during
+	// relocation; SalvagedPages/SalvagedBytes report SPARE data the
+	// salvage path crystallized as lost (reported, never silent).
+	RelocRetries  int64
+	SalvagedPages int64
+	SalvagedBytes int64
 	FreeBlocks    int
 	MappedPages   int
 }
@@ -516,6 +584,9 @@ func (f *FTL) Stats() Stats {
 		DegradedReads: f.degradedReads,
 		ProgFailures:  f.progFailures,
 		StaticWLMoves: f.staticWLMoves,
+		RelocRetries:  f.relocRetries,
+		SalvagedPages: f.salvagedPages,
+		SalvagedBytes: f.salvagedBytes,
 		FreeBlocks:    len(f.freePool),
 		MappedPages:   len(f.l2p),
 	}

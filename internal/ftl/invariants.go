@@ -1,0 +1,79 @@
+package ftl
+
+import (
+	"fmt"
+)
+
+// CheckInvariants verifies the FTL's internal consistency contract. It
+// is exported (rather than test-only) because the crash-torture harness
+// asserts it after every simulated power cut and rebuild:
+//
+//   - L2P and P2L are exact inverses;
+//   - per-block valid counts equal the number of live mappings;
+//   - the free pool holds only unallocated, non-retired, fully-erased
+//     blocks, with no duplicates;
+//   - per-block stale counts never exceed the programmed page count.
+func CheckInvariants(f *FTL) error {
+	if len(f.l2p) != len(f.p2l) {
+		return fmt.Errorf("ftl: l2p has %d entries, p2l has %d", len(f.l2p), len(f.p2l))
+	}
+	perBlock := map[int]int{}
+	for lpa, m := range f.l2p {
+		back, ok := f.p2l[m.ppa]
+		if !ok {
+			return fmt.Errorf("ftl: lpa %d -> %v missing reverse mapping", lpa, m.ppa)
+		}
+		if back != lpa {
+			return fmt.Errorf("ftl: lpa %d -> %v -> %d", lpa, m.ppa, back)
+		}
+		perBlock[m.ppa.Block]++
+	}
+	for b := range f.blocks {
+		st := &f.blocks[b]
+		if st.allocated {
+			if st.valid != perBlock[b] {
+				return fmt.Errorf("ftl: block %d valid=%d but %d live mappings",
+					b, st.valid, perBlock[b])
+			}
+		} else if perBlock[b] != 0 {
+			return fmt.Errorf("ftl: unallocated block %d has %d live mappings", b, perBlock[b])
+		}
+		if st.stale < 0 || st.stale > st.fullPages {
+			return fmt.Errorf("ftl: block %d stale=%d with %d programmed pages",
+				b, st.stale, st.fullPages)
+		}
+	}
+	seen := map[int]bool{}
+	for _, b := range f.freePool {
+		if seen[b] {
+			return fmt.Errorf("ftl: block %d in free pool twice", b)
+		}
+		seen[b] = true
+		st := &f.blocks[b]
+		if st.allocated || st.retired {
+			return fmt.Errorf("ftl: free-pool block %d allocated=%v retired=%v",
+				b, st.allocated, st.retired)
+		}
+		info, err := f.chip.Info(b)
+		if err != nil {
+			return fmt.Errorf("ftl: free-pool block %d: %w", b, err)
+		}
+		if info.NextPage != 0 {
+			return fmt.Errorf("ftl: free-pool block %d not erased (cursor %d)", b, info.NextPage)
+		}
+		if info.Retired {
+			return fmt.Errorf("ftl: free-pool block %d retired on chip", b)
+		}
+	}
+	// Retirement bookkeeping must agree with the medium.
+	for b := range f.blocks {
+		info, err := f.chip.Info(b)
+		if err != nil {
+			return err
+		}
+		if f.blocks[b].retired && !info.Retired {
+			return fmt.Errorf("ftl: block %d retired in FTL but live on chip", b)
+		}
+	}
+	return nil
+}

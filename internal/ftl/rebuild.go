@@ -1,10 +1,32 @@
 package ftl
 
 import (
+	"errors"
 	"fmt"
 
 	"sos/internal/flash"
 )
+
+// ErrNotFresh reports that Rebuild was invoked on an FTL that has
+// already served writes; power-loss recovery requires a fresh instance
+// over the surviving chip (use Recover for the one-call form).
+var ErrNotFresh = errors.New("ftl: rebuild requires a fresh FTL instance")
+
+// Recover constructs a fresh FTL over the surviving medium and replays
+// the OOB scan in one call — the remount path after a power loss. chip
+// overrides cfg.Chip, so a stored Config can be reused verbatim across
+// power cycles.
+func Recover(chip Flash, cfg Config) (*FTL, error) {
+	cfg.Chip = chip
+	f, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Rebuild(); err != nil {
+		return nil, fmt.Errorf("ftl: recover: %w", err)
+	}
+	return f, nil
+}
 
 // Rebuild reconstructs an FTL's volatile state (L2P/P2L maps, per-block
 // accounting, free pool, write serial) by scanning the chip's OOB page
@@ -23,7 +45,7 @@ import (
 //     simply fail again and be resealed).
 func (f *FTL) Rebuild() error {
 	if len(f.l2p) != 0 || f.hostWrites != 0 {
-		return fmt.Errorf("ftl: rebuild requires a fresh FTL instance")
+		return ErrNotFresh
 	}
 	type winner struct {
 		ppa PPA

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"sos/internal/ecc"
+	"sos/internal/fault"
 	"sos/internal/flash"
 	"sos/internal/sim"
 )
@@ -297,5 +298,247 @@ func TestRebuildPreservesWear(t *testing.T) {
 	}
 	if wearBefore != wearAfter {
 		t.Fatalf("wear changed across rebuild: %v -> %v", wearBefore, wearAfter)
+	}
+}
+
+// crashStack builds a fault-injected chip with the standard SOS stream
+// split and an FTL mounted over the injector.
+func crashStack(t *testing.T, plan fault.Plan) (*flash.Chip, *fault.Injector, Config, *FTL) {
+	t.Helper()
+	chip, err := flash.NewChip(flash.ChipConfig{
+		Geometry: flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 10, Blocks: 24},
+		Tech:     flash.PLC,
+		Clock:    &sim.Clock{},
+		Seed:     61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(chip, plan)
+	pQLC, err := flash.PseudoMode(flash.PLC, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Chip: inj,
+		Streams: []StreamPolicy{
+			{Name: "sys", Mode: pQLC, Scheme: ecc.MustRSScheme(223, 32), WearLeveling: true},
+			{Name: "spare", Mode: flash.NativeMode(flash.PLC), Scheme: ecc.DetectOnly{}},
+		},
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chip, inj, cfg, f
+}
+
+// TestRebuildCrashMidGC cuts power inside the first GC pass (relocation
+// and erase in flight) and verifies the remount: invariants hold, every
+// acknowledged write survives with its newest acked content (or, under
+// a torn cut, the strictly newer in-flight content), and the recovered
+// FTL accepts new writes.
+func TestRebuildCrashMidGC(t *testing.T) {
+	pay := func(lpa, ver int64) []byte {
+		b := make([]byte, 120)
+		for i := range b {
+			b[i] = byte(lpa*37 + ver*11 + int64(i))
+		}
+		return b
+	}
+	type wr struct{ lpa, ver int64 }
+	var script []wr
+	for ver := int64(0); ver < 80; ver++ {
+		for lpa := int64(0); lpa < 14; lpa++ {
+			script = append(script, wr{lpa: lpa, ver: ver})
+		}
+	}
+
+	// Dry run: find the chip-op window of the first GC pass.
+	_, inj, _, f := crashStack(t, fault.Plan{})
+	lo, hi := int64(-1), int64(-1)
+	for _, s := range script {
+		before := inj.Ops()
+		if err := f.Write(s.lpa, pay(s.lpa, s.ver), 0, StreamID(s.lpa%2)); err != nil {
+			t.Fatal(err)
+		}
+		if f.Stats().GCRuns > 0 {
+			lo, hi = before+1, inj.Ops()
+			break
+		}
+	}
+	if lo < 0 {
+		t.Fatal("script never triggered GC")
+	}
+
+	for _, torn := range []bool{false, true} {
+		for _, cut := range []int64{lo, lo + (hi-lo)/2, hi} {
+			_, inj, cfg, f := crashStack(t, fault.Plan{PowerCutAtOp: cut, TornCut: torn})
+			acked := map[int64]int64{}
+			pending := map[int64]int64{}
+			halted := false
+			for _, s := range script {
+				pending[s.lpa] = s.ver
+				err := f.Write(s.lpa, pay(s.lpa, s.ver), 0, StreamID(s.lpa%2))
+				if err != nil {
+					if !errors.Is(err, fault.ErrPowerCut) {
+						t.Fatalf("cut %d torn=%v: unexpected error %v", cut, torn, err)
+					}
+					halted = true
+					break
+				}
+				acked[s.lpa] = s.ver
+				delete(pending, s.lpa)
+				if inj.Down() {
+					halted = true
+					break
+				}
+			}
+			if !halted {
+				t.Fatalf("cut %d never fired", cut)
+			}
+
+			inj.Restore()
+			f2, err := Recover(inj, cfg)
+			if err != nil {
+				t.Fatalf("recover after cut %d torn=%v: %v", cut, torn, err)
+			}
+			if err := CheckInvariants(f2); err != nil {
+				t.Fatalf("invariants after cut %d torn=%v: %v", cut, torn, err)
+			}
+			for lpa, ver := range acked {
+				res, err := f2.Read(lpa)
+				if err != nil {
+					t.Fatalf("cut %d torn=%v: acked lpa %d lost: %v", cut, torn, lpa, err)
+				}
+				ok := bytes.Equal(res.Data, pay(lpa, ver))
+				if !ok {
+					if pv, has := pending[lpa]; has && bytes.Equal(res.Data, pay(lpa, pv)) {
+						ok = true // torn in-flight write persisted: strictly newer, legal
+					}
+				}
+				if !ok {
+					t.Fatalf("cut %d torn=%v: lpa %d has wrong content after recovery", cut, torn, lpa)
+				}
+			}
+			if err := f2.Write(0, pay(0, 999), 0, 0); err != nil {
+				t.Fatalf("recovered FTL rejects writes: %v", err)
+			}
+		}
+	}
+}
+
+// TestRebuildCrashMidResuscitation cuts power (torn) at every chip op
+// of the write that performs the FTL's first block resuscitation — the
+// erase lands but the mode switch may not — and verifies each remount:
+// invariants hold, wear is preserved exactly, acked mappings survive.
+func TestRebuildCrashMidResuscitation(t *testing.T) {
+	mkStack := func(plan fault.Plan) (*flash.Chip, *fault.Injector, Config, *FTL) {
+		t.Helper()
+		chip, err := flash.NewChip(flash.ChipConfig{
+			Geometry: flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 8, Blocks: 10},
+			Tech:     flash.PLC,
+			Clock:    &sim.Clock{},
+			Seed:     67,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj := fault.New(chip, plan)
+		cfg := Config{
+			Chip: inj,
+			Streams: []StreamPolicy{{
+				Name:   "spare",
+				Mode:   flash.NativeMode(flash.PLC),
+				Scheme: ecc.DetectOnly{},
+				// Tiny retire threshold so blocks hit the resuscitation
+				// ladder within a few erase cycles.
+				Resuscitate:    []int{3},
+				WearRetireFrac: 0.01,
+			}},
+		}
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return chip, inj, cfg, f
+	}
+	const lpas = 4
+	const maxWrites = 4000
+
+	// Dry run: find the op window of the first resuscitation.
+	_, inj, _, f := mkStack(fault.Plan{})
+	lo, hi := int64(-1), int64(-1)
+	for i := 0; i < maxWrites; i++ {
+		before := inj.Ops()
+		if err := f.Write(int64(i%lpas), nil, 200, 0); err != nil {
+			t.Fatal(err)
+		}
+		if f.Stats().Resuscitated > 0 {
+			lo, hi = before+1, inj.Ops()
+			break
+		}
+	}
+	if lo < 0 {
+		t.Fatal("workload never resuscitated a block")
+	}
+
+	for cut := lo; cut <= hi; cut++ {
+		chip, inj, cfg, f := mkStack(fault.Plan{PowerCutAtOp: cut, TornCut: true})
+		acked := map[int64]bool{}
+		halted := false
+		for i := 0; i < maxWrites && !halted; i++ {
+			err := f.Write(int64(i%lpas), nil, 200, 0)
+			if err != nil {
+				if !errors.Is(err, fault.ErrPowerCut) {
+					t.Fatalf("cut %d: unexpected error %v", cut, err)
+				}
+				halted = true
+				break
+			}
+			acked[int64(i%lpas)] = true
+			if inj.Down() {
+				halted = true
+			}
+		}
+		if !halted {
+			t.Fatalf("cut %d never fired", cut)
+		}
+		pecAtCrash := 0
+		for b := 0; b < chip.Blocks(); b++ {
+			info, err := chip.Info(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pecAtCrash += info.PEC
+		}
+
+		inj.Restore()
+		f2, err := Recover(inj, cfg)
+		if err != nil {
+			t.Fatalf("recover after cut %d: %v", cut, err)
+		}
+		if err := CheckInvariants(f2); err != nil {
+			t.Fatalf("invariants after cut %d: %v", cut, err)
+		}
+		for lpa := range acked {
+			if !f2.Contains(lpa) {
+				t.Fatalf("cut %d: acked lpa %d lost across mid-resuscitation crash", cut, lpa)
+			}
+		}
+		pecAfter := 0
+		for b := 0; b < chip.Blocks(); b++ {
+			info, err := chip.Info(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pecAfter += info.PEC
+		}
+		if pecAfter != pecAtCrash {
+			t.Fatalf("cut %d: rebuild changed wear %d -> %d", cut, pecAtCrash, pecAfter)
+		}
+		if err := f2.Write(0, nil, 200, 0); err != nil {
+			t.Fatalf("cut %d: recovered FTL rejects writes: %v", cut, err)
+		}
 	}
 }

@@ -1,0 +1,511 @@
+// Package torture is the crash-consistency harness: it replays a seeded
+// host workload against a fault-injected flash stack, cuts power at
+// sampled op indices (including inside GC relocation, scrub migration,
+// and erase), rebuilds the FTL from the surviving medium, and verifies
+// the recovery contract:
+//
+//   - the FTL's internal invariants hold after every rebuild;
+//   - every acknowledged SYS write is readable with exactly the newest
+//     acked content (or, after a torn cut, a later-issued write that
+//     persisted without its acknowledgement — a strictly newer value);
+//   - SPARE data may degrade or be lost, but every loss is REPORTED
+//     (a read error or a Degraded result) — silent corruption is a bug;
+//   - trimmed pages are exempt: an OOB rebuild may resurrect a trim
+//     issued just before the crash (documented FTL semantics).
+//
+// Everything is deterministic from Config.Seed: the workload script, the
+// chip's error processes, and the sampled cut points. Trials fan out via
+// parallel.Map with results in trial order, so a run's Report is
+// identical at any parallelism.
+package torture
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+
+	"sos/internal/ecc"
+	"sos/internal/fault"
+	"sos/internal/flash"
+	"sos/internal/ftl"
+	"sos/internal/parallel"
+	"sos/internal/sim"
+)
+
+// The injector must remain drop-in flash for the FTL.
+var _ ftl.Flash = (*fault.Injector)(nil)
+
+// Config parameterizes a torture run. The zero value is invalid; use
+// DefaultConfig as a base.
+type Config struct {
+	// Seed drives workload synthesis, chip error processes, and any
+	// probabilistic rules in Plan.
+	Seed uint64
+	// Ops is the number of host-level workload steps replayed per trial.
+	Ops int
+	// Cuts is how many power-cut op indices are sampled (evenly spaced
+	// over the dry run's total chip-op count). Odd-numbered trials use
+	// torn cuts (the dying op persists without its acknowledgement).
+	Cuts int
+	// Parallel is the worker count for fanning out trials; results are
+	// identical at any value. <=1 means serial.
+	Parallel int
+	// Plan layers extra fault rules (read bursts, fail storms, bad
+	// blocks) under every trial; its power-cut and seed fields are
+	// overridden per trial.
+	Plan fault.Plan
+}
+
+// DefaultConfig returns a torture configuration sized for CI: a small
+// chip, a few hundred host ops, and a modest cut matrix.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Ops: 260, Cuts: 24, Parallel: 1}
+}
+
+// Report aggregates a torture run.
+type Report struct {
+	// TotalChipOps is the dry run's chip-op count (the cut-index space).
+	TotalChipOps int64
+	// Cuts and TornCuts count executed power-cut trials.
+	Cuts, TornCuts int
+	// Recovered counts trials where ftl.Recover succeeded.
+	Recovered int
+	// RecoveryFailures counts trials where remounting the surviving
+	// medium failed — must be zero.
+	RecoveryFailures int
+	// InvariantViolations counts post-rebuild CheckInvariants failures —
+	// must be zero.
+	InvariantViolations int
+	// WorkloadErrors counts non-power-cut errors during replay — must be
+	// zero.
+	WorkloadErrors int
+	// VerifiedPages is the total number of acked logical pages checked.
+	VerifiedPages int64
+	// SysLossBytes counts acked SYS bytes that were missing or degraded
+	// after recovery — must be zero.
+	SysLossBytes int64
+	// SpareLossBytes counts acked SPARE bytes lost WITH a report (read
+	// error or Degraded flag) — allowed, bounded, and surfaced.
+	SpareLossBytes int64
+	// SilentLossBytes counts bytes that came back wrong with no error
+	// and no Degraded flag, on any stream — must be zero.
+	SilentLossBytes int64
+	// Failures holds diagnostics for the first few violations.
+	Failures []string
+}
+
+// Violations reports the total count of contract breaches.
+func (r Report) Violations() int {
+	n := r.RecoveryFailures + r.InvariantViolations + r.WorkloadErrors
+	if r.SysLossBytes > 0 {
+		n++
+	}
+	if r.SilentLossBytes > 0 {
+		n++
+	}
+	return n
+}
+
+const maxFailureNotes = 8
+
+// Workload step kinds.
+const (
+	kWrite = iota // payload write
+	kAcct         // accounting-only write (nil data)
+	kTrim         // host discard
+	kRead         // host read
+	kAge          // clock advance + scrub pass
+)
+
+type step struct {
+	kind    int
+	lpa     int64
+	stream  ftl.StreamID
+	dataLen int
+	seq     int64 // payload generation number (write steps)
+}
+
+// Stream layout of the tortured device, mirroring the SOS split: SYS is
+// strongly protected and wear-leveled, SPARE runs native density with
+// detect-only ECC (approximate storage).
+const (
+	sysStream   = ftl.StreamID(0)
+	spareStream = ftl.StreamID(1)
+)
+
+const (
+	payloadLPAs = 40  // payload namespace [0, payloadLPAs)
+	acctLPABase = 100 // accounting namespace [acctLPABase, acctLPABase+acctLPAs)
+	acctLPAs    = 24
+)
+
+// pat returns the deterministic payload for generation seq of lpa.
+func pat(lpa, seq int64, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(lpa*131 + seq*29 + int64(i)*7 + 5)
+	}
+	return b
+}
+
+// buildSteps synthesizes the workload script. It is generated once per
+// run and shared by every trial, so trials differ only in where power
+// dies. The mix leans on overwrites so GC, relocation, and scrub all
+// run inside the cut window.
+func buildSteps(seed uint64, ops int) []step {
+	rng := sim.NewRNG(seed*0x9e3779b97f4a7c15 + 0x7021)
+	steps := make([]step, 0, ops)
+	var written []int64 // payload LPAs issued at least once
+	seen := map[int64]bool{}
+	for i := 0; i < ops; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.55: // payload write
+			lpa := rng.Int63n(payloadLPAs)
+			stream := sysStream
+			if rng.Bool(0.5) {
+				stream = spareStream
+			}
+			steps = append(steps, step{
+				kind:    kWrite,
+				lpa:     lpa,
+				stream:  stream,
+				dataLen: 64 + rng.Intn(128),
+				seq:     int64(i),
+			})
+			if !seen[lpa] {
+				seen[lpa] = true
+				written = append(written, lpa)
+			}
+		case r < 0.70: // accounting write
+			steps = append(steps, step{
+				kind:    kAcct,
+				lpa:     acctLPABase + rng.Int63n(acctLPAs),
+				stream:  sysStream,
+				dataLen: 64 + rng.Intn(128),
+				seq:     int64(i),
+			})
+		case r < 0.78 && len(written) > 0: // trim
+			steps = append(steps, step{kind: kTrim, lpa: written[rng.Intn(len(written))]})
+		case r < 0.95 && len(written) > 0: // read
+			steps = append(steps, step{kind: kRead, lpa: written[rng.Intn(len(written))]})
+		default: // age + scrub
+			steps = append(steps, step{kind: kAge})
+		}
+	}
+	return steps
+}
+
+// newMedium builds a fresh chip for one trial. Identical seeds yield
+// identical chips, so all trials replay the same physical history up to
+// their cut point.
+func newMedium(seed uint64, clock *sim.Clock) (*flash.Chip, error) {
+	return flash.NewChip(flash.ChipConfig{
+		Geometry: flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 10, Blocks: 24},
+		Tech:     flash.PLC,
+		Clock:    clock,
+		Seed:     seed,
+	})
+}
+
+// ftlConfig returns the stream layout (Chip is filled per trial).
+func ftlConfig() (ftl.Config, error) {
+	pQLC, err := flash.PseudoMode(flash.PLC, 4)
+	if err != nil {
+		return ftl.Config{}, err
+	}
+	return ftl.Config{
+		Streams: []ftl.StreamPolicy{
+			{Name: "sys", Mode: pQLC, Scheme: ecc.MustRSScheme(223, 32), WearLeveling: true},
+			{Name: "spare", Mode: flash.NativeMode(flash.PLC), Scheme: ecc.DetectOnly{}},
+		},
+	}, nil
+}
+
+// rec tracks the host's view of one LPA during replay: what was
+// acknowledged before the cut, and what was issued without an ack.
+type rec struct {
+	stream   ftl.StreamID
+	acct     bool
+	ackedSeq int64 // -1: never acked
+	pendSeq  int64 // -1: none in flight at the cut
+	dataLen  int   // acked write's payload length
+	pendLen  int   // in-flight write's payload length
+	trimmed  bool
+}
+
+// trialResult is one power-cut trial's verdict.
+type trialResult struct {
+	torn      bool
+	recovered bool
+	verified  int64
+	sysLoss   int64
+	spareLoss int64
+	silent    int64
+	failures  []string
+	// exactly one of these is set on a contract breach
+	recoveryFailure    bool
+	invariantViolation bool
+	workloadError      bool
+}
+
+func (t *trialResult) fail(format string, args ...any) {
+	if len(t.failures) < maxFailureNotes {
+		t.failures = append(t.failures, fmt.Sprintf(format, args...))
+	}
+}
+
+// replay drives steps against f until the power cut (or exhaustion),
+// maintaining the acked-state ledger. It returns the ledger and whether
+// a non-power-cut error aborted the run.
+func replay(f *ftl.FTL, inj *fault.Injector, clock *sim.Clock, steps []step) (map[int64]*rec, bool) {
+	recs := map[int64]*rec{}
+	at := func(s step) *rec {
+		r, ok := recs[s.lpa]
+		if !ok {
+			r = &rec{ackedSeq: -1, pendSeq: -1}
+			recs[s.lpa] = r
+		}
+		return r
+	}
+	for _, s := range steps {
+		var err error
+		switch s.kind {
+		case kWrite:
+			r := at(s)
+			r.pendSeq, r.pendLen = s.seq, s.dataLen
+			err = f.Write(s.lpa, pat(s.lpa, s.seq, s.dataLen), 0, s.stream)
+			if err == nil {
+				r.stream, r.acct = s.stream, false
+				r.ackedSeq, r.pendSeq = s.seq, -1
+				r.dataLen = s.dataLen
+				r.trimmed = false
+			}
+		case kAcct:
+			r := at(s)
+			r.pendSeq = s.seq
+			err = f.Write(s.lpa, nil, s.dataLen, s.stream)
+			if err == nil {
+				r.stream, r.acct = s.stream, true
+				r.ackedSeq, r.pendSeq = s.seq, -1
+				r.dataLen = s.dataLen
+			}
+		case kTrim:
+			err = f.Trim(s.lpa)
+			if err == nil {
+				at(s).trimmed = true
+			} else if errors.Is(err, ftl.ErrUnknownLPA) {
+				err = nil // already trimmed, or never acked before a cut replayed earlier
+			}
+		case kRead:
+			_, err = f.Read(s.lpa)
+			if err != nil && errors.Is(err, ftl.ErrUnknownLPA) {
+				err = nil
+			}
+		case kAge:
+			clock.Advance(6 * sim.Hour)
+			_, err = f.Scrub(4)
+		}
+		if err != nil {
+			if errors.Is(err, fault.ErrPowerCut) {
+				return recs, false
+			}
+			return recs, true
+		}
+		// GC and scrub swallow medium errors internally; the Down check
+		// catches cuts that a step absorbed without surfacing.
+		if inj.Down() {
+			return recs, false
+		}
+	}
+	return recs, false
+}
+
+// verify checks the recovery contract for every acked LPA.
+func verify(t *trialResult, f *ftl.FTL, recs map[int64]*rec) {
+	lpas := make([]int64, 0, len(recs))
+	for lpa := range recs {
+		lpas = append(lpas, lpa)
+	}
+	sort.Slice(lpas, func(i, j int) bool { return lpas[i] < lpas[j] })
+	for _, lpa := range lpas {
+		r := recs[lpa]
+		if r.ackedSeq < 0 || r.trimmed {
+			// Never acknowledged, or trimmed (rebuild may legitimately
+			// resurrect a trim — exempt either way).
+			continue
+		}
+		t.verified++
+		loss := func(n int64, why string) {
+			if r.stream == sysStream {
+				t.sysLoss += n
+				t.fail("lpa %d (sys): %s", lpa, why)
+			} else {
+				t.spareLoss += n
+			}
+		}
+		res, err := f.Read(lpa)
+		if err != nil {
+			loss(int64(r.dataLen), fmt.Sprintf("read: %v", err))
+			continue
+		}
+		if res.Degraded {
+			loss(int64(r.dataLen), "degraded after recovery")
+			continue
+		}
+		if r.acct {
+			continue // mapping present and decodable is all an accounting page promises
+		}
+		want := pat(lpa, r.ackedSeq, r.dataLen)
+		ok := bytes.Equal(res.Data, want)
+		if !ok && r.pendSeq >= 0 {
+			// A torn cut may persist the in-flight write unacknowledged;
+			// recovering the strictly newer value is legal.
+			ok = bytes.Equal(res.Data, pat(lpa, r.pendSeq, r.pendLen))
+		}
+		if !ok {
+			t.silent += int64(r.dataLen)
+			t.fail("lpa %d (%v): silent content mismatch (acked seq %d, pending %d)",
+				lpa, r.stream, r.ackedSeq, r.pendSeq)
+		}
+	}
+}
+
+// runTrial replays the workload with power dying at cutOp, recovers,
+// and verifies.
+func runTrial(cfg Config, steps []step, cutOp int64, torn bool) trialResult {
+	t := trialResult{torn: torn}
+	clock := &sim.Clock{}
+	chip, err := newMedium(cfg.Seed, clock)
+	if err != nil {
+		t.workloadError = true
+		t.fail("chip: %v", err)
+		return t
+	}
+	plan := cfg.Plan
+	plan.Seed = cfg.Seed ^ 0xfa017
+	plan.PowerCutAtOp = cutOp
+	plan.TornCut = torn
+	inj := fault.New(chip, plan)
+
+	fcfg, err := ftlConfig()
+	if err != nil {
+		t.workloadError = true
+		t.fail("config: %v", err)
+		return t
+	}
+	fcfg.Chip = inj
+	f, err := ftl.New(fcfg)
+	if err != nil {
+		t.workloadError = true
+		t.fail("new ftl: %v", err)
+		return t
+	}
+
+	recs, aborted := replay(f, inj, clock, steps)
+	if aborted {
+		t.workloadError = true
+		t.fail("replay aborted with non-power-cut error")
+		return t
+	}
+
+	// Power restored: remount from the surviving medium alone.
+	inj.Restore()
+	f2, err := ftl.Recover(inj, fcfg)
+	if err != nil {
+		t.recoveryFailure = true
+		t.fail("recover after cut at op %d: %v", cutOp, err)
+		return t
+	}
+	t.recovered = true
+	if err := ftl.CheckInvariants(f2); err != nil {
+		t.invariantViolation = true
+		t.fail("invariants after cut at op %d: %v", cutOp, err)
+	}
+	verify(&t, f2, recs)
+	return t
+}
+
+// Run executes the torture matrix: a dry run to size the cut-index
+// space, then one recovery trial per sampled cut point.
+func Run(cfg Config) (Report, error) {
+	if cfg.Ops <= 0 || cfg.Cuts <= 0 {
+		return Report{}, errors.New("torture: Ops and Cuts must be positive")
+	}
+	steps := buildSteps(cfg.Seed, cfg.Ops)
+
+	// Dry run: a transparent injector counts total chip ops.
+	dryClock := &sim.Clock{}
+	dryChip, err := newMedium(cfg.Seed, dryClock)
+	if err != nil {
+		return Report{}, err
+	}
+	dryInj := fault.New(dryChip, fault.Plan{})
+	fcfg, err := ftlConfig()
+	if err != nil {
+		return Report{}, err
+	}
+	fcfg.Chip = dryInj
+	dryFTL, err := ftl.New(fcfg)
+	if err != nil {
+		return Report{}, err
+	}
+	if _, aborted := replay(dryFTL, dryInj, dryClock, steps); aborted {
+		return Report{}, errors.New("torture: dry run aborted; workload does not fit the medium")
+	}
+	total := dryInj.Ops()
+	if total < 1 {
+		return Report{}, errors.New("torture: workload produced no chip ops")
+	}
+
+	// Sample cut points evenly across [1, total].
+	cuts := cfg.Cuts
+	if int64(cuts) > total {
+		cuts = int(total)
+	}
+	cutOps := make([]int64, cuts)
+	for i := range cutOps {
+		cutOps[i] = 1 + int64(i)*(total-1)/int64(cuts)
+	}
+
+	workers := cfg.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	results, err := parallel.Map(cuts, workers, func(i int) (trialResult, error) {
+		return runTrial(cfg, steps, cutOps[i], i%2 == 1), nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	rep := Report{TotalChipOps: total, Cuts: cuts}
+	for _, t := range results {
+		if t.torn {
+			rep.TornCuts++
+		}
+		if t.recovered {
+			rep.Recovered++
+		}
+		if t.recoveryFailure {
+			rep.RecoveryFailures++
+		}
+		if t.invariantViolation {
+			rep.InvariantViolations++
+		}
+		if t.workloadError {
+			rep.WorkloadErrors++
+		}
+		rep.VerifiedPages += t.verified
+		rep.SysLossBytes += t.sysLoss
+		rep.SpareLossBytes += t.spareLoss
+		rep.SilentLossBytes += t.silent
+		for _, note := range t.failures {
+			if len(rep.Failures) < maxFailureNotes {
+				rep.Failures = append(rep.Failures, note)
+			}
+		}
+	}
+	return rep, nil
+}
