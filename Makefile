@@ -3,10 +3,17 @@
 # goroutines; the torture tier replays the crash matrix under the race
 # detector. CI (or a pre-merge hand-run) should execute all three.
 
-.PHONY: verify verify-race verify-all torture bench-parallel determinism
+.PHONY: verify verify-race verify-all torture bench-parallel determinism fmt obs
 
-# Tier 1: build + full test suite.
-verify:
+# Formatting gate: fail if any file needs gofmt.
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# Tier 1: build + full test suite (formatting enforced first).
+verify: fmt
 	go build ./... && go test ./...
 
 # Tier 2: static checks (copylocks matters: metrics types hold locks)
@@ -27,6 +34,13 @@ verify-all: verify verify-race torture
 # Serial vs parallel RunAll wall-clock (quick fidelity under -short).
 bench-parallel:
 	go test -run '^$$' -bench 'BenchmarkRunAll|BenchmarkE13' -benchtime 1x -short -v .
+
+# Observability smoke: a year-long simulation's Prometheus exposition
+# must pass the repo's own scrape validator end to end.
+obs:
+	@go build -o /tmp/sossim-obs ./cmd/sossim
+	@go build -o /tmp/promcheck-obs ./cmd/promcheck
+	@/tmp/sossim-obs -sim -days 30 -metrics | /tmp/promcheck-obs
 
 # CLI-level determinism check: experiment output must be bit-identical
 # for every -parallel value.

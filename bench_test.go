@@ -22,6 +22,7 @@ import (
 	"sos/internal/flash"
 	"sos/internal/ftl"
 	"sos/internal/media"
+	"sos/internal/obs"
 	"sos/internal/sim"
 	"sos/internal/zns"
 )
@@ -362,6 +363,68 @@ func BenchmarkDeviceWrite(b *testing.B) {
 		if _, err := dev.Write(int64(i%8000), data, 0, device.ClassSys); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- observability overhead benchmarks ----
+
+// benchDeviceWriteObs drives the instrumented device write path with a
+// recorder built by mkRec (nil recorder = telemetry hooks compiled in
+// but disabled). Compare BenchmarkDeviceWriteObsNil against
+// BenchmarkDeviceWriteObsOn: the nil-recorder arm carries the overhead
+// budget (within noise of BenchmarkDeviceWrite, which predates the
+// instrumentation).
+func benchDeviceWriteObs(b *testing.B, mkRec func(*sim.Clock) *obs.Recorder) {
+	b.Helper()
+	clock := &sim.Clock{}
+	dev, err := device.New(device.Config{
+		Geometry:       device.DefaultGeometry(),
+		Tech:           flash.PLC,
+		Streams:        device.SOSStreams(),
+		Clock:          clock,
+		Seed:           1,
+		EnduranceSigma: 0.1,
+		Obs:            mkRec(clock),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Write(int64(i%8000), data, 0, device.ClassSys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeviceWriteObsNil(b *testing.B) {
+	benchDeviceWriteObs(b, func(*sim.Clock) *obs.Recorder { return nil })
+}
+
+func BenchmarkDeviceWriteObsOn(b *testing.B) {
+	benchDeviceWriteObs(b, func(clock *sim.Clock) *obs.Recorder {
+		return obs.New(obs.Config{Clock: clock})
+	})
+}
+
+// BenchmarkRecorderRecord / Nil isolate the per-event cost of the trace
+// ring itself and of the nil-receiver fast path every hot-path call
+// site takes when telemetry is off.
+func BenchmarkRecorderRecord(b *testing.B) {
+	rec := obs.New(obs.Config{Clock: &sim.Clock{}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Record(obs.Event{Kind: obs.EvProgram, LBA: int64(i)})
+	}
+}
+
+func BenchmarkRecorderNil(b *testing.B) {
+	var rec *obs.Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Record(obs.Event{Kind: obs.EvProgram, LBA: int64(i)})
 	}
 }
 

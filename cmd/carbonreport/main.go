@@ -8,16 +8,21 @@
 //	carbonreport -devices 1500000000 -capacity 128
 //	carbonreport -growth 0.25 -density 4 -shareboost 1.5
 //	carbonreport -capacities 64,128,256,512 -parallel 0
+//	carbonreport -metrics
+//	carbonreport -trace marks.jsonl
 //
 // -capacities adds a fleet sweep across device capacities, fanned out
 // over -parallel workers (0 = all cores). The sweep table is identical
 // for every worker count: rows are computed independently and emitted
-// in capacity order.
+// in capacity order. -metrics replaces the human report with the same
+// numbers in the Prometheus text exposition format; -trace records one
+// milestone event per report section as JSON lines.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -25,62 +30,147 @@ import (
 	"sos/internal/carbon"
 	"sos/internal/flash"
 	"sos/internal/metrics"
+	"sos/internal/obs"
 	"sos/internal/parallel"
 )
 
 func main() {
-	var (
-		devices    = flag.Int64("devices", 1_400_000_000, "annual personal-device fleet for the what-if")
-		capacity   = flag.Float64("capacity", 128, "device capacity in GB")
-		growth     = flag.Float64("growth", 0.30, "annual data growth rate")
-		density    = flag.Float64("density", 4.0, "density gain multiple by the horizon")
-		share      = flag.Float64("shareboost", 2.0, "flash share-of-storage growth by the horizon")
-		baseline   = flag.String("baseline", "tlc", "fleet baseline technology: tlc|qlc")
-		capacities = flag.String("capacities", "", "comma-separated GB list for a fleet capacity sweep")
-		par        = flag.Int("parallel", 1, "worker goroutines for the capacity sweep (0 = all cores)")
-	)
+	var opts reportOpts
+	flag.Int64Var(&opts.Devices, "devices", 1_400_000_000, "annual personal-device fleet for the what-if")
+	flag.Float64Var(&opts.Capacity, "capacity", 128, "device capacity in GB")
+	flag.Float64Var(&opts.Growth, "growth", 0.30, "annual data growth rate")
+	flag.Float64Var(&opts.Density, "density", 4.0, "density gain multiple by the horizon")
+	flag.Float64Var(&opts.ShareBoost, "shareboost", 2.0, "flash share-of-storage growth by the horizon")
+	flag.StringVar(&opts.Baseline, "baseline", "tlc", "fleet baseline technology: tlc|qlc")
+	flag.StringVar(&opts.Capacities, "capacities", "", "comma-separated GB list for a fleet capacity sweep")
+	flag.IntVar(&opts.Parallel, "parallel", 1, "worker goroutines for the capacity sweep (0 = all cores)")
+	flag.BoolVar(&opts.Metrics, "metrics", false, "print the Prometheus text exposition instead of the report")
+	flag.StringVar(&opts.TraceFile, "trace", "", "write milestone events (JSON lines) to this file")
 	flag.Parse()
+	fail(run(opts, os.Stdout))
+}
+
+// reportOpts parameterizes one report.
+type reportOpts struct {
+	Devices    int64
+	Capacity   float64
+	Growth     float64
+	Density    float64
+	ShareBoost float64
+	Baseline   string
+	Capacities string
+	Parallel   int
+	Metrics    bool
+	TraceFile  string
+}
+
+func run(opts reportOpts, out io.Writer) error {
+	// The recorder stamps report milestones; carbonreport has no
+	// simulation clock, so events carry At == 0 and Aux identifies the
+	// section (projection year, sweep capacity).
+	var rec *obs.Recorder
+	if opts.TraceFile != "" {
+		rec = obs.New(obs.Config{})
+	}
+	exp := obs.NewExposition()
 
 	// Base year.
 	mt := carbon.EmissionsMt(carbon.BaseProductionEB2021, carbon.KgCO2ePerGB)
-	fmt.Printf("2021 flash production: %.0f EB -> %.1f Mt CO2e (= %.1fM people)\n\n",
-		carbon.BaseProductionEB2021, mt, carbon.PeopleEquivalent(mt)/1e6)
+	if !opts.Metrics {
+		fmt.Fprintf(out, "2021 flash production: %.0f EB -> %.1f Mt CO2e (= %.1fM people)\n\n",
+			carbon.BaseProductionEB2021, mt, carbon.PeopleEquivalent(mt)/1e6)
+	}
+	exp.Gauge("carbon_base_production_eb", "2021 flash production in exabytes.", carbon.BaseProductionEB2021)
+	exp.Gauge("carbon_base_emissions_mt", "2021 flash production emissions in Mt CO2e.", mt)
+	rec.Record(obs.Event{Kind: obs.EvMark, Aux: 2021})
 
 	// Projection.
 	p := carbon.DefaultProjection()
-	p.DataGrowth = *growth
-	p.DensityGainByHorizon = *density
-	p.ShareBoostByHorizon = *share
+	p.DataGrowth = opts.Growth
+	p.DensityGainByHorizon = opts.Density
+	p.ShareBoostByHorizon = opts.ShareBoost
 	tab, err := p.Table()
-	fail(err)
+	if err != nil {
+		return err
+	}
 	t := &metrics.Table{Header: []string{"year", "EB", "Mt_CO2e", "people_M", "wafer_x"}}
 	for _, pt := range tab {
 		t.AddRow(pt.Year, pt.ProductionEB, pt.EmissionsMt, pt.PeopleEquiv/1e6, pt.WaferGrowth)
+		year := strconv.Itoa(pt.Year)
+		exp.LabeledGauge("carbon_projected_production_eb", "Projected flash production by year, in exabytes.", "year", year, pt.ProductionEB)
+		exp.LabeledGauge("carbon_projected_emissions_mt", "Projected flash emissions by year, in Mt CO2e.", "year", year, pt.EmissionsMt)
+		rec.Record(obs.Event{Kind: obs.EvMark, Aux: int64(pt.Year)})
 	}
-	fmt.Println(t)
+	if !opts.Metrics {
+		fmt.Fprintln(out, t)
+	}
 
 	// Credits.
 	c := carbon.DefaultCreditModel()
-	fmt.Printf("carbon credits: $%.0f/t x %.2f kg/GB = $%.2f/TB = %.0f%% of a $%.0f/TB SSD\n\n",
-		c.PricePerTonne, carbon.KgCO2ePerGB, c.TaxPerTB(), c.TaxFraction()*100, c.SSDPricePerTB)
+	if !opts.Metrics {
+		fmt.Fprintf(out, "carbon credits: $%.0f/t x %.2f kg/GB = $%.2f/TB = %.0f%% of a $%.0f/TB SSD\n\n",
+			c.PricePerTonne, carbon.KgCO2ePerGB, c.TaxPerTB(), c.TaxFraction()*100, c.SSDPricePerTB)
+	}
+	exp.Gauge("carbon_credit_tax_per_tb_dollars", "Carbon credit cost per TB in dollars.", c.TaxPerTB())
+	exp.Gauge("carbon_credit_tax_fraction", "Carbon credit cost as a fraction of SSD price.", c.TaxFraction())
 
 	// Fleet what-if.
-	base, err := parseBaseline(*baseline)
-	fail(err)
-	bkg, skg, saved, err := carbon.FleetSavings(*devices, *capacity, base)
-	fail(err)
-	fmt.Printf("fleet what-if: %d devices x %.0f GB\n", *devices, *capacity)
-	fmt.Printf("  %s baseline: %.2f Mt CO2e\n", base, bkg/1e9)
-	fmt.Printf("  SOS split:   %.2f Mt CO2e\n", skg/1e9)
-	fmt.Printf("  saved:       %.2f Mt CO2e (%.1f%%)\n", (bkg-skg)/1e9, saved*100)
-
-	if *capacities != "" {
-		caps, err := parseCapacities(*capacities)
-		fail(err)
-		sweep, err := fleetSweep(*devices, caps, base, *par)
-		fail(err)
-		fmt.Printf("\nfleet sweep: %d devices, %s baseline\n%s", *devices, base, sweep)
+	base, err := parseBaseline(opts.Baseline)
+	if err != nil {
+		return err
 	}
+	bkg, skg, saved, err := carbon.FleetSavings(opts.Devices, opts.Capacity, base)
+	if err != nil {
+		return err
+	}
+	if !opts.Metrics {
+		fmt.Fprintf(out, "fleet what-if: %d devices x %.0f GB\n", opts.Devices, opts.Capacity)
+		fmt.Fprintf(out, "  %s baseline: %.2f Mt CO2e\n", base, bkg/1e9)
+		fmt.Fprintf(out, "  SOS split:   %.2f Mt CO2e\n", skg/1e9)
+		fmt.Fprintf(out, "  saved:       %.2f Mt CO2e (%.1f%%)\n", (bkg-skg)/1e9, saved*100)
+	}
+	exp.Gauge("carbon_fleet_baseline_mt", "Fleet embodied carbon under the conventional baseline, Mt CO2e.", bkg/1e9)
+	exp.Gauge("carbon_fleet_sos_mt", "Fleet embodied carbon under the SOS layout, Mt CO2e.", skg/1e9)
+	exp.Gauge("carbon_fleet_saved_fraction", "Fractional fleet savings of SOS over the baseline.", saved)
+	rec.Record(obs.Event{Kind: obs.EvMark, Aux: int64(opts.Capacity)})
+
+	if opts.Capacities != "" {
+		caps, err := parseCapacities(opts.Capacities)
+		if err != nil {
+			return err
+		}
+		sweep, rows, err := fleetSweep(opts.Devices, caps, base, opts.Parallel)
+		if err != nil {
+			return err
+		}
+		if !opts.Metrics {
+			fmt.Fprintf(out, "\nfleet sweep: %d devices, %s baseline\n%s", opts.Devices, base, sweep)
+		}
+		for i, r := range rows {
+			gb := strconv.FormatFloat(caps[i], 'g', -1, 64)
+			exp.LabeledGauge("carbon_sweep_saved_fraction", "Fractional fleet savings by device capacity in GB.", "capacity_gb", gb, r.savedFrac)
+			rec.Record(obs.Event{Kind: obs.EvMark, Aux: int64(caps[i])})
+		}
+	}
+
+	if opts.TraceFile != "" {
+		f, err := os.Create(opts.TraceFile)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteEventsJSON(f, rec.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if opts.Metrics {
+		_, err := exp.WriteTo(out)
+		return err
+	}
+	return nil
 }
 
 func parseBaseline(s string) (flash.Tech, error) {
@@ -115,27 +205,29 @@ func parseCapacities(s string) ([]float64, error) {
 	return caps, nil
 }
 
+// sweepRow is one fleet-sweep result.
+type sweepRow struct {
+	baseMt, sosMt, savedFrac float64
+}
+
 // fleetSweep computes FleetSavings for each capacity on a bounded worker
 // pool; rows come back in input order regardless of worker count.
-func fleetSweep(devices int64, caps []float64, base flash.Tech, workers int) (*metrics.Table, error) {
-	type row struct {
-		baseMt, sosMt, savedFrac float64
-	}
-	rows, err := parallel.Map(len(caps), workers, func(i int) (row, error) {
+func fleetSweep(devices int64, caps []float64, base flash.Tech, workers int) (*metrics.Table, []sweepRow, error) {
+	rows, err := parallel.Map(len(caps), workers, func(i int) (sweepRow, error) {
 		bkg, skg, saved, err := carbon.FleetSavings(devices, caps[i], base)
 		if err != nil {
-			return row{}, err
+			return sweepRow{}, err
 		}
-		return row{bkg / 1e9, skg / 1e9, saved}, nil
+		return sweepRow{bkg / 1e9, skg / 1e9, saved}, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	t := &metrics.Table{Header: []string{"GB_per_device", "baseline_Mt", "sos_Mt", "saved_%"}}
 	for i, r := range rows {
 		t.AddRow(caps[i], r.baseMt, r.sosMt, r.savedFrac*100)
 	}
-	return t, nil
+	return t, rows, nil
 }
 
 func fail(err error) {

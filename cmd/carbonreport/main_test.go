@@ -1,9 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"sos/internal/flash"
+	"sos/internal/obs"
 )
 
 func TestParseCapacities(t *testing.T) {
@@ -32,18 +37,91 @@ func TestParseBaseline(t *testing.T) {
 
 func TestFleetSweepDeterministicAcrossWorkers(t *testing.T) {
 	caps := []float64{32, 64, 128, 256, 512, 1024}
-	serial, err := fleetSweep(1_000_000, caps, flash.TLC, 1)
+	serial, rows, err := fleetSweep(1_000_000, caps, flash.TLC, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fanned, err := fleetSweep(1_000_000, caps, flash.TLC, 8)
+	fanned, _, err := fleetSweep(1_000_000, caps, flash.TLC, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if serial.String() != fanned.String() {
 		t.Fatalf("sweep differs by worker count:\n%s\nvs\n%s", serial, fanned)
 	}
-	if len(serial.Rows) != len(caps) {
-		t.Fatalf("sweep rows %d, want %d", len(serial.Rows), len(caps))
+	if len(serial.Rows) != len(caps) || len(rows) != len(caps) {
+		t.Fatalf("sweep rows %d/%d, want %d", len(serial.Rows), len(rows), len(caps))
+	}
+}
+
+func defaultOpts() reportOpts {
+	return reportOpts{
+		Devices: 1_400_000_000, Capacity: 128,
+		Growth: 0.30, Density: 4.0, ShareBoost: 2.0,
+		Baseline: "tlc", Parallel: 1,
+	}
+}
+
+func TestRunHumanReport(t *testing.T) {
+	var buf bytes.Buffer
+	opts := defaultOpts()
+	opts.Capacities = "64,128"
+	if err := run(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2021 flash production", "carbon credits", "fleet what-if", "fleet sweep"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	opts := defaultOpts()
+	opts.Metrics = true
+	opts.Capacities = "64,128"
+	if err := run(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if n, err := obs.ParseExposition(strings.NewReader(text)); err != nil || n == 0 {
+		t.Fatalf("exposition invalid: %d samples, %v", n, err)
+	}
+	for _, family := range []string{
+		"carbon_base_emissions_mt",
+		`carbon_projected_emissions_mt{year="`,
+		"carbon_fleet_saved_fraction",
+		`carbon_sweep_saved_fraction{capacity_gb="64"}`,
+	} {
+		if !strings.Contains(text, family) {
+			t.Errorf("exposition missing %s", family)
+		}
+	}
+	if strings.Contains(text, "fleet what-if") {
+		t.Error("-metrics output mixed with the human report")
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "marks.jsonl")
+	opts := defaultOpts()
+	opts.TraceFile = path
+	var buf bytes.Buffer
+	if err := run(opts, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// One mark per section: base year + 10 projection years + fleet.
+	if len(lines) < 3 {
+		t.Fatalf("got %d mark events", len(lines))
+	}
+	if !strings.Contains(lines[0], `"kind":"mark"`) {
+		t.Fatalf("unexpected event %q", lines[0])
 	}
 }

@@ -1,0 +1,48 @@
+// Command promcheck validates Prometheus text exposition read from stdin
+// (or from files given as arguments) and reports the sample count. It is
+// the checker behind `make obs`: pipe `sossim -sim -metrics` through it
+// and a non-zero exit means the exposition would not scrape.
+//
+// Usage:
+//
+//	sossim -sim -days 30 -metrics | promcheck
+//	promcheck metrics.prom other.prom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sos/internal/obs"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		check("stdin", os.Stdin)
+		return
+	}
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fail(err)
+		}
+		check(path, f)
+		f.Close()
+	}
+}
+
+func check(name string, r io.Reader) {
+	n, err := obs.ParseExposition(r)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", name, err))
+	}
+	fmt.Printf("%s: ok (%d samples)\n", name, n)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "promcheck:", err)
+	os.Exit(1)
+}

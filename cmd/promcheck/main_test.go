@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sos/internal/obs"
+)
+
+// The command is a thin shell around obs.ParseExposition; pin the
+// behaviors it depends on.
+func TestParseExpositionContract(t *testing.T) {
+	n, err := obs.ParseExposition(strings.NewReader("# TYPE up gauge\nup 1\n"))
+	if err != nil || n != 1 {
+		t.Fatalf("valid exposition: %d, %v", n, err)
+	}
+	if _, err := obs.ParseExposition(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := obs.ParseExposition(strings.NewReader("garbage here\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

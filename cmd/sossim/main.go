@@ -9,6 +9,8 @@
 //	sossim -exp all -parallel 0  fan out across all cores (0 = GOMAXPROCS)
 //	sossim -sim -days 365        simulate a year of phone use on SOS
 //	sossim -sim -profile tlc     ... on the TLC baseline
+//	sossim -sim -metrics         emit Prometheus metrics instead of the report
+//	sossim -sim -trace t.jsonl   dump the telemetry event trace as JSON lines
 //
 // Output is bit-identical for every -parallel value: per-trial seeds are
 // derived before dispatch and results are assembled in item order.
@@ -17,28 +19,33 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sos"
 	"sos/internal/core"
 	"sos/internal/experiments"
+	"sos/internal/obs"
 	"sos/internal/trace"
 	"sos/internal/workload"
 )
 
 func main() {
+	var opts simOpts
 	var (
-		list    = flag.Bool("list", false, "list experiment ids and titles")
-		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
-		quick   = flag.Bool("quick", false, "reduced-fidelity fast mode")
-		runSim  = flag.Bool("sim", false, "run an ad-hoc personal-device simulation")
-		days    = flag.Int("days", 365, "simulated days for -sim")
-		profile = flag.String("profile", "sos", "device profile for -sim: sos|tlc|qlc")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		par     = flag.Int("parallel", 1, "worker goroutines for experiments and their trials (0 = all cores)")
-		record  = flag.String("record", "", "with -sim: record the workload trace to this file")
-		replay  = flag.String("replay", "", "with -sim: replay a recorded trace instead of generating")
+		list   = flag.Bool("list", false, "list experiment ids and titles")
+		exp    = flag.String("exp", "", "experiment id to run, or 'all'")
+		quick  = flag.Bool("quick", false, "reduced-fidelity fast mode")
+		runSim = flag.Bool("sim", false, "run an ad-hoc personal-device simulation")
+		par    = flag.Int("parallel", 1, "worker goroutines for experiments and their trials (0 = all cores)")
 	)
+	flag.TextVar(&opts.Profile, "profile", sos.ProfileSOS, "device profile for -sim: sos|tlc|qlc")
+	flag.IntVar(&opts.Days, "days", 365, "simulated days for -sim")
+	flag.Uint64Var(&opts.Seed, "seed", 1, "simulation seed")
+	flag.StringVar(&opts.Record, "record", "", "with -sim: record the workload trace to this file")
+	flag.StringVar(&opts.Replay, "replay", "", "with -sim: replay a recorded trace instead of generating")
+	flag.BoolVar(&opts.Metrics, "metrics", false, "with -sim: print the Prometheus text exposition instead of the report")
+	flag.StringVar(&opts.TraceFile, "trace", "", "with -sim: write the telemetry event trace (JSON lines) to this file")
 	flag.Parse()
 	experiments.SetParallelism(*par)
 
@@ -61,7 +68,8 @@ func main() {
 		fail(err)
 		fmt.Println(r)
 	case *runSim:
-		fail(simulate(*profile, *days, *seed, *record, *replay))
+		opts.Out = os.Stdout
+		fail(simulate(opts))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -75,27 +83,37 @@ func fail(err error) {
 	}
 }
 
-func simulate(profile string, days int, seed uint64, record, replay string) error {
-	var p sos.Profile
-	switch profile {
-	case "sos":
-		p = sos.ProfileSOS
-	case "tlc":
-		p = sos.ProfileTLC
-	case "qlc":
-		p = sos.ProfileQLC
-	default:
-		return fmt.Errorf("unknown profile %q", profile)
+// simOpts parameterizes one -sim run.
+type simOpts struct {
+	Profile sos.Profile
+	Days    int
+	Seed    uint64
+	Record  string // record the workload trace to this file
+	Replay  string // replay a recorded workload trace
+	Metrics bool   // print the Prometheus exposition instead of the report
+	// TraceFile receives the telemetry event trace as JSON lines.
+	TraceFile string
+	Out       io.Writer // defaults to os.Stdout
+}
+
+func simulate(opts simOpts) error {
+	out := opts.Out
+	if out == nil {
+		out = os.Stdout
 	}
-	sys, err := sos.New(sos.Config{Profile: p, Seed: seed})
+	sys, err := sos.New(sos.Config{
+		Profile: opts.Profile,
+		Seed:    opts.Seed,
+		Observe: opts.Metrics || opts.TraceFile != "",
+	})
 	if err != nil {
 		return err
 	}
 
 	var gen workload.Generator
 	switch {
-	case replay != "":
-		f, err := os.Open(replay)
+	case opts.Replay != "":
+		f, err := os.Open(opts.Replay)
 		if err != nil {
 			return err
 		}
@@ -108,16 +126,16 @@ func simulate(profile string, days int, seed uint64, record, replay string) erro
 		}()
 		gen = r
 	default:
-		cfg := workload.DefaultPersonalConfig(days)
-		cfg.Seed = seed + 0x7ead
+		cfg := workload.DefaultPersonalConfig(opts.Days)
+		cfg.Seed = opts.Seed + 0x7ead
 		gen, err = workload.NewPersonal(cfg)
 		if err != nil {
 			return err
 		}
-		if record != "" {
+		if opts.Record != "" {
 			// Materialize the trace first, then replay it into the
 			// simulation so the file matches the run exactly.
-			f, err := os.Create(record)
+			f, err := os.Create(opts.Record)
 			if err != nil {
 				return err
 			}
@@ -128,13 +146,13 @@ func simulate(profile string, days int, seed uint64, record, replay string) erro
 			if err := f.Close(); err != nil {
 				return err
 			}
-			rf, err := os.Open(record)
+			rf, err := os.Open(opts.Record)
 			if err != nil {
 				return err
 			}
 			defer rf.Close()
 			gen = trace.NewReader(rf)
-			fmt.Printf("trace recorded to %s\n", record)
+			fmt.Fprintf(out, "trace recorded to %s\n", opts.Record)
 		}
 	}
 
@@ -142,33 +160,52 @@ func simulate(profile string, days int, seed uint64, record, replay string) erro
 	if err != nil {
 		return err
 	}
-	smart := rep.FinalSmart
-	es := rep.EngineStats
-	fmt.Printf("profile          %s\n", p)
-	fmt.Printf("simulated        %v (%d events, %d skipped reads, %d no-space)\n",
-		rep.Elapsed, rep.Events, rep.SkippedReads, rep.NoSpace)
-	fmt.Printf("capacity         %d bytes (page %d B)\n", smart.CapacityBytes, smart.PageSize)
-	fmt.Printf("wear             avg %.2f%%  max %.2f%%\n", smart.AvgWearFrac*100, smart.MaxWearFrac*100)
-	fmt.Printf("write amp        %.2f\n", smart.WriteAmp)
-	fmt.Printf("device busy      %v\n", smart.BusyTime.Duration())
-	fmt.Printf("files            created=%d deleted=%d auto-deleted=%d\n", es.Created, es.Deleted, es.AutoDeleted)
-	fmt.Printf("classification   reviewed=%d demoted=%d promoted=%d sys-misplaced=%d\n",
-		es.Reviewed, es.Demoted, es.Promoted, es.SysMisplaced)
-	fmt.Printf("degradation      degraded-reads=%d regret-reads=%d scrub-moves=%d\n",
-		es.DegradedReads, es.RegretReads, es.ScrubMoves)
-	fmt.Printf("blocks           retired=%d resuscitated=%d of %d\n",
-		smart.RetiredBlocks, smart.Resuscitations, smart.TotalBlocks)
-	fmt.Printf("wear histogram   ")
-	for i, c := range smart.WearHistogram {
-		if c > 0 {
-			fmt.Printf("[%d0-%d0%%)=%d ", i, i+1, c)
+	if opts.TraceFile != "" {
+		f, err := os.Create(opts.TraceFile)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteEventsJSON(f, sys.Obs.Events()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
 		}
 	}
-	fmt.Println()
+	if opts.Metrics {
+		// Metrics mode prints only the exposition, so stdout pipes
+		// straight into a parser or a Prometheus textfile collector.
+		_, err := sys.Snapshot().WritePrometheus(out)
+		return err
+	}
+	smart := rep.FinalSmart
+	es := rep.EngineStats
+	fmt.Fprintf(out, "profile          %s\n", opts.Profile)
+	fmt.Fprintf(out, "simulated        %v (%d events, %d skipped reads, %d no-space)\n",
+		rep.Elapsed, rep.Events, rep.SkippedReads, rep.NoSpace)
+	fmt.Fprintf(out, "capacity         %d bytes (page %d B)\n", smart.CapacityBytes, smart.PageSize)
+	fmt.Fprintf(out, "wear             avg %.2f%%  max %.2f%%\n", smart.AvgWearFrac*100, smart.MaxWearFrac*100)
+	fmt.Fprintf(out, "write amp        %.2f\n", smart.WriteAmp)
+	fmt.Fprintf(out, "device busy      %v\n", smart.BusyTime.Duration())
+	fmt.Fprintf(out, "files            created=%d deleted=%d auto-deleted=%d\n", es.Created, es.Deleted, es.AutoDeleted)
+	fmt.Fprintf(out, "classification   reviewed=%d demoted=%d promoted=%d sys-misplaced=%d\n",
+		es.Reviewed, es.Demoted, es.Promoted, es.SysMisplaced)
+	fmt.Fprintf(out, "degradation      degraded-reads=%d regret-reads=%d scrub-moves=%d\n",
+		es.DegradedReads, es.RegretReads, es.ScrubMoves)
+	fmt.Fprintf(out, "blocks           retired=%d resuscitated=%d of %d\n",
+		smart.RetiredBlocks, smart.Resuscitations, smart.TotalBlocks)
+	fmt.Fprintf(out, "wear histogram   ")
+	for i, c := range smart.WearHistogram {
+		if c > 0 {
+			fmt.Fprintf(out, "[%d0-%d0%%)=%d ", i, i+1, c)
+		}
+	}
+	fmt.Fprintln(out)
 	kg, err := sys.EmbodiedKg()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("embodied carbon  %.3f kg CO2e\n", kg)
+	fmt.Fprintf(out, "embodied carbon  %.3f kg CO2e\n", kg)
 	return nil
 }

@@ -16,7 +16,11 @@ import (
 
 func main() {
 	const days = 1095 // 3-year use life (§2.3.2)
-	for _, profile := range []sos.Profile{sos.ProfileTLC, sos.ProfileSOS} {
+	for _, name := range []string{"tlc", "sos"} {
+		profile, err := sos.ParseProfile(name)
+		if err != nil {
+			log.Fatal(err)
+		}
 		sys, err := sos.New(sos.Config{Profile: profile, Seed: 21})
 		if err != nil {
 			log.Fatal(err)

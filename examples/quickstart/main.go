@@ -67,7 +67,7 @@ func main() {
 	fmt.Printf("after 3 years: %d/%d bytes degraded, %d pages flagged, data still readable\n",
 		diff, len(payload), res.DegradedPages)
 
-	smart := sys.Device.Smart()
+	snap := sys.Snapshot()
 	fmt.Printf("device telemetry: wear avg %.3f%%, degraded reads %d\n",
-		smart.AvgWearFrac*100, smart.DegradedReads)
+		snap.Device.AvgWearFrac*100, snap.Device.DegradedReads)
 }

@@ -55,7 +55,7 @@ func main() {
 		if _, err := sys.Engine.Review(); err != nil {
 			log.Fatal(err)
 		}
-		st := sys.Engine.Stats()
+		st := sys.Snapshot().Engine
 		fmt.Printf("%-12s %5d  %7d  %10.1f%%  %d\n",
 			p.name, created, st.Demoted,
 			float64(st.Demoted)/float64(created)*100, st.SysMisplaced)

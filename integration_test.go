@@ -107,8 +107,13 @@ func TestEndToEndMediaLifecycle(t *testing.T) {
 	t.Logf("media: %d checked, %d decoded, %d with degraded pages", mediaChecked, mediaDecoded, degradedFiles)
 
 	// Device-level budget: light use + idle horizon must leave most of
-	// the endurance unspent even on SOS silicon.
-	smart := sys.Device.Smart()
+	// the endurance unspent even on SOS silicon. Read it through the
+	// unified snapshot, which must agree with the raw SMART query.
+	snap := sys.Snapshot()
+	smart := snap.Device
+	if smart != sys.Device.Smart() {
+		t.Fatal("Snapshot().Device disagrees with Device.Smart()")
+	}
 	if smart.MaxWearFrac > 0.6 {
 		t.Fatalf("max wear %.0f%% after a light 120-day life", smart.MaxWearFrac*100)
 	}

@@ -17,6 +17,7 @@ import (
 	"sos/internal/device"
 	"sos/internal/fs"
 	"sos/internal/media"
+	"sos/internal/obs"
 	"sos/internal/sim"
 )
 
@@ -67,6 +68,10 @@ type Config struct {
 	// score must fall before promotion back to SYS (default 0.15),
 	// preventing ping-ponging.
 	PromoteHysteresis float64
+	// Obs, when non-nil, receives policy-level trace events (reviews,
+	// demotions, promotions, auto-deletes, transcodes). Recording only
+	// reads engine state and never perturbs decisions.
+	Obs *obs.Recorder
 }
 
 func (c *Config) applyDefaults() {
@@ -131,6 +136,7 @@ type Engine struct {
 	cfg Config
 	fs  *fs.FS
 	dev *device.Device
+	obs *obs.Recorder // nil disables tracing
 
 	files map[fs.FileID]*fileState
 
@@ -155,6 +161,7 @@ func New(cfg Config) (*Engine, error) {
 		cfg:   cfg,
 		fs:    cfg.FS,
 		dev:   cfg.FS.Device(),
+		obs:   cfg.Obs,
 		files: make(map[fs.FileID]*fileState),
 	}
 	e.nextReview = e.now() + cfg.ReviewInterval
@@ -324,6 +331,7 @@ func (e *Engine) Review() (ReviewReport, error) {
 			st.demoted = true
 			rep.Demoted++
 			e.stats.Demoted++
+			e.obs.Record(obs.Event{Kind: obs.EvDemote, Stream: int(device.ClassSpare), Aux: int64(id)})
 			if st.trueLabel == classify.LabelSys {
 				e.stats.SysMisplaced++
 			}
@@ -338,10 +346,13 @@ func (e *Engine) Review() (ReviewReport, error) {
 			st.demoted = false
 			rep.Promoted++
 			e.stats.Promoted++
+			e.obs.Record(obs.Event{Kind: obs.EvPromote, Stream: int(device.ClassSys), Aux: int64(id)})
 		case fresh && st.trueLabel == classify.LabelSpare:
 			e.stats.SpareRetained++
 		}
 	}
+	e.obs.Record(obs.Event{Kind: obs.EvReview, Aux: int64(rep.Scanned)})
+	e.obs.ObserveReview(rep.Scanned)
 	return rep, nil
 }
 
@@ -476,6 +487,7 @@ func (e *Engine) autoDelete() {
 		}
 		delete(e.files, c.id)
 		e.stats.AutoDeleted++
+		e.obs.Record(obs.Event{Kind: obs.EvAutoDelete, Aux: int64(c.id)})
 		freed++
 	}
 	if freed == 0 {
@@ -510,6 +522,7 @@ func (e *Engine) tryTranscode(id fs.FileID) bool {
 		st.backup = append(st.backup[:0], smaller...)
 	}
 	e.stats.Transcoded++
+	e.obs.Record(obs.Event{Kind: obs.EvTranscode, Aux: int64(id)})
 	return true
 }
 

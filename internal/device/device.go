@@ -8,6 +8,7 @@ import (
 	"sos/internal/fault"
 	"sos/internal/flash"
 	"sos/internal/ftl"
+	"sos/internal/obs"
 	"sos/internal/sim"
 )
 
@@ -67,6 +68,10 @@ type Config struct {
 	// between the FTL and the chip (see internal/fault). Nil keeps the
 	// stack byte-identical to an uninstrumented device.
 	Fault *fault.Plan
+	// Obs, when non-nil, receives trace events and latency/size
+	// histogram observations from the device and its FTL. A nil
+	// recorder costs one pointer compare per hook.
+	Obs *obs.Recorder
 }
 
 // SOSStreams returns the paper's split pseudo-QLC / PLC stream layout
@@ -122,6 +127,7 @@ type Device struct {
 	ftlCfg  ftl.Config // stream layout kept for power-cycle remounts
 	clock   *sim.Clock
 	latency LatencyProfile
+	obs     *obs.Recorder // nil disables telemetry
 
 	// busy accumulates modelled device time (not wall time).
 	busy sim.Time
@@ -184,6 +190,7 @@ func New(cfg Config) (*Device, error) {
 		Streams:          cfg.Streams,
 		OverProvisionPct: cfg.OverProvisionPct,
 		GCLowWater:       cfg.GCLowWater,
+		Obs:              cfg.Obs,
 	}
 	f, err := ftl.New(fcfg)
 	if err != nil {
@@ -196,6 +203,7 @@ func New(cfg Config) (*Device, error) {
 	d := &Device{
 		chip: chip, medium: medium, inj: inj,
 		ftl: f, ftlCfg: fcfg, clock: clock, latency: lat,
+		obs:        cfg.Obs,
 		hardFaults: map[int]int{},
 	}
 	d.wireCapacity()
@@ -229,6 +237,7 @@ func (d *Device) PowerCycle() error {
 	d.wireCapacity()
 	d.rebuilds++
 	d.hardFaults = map[int]int{} // fault history does not survive the crash
+	d.obs.Record(obs.Event{Kind: obs.EvPowerCycle, Aux: d.rebuilds})
 	return nil
 }
 
@@ -313,6 +322,7 @@ func (d *Device) Write(lba int64, data []byte, dataLen int, c Class) (sim.Time, 
 	lat := d.latency.ProgramLatency(pol.Mode)
 	d.busy += lat
 	d.writeCount++
+	d.obs.ObserveProgram(lat, dataLen)
 	return lat, nil
 }
 
@@ -341,6 +351,7 @@ func (d *Device) readLadder(lba int64, rerr error) (ftl.ReadResult, error) {
 	var err error = rerr
 	for attempt := 0; attempt < readRetryMax && err != nil && errors.Is(err, flash.ErrReadFault); attempt++ {
 		d.readRetries++
+		d.obs.Record(obs.Event{Kind: obs.EvReadRetry, LBA: lba, Aux: int64(attempt + 1)})
 		res, err = d.ftl.Read(lba)
 	}
 	if err == nil {
@@ -405,6 +416,7 @@ func (d *Device) Read(lba int64) (ReadResult, error) {
 	lat := d.latency.ReadLatency(pol.Mode, rber, tolerant)
 	d.busy += lat
 	d.readCount++
+	d.obs.ObserveRead(lat, res.DataLen)
 	return ReadResult{ReadResult: res, Latency: lat}, nil
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"sos/internal/ecc"
 	"sos/internal/flash"
+	"sos/internal/obs"
 )
 
 // Exported errors.
@@ -141,6 +142,7 @@ type mapping struct {
 type FTL struct {
 	chip    Flash
 	streams []StreamPolicy
+	obs     *obs.Recorder // nil disables tracing
 
 	l2p map[int64]mapping
 	p2l map[PPA]int64
@@ -185,6 +187,10 @@ type Config struct {
 	OverProvisionPct int
 	// GCLowWater is the free-block count that triggers GC (default 4).
 	GCLowWater int
+	// Obs, when non-nil, receives page-level and block-lifecycle trace
+	// events. Recording only reads FTL state, so a recorder never
+	// perturbs a deterministic run.
+	Obs *obs.Recorder
 }
 
 // New builds the FTL, validating stream policies against the chip.
@@ -247,6 +253,7 @@ func New(cfg Config) (*FTL, error) {
 	f := &FTL{
 		chip:      cfg.Chip,
 		streams:   cfg.Streams,
+		obs:       cfg.Obs,
 		l2p:       make(map[int64]mapping),
 		p2l:       make(map[PPA]int64),
 		blocks:    make([]blockState, cfg.Chip.Blocks()),
@@ -467,6 +474,7 @@ func (f *FTL) programToStream(id StreamID, lpa int64, dataLen int, stored []byte
 			f.blocks[b].fullPages++
 			f.blocks[b].valid++
 			f.flashPrograms++
+			f.obs.Record(obs.Event{Kind: obs.EvProgram, LBA: lpa, Block: b, Page: page, Stream: int(id), Aux: int64(dataLen)})
 			return b, page, nil
 		}
 		if !errors.Is(perr, flash.ErrProgramFail) {
@@ -548,6 +556,7 @@ func (f *FTL) Read(lpa int64) (ReadResult, error) {
 	if err != nil {
 		return ReadResult{}, fmt.Errorf("ftl: read %v: %w", m.ppa, err)
 	}
+	f.obs.Record(obs.Event{Kind: obs.EvRead, LBA: lpa, Block: m.ppa.Block, Page: m.ppa.Page, Stream: int(m.stream), Aux: int64(m.dataLen)})
 	res := ReadResult{DataLen: m.dataLen, RawFlips: m.baseFlips + raw.FlippedTotal, Stream: m.stream}
 	if raw.Data == nil {
 		// Accounting-only: estimate decodability from the flip count,

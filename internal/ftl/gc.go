@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"sos/internal/flash"
+	"sos/internal/obs"
 )
 
 // runGC reclaims stale capacity. Fully-dead blocks (no live pages) are
@@ -14,6 +15,14 @@ import (
 // is reclaimed, preferring the requesting stream's blocks but falling
 // back to any stream, because free blocks are a shared resource.
 func (f *FTL) runGC(prefer StreamID) {
+	startMoves, startRuns := f.gcMoves, f.gcRuns
+	defer func() {
+		if f.gcRuns != startRuns {
+			moves := f.gcMoves - startMoves
+			f.obs.Record(obs.Event{Kind: obs.EvGC, Stream: int(prefer), Aux: moves})
+			f.obs.ObserveGC(int(moves))
+		}
+	}()
 	// Dead-block sweep: guaranteed progress under pool exhaustion.
 	swept := false
 	for b := range f.blocks {
@@ -224,6 +233,7 @@ func (f *FTL) relocate(lpa int64, dst StreamID) error {
 		f.salvagedPages++
 		f.salvagedBytes += int64(m.dataLen)
 		m.baseFlips += m.dataLen * 8
+		f.obs.Record(obs.Event{Kind: obs.EvSalvage, LBA: lpa, Block: m.ppa.Block, Page: m.ppa.Page, Stream: int(m.stream), Aux: int64(m.dataLen)})
 	}
 
 	var stored []byte
@@ -281,6 +291,7 @@ func (f *FTL) programForRelocation(dst StreamID, lpa int64, dataLen int, stored 
 			f.blocks[b].fullPages++
 			f.blocks[b].valid++
 			f.flashPrograms++
+			f.obs.Record(obs.Event{Kind: obs.EvProgram, LBA: lpa, Block: b, Page: page, Stream: int(dst), Aux: int64(dataLen)})
 			return b, page, nil
 		}
 		if !errors.Is(perr, flash.ErrProgramFail) {
@@ -342,6 +353,7 @@ func (f *FTL) eraseAndFree(b int) error {
 	if f.active[owner] == b {
 		f.active[owner] = -1
 	}
+	f.obs.Record(obs.Event{Kind: obs.EvErase, Block: b, Stream: int(owner)})
 
 	info, err := f.chip.Info(b)
 	if err != nil {
@@ -372,6 +384,7 @@ func (f *FTL) eraseAndFree(b int) error {
 			f.resuscCnt++
 			f.freePool = append(f.freePool, b)
 			f.notifyCapacity()
+			f.obs.Record(obs.Event{Kind: obs.EvResuscitate, Block: b, Stream: int(owner), Aux: int64(bits)})
 			return nil
 		}
 		return f.retireBlock(b)
@@ -398,6 +411,7 @@ func (f *FTL) retireBlock(b int) error {
 	}
 	f.retiredCnt++
 	f.notifyCapacity()
+	f.obs.Record(obs.Event{Kind: obs.EvRetire, Block: b})
 	return nil
 }
 
@@ -427,6 +441,7 @@ func (f *FTL) Quarantine(b int) error {
 		return f.retireBlock(b)
 	}
 	f.sealBlock(b)
+	f.obs.Record(obs.Event{Kind: obs.EvQuarantine, Block: b, Stream: int(st.owner)})
 	return nil
 }
 
@@ -531,6 +546,8 @@ func (f *FTL) Scrub(maxMoves int) (ScrubReport, error) {
 			rep.BlocksFreed++
 		}
 	}
+	f.obs.Record(obs.Event{Kind: obs.EvScrub, Aux: int64(rep.PagesRelocated)})
+	f.obs.ObserveScrub(rep.PagesRelocated)
 	return rep, nil
 }
 

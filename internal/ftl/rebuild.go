@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"sos/internal/flash"
+	"sos/internal/obs"
 )
 
 // ErrNotFresh reports that Rebuild was invoked on an FTL that has
@@ -152,5 +153,6 @@ func (f *FTL) Rebuild() error {
 			f.active[st.owner] = b
 		}
 	}
+	f.obs.Record(obs.Event{Kind: obs.EvRebuild, Aux: int64(len(f.l2p))})
 	return nil
 }

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts observations into fixed buckets with atomic,
+// lock-free updates — the shape the observability layer exports as
+// Prometheus histograms. Unlike Dist it never retains samples, so its
+// memory and per-observation cost are constant regardless of run
+// length: the right trade for always-on telemetry on hot paths.
+//
+// Bucket i counts observations v with v <= Bounds()[i] (and greater
+// than the previous bound); a final implicit +Inf bucket absorbs the
+// overflow. Observe, Count, Sum, and Counts are individually atomic but
+// not mutually consistent under concurrent writers — a reader may see a
+// bucket increment before the matching Sum update. That skew is bounded
+// by the number of in-flight writers and is the standard monitoring
+// trade-off.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds (finite)
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// NewHistogram builds a histogram over the given finite, strictly
+// ascending upper bounds. It panics on an empty or unsorted bound list —
+// bucket layouts are compile-time decisions, not runtime inputs.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic("metrics: histogram bounds must be finite")
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n strictly ascending bounds start, start*factor,
+// start*factor^2, ... — the fixed exponential layout the observability
+// histograms use (latencies and sizes span orders of magnitude).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: bad exponential layout start=%v factor=%v n=%d", start, factor, n))
+	}
+	bounds := make([]float64, n)
+	v := start
+	for i := range bounds {
+		bounds[i] = v
+		v *= factor
+	}
+	return bounds
+}
+
+// Observe records one sample. NaN is ignored — the same convention as
+// Dist.Observe, so every exported statistic stays NaN-free.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		want := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns a copy of the finite upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	return append([]float64(nil), h.bounds...)
+}
+
+// Counts returns a copy of the per-bucket counts; the final entry is
+// the +Inf overflow bucket.
+func (h *Histogram) Counts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile returns an upper bound on the q-quantile (q in [0,1]): the
+// bound of the bucket where the cumulative count crosses rank q. With no
+// observations it returns 0 — the same convention as Dist.Quantile, so
+// empty exact and bucketed distributions summarize identically.
+// Observations that overflowed the last finite bound report that bound
+// (the histogram cannot resolve beyond its layout).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d sum=%.4g p50<=%.4g p99<=%.4g",
+		h.Count(), h.Sum(), h.Quantile(0.5), h.Quantile(0.99))
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("got %v", b)
+	}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 4) },
+		func() { ExpBuckets(1, 1, 4) },
+		func() { ExpBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad exponential layout accepted")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	for _, bad := range [][]float64{
+		{},
+		{1, 1},
+		{2, 1},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v accepted", bad)
+				}
+			}()
+			NewHistogram(bad)
+		}()
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 10, 50, 100, 1000} {
+		h.Observe(v)
+	}
+	h.Observe(math.NaN()) // dropped, like Dist
+	counts := h.Counts()
+	want := []int64{2, 2, 2, 1} // (..1], (1..10], (10..100], (100..+Inf)
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got != 0.5+1+5+10+50+100+1000 {
+		t.Fatalf("sum = %v", got)
+	}
+}
+
+// TestHistogramEmptyQuantileConvention pins the shared convention: an
+// empty distribution — exact (Dist) or bucketed (Histogram) — reports 0
+// for every quantile, mean, and sum.
+func TestHistogramEmptyQuantileConvention(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1e-6, 2, 24))
+	var d Dist
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Histogram.Quantile(%v) = %v, want 0", q, got)
+		}
+		if got := d.Quantile(q); got != 0 {
+			t.Errorf("empty Dist.Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Sum() != 0 || h.Count() != 0 {
+		t.Error("empty histogram has nonzero sum/count")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8, 16})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 10)) // 0..9 uniformly
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 1},   // rank 1 lands in the first bucket
+		{0.5, 4}, // rank 50: cumulative count crosses 50 in the (2..4] bucket
+		{0.99, 16},
+		{1, 16},
+		{-1, 1}, // clamped
+		{2, 16}, // clamped
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Overflow observations report the last finite bound.
+	o := NewHistogram([]float64{1})
+	o.Observe(99)
+	if got := o.Quantile(0.5); got != 1 {
+		t.Errorf("overflow quantile = %v, want last bound 1", got)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	h := NewHistogram(ExpBuckets(0.001, 2, 20))
+	for i := 1; i <= 500; i++ {
+		h.Observe(math.Abs(math.Sin(float64(i))) * 100)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotonic at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -153,8 +153,13 @@ func (d *Dist) Stddev() float64 {
 }
 
 // Quantile returns the q-quantile (q in [0,1]) by nearest-rank on the
-// sorted samples. With no samples it returns 0; with one sample it
-// returns that sample for every q. The sample buffer is sorted in place
+// sorted samples.
+//
+// Empty-distribution convention: with no samples every quantile is 0 —
+// never NaN, never a sentinel. Histogram.Quantile follows the same
+// convention, so exact and bucketed distributions summarize identically
+// before the first observation. With one sample it returns that sample
+// for every q. The sample buffer is sorted in place
 // on the first call after an Observe and the order is cached, so
 // repeated quantile reads cost O(1) comparisons, not a re-sort.
 func (d *Dist) Quantile(q float64) float64 {

@@ -43,7 +43,7 @@ func TestCounterConcurrent(t *testing.T) {
 		}
 	})
 	// Per goroutine: half Inc (+1), half Add(2) => 10000/2*1 + 10000/2*2.
-	want := int64(raceGoroutines) * (raceOpsPerG / 2 * 1 + raceOpsPerG / 2 * 2)
+	want := int64(raceGoroutines) * (raceOpsPerG/2*1 + raceOpsPerG/2*2)
 	if c.Value() != want {
 		t.Fatalf("counter lost updates: %d, want %d", c.Value(), want)
 	}

@@ -1,0 +1,383 @@
+// Package obs is the zero-dependency observability subsystem: a
+// lock-cheap structured trace ring buffer of typed events, per-operation
+// latency/size histograms (metrics.Histogram), and exporters for the
+// Prometheus text exposition format and JSON snapshots.
+//
+// Every hook is nil-safe: a nil *Recorder swallows all recording calls
+// after a single pointer comparison, so instrumented hot paths in the
+// device, FTL, and policy engine cost near zero when observability is
+// disabled. Recording only reads simulation state — it never consumes
+// RNG draws or reorders work — so enabling a Recorder cannot perturb a
+// deterministic run.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sos/internal/metrics"
+	"sos/internal/sim"
+)
+
+// EventKind is the type of a traced event. The taxonomy follows the
+// stack: physical page ops at the bottom, FTL lifecycle in the middle,
+// policy-engine decisions on top, and EvMark for tool-level milestones.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvProgram is one physical page program (host write or relocation).
+	EvProgram EventKind = iota
+	// EvRead is one logical page read through the FTL.
+	EvRead
+	// EvErase is one block erase back into the free pool.
+	EvErase
+	// EvReadRetry is one read-ladder re-read after a hard read fault.
+	EvReadRetry
+	// EvSalvage is an unreadable SPARE page crystallized as reported loss.
+	EvSalvage
+	// EvQuarantine is a block condemned by the device's fault escalation.
+	EvQuarantine
+	// EvRetire is a block leaving service for good.
+	EvRetire
+	// EvResuscitate is a worn block reborn at lower density.
+	EvResuscitate
+	// EvGC is one garbage-collection pass (Aux = pages moved).
+	EvGC
+	// EvScrub is one degradation-monitor pass (Aux = pages relocated).
+	EvScrub
+	// EvReview is one periodic classification pass (Aux = files scanned).
+	EvReview
+	// EvDemote is one file demoted to the SPARE stream (Aux = file id).
+	EvDemote
+	// EvPromote is one demoted file promoted back to SYS (Aux = file id).
+	EvPromote
+	// EvAutoDelete is one file removed under capacity pressure
+	// (Aux = file id).
+	EvAutoDelete
+	// EvTranscode is one media file shrunk in place instead of deleted
+	// (Aux = file id).
+	EvTranscode
+	// EvPowerCycle is a simulated power loss and FTL rebuild.
+	EvPowerCycle
+	// EvRebuild is an FTL mapping reconstruction from OOB tags
+	// (Aux = pages mapped).
+	EvRebuild
+	// EvMark is a tool-defined milestone (Aux is tool-specific).
+	EvMark
+
+	evKinds // sentinel: number of kinds
+)
+
+var kindNames = [evKinds]string{
+	EvProgram:     "program",
+	EvRead:        "read",
+	EvErase:       "erase",
+	EvReadRetry:   "read_retry",
+	EvSalvage:     "salvage",
+	EvQuarantine:  "quarantine",
+	EvRetire:      "retire",
+	EvResuscitate: "resuscitate",
+	EvGC:          "gc",
+	EvScrub:       "scrub",
+	EvReview:      "review",
+	EvDemote:      "demote",
+	EvPromote:     "promote",
+	EvAutoDelete:  "auto_delete",
+	EvTranscode:   "transcode",
+	EvPowerCycle:  "power_cycle",
+	EvRebuild:     "rebuild",
+	EvMark:        "mark",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// MarshalText renders the kind as its snake_case name, so traces and
+// snapshots serialize readably.
+func (k EventKind) MarshalText() ([]byte, error) {
+	if int(k) >= len(kindNames) {
+		return nil, fmt.Errorf("obs: unknown event kind %d", int(k))
+	}
+	return []byte(kindNames[k]), nil
+}
+
+// Kinds returns every defined event kind in declaration order.
+func Kinds() []EventKind {
+	out := make([]EventKind, evKinds)
+	for i := range out {
+		out[i] = EventKind(i)
+	}
+	return out
+}
+
+// Event is one traced occurrence. It is a fixed-size value — recording
+// allocates nothing. Fields beyond Kind are kind-specific; unused ones
+// are zero. Seq is assigned by the Recorder (1-based, monotone), At is
+// stamped from the Recorder's clock.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	At     sim.Time  `json:"at"`
+	Kind   EventKind `json:"kind"`
+	LBA    int64     `json:"lba"`
+	Block  int       `json:"block"`
+	Page   int       `json:"page"`
+	Stream int       `json:"stream"`
+	Aux    int64     `json:"aux"`
+}
+
+// DefaultTraceCapacity is the ring size when Config leaves it zero:
+// large enough to hold the interesting tail of a year-long simulation,
+// small enough to stay cache-friendly.
+const DefaultTraceCapacity = 4096
+
+// Config sizes a Recorder.
+type Config struct {
+	// TraceCapacity is the ring buffer size in events (default
+	// DefaultTraceCapacity). The ring keeps the newest events; older
+	// ones are overwritten and counted as dropped.
+	TraceCapacity int
+	// Clock, when set, stamps each recorded event's At field. A nil
+	// clock leaves At at whatever the caller set (usually zero).
+	Clock *sim.Clock
+}
+
+// Recorder collects trace events and per-operation histograms. All
+// methods are safe for concurrent use and safe on a nil receiver (they
+// become no-ops), so instrumentation sites never branch on an "enabled"
+// flag themselves.
+type Recorder struct {
+	clock *sim.Clock
+
+	mu   sync.Mutex
+	ring []Event
+	cap  int
+	seq  uint64 // total events recorded (== last assigned Seq)
+
+	kinds [evKinds]atomic.Int64
+
+	// Per-operation histograms. Latencies are in seconds of modelled
+	// device time, sizes in bytes, pass histograms in items per pass.
+	ReadLatency    *metrics.Histogram
+	ProgramLatency *metrics.Histogram
+	ReadBytes      *metrics.Histogram
+	WriteBytes     *metrics.Histogram
+	GCMoves        *metrics.Histogram
+	ScrubMoves     *metrics.Histogram
+	ReviewScanned  *metrics.Histogram
+}
+
+// New builds a Recorder.
+func New(cfg Config) *Recorder {
+	capacity := cfg.TraceCapacity
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Recorder{
+		clock: cfg.Clock,
+		ring:  make([]Event, 0, capacity),
+		cap:   capacity,
+		// Modelled flash latencies run ~10µs (reads) to ~10ms (worn-
+		// block programs); 1µs..8s covers the ladder with headroom.
+		ReadLatency:    metrics.NewHistogram(metrics.ExpBuckets(1e-6, 2, 24)),
+		ProgramLatency: metrics.NewHistogram(metrics.ExpBuckets(1e-6, 2, 24)),
+		// Page sizes are powers of two between 512 B and a few MiB.
+		ReadBytes:  metrics.NewHistogram(metrics.ExpBuckets(256, 4, 10)),
+		WriteBytes: metrics.NewHistogram(metrics.ExpBuckets(256, 4, 10)),
+		// Pass sizes: 1 .. 32768 items.
+		GCMoves:       metrics.NewHistogram(metrics.ExpBuckets(1, 2, 16)),
+		ScrubMoves:    metrics.NewHistogram(metrics.ExpBuckets(1, 2, 16)),
+		ReviewScanned: metrics.NewHistogram(metrics.ExpBuckets(1, 2, 16)),
+	}
+}
+
+// Enabled reports whether the recorder actually records. It is the
+// idiomatic guard for instrumentation that would otherwise do work just
+// to build an Event.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Record appends one event to the trace ring, stamping Seq (and At,
+// when the recorder has a clock). Nil-safe; a single short critical
+// section covers the ring slot assignment.
+func (r *Recorder) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	if int(ev.Kind) < len(r.kinds) {
+		r.kinds[ev.Kind].Add(1)
+	}
+	if r.clock != nil {
+		ev.At = r.clock.Now()
+	}
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	if len(r.ring) < r.cap {
+		r.ring = append(r.ring, ev)
+	} else {
+		r.ring[int((r.seq-1)%uint64(r.cap))] = ev
+	}
+	r.mu.Unlock()
+}
+
+// ObserveRead feeds the read-side histograms. Nil-safe.
+func (r *Recorder) ObserveRead(lat sim.Time, bytes int) {
+	if r == nil {
+		return
+	}
+	r.ReadLatency.Observe(lat.Seconds())
+	r.ReadBytes.Observe(float64(bytes))
+}
+
+// ObserveProgram feeds the write-side histograms. Nil-safe.
+func (r *Recorder) ObserveProgram(lat sim.Time, bytes int) {
+	if r == nil {
+		return
+	}
+	r.ProgramLatency.Observe(lat.Seconds())
+	r.WriteBytes.Observe(float64(bytes))
+}
+
+// ObserveGC feeds the GC pass-size histogram. Nil-safe.
+func (r *Recorder) ObserveGC(moves int) {
+	if r == nil {
+		return
+	}
+	r.GCMoves.Observe(float64(moves))
+}
+
+// ObserveScrub feeds the scrub pass-size histogram. Nil-safe.
+func (r *Recorder) ObserveScrub(moves int) {
+	if r == nil {
+		return
+	}
+	r.ScrubMoves.Observe(float64(moves))
+}
+
+// ObserveReview feeds the review pass-size histogram. Nil-safe.
+func (r *Recorder) ObserveReview(scanned int) {
+	if r == nil {
+		return
+	}
+	r.ReviewScanned.Observe(float64(scanned))
+}
+
+// Count returns how many events of kind k have been recorded (including
+// ones the ring has since overwritten). Nil-safe: 0.
+func (r *Recorder) Count(k EventKind) int64 {
+	if r == nil || int(k) >= len(r.kinds) {
+		return 0
+	}
+	return r.kinds[k].Load()
+}
+
+// Total returns the total number of events recorded. Nil-safe: 0.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Dropped returns how many events the ring has overwritten. Nil-safe: 0.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq - uint64(len(r.ring))
+}
+
+// Events returns the retained trace in chronological order (oldest
+// surviving event first). Nil-safe: nil.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.ring)
+	out := make([]Event, 0, n)
+	if n < r.cap {
+		return append(out, r.ring...)
+	}
+	start := int(r.seq % uint64(r.cap)) // oldest surviving slot
+	out = append(out, r.ring[start:]...)
+	return append(out, r.ring[:start]...)
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram, shaped
+// for both exporters: Counts are per-bucket (not cumulative); the final
+// entry is the +Inf overflow bucket.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	P50    float64   `json:"p50"`
+	P99    float64   `json:"p99"`
+}
+
+func snapHistogram(h *metrics.Histogram) HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:  h.Count(),
+		Sum:    h.Sum(),
+		Bounds: h.Bounds(),
+		Counts: h.Counts(),
+		P50:    h.Quantile(0.5),
+		P99:    h.Quantile(0.99),
+	}
+}
+
+// Snapshot is the JSON-friendly summary of a Recorder: event totals by
+// kind, histogram state, and the trace tail's extent. Maps marshal with
+// sorted keys, so serialized snapshots are deterministic.
+type Snapshot struct {
+	Events     uint64                       `json:"events"`
+	Dropped    uint64                       `json:"dropped"`
+	ByKind     map[string]int64             `json:"by_kind"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// histogramNames pairs each Recorder histogram with its stable export
+// name. Order here fixes nothing — exporters sort — but the names are
+// part of the telemetry contract.
+func (r *Recorder) histograms() map[string]*metrics.Histogram {
+	return map[string]*metrics.Histogram{
+		"read_latency_seconds":    r.ReadLatency,
+		"program_latency_seconds": r.ProgramLatency,
+		"read_bytes":              r.ReadBytes,
+		"write_bytes":             r.WriteBytes,
+		"gc_moves":                r.GCMoves,
+		"scrub_moves":             r.ScrubMoves,
+		"review_scanned":          r.ReviewScanned,
+	}
+}
+
+// Snapshot captures the recorder's current state. Nil-safe: nil.
+func (r *Recorder) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	s := &Snapshot{
+		Events:     r.Total(),
+		Dropped:    r.Dropped(),
+		ByKind:     make(map[string]int64, evKinds),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for k := EventKind(0); k < evKinds; k++ {
+		s.ByKind[k.String()] = r.kinds[k].Load()
+	}
+	for name, h := range r.histograms() {
+		s.Histograms[name] = snapHistogram(h)
+	}
+	return s
+}

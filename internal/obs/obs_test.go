@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sos/internal/sim"
+)
+
+// TestNilRecorderIsInert: every hook must be a no-op on a nil receiver —
+// the disabled-observability contract the hot paths rely on.
+func TestNilRecorderIsInert(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder claims enabled")
+	}
+	r.Record(Event{Kind: EvProgram})
+	r.ObserveRead(5, 4096)
+	r.ObserveProgram(9, 4096)
+	if r.Total() != 0 || r.Dropped() != 0 || r.Count(EvProgram) != 0 {
+		t.Fatal("nil recorder accumulated state")
+	}
+	if r.Events() != nil || r.Snapshot() != nil {
+		t.Fatal("nil recorder returned data")
+	}
+}
+
+func TestRecordAssignsSeqAndClockTime(t *testing.T) {
+	clock := &sim.Clock{}
+	clock.SetNow(3 * sim.Day)
+	r := New(Config{TraceCapacity: 8, Clock: clock})
+	r.Record(Event{Kind: EvRead, LBA: 42})
+	clock.Advance(sim.Hour)
+	r.Record(Event{Kind: EvProgram, LBA: 43})
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[1].Seq != 2 {
+		t.Fatalf("seqs %d, %d", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].At != 3*sim.Day || evs[1].At != 3*sim.Day+sim.Hour {
+		t.Fatalf("timestamps %v, %v", evs[0].At, evs[1].At)
+	}
+	if r.Count(EvRead) != 1 || r.Count(EvProgram) != 1 {
+		t.Fatal("kind counters wrong")
+	}
+}
+
+// TestRingWrap: the ring keeps the newest capacity events in order and
+// reports the rest as dropped; per-kind counters keep counting.
+func TestRingWrap(t *testing.T) {
+	r := New(Config{TraceCapacity: 4})
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: EvErase, Block: i})
+	}
+	if r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("total %d dropped %d", r.Total(), r.Dropped())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Block != 6+i || ev.Seq != uint64(7+i) {
+			t.Fatalf("event %d = %+v (wrap order broken)", i, ev)
+		}
+	}
+	if r.Count(EvErase) != 10 {
+		t.Fatal("kind counter forgot overwritten events")
+	}
+}
+
+func TestEventKindNamesComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "EventKind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate kind name %q", name)
+		}
+		seen[name] = true
+		if txt, err := k.MarshalText(); err != nil || string(txt) != name {
+			t.Fatalf("kind %v MarshalText = %q, %v", k, txt, err)
+		}
+	}
+	if _, err := EventKind(200).MarshalText(); err == nil {
+		t.Fatal("unknown kind marshaled")
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	r := New(Config{TraceCapacity: 16})
+	r.Record(Event{Kind: EvGC, Aux: 7})
+	r.ObserveRead(50*sim.Microsecond, 4096)
+	r.ObserveRead(80*sim.Microsecond, 4096)
+	r.ObserveProgram(2*sim.Millisecond, 512)
+	s := r.Snapshot()
+	if s.Events != 1 || s.ByKind["gc"] != 1 {
+		t.Fatalf("snapshot events %+v", s)
+	}
+	rl := s.Histograms["read_latency_seconds"]
+	if rl.Count != 2 || rl.Sum <= 0 || rl.P50 <= 0 {
+		t.Fatalf("read latency snapshot %+v", rl)
+	}
+	if s.Histograms["write_bytes"].Count != 1 {
+		t.Fatal("write bytes not observed")
+	}
+	// Deterministic, valid JSON.
+	j1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(r.Snapshot())
+	if string(j1) != string(j2) {
+		t.Fatal("snapshot JSON not deterministic")
+	}
+}
+
+func TestWriteEventsJSON(t *testing.T) {
+	r := New(Config{TraceCapacity: 8})
+	r.Record(Event{Kind: EvDemote, Aux: 12})
+	r.Record(Event{Kind: EvPowerCycle})
+	var b strings.Builder
+	if err := WriteEventsJSON(&b, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	var ev struct {
+		Seq  uint64 `json:"seq"`
+		Kind string `json:"kind"`
+		Aux  int64  `json:"aux"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "demote" || ev.Aux != 12 || ev.Seq != 1 {
+		t.Fatalf("decoded %+v", ev)
+	}
+}

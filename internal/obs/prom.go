@@ -1,0 +1,286 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition accumulates metric families and renders them in the
+// Prometheus text exposition format (version 0.0.4). Families are
+// emitted sorted by metric name, and samples within a family keep their
+// insertion order, so output is byte-stable for a given set of inputs —
+// the property the golden test and the determinism gate rely on.
+type Exposition struct {
+	fams map[string]*promFamily
+}
+
+type promFamily struct {
+	name    string
+	typ     string // counter | gauge | histogram
+	help    string
+	samples []promSample
+}
+
+type promSample struct {
+	suffix string // appended to the family name ("", "_sum", "_count", "_bucket")
+	labels string // rendered label pairs without braces, may be empty
+	value  float64
+}
+
+// NewExposition returns an empty exposition.
+func NewExposition() *Exposition {
+	return &Exposition{fams: make(map[string]*promFamily)}
+}
+
+func (e *Exposition) family(name, typ, help string) *promFamily {
+	f, ok := e.fams[name]
+	if !ok {
+		f = &promFamily{name: name, typ: typ, help: help}
+		e.fams[name] = f
+	}
+	return f
+}
+
+// Counter adds an unlabeled counter sample. Names should follow the
+// Prometheus convention and end in "_total".
+func (e *Exposition) Counter(name, help string, v float64) {
+	f := e.family(name, "counter", help)
+	f.samples = append(f.samples, promSample{value: v})
+}
+
+// Gauge adds an unlabeled gauge sample.
+func (e *Exposition) Gauge(name, help string, v float64) {
+	f := e.family(name, "gauge", help)
+	f.samples = append(f.samples, promSample{value: v})
+}
+
+// LabeledCounter adds one counter sample carrying a single label.
+// Repeated calls with the same name accumulate samples in call order.
+func (e *Exposition) LabeledCounter(name, help, label, labelValue string, v float64) {
+	f := e.family(name, "counter", help)
+	f.samples = append(f.samples, promSample{labels: renderLabel(label, labelValue), value: v})
+}
+
+// LabeledGauge adds one gauge sample carrying a single label.
+func (e *Exposition) LabeledGauge(name, help, label, labelValue string, v float64) {
+	f := e.family(name, "gauge", help)
+	f.samples = append(f.samples, promSample{labels: renderLabel(label, labelValue), value: v})
+}
+
+// Histogram adds a full histogram family from a snapshot: cumulative
+// _bucket samples (le-labeled, ending at +Inf), then _sum and _count.
+func (e *Exposition) Histogram(name, help string, snap HistogramSnapshot) {
+	f := e.family(name, "histogram", help)
+	var cum int64
+	for i, c := range snap.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = formatPromValue(snap.Bounds[i])
+		}
+		f.samples = append(f.samples, promSample{
+			suffix: "_bucket",
+			labels: renderLabel("le", le),
+			value:  float64(cum),
+		})
+	}
+	f.samples = append(f.samples,
+		promSample{suffix: "_sum", value: snap.Sum},
+		promSample{suffix: "_count", value: float64(snap.Count)},
+	)
+}
+
+func renderLabel(name, value string) string {
+	esc := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(value)
+	return name + `="` + esc + `"`
+}
+
+// formatPromValue renders a float the way Prometheus clients do:
+// shortest round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders the exposition, families sorted by name.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	names := make([]string, 0, len(e.fams))
+	for name := range e.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	for _, name := range names {
+		f := e.fams[name]
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			if s.labels != "" {
+				fmt.Fprintf(bw, "%s%s{%s} %s\n", f.name, s.suffix, s.labels, formatPromValue(s.value))
+			} else {
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.suffix, formatPromValue(s.value))
+			}
+		}
+	}
+	err := bw.Flush()
+	return cw.n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// String renders the exposition.
+func (e *Exposition) String() string {
+	var b strings.Builder
+	e.WriteTo(&b) // strings.Builder writes cannot fail
+	return b.String()
+}
+
+var promNameRe = func(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseExposition validates text in the Prometheus exposition format and
+// returns the number of samples read. It enforces the structural rules a
+// scraper cares about: valid metric names, float-parsable values, every
+// sample grouped under a preceding TYPE declaration of its family, and
+// histogram families consisting only of _bucket/_sum/_count series with
+// le labels on the buckets. It is the checker behind `make obs` and the
+// golden tests; it is deliberately a validator, not a full client.
+func ParseExposition(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var curName, curType string
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.Fields(text)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return samples, fmt.Errorf("obs: line %d: malformed comment %q", line, text)
+			}
+			if !promNameRe(fields[2]) {
+				return samples, fmt.Errorf("obs: line %d: bad metric name %q", line, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return samples, fmt.Errorf("obs: line %d: malformed TYPE line", line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return samples, fmt.Errorf("obs: line %d: unknown type %q", line, fields[3])
+				}
+				curName, curType = fields[2], fields[3]
+			}
+			continue
+		}
+		name, labels, value, perr := splitSample(text)
+		if perr != nil {
+			return samples, fmt.Errorf("obs: line %d: %v", line, perr)
+		}
+		if _, ferr := strconv.ParseFloat(value, 64); ferr != nil && value != "+Inf" && value != "-Inf" && value != "NaN" {
+			return samples, fmt.Errorf("obs: line %d: bad value %q", line, value)
+		}
+		if curName == "" {
+			return samples, fmt.Errorf("obs: line %d: sample %q before any TYPE declaration", line, name)
+		}
+		suffix, ok := strings.CutPrefix(name, curName)
+		if !ok {
+			return samples, fmt.Errorf("obs: line %d: sample %q outside family %q", line, name, curName)
+		}
+		switch curType {
+		case "histogram":
+			switch suffix {
+			case "_bucket":
+				if !strings.Contains(labels, `le="`) {
+					return samples, fmt.Errorf("obs: line %d: histogram bucket without le label", line)
+				}
+			case "_sum", "_count":
+			default:
+				return samples, fmt.Errorf("obs: line %d: unexpected histogram series %q", line, name)
+			}
+		default:
+			if suffix != "" {
+				return samples, fmt.Errorf("obs: line %d: sample %q outside family %q", line, name, curName)
+			}
+		}
+		samples++
+	}
+	if serr := sc.Err(); serr != nil {
+		return samples, serr
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("obs: exposition contains no samples")
+	}
+	return samples, nil
+}
+
+// splitSample splits `name{labels} value` (labels optional) into parts.
+func splitSample(text string) (name, labels, value string, err error) {
+	i := strings.LastIndexByte(text, ' ')
+	if i < 0 {
+		return "", "", "", fmt.Errorf("malformed sample %q", text)
+	}
+	series, value := strings.TrimSpace(text[:i]), text[i+1:]
+	if j := strings.IndexByte(series, '{'); j >= 0 {
+		if !strings.HasSuffix(series, "}") {
+			return "", "", "", fmt.Errorf("unbalanced labels in %q", series)
+		}
+		name, labels = series[:j], series[j+1:len(series)-1]
+	} else {
+		name = series
+	}
+	if !promNameRe(name) {
+		return "", "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	return name, labels, value, nil
+}
+
+// WriteEventsJSON dumps events as JSON lines (one event per line), the
+// trace dump format behind the -trace flag.
+func WriteEventsJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("obs: encode trace event %d: %w", ev.Seq, err)
+		}
+	}
+	return bw.Flush()
+}

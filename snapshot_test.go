@@ -1,0 +1,210 @@
+package sos_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sos"
+	"sos/internal/obs"
+)
+
+func TestParseProfileRoundTrip(t *testing.T) {
+	for _, p := range sos.Profiles() {
+		text, err := p.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: MarshalText: %v", p, err)
+		}
+		back, err := sos.ParseProfile(string(text))
+		if err != nil {
+			t.Fatalf("%v: ParseProfile(%q): %v", p, text, err)
+		}
+		if back != p {
+			t.Fatalf("round trip %v -> %q -> %v", p, text, back)
+		}
+		var u sos.Profile
+		if err := u.UnmarshalText(text); err != nil || u != p {
+			t.Fatalf("UnmarshalText(%q) = %v, %v", text, u, err)
+		}
+	}
+	// Forgiving input.
+	for in, want := range map[string]sos.Profile{
+		" SOS ": sos.ProfileSOS,
+		"Tlc":   sos.ProfileTLC,
+		"qlc":   sos.ProfileQLC,
+	} {
+		if got, err := sos.ParseProfile(in); err != nil || got != want {
+			t.Errorf("ParseProfile(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := sos.ParseProfile("mlc"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := sos.Profile(99).MarshalText(); err == nil {
+		t.Error("unknown profile marshaled")
+	}
+}
+
+// TestSnapshotMatchesExposition is the telemetry-convergence contract:
+// values scraped from the Prometheus exposition must equal the numbers
+// Snapshot() reports programmatically.
+func TestSnapshotMatchesExposition(t *testing.T) {
+	sys, err := sos.New(sos.Config{Observe: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunPersonal(30, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Snapshot()
+	if snap.Version != sos.SnapshotVersion || snap.Profile != sos.ProfileSOS {
+		t.Fatalf("snapshot header %+v", snap)
+	}
+	if snap.Obs == nil {
+		t.Fatal("Observe: true but snapshot has no obs section")
+	}
+	if snap.Obs.Events == 0 || snap.Obs.ByKind["program"] == 0 {
+		t.Fatalf("no trace events after a 30-day run: %+v", snap.Obs.ByKind)
+	}
+	if snap.Obs.Histograms["read_latency_seconds"].Count == 0 {
+		t.Fatal("no read latencies observed")
+	}
+
+	var buf bytes.Buffer
+	if _, err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if n, err := obs.ParseExposition(strings.NewReader(text)); err != nil || n == 0 {
+		t.Fatalf("exposition invalid: %d samples, %v", n, err)
+	}
+
+	// Spot-check exposition values against the snapshot across all three
+	// layers (device / ftl / engine) plus the obs event counters.
+	wantLines := []string{
+		fmt.Sprintf("sos_device_reads_total %s", promNum(float64(snap.Device.Reads))),
+		fmt.Sprintf("sos_device_writes_total %s", promNum(float64(snap.Device.Writes))),
+		fmt.Sprintf("sos_capacity_bytes %s", promNum(float64(snap.Device.CapacityBytes))),
+		fmt.Sprintf("sos_ftl_host_writes_total %s", promNum(float64(snap.Device.FTL.HostWrites))),
+		fmt.Sprintf("sos_ftl_gc_runs_total %s", promNum(float64(snap.Device.FTL.GCRuns))),
+		fmt.Sprintf("sos_engine_created_total %s", promNum(float64(snap.Engine.Created))),
+		fmt.Sprintf("sos_engine_reviewed_total %s", promNum(float64(snap.Engine.Reviewed))),
+		fmt.Sprintf(`sos_obs_events_total{kind="program"} %s`, promNum(float64(snap.Obs.ByKind["program"]))),
+		fmt.Sprintf(`sos_obs_events_total{kind="review"} %s`, promNum(float64(snap.Obs.ByKind["review"]))),
+		fmt.Sprintf("sos_obs_read_latency_seconds_count %s", promNum(float64(snap.Obs.Histograms["read_latency_seconds"].Count))),
+	}
+	for _, want := range wantLines {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Exposition rendering is byte-stable for the same snapshot.
+	var buf2 bytes.Buffer
+	if _, err := snap.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != text {
+		t.Fatal("WritePrometheus output not byte-stable")
+	}
+}
+
+// promNum mirrors the exporter's float formatting for test expectations.
+func promNum(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	sys, err := sos.New(sos.Config{Observe: true, TraceCap: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunPersonal(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Version int    `json:"version"`
+		Profile string `json:"profile"`
+		Device  struct {
+			Reads int64
+		} `json:"device"`
+		Obs *struct {
+			Events uint64 `json:"events"`
+		} `json:"obs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Version != sos.SnapshotVersion || decoded.Profile != "sos" {
+		t.Fatalf("decoded %+v", decoded)
+	}
+	if decoded.Obs == nil || decoded.Obs.Events == 0 {
+		t.Fatal("obs section missing from JSON snapshot")
+	}
+}
+
+// TestSnapshotWithoutObserve: disabled observability still yields a full
+// snapshot — just without the obs section — and a valid exposition.
+func TestSnapshotWithoutObserve(t *testing.T) {
+	sys, err := sos.New(sos.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Obs != nil {
+		t.Fatal("recorder built without Observe")
+	}
+	if _, err := sys.RunPersonal(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Snapshot()
+	if snap.Obs != nil {
+		t.Fatal("snapshot has obs section without Observe")
+	}
+	var buf bytes.Buffer
+	if _, err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := obs.ParseExposition(&buf); err != nil || n == 0 {
+		t.Fatalf("exposition invalid: %d, %v", n, err)
+	}
+}
+
+// TestObserveDoesNotPerturbDeterminism: a run with the recorder enabled
+// must produce byte-identical telemetry to a run without it — recording
+// only reads state.
+func TestObserveDoesNotPerturbDeterminism(t *testing.T) {
+	run := func(observe bool) (string, error) {
+		sys, err := sos.New(sos.Config{Observe: observe, Seed: 11})
+		if err != nil {
+			return "", err
+		}
+		if _, err := sys.RunPersonal(20, 0); err != nil {
+			return "", err
+		}
+		snap := sys.Snapshot()
+		snap.Obs = nil // the only allowed difference
+		var buf bytes.Buffer
+		if _, err := snap.WritePrometheus(&buf); err != nil {
+			return "", err
+		}
+		return buf.String(), nil
+	}
+	plain, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != observed {
+		t.Fatal("enabling the recorder changed simulation results")
+	}
+}

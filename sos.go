@@ -19,6 +19,7 @@ package sos
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"sos/internal/carbon"
 	"sos/internal/classify"
@@ -26,6 +27,7 @@ import (
 	"sos/internal/device"
 	"sos/internal/flash"
 	"sos/internal/fs"
+	"sos/internal/obs"
 	"sos/internal/sim"
 	"sos/internal/workload"
 )
@@ -57,6 +59,48 @@ func (p Profile) String() string {
 	}
 }
 
+// Profiles returns every built-in profile in declaration order.
+func Profiles() []Profile {
+	return []Profile{ProfileSOS, ProfileTLC, ProfileQLC}
+}
+
+// ParseProfile maps a profile name ("sos", "tlc", "qlc"; case- and
+// space-insensitive) to its Profile. It is the single parser behind
+// every -profile flag and config file.
+func ParseProfile(s string) (Profile, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "sos":
+		return ProfileSOS, nil
+	case "tlc":
+		return ProfileTLC, nil
+	case "qlc":
+		return ProfileQLC, nil
+	default:
+		return 0, fmt.Errorf("sos: unknown profile %q (want sos, tlc, or qlc)", s)
+	}
+}
+
+// MarshalText renders the profile name, so Profile round-trips through
+// text-based encodings (flag.TextVar, JSON object keys, config files).
+func (p Profile) MarshalText() ([]byte, error) {
+	switch p {
+	case ProfileSOS, ProfileTLC, ProfileQLC:
+		return []byte(p.String()), nil
+	default:
+		return nil, fmt.Errorf("sos: unknown profile %d", int(p))
+	}
+}
+
+// UnmarshalText parses a profile name in place.
+func (p *Profile) UnmarshalText(text []byte) error {
+	parsed, err := ParseProfile(string(text))
+	if err != nil {
+		return err
+	}
+	*p = parsed
+	return nil
+}
+
 // Config assembles a System.
 type Config struct {
 	// Profile selects the device build (default ProfileSOS).
@@ -81,6 +125,16 @@ type Config struct {
 	// TranscodeBeforeDelete shrinks media in place under capacity
 	// pressure before resorting to deletion (§4.5).
 	TranscodeBeforeDelete bool
+	// Observe enables the observability subsystem: a trace ring buffer
+	// and per-operation histograms wired through the device, FTL, and
+	// policy engine. Disabled (the default) the stack carries no
+	// recorder and instrumentation costs one nil check per hook.
+	// Recording never perturbs determinism: runs with and without a
+	// recorder are byte-identical.
+	Observe bool
+	// TraceCap overrides the trace ring capacity in events
+	// (default obs.DefaultTraceCapacity). Only meaningful with Observe.
+	TraceCap int
 }
 
 // System is an assembled SOS (or baseline) stack.
@@ -91,6 +145,10 @@ type System struct {
 	FS         *fs.FS
 	Engine     *core.Engine
 	Classifier classify.Classifier
+	// Obs is the shared observability recorder, nil unless
+	// Config.Observe was set. Prefer Snapshot() for reading telemetry;
+	// the recorder itself is for trace dumps (Obs.Events()).
+	Obs *obs.Recorder
 }
 
 // New builds a System.
@@ -105,19 +163,34 @@ func New(cfg Config) (*System, error) {
 		cfg.Geometry = device.DefaultGeometry()
 	}
 	clock := &sim.Clock{}
+	var rec *obs.Recorder
+	if cfg.Observe {
+		rec = obs.New(obs.Config{TraceCapacity: cfg.TraceCap, Clock: clock})
+	}
 
-	var dev *device.Device
-	var err error
+	// Build the device directly (same parameters as device.NewSOS /
+	// device.NewBaseline) so the recorder threads through every layer.
+	dcfg := device.Config{
+		Geometry:       cfg.Geometry,
+		Clock:          clock,
+		Seed:           cfg.Seed,
+		EnduranceSigma: 0.1,
+		Obs:            rec,
+	}
 	switch cfg.Profile {
 	case ProfileSOS:
-		dev, err = device.NewSOS(cfg.Geometry, cfg.Seed, clock)
+		dcfg.Tech = flash.PLC
+		dcfg.Streams = device.SOSStreams()
 	case ProfileTLC:
-		dev, err = device.NewBaseline(flash.TLC, cfg.Geometry, cfg.Seed, clock)
+		dcfg.Tech = flash.TLC
+		dcfg.Streams = device.BaselineStreams(flash.TLC)
 	case ProfileQLC:
-		dev, err = device.NewBaseline(flash.QLC, cfg.Geometry, cfg.Seed, clock)
+		dcfg.Tech = flash.QLC
+		dcfg.Streams = device.BaselineStreams(flash.QLC)
 	default:
 		return nil, fmt.Errorf("sos: unknown profile %d", int(cfg.Profile))
 	}
+	dev, err := device.New(dcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -148,13 +221,14 @@ func New(cfg Config) (*System, error) {
 		Threshold:             cfg.Threshold,
 		CloudBackup:           cfg.CloudBackup,
 		TranscodeBeforeDelete: cfg.TranscodeBeforeDelete,
+		Obs:                   rec,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &System{
 		Config: cfg, Clock: clock, Device: dev, FS: fsys,
-		Engine: eng, Classifier: cls,
+		Engine: eng, Classifier: cls, Obs: rec,
 	}, nil
 }
 
