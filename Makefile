@@ -24,9 +24,12 @@ verify-race:
 # Crash-and-recovery torture: the power-cut matrix, crash-mid-GC and
 # crash-mid-resuscitation rebuilds, and fault-injection tests, under the
 # race detector at two parallelism levels (reports must be identical).
+# The torture tests run the full backend matrix (ftl + zns subtests);
+# the per-backend rebuild/recovery suites run explicitly as well.
 torture:
 	go test -race ./internal/torture/ ./internal/fault/ -v
 	go test -race ./internal/ftl/ -run 'TestRebuild'
+	go test -race ./internal/zns/ -run 'TestBackendRecover|TestCrash'
 	go test -race -parallel 8 ./internal/torture/
 
 verify-all: verify verify-race torture
@@ -35,12 +38,13 @@ verify-all: verify verify-race torture
 bench-parallel:
 	go test -run '^$$' -bench 'BenchmarkRunAll|BenchmarkE13' -benchtime 1x -short -v .
 
-# Observability smoke: a year-long simulation's Prometheus exposition
-# must pass the repo's own scrape validator end to end.
+# Observability smoke: a simulation's Prometheus exposition must pass
+# the repo's own scrape validator end to end — over both backends.
 obs:
 	@go build -o /tmp/sossim-obs ./cmd/sossim
 	@go build -o /tmp/promcheck-obs ./cmd/promcheck
-	@/tmp/sossim-obs -sim -days 30 -metrics | /tmp/promcheck-obs
+	@/tmp/sossim-obs -sim -days 30 -backend=ftl -metrics | /tmp/promcheck-obs
+	@/tmp/sossim-obs -sim -days 30 -backend=zns -metrics | /tmp/promcheck-obs
 
 # CLI-level determinism check: experiment output must be bit-identical
 # for every -parallel value.

@@ -1,0 +1,126 @@
+package sos_test
+
+import (
+	"bytes"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sos"
+	"sos/internal/storage"
+)
+
+func TestBackendKindRoundTrip(t *testing.T) {
+	kinds := sos.Backends()
+	if len(kinds) != 2 {
+		t.Fatalf("expected 2 backend kinds, got %v", kinds)
+	}
+	for _, k := range kinds {
+		text, err := k.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: MarshalText: %v", k, err)
+		}
+		back, err := storage.ParseKind(string(text))
+		if err != nil || back != k {
+			t.Fatalf("round trip %v -> %q -> %v, %v", k, text, back, err)
+		}
+		var u sos.Backend
+		if err := u.UnmarshalText(text); err != nil || u != k {
+			t.Fatalf("UnmarshalText(%q) = %v, %v", text, u, err)
+		}
+	}
+	for in, want := range map[string]sos.Backend{
+		" FTL ": sos.BackendFTL,
+		"Zns":   sos.BackendZNS,
+	} {
+		if got, err := storage.ParseKind(in); err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := storage.ParseKind("nvme"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := storage.Kind(99).MarshalText(); err == nil {
+		t.Error("unknown kind marshaled")
+	}
+}
+
+// TestFTLImportsConfined enforces the backend abstraction boundary: no
+// package above internal/device may import internal/ftl in non-test
+// code — everything programs against storage.Backend. The device layer
+// is the single factory allowed to name concrete backends.
+func TestFTLImportsConfined(t *testing.T) {
+	allowed := map[string]bool{
+		"internal/ftl":    true, // the package itself
+		"internal/device": true, // the Kind -> backend factory
+	}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if allowed[filepath.Dir(path)] {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if p == "sos/internal/ftl" {
+				t.Errorf("%s imports sos/internal/ftl: use storage.Backend (the device layer is the only allowed factory)", path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackendDeterminismGolden: for each backend, two identical runs
+// must render byte-identical telemetry — the whole stack is
+// deterministic over either translation layer.
+func TestBackendDeterminismGolden(t *testing.T) {
+	for _, kind := range sos.Backends() {
+		t.Run(kind.String(), func(t *testing.T) {
+			run := func() string {
+				sys, err := sos.New(sos.Config{Backend: kind, Seed: 23})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := sys.RunPersonal(15, 0); err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if _, err := sys.Snapshot().WritePrometheus(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.String()
+			}
+			a, b := run(), run()
+			if a != b {
+				t.Fatalf("%v backend diverged between identical runs", kind)
+			}
+			want := fmt.Sprintf("sos_backend_info{backend=%q} 1\n", kind)
+			if !strings.Contains(a, want) {
+				t.Errorf("exposition missing %q", strings.TrimSpace(want))
+			}
+		})
+	}
+}

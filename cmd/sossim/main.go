@@ -40,6 +40,7 @@ func main() {
 		par    = flag.Int("parallel", 1, "worker goroutines for experiments and their trials (0 = all cores)")
 	)
 	flag.TextVar(&opts.Profile, "profile", sos.ProfileSOS, "device profile for -sim: sos|tlc|qlc")
+	flag.TextVar(&opts.Backend, "backend", sos.BackendFTL, "translation layer for -sim: ftl|zns")
 	flag.IntVar(&opts.Days, "days", 365, "simulated days for -sim")
 	flag.Uint64Var(&opts.Seed, "seed", 1, "simulation seed")
 	flag.StringVar(&opts.Record, "record", "", "with -sim: record the workload trace to this file")
@@ -86,6 +87,7 @@ func fail(err error) {
 // simOpts parameterizes one -sim run.
 type simOpts struct {
 	Profile sos.Profile
+	Backend sos.Backend
 	Days    int
 	Seed    uint64
 	Record  string // record the workload trace to this file
@@ -103,6 +105,7 @@ func simulate(opts simOpts) error {
 	}
 	sys, err := sos.New(sos.Config{
 		Profile: opts.Profile,
+		Backend: opts.Backend,
 		Seed:    opts.Seed,
 		Observe: opts.Metrics || opts.TraceFile != "",
 	})
@@ -182,6 +185,7 @@ func simulate(opts simOpts) error {
 	smart := rep.FinalSmart
 	es := rep.EngineStats
 	fmt.Fprintf(out, "profile          %s\n", opts.Profile)
+	fmt.Fprintf(out, "backend          %s\n", smart.Backend)
 	fmt.Fprintf(out, "simulated        %v (%d events, %d skipped reads, %d no-space)\n",
 		rep.Elapsed, rep.Events, rep.SkippedReads, rep.NoSpace)
 	fmt.Fprintf(out, "capacity         %d bytes (page %d B)\n", smart.CapacityBytes, smart.PageSize)

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRun smoke-tests the example end to end: it must complete without
+// error and hit every narrative beat, deterministically.
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"zoned PLC device",
+		"after 1y:",
+		"after 3y:",
+		"host GC:",
+		"after power loss:",
+		"system data intact=true",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	var buf2 bytes.Buffer
+	if err := run(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Fatal("example output not deterministic")
+	}
+}

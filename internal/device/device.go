@@ -10,6 +10,8 @@ import (
 	"sos/internal/ftl"
 	"sos/internal/obs"
 	"sos/internal/sim"
+	"sos/internal/storage"
+	"sos/internal/zns"
 )
 
 // Class is the host's data classification hint attached to each write —
@@ -49,6 +51,15 @@ type Config struct {
 	// Tech is the physical cell technology (default PLC for SOS
 	// devices; baselines override).
 	Tech flash.Tech
+	// Backend selects the translation layer: the device-side
+	// multi-stream FTL (default) or the host-side FTL over a zoned
+	// namespace. Both present the same storage.Backend contract, so the
+	// rest of the stack is unaffected by the choice (§4.3's
+	// streams-or-zones co-design point).
+	Backend storage.Kind
+	// BlocksPerZone groups erase blocks into zones for the zns backend
+	// (default 4; ignored by ftl).
+	BlocksPerZone int
 	// Streams define the partitions. Use SOSStreams / BaselineStreams
 	// helpers. Stream index must correspond to Class values for the
 	// classes the device accepts.
@@ -121,10 +132,9 @@ func BaselineStreams(tech flash.Tech) []ftl.StreamPolicy {
 // Device is a simulated personal storage device.
 type Device struct {
 	chip    *flash.Chip
-	medium  ftl.Flash       // what the FTL sees: the chip, or a fault injector over it
+	medium  storage.Flash   // what the backend sees: the chip, or a fault injector over it
 	inj     *fault.Injector // nil without a fault plan
-	ftl     *ftl.FTL
-	ftlCfg  ftl.Config // stream layout kept for power-cycle remounts
+	backend storage.Backend
 	clock   *sim.Clock
 	latency LatencyProfile
 	obs     *obs.Recorder // nil disables telemetry
@@ -179,20 +189,21 @@ func New(cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, err
 	}
-	var medium ftl.Flash = chip
+	var medium storage.Flash = chip
 	var inj *fault.Injector
 	if cfg.Fault != nil {
 		inj = fault.New(chip, *cfg.Fault)
 		medium = inj
 	}
-	fcfg := ftl.Config{
-		Chip:             medium,
+	be, err := NewBackend(BackendConfig{
+		Kind:             cfg.Backend,
+		Medium:           medium,
 		Streams:          cfg.Streams,
 		OverProvisionPct: cfg.OverProvisionPct,
 		GCLowWater:       cfg.GCLowWater,
+		BlocksPerZone:    cfg.BlocksPerZone,
 		Obs:              cfg.Obs,
-	}
-	f, err := ftl.New(fcfg)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +213,7 @@ func New(cfg Config) (*Device, error) {
 	}
 	d := &Device{
 		chip: chip, medium: medium, inj: inj,
-		ftl: f, ftlCfg: fcfg, clock: clock, latency: lat,
+		backend: be, clock: clock, latency: lat,
 		obs:        cfg.Obs,
 		hardFaults: map[int]int{},
 	}
@@ -210,30 +221,75 @@ func New(cfg Config) (*Device, error) {
 	return d, nil
 }
 
-// wireCapacity forwards FTL capacity changes to the device callback;
-// re-run after every remount, since each rebuild creates a fresh FTL.
+// BackendConfig parameterizes NewBackend: the common shape both
+// translation layers are built from.
+type BackendConfig struct {
+	// Kind selects ftl (device-side streams) or zns (host-side zones).
+	Kind storage.Kind
+	// Medium is the chip or a fault interposer over it.
+	Medium  storage.Flash
+	Streams []storage.StreamPolicy
+	// OverProvisionPct / GCLowWater tune reclamation headroom; the zns
+	// backend interprets them at zone granularity.
+	OverProvisionPct int
+	GCLowWater       int
+	// BlocksPerZone applies to zns only (default 4).
+	BlocksPerZone int
+	Obs           *obs.Recorder
+}
+
+// NewBackend builds a translation layer of the requested kind. This is
+// the only place in the tree that maps storage.Kind to a concrete
+// backend; everything above programs against storage.Backend.
+func NewBackend(cfg BackendConfig) (storage.Backend, error) {
+	switch cfg.Kind {
+	case storage.KindFTL:
+		return ftl.New(ftl.Config{
+			Chip:             cfg.Medium,
+			Streams:          cfg.Streams,
+			OverProvisionPct: cfg.OverProvisionPct,
+			GCLowWater:       cfg.GCLowWater,
+			Obs:              cfg.Obs,
+		})
+	case storage.KindZNS:
+		return zns.NewBackend(zns.BackendConfig{
+			Chip:             cfg.Medium,
+			Streams:          cfg.Streams,
+			BlocksPerZone:    cfg.BlocksPerZone,
+			OverProvisionPct: cfg.OverProvisionPct,
+			GCLowWater:       cfg.GCLowWater,
+			Obs:              cfg.Obs,
+		})
+	}
+	return nil, fmt.Errorf("device: unknown backend kind %v", cfg.Kind)
+}
+
+// wireCapacity forwards backend capacity changes to the device callback;
+// re-run after every remount, since each rebuild creates a fresh backend.
 func (d *Device) wireCapacity() {
-	pageSize := d.ftl.LogicalPageSize()
-	d.ftl.OnCapacityChange = func(pages int) {
+	pageSize := d.backend.LogicalPageSize()
+	d.backend.SetCapacityCallback(func(pages int) {
 		if d.OnCapacityChange != nil {
 			d.OnCapacityChange(int64(pages) * int64(pageSize))
 		}
-	}
+	})
 }
 
-// PowerCycle simulates losing and restoring power: the in-RAM FTL is
-// discarded, the fault injector (if any) is restored, and a fresh FTL
-// is rebuilt from the surviving medium's OOB tags. The device keeps its
-// identity (telemetry counters, callbacks) across the cycle.
+// PowerCycle simulates losing and restoring power: the in-RAM
+// translation state is discarded, the fault injector (if any) is
+// restored, and a fresh backend is rebuilt from the surviving medium's
+// durable state (OOB tags, program cursors, retired-block markers). The
+// device keeps its identity (telemetry counters, callbacks) across the
+// cycle.
 func (d *Device) PowerCycle() error {
 	if d.inj != nil {
 		d.inj.Restore()
 	}
-	f, err := ftl.Recover(d.medium, d.ftlCfg)
+	be, err := d.backend.Recover()
 	if err != nil {
 		return fmt.Errorf("device: power cycle: %w", err)
 	}
-	d.ftl = f
+	d.backend = be
 	d.wireCapacity()
 	d.rebuilds++
 	d.hardFaults = map[int]int{} // fault history does not survive the crash
@@ -271,7 +327,7 @@ func (d *Device) streamFor(c Class) (ftl.StreamID, error) {
 	if c != ClassSys && c != ClassSpare {
 		return 0, ErrBadClass
 	}
-	n := len(d.ftl.Streams())
+	n := len(d.backend.Streams())
 	id := int(c)
 	if id >= n {
 		id = n - 1
@@ -280,19 +336,27 @@ func (d *Device) streamFor(c Class) (ftl.StreamID, error) {
 }
 
 // PageSize returns the logical page size in bytes.
-func (d *Device) PageSize() int { return d.ftl.LogicalPageSize() }
+func (d *Device) PageSize() int { return d.backend.LogicalPageSize() }
 
 // CapacityBytes returns the currently advertised logical capacity. It
 // shrinks under capacity variance (§4.3).
 func (d *Device) CapacityBytes() int64 {
-	return int64(d.ftl.UsablePages()) * int64(d.PageSize())
+	return int64(d.backend.UsablePages()) * int64(d.PageSize())
 }
 
 // Clock returns the device's simulation clock.
 func (d *Device) Clock() *sim.Clock { return d.clock }
 
-// FTL exposes the translation layer for experiments and telemetry.
-func (d *Device) FTL() *ftl.FTL { return d.ftl }
+// Backend exposes the translation layer for experiments and telemetry.
+func (d *Device) Backend() storage.Backend { return d.backend }
+
+// FTL returns the device-side FTL when that backend is mounted, nil
+// otherwise. Stream-FTL-specific tests and experiments use it; code
+// meant to run over either backend goes through Backend.
+func (d *Device) FTL() *ftl.FTL {
+	f, _ := d.backend.(*ftl.FTL)
+	return f
+}
 
 // Chip exposes the raw flash chip for experiments and telemetry. Wear
 // cycling and geometry inspection go here; I/O issued directly to the
@@ -315,10 +379,10 @@ func (d *Device) Write(lba int64, data []byte, dataLen int, c Class) (sim.Time, 
 	if err != nil {
 		return 0, err
 	}
-	if err := d.ftl.Write(lba, data, dataLen, id); err != nil {
+	if err := d.backend.Write(lba, data, dataLen, id); err != nil {
 		return 0, err
 	}
-	pol := d.ftl.Streams()[id]
+	pol := d.backend.Streams()[id]
 	lat := d.latency.ProgramLatency(pol.Mode)
 	d.busy += lat
 	d.writeCount++
@@ -352,7 +416,7 @@ func (d *Device) readLadder(lba int64, rerr error) (ftl.ReadResult, error) {
 	for attempt := 0; attempt < readRetryMax && err != nil && errors.Is(err, flash.ErrReadFault); attempt++ {
 		d.readRetries++
 		d.obs.Record(obs.Event{Kind: obs.EvReadRetry, LBA: lba, Aux: int64(attempt + 1)})
-		res, err = d.ftl.Read(lba)
+		res, err = d.backend.Read(lba)
 	}
 	if err == nil {
 		d.salvagedReads++
@@ -361,7 +425,7 @@ func (d *Device) readLadder(lba int64, rerr error) (ftl.ReadResult, error) {
 	if !errors.Is(err, flash.ErrReadFault) {
 		return ftl.ReadResult{}, err
 	}
-	ppa, stream, dataLen, ok := d.ftl.Locate(lba)
+	ppa, stream, dataLen, ok := d.backend.Locate(lba)
 	if !ok {
 		return ftl.ReadResult{}, err
 	}
@@ -369,20 +433,20 @@ func (d *Device) readLadder(lba int64, rerr error) (ftl.ReadResult, error) {
 	d.hardFaults[ppa.Block]++
 	if d.hardFaults[ppa.Block] >= hardFaultRetireAfter {
 		// Retirement escalation: repeated hard faults condemn the block.
-		if qerr := d.ftl.Quarantine(ppa.Block); qerr == nil {
+		if qerr := d.backend.Quarantine(ppa.Block); qerr == nil {
 			d.quarantined++
 			delete(d.hardFaults, ppa.Block)
 		}
 	}
 	// Move the data off the failing page; for approximate streams an
 	// unreadable source salvages to an accounting-only degraded page.
-	if rerr := d.ftl.Relocate(lba, stream); rerr == nil {
-		if res, err = d.ftl.Read(lba); err == nil {
+	if rerr := d.backend.Relocate(lba, stream); rerr == nil {
+		if res, err = d.backend.Read(lba); err == nil {
 			d.salvagedReads++
 			return res, nil
 		}
 	}
-	pol := d.ftl.Streams()[stream]
+	pol := d.backend.Streams()[stream]
 	if pol.Approximate() {
 		// Degradation is the product: report partial data, never fail.
 		d.salvagedReads++
@@ -394,7 +458,7 @@ func (d *Device) readLadder(lba int64, rerr error) (ftl.ReadResult, error) {
 // Read fetches one logical page. Tolerant reads (SPARE-class data under
 // approximate storage) skip the read-retry ladder.
 func (d *Device) Read(lba int64) (ReadResult, error) {
-	res, err := d.ftl.Read(lba)
+	res, err := d.backend.Read(lba)
 	if err != nil {
 		if !errors.Is(err, flash.ErrReadFault) {
 			return ReadResult{}, err
@@ -403,7 +467,7 @@ func (d *Device) Read(lba int64) (ReadResult, error) {
 			return ReadResult{}, err
 		}
 	}
-	pol := d.ftl.Streams()[res.Stream]
+	pol := d.backend.Streams()[res.Stream]
 	_, tolerant := pol.Scheme.(ecc.None)
 	if _, det := pol.Scheme.(ecc.DetectOnly); det {
 		tolerant = true
@@ -421,7 +485,7 @@ func (d *Device) Read(lba int64) (ReadResult, error) {
 }
 
 // Trim discards a logical page.
-func (d *Device) Trim(lba int64) error { return d.ftl.Trim(lba) }
+func (d *Device) Trim(lba int64) error { return d.backend.Trim(lba) }
 
 // Reclassify moves a logical page to the stream of the given class —
 // the device side of the classifier's periodic review (§4.4).
@@ -430,15 +494,15 @@ func (d *Device) Reclassify(lba int64, c Class) error {
 	if err != nil {
 		return err
 	}
-	if cur, ok := d.ftl.StreamOf(lba); ok && cur == id {
+	if cur, ok := d.backend.StreamOf(lba); ok && cur == id {
 		return nil // already there
 	}
-	return d.ftl.Relocate(lba, id)
+	return d.backend.Relocate(lba, id)
 }
 
 // ClassOf reports the class a mapped page is currently stored under.
 func (d *Device) ClassOf(lba int64) (Class, bool) {
-	id, ok := d.ftl.StreamOf(lba)
+	id, ok := d.backend.StreamOf(lba)
 	if !ok {
 		return 0, false
 	}
@@ -450,11 +514,13 @@ func (d *Device) ClassOf(lba int64) (Class, bool) {
 
 // Scrub runs one degradation-monitor pass with the given move budget.
 func (d *Device) Scrub(maxMoves int) (ftl.ScrubReport, error) {
-	return d.ftl.Scrub(maxMoves)
+	return d.backend.Scrub(maxMoves)
 }
 
 // Smart is SMART-style device telemetry.
 type Smart struct {
+	// Backend names the mounted translation layer ("ftl" or "zns").
+	Backend         string
 	CapacityBytes   int64
 	PageSize        int
 	Reads           int64
@@ -486,7 +552,7 @@ type Smart struct {
 
 // Smart returns a telemetry snapshot.
 func (d *Device) Smart() Smart {
-	st := d.ftl.Stats()
+	st := d.backend.Stats()
 	var sum, max float64
 	var hist [10]int
 	n := 0
@@ -514,6 +580,7 @@ func (d *Device) Smart() Smart {
 		avg = sum / float64(n)
 	}
 	s := Smart{
+		Backend:           d.backend.Name(),
 		CapacityBytes:     d.CapacityBytes(),
 		PageSize:          d.PageSize(),
 		Reads:             d.readCount,
@@ -524,7 +591,7 @@ func (d *Device) Smart() Smart {
 		MaxWearFrac:       max,
 		RetiredBlocks:     st.Retired,
 		Resuscitations:    st.Resuscitated,
-		WriteAmp:          d.ftl.WriteAmplification(),
+		WriteAmp:          d.backend.WriteAmplification(),
 		DegradedReads:     st.DegradedReads,
 		TotalBlocks:       d.chip.Blocks(),
 		PercentLifeUsed:   avg * 100,

@@ -4,11 +4,12 @@ import (
 	"errors"
 	"fmt"
 
+	"sos/internal/device"
 	"sos/internal/ecc"
 	"sos/internal/flash"
-	"sos/internal/ftl"
 	"sos/internal/metrics"
 	"sos/internal/sim"
+	"sos/internal/storage"
 )
 
 func init() {
@@ -16,9 +17,11 @@ func init() {
 	register("E9", "§4.3 [74,76]: capacity variance and pseudo-TLC resuscitation", runE9)
 }
 
-// spareOnlyFTL builds a single-stream PLC FTL with approximate storage
-// and the given wear-leveling/resuscitation settings.
-func spareOnlyFTL(wl bool, resuscitate []int, blocks int, seed uint64) (*ftl.FTL, *sim.Clock, error) {
+// spareOnlyFTL builds a single-stream PLC translation layer with
+// approximate storage and the given wear-leveling/resuscitation
+// settings. The stream-FTL kind keeps E8/E9 results identical to the
+// pre-backend-split runs.
+func spareOnlyFTL(wl bool, resuscitate []int, blocks int, seed uint64) (storage.Backend, *sim.Clock, error) {
 	clock := &sim.Clock{}
 	chip, err := flash.NewChip(flash.ChipConfig{
 		Geometry:       flash.Geometry{PageSize: 512, Spare: 64, PagesPerBlock: 10, Blocks: blocks},
@@ -30,9 +33,10 @@ func spareOnlyFTL(wl bool, resuscitate []int, blocks int, seed uint64) (*ftl.FTL
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := ftl.New(ftl.Config{
-		Chip: chip,
-		Streams: []ftl.StreamPolicy{{
+	f, err := device.NewBackend(device.BackendConfig{
+		Kind:   storage.KindFTL,
+		Medium: chip,
+		Streams: []storage.StreamPolicy{{
 			Name:         "spare",
 			Mode:         flash.NativeMode(flash.PLC),
 			Scheme:       ecc.None{},
@@ -63,7 +67,7 @@ type wearOutResult struct {
 	capacityCurve       metrics.Series
 }
 
-func wearOutRun(f *ftl.FTL, budget int64, seed uint64) (*wearOutResult, error) {
+func wearOutRun(f storage.Backend, budget int64, seed uint64) (*wearOutResult, error) {
 	rng := sim.NewRNG(seed)
 	initial := f.UsablePages()
 	res := &wearOutResult{}
@@ -95,7 +99,7 @@ func wearOutRun(f *ftl.FTL, budget int64, seed uint64) (*wearOutResult, error) {
 			lpa = cold + hot + rng.Int63n(nLPA-cold-hot)
 		}
 		err := f.Write(lpa, nil, 256, 0)
-		if errors.Is(err, ftl.ErrNoSpace) {
+		if errors.Is(err, storage.ErrNoSpace) {
 			break
 		}
 		if err != nil {

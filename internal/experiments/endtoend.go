@@ -159,8 +159,8 @@ func runE14(quick bool) (*Result, error) {
 		return nil, err
 	}
 	t.AddRow("3. device relocation", fmt.Sprintf("file now on %s partition", st.Class))
-	ftlStats := sys.dev.FTL().Stats()
-	t.AddRow("4. FTL telemetry", fmt.Sprintf("gc/relocation moves=%d, host writes=%d", ftlStats.GCMoves, ftlStats.HostWrites))
+	beStats := sys.dev.Backend().Stats()
+	t.AddRow("4. backend telemetry", fmt.Sprintf("gc/relocation moves=%d, host writes=%d", beStats.GCMoves, beStats.HostWrites))
 
 	// Step 4: reads still serve the (possibly degraded) data.
 	res, err := sys.engine.ReadFile(id)

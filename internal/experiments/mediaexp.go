@@ -7,10 +7,10 @@ import (
 	"sos/internal/device"
 	"sos/internal/ecc"
 	"sos/internal/flash"
-	"sos/internal/ftl"
 	"sos/internal/media"
 	"sos/internal/metrics"
 	"sos/internal/sim"
+	"sos/internal/storage"
 )
 
 func init() {
@@ -30,7 +30,7 @@ func mediaDevice(spareScheme ecc.Scheme, seed uint64) (*device.Device, *sim.Cloc
 		Tech:     flash.PLC,
 		Clock:    clock,
 		Seed:     seed,
-		Streams: []ftl.StreamPolicy{
+		Streams: []storage.StreamPolicy{
 			{Name: "sys", Mode: pQLC, Scheme: ecc.MustRSScheme(223, 32), WearLeveling: true},
 			{Name: "spare", Mode: flash.NativeMode(flash.PLC), Scheme: spareScheme},
 		},

@@ -12,8 +12,8 @@ import (
 	"sort"
 
 	"sos/internal/device"
-	"sos/internal/ftl"
 	"sos/internal/sim"
+	"sos/internal/storage"
 )
 
 // Filesystem errors.
@@ -197,7 +197,7 @@ func (f *FS) writePagesOnce(e *fileEntry, payload []byte, size int64, class devi
 			}
 			e.pages = e.pages[:0]
 			e.size = 0
-			if errors.Is(err, ftl.ErrNoSpace) {
+			if errors.Is(err, storage.ErrNoSpace) {
 				return ErrNoSpace
 			}
 			return err
@@ -318,7 +318,7 @@ func (f *FS) Reclassify(id FileID, class device.Class) error {
 	defer f.enter(id)()
 	for _, lba := range e.pages {
 		if err := f.dev.Reclassify(lba, class); err != nil {
-			if errors.Is(err, ftl.ErrNoSpace) {
+			if errors.Is(err, storage.ErrNoSpace) {
 				// Pages moved so far stay in the new stream; the file
 				// remains logically in its old class and a later
 				// review can retry.

@@ -1,51 +1,11 @@
 package ftl
 
 import (
-	"sos/internal/flash"
+	"sos/internal/storage"
 )
 
 // Flash is the chip contract the FTL (and everything above it) programs
-// against. *flash.Chip satisfies it directly; the fault interposer
-// (internal/fault) wraps any Flash in another Flash, so the FTL, device,
-// and experiments run unmodified against real or fault-injected media.
-//
-// The method set is exactly the slice of *flash.Chip the translation
-// layer needs: physical page ops, block lifecycle, OOB tags for
-// rebuilds, and telemetry.
-type Flash interface {
-	// Geometry returns the chip geometry.
-	Geometry() flash.Geometry
-	// Tech returns the physical cell technology.
-	Tech() flash.Tech
-	// Blocks returns the number of erase blocks.
-	Blocks() int
-	// PagesIn returns the page count block b exposes in its current mode.
-	PagesIn(b int) (int, error)
-	// Program writes data (or an accounting-only length) to (b, page).
-	Program(b, page int, data []byte, dataLen int) error
-	// ProgramTagged programs a page and records OOB controller metadata.
-	ProgramTagged(b, page int, data []byte, dataLen int, tag flash.PageTag) error
-	// Tag returns the OOB metadata of a written page, if any.
-	Tag(b, page int) (flash.PageTag, bool, error)
-	// Read returns the page contents with accumulated bit errors.
-	Read(b, page int) (flash.ReadResult, error)
-	// MarkStale marks a page's contents as superseded.
-	MarkStale(b, page int) error
-	// Erase wipes block b, incrementing its wear.
-	Erase(b int) error
-	// SetMode changes the operating mode of a fully-erased block.
-	SetMode(b int, m flash.Mode) error
-	// Retire permanently removes block b from service.
-	Retire(b int) error
-	// Info returns the telemetry snapshot for block b.
-	Info(b int) (flash.BlockInfo, error)
-	// PageRBER returns the modelled RBER a read of (b, page) would see.
-	PageRBER(b, page int) (float64, error)
-	// StateOf returns the state of (b, page).
-	StateOf(b, page int) (flash.PageState, error)
-	// Stats returns cumulative operation counts.
-	Stats() flash.Stats
-}
-
-// The real chip must always satisfy the FTL's contract.
-var _ Flash = (*flash.Chip)(nil)
+// against. It is defined in internal/storage since the Backend
+// extraction — the alias keeps the historical ftl.Flash name working
+// for the fault interposer, device, torture, and experiments.
+type Flash = storage.Flash

@@ -15,102 +15,48 @@ import (
 	"sos/internal/ecc"
 	"sos/internal/flash"
 	"sos/internal/obs"
+	"sos/internal/storage"
 )
 
-// Exported errors.
+// Exported errors. They are the shared storage-package sentinels, so
+// errors.Is tests work identically through either backend.
 var (
-	ErrNoSpace       = errors.New("ftl: out of usable flash space")
-	ErrUnknownLPA    = errors.New("ftl: logical page not mapped")
-	ErrUnknownStream = errors.New("ftl: unknown stream")
-	ErrPayloadSize   = errors.New("ftl: payload exceeds logical page size")
+	ErrNoSpace       = storage.ErrNoSpace
+	ErrUnknownLPA    = storage.ErrUnknownLPA
+	ErrUnknownStream = storage.ErrUnknownStream
+	ErrPayloadSize   = storage.ErrPayloadSize
 )
 
-// StreamID names a stream. Streams are dense small integers.
-type StreamID int
+// The stream, addressing, and telemetry vocabulary moved to
+// internal/storage when the Backend interface was extracted; these
+// aliases keep this package's historical surface intact.
+type (
+	// StreamID names a stream. Streams are dense small integers.
+	StreamID = storage.StreamID
+	// GCPolicy selects the victim-scoring rule for a stream's GC.
+	GCPolicy = storage.GCPolicy
+	// StreamPolicy is the per-stream management contract.
+	StreamPolicy = storage.StreamPolicy
+	// PPA is a physical page address.
+	PPA = storage.PPA
+	// ReadResult is the outcome of a logical read.
+	ReadResult = storage.ReadResult
+	// ScrubReport summarizes one scrub pass.
+	ScrubReport = storage.ScrubReport
+	// Stats is FTL telemetry.
+	Stats = storage.Stats
+)
 
-// GCPolicy selects the victim-scoring rule for a stream's garbage
-// collection.
-type GCPolicy int
-
-// GC policies.
+// GC policies (re-exported).
 const (
-	// GCAuto picks cost-benefit for wear-leveled streams and greedy
-	// otherwise (the paper's implied pairing).
-	GCAuto GCPolicy = iota
-	// GCGreedy picks the block with the most stale pages.
-	GCGreedy
-	// GCCostBenefit weighs reclaimed space against relocation cost and
-	// wear.
-	GCCostBenefit
+	GCAuto        = storage.GCAuto
+	GCGreedy      = storage.GCGreedy
+	GCCostBenefit = storage.GCCostBenefit
 )
-
-func (p GCPolicy) String() string {
-	switch p {
-	case GCAuto:
-		return "auto"
-	case GCGreedy:
-		return "greedy"
-	case GCCostBenefit:
-		return "cost-benefit"
-	default:
-		return fmt.Sprintf("GCPolicy(%d)", int(p))
-	}
-}
-
-// StreamPolicy is the per-stream management contract.
-type StreamPolicy struct {
-	// Name for telemetry ("sys", "spare", ...).
-	Name string
-	// Mode blocks of this stream are operated in.
-	Mode flash.Mode
-	// Scheme protects pages of this stream.
-	Scheme ecc.Scheme
-	// WearLeveling enables min-wear allocation, static wear leveling,
-	// and wear-aware GC for the stream. The paper disables it on SPARE
-	// (§4.3, [73]).
-	WearLeveling bool
-	// GC selects the victim-scoring rule (GCAuto pairs cost-benefit
-	// with wear leveling, greedy without).
-	GC GCPolicy
-	// RetireRBER is the scrub threshold: pages whose modelled RBER
-	// exceeds it are relocated and their block retired or resuscitated.
-	// Zero selects DefaultRetireRBER.
-	RetireRBER float64
-	// Resuscitate lists the bits-per-cell ladder a worn block of this
-	// stream is reborn into (e.g. [3] reincarnates worn PLC blocks as
-	// pseudo-TLC). Empty means worn blocks retire outright.
-	Resuscitate []int
-	// WearRetireFrac is the wear fraction (PEC / rated endurance) at
-	// which blocks leave service at erase time. Zero selects 1.0 — the
-	// conservative policy for protected streams. Approximate streams
-	// set it above 1: SOS deliberately runs SPARE blocks past their
-	// rating, relying on the scrub threshold and hard program/erase
-	// failure handling instead (§4.3).
-	WearRetireFrac float64
-}
-
-// Approximate reports whether the stream stores data under approximate
-// semantics (no correction capability: detect-only or no ECC). Only
-// approximate streams may salvage unreadable pages as reported loss;
-// protected streams must surface hard faults instead.
-func (p *StreamPolicy) Approximate() bool {
-	switch p.Scheme.(type) {
-	case ecc.None, ecc.DetectOnly:
-		return true
-	}
-	return false
-}
 
 // DefaultRetireRBER retires a block when its current-write RBER passes
-// half the end-of-life threshold; beyond that, fresh data on the block
-// is already at risk before retention is added.
-const DefaultRetireRBER = flash.EOLRBER / 2
-
-// PPA is a physical page address.
-type PPA struct {
-	Block int
-	Page  int
-}
+// half the end-of-life threshold.
+const DefaultRetireRBER = storage.DefaultRetireRBER
 
 // blockState tracks FTL-side per-block bookkeeping.
 type blockState struct {
@@ -176,6 +122,10 @@ type FTL struct {
 	// operation that caused it.
 	OnCapacityChange func(usablePages int)
 	capDirty         bool
+
+	// origCfg is the configuration New was called with, kept so
+	// Recover can remount an identical FTL over the surviving medium.
+	origCfg Config
 }
 
 // Config configures an FTL.
@@ -261,6 +211,7 @@ func New(cfg Config) (*FTL, error) {
 		gcLow:     low,
 		reserve:   reserve,
 		logicalSz: geo.PageSize,
+		origCfg:   cfg,
 	}
 	for i := range f.active {
 		f.active[i] = -1
@@ -524,25 +475,6 @@ func (f *FTL) invalidate(ppa PPA) {
 		st.stale++
 	}
 	delete(f.p2l, ppa)
-}
-
-// ReadResult is the outcome of a logical read.
-type ReadResult struct {
-	// Data is the decoded payload; nil for accounting-only pages.
-	// When Degraded is true the payload carries uncorrected errors.
-	Data []byte
-	// DataLen is the logical payload length.
-	DataLen int
-	// Corrected is how many byte corrections ECC applied.
-	Corrected int
-	// Degraded reports that ECC could not fully correct (or, for
-	// detect-only schemes, that corruption was detected). The data is
-	// still returned — approximate storage semantics.
-	Degraded bool
-	// RawFlips is the raw bit error count the medium has accumulated.
-	RawFlips int
-	// Stream the page belongs to.
-	Stream StreamID
 }
 
 // Read fetches lpa, decoding through the stream's ECC scheme.

@@ -485,13 +485,6 @@ func (f *FTL) UsablePages() int {
 	return total
 }
 
-// ScrubReport summarizes one scrub pass.
-type ScrubReport struct {
-	PagesChecked   int
-	PagesRelocated int
-	BlocksFreed    int
-}
-
 // Scrub is the degradation monitor (§4.3): it walks live pages, and any
 // page whose modelled RBER exceeds its stream's retire threshold is
 // relocated (refreshing its charge and crystallizing uncorrectable
@@ -566,27 +559,6 @@ func (f *FTL) Relocate(lpa int64, dst StreamID) error {
 		err = f.relocate(lpa, dst)
 	}
 	return err
-}
-
-// Stats is FTL telemetry.
-type Stats struct {
-	HostWrites    int64
-	FlashPrograms int64
-	GCRuns        int64
-	GCMoves       int64
-	Retired       int64
-	Resuscitated  int64
-	DegradedReads int64
-	ProgFailures  int64
-	StaticWLMoves int64
-	// RelocRetries counts transient read faults retried during
-	// relocation; SalvagedPages/SalvagedBytes report SPARE data the
-	// salvage path crystallized as lost (reported, never silent).
-	RelocRetries  int64
-	SalvagedPages int64
-	SalvagedBytes int64
-	FreeBlocks    int
-	MappedPages   int
 }
 
 // Stats returns a telemetry snapshot.

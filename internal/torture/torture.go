@@ -1,10 +1,12 @@
 // Package torture is the crash-consistency harness: it replays a seeded
 // host workload against a fault-injected flash stack, cuts power at
 // sampled op indices (including inside GC relocation, scrub migration,
-// and erase), rebuilds the FTL from the surviving medium, and verifies
-// the recovery contract:
+// and erase), rebuilds the translation layer from the surviving medium,
+// and verifies the recovery contract. The harness is backend-generic:
+// Config.Backend mounts either the device-side multi-stream FTL or the
+// host-side FTL over zones, and the contract is identical:
 //
-//   - the FTL's internal invariants hold after every rebuild;
+//   - the backend's internal invariants hold after every rebuild;
 //   - every acknowledged SYS write is readable with exactly the newest
 //     acked content (or, after a torn cut, a later-issued write that
 //     persisted without its acknowledgement — a strictly newer value);
@@ -25,16 +27,17 @@ import (
 	"fmt"
 	"sort"
 
+	"sos/internal/device"
 	"sos/internal/ecc"
 	"sos/internal/fault"
 	"sos/internal/flash"
-	"sos/internal/ftl"
 	"sos/internal/parallel"
 	"sos/internal/sim"
+	"sos/internal/storage"
 )
 
-// The injector must remain drop-in flash for the FTL.
-var _ ftl.Flash = (*fault.Injector)(nil)
+// The injector must remain drop-in flash for either backend.
+var _ storage.Flash = (*fault.Injector)(nil)
 
 // Config parameterizes a torture run. The zero value is invalid; use
 // DefaultConfig as a base.
@@ -55,6 +58,8 @@ type Config struct {
 	// blocks) under every trial; its power-cut and seed fields are
 	// overridden per trial.
 	Plan fault.Plan
+	// Backend selects the translation layer under torture (default ftl).
+	Backend storage.Kind
 }
 
 // DefaultConfig returns a torture configuration sized for CI: a small
@@ -69,7 +74,7 @@ type Report struct {
 	TotalChipOps int64
 	// Cuts and TornCuts count executed power-cut trials.
 	Cuts, TornCuts int
-	// Recovered counts trials where ftl.Recover succeeded.
+	// Recovered counts trials where backend recovery succeeded.
 	Recovered int
 	// RecoveryFailures counts trials where remounting the surviving
 	// medium failed — must be zero.
@@ -121,7 +126,7 @@ const (
 type step struct {
 	kind    int
 	lpa     int64
-	stream  ftl.StreamID
+	stream  storage.StreamID
 	dataLen int
 	seq     int64 // payload generation number (write steps)
 }
@@ -130,8 +135,8 @@ type step struct {
 // strongly protected and wear-leveled, SPARE runs native density with
 // detect-only ECC (approximate storage).
 const (
-	sysStream   = ftl.StreamID(0)
-	spareStream = ftl.StreamID(1)
+	sysStream   = storage.StreamID(0)
+	spareStream = storage.StreamID(1)
 )
 
 const (
@@ -209,24 +214,38 @@ func newMedium(seed uint64, clock *sim.Clock) (*flash.Chip, error) {
 	})
 }
 
-// ftlConfig returns the stream layout (Chip is filled per trial).
-func ftlConfig() (ftl.Config, error) {
+// tortureStreams returns the stream layout, mirroring the SOS split.
+func tortureStreams() ([]storage.StreamPolicy, error) {
 	pQLC, err := flash.PseudoMode(flash.PLC, 4)
 	if err != nil {
-		return ftl.Config{}, err
+		return nil, err
 	}
-	return ftl.Config{
-		Streams: []ftl.StreamPolicy{
-			{Name: "sys", Mode: pQLC, Scheme: ecc.MustRSScheme(223, 32), WearLeveling: true},
-			{Name: "spare", Mode: flash.NativeMode(flash.PLC), Scheme: ecc.DetectOnly{}},
-		},
+	return []storage.StreamPolicy{
+		{Name: "sys", Mode: pQLC, Scheme: ecc.MustRSScheme(223, 32), WearLeveling: true},
+		{Name: "spare", Mode: flash.NativeMode(flash.PLC), Scheme: ecc.DetectOnly{}},
 	}, nil
+}
+
+// newBackend mounts the configured translation layer over the medium.
+// The zns variant groups the small chip into two-block zones so the cut
+// matrix exercises zone reclamation and offline transitions.
+func newBackend(kind storage.Kind, medium storage.Flash) (storage.Backend, error) {
+	streams, err := tortureStreams()
+	if err != nil {
+		return nil, err
+	}
+	return device.NewBackend(device.BackendConfig{
+		Kind:          kind,
+		Medium:        medium,
+		Streams:       streams,
+		BlocksPerZone: 2,
+	})
 }
 
 // rec tracks the host's view of one LPA during replay: what was
 // acknowledged before the cut, and what was issued without an ack.
 type rec struct {
-	stream   ftl.StreamID
+	stream   storage.StreamID
 	acct     bool
 	ackedSeq int64 // -1: never acked
 	pendSeq  int64 // -1: none in flight at the cut
@@ -259,7 +278,7 @@ func (t *trialResult) fail(format string, args ...any) {
 // replay drives steps against f until the power cut (or exhaustion),
 // maintaining the acked-state ledger. It returns the ledger and whether
 // a non-power-cut error aborted the run.
-func replay(f *ftl.FTL, inj *fault.Injector, clock *sim.Clock, steps []step) (map[int64]*rec, bool) {
+func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []step) (map[int64]*rec, bool) {
 	recs := map[int64]*rec{}
 	at := func(s step) *rec {
 		r, ok := recs[s.lpa]
@@ -295,12 +314,12 @@ func replay(f *ftl.FTL, inj *fault.Injector, clock *sim.Clock, steps []step) (ma
 			err = f.Trim(s.lpa)
 			if err == nil {
 				at(s).trimmed = true
-			} else if errors.Is(err, ftl.ErrUnknownLPA) {
+			} else if errors.Is(err, storage.ErrUnknownLPA) {
 				err = nil // already trimmed, or never acked before a cut replayed earlier
 			}
 		case kRead:
 			_, err = f.Read(s.lpa)
-			if err != nil && errors.Is(err, ftl.ErrUnknownLPA) {
+			if err != nil && errors.Is(err, storage.ErrUnknownLPA) {
 				err = nil
 			}
 		case kAge:
@@ -323,7 +342,7 @@ func replay(f *ftl.FTL, inj *fault.Injector, clock *sim.Clock, steps []step) (ma
 }
 
 // verify checks the recovery contract for every acked LPA.
-func verify(t *trialResult, f *ftl.FTL, recs map[int64]*rec) {
+func verify(t *trialResult, f storage.Backend, recs map[int64]*rec) {
 	lpas := make([]int64, 0, len(recs))
 	for lpa := range recs {
 		lpas = append(lpas, lpa)
@@ -389,17 +408,10 @@ func runTrial(cfg Config, steps []step, cutOp int64, torn bool) trialResult {
 	plan.TornCut = torn
 	inj := fault.New(chip, plan)
 
-	fcfg, err := ftlConfig()
+	f, err := newBackend(cfg.Backend, inj)
 	if err != nil {
 		t.workloadError = true
-		t.fail("config: %v", err)
-		return t
-	}
-	fcfg.Chip = inj
-	f, err := ftl.New(fcfg)
-	if err != nil {
-		t.workloadError = true
-		t.fail("new ftl: %v", err)
+		t.fail("new backend: %v", err)
 		return t
 	}
 
@@ -412,14 +424,14 @@ func runTrial(cfg Config, steps []step, cutOp int64, torn bool) trialResult {
 
 	// Power restored: remount from the surviving medium alone.
 	inj.Restore()
-	f2, err := ftl.Recover(inj, fcfg)
+	f2, err := f.Recover()
 	if err != nil {
 		t.recoveryFailure = true
 		t.fail("recover after cut at op %d: %v", cutOp, err)
 		return t
 	}
 	t.recovered = true
-	if err := ftl.CheckInvariants(f2); err != nil {
+	if err := f2.CheckInvariants(); err != nil {
 		t.invariantViolation = true
 		t.fail("invariants after cut at op %d: %v", cutOp, err)
 	}
@@ -442,16 +454,11 @@ func Run(cfg Config) (Report, error) {
 		return Report{}, err
 	}
 	dryInj := fault.New(dryChip, fault.Plan{})
-	fcfg, err := ftlConfig()
+	dryBE, err := newBackend(cfg.Backend, dryInj)
 	if err != nil {
 		return Report{}, err
 	}
-	fcfg.Chip = dryInj
-	dryFTL, err := ftl.New(fcfg)
-	if err != nil {
-		return Report{}, err
-	}
-	if _, aborted := replay(dryFTL, dryInj, dryClock, steps); aborted {
+	if _, aborted := replay(dryBE, dryInj, dryClock, steps); aborted {
 		return Report{}, errors.New("torture: dry run aborted; workload does not fit the medium")
 	}
 	total := dryInj.Ops()

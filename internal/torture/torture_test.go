@@ -3,95 +3,118 @@ package torture
 import (
 	"reflect"
 	"testing"
+
+	"sos/internal/storage"
 )
+
+// eachBackend runs fn as a subtest per translation layer: the crash
+// contract is backend-independent.
+func eachBackend(t *testing.T, fn func(t *testing.T, kind storage.Kind)) {
+	for _, kind := range storage.Kinds() {
+		t.Run(kind.String(), func(t *testing.T) { fn(t, kind) })
+	}
+}
 
 // TestCrashMatrix is the headline torture run: power cut at two dozen
 // sampled chip-op indices (clean and torn alternating), rebuild, and
-// full contract verification.
+// full contract verification — over both backends.
 func TestCrashMatrix(t *testing.T) {
-	rep, err := Run(DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep.Cuts == 0 || rep.TotalChipOps == 0 {
-		t.Fatalf("degenerate run: %+v", rep)
-	}
-	if rep.Recovered != rep.Cuts {
-		t.Errorf("recovered %d of %d cuts; failures: %v", rep.Recovered, rep.Cuts, rep.Failures)
-	}
-	if rep.Violations() != 0 {
-		t.Errorf("contract violations: %+v", rep)
-	}
-	if rep.SysLossBytes != 0 {
-		t.Errorf("acked SYS data lost: %d bytes; %v", rep.SysLossBytes, rep.Failures)
-	}
-	if rep.SilentLossBytes != 0 {
-		t.Errorf("silent loss: %d bytes; %v", rep.SilentLossBytes, rep.Failures)
-	}
-	if rep.VerifiedPages == 0 {
-		t.Error("no pages verified — workload never acked anything")
-	}
+	eachBackend(t, func(t *testing.T, kind storage.Kind) {
+		cfg := DefaultConfig()
+		cfg.Backend = kind
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cuts == 0 || rep.TotalChipOps == 0 {
+			t.Fatalf("degenerate run: %+v", rep)
+		}
+		if rep.Recovered != rep.Cuts {
+			t.Errorf("recovered %d of %d cuts; failures: %v", rep.Recovered, rep.Cuts, rep.Failures)
+		}
+		if rep.Violations() != 0 {
+			t.Errorf("contract violations: %+v", rep)
+		}
+		if rep.SysLossBytes != 0 {
+			t.Errorf("acked SYS data lost: %d bytes; %v", rep.SysLossBytes, rep.Failures)
+		}
+		if rep.SilentLossBytes != 0 {
+			t.Errorf("silent loss: %d bytes; %v", rep.SilentLossBytes, rep.Failures)
+		}
+		if rep.VerifiedPages == 0 {
+			t.Error("no pages verified — workload never acked anything")
+		}
+	})
 }
 
 // TestParallelismInvariance requires byte-identical reports at -parallel
 // 1 and 8: trial seeds and cut points are fixed before dispatch, and
 // parallel.Map returns results in trial order.
 func TestParallelismInvariance(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.Ops = 160
-	cfg.Cuts = 10
+	eachBackend(t, func(t *testing.T, kind storage.Kind) {
+		cfg := DefaultConfig()
+		cfg.Backend = kind
+		cfg.Ops = 160
+		cfg.Cuts = 10
 
-	cfg.Parallel = 1
-	serial, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg.Parallel = 8
-	fanned, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(serial, fanned) {
-		t.Fatalf("report depends on parallelism:\nserial: %+v\nfanned: %+v", serial, fanned)
-	}
+		cfg.Parallel = 1
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Parallel = 8
+		fanned, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, fanned) {
+			t.Fatalf("report depends on parallelism:\nserial: %+v\nfanned: %+v", serial, fanned)
+		}
+	})
 }
 
 // TestTortureWithFaultStorm layers probabilistic read faults under the
 // crash matrix: recovery must still hold, with SPARE losses reported.
 func TestTortureWithFaultStorm(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.Ops = 200
-	cfg.Cuts = 8
-	cfg.Plan.ReadFaultProb = 0.002
-	rep, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if rep.Recovered != rep.Cuts {
-		t.Errorf("recovered %d of %d under read storm; %v", rep.Recovered, rep.Cuts, rep.Failures)
-	}
-	if rep.SilentLossBytes != 0 {
-		t.Errorf("read storm caused silent loss: %+v", rep)
-	}
-	if rep.InvariantViolations != 0 {
-		t.Errorf("invariant violations under storm: %v", rep.Failures)
-	}
+	eachBackend(t, func(t *testing.T, kind storage.Kind) {
+		cfg := DefaultConfig()
+		cfg.Backend = kind
+		cfg.Ops = 200
+		cfg.Cuts = 8
+		cfg.Plan.ReadFaultProb = 0.002
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Recovered != rep.Cuts {
+			t.Errorf("recovered %d of %d under read storm; %v", rep.Recovered, rep.Cuts, rep.Failures)
+		}
+		if rep.SilentLossBytes != 0 {
+			t.Errorf("read storm caused silent loss: %+v", rep)
+		}
+		if rep.InvariantViolations != 0 {
+			t.Errorf("invariant violations under storm: %v", rep.Failures)
+		}
+	})
 }
 
 // TestDeterminism pins that two identical runs agree exactly.
 func TestDeterminism(t *testing.T) {
-	cfg := DefaultConfig()
-	cfg.Ops = 120
-	cfg.Cuts = 6
-	a, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(a, b) {
-		t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
-	}
+	eachBackend(t, func(t *testing.T, kind storage.Kind) {
+		cfg := DefaultConfig()
+		cfg.Backend = kind
+		cfg.Ops = 120
+		cfg.Cuts = 6
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("same config diverged:\n%+v\n%+v", a, b)
+		}
+	})
 }

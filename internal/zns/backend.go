@@ -1,0 +1,873 @@
+package zns
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sos/internal/flash"
+	"sos/internal/obs"
+	"sos/internal/storage"
+)
+
+// Backend is a host-side FTL over the zoned device: the paper's other
+// co-design interface (§4.3), where the *host* owns placement. It maps
+// the multi-stream contract onto zones — each stream's policy becomes a
+// zone attribute, writes append to a per-stream open zone, invalidity
+// is tracked host-side (a zoned device has no per-page stale command),
+// and reclamation is zone-granular: live pages are copied out and the
+// zone is reset, going offline at end of life (capacity variance at
+// zone granularity). It implements storage.Backend so the entire stack
+// above internal/device runs unchanged over streams or zones.
+type Backend struct {
+	dev     *Device
+	chip    storage.Flash
+	streams []storage.StreamPolicy
+	attrs   []Attr // zone attribute per stream
+	obs     *obs.Recorder
+	cfg     BackendConfig // as given; Recover remounts from it
+
+	l2p map[int64]zmapping
+	p2l map[zaddr]int64
+
+	owner     []storage.StreamID // per zone: stream that opened it
+	live      []int              // per zone: live page count
+	condemned []bool             // per zone: drain with priority, then force offline
+	active    []int              // per stream: open zone taking appends; -1 none
+	gcLow     int                // empty-zone low water triggering GC
+	reserve   int                // zones held back as relocation headroom
+	logicalSz int
+
+	// Telemetry (the storage.Stats vocabulary at zone granularity).
+	hostWrites    int64
+	flashPrograms int64
+	gcRuns        int64 // zone reclamations
+	gcMoves       int64
+	degradedReads int64
+	progFailures  int64
+	relocRetries  int64
+	salvagedPages int64
+	salvagedBytes int64
+	writeSerial   uint64
+
+	onCapacity func(usablePages int)
+	capDirty   bool
+}
+
+// zaddr is a zone-relative physical address.
+type zaddr struct{ zone, idx int }
+
+// zmapping is the host-side L2P entry.
+type zmapping struct {
+	zone, idx int
+	stream    storage.StreamID
+	dataLen   int
+	// baseFlips carries degradation crystallized across relocations of
+	// accounting-only pages, exactly as in the device-side FTL.
+	baseFlips int
+}
+
+// BackendConfig configures the zoned backend. The field vocabulary
+// matches ftl.Config so the device layer can build either from one
+// shape.
+type BackendConfig struct {
+	// Chip is the medium: a *flash.Chip or any storage.Flash wrapper
+	// around one (e.g. the fault interposer).
+	Chip    storage.Flash
+	Streams []storage.StreamPolicy
+	// BlocksPerZone groups erase blocks into zones (default 4).
+	BlocksPerZone int
+	// OverProvisionPct of zones reserved for GC headroom (default 7).
+	OverProvisionPct int
+	// GCLowWater is the empty-zone count that triggers GC (default
+	// reserve+2).
+	GCLowWater int
+	// Obs, when non-nil, receives trace events; recording only reads
+	// state, so it never perturbs a deterministic run.
+	Obs *obs.Recorder
+}
+
+// relocReadAttempts bounds read retries during relocation, matching the
+// device-side FTL's discipline.
+const relocReadAttempts = 3
+
+// NewBackend builds the host FTL over a fresh zoned device. Stream
+// policies are projected onto the two zone attributes: durable streams
+// (real ECC) share the durable policy, approximate streams (None or
+// DetectOnly) share the approximate one; at most one distinct
+// mode/scheme pair may map to each attribute.
+func NewBackend(cfg BackendConfig) (*Backend, error) {
+	if cfg.Chip == nil {
+		return nil, errors.New("zns: nil chip")
+	}
+	if len(cfg.Streams) == 0 {
+		return nil, errors.New("zns: at least one stream required")
+	}
+	attrs := make([]Attr, len(cfg.Streams))
+	var pol [2]*AttrPolicy
+	var frac [2]float64
+	for i := range cfg.Streams {
+		s := &cfg.Streams[i]
+		if s.Scheme == nil {
+			return nil, fmt.Errorf("zns: stream %d (%s) has no ECC scheme", i, s.Name)
+		}
+		a := Durable
+		if s.Approximate() {
+			a = Approximate
+		}
+		attrs[i] = a
+		if p := pol[a]; p != nil {
+			if p.Mode != s.Mode || p.Scheme.Name() != s.Scheme.Name() {
+				return nil, fmt.Errorf("zns: stream %d (%s) conflicts with another %v stream: one zone policy per attribute", i, s.Name, a)
+			}
+			continue
+		}
+		pol[a] = &AttrPolicy{Mode: s.Mode, Scheme: s.Scheme}
+		frac[a] = s.WearRetireFrac
+	}
+	// A single-attribute workload still needs both device policies.
+	if pol[Durable] == nil {
+		pol[Durable] = pol[Approximate]
+		frac[Durable] = frac[Approximate]
+	}
+	if pol[Approximate] == nil {
+		pol[Approximate] = pol[Durable]
+		frac[Approximate] = frac[Durable]
+	}
+	bpz := cfg.BlocksPerZone
+	if bpz == 0 {
+		bpz = 4
+	}
+	dev, err := New(Config{
+		Chip:              cfg.Chip,
+		BlocksPerZone:     bpz,
+		Durable:           pol[Durable],
+		Approx:            pol[Approximate],
+		DurableRetireFrac: frac[Durable],
+		ApproxRetireFrac:  frac[Approximate],
+	})
+	if err != nil {
+		return nil, err
+	}
+	op := cfg.OverProvisionPct
+	if op == 0 {
+		op = 7
+	}
+	if op < 0 || op >= 50 {
+		return nil, fmt.Errorf("zns: over-provisioning %d%% out of range", op)
+	}
+	nz := dev.Zones()
+	reserve := nz * op / 100
+	if reserve < 1 {
+		reserve = 1
+	}
+	low := cfg.GCLowWater
+	if low < reserve+2 {
+		low = reserve + 2
+	}
+	if low >= nz {
+		return nil, fmt.Errorf("zns: GC low water %d leaves no writable zones of %d", low, nz)
+	}
+	b := &Backend{
+		dev:       dev,
+		chip:      cfg.Chip,
+		streams:   cfg.Streams,
+		attrs:     attrs,
+		obs:       cfg.Obs,
+		cfg:       cfg,
+		l2p:       make(map[int64]zmapping),
+		p2l:       make(map[zaddr]int64),
+		owner:     make([]storage.StreamID, nz),
+		live:      make([]int, nz),
+		condemned: make([]bool, nz),
+		active:    make([]int, len(cfg.Streams)),
+		gcLow:     low,
+		reserve:   reserve,
+		logicalSz: cfg.Chip.Geometry().PageSize,
+	}
+	for i := range b.active {
+		b.active[i] = -1
+	}
+	return b, nil
+}
+
+var _ storage.Backend = (*Backend)(nil)
+
+// Name identifies the backend kind for telemetry and the -backend flag.
+func (b *Backend) Name() string { return "zns" }
+
+// LogicalPageSize returns the payload bytes per logical page.
+func (b *Backend) LogicalPageSize() int { return b.logicalSz }
+
+// Streams returns the configured stream policies.
+func (b *Backend) Streams() []storage.StreamPolicy { return b.streams }
+
+// Device exposes the underlying zoned device (telemetry, tests).
+func (b *Backend) Device() *Device { return b.dev }
+
+// Chip exposes the underlying medium.
+func (b *Backend) Chip() storage.Flash { return b.chip }
+
+// SetCapacityCallback installs the capacity-variance callback.
+func (b *Backend) SetCapacityCallback(fn func(usablePages int)) { b.onCapacity = fn }
+
+func (b *Backend) notifyCapacity() { b.capDirty = true }
+
+// flushCapacity delivers a pending capacity-change notification at the
+// end of the public operation that caused it.
+func (b *Backend) flushCapacity() {
+	if !b.capDirty {
+		return
+	}
+	b.capDirty = false
+	if b.onCapacity != nil {
+		b.onCapacity(b.UsablePages())
+	}
+}
+
+// emptyZones counts zones available for opening.
+func (b *Backend) emptyZones() int {
+	n := 0
+	for z := range b.dev.zones {
+		if b.dev.zones[z].state == ZoneEmpty {
+			n++
+		}
+	}
+	return n
+}
+
+// isActive reports whether z is some stream's append target.
+func (b *Backend) isActive(z int) bool {
+	for _, a := range b.active {
+		if a == z {
+			return true
+		}
+	}
+	return false
+}
+
+// openFor opens the best empty zone for the stream: min-wear for
+// wear-leveled streams, max-wear (keep reusing the hot zones) otherwise
+// — the zone-granular analog of the FTL's allocation policy.
+func (b *Backend) openFor(id storage.StreamID) (int, error) {
+	pol := &b.streams[id]
+	best := -1
+	var bestWear float64
+	for z := range b.dev.zones {
+		if b.dev.zones[z].state != ZoneEmpty {
+			continue
+		}
+		info, err := b.dev.Info(z)
+		if err != nil {
+			return -1, err
+		}
+		if best < 0 ||
+			(pol.WearLeveling && info.MeanWear < bestWear) ||
+			(!pol.WearLeveling && info.MeanWear > bestWear) {
+			best, bestWear = z, info.MeanWear
+		}
+	}
+	if best < 0 {
+		return -1, storage.ErrNoSpace
+	}
+	attr := b.attrs[id]
+	// Opening under a different attribute switches block modes and
+	// therefore the page count the zone offers.
+	if info, err := b.chip.Info(b.dev.zones[best].blocks[0]); err == nil && info.Mode != b.dev.pol[attr].Mode {
+		b.notifyCapacity()
+	}
+	if err := b.dev.Open(best, attr); err != nil {
+		return -1, err
+	}
+	b.owner[best] = id
+	return best, nil
+}
+
+// activeWritable returns the stream's open zone if it still accepts
+// appends (the device seals zones at capacity and on program failure).
+func (b *Backend) activeWritable(id storage.StreamID) (int, error) {
+	z := b.active[id]
+	if z < 0 {
+		return -1, nil
+	}
+	if b.dev.zones[z].state == ZoneOpen {
+		return z, nil
+	}
+	b.active[id] = -1
+	return -1, nil
+}
+
+// writableZone returns an appendable zone for the stream, reclaiming
+// and opening zones as needed. Host opens never drain the reserve.
+func (b *Backend) writableZone(id storage.StreamID) (int, error) {
+	if z, err := b.activeWritable(id); err != nil || z >= 0 {
+		return z, err
+	}
+	for b.emptyZones() <= b.gcLow {
+		prev := b.gcRuns
+		b.runGC(id)
+		if b.gcRuns == prev {
+			break
+		}
+	}
+	// GC relocation may have opened a zone for this stream already.
+	if z, err := b.activeWritable(id); err != nil || z >= 0 {
+		return z, err
+	}
+	if b.emptyZones() <= b.reserve {
+		return -1, storage.ErrNoSpace
+	}
+	z, err := b.openFor(id)
+	if err != nil {
+		return -1, err
+	}
+	b.active[id] = z
+	return z, nil
+}
+
+// relocZone returns an appendable zone for relocation; it may dip into
+// the reserve but never triggers recursive GC.
+func (b *Backend) relocZone(id storage.StreamID) (int, error) {
+	if z, err := b.activeWritable(id); err != nil || z >= 0 {
+		return z, err
+	}
+	z, err := b.openFor(id)
+	if err != nil {
+		return -1, err
+	}
+	b.active[id] = z
+	return z, nil
+}
+
+// Write stores data (length <= LogicalPageSize) at lpa under the given
+// stream. A nil data with dataLen > 0 performs an accounting-only write.
+func (b *Backend) Write(lpa int64, data []byte, dataLen int, id storage.StreamID) error {
+	defer b.flushCapacity()
+	if id < 0 || int(id) >= len(b.streams) {
+		return storage.ErrUnknownStream
+	}
+	if data != nil {
+		dataLen = len(data)
+	}
+	if dataLen <= 0 || dataLen > b.logicalSz {
+		return storage.ErrPayloadSize
+	}
+	b.writeSerial++
+	tag := flash.PageTag{LPA: lpa, Stream: uint8(id), DataLen: int32(dataLen), Serial: b.writeSerial}
+	z, idx, err := b.appendToStream(id, data, dataLen, tag, true)
+	if err != nil {
+		return err
+	}
+	b.hostWrites++
+	b.install(lpa, zmapping{zone: z, idx: idx, stream: id, dataLen: dataLen})
+	return nil
+}
+
+// appendToStream appends one tagged page into the stream's open zone,
+// absorbing program-status failures: the device seals the failed zone
+// early (ErrZoneFull below the capacity we pre-checked) and the append
+// retries on a fresh zone — the zone-granular analog of sealing a
+// failed block.
+func (b *Backend) appendToStream(id storage.StreamID, data []byte, dataLen int, tag flash.PageTag, host bool) (zone, idx int, err error) {
+	const maxAttempts = 4
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		var z int
+		var err error
+		if host {
+			z, err = b.writableZone(id)
+		} else {
+			z, err = b.relocZone(id)
+		}
+		if err != nil {
+			return -1, -1, err
+		}
+		idx, aerr := b.dev.AppendTagged(z, data, dataLen, tag)
+		if aerr == nil {
+			// The device seals the zone when the append hits capacity.
+			if b.dev.zones[z].state != ZoneOpen && b.active[id] == z {
+				b.active[id] = -1
+			}
+			b.flashPrograms++
+			if blk, page, lerr := b.dev.locate(&b.dev.zones[z], idx); lerr == nil {
+				b.obs.Record(obs.Event{Kind: obs.EvProgram, LBA: tag.LPA, Block: blk, Page: page, Stream: int(id), Aux: int64(dataLen)})
+			}
+			return z, idx, nil
+		}
+		if !errors.Is(aerr, ErrZoneFull) {
+			return -1, -1, fmt.Errorf("zns: append zone %d: %w", z, aerr)
+		}
+		b.progFailures++
+		b.active[id] = -1
+	}
+	return -1, -1, fmt.Errorf("zns: %d consecutive program failures: %w", maxAttempts, flash.ErrProgramFail)
+}
+
+// install records a new physical location for lpa, superseding any old
+// one host-side (no on-device stale marking exists; recovery resolves
+// duplicates newest-serial-wins).
+func (b *Backend) install(lpa int64, m zmapping) {
+	if old, ok := b.l2p[lpa]; ok {
+		b.drop(old)
+	}
+	b.l2p[lpa] = m
+	b.p2l[zaddr{m.zone, m.idx}] = lpa
+	b.live[m.zone]++
+}
+
+// drop forgets a superseded physical location.
+func (b *Backend) drop(m zmapping) {
+	delete(b.p2l, zaddr{m.zone, m.idx})
+	b.live[m.zone]--
+}
+
+// Read fetches lpa, decoding through the stream's ECC scheme.
+func (b *Backend) Read(lpa int64) (storage.ReadResult, error) {
+	m, ok := b.l2p[lpa]
+	if !ok {
+		return storage.ReadResult{}, storage.ErrUnknownLPA
+	}
+	pol := &b.streams[m.stream]
+	blk, page, err := b.dev.locate(&b.dev.zones[m.zone], m.idx)
+	if err != nil {
+		return storage.ReadResult{}, err
+	}
+	raw, err := b.chip.Read(blk, page)
+	if err != nil {
+		return storage.ReadResult{}, fmt.Errorf("zns: read zone %d idx %d: %w", m.zone, m.idx, err)
+	}
+	b.obs.Record(obs.Event{Kind: obs.EvRead, LBA: lpa, Block: blk, Page: page, Stream: int(m.stream), Aux: int64(m.dataLen)})
+	res := storage.ReadResult{DataLen: m.dataLen, RawFlips: m.baseFlips + raw.FlippedTotal, Stream: m.stream}
+	if raw.Data == nil {
+		res.Degraded = !pol.Scheme.EstimateDecode(m.baseFlips+raw.FlippedTotal, m.dataLen)
+		if res.Degraded {
+			b.degradedReads++
+		}
+		return res, nil
+	}
+	data, corrected, derr := pol.Scheme.Decode(raw.Data)
+	if len(data) > m.dataLen {
+		data = data[:m.dataLen] // strip alignment padding
+	}
+	res.Data = data
+	res.Corrected = corrected
+	if derr != nil {
+		res.Degraded = true
+		b.degradedReads++
+	}
+	return res, nil
+}
+
+// Trim drops the mapping for lpa (host discard / file delete).
+func (b *Backend) Trim(lpa int64) error {
+	m, ok := b.l2p[lpa]
+	if !ok {
+		return storage.ErrUnknownLPA
+	}
+	b.drop(m)
+	delete(b.l2p, lpa)
+	return nil
+}
+
+// Contains reports whether lpa is mapped.
+func (b *Backend) Contains(lpa int64) bool {
+	_, ok := b.l2p[lpa]
+	return ok
+}
+
+// StreamOf returns the stream a mapped lpa belongs to.
+func (b *Backend) StreamOf(lpa int64) (storage.StreamID, bool) {
+	m, ok := b.l2p[lpa]
+	return m.stream, ok
+}
+
+// Locate reports where a mapped lpa physically lives in chip
+// coordinates, so the device layer's fault ladder works identically
+// over both backends.
+func (b *Backend) Locate(lpa int64) (ppa storage.PPA, stream storage.StreamID, dataLen int, ok bool) {
+	m, found := b.l2p[lpa]
+	if !found {
+		return storage.PPA{}, 0, 0, false
+	}
+	blk, page, err := b.dev.locate(&b.dev.zones[m.zone], m.idx)
+	if err != nil {
+		return storage.PPA{}, 0, 0, false
+	}
+	return storage.PPA{Block: blk, Page: page}, m.stream, m.dataLen, true
+}
+
+// MappedPages returns the number of live logical pages.
+func (b *Backend) MappedPages() int { return len(b.l2p) }
+
+// runGC reclaims stale capacity at zone granularity. Fully-dead zones
+// reset first (no relocation destination needed), then one live victim
+// is drained and reset, preferring the requesting stream's zones.
+func (b *Backend) runGC(prefer storage.StreamID) {
+	startMoves, startRuns := b.gcMoves, b.gcRuns
+	defer func() {
+		if b.gcRuns != startRuns {
+			moves := b.gcMoves - startMoves
+			b.obs.Record(obs.Event{Kind: obs.EvGC, Stream: int(prefer), Aux: moves})
+			b.obs.ObserveGC(int(moves))
+		}
+	}()
+	swept := false
+	for z := range b.dev.zones {
+		zn := &b.dev.zones[z]
+		if zn.state != ZoneFull && zn.state != ZoneOpen {
+			continue
+		}
+		if b.isActive(z) || b.live[z] != 0 {
+			continue
+		}
+		if zn.wp == 0 && zn.state != ZoneFull {
+			continue
+		}
+		if err := b.resetZone(z); err == nil {
+			b.gcRuns++
+			swept = true
+		}
+	}
+	if swept && b.emptyZones() > b.gcLow {
+		return
+	}
+	victim := b.pickVictim(prefer)
+	if victim < 0 {
+		victim = b.pickVictim(-1)
+	}
+	if victim < 0 {
+		return
+	}
+	if err := b.reclaim(victim); err != nil {
+		// A reclaim failure (e.g. destination exhaustion) leaves the
+		// victim as-is; the caller will surface ErrNoSpace.
+		return
+	}
+	b.gcRuns++
+}
+
+// pickVictim chooses the zone with the most reclaimable space among
+// zones owned by stream id (or any if id < 0). Condemned zones drain
+// first. Wear-leveled streams score cost-benefit; others pure greedy —
+// wear deliberately ignored, as for SPARE blocks (§4.3).
+func (b *Backend) pickVictim(id storage.StreamID) int {
+	best := -1
+	bestScore := 0.0
+	for z := range b.dev.zones {
+		zn := &b.dev.zones[z]
+		if zn.state != ZoneFull && zn.state != ZoneOpen {
+			continue
+		}
+		if id >= 0 && b.owner[z] != id {
+			continue
+		}
+		if b.isActive(z) {
+			continue
+		}
+		if b.condemned[z] {
+			return z
+		}
+		stale := zn.wp - b.live[z]
+		if stale <= 0 {
+			continue
+		}
+		pol := &b.streams[b.owner[z]]
+		costBenefit := pol.GC == storage.GCCostBenefit ||
+			(pol.GC == storage.GCAuto && pol.WearLeveling)
+		score := float64(stale)
+		if costBenefit {
+			info, err := b.dev.Info(z)
+			if err != nil {
+				continue
+			}
+			score = float64(stale) / float64(b.live[z]+1) / (1 + info.MeanWear)
+		}
+		if score > bestScore {
+			bestScore = score
+			best = z
+		}
+	}
+	return best
+}
+
+// reclaim drains the victim's live pages in append order and resets it.
+func (b *Backend) reclaim(z int) error {
+	zn := &b.dev.zones[z]
+	for idx := 0; idx < zn.wp; idx++ {
+		lpa, live := b.p2l[zaddr{z, idx}]
+		if !live {
+			continue
+		}
+		if err := b.relocate(lpa, b.l2p[lpa].stream); err != nil {
+			return err
+		}
+	}
+	return b.resetZone(z)
+}
+
+// resetZone resets a drained zone; the device applies wear policy and
+// may take it offline, and condemned zones are forced offline — both
+// are capacity variance, reported via the callback.
+func (b *Backend) resetZone(z int) error {
+	zn := &b.dev.zones[z]
+	if b.live[z] != 0 {
+		return fmt.Errorf("zns: resetting zone %d with %d live pages", z, b.live[z])
+	}
+	id := b.owner[z]
+	forceOffline := b.condemned[z]
+	if err := b.dev.Reset(z); err != nil {
+		return err
+	}
+	for i, a := range b.active {
+		if a == z {
+			b.active[i] = -1
+		}
+	}
+	if zn.state != ZoneOffline && forceOffline {
+		b.dev.goOffline(zn)
+	}
+	b.condemned[z] = false
+	if zn.state == ZoneOffline {
+		b.notifyCapacity()
+		for _, blk := range zn.blocks {
+			b.obs.Record(obs.Event{Kind: obs.EvRetire, Block: blk})
+		}
+		return nil
+	}
+	for _, blk := range zn.blocks {
+		b.obs.Record(obs.Event{Kind: obs.EvErase, Block: blk, Stream: int(id)})
+	}
+	return nil
+}
+
+// relocate rewrites lpa into stream dst (same stream = GC/refresh,
+// different = promotion/demotion), preserving accumulated degradation —
+// corruption crystallizes across moves exactly as in the device FTL.
+func (b *Backend) relocate(lpa int64, dst storage.StreamID) error {
+	m, ok := b.l2p[lpa]
+	if !ok {
+		return storage.ErrUnknownLPA
+	}
+	blk, page, err := b.dev.locate(&b.dev.zones[m.zone], m.idx)
+	if err != nil {
+		return err
+	}
+	raw, rerr := b.chip.Read(blk, page)
+	for attempt := 1; rerr != nil && errors.Is(rerr, flash.ErrReadFault) && attempt < relocReadAttempts; attempt++ {
+		b.relocRetries++
+		raw, rerr = b.chip.Read(blk, page)
+	}
+	if rerr != nil {
+		if !errors.Is(rerr, flash.ErrReadFault) || !b.streams[m.stream].Approximate() {
+			return fmt.Errorf("zns: relocate read %d/%d: %w", blk, page, rerr)
+		}
+		// Approximate salvage: the page moves as accounting-only with
+		// every bit marked suspect, so reads report Degraded (loss is
+		// reported, never silent) and GC never wedges on a dying zone.
+		raw = flash.ReadResult{DataLen: m.dataLen}
+		b.salvagedPages++
+		b.salvagedBytes += int64(m.dataLen)
+		m.baseFlips += m.dataLen * 8
+		b.obs.Record(obs.Event{Kind: obs.EvSalvage, LBA: lpa, Block: blk, Page: page, Stream: int(m.stream), Aux: int64(m.dataLen)})
+	}
+
+	var data []byte
+	baseFlips := m.baseFlips
+	if raw.Data != nil {
+		// Decode with the source scheme to repair what it can; what it
+		// cannot repair crystallizes into the new copy (the device
+		// re-encodes with the destination zone's scheme on append).
+		srcPol := &b.streams[m.stream]
+		d, _, derr := srcPol.Scheme.Decode(raw.Data)
+		if len(d) > m.dataLen {
+			d = d[:m.dataLen]
+		}
+		if derr != nil {
+			b.degradedReads++
+		}
+		data = d
+	} else {
+		baseFlips += raw.FlippedTotal
+	}
+
+	b.writeSerial++
+	tag := flash.PageTag{LPA: lpa, Stream: uint8(dst), DataLen: int32(m.dataLen), Serial: b.writeSerial}
+	z, idx, err := b.appendToStream(dst, data, m.dataLen, tag, false)
+	if err != nil {
+		return err
+	}
+	b.gcMoves++
+	b.install(lpa, zmapping{zone: z, idx: idx, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips})
+	return nil
+}
+
+// Relocate moves a logical page to a different stream. When zones are
+// exhausted it runs GC and retries once.
+func (b *Backend) Relocate(lpa int64, dst storage.StreamID) error {
+	defer b.flushCapacity()
+	if dst < 0 || int(dst) >= len(b.streams) {
+		return storage.ErrUnknownStream
+	}
+	err := b.relocate(lpa, dst)
+	if errors.Is(err, storage.ErrNoSpace) {
+		b.runGC(dst)
+		err = b.relocate(lpa, dst)
+	}
+	return err
+}
+
+// Quarantine condemns the zone containing the given chip block after
+// repeated hard faults observed above the backend: the zone takes no
+// further appends, GC drains its live pages with priority, and it goes
+// offline at reset regardless of wear. An empty condemned zone retires
+// immediately.
+func (b *Backend) Quarantine(blk int) error {
+	defer b.flushCapacity()
+	if blk < 0 || blk >= b.chip.Blocks() {
+		return fmt.Errorf("zns: quarantine block %d: %w", blk, flash.ErrBadAddress)
+	}
+	z := blk / b.dev.perZone
+	if z >= len(b.dev.zones) {
+		return fmt.Errorf("zns: quarantine block %d: %w", blk, flash.ErrBadAddress)
+	}
+	zn := &b.dev.zones[z]
+	if zn.state == ZoneOffline {
+		return nil
+	}
+	b.condemned[z] = true
+	for i, a := range b.active {
+		if a == z {
+			b.active[i] = -1
+		}
+	}
+	if zn.state == ZoneOpen {
+		zn.state = ZoneFull
+	}
+	b.obs.Record(obs.Event{Kind: obs.EvQuarantine, Block: blk, Stream: int(b.owner[z])})
+	if zn.state == ZoneEmpty || b.live[z] == 0 {
+		return b.resetZone(z)
+	}
+	return nil
+}
+
+// Scrub is the degradation monitor (§4.3) at zone granularity: live
+// pages whose modelled RBER exceeds their stream's retire threshold are
+// relocated, and zones fully drained by the pass are reset.
+func (b *Backend) Scrub(maxMoves int) (storage.ScrubReport, error) {
+	defer b.flushCapacity()
+	var rep storage.ScrubReport
+	lpas := make([]int64, 0, len(b.l2p))
+	for lpa := range b.l2p {
+		lpas = append(lpas, lpa)
+	}
+	sort.Slice(lpas, func(i, j int) bool { return lpas[i] < lpas[j] })
+
+	dirty := make([]bool, len(b.dev.zones))
+	for _, lpa := range lpas {
+		m, ok := b.l2p[lpa]
+		if !ok {
+			continue
+		}
+		rep.PagesChecked++
+		blk, page, err := b.dev.locate(&b.dev.zones[m.zone], m.idx)
+		if err != nil {
+			continue
+		}
+		rber, err := b.chip.PageRBER(blk, page)
+		if err != nil {
+			continue
+		}
+		pol := &b.streams[m.stream]
+		threshold := pol.RetireRBER
+		if threshold == 0 {
+			threshold = storage.DefaultRetireRBER
+		}
+		if rber < threshold {
+			continue
+		}
+		if maxMoves > 0 && rep.PagesRelocated >= maxMoves {
+			break
+		}
+		if err := b.relocate(lpa, m.stream); err != nil {
+			return rep, err
+		}
+		dirty[m.zone] = true
+		rep.PagesRelocated++
+	}
+	for z := range b.dev.zones {
+		if !dirty[z] {
+			continue
+		}
+		zn := &b.dev.zones[z]
+		if (zn.state == ZoneFull || zn.state == ZoneOpen) && b.live[z] == 0 && !b.isActive(z) && zn.wp > 0 {
+			if err := b.resetZone(z); err != nil {
+				return rep, err
+			}
+			rep.BlocksFreed += b.dev.perZone
+		}
+	}
+	b.obs.Record(obs.Event{Kind: obs.EvScrub, Aux: int64(rep.PagesRelocated)})
+	b.obs.ObserveScrub(rep.PagesRelocated)
+	return rep, nil
+}
+
+// UsablePages returns the physical pages of non-offline zones in their
+// current modes, minus the reserve — the shrinking capacity the device
+// layer advertises (§4.3 capacity variance).
+func (b *Backend) UsablePages() int {
+	total := 0
+	for z := range b.dev.zones {
+		zn := &b.dev.zones[z]
+		if zn.state == ZoneOffline {
+			continue
+		}
+		for _, blk := range zn.blocks {
+			pages, err := b.chip.PagesIn(blk)
+			if err != nil {
+				continue
+			}
+			total += pages
+		}
+	}
+	total -= b.reserve * b.dev.perZone * b.chip.Geometry().PagesPerBlock
+	if total < 0 {
+		total = 0
+	}
+	return total
+}
+
+// Stats returns a telemetry snapshot in the shared vocabulary: Retired
+// and FreeBlocks count blocks of offline and empty zones, GCRuns counts
+// zone reclamations.
+func (b *Backend) Stats() storage.Stats {
+	offline, empty := 0, 0
+	for z := range b.dev.zones {
+		switch b.dev.zones[z].state {
+		case ZoneOffline:
+			offline++
+		case ZoneEmpty:
+			empty++
+		}
+	}
+	return storage.Stats{
+		HostWrites:    b.hostWrites,
+		FlashPrograms: b.flashPrograms,
+		GCRuns:        b.gcRuns,
+		GCMoves:       b.gcMoves,
+		Retired:       int64(offline * b.dev.perZone),
+		DegradedReads: b.degradedReads,
+		ProgFailures:  b.progFailures,
+		RelocRetries:  b.relocRetries,
+		SalvagedPages: b.salvagedPages,
+		SalvagedBytes: b.salvagedBytes,
+		FreeBlocks:    empty * b.dev.perZone,
+		MappedPages:   len(b.l2p),
+	}
+}
+
+// WriteAmplification returns flash programs per host write.
+func (b *Backend) WriteAmplification() float64 {
+	if b.hostWrites == 0 {
+		return 0
+	}
+	return float64(b.flashPrograms) / float64(b.hostWrites)
+}

@@ -1,0 +1,156 @@
+package zns
+
+import (
+	"errors"
+	"fmt"
+
+	"sos/internal/flash"
+	"sos/internal/storage"
+)
+
+// CheckInvariants validates the backend's structural invariants — the
+// zoned mirror of ftl.CheckInvariants. It is read-only and intended for
+// tests and post-recovery verification (the torture harness); it
+// assumes a quiescent backend, not one mid-crash.
+//
+// Checked:
+//   - l2p and p2l are exact inverses; per-zone live counts match.
+//   - Mapped pages live below their zone's write pointer with
+//     consistent recorded lengths.
+//   - Write-pointer monotonicity: each zone's wp equals the sum of its
+//     blocks' program cursors and never exceeds capacity.
+//   - Empty zones hold no live data and no programmed pages.
+//   - Offline zones hold no live data, their blocks carry the durable
+//     retired marker, and their programmed pages remain readable.
+//   - No online zone contains a retired block.
+//   - Append targets are open zones owned by the right stream.
+func CheckInvariants(b *Backend) error {
+	d := b.dev
+	// Mapping tables are inverses.
+	for lpa, m := range b.l2p {
+		if m.zone < 0 || m.zone >= len(d.zones) {
+			return fmt.Errorf("zns: lpa %d maps to zone %d of %d", lpa, m.zone, len(d.zones))
+		}
+		zn := &d.zones[m.zone]
+		if zn.state != ZoneOpen && zn.state != ZoneFull {
+			return fmt.Errorf("zns: lpa %d lives in %v zone %d", lpa, zn.state, m.zone)
+		}
+		if m.idx < 0 || m.idx >= zn.wp {
+			return fmt.Errorf("zns: lpa %d at zone %d idx %d beyond wp %d", lpa, m.zone, m.idx, zn.wp)
+		}
+		if m.dataLen != zn.lens[m.idx] {
+			return fmt.Errorf("zns: lpa %d length %d disagrees with zone record %d", lpa, m.dataLen, zn.lens[m.idx])
+		}
+		if int(m.stream) < 0 || int(m.stream) >= len(b.streams) {
+			return fmt.Errorf("zns: lpa %d on unknown stream %d", lpa, m.stream)
+		}
+		back, ok := b.p2l[zaddr{m.zone, m.idx}]
+		if !ok || back != lpa {
+			return fmt.Errorf("zns: l2p/p2l disagree at lpa %d (zone %d idx %d)", lpa, m.zone, m.idx)
+		}
+	}
+	for addr, lpa := range b.p2l {
+		m, ok := b.l2p[lpa]
+		if !ok || m.zone != addr.zone || m.idx != addr.idx {
+			return fmt.Errorf("zns: p2l entry zone %d idx %d -> lpa %d has no matching l2p", addr.zone, addr.idx, lpa)
+		}
+	}
+	liveCount := make([]int, len(d.zones))
+	for addr := range b.p2l {
+		liveCount[addr.zone]++
+	}
+	for z := range d.zones {
+		if liveCount[z] != b.live[z] {
+			return fmt.Errorf("zns: zone %d live count %d, mappings say %d", z, b.live[z], liveCount[z])
+		}
+	}
+
+	// Per-zone physical state.
+	for z := range d.zones {
+		zn := &d.zones[z]
+		if zn.state == ZoneOffline {
+			if b.live[z] != 0 {
+				return fmt.Errorf("zns: offline zone %d holds %d live pages", z, b.live[z])
+			}
+			for _, blk := range zn.blocks {
+				info, err := b.chip.Info(blk)
+				if err != nil {
+					return err
+				}
+				if !info.Retired {
+					return fmt.Errorf("zns: offline zone %d block %d not retired on chip", z, blk)
+				}
+				// Offline capacity is lost, not the data path: what was
+				// programmed must stay readable.
+				if info.NextPage > 0 {
+					if _, err := b.chip.Read(blk, 0); err != nil && errors.Is(err, flash.ErrRetired) {
+						return fmt.Errorf("zns: offline zone %d block %d refuses reads: %v", z, blk, err)
+					}
+				}
+			}
+			continue
+		}
+		cursors := 0
+		capacity := 0
+		for _, blk := range zn.blocks {
+			info, err := b.chip.Info(blk)
+			if err != nil {
+				return err
+			}
+			if info.Retired {
+				return fmt.Errorf("zns: %v zone %d contains retired block %d", zn.state, z, blk)
+			}
+			cursors += info.NextPage
+			pages, err := b.chip.PagesIn(blk)
+			if err != nil {
+				return err
+			}
+			capacity += pages
+		}
+		if zn.wp != cursors {
+			return fmt.Errorf("zns: zone %d wp %d disagrees with chip cursors %d", z, zn.wp, cursors)
+		}
+		if zn.wp > capacity {
+			return fmt.Errorf("zns: zone %d wp %d beyond capacity %d", z, zn.wp, capacity)
+		}
+		if len(zn.lens) != zn.wp {
+			return fmt.Errorf("zns: zone %d records %d lengths for wp %d", z, len(zn.lens), zn.wp)
+		}
+		if zn.state == ZoneEmpty {
+			if zn.wp != 0 {
+				return fmt.Errorf("zns: empty zone %d has wp %d", z, zn.wp)
+			}
+			if b.live[z] != 0 {
+				return fmt.Errorf("zns: empty zone %d holds %d live pages", z, b.live[z])
+			}
+		}
+	}
+
+	// Append targets.
+	for id, z := range b.active {
+		if z < 0 {
+			continue
+		}
+		if z >= len(d.zones) {
+			return fmt.Errorf("zns: stream %d active zone %d out of range", id, z)
+		}
+		zn := &d.zones[z]
+		if zn.state != ZoneOpen {
+			return fmt.Errorf("zns: stream %d active zone %d is %v", id, z, zn.state)
+		}
+		if b.owner[z] != storage.StreamID(id) {
+			return fmt.Errorf("zns: stream %d active zone %d owned by stream %d", id, z, b.owner[z])
+		}
+		if zn.attr != b.attrs[id] {
+			return fmt.Errorf("zns: stream %d active zone %d has attribute %v, want %v", id, z, zn.attr, b.attrs[id])
+		}
+		if b.condemned[z] {
+			return fmt.Errorf("zns: stream %d active zone %d is condemned", id, z)
+		}
+	}
+	return nil
+}
+
+// CheckInvariants implements storage.Backend over the package-level
+// checker.
+func (b *Backend) CheckInvariants() error { return CheckInvariants(b) }

@@ -1,0 +1,221 @@
+package zns
+
+import (
+	"sos/internal/obs"
+	"sos/internal/storage"
+)
+
+// Recover remounts a fresh backend over the receiver's (possibly
+// crash-interrupted) medium and rebuilds all host state from what the
+// chip durably holds: write pointers from per-block program cursors,
+// offline zones from retired blocks, and the L2P map from OOB tags with
+// newest-serial-wins — torn appends lose to the previously acked copy.
+func (b *Backend) Recover() (storage.Backend, error) {
+	cfg := b.cfg
+	cfg.Chip = b.chip
+	nb, err := NewBackend(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := nb.rebuild(); err != nil {
+		return nil, err
+	}
+	return nb, nil
+}
+
+// rcand is a rebuild mapping candidate.
+type rcand struct {
+	serial    uint64
+	zone, idx int
+	stream    storage.StreamID
+	dataLen   int
+}
+
+// rebuild reconstructs zone states and the mapping tables by scanning
+// the chip. The zoned analog of ftl.Rebuild.
+func (nb *Backend) rebuild() error {
+	d := nb.dev
+	geo := nb.chip.Geometry()
+	winners := make(map[int64]rcand)
+	zmax := make([]uint64, len(d.zones)) // newest serial seen per zone
+	var maxSerial uint64
+
+	for z := range d.zones {
+		zn := &d.zones[z]
+		// Offline zones are recognised by their retired blocks — the
+		// durable marker goOffline leaves. Retire any stragglers (a
+		// crash can interrupt the marking mid-zone) and skip the scan:
+		// offline zones hold no live data.
+		offline := false
+		for _, blk := range zn.blocks {
+			info, err := nb.chip.Info(blk)
+			if err != nil {
+				return err
+			}
+			if info.Retired {
+				offline = true
+				break
+			}
+		}
+		if offline {
+			d.goOffline(zn)
+			continue
+		}
+		// The write pointer is exactly the sum of the blocks' program
+		// cursors: every acked append advanced both in lockstep. A
+		// cursor gap — a later block programmed while an earlier one is
+		// not full — cannot result from appends; it means power died
+		// mid-reset, after some blocks were erased. Everything in such
+		// a zone was already superseded (zones drain before reset), so
+		// recovery finishes the interrupted reset.
+		wp := 0
+		gap, seenPartial := false, false
+		for _, blk := range zn.blocks {
+			info, err := nb.chip.Info(blk)
+			if err != nil {
+				return err
+			}
+			pages, err := nb.chip.PagesIn(blk)
+			if err != nil {
+				return err
+			}
+			if seenPartial && info.NextPage > 0 {
+				gap = true
+			}
+			if info.NextPage < pages {
+				seenPartial = true
+			}
+			wp += info.NextPage
+		}
+		if gap {
+			zn.state = ZoneFull
+			zn.wp = 0
+			zn.lens = zn.lens[:0]
+			if err := d.Reset(z); err != nil {
+				return err
+			}
+			continue
+		}
+		zn.wp = wp
+		zn.lens = zn.lens[:0]
+		if wp == 0 {
+			zn.state = ZoneEmpty
+			continue
+		}
+		sawStream := storage.StreamID(-1)
+		for idx := 0; idx < wp; idx++ {
+			blk, page, err := d.locate(zn, idx)
+			if err != nil {
+				return err
+			}
+			tag, tagged, err := nb.chip.Tag(blk, page)
+			if err != nil {
+				return err
+			}
+			dataLen := geo.PageSize
+			if tagged {
+				// A page programmed but never acked to the host still
+				// carries its tag; the serial comparison decides whether
+				// it supersedes or loses to an earlier copy.
+				if n := int(tag.DataLen); n > 0 && n <= geo.PageSize {
+					dataLen = n
+				}
+				if int(tag.Stream) < len(nb.streams) {
+					sawStream = storage.StreamID(tag.Stream)
+				}
+				if tag.Serial > zmax[z] {
+					zmax[z] = tag.Serial
+				}
+				if tag.Serial > maxSerial {
+					maxSerial = tag.Serial
+				}
+				if w, ok := winners[tag.LPA]; !ok || tag.Serial > w.serial {
+					winners[tag.LPA] = rcand{
+						serial: tag.Serial, zone: z, idx: idx,
+						stream: storage.StreamID(tag.Stream), dataLen: dataLen,
+					}
+				}
+			}
+			// Untagged written pages are torn garbage; they occupy
+			// write-pointer space until the zone is reclaimed.
+			zn.lens = append(zn.lens, dataLen)
+		}
+		// The zone's attribute: authoritative from the tags' stream,
+		// else inferred from the blocks' persisted operating mode.
+		if sawStream >= 0 {
+			nb.owner[z] = sawStream
+			zn.attr = nb.attrs[sawStream]
+		} else if attr, ok := nb.attrFromMode(zn.blocks[0]); ok {
+			zn.attr = attr
+			nb.owner[z] = nb.streamForAttr(attr)
+		}
+		info, err := d.Info(z)
+		if err != nil {
+			return err
+		}
+		if wp >= info.Capacity {
+			zn.state = ZoneFull
+		} else {
+			zn.state = ZoneOpen
+		}
+	}
+
+	for lpa, w := range winners {
+		nb.l2p[lpa] = zmapping{zone: w.zone, idx: w.idx, stream: w.stream, dataLen: w.dataLen}
+		nb.p2l[zaddr{w.zone, w.idx}] = lpa
+		nb.live[w.zone]++
+	}
+	nb.writeSerial = maxSerial
+
+	// Adopt the most recently written partially-filled zone per stream
+	// as its append target; seal any other partial zones.
+	for id := range nb.streams {
+		best := -1
+		var bestSerial uint64
+		for z := range d.zones {
+			if d.zones[z].state != ZoneOpen || nb.owner[z] != storage.StreamID(id) {
+				continue
+			}
+			if best < 0 || zmax[z] > bestSerial {
+				best, bestSerial = z, zmax[z]
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		nb.active[id] = best
+		for z := range d.zones {
+			if z != best && d.zones[z].state == ZoneOpen && nb.owner[z] == storage.StreamID(id) {
+				d.zones[z].state = ZoneFull
+			}
+		}
+	}
+	nb.obs.Record(obs.Event{Kind: obs.EvRebuild, Aux: int64(len(nb.l2p))})
+	return nil
+}
+
+// attrFromMode infers a zone's attribute from a block's persisted
+// operating mode.
+func (b *Backend) attrFromMode(blk int) (Attr, bool) {
+	info, err := b.chip.Info(blk)
+	if err != nil {
+		return Durable, false
+	}
+	switch {
+	case info.Mode == b.dev.pol[Durable].Mode:
+		return Durable, true
+	case info.Mode == b.dev.pol[Approximate].Mode:
+		return Approximate, true
+	}
+	return Durable, false
+}
+
+// streamForAttr returns the first stream mapped to the attribute.
+func (b *Backend) streamForAttr(a Attr) storage.StreamID {
+	for i, sa := range b.attrs {
+		if sa == a {
+			return storage.StreamID(i)
+		}
+	}
+	return 0
+}

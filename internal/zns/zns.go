@@ -14,6 +14,7 @@ import (
 
 	"sos/internal/ecc"
 	"sos/internal/flash"
+	"sos/internal/storage"
 )
 
 // Zone lifecycle errors.
@@ -83,7 +84,9 @@ type AttrPolicy struct {
 
 // Config builds a zoned device.
 type Config struct {
-	Chip *flash.Chip
+	// Chip is the medium: a *flash.Chip or any storage.Flash wrapper
+	// around one (e.g. the fault interposer).
+	Chip storage.Flash
 	// BlocksPerZone groups erase blocks into zones (default 1).
 	BlocksPerZone int
 	// Durable/Approx policies; zero values select the SOS defaults for
@@ -109,7 +112,7 @@ type zone struct {
 
 // Device is a zoned flash device.
 type Device struct {
-	chip    *flash.Chip
+	chip    storage.Flash
 	zones   []zone
 	perZone int
 	pol     [2]AttrPolicy
@@ -282,6 +285,17 @@ func (d *Device) locate(zn *zone, idx int) (int, int, error) {
 // zone-relative page index. data may be nil with dataLen set
 // (accounting-only).
 func (d *Device) Append(z int, data []byte, dataLen int) (int, error) {
+	return d.appendPage(z, data, dataLen, nil)
+}
+
+// AppendTagged appends like Append and records OOB controller metadata
+// on the page, so a host-side FTL can rebuild its mapping tables after
+// a power loss (see Backend).
+func (d *Device) AppendTagged(z int, data []byte, dataLen int, tag flash.PageTag) (int, error) {
+	return d.appendPage(z, data, dataLen, &tag)
+}
+
+func (d *Device) appendPage(z int, data []byte, dataLen int, tag *flash.PageTag) (int, error) {
 	if z < 0 || z >= len(d.zones) {
 		return 0, ErrBadZone
 	}
@@ -314,13 +328,19 @@ func (d *Device) Append(z int, data []byte, dataLen int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := d.chip.Program(b, page, stored, storedLen); err != nil {
-		if errors.Is(err, flash.ErrProgramFail) {
+	var perr error
+	if tag != nil {
+		perr = d.chip.ProgramTagged(b, page, stored, storedLen, *tag)
+	} else {
+		perr = d.chip.Program(b, page, stored, storedLen)
+	}
+	if perr != nil {
+		if errors.Is(perr, flash.ErrProgramFail) {
 			// Hard failure: the zone finishes early; the host moves on.
 			zn.state = ZoneFull
 			return 0, ErrZoneFull
 		}
-		return 0, err
+		return 0, perr
 	}
 	idx := zn.wp
 	zn.wp++
@@ -408,13 +428,16 @@ func (d *Device) Reset(z int) error {
 	}
 	for _, b := range zn.blocks {
 		if err := d.chip.Erase(b); err != nil {
+			if !errors.Is(err, flash.ErrEraseFail) {
+				// Not a wear signal (e.g. power loss from a fault
+				// interposer): surface it rather than retiring a healthy
+				// zone on a transient condition.
+				return fmt.Errorf("zns: reset zone %d: erase block %d: %w", z, b, err)
+			}
 			// Hard erase failure: the whole zone goes offline. Part of
 			// the zone was already erased, so no contents remain
 			// addressable.
-			zn.state = ZoneOffline
-			zn.wp = 0
-			zn.lens = zn.lens[:0]
-			d.offline++
+			d.goOffline(zn)
 			return nil
 		}
 	}
@@ -427,12 +450,26 @@ func (d *Device) Reset(z int) error {
 		return err
 	}
 	if info.MeanWear >= d.retire[zn.attr] {
-		zn.state = ZoneOffline
-		d.offline++
+		d.goOffline(zn)
 		return nil
 	}
 	zn.state = ZoneEmpty
 	return nil
+}
+
+// goOffline transitions a zone offline and retires its blocks on the
+// chip, so the transition survives power loss: recovery recognises an
+// offline zone by its retired blocks. Retired blocks stay readable, and
+// individual Retire failures are ignored — any retired block marks the
+// zone, and recovery retires the stragglers.
+func (d *Device) goOffline(zn *zone) {
+	zn.state = ZoneOffline
+	zn.wp = 0
+	zn.lens = zn.lens[:0]
+	d.offline++
+	for _, b := range zn.blocks {
+		_ = d.chip.Retire(b)
+	}
 }
 
 // Stats is device telemetry.

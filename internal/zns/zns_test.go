@@ -189,7 +189,7 @@ func TestAttrGovernsDegradation(t *testing.T) {
 	}
 }
 
-func chipOf(d *Device) *flash.Chip { return d.chip }
+func chipOf(d *Device) *flash.Chip { return d.chip.(*flash.Chip) }
 
 func TestResetWearOfflinesZone(t *testing.T) {
 	d, _ := testZNS(t, 4, 1)

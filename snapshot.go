@@ -23,6 +23,7 @@ const SnapshotVersion = 1
 type Snapshot struct {
 	Version int      `json:"version"`
 	Profile Profile  `json:"profile"`
+	Backend string   `json:"backend"`
 	At      sim.Time `json:"at"`
 	Seconds float64  `json:"seconds"`
 
@@ -38,6 +39,7 @@ func (s *System) Snapshot() Snapshot {
 	return Snapshot{
 		Version: SnapshotVersion,
 		Profile: s.Config.Profile,
+		Backend: s.Device.Backend().Name(),
 		At:      s.Clock.Now(),
 		Seconds: s.Clock.Now().Seconds(),
 		Device:  s.Device.Smart(),
@@ -61,6 +63,9 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 // observability is enabled.
 func (s Snapshot) WritePrometheus(w io.Writer) (int64, error) {
 	e := obs.NewExposition()
+
+	// Identity: which translation layer the numbers describe.
+	e.LabeledGauge("sos_backend_info", "Mounted translation layer; value is always 1.", "backend", s.Backend, 1)
 
 	// Device SMART.
 	d := s.Device

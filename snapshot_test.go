@@ -178,33 +178,37 @@ func TestSnapshotWithoutObserve(t *testing.T) {
 
 // TestObserveDoesNotPerturbDeterminism: a run with the recorder enabled
 // must produce byte-identical telemetry to a run without it — recording
-// only reads state.
+// only reads state. The guarantee holds over both translation layers.
 func TestObserveDoesNotPerturbDeterminism(t *testing.T) {
-	run := func(observe bool) (string, error) {
-		sys, err := sos.New(sos.Config{Observe: observe, Seed: 11})
-		if err != nil {
-			return "", err
-		}
-		if _, err := sys.RunPersonal(20, 0); err != nil {
-			return "", err
-		}
-		snap := sys.Snapshot()
-		snap.Obs = nil // the only allowed difference
-		var buf bytes.Buffer
-		if _, err := snap.WritePrometheus(&buf); err != nil {
-			return "", err
-		}
-		return buf.String(), nil
-	}
-	plain, err := run(false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	observed, err := run(true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if plain != observed {
-		t.Fatal("enabling the recorder changed simulation results")
+	for _, kind := range sos.Backends() {
+		t.Run(kind.String(), func(t *testing.T) {
+			run := func(observe bool) (string, error) {
+				sys, err := sos.New(sos.Config{Backend: kind, Observe: observe, Seed: 11})
+				if err != nil {
+					return "", err
+				}
+				if _, err := sys.RunPersonal(20, 0); err != nil {
+					return "", err
+				}
+				snap := sys.Snapshot()
+				snap.Obs = nil // the only allowed difference
+				var buf bytes.Buffer
+				if _, err := snap.WritePrometheus(&buf); err != nil {
+					return "", err
+				}
+				return buf.String(), nil
+			}
+			plain, err := run(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			observed, err := run(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain != observed {
+				t.Fatal("enabling the recorder changed simulation results")
+			}
+		})
 	}
 }

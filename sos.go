@@ -29,8 +29,24 @@ import (
 	"sos/internal/fs"
 	"sos/internal/obs"
 	"sos/internal/sim"
+	"sos/internal/storage"
 	"sos/internal/workload"
 )
+
+// Backend selects the translation layer mounted under the device: the
+// device-side multi-stream FTL (the default) or the host-side FTL over
+// a zoned namespace. Both are §4.3 co-design points and present the
+// same contract; re-exported so callers need not import internals.
+type Backend = storage.Kind
+
+// Backend kinds.
+const (
+	BackendFTL = storage.KindFTL
+	BackendZNS = storage.KindZNS
+)
+
+// Backends returns every backend kind in declaration order.
+func Backends() []Backend { return storage.Kinds() }
 
 // Profile selects a device build.
 type Profile int
@@ -105,6 +121,10 @@ func (p *Profile) UnmarshalText(text []byte) error {
 type Config struct {
 	// Profile selects the device build (default ProfileSOS).
 	Profile Profile
+	// Backend selects the translation layer (default BackendFTL). The
+	// whole stack above the device is backend-agnostic, so every
+	// profile runs over either.
+	Backend Backend
 	// Geometry of the flash chip; the zero value selects a small
 	// simulation-friendly default (64 MiB native).
 	Geometry flash.Geometry
@@ -172,6 +192,7 @@ func New(cfg Config) (*System, error) {
 	// device.NewBaseline) so the recorder threads through every layer.
 	dcfg := device.Config{
 		Geometry:       cfg.Geometry,
+		Backend:        cfg.Backend,
 		Clock:          clock,
 		Seed:           cfg.Seed,
 		EnduranceSigma: 0.1,
