@@ -3,7 +3,7 @@
 # goroutines; the torture tier replays the crash matrix under the race
 # detector. CI (or a pre-merge hand-run) should execute all three.
 
-.PHONY: verify verify-race verify-all torture bench-parallel determinism fmt obs
+.PHONY: verify verify-race verify-all torture bench-parallel bench-smoke bench-json determinism fmt obs
 
 # Formatting gate: fail if any file needs gofmt.
 fmt:
@@ -32,11 +32,25 @@ torture:
 	go test -race ./internal/zns/ -run 'TestBackendRecover|TestCrash'
 	go test -race -parallel 8 ./internal/torture/
 
-verify-all: verify verify-race torture
+verify-all: verify verify-race torture bench-smoke
 
 # Serial vs parallel RunAll wall-clock (quick fidelity under -short).
 bench-parallel:
 	go test -run '^$$' -bench 'BenchmarkRunAll|BenchmarkE13' -benchtime 1x -short -v .
+
+# Bench smoke: every benchmark must still *run* (one iteration, quick
+# fidelity) — catches bit-rotted benchmark code without paying for a
+# real measurement.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x -short .
+
+# Substrate micro-benchmark baseline as JSON (name, ns/op, B/op,
+# allocs/op). Redirect to refresh the committed baseline:
+#
+#	make bench-json > BENCH_PR5.json
+bench-json:
+	@go build -o /tmp/benchjson ./cmd/benchjson
+	@go test -run '^$$' -bench 'BenchmarkRSEncode4K|BenchmarkRSDecode|BenchmarkHammingEncode4K|BenchmarkFlashProgramRead|BenchmarkFTLWrite|BenchmarkFTLRead|BenchmarkFTLRebuild|BenchmarkDeviceWrite|BenchmarkZNSAppend|BenchmarkRecorder' -benchmem . | /tmp/benchjson
 
 # Observability smoke: a simulation's Prometheus exposition must pass
 # the repo's own scrape validator end to end — over both backends.

@@ -228,6 +228,7 @@ func BenchmarkRSEncode4K(b *testing.B) {
 	s := ecc.MustRSScheme(223, 32)
 	data := make([]byte, 4096)
 	b.SetBytes(4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Encode(data); err != nil {
@@ -241,6 +242,7 @@ func BenchmarkRSDecodeClean4K(b *testing.B) {
 	data := make([]byte, 4096)
 	cw, _ := s.Encode(data)
 	b.SetBytes(4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := s.Decode(cw); err != nil {
@@ -255,6 +257,7 @@ func BenchmarkRSDecodeCorrupt4K(b *testing.B) {
 	rng := sim.NewRNG(1)
 	clean, _ := s.Encode(data)
 	b.SetBytes(4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cw := append([]byte(nil), clean...)
@@ -270,6 +273,7 @@ func BenchmarkRSDecodeCorrupt4K(b *testing.B) {
 func BenchmarkHammingEncode4K(b *testing.B) {
 	data := make([]byte, 4096)
 	b.SetBytes(4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ecc.HammingEncode(data)
@@ -277,29 +281,56 @@ func BenchmarkHammingEncode4K(b *testing.B) {
 }
 
 func BenchmarkFlashProgramRead(b *testing.B) {
-	clock := &sim.Clock{}
-	chip, err := flash.NewChip(flash.ChipConfig{
-		Geometry: flash.Geometry{PageSize: 4096, Spare: 1024, PagesPerBlock: 64, Blocks: 64},
-		Tech:     flash.PLC,
-		Clock:    clock,
-		Seed:     1,
-	})
-	if err != nil {
-		b.Fatal(err)
+	mk := func() *flash.Chip {
+		chip, err := flash.NewChip(flash.ChipConfig{
+			Geometry: flash.Geometry{PageSize: 4096, Spare: 1024, PagesPerBlock: 64, Blocks: 64},
+			Tech:     flash.PLC,
+			Clock:    &sim.Clock{},
+			Seed:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return chip
 	}
+	chip := mk()
 	data := make([]byte, 4096)
+	// Explicit cursors (rather than deriving from i) so a worn-out chip
+	// can be renewed untimed and the program sequence restarted at
+	// block 0 page 0 without violating sequential-program order. Every
+	// counted iteration still performs exactly one program + read.
+	blk, page := 0, -1
+	renew := func() {
+		b.StopTimer()
+		chip = mk()
+		blk, page = 0, 0
+		if err := chip.Erase(0); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
 	b.SetBytes(4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		blk := (i / 64) % 64
-		page := i % 64
+		page++
+		if page == 64 {
+			page = 0
+			blk = (blk + 1) % 64
+		}
 		if page == 0 {
 			if err := chip.Erase(blk); err != nil {
-				b.Fatal(err)
+				// At high b.N the PLC cells genuinely wear out; renew
+				// the chip outside the timing.
+				renew()
 			}
 		}
 		if err := chip.Program(blk, page, data, 0); err != nil {
-			b.Fatal(err)
+			// Stochastic program failure near end of life: renew too.
+			renew()
+			if err := chip.Program(blk, page, data, 0); err != nil {
+				b.Fatal(err)
+			}
 		}
 		if _, err := chip.Read(blk, page); err != nil {
 			b.Fatal(err)
@@ -330,21 +361,76 @@ func BenchmarkFTLWrite(b *testing.B) {
 		}
 		return f
 	}
+	// 4000-page working set over ~7600 usable: steady-state GC. The
+	// fill runs before the timer so the measured region never includes
+	// cold-device writes (which skip GC and look artificially cheap).
+	fill := func(f *ftl.FTL) {
+		for lpa := int64(0); lpa < 4000; lpa++ {
+			if err := f.Write(lpa, nil, 4096, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
 	f := mk()
+	fill(f)
 	b.SetBytes(4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		// 4000-page working set over ~7600 usable: steady-state GC.
 		err := f.Write(int64(i%4000), nil, 4096, 0)
 		if errors.Is(err, ftl.ErrNoSpace) {
 			// At high b.N the simulated device genuinely wears out
-			// (PLC endures ~400 cycles); renew it outside the timing.
+			// (PLC endures ~400 cycles); renew and refill it outside
+			// the timing, then retry this iteration's write so every
+			// counted iteration performs exactly one timed write (the
+			// old renewal path skipped the write but still charged the
+			// iteration against SetBytes throughput).
 			b.StopTimer()
 			f = mk()
+			fill(f)
 			b.StartTimer()
-			continue
+			err = f.Write(int64(i%4000), nil, 4096, 0)
 		}
 		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFTLRead measures the steady-state read path: dense L2P
+// lookup, chip read-ring buffer, no ECC decode copy (ecc.None aliases).
+// The zero-alloc contract asserted by TestFTLReadPathZeroAlloc keeps
+// allocs/op pinned at 0 here.
+func BenchmarkFTLRead(b *testing.B) {
+	clock := &sim.Clock{}
+	chip, err := flash.NewChip(flash.ChipConfig{
+		Geometry: flash.Geometry{PageSize: 4096, Spare: 1024, PagesPerBlock: 64, Blocks: 128},
+		Tech:     flash.PLC,
+		Clock:    clock,
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := ftl.New(ftl.Config{
+		Chip: chip,
+		Streams: []ftl.StreamPolicy{{
+			Name: "spare", Mode: flash.NativeMode(flash.PLC), Scheme: ecc.None{},
+		}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for lpa := int64(0); lpa < 4000; lpa++ {
+		if err := f.Write(lpa, nil, 4096, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Read(int64(i % 4000)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -358,6 +444,7 @@ func BenchmarkDeviceWrite(b *testing.B) {
 	}
 	data := make([]byte, 4096)
 	b.SetBytes(4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dev.Write(int64(i%8000), data, 0, device.ClassSys); err != nil {
@@ -391,6 +478,7 @@ func benchDeviceWriteObs(b *testing.B, mkRec func(*sim.Clock) *obs.Recorder) {
 	}
 	data := make([]byte, 4096)
 	b.SetBytes(4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dev.Write(int64(i%8000), data, 0, device.ClassSys); err != nil {
@@ -496,6 +584,7 @@ func BenchmarkZNSAppend(b *testing.B) {
 	data := make([]byte, 4096)
 	zone := -1
 	b.SetBytes(4096)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if zone >= 0 {
@@ -546,6 +635,7 @@ func BenchmarkFTLRebuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := mk()

@@ -1,0 +1,133 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// read from stdin (or files given as arguments) into a stable JSON
+// array, one object per benchmark line: name, iterations, ns/op, and —
+// when -benchmem was set — B/op and allocs/op. Custom metrics reported
+// via b.ReportMetric (MB/s, greedy_WA, ...) land in a "metrics" map.
+//
+// It is the serializer behind `make bench-json`, which commits the
+// repo's performance baseline (BENCH_PR5.json) so perf regressions show
+// up as a diff rather than a vague memory of "it used to be faster".
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson > baseline.json
+//	benchjson bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, decoded.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	flag.Parse()
+	var results []Result
+	if flag.NArg() == 0 {
+		results = parse(os.Stdin)
+	} else {
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, parse(f)...)
+			f.Close()
+		}
+	}
+	if len(results) == 0 {
+		fail(fmt.Errorf("no benchmark lines found"))
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fail(err)
+	}
+}
+
+// parse scans benchmark output for result lines. A line looks like:
+//
+//	BenchmarkFTLWrite-8  123456  65.45 ns/op  971.13 MB/s  0 B/op  0 allocs/op
+//
+// i.e. name, iteration count, then unit-suffixed value pairs.
+func parse(r io.Reader) []Result {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: trimCPUSuffix(fields[0]), Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+				ok = true
+			case "B/op":
+				n := int64(v)
+				res.BytesPerOp = &n
+			case "allocs/op":
+				n := int64(v)
+				res.AllocsPerOp = &n
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	return out
+}
+
+// trimCPUSuffix drops the -GOMAXPROCS suffix so the baseline diffs
+// cleanly across machines with different core counts.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

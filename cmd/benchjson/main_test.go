@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sos
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFTLWrite-8    	18564088	        65.45 ns/op	62584.51 MB/s	       0 B/op	       0 allocs/op
+BenchmarkFTLRead-8     	16725541	        69.52 ns/op	58920.82 MB/s	       0 B/op	       0 allocs/op
+BenchmarkAblationGCPolicy-8 	      37	  31590495 ns/op	         2.051 costbenefit_WA	         2.254 greedy_WA
+BenchmarkNoMem       	     100	      12.5 ns/op
+PASS
+ok  	sos	5.656s
+`
+
+func TestParse(t *testing.T) {
+	rs := parse(strings.NewReader(sample))
+	if len(rs) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(rs))
+	}
+	w := rs[0]
+	if w.Name != "BenchmarkFTLWrite" || w.Iterations != 18564088 || w.NsPerOp != 65.45 {
+		t.Fatalf("first result decoded as %+v", w)
+	}
+	if w.BytesPerOp == nil || *w.BytesPerOp != 0 || w.AllocsPerOp == nil || *w.AllocsPerOp != 0 {
+		t.Fatalf("benchmem fields lost: %+v", w)
+	}
+	if w.Metrics["MB/s"] != 62584.51 {
+		t.Fatalf("MB/s metric lost: %+v", w.Metrics)
+	}
+	gc := rs[2]
+	if gc.Metrics["greedy_WA"] != 2.254 || gc.Metrics["costbenefit_WA"] != 2.051 {
+		t.Fatalf("custom metrics decoded as %+v", gc.Metrics)
+	}
+	if gc.BytesPerOp != nil {
+		t.Fatal("absent benchmem fields must stay null")
+	}
+	plain := rs[3]
+	if plain.Name != "BenchmarkNoMem" || plain.NsPerOp != 12.5 || plain.Metrics != nil {
+		t.Fatalf("plain line decoded as %+v", plain)
+	}
+}
+
+func TestTrimCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFTLWrite-8":   "BenchmarkFTLWrite",
+		"BenchmarkFTLWrite-128": "BenchmarkFTLWrite",
+		"BenchmarkFTLWrite":     "BenchmarkFTLWrite",
+		"BenchmarkE13Parallel4": "BenchmarkE13Parallel4",
+	}
+	for in, want := range cases {
+		if got := trimCPUSuffix(in); got != want {
+			t.Errorf("trimCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -148,7 +148,7 @@ type Device struct {
 	// Read-ladder and recovery telemetry.
 	readRetries   int64
 	salvagedReads int64
-	hardFaults    map[int]int // consecutive-hard-fault count per block
+	hardFaults    []int // consecutive-hard-fault count, indexed by block
 	hardFaultCnt  int64
 	quarantined   int64
 	rebuilds      int64
@@ -215,7 +215,7 @@ func New(cfg Config) (*Device, error) {
 		chip: chip, medium: medium, inj: inj,
 		backend: be, clock: clock, latency: lat,
 		obs:        cfg.Obs,
-		hardFaults: map[int]int{},
+		hardFaults: make([]int, chip.Blocks()),
 	}
 	d.wireCapacity()
 	return d, nil
@@ -292,7 +292,7 @@ func (d *Device) PowerCycle() error {
 	d.backend = be
 	d.wireCapacity()
 	d.rebuilds++
-	d.hardFaults = map[int]int{} // fault history does not survive the crash
+	d.hardFaults = make([]int, d.chip.Blocks()) // fault history does not survive the crash
 	d.obs.Record(obs.Event{Kind: obs.EvPowerCycle, Aux: d.rebuilds})
 	return nil
 }
@@ -435,7 +435,7 @@ func (d *Device) readLadder(lba int64, rerr error) (ftl.ReadResult, error) {
 		// Retirement escalation: repeated hard faults condemn the block.
 		if qerr := d.backend.Quarantine(ppa.Block); qerr == nil {
 			d.quarantined++
-			delete(d.hardFaults, ppa.Block)
+			d.hardFaults[ppa.Block] = 0
 		}
 	}
 	// Move the data off the failing page; for approximate streams an

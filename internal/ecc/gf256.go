@@ -14,6 +14,12 @@ const gfPoly = 0x11d
 var (
 	gfExp [512]byte // exp table doubled to avoid mod-255 in Mul
 	gfLog [256]byte
+
+	// gfMulTab is the full 256x256 product table. Hot loops (RS encode
+	// rows, syndrome accumulation) index a row once per codeword and then
+	// multiply with a single table load per byte, instead of the two
+	// log/exp lookups plus zero-branch in gfMul. 64 KiB, built once.
+	gfMulTab [256][256]byte
 )
 
 func init() {
@@ -28,6 +34,13 @@ func init() {
 	}
 	for i := 255; i < 512; i++ {
 		gfExp[i] = gfExp[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		row := &gfMulTab[a]
+		la := int(gfLog[a])
+		for b := 1; b < 256; b++ {
+			row[b] = gfExp[la+int(gfLog[b])]
+		}
 	}
 }
 

@@ -16,6 +16,10 @@ var ErrUncorrectable = errors.New("ecc: uncorrectable codeword")
 type RS struct {
 	nparity int
 	gen     []byte // generator polynomial, highest-degree first
+	// encRows[f] holds f*gen[1..nparity], the row XORed into the working
+	// buffer when synthetic division eliminates a coefficient with
+	// feedback f. Row 0 is never used (zero feedback is skipped).
+	encRows [256][]byte
 }
 
 // NewRS returns a Reed-Solomon coder with the given number of parity
@@ -29,7 +33,17 @@ func NewRS(nparity int) (*RS, error) {
 	for i := 0; i < nparity; i++ {
 		gen = polyMul(gen, []byte{1, gfExp[i]})
 	}
-	return &RS{nparity: nparity, gen: gen}, nil
+	r := &RS{nparity: nparity, gen: gen}
+	rows := make([]byte, 256*nparity)
+	for f := 1; f < 256; f++ {
+		row := rows[f*nparity : (f+1)*nparity]
+		mul := &gfMulTab[f]
+		for j := 0; j < nparity; j++ {
+			row[j] = mul[gen[j+1]]
+		}
+		r.encRows[f] = row
+	}
+	return r, nil
 }
 
 // ParityBytes returns the per-codeword parity overhead.
@@ -48,32 +62,65 @@ func (r *RS) Encode(data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("ecc: data length %d out of range (1..%d)", len(data), r.MaxData())
 	}
 	cw := make([]byte, len(data)+r.nparity)
+	r.encodeInto(cw, data)
+	return cw, nil
+}
+
+// encodeInto writes the systematic codeword data||parity into cw, which
+// must be exactly len(data)+ParityBytes() bytes. len(data) must be in
+// (0, MaxData] — callers validate. It allocates nothing.
+func (r *RS) encodeInto(cw, data []byte) {
+	np := r.nparity
 	copy(cw, data)
+	tail := cw[len(data):]
+	for i := range tail {
+		tail[i] = 0
+	}
 	// Systematic encoding: parity is the remainder of data * x^nparity
-	// divided by the generator, computed with a shift register.
-	reg := make([]byte, r.nparity)
-	for _, d := range data {
-		feedback := d ^ reg[0]
-		copy(reg, reg[1:])
-		reg[r.nparity-1] = 0
-		if feedback != 0 {
-			for j := 0; j < r.nparity; j++ {
-				// gen[0] is 1; gen[j+1] multiplies feedback.
-				reg[j] ^= gfMul(feedback, r.gen[j+1])
-			}
+	// divided by the generator. Synthetic long division in place:
+	// eliminating coefficient cw[i] (feedback f) XORs f*gen[1..np] into
+	// cw[i+1..i+np]; the last np bytes end up holding the remainder.
+	// No per-byte register shift, no per-byte gfMul — one precomputed
+	// row XOR per nonzero feedback.
+	for i := 0; i < len(data); i++ {
+		f := cw[i]
+		if f == 0 {
+			continue
+		}
+		row := r.encRows[f]
+		dst := cw[i+1:][:np]
+		for j := 0; j < np; j++ {
+			dst[j] ^= row[j]
 		}
 	}
-	copy(cw[len(data):], reg)
-	return cw, nil
+	// The division scrambled the data prefix; restore it. The remainder
+	// (parity tail) is beyond len(data) and untouched by this copy.
+	copy(cw, data)
 }
 
 // syndromes computes the nparity syndromes of the codeword; all-zero
 // syndromes mean no detectable error.
 func (r *RS) syndromes(cw []byte) ([]byte, bool) {
 	syn := make([]byte, r.nparity)
+	// Leading zero coefficients are inert under Horner's rule (the
+	// accumulator stays 0 until the first nonzero byte), so skip them
+	// once for every root; all-zero codewords are clean immediately.
+	first := 0
+	for first < len(cw) && cw[first] == 0 {
+		first++
+	}
+	if first == len(cw) {
+		return syn, true
+	}
 	clean := true
 	for i := 0; i < r.nparity; i++ {
-		s := polyEval(cw, gfExp[i])
+		// Horner's rule with a single row of the product table: for root
+		// x, s = s*x ^ c becomes one load per codeword byte.
+		row := &gfMulTab[gfExp[i]]
+		s := cw[first]
+		for _, c := range cw[first+1:] {
+			s = row[s] ^ c
+		}
 		syn[i] = s
 		if s != 0 {
 			clean = false

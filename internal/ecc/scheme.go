@@ -182,17 +182,19 @@ func (s *RSScheme) Encode(data []byte) ([]byte, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("ecc: empty payload")
 	}
-	var out []byte
+	// One exact-size allocation for the whole stored page; shards encode
+	// directly into their slots. Shard lengths are in (0, dataShard] and
+	// dataShard <= MaxData, so encodeInto's precondition always holds.
+	out := make([]byte, s.Overhead(len(data)))
+	pos := 0
 	for off := 0; off < len(data); off += s.dataShard {
 		end := off + s.dataShard
 		if end > len(data) {
 			end = len(data)
 		}
-		cw, err := s.rs.Encode(data[off:end])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, cw...)
+		n := end - off + s.rs.ParityBytes()
+		s.rs.encodeInto(out[pos:pos+n], data[off:end])
+		pos += n
 	}
 	return out, nil
 }
@@ -201,7 +203,7 @@ func (s *RSScheme) Encode(data []byte) ([]byte, error) {
 // shard fails, so the caller gets maximally repaired data either way.
 func (s *RSScheme) Decode(stored []byte) ([]byte, int, error) {
 	full := s.dataShard + s.rs.ParityBytes()
-	var data []byte
+	data := make([]byte, 0, len(stored))
 	corrected := 0
 	var firstErr error
 	for off := 0; off < len(stored); off += full {

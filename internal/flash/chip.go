@@ -130,6 +130,18 @@ type Chip struct {
 
 	blocks []block
 
+	// bufPool recycles page payload buffers: Program takes from it,
+	// Erase returns the wiped block's buffers to it. Once warm, the
+	// steady-state program path allocates nothing. Per-chip, so the
+	// device layer's per-chip serialization covers it.
+	bufPool [][]byte
+	// readRing is a small rotating set of buffers Read copies payloads
+	// into, so steady-state reads allocate nothing. A returned
+	// ReadResult.Data stays valid only until len(readRing) subsequent
+	// payload reads; callers that retain data longer must copy it.
+	readRing [4][]byte
+	readCur  int
+
 	// Telemetry.
 	programs   int64
 	readsT     int64
@@ -221,6 +233,49 @@ func newBlock(mode Mode, nativePages int, endScale float64) block {
 	}
 }
 
+// getPageBuf returns a payload buffer of length n, reusing a pooled one
+// when available. Buffers are allocated at full raw-page capacity so any
+// pooled buffer fits any payload (Program bounds n by RawPageBytes
+// first). The allocation lives here, not in Program, so the program fast
+// path itself stays make-free once the pool is warm.
+func (c *Chip) getPageBuf(n int) []byte {
+	if last := len(c.bufPool) - 1; last >= 0 {
+		buf := c.bufPool[last]
+		c.bufPool[last] = nil
+		c.bufPool = c.bufPool[:last]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	m := c.geo.RawPageBytes()
+	if m < n {
+		m = n
+	}
+	return make([]byte, n, m)
+}
+
+// putPageBuf returns a payload buffer to the pool.
+func (c *Chip) putPageBuf(buf []byte) {
+	if buf != nil {
+		c.bufPool = append(c.bufPool, buf)
+	}
+}
+
+// readBuf returns the next read-ring buffer resized to n, growing the
+// slot on first use (or if a larger payload ever appears).
+func (c *Chip) readBuf(n int) []byte {
+	i := c.readCur
+	c.readCur = (i + 1) % len(c.readRing)
+	if cap(c.readRing[i]) < n {
+		m := c.geo.RawPageBytes()
+		if m < n {
+			m = n
+		}
+		c.readRing[i] = make([]byte, m)
+	}
+	return c.readRing[i][:n]
+}
+
 // Geometry returns the chip geometry.
 func (c *Chip) Geometry() Geometry { return c.geo }
 
@@ -285,7 +340,7 @@ func (c *Chip) Program(b, page int, data []byte, dataLen int) error {
 		return fmt.Errorf("flash: negative payload length %d", dataLen)
 	}
 	if data != nil {
-		stored := make([]byte, len(data))
+		stored := c.getPageBuf(len(data))
 		copy(stored, data)
 		blk.data[page] = stored
 	} else {
@@ -347,6 +402,10 @@ type ReadResult struct {
 // accumulated. Error injection is cumulative and monotone: once a bit
 // flips it stays flipped until the block is erased (retention and wear
 // failures are persistent charge loss, not transient noise).
+//
+// The returned Data aliases a chip-owned ring buffer that is reused
+// after a few subsequent payload reads (see readRing); callers that
+// retain the payload beyond that must copy it.
 func (c *Chip) Read(b, page int) (ReadResult, error) {
 	blk, err := c.checkAddr(b, page)
 	if err != nil {
@@ -390,7 +449,7 @@ func (c *Chip) Read(b, page int) (ReadResult, error) {
 		RBER:         rber,
 	}
 	if blk.data[page] != nil {
-		out := make([]byte, len(blk.data[page]))
+		out := c.readBuf(len(blk.data[page]))
 		copy(out, blk.data[page])
 		res.Data = out
 	}
@@ -444,6 +503,7 @@ func (c *Chip) Erase(b int) error {
 	blk.nextPage = 0
 	for i := 0; i < blk.pagesAvab; i++ {
 		blk.state[i] = PageErased
+		c.putPageBuf(blk.data[i])
 		blk.data[i] = nil
 		blk.dataLen[i] = 0
 		blk.reads[i] = 0

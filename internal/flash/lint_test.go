@@ -1,0 +1,63 @@
+package flash
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// TestChipFastPathsDoNotAllocate parses chip.go and fails if a
+// make([]byte, ...) expression reappears inside the Chip Program or
+// Read bodies. Those paths draw page buffers from the per-chip freelist
+// and rotating read ring (see DESIGN.md §9); a direct make would
+// silently reintroduce a per-operation allocation that no functional
+// test notices but every benchmark pays for. Allocation belongs in the
+// getPageBuf/putPageBuf/readBuf helpers, whose refill paths are the
+// sanctioned slow path.
+func TestChipFastPathsDoNotAllocate(t *testing.T) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "chip.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guarded := map[string]bool{"Program": true, "Read": true}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv == nil || !guarded[fn.Name.Name] || fn.Body == nil {
+			continue
+		}
+		recv := fn.Recv.List[0].Type
+		if star, ok := recv.(*ast.StarExpr); ok {
+			recv = star.X
+		}
+		if id, ok := recv.(*ast.Ident); !ok || id.Name != "Chip" {
+			continue
+		}
+		delete(guarded, fn.Name.Name)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "make" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			arr, ok := call.Args[0].(*ast.ArrayType)
+			if !ok || arr.Len != nil {
+				return true
+			}
+			if el, ok := arr.Elt.(*ast.Ident); ok && el.Name == "byte" {
+				pos := fset.Position(call.Pos())
+				t.Errorf("Chip.%s allocates a []byte at %s; use the page-buffer pool", fn.Name.Name, pos)
+			}
+			return true
+		})
+	}
+	for name := range guarded {
+		t.Errorf("Chip.%s not found in chip.go; update this lint", name)
+	}
+}

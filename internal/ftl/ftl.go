@@ -25,6 +25,7 @@ var (
 	ErrUnknownLPA    = storage.ErrUnknownLPA
 	ErrUnknownStream = storage.ErrUnknownStream
 	ErrPayloadSize   = storage.ErrPayloadSize
+	ErrBadLPA        = storage.ErrBadLPA
 )
 
 // The stream, addressing, and telemetry vocabulary moved to
@@ -90,8 +91,22 @@ type FTL struct {
 	streams []StreamPolicy
 	obs     *obs.Recorder // nil disables tracing
 
-	l2p map[int64]mapping
-	p2l map[PPA]int64
+	// Dense mapping tables — the hot-path replacement for hash maps.
+	// l2p is indexed directly by LPA (the logical address space is dense
+	// and non-negative: the fs hands out LBAs sequentially) and grows on
+	// demand with amortized doubling; an entry with dataLen == 0 is
+	// unmapped (live mappings always carry dataLen >= 1). p2l is indexed
+	// by block*ppb+page, sized once from the geometry (native mode has
+	// the most pages per block); -1 means no live logical page. mapped
+	// counts live entries.
+	l2p    []mapping
+	p2l    []int64
+	ppb    int // native pages per block: the p2l row stride
+	mapped int
+
+	// scrubDirty is reusable scratch for Scrub's touched-block set, so a
+	// scrub pass allocates no per-call map.
+	scrubDirty []bool
 
 	blocks    []blockState
 	freePool  []int // erased, unallocated block ids
@@ -204,14 +219,17 @@ func New(cfg Config) (*FTL, error) {
 		chip:      cfg.Chip,
 		streams:   cfg.Streams,
 		obs:       cfg.Obs,
-		l2p:       make(map[int64]mapping),
-		p2l:       make(map[PPA]int64),
+		p2l:       make([]int64, cfg.Chip.Blocks()*geo.PagesPerBlock),
+		ppb:       geo.PagesPerBlock,
 		blocks:    make([]blockState, cfg.Chip.Blocks()),
 		active:    make([]int, len(cfg.Streams)),
 		gcLow:     low,
 		reserve:   reserve,
 		logicalSz: geo.PageSize,
 		origCfg:   cfg,
+	}
+	for i := range f.p2l {
+		f.p2l[i] = -1
 	}
 	for i := range f.active {
 		f.active[i] = -1
@@ -237,6 +255,51 @@ func (f *FTL) policy(id StreamID) (*StreamPolicy, error) {
 		return nil, ErrUnknownStream
 	}
 	return &f.streams[id], nil
+}
+
+// pidx converts a physical page address to its p2l table index.
+func (f *FTL) pidx(ppa PPA) int { return ppa.Block*f.ppb + ppa.Page }
+
+// lookup returns the live mapping for lpa, if any.
+func (f *FTL) lookup(lpa int64) (mapping, bool) {
+	if lpa < 0 || lpa >= int64(len(f.l2p)) || f.l2p[lpa].dataLen == 0 {
+		return mapping{}, false
+	}
+	return f.l2p[lpa], true
+}
+
+// setMapping installs lpa -> m (m.dataLen must be >= 1) and the reverse
+// entry, growing l2p on demand.
+func (f *FTL) setMapping(lpa int64, m mapping) {
+	if lpa >= int64(len(f.l2p)) {
+		f.growL2P(lpa)
+	}
+	if f.l2p[lpa].dataLen == 0 {
+		f.mapped++
+	}
+	f.l2p[lpa] = m
+	f.p2l[f.pidx(m.ppa)] = lpa
+}
+
+// growL2P extends the dense table to cover lpa, at least doubling so
+// sequential LBA allocation amortizes to O(1) per write.
+func (f *FTL) growL2P(lpa int64) {
+	n := 2 * int64(len(f.l2p))
+	if n < lpa+1 {
+		n = lpa + 1
+	}
+	grown := make([]mapping, n)
+	copy(grown, f.l2p)
+	f.l2p = grown
+}
+
+// clearMapping drops the l2p entry for lpa (the reverse entry is the
+// caller's business — invalidate handles it).
+func (f *FTL) clearMapping(lpa int64) {
+	if lpa >= 0 && lpa < int64(len(f.l2p)) && f.l2p[lpa].dataLen != 0 {
+		f.l2p[lpa] = mapping{}
+		f.mapped--
+	}
 }
 
 // allocBlock takes a block from the free pool for the stream, honoring
@@ -373,6 +436,9 @@ func (f *FTL) Write(lpa int64, data []byte, dataLen int, id StreamID) error {
 	if err != nil {
 		return err
 	}
+	if lpa < 0 {
+		return ErrBadLPA
+	}
 	if data != nil {
 		dataLen = len(data)
 	}
@@ -396,12 +462,10 @@ func (f *FTL) Write(lpa int64, data []byte, dataLen int, id StreamID) error {
 	f.hostWrites++
 
 	// Supersede the old location.
-	if old, ok := f.l2p[lpa]; ok {
+	if old, ok := f.lookup(lpa); ok {
 		f.invalidate(old.ppa)
 	}
-	ppa := PPA{Block: b, Page: page}
-	f.l2p[lpa] = mapping{ppa: ppa, stream: id, dataLen: dataLen}
-	f.p2l[ppa] = lpa
+	f.setMapping(lpa, mapping{ppa: PPA{Block: b, Page: page}, stream: id, dataLen: dataLen})
 	return nil
 }
 
@@ -474,12 +538,12 @@ func (f *FTL) invalidate(ppa PPA) {
 		st.valid--
 		st.stale++
 	}
-	delete(f.p2l, ppa)
+	f.p2l[f.pidx(ppa)] = -1
 }
 
 // Read fetches lpa, decoding through the stream's ECC scheme.
 func (f *FTL) Read(lpa int64) (ReadResult, error) {
-	m, ok := f.l2p[lpa]
+	m, ok := f.lookup(lpa)
 	if !ok {
 		return ReadResult{}, ErrUnknownLPA
 	}
@@ -514,24 +578,24 @@ func (f *FTL) Read(lpa int64) (ReadResult, error) {
 
 // Trim drops the mapping for lpa (host discard / file delete).
 func (f *FTL) Trim(lpa int64) error {
-	m, ok := f.l2p[lpa]
+	m, ok := f.lookup(lpa)
 	if !ok {
 		return ErrUnknownLPA
 	}
 	f.invalidate(m.ppa)
-	delete(f.l2p, lpa)
+	f.clearMapping(lpa)
 	return nil
 }
 
 // Contains reports whether lpa is mapped.
 func (f *FTL) Contains(lpa int64) bool {
-	_, ok := f.l2p[lpa]
+	_, ok := f.lookup(lpa)
 	return ok
 }
 
 // StreamOf returns the stream a mapped lpa belongs to.
 func (f *FTL) StreamOf(lpa int64) (StreamID, bool) {
-	m, ok := f.l2p[lpa]
+	m, ok := f.lookup(lpa)
 	return m.stream, ok
 }
 
@@ -540,7 +604,7 @@ func (f *FTL) StreamOf(lpa int64) (StreamID, bool) {
 // to escalate repeated hard read faults into block retirement and to
 // salvage what it can of an unreadable page.
 func (f *FTL) Locate(lpa int64) (ppa PPA, stream StreamID, dataLen int, ok bool) {
-	m, found := f.l2p[lpa]
+	m, found := f.lookup(lpa)
 	if !found {
 		return PPA{}, 0, 0, false
 	}
@@ -548,4 +612,4 @@ func (f *FTL) Locate(lpa int64) (ppa PPA, stream StreamID, dataLen int, ok bool)
 }
 
 // MappedPages returns the number of live logical pages.
-func (f *FTL) MappedPages() int { return len(f.l2p) }
+func (f *FTL) MappedPages() int { return f.mapped }

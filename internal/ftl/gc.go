@@ -3,7 +3,6 @@ package ftl
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"sos/internal/flash"
 	"sos/internal/obs"
@@ -175,10 +174,10 @@ func (f *FTL) isActive(b int) bool {
 // and erases the victim back into the free pool.
 func (f *FTL) reclaim(victim int) error {
 	st := &f.blocks[victim]
+	base := victim * f.ppb
 	for page := 0; page < st.fullPages; page++ {
-		ppa := PPA{Block: victim, Page: page}
-		lpa, live := f.p2l[ppa]
-		if !live {
+		lpa := f.p2l[base+page]
+		if lpa < 0 {
 			continue
 		}
 		if err := f.moveLive(lpa); err != nil {
@@ -215,7 +214,7 @@ func (f *FTL) readForRelocate(ppa PPA) (flash.ReadResult, error) {
 // relocate rewrites lpa into stream dst (same stream = GC/refresh move,
 // different stream = classification-driven promotion/demotion, §4.4).
 func (f *FTL) relocate(lpa int64, dst StreamID) error {
-	m, ok := f.l2p[lpa]
+	m, ok := f.lookup(lpa)
 	if !ok {
 		return ErrUnknownLPA
 	}
@@ -268,9 +267,7 @@ func (f *FTL) relocate(lpa int64, dst StreamID) error {
 	f.gcMoves++
 
 	f.invalidate(m.ppa)
-	ppa := PPA{Block: b, Page: page}
-	f.l2p[lpa] = mapping{ppa: ppa, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips}
-	f.p2l[ppa] = lpa
+	f.setMapping(lpa, mapping{ppa: PPA{Block: b, Page: page}, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips})
 	return nil
 }
 
@@ -494,16 +491,24 @@ func (f *FTL) UsablePages() int {
 func (f *FTL) Scrub(maxMoves int) (ScrubReport, error) {
 	defer f.flushCapacity()
 	var rep ScrubReport
-	// Snapshot LPAs: relocation mutates the map.
-	lpas := make([]int64, 0, len(f.l2p))
-	for lpa := range f.l2p {
-		lpas = append(lpas, lpa)
+	// Walk the dense table in LPA order. No snapshot is needed:
+	// relocation rewrites existing entries in place and never maps new
+	// LPAs, so ascending iteration visits exactly the pages that were
+	// live when the pass started (matching the old sorted-snapshot
+	// order). The touched-block set is reusable scratch, not a per-call
+	// map.
+	if len(f.scrubDirty) < len(f.blocks) {
+		f.scrubDirty = make([]bool, len(f.blocks))
+	} else {
+		// Clear on entry rather than exit: an error return mid-pass must
+		// not leak dirty bits into the next pass.
+		for i := range f.scrubDirty {
+			f.scrubDirty[i] = false
+		}
 	}
-	sort.Slice(lpas, func(i, j int) bool { return lpas[i] < lpas[j] })
-
-	dirty := map[int]bool{}
-	for _, lpa := range lpas {
-		m, ok := f.l2p[lpa]
+	dirty := f.scrubDirty
+	for lpa := int64(0); lpa < int64(len(f.l2p)); lpa++ {
+		m, ok := f.lookup(lpa)
 		if !ok {
 			continue
 		}
@@ -529,8 +534,13 @@ func (f *FTL) Scrub(maxMoves int) (ScrubReport, error) {
 		dirty[m.ppa.Block] = true
 		rep.PagesRelocated++
 	}
-	// Erase blocks fully drained by the scrub.
+	// Erase blocks fully drained by the scrub (block order,
+	// deterministic — the old map iteration was only incidentally
+	// unordered).
 	for b := range dirty {
+		if !dirty[b] {
+			continue
+		}
 		st := &f.blocks[b]
 		if st.allocated && st.valid == 0 && !f.isActive(b) {
 			if err := f.eraseAndFree(b); err != nil {
@@ -577,7 +587,7 @@ func (f *FTL) Stats() Stats {
 		SalvagedPages: f.salvagedPages,
 		SalvagedBytes: f.salvagedBytes,
 		FreeBlocks:    len(f.freePool),
-		MappedPages:   len(f.l2p),
+		MappedPages:   f.mapped,
 	}
 }
 

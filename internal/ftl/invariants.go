@@ -14,19 +14,38 @@ import (
 //     blocks, with no duplicates;
 //   - per-block stale counts never exceed the programmed page count.
 func CheckInvariants(f *FTL) error {
-	if len(f.l2p) != len(f.p2l) {
-		return fmt.Errorf("ftl: l2p has %d entries, p2l has %d", len(f.l2p), len(f.p2l))
-	}
-	perBlock := map[int]int{}
-	for lpa, m := range f.l2p {
-		back, ok := f.p2l[m.ppa]
-		if !ok {
-			return fmt.Errorf("ftl: lpa %d -> %v missing reverse mapping", lpa, m.ppa)
+	live := 0
+	perBlock := make([]int, len(f.blocks))
+	for lpa := int64(0); lpa < int64(len(f.l2p)); lpa++ {
+		m := f.l2p[lpa]
+		if m.dataLen == 0 {
+			continue
 		}
-		if back != lpa {
+		live++
+		idx := f.pidx(m.ppa)
+		if idx < 0 || idx >= len(f.p2l) {
+			return fmt.Errorf("ftl: lpa %d -> %v outside the physical address space", lpa, m.ppa)
+		}
+		if back := f.p2l[idx]; back != lpa {
 			return fmt.Errorf("ftl: lpa %d -> %v -> %d", lpa, m.ppa, back)
 		}
 		perBlock[m.ppa.Block]++
+	}
+	if live != f.mapped {
+		return fmt.Errorf("ftl: mapped count %d but %d live l2p entries", f.mapped, live)
+	}
+	reverse := 0
+	for idx, lpa := range f.p2l {
+		if lpa < 0 {
+			continue
+		}
+		reverse++
+		if lpa >= int64(len(f.l2p)) || f.l2p[lpa].dataLen == 0 {
+			return fmt.Errorf("ftl: p2l entry %d -> lpa %d has no live forward mapping", idx, lpa)
+		}
+	}
+	if reverse != live {
+		return fmt.Errorf("ftl: l2p has %d live entries, p2l has %d", live, reverse)
 	}
 	for b := range f.blocks {
 		st := &f.blocks[b]

@@ -45,14 +45,17 @@ func Recover(chip Flash, cfg Config) (*FTL, error) {
 //     resuscitation ladder positions are forgotten (a sealed block will
 //     simply fail again and be resealed).
 func (f *FTL) Rebuild() error {
-	if len(f.l2p) != 0 || f.hostWrites != 0 {
+	if f.mapped != 0 || f.hostWrites != 0 {
 		return ErrNotFresh
 	}
 	type winner struct {
 		ppa PPA
 		tag flash.PageTag
 	}
-	best := make(map[int64]winner)
+	// best is a dense election table indexed by LPA, grown like l2p;
+	// Serial == 0 marks an empty slot (live tags always carry
+	// Serial >= 1, since the write serial pre-increments from zero).
+	var best []winner
 	var losers []PPA
 
 	// Pass 1: scan every written page, electing the newest copy per LPA.
@@ -101,8 +104,17 @@ func (f *FTL) Rebuild() error {
 			if tag.Serial > maxSerial {
 				maxSerial = tag.Serial
 			}
-			if w, dup := best[tag.LPA]; !dup || tag.Serial > w.tag.Serial {
-				if dup {
+			if tag.LPA >= int64(len(best)) {
+				n := 2 * int64(len(best))
+				if n < tag.LPA+1 {
+					n = tag.LPA + 1
+				}
+				grown := make([]winner, n)
+				copy(grown, best)
+				best = grown
+			}
+			if w := best[tag.LPA]; w.tag.Serial == 0 || tag.Serial > w.tag.Serial {
+				if w.tag.Serial != 0 {
 					losers = append(losers, w.ppa)
 				}
 				best[tag.LPA] = winner{ppa: ppa, tag: tag}
@@ -113,13 +125,16 @@ func (f *FTL) Rebuild() error {
 	}
 
 	// Pass 2: install winners, mark losers stale.
-	for lpa, w := range best {
-		f.l2p[lpa] = mapping{
+	for lpa := int64(0); lpa < int64(len(best)); lpa++ {
+		w := best[lpa]
+		if w.tag.Serial == 0 {
+			continue
+		}
+		f.setMapping(lpa, mapping{
 			ppa:     w.ppa,
 			stream:  StreamID(w.tag.Stream),
 			dataLen: int(w.tag.DataLen),
-		}
-		f.p2l[w.ppa] = lpa
+		})
 		f.blocks[w.ppa.Block].valid++
 	}
 	for _, ppa := range losers {
@@ -153,6 +168,6 @@ func (f *FTL) Rebuild() error {
 			f.active[st.owner] = b
 		}
 	}
-	f.obs.Record(obs.Event{Kind: obs.EvRebuild, Aux: int64(len(f.l2p))})
+	f.obs.Record(obs.Event{Kind: obs.EvRebuild, Aux: int64(f.mapped)})
 	return nil
 }

@@ -29,6 +29,11 @@ var (
 	ErrUnknownLPA    = errors.New("storage: logical page not mapped")
 	ErrUnknownStream = errors.New("storage: unknown stream")
 	ErrPayloadSize   = errors.New("storage: payload exceeds logical page size")
+	// ErrBadLPA rejects a write to a negative logical page address. The
+	// logical address space is dense and non-negative (the fs allocates
+	// LBAs sequentially from zero); backends index their mapping tables
+	// by LPA directly.
+	ErrBadLPA = errors.New("storage: negative logical page address")
 )
 
 // Flash is the chip contract a backend programs against. *flash.Chip

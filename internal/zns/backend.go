@@ -3,7 +3,6 @@ package zns
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"sos/internal/flash"
 	"sos/internal/obs"
@@ -27,8 +26,15 @@ type Backend struct {
 	obs     *obs.Recorder
 	cfg     BackendConfig // as given; Recover remounts from it
 
-	l2p map[int64]zmapping
-	p2l map[zaddr]int64
+	// Dense mapping tables, mirroring the device-side FTL: l2p is
+	// indexed directly by LPA (dataLen == 0 marks an unmapped entry) and
+	// grows on demand; p2l is indexed by zone*zcap+idx with -1 for "no
+	// live page", where zcap is the zone page stride at native density.
+	// mapped counts live entries.
+	l2p    []zmapping
+	p2l    []int64
+	zcap   int
+	mapped int
 
 	owner     []storage.StreamID // per zone: stream that opened it
 	live      []int              // per zone: live page count
@@ -53,9 +59,6 @@ type Backend struct {
 	onCapacity func(usablePages int)
 	capDirty   bool
 }
-
-// zaddr is a zone-relative physical address.
-type zaddr struct{ zone, idx int }
 
 // zmapping is the host-side L2P entry.
 type zmapping struct {
@@ -168,6 +171,7 @@ func NewBackend(cfg BackendConfig) (*Backend, error) {
 	if low >= nz {
 		return nil, fmt.Errorf("zns: GC low water %d leaves no writable zones of %d", low, nz)
 	}
+	zcap := bpz * cfg.Chip.Geometry().PagesPerBlock
 	b := &Backend{
 		dev:       dev,
 		chip:      cfg.Chip,
@@ -175,8 +179,8 @@ func NewBackend(cfg BackendConfig) (*Backend, error) {
 		attrs:     attrs,
 		obs:       cfg.Obs,
 		cfg:       cfg,
-		l2p:       make(map[int64]zmapping),
-		p2l:       make(map[zaddr]int64),
+		p2l:       make([]int64, nz*zcap),
+		zcap:      zcap,
 		owner:     make([]storage.StreamID, nz),
 		live:      make([]int, nz),
 		condemned: make([]bool, nz),
@@ -184,6 +188,9 @@ func NewBackend(cfg BackendConfig) (*Backend, error) {
 		gcLow:     low,
 		reserve:   reserve,
 		logicalSz: cfg.Chip.Geometry().PageSize,
+	}
+	for i := range b.p2l {
+		b.p2l[i] = -1
 	}
 	for i := range b.active {
 		b.active[i] = -1
@@ -346,6 +353,9 @@ func (b *Backend) Write(lpa int64, data []byte, dataLen int, id storage.StreamID
 	if id < 0 || int(id) >= len(b.streams) {
 		return storage.ErrUnknownStream
 	}
+	if lpa < 0 {
+		return storage.ErrBadLPA
+	}
 	if data != nil {
 		dataLen = len(data)
 	}
@@ -402,27 +412,51 @@ func (b *Backend) appendToStream(id storage.StreamID, data []byte, dataLen int, 
 	return -1, -1, fmt.Errorf("zns: %d consecutive program failures: %w", maxAttempts, flash.ErrProgramFail)
 }
 
+// pidx converts a zone-relative address to its p2l table index.
+func (b *Backend) pidx(zone, idx int) int { return zone*b.zcap + idx }
+
+// lookup returns the live mapping for lpa, if any.
+func (b *Backend) lookup(lpa int64) (zmapping, bool) {
+	if lpa < 0 || lpa >= int64(len(b.l2p)) || b.l2p[lpa].dataLen == 0 {
+		return zmapping{}, false
+	}
+	return b.l2p[lpa], true
+}
+
 // install records a new physical location for lpa, superseding any old
 // one host-side (no on-device stale marking exists; recovery resolves
-// duplicates newest-serial-wins).
+// duplicates newest-serial-wins). The dense l2p grows on demand with
+// amortized doubling; m.dataLen must be >= 1.
 func (b *Backend) install(lpa int64, m zmapping) {
-	if old, ok := b.l2p[lpa]; ok {
+	if old, ok := b.lookup(lpa); ok {
 		b.drop(old)
 	}
+	if lpa >= int64(len(b.l2p)) {
+		n := 2 * int64(len(b.l2p))
+		if n < lpa+1 {
+			n = lpa + 1
+		}
+		grown := make([]zmapping, n)
+		copy(grown, b.l2p)
+		b.l2p = grown
+	}
+	if b.l2p[lpa].dataLen == 0 {
+		b.mapped++
+	}
 	b.l2p[lpa] = m
-	b.p2l[zaddr{m.zone, m.idx}] = lpa
+	b.p2l[b.pidx(m.zone, m.idx)] = lpa
 	b.live[m.zone]++
 }
 
 // drop forgets a superseded physical location.
 func (b *Backend) drop(m zmapping) {
-	delete(b.p2l, zaddr{m.zone, m.idx})
+	b.p2l[b.pidx(m.zone, m.idx)] = -1
 	b.live[m.zone]--
 }
 
 // Read fetches lpa, decoding through the stream's ECC scheme.
 func (b *Backend) Read(lpa int64) (storage.ReadResult, error) {
-	m, ok := b.l2p[lpa]
+	m, ok := b.lookup(lpa)
 	if !ok {
 		return storage.ReadResult{}, storage.ErrUnknownLPA
 	}
@@ -459,24 +493,25 @@ func (b *Backend) Read(lpa int64) (storage.ReadResult, error) {
 
 // Trim drops the mapping for lpa (host discard / file delete).
 func (b *Backend) Trim(lpa int64) error {
-	m, ok := b.l2p[lpa]
+	m, ok := b.lookup(lpa)
 	if !ok {
 		return storage.ErrUnknownLPA
 	}
 	b.drop(m)
-	delete(b.l2p, lpa)
+	b.l2p[lpa] = zmapping{}
+	b.mapped--
 	return nil
 }
 
 // Contains reports whether lpa is mapped.
 func (b *Backend) Contains(lpa int64) bool {
-	_, ok := b.l2p[lpa]
+	_, ok := b.lookup(lpa)
 	return ok
 }
 
 // StreamOf returns the stream a mapped lpa belongs to.
 func (b *Backend) StreamOf(lpa int64) (storage.StreamID, bool) {
-	m, ok := b.l2p[lpa]
+	m, ok := b.lookup(lpa)
 	return m.stream, ok
 }
 
@@ -484,7 +519,7 @@ func (b *Backend) StreamOf(lpa int64) (storage.StreamID, bool) {
 // coordinates, so the device layer's fault ladder works identically
 // over both backends.
 func (b *Backend) Locate(lpa int64) (ppa storage.PPA, stream storage.StreamID, dataLen int, ok bool) {
-	m, found := b.l2p[lpa]
+	m, found := b.lookup(lpa)
 	if !found {
 		return storage.PPA{}, 0, 0, false
 	}
@@ -496,7 +531,7 @@ func (b *Backend) Locate(lpa int64) (ppa storage.PPA, stream storage.StreamID, d
 }
 
 // MappedPages returns the number of live logical pages.
-func (b *Backend) MappedPages() int { return len(b.l2p) }
+func (b *Backend) MappedPages() int { return b.mapped }
 
 // runGC reclaims stale capacity at zone granularity. Fully-dead zones
 // reset first (no relocation destination needed), then one live victim
@@ -592,9 +627,10 @@ func (b *Backend) pickVictim(id storage.StreamID) int {
 // reclaim drains the victim's live pages in append order and resets it.
 func (b *Backend) reclaim(z int) error {
 	zn := &b.dev.zones[z]
+	base := z * b.zcap
 	for idx := 0; idx < zn.wp; idx++ {
-		lpa, live := b.p2l[zaddr{z, idx}]
-		if !live {
+		lpa := b.p2l[base+idx]
+		if lpa < 0 {
 			continue
 		}
 		if err := b.relocate(lpa, b.l2p[lpa].stream); err != nil {
@@ -643,7 +679,7 @@ func (b *Backend) resetZone(z int) error {
 // different = promotion/demotion), preserving accumulated degradation —
 // corruption crystallizes across moves exactly as in the device FTL.
 func (b *Backend) relocate(lpa int64, dst storage.StreamID) error {
-	m, ok := b.l2p[lpa]
+	m, ok := b.lookup(lpa)
 	if !ok {
 		return storage.ErrUnknownLPA
 	}
@@ -755,15 +791,12 @@ func (b *Backend) Quarantine(blk int) error {
 func (b *Backend) Scrub(maxMoves int) (storage.ScrubReport, error) {
 	defer b.flushCapacity()
 	var rep storage.ScrubReport
-	lpas := make([]int64, 0, len(b.l2p))
-	for lpa := range b.l2p {
-		lpas = append(lpas, lpa)
-	}
-	sort.Slice(lpas, func(i, j int) bool { return lpas[i] < lpas[j] })
-
+	// Walk the dense table in LPA order; no snapshot is needed because
+	// relocation rewrites existing entries in place and never maps new
+	// LPAs (matching the old sorted-snapshot order exactly).
 	dirty := make([]bool, len(b.dev.zones))
-	for _, lpa := range lpas {
-		m, ok := b.l2p[lpa]
+	for lpa := int64(0); lpa < int64(len(b.l2p)); lpa++ {
+		m, ok := b.lookup(lpa)
 		if !ok {
 			continue
 		}
@@ -860,7 +893,7 @@ func (b *Backend) Stats() storage.Stats {
 		SalvagedPages: b.salvagedPages,
 		SalvagedBytes: b.salvagedBytes,
 		FreeBlocks:    empty * b.dev.perZone,
-		MappedPages:   len(b.l2p),
+		MappedPages:   b.mapped,
 	}
 }
 

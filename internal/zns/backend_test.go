@@ -184,7 +184,7 @@ func TestBackendQuarantineOfflinesZone(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	m, ok := b.l2p[0]
+	m, ok := b.lookup(0)
 	if !ok {
 		t.Fatal("lpa 0 unmapped")
 	}
@@ -287,7 +287,7 @@ func TestBackendRecoverAfterOffline(t *testing.T) {
 	if err := b.Write(1, bytes.Repeat([]byte{1}, 64), 0, 1); err != nil {
 		t.Fatal(err)
 	}
-	m := b.l2p[1]
+	m, _ := b.lookup(1)
 	if err := b.Quarantine(b.dev.zones[m.zone].blocks[0]); err != nil {
 		t.Fatal(err)
 	}
@@ -320,13 +320,13 @@ func TestInvariantsCatchCorruption(t *testing.T) {
 	if err := b.CheckInvariants(); err != nil {
 		t.Fatalf("clean backend rejected: %v", err)
 	}
-	m := b.l2p[1]
+	m, _ := b.lookup(1)
 	b.live[m.zone]++ // desync live count
 	if err := b.CheckInvariants(); err == nil {
 		t.Fatal("live-count desync undetected")
 	}
 	b.live[m.zone]--
-	delete(b.p2l, zaddr{m.zone, m.idx}) // break the inverse
+	b.p2l[b.pidx(m.zone, m.idx)] = -1 // break the inverse
 	if err := b.CheckInvariants(); err == nil {
 		t.Fatal("p2l hole undetected")
 	}

@@ -27,7 +27,14 @@ import (
 func CheckInvariants(b *Backend) error {
 	d := b.dev
 	// Mapping tables are inverses.
-	for lpa, m := range b.l2p {
+	live := 0
+	liveCount := make([]int, len(d.zones))
+	for lpa := int64(0); lpa < int64(len(b.l2p)); lpa++ {
+		m := b.l2p[lpa]
+		if m.dataLen == 0 {
+			continue
+		}
+		live++
 		if m.zone < 0 || m.zone >= len(d.zones) {
 			return fmt.Errorf("zns: lpa %d maps to zone %d of %d", lpa, m.zone, len(d.zones))
 		}
@@ -44,20 +51,34 @@ func CheckInvariants(b *Backend) error {
 		if int(m.stream) < 0 || int(m.stream) >= len(b.streams) {
 			return fmt.Errorf("zns: lpa %d on unknown stream %d", lpa, m.stream)
 		}
-		back, ok := b.p2l[zaddr{m.zone, m.idx}]
-		if !ok || back != lpa {
+		idx := b.pidx(m.zone, m.idx)
+		if idx < 0 || idx >= len(b.p2l) {
+			return fmt.Errorf("zns: lpa %d (zone %d idx %d) outside the physical address space", lpa, m.zone, m.idx)
+		}
+		if back := b.p2l[idx]; back != lpa {
 			return fmt.Errorf("zns: l2p/p2l disagree at lpa %d (zone %d idx %d)", lpa, m.zone, m.idx)
 		}
+		liveCount[m.zone]++
 	}
-	for addr, lpa := range b.p2l {
-		m, ok := b.l2p[lpa]
-		if !ok || m.zone != addr.zone || m.idx != addr.idx {
-			return fmt.Errorf("zns: p2l entry zone %d idx %d -> lpa %d has no matching l2p", addr.zone, addr.idx, lpa)
+	if live != b.mapped {
+		return fmt.Errorf("zns: mapped count %d but %d live l2p entries", b.mapped, live)
+	}
+	reverse := 0
+	for idx, lpa := range b.p2l {
+		if lpa < 0 {
+			continue
+		}
+		reverse++
+		zone, zidx := idx/b.zcap, idx%b.zcap
+		if lpa >= int64(len(b.l2p)) || b.l2p[lpa].dataLen == 0 {
+			return fmt.Errorf("zns: p2l entry zone %d idx %d -> lpa %d has no live forward mapping", zone, zidx, lpa)
+		}
+		if m := b.l2p[lpa]; m.zone != zone || m.idx != zidx {
+			return fmt.Errorf("zns: p2l entry zone %d idx %d -> lpa %d has no matching l2p", zone, zidx, lpa)
 		}
 	}
-	liveCount := make([]int, len(d.zones))
-	for addr := range b.p2l {
-		liveCount[addr.zone]++
+	if reverse != live {
+		return fmt.Errorf("zns: l2p has %d live entries, p2l has %d", live, reverse)
 	}
 	for z := range d.zones {
 		if liveCount[z] != b.live[z] {

@@ -36,7 +36,10 @@ type rcand struct {
 func (nb *Backend) rebuild() error {
 	d := nb.dev
 	geo := nb.chip.Geometry()
-	winners := make(map[int64]rcand)
+	// winners is a dense election table indexed by LPA, grown like l2p;
+	// serial == 0 marks an empty slot (acked appends always carry
+	// serial >= 1, since the write serial pre-increments from zero).
+	var winners []rcand
 	zmax := make([]uint64, len(d.zones)) // newest serial seen per zone
 	var maxSerial uint64
 
@@ -129,7 +132,16 @@ func (nb *Backend) rebuild() error {
 				if tag.Serial > maxSerial {
 					maxSerial = tag.Serial
 				}
-				if w, ok := winners[tag.LPA]; !ok || tag.Serial > w.serial {
+				if tag.LPA >= int64(len(winners)) {
+					n := 2 * int64(len(winners))
+					if n < tag.LPA+1 {
+						n = tag.LPA + 1
+					}
+					grown := make([]rcand, n)
+					copy(grown, winners)
+					winners = grown
+				}
+				if w := winners[tag.LPA]; w.serial == 0 || tag.Serial > w.serial {
 					winners[tag.LPA] = rcand{
 						serial: tag.Serial, zone: z, idx: idx,
 						stream: storage.StreamID(tag.Stream), dataLen: dataLen,
@@ -160,10 +172,12 @@ func (nb *Backend) rebuild() error {
 		}
 	}
 
-	for lpa, w := range winners {
-		nb.l2p[lpa] = zmapping{zone: w.zone, idx: w.idx, stream: w.stream, dataLen: w.dataLen}
-		nb.p2l[zaddr{w.zone, w.idx}] = lpa
-		nb.live[w.zone]++
+	for lpa := int64(0); lpa < int64(len(winners)); lpa++ {
+		w := winners[lpa]
+		if w.serial == 0 {
+			continue
+		}
+		nb.install(lpa, zmapping{zone: w.zone, idx: w.idx, stream: w.stream, dataLen: w.dataLen})
 	}
 	nb.writeSerial = maxSerial
 
@@ -190,7 +204,7 @@ func (nb *Backend) rebuild() error {
 			}
 		}
 	}
-	nb.obs.Record(obs.Event{Kind: obs.EvRebuild, Aux: int64(len(nb.l2p))})
+	nb.obs.Record(obs.Event{Kind: obs.EvRebuild, Aux: int64(nb.mapped)})
 	return nil
 }
 
