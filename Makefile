@@ -3,7 +3,7 @@
 # goroutines; the torture tier replays the crash matrix under the race
 # detector. CI (or a pre-merge hand-run) should execute all three.
 
-.PHONY: verify verify-race verify-all torture bench-parallel bench-smoke bench-json determinism fmt obs
+.PHONY: verify verify-race verify-all torture bench-parallel bench-smoke bench-json bench-gate determinism fmt obs
 
 # Formatting gate: fail if any file needs gofmt.
 fmt:
@@ -32,7 +32,7 @@ torture:
 	go test -race ./internal/zns/ -run 'TestBackendRecover|TestCrash'
 	go test -race -parallel 8 ./internal/torture/
 
-verify-all: verify verify-race torture bench-smoke
+verify-all: verify verify-race torture bench-smoke bench-gate
 
 # Serial vs parallel RunAll wall-clock (quick fidelity under -short).
 bench-parallel:
@@ -47,10 +47,22 @@ bench-smoke:
 # Substrate micro-benchmark baseline as JSON (name, ns/op, B/op,
 # allocs/op). Redirect to refresh the committed baseline:
 #
-#	make bench-json > BENCH_PR5.json
+#	make bench-json > BENCH_PR6.json
+BENCH_REGEX := BenchmarkRSEncode4K|BenchmarkRSDecode|BenchmarkHammingEncode4K|BenchmarkFlashProgramRead|BenchmarkFTLWrite|BenchmarkFTLRead|BenchmarkFTLRebuild|BenchmarkDeviceWrite|BenchmarkZNSAppend|BenchmarkRecorder
+
 bench-json:
 	@go build -o /tmp/benchjson ./cmd/benchjson
-	@go test -run '^$$' -bench 'BenchmarkRSEncode4K|BenchmarkRSDecode|BenchmarkHammingEncode4K|BenchmarkFlashProgramRead|BenchmarkFTLWrite|BenchmarkFTLRead|BenchmarkFTLRebuild|BenchmarkDeviceWrite|BenchmarkZNSAppend|BenchmarkRecorder' -benchmem . | /tmp/benchjson
+	@go test -run '^$$' -bench '$(BENCH_REGEX)' -benchmem . | /tmp/benchjson
+
+# Bench regression gate: re-measure the baseline benchmarks and diff
+# against the committed BENCH_PR6.json. The tolerance is deliberately
+# generous (+60% ns/op) because single-shot runs on shared hardware are
+# noisy — the gate exists to catch order-of-magnitude regressions, a
+# newly-allocating zero-alloc path, or a benchmark that silently
+# vanished, not 10% wobble. (EXPERIMENTS.md discusses the tolerance.)
+bench-gate:
+	@go build -o /tmp/benchjson ./cmd/benchjson
+	@go test -run '^$$' -bench '$(BENCH_REGEX)' -benchmem . | /tmp/benchjson -diff BENCH_PR6.json -tol 0.6
 
 # Observability smoke: a simulation's Prometheus exposition must pass
 # the repo's own scrape validator end to end — over both backends.

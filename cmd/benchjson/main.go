@@ -8,9 +8,16 @@
 // repo's performance baseline (BENCH_PR5.json) so perf regressions show
 // up as a diff rather than a vague memory of "it used to be faster".
 //
+// With -diff it becomes the regression gate behind `make bench-gate`:
+// fresh bench output (stdin or files) is compared against a committed
+// baseline JSON, and any benchmark that got slower than the tolerance
+// allows — or that newly allocates on a zero-alloc path, or that
+// vanished from the run — fails the gate with a non-zero exit.
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson > baseline.json
+//	go test -run '^$' -bench . -benchmem . | benchjson -diff baseline.json -tol 0.5
 //	benchjson bench.txt
 package main
 
@@ -37,6 +44,8 @@ type Result struct {
 }
 
 func main() {
+	diffPath := flag.String("diff", "", "baseline JSON to gate against instead of emitting JSON")
+	tol := flag.Float64("tol", 0.25, "allowed fractional ns/op slowdown vs the baseline (diff mode)")
 	flag.Parse()
 	var results []Result
 	if flag.NArg() == 0 {
@@ -55,11 +64,82 @@ func main() {
 		fail(fmt.Errorf("no benchmark lines found"))
 	}
 	sort.SliceStable(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	if *diffPath != "" {
+		raw, err := os.ReadFile(*diffPath)
+		if err != nil {
+			fail(err)
+		}
+		var base []Result
+		if err := json.Unmarshal(raw, &base); err != nil {
+			fail(fmt.Errorf("baseline %s: %w", *diffPath, err))
+		}
+		regressions := diff(os.Stdout, base, results, *tol)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) vs %s:\n", len(regressions), *diffPath)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		return
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(results); err != nil {
 		fail(err)
 	}
+}
+
+// diff compares current results against the baseline and returns the
+// list of regressions. The rules:
+//
+//   - ns/op may grow by at most tol (fractional); any speedup passes.
+//   - a baseline of 0 allocs/op is a contract: the current run must
+//     also report 0. Non-zero alloc counts drift with iteration counts
+//     and are only reported, never gated.
+//   - a benchmark present in the baseline but missing from the current
+//     run is a regression (coverage silently disappeared). New
+//     benchmarks without a baseline entry are reported, not gated.
+func diff(w io.Writer, base, cur []Result, tol float64) []string {
+	curByName := make(map[string]Result, len(cur))
+	for _, r := range cur {
+		curByName[r.Name] = r
+	}
+	var regressions []string
+	for _, b := range base {
+		c, ok := curByName[b.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = c.NsPerOp/b.NsPerOp - 1
+		}
+		verdict := "ok"
+		if delta > tol {
+			verdict = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.4g ns/op vs baseline %.4g (%+.1f%%, tol %+.0f%%)",
+					b.Name, c.NsPerOp, b.NsPerOp, delta*100, tol*100))
+		}
+		if b.AllocsPerOp != nil && *b.AllocsPerOp == 0 && c.AllocsPerOp != nil && *c.AllocsPerOp != 0 {
+			verdict = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d allocs/op on a zero-alloc baseline", b.Name, *c.AllocsPerOp))
+		}
+		fmt.Fprintf(w, "%-40s %12.4g -> %12.4g ns/op  %+6.1f%%  %s\n", b.Name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+		delete(curByName, b.Name)
+	}
+	names := make([]string, 0, len(curByName))
+	for name := range curByName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-40s %27.4g ns/op  (no baseline)\n", name, curByName[name].NsPerOp)
+	}
+	return regressions
 }
 
 // parse scans benchmark output for result lines. A line looks like:

@@ -45,6 +45,38 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestDiff(t *testing.T) {
+	z, one := int64(0), int64(1)
+	base := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 100, AllocsPerOp: &z},
+		{Name: "BenchmarkGone", NsPerOp: 50},
+		{Name: "BenchmarkSlow", NsPerOp: 1000},
+		{Name: "BenchmarkWiggle", NsPerOp: 200},
+	}
+	cur := []Result{
+		{Name: "BenchmarkFast", NsPerOp: 90, AllocsPerOp: &one}, // faster but now allocates
+		{Name: "BenchmarkNew", NsPerOp: 10},                     // no baseline: reported only
+		{Name: "BenchmarkSlow", NsPerOp: 1600},                  // +60% > tol
+		{Name: "BenchmarkWiggle", NsPerOp: 240},                 // +20% <= tol
+	}
+	var out strings.Builder
+	regs := diff(&out, base, cur, 0.25)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions, want 3: %v", len(regs), regs)
+	}
+	for i, want := range []string{"BenchmarkFast", "BenchmarkGone", "BenchmarkSlow"} {
+		if !strings.Contains(regs[i], want) {
+			t.Errorf("regression %d = %q, want it to name %s", i, regs[i], want)
+		}
+	}
+	report := out.String()
+	for _, want := range []string{"BenchmarkWiggle", "ok", "REGRESSED", "no baseline"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
 func TestTrimCPUSuffix(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkFTLWrite-8":   "BenchmarkFTLWrite",

@@ -44,6 +44,11 @@ func main() {
 	flag.StringVar(&opts.Baseline, "baseline", "tlc", "fleet baseline technology: tlc|qlc")
 	flag.StringVar(&opts.Capacities, "capacities", "", "comma-separated GB list for a fleet capacity sweep")
 	flag.IntVar(&opts.Parallel, "parallel", 1, "worker goroutines for the capacity sweep (0 = all cores)")
+	// -queues/-planes exist for CLI parity with sossim: carbonreport is
+	// pure carbon arithmetic and never builds a device, so they are
+	// accepted no-ops — output is byte-identical at every value.
+	flag.Int("queues", 1, "accepted for CLI parity; carbon arithmetic has no datapath")
+	flag.Int("planes", 0, "accepted for CLI parity; carbon arithmetic has no datapath")
 	flag.BoolVar(&opts.Metrics, "metrics", false, "print the Prometheus text exposition instead of the report")
 	flag.StringVar(&opts.TraceFile, "trace", "", "write milestone events (JSON lines) to this file")
 	flag.Parse()

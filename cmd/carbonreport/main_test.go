@@ -103,6 +103,33 @@ func TestRunMetrics(t *testing.T) {
 	}
 }
 
+// TestRunByteIdenticalAcrossWorkers pins the full report (human and
+// metrics modes) byte-identical across -parallel values — the same
+// guarantee behind the accepted no-op -queues/-planes flags: carbon
+// arithmetic has no datapath, so concurrency knobs never change output.
+func TestRunByteIdenticalAcrossWorkers(t *testing.T) {
+	for _, metrics := range []bool{false, true} {
+		var ref []byte
+		for _, par := range []int{1, 2, 8} {
+			var buf bytes.Buffer
+			opts := defaultOpts()
+			opts.Capacities = "64,128,256,512"
+			opts.Parallel = par
+			opts.Metrics = metrics
+			if err := run(opts, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = append([]byte(nil), buf.Bytes()...)
+				continue
+			}
+			if !bytes.Equal(ref, buf.Bytes()) {
+				t.Errorf("metrics=%v: report at -parallel %d differs from -parallel 1", metrics, par)
+			}
+		}
+	}
+}
+
 func TestRunTrace(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "marks.jsonl")

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"sos"
+)
+
+// TestSimulateByteIdenticalAcrossConcurrency pins the -sim report (and
+// the -metrics exposition) byte-identical across every -queues and
+// worker combination, for both backends: the concurrent datapath may
+// only change wall-clock time, never output.
+func TestSimulateByteIdenticalAcrossConcurrency(t *testing.T) {
+	for _, backend := range sos.Backends() {
+		for _, metrics := range []bool{false, true} {
+			var ref []byte
+			for _, queues := range []int{1, 2, 8} {
+				for _, workers := range []int{1, 8} {
+					var buf bytes.Buffer
+					err := simulate(simOpts{
+						Backend: backend, Days: 10, Seed: 7,
+						Queues: queues, Workers: workers,
+						Metrics: metrics, Out: &buf,
+					})
+					if err != nil {
+						t.Fatalf("%s metrics=%v q=%d w=%d: %v", backend, metrics, queues, workers, err)
+					}
+					if ref == nil {
+						ref = append([]byte(nil), buf.Bytes()...)
+						continue
+					}
+					if !bytes.Equal(ref, buf.Bytes()) {
+						t.Errorf("%s metrics=%v: output at queues=%d workers=%d differs from queues=1 workers=1",
+							backend, metrics, queues, workers)
+					}
+				}
+			}
+			if len(ref) == 0 {
+				t.Fatalf("%s metrics=%v: empty output", backend, metrics)
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"sos"
 	"sos/internal/core"
@@ -47,8 +48,16 @@ func main() {
 	flag.StringVar(&opts.Replay, "replay", "", "with -sim: replay a recorded trace instead of generating")
 	flag.BoolVar(&opts.Metrics, "metrics", false, "with -sim: print the Prometheus text exposition instead of the report")
 	flag.StringVar(&opts.TraceFile, "trace", "", "with -sim: write the telemetry event trace (JSON lines) to this file")
+	flag.IntVar(&opts.Queues, "queues", 1, "submission queues for batched writes (results identical at every value)")
+	flag.IntVar(&opts.Planes, "planes", 0, "chip planes (0 = profile default; each value is a distinct, equally deterministic device)")
 	flag.Parse()
 	experiments.SetParallelism(*par)
+	// -parallel doubles as the batch worker bound for -sim runs; the
+	// batched datapath is deterministic, so this only changes wall time.
+	opts.Workers = *par
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
 
 	switch {
 	case *list:
@@ -93,6 +102,11 @@ type simOpts struct {
 	Record  string // record the workload trace to this file
 	Replay  string // replay a recorded workload trace
 	Metrics bool   // print the Prometheus exposition instead of the report
+	// Queues/Planes/Workers configure the concurrent datapath; results
+	// are byte-identical at every setting.
+	Queues  int
+	Planes  int
+	Workers int
 	// TraceFile receives the telemetry event trace as JSON lines.
 	TraceFile string
 	Out       io.Writer // defaults to os.Stdout
@@ -107,6 +121,9 @@ func simulate(opts simOpts) error {
 		Profile: opts.Profile,
 		Backend: opts.Backend,
 		Seed:    opts.Seed,
+		Queues:  opts.Queues,
+		Planes:  opts.Planes,
+		Workers: opts.Workers,
 		Observe: opts.Metrics || opts.TraceFile != "",
 	})
 	if err != nil {

@@ -1,0 +1,101 @@
+// Determinism goldens for the concurrent multi-queue datapath: the
+// complete telemetry snapshot of a simulated run must be byte-identical
+// at every (queues, workers) setting, for both backends. This is the
+// library-level half of the guarantee; cmd/sossim pins the CLI output
+// and cmd/carbonreport pins the report.
+package sos_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"sos"
+)
+
+// runSnapshotJSON runs a short personal workload on a fresh system and
+// returns its full Snapshot as canonical JSON.
+func runSnapshotJSON(t *testing.T, backend sos.Backend, queues, workers int) []byte {
+	t.Helper()
+	sys, err := sos.New(sos.Config{
+		Backend: backend,
+		Seed:    11,
+		Queues:  queues,
+		Workers: workers,
+		Observe: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunPersonal(10, 0); err != nil {
+		t.Fatal(err)
+	}
+	js, err := json.Marshal(sys.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return js
+}
+
+// TestSnapshotIdenticalAcrossConcurrency: queues deal work differently
+// and workers fan the parallel phases out across goroutines, but the
+// virtual-time completion merge keeps every counter, histogram, and
+// wear statistic identical.
+func TestSnapshotIdenticalAcrossConcurrency(t *testing.T) {
+	for _, backend := range sos.Backends() {
+		t.Run(backend.String(), func(t *testing.T) {
+			ref := runSnapshotJSON(t, backend, 1, 1)
+			for _, queues := range []int{1, 2, 8} {
+				for _, workers := range []int{1, 8} {
+					if queues == 1 && workers == 1 {
+						continue
+					}
+					got := runSnapshotJSON(t, backend, queues, workers)
+					if !bytes.Equal(ref, got) {
+						t.Errorf("queues=%d workers=%d snapshot diverged from queues=1 workers=1\nref: %s\ngot: %s",
+							queues, workers, ref, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFSWritesIdenticalAcrossConcurrency drives real multi-page file
+// payloads (the batched path) at the two concurrency extremes and
+// compares the resulting device SMART state field for field.
+func TestFSWritesIdenticalAcrossConcurrency(t *testing.T) {
+	for _, backend := range sos.Backends() {
+		t.Run(backend.String(), func(t *testing.T) {
+			build := func(queues, workers int) *sos.System {
+				sys, err := sos.New(sos.Config{Backend: backend, Seed: 5, Queues: queues, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return sys
+			}
+			payload := make([]byte, 64<<10)
+			for i := range payload {
+				payload[i] = byte(i * 31)
+			}
+			var ref string
+			for i, cfg := range [][2]int{{1, 1}, {8, 8}} {
+				sys := build(cfg[0], cfg[1])
+				for f := 0; f < 8; f++ {
+					if _, err := sys.FS.Create(fmt.Sprintf("f%d", f), payload, 0, 0); err != nil {
+						t.Fatal(err)
+					}
+				}
+				smart := sys.Device.Smart()
+				smart.BusyTime = 0
+				got := fmt.Sprintf("%+v", smart)
+				if i == 0 {
+					ref = got
+				} else if got != ref {
+					t.Errorf("queues=%d workers=%d smart diverged:\n%s\nvs\n%s", cfg[0], cfg[1], got, ref)
+				}
+			}
+		})
+	}
+}

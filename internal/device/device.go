@@ -75,6 +75,15 @@ type Config struct {
 	// OverProvisionPct / GCLowWater pass through to the FTL.
 	OverProvisionPct int
 	GCLowWater       int
+	// Queues is the submission-queue count batched writes are dealt
+	// across (default 1). Planes is the chip's independently lockable
+	// plane count (default flash.DefaultPlanes). Workers bounds the
+	// goroutines a batch's parallel phases may use (default 1, fully
+	// serial). All three change only wall-clock time — simulated results
+	// are identical at every setting.
+	Queues  int
+	Planes  int
+	Workers int
 	// Fault, when non-nil, interposes a deterministic fault injector
 	// between the FTL and the chip (see internal/fault). Nil keeps the
 	// stack byte-identical to an uninstrumented device.
@@ -142,6 +151,17 @@ type Device struct {
 	// busy accumulates modelled device time (not wall time).
 	busy sim.Time
 
+	// Multi-queue batched submission state: queue/worker counts, the
+	// virtual-time scheduler (one lane per chip plane), the global
+	// submission sequence, and reusable batch scratch.
+	queues   int
+	workers  int
+	vt       *sim.VTScheduler
+	batchSeq uint64
+	bops     []storage.BatchOp
+	bfates   []storage.BatchFate
+	bcomps   []sim.Completion
+
 	readCount  int64
 	writeCount int64
 
@@ -185,6 +205,7 @@ func New(cfg Config) (*Device, error) {
 		Clock:          clock,
 		Seed:           cfg.Seed,
 		EnduranceSigma: cfg.EnduranceSigma,
+		Planes:         cfg.Planes,
 	})
 	if err != nil {
 		return nil, err
@@ -211,10 +232,21 @@ func New(cfg Config) (*Device, error) {
 	if cfg.Latency != nil {
 		lat = *cfg.Latency
 	}
+	queues := cfg.Queues
+	if queues < 1 {
+		queues = 1
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	d := &Device{
 		chip: chip, medium: medium, inj: inj,
 		backend: be, clock: clock, latency: lat,
 		obs:        cfg.Obs,
+		queues:     queues,
+		workers:    workers,
+		vt:         sim.NewVTScheduler(chip.Planes()),
 		hardFaults: make([]int, chip.Blocks()),
 	}
 	d.wireCapacity()
@@ -388,6 +420,105 @@ func (d *Device) Write(lba int64, data []byte, dataLen int, c Class) (sim.Time, 
 	d.writeCount++
 	d.obs.ObserveProgram(lat, dataLen)
 	return lat, nil
+}
+
+// BatchWrite is one logical write in a device batch (see WriteBatch).
+type BatchWrite struct {
+	LBA     int64
+	Data    []byte
+	DataLen int
+	Class   Class
+}
+
+// Queues returns the configured submission-queue count.
+func (d *Device) Queues() int { return d.queues }
+
+// Workers returns the configured parallel-phase worker bound.
+func (d *Device) Workers() int { return d.workers }
+
+// WriteBatch stores a burst of logical pages through the multi-queue
+// batched path. Each op gets a global submission sequence number and a
+// submission queue (contiguous Seq chunks — sim.DealQueue), the backend
+// encodes queues and programs planes in parallel as its safety rules
+// allow, and completions merge back in canonical (virtual-time, queue,
+// sequence) order. The stored state is byte-identical to issuing the
+// same writes one at a time in order, at every queue and worker count.
+//
+// Modelled latency is the batch makespan: each successful program
+// occupies its landing block's plane for the stream's program latency
+// on a virtual-time lane, and the returned time is the horizon across
+// lanes — this is where plane parallelism shows up in simulated time.
+// fates[i] is the outcome of ws[i]; the slice is reused by the next
+// batch. A class error rejects the whole batch before any state change.
+func (d *Device) WriteBatch(ws []BatchWrite) (sim.Time, []storage.BatchFate, error) {
+	n := len(ws)
+	if n == 0 {
+		return 0, nil, nil
+	}
+	for i := range ws {
+		if c := ws[i].Class; c != ClassSys && c != ClassSpare {
+			return 0, nil, ErrBadClass
+		}
+	}
+	if cap(d.bops) < n {
+		d.bops = make([]storage.BatchOp, n)
+		d.bfates = make([]storage.BatchFate, n)
+	}
+	ops := d.bops[:n]
+	fates := d.bfates[:n]
+	seq0 := d.batchSeq + 1
+	for i := range ws {
+		w := &ws[i]
+		id, _ := d.streamFor(w.Class)
+		d.batchSeq++
+		ops[i] = storage.BatchOp{
+			LPA: w.LBA, Data: w.Data, DataLen: w.DataLen,
+			Stream: id, Seq: d.batchSeq, Queue: sim.DealQueue(i, n, d.queues),
+		}
+	}
+	if bw, ok := d.backend.(storage.BatchWriter); ok {
+		bw.WriteBatch(ops, fates, d.queues, d.workers)
+	} else {
+		for i := range ops {
+			err := d.backend.Write(ops[i].LPA, ops[i].Data, ops[i].DataLen, ops[i].Stream)
+			fates[i] = storage.BatchFate{Err: err, Block: -1, Page: -1}
+		}
+	}
+	// Dispatch successes onto virtual-time lanes in canonical Seq order
+	// (one lane per plane), then merge the completions.
+	d.vt.Reset(0)
+	comps := d.bcomps[:0]
+	streams := d.backend.Streams()
+	for i := range ops {
+		if fates[i].Err != nil {
+			continue
+		}
+		pol := &streams[ops[i].Stream]
+		lat := d.latency.ProgramLatency(pol.Mode)
+		lane := 0
+		if fates[i].Block >= 0 {
+			lane = d.chip.PlaneOf(fates[i].Block)
+		}
+		_, done := d.vt.Dispatch(lane, 0, lat)
+		comps = append(comps, sim.Completion{Done: done, Queue: ops[i].Queue, Seq: ops[i].Seq})
+	}
+	d.bcomps = comps
+	sim.SortCompletions(comps)
+	// Observe in merged completion order — the order a host would see
+	// interrupts — which is itself deterministic at every concurrency.
+	for _, c := range comps {
+		i := int(c.Seq - seq0)
+		pol := &streams[ops[i].Stream]
+		dataLen := ops[i].DataLen
+		if ops[i].Data != nil {
+			dataLen = len(ops[i].Data)
+		}
+		d.writeCount++
+		d.obs.ObserveProgram(d.latency.ProgramLatency(pol.Mode), dataLen)
+	}
+	makespan := d.vt.Horizon()
+	d.busy += makespan
+	return makespan, fates, nil
 }
 
 // ReadResult augments the FTL result with modelled latency.

@@ -1,8 +1,10 @@
 package ecc
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
 )
 
 // ErrUncorrectable reports that a codeword held more errors than the code
@@ -82,20 +84,52 @@ func (r *RS) encodeInto(cw, data []byte) {
 	// cw[i+1..i+np]; the last np bytes end up holding the remainder.
 	// No per-byte register shift, no per-byte gfMul — one precomputed
 	// row XOR per nonzero feedback.
-	for i := 0; i < len(data); i++ {
+	//
+	// Zero runs are inert (feedback 0 eliminates nothing), so — like
+	// syndromes skipping leading zeros — the scan jumps over them a
+	// word at a time wherever the working buffer still mirrors the
+	// data. dirtyHi tracks how far feedback XORs have scrambled cw:
+	// below it cw may differ from data and must be read byte-wise;
+	// at or beyond it cw is untouched since the initial copy. Sparse
+	// pages (zero-dominated media, freshly trimmed space) encode in
+	// O(nonzero bytes) instead of O(page).
+	n := len(data)
+	dirtyHi := 0
+	i := 0
+	for i < n {
+		if i >= dirtyHi {
+			for n-i >= 8 {
+				w := binary.LittleEndian.Uint64(cw[i:])
+				if w != 0 {
+					i += bits.TrailingZeros64(w) >> 3
+					break
+				}
+				i += 8
+			}
+			if i >= n {
+				break
+			}
+		}
 		f := cw[i]
-		if f == 0 {
-			continue
+		if f != 0 {
+			row := r.encRows[f]
+			dst := cw[i+1:][:np]
+			for j := 0; j < np; j++ {
+				dst[j] ^= row[j]
+			}
+			if i+1+np > dirtyHi {
+				dirtyHi = i + 1 + np
+			}
 		}
-		row := r.encRows[f]
-		dst := cw[i+1:][:np]
-		for j := 0; j < np; j++ {
-			dst[j] ^= row[j]
-		}
+		i++
 	}
-	// The division scrambled the data prefix; restore it. The remainder
-	// (parity tail) is beyond len(data) and untouched by this copy.
-	copy(cw, data)
+	// The division scrambled the data prefix up to dirtyHi; restore it.
+	// The remainder (parity tail) is beyond len(data) and untouched. A
+	// clean buffer (all-zero data) skips the copy entirely.
+	if dirtyHi > n {
+		dirtyHi = n
+	}
+	copy(cw[:dirtyHi], data)
 }
 
 // syndromes computes the nparity syndromes of the codeword; all-zero

@@ -30,6 +30,38 @@ type Scheme interface {
 	EstimateDecode(flippedBits, n int) bool
 }
 
+// IntoEncoder is an optional Scheme extension for the batched write
+// path: encode into a caller-owned buffer so steady-state submission
+// allocates nothing. Schemes that can't encode in place simply don't
+// implement it and EncodeToBuf falls back to Encode.
+type IntoEncoder interface {
+	// EncodeInto writes the stored representation of data into dst and
+	// returns the stored length, exactly Overhead(len(data)). dst must
+	// be at least that long.
+	EncodeInto(dst, data []byte) (int, error)
+}
+
+// EncodeToBuf encodes data with s, reusing buf's capacity when the
+// scheme supports in-place encoding. It returns the stored payload,
+// which aliases buf on the fast path and is freshly allocated on the
+// fallback.
+func EncodeToBuf(s Scheme, buf, data []byte) ([]byte, error) {
+	enc, ok := s.(IntoEncoder)
+	if !ok {
+		return s.Encode(data)
+	}
+	need := s.Overhead(len(data))
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	n, err := enc.EncodeInto(buf, data)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
 // None is the no-protection scheme: bits read back exactly as the medium
 // degraded them. This is the paper's approximate storage for SPARE media.
 type None struct{}
@@ -42,6 +74,14 @@ func (None) Encode(data []byte) ([]byte, error) {
 	out := make([]byte, len(data))
 	copy(out, data)
 	return out, nil
+}
+
+// EncodeInto implements IntoEncoder.
+func (None) EncodeInto(dst, data []byte) (int, error) {
+	if len(dst) < len(data) {
+		return 0, fmt.Errorf("ecc: dst too short (%d < %d)", len(dst), len(data))
+	}
+	return copy(dst, data), nil
 }
 
 // Decode implements Scheme.
@@ -73,6 +113,21 @@ func (DetectOnly) Encode(data []byte) ([]byte, error) {
 	out[len(data)+2] = byte(c >> 16)
 	out[len(data)+3] = byte(c >> 24)
 	return out, nil
+}
+
+// EncodeInto implements IntoEncoder.
+func (DetectOnly) EncodeInto(dst, data []byte) (int, error) {
+	need := len(data) + 4
+	if len(dst) < need {
+		return 0, fmt.Errorf("ecc: dst too short (%d < %d)", len(dst), need)
+	}
+	copy(dst, data)
+	c := crc32.Checksum(data, castagnoli)
+	dst[len(data)] = byte(c)
+	dst[len(data)+1] = byte(c >> 8)
+	dst[len(data)+2] = byte(c >> 16)
+	dst[len(data)+3] = byte(c >> 24)
+	return need, nil
 }
 
 // Decode implements Scheme.
@@ -183,9 +238,26 @@ func (s *RSScheme) Encode(data []byte) ([]byte, error) {
 		return nil, fmt.Errorf("ecc: empty payload")
 	}
 	// One exact-size allocation for the whole stored page; shards encode
-	// directly into their slots. Shard lengths are in (0, dataShard] and
-	// dataShard <= MaxData, so encodeInto's precondition always holds.
+	// directly into their slots.
 	out := make([]byte, s.Overhead(len(data)))
+	if _, err := s.EncodeInto(out, data); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncodeInto implements IntoEncoder: the allocation-free core of
+// Encode, used by the batched submission path with pooled buffers.
+// Shard lengths are in (0, dataShard] and dataShard <= MaxData, so
+// encodeInto's precondition always holds.
+func (s *RSScheme) EncodeInto(dst, data []byte) (int, error) {
+	if len(data) == 0 {
+		return 0, fmt.Errorf("ecc: empty payload")
+	}
+	need := s.Overhead(len(data))
+	if len(dst) < need {
+		return 0, fmt.Errorf("ecc: dst too short (%d < %d)", len(dst), need)
+	}
 	pos := 0
 	for off := 0; off < len(data); off += s.dataShard {
 		end := off + s.dataShard
@@ -193,10 +265,10 @@ func (s *RSScheme) Encode(data []byte) ([]byte, error) {
 			end = len(data)
 		}
 		n := end - off + s.rs.ParityBytes()
-		s.rs.encodeInto(out[pos:pos+n], data[off:end])
+		s.rs.encodeInto(dst[pos:pos+n], data[off:end])
 		pos += n
 	}
-	return out, nil
+	return need, nil
 }
 
 // Decode implements Scheme. Every shard is decoded even when an earlier

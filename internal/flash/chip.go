@@ -3,6 +3,7 @@ package flash
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"sos/internal/sim"
 )
@@ -33,6 +34,13 @@ var (
 	// errors.Is.
 	ErrReadFault = errors.New("flash: read operation failed")
 )
+
+// DefaultPlanes is the plane count a zero ChipConfig.Planes selects.
+// Four matches small mobile/UFS parts (2 planes × 2 dies); it is a
+// fixed default rather than a tuning knob follower because the plane
+// count shapes per-plane RNG streams — changing it changes simulated
+// error arrivals, like changing the seed.
+const DefaultPlanes = 4
 
 // Geometry describes a chip's physical layout. PageSize is the data
 // bytes per page at full density; Spare is the out-of-band area per page
@@ -104,6 +112,7 @@ type block struct {
 	mode      Mode
 	pec       int     // program/erase cycles endured
 	endScale  float64 // manufacturing endurance variance (1.0 nominal)
+	ratedEnd  float64 // cached RatedPEC*endScale: wear-out guard threshold
 	retired   bool
 	nextPage  int // next programmable page index (in-order constraint)
 	pagesAvab int // pages available in current mode
@@ -119,36 +128,56 @@ type block struct {
 	tagged    []bool     // whether the page carries a tag
 }
 
-// Chip is a simulated NAND die. It is not safe for concurrent use; the
-// device layer serializes access per chip, as a real channel would.
-type Chip struct {
-	geo   Geometry
-	phys  Tech
-	model ErrorModel
-	clock *sim.Clock
-	rng   *sim.RNG
+// plane is one independently lockable unit of the die. Every resource
+// an operation touches — RNG, buffer pool, read ring, telemetry — is
+// plane-local, so operations on different planes share no mutable state
+// and run concurrently without coordination. Blocks stripe across
+// planes by index (block b lives on plane b % planes).
+type plane struct {
+	mu sync.Mutex
 
-	blocks []block
+	// rng drives error injection for blocks on this plane. Per-plane
+	// streams are seeded from the chip seed via SplitSeeds before any
+	// concurrency exists, so draws depend only on the per-plane op
+	// order — which the batched datapath keeps canonical — never on
+	// goroutine scheduling.
+	rng *sim.RNG
 
 	// bufPool recycles page payload buffers: Program takes from it,
 	// Erase returns the wiped block's buffers to it. Once warm, the
-	// steady-state program path allocates nothing. Per-chip, so the
-	// device layer's per-chip serialization covers it.
+	// steady-state program path allocates nothing.
 	bufPool [][]byte
 	// readRing is a small rotating set of buffers Read copies payloads
 	// into, so steady-state reads allocate nothing. A returned
 	// ReadResult.Data stays valid only until len(readRing) subsequent
-	// payload reads; callers that retain data longer must copy it.
+	// payload reads on the same plane; callers that retain data longer
+	// must copy it.
 	readRing [4][]byte
 	readCur  int
 
-	// Telemetry.
+	// Telemetry (summed across planes by Stats).
 	programs   int64
 	readsT     int64
 	erases     int64
 	bitFlips   int64
 	progFails  int64
 	eraseFails int64
+}
+
+// Chip is a simulated NAND die split into independently lockable
+// planes. Operations on blocks of different planes are safe to run
+// concurrently; operations on the same plane serialize on its lock, as
+// a real plane's single program/read circuitry would. The simulation
+// clock is read but never advanced by chip operations, so callers may
+// only Advance it while no chip operation is in flight.
+type Chip struct {
+	geo   Geometry
+	phys  Tech
+	model ErrorModel
+	clock *sim.Clock
+
+	blocks []block
+	planes []plane
 }
 
 // ChipConfig configures a simulated chip.
@@ -161,6 +190,10 @@ type ChipConfig struct {
 	// EnduranceSigma is the lognormal sigma of block-to-block endurance
 	// variance; 0 disables variance.
 	EnduranceSigma float64
+	// Planes is the number of independently lockable planes
+	// (0 => DefaultPlanes). The plane count reshapes per-plane RNG
+	// streams, so like Seed it is part of the simulation's identity.
+	Planes int
 }
 
 // NewChip builds a chip with every block erased in native mode.
@@ -178,13 +211,30 @@ func NewChip(cfg ChipConfig) (*Chip, error) {
 	if model == (ErrorModel{}) {
 		model = DefaultErrorModel()
 	}
+	planes := cfg.Planes
+	if planes == 0 {
+		planes = DefaultPlanes
+	}
+	if planes < 1 {
+		return nil, fmt.Errorf("flash: plane count %d out of range", planes)
+	}
+	// A plane without blocks would just idle; clamp so tiny test
+	// geometries still build.
+	if planes > cfg.Geometry.Blocks {
+		planes = cfg.Geometry.Blocks
+	}
 	c := &Chip{
 		geo:    cfg.Geometry,
 		phys:   cfg.Tech,
 		model:  model,
 		clock:  cfg.Clock,
-		rng:    sim.NewRNG(cfg.Seed),
 		blocks: make([]block, cfg.Geometry.Blocks),
+		planes: make([]plane, planes),
+	}
+	// Plane RNG streams split from the chip seed before any concurrency
+	// exists (the SplitSeeds dispatch-side pattern).
+	for i, seed := range sim.NewRNG(cfg.Seed).SplitSeeds(planes) {
+		c.planes[i].rng = sim.NewRNG(seed)
 	}
 	varRNG := sim.NewRNG(cfg.Seed + 0x5eed)
 	for i := range c.blocks {
@@ -217,9 +267,14 @@ func newBlock(mode Mode, nativePages int, endScale float64) block {
 	if pages < 1 {
 		pages = 1
 	}
+	es := endScale
+	if es <= 0 {
+		es = 1
+	}
 	return block{
 		mode:      mode,
 		endScale:  endScale,
+		ratedEnd:  float64(mode.RatedPEC()) * es,
 		pagesAvab: pages,
 		state:     make([]PageState, pages),
 		data:      make([][]byte, pages),
@@ -238,11 +293,11 @@ func newBlock(mode Mode, nativePages int, endScale float64) block {
 // pooled buffer fits any payload (Program bounds n by RawPageBytes
 // first). The allocation lives here, not in Program, so the program fast
 // path itself stays make-free once the pool is warm.
-func (c *Chip) getPageBuf(n int) []byte {
-	if last := len(c.bufPool) - 1; last >= 0 {
-		buf := c.bufPool[last]
-		c.bufPool[last] = nil
-		c.bufPool = c.bufPool[:last]
+func (c *Chip) getPageBuf(pl *plane, n int) []byte {
+	if last := len(pl.bufPool) - 1; last >= 0 {
+		buf := pl.bufPool[last]
+		pl.bufPool[last] = nil
+		pl.bufPool = pl.bufPool[:last]
 		if cap(buf) >= n {
 			return buf[:n]
 		}
@@ -254,26 +309,26 @@ func (c *Chip) getPageBuf(n int) []byte {
 	return make([]byte, n, m)
 }
 
-// putPageBuf returns a payload buffer to the pool.
-func (c *Chip) putPageBuf(buf []byte) {
+// putPageBuf returns a payload buffer to the plane's pool.
+func (c *Chip) putPageBuf(pl *plane, buf []byte) {
 	if buf != nil {
-		c.bufPool = append(c.bufPool, buf)
+		pl.bufPool = append(pl.bufPool, buf)
 	}
 }
 
-// readBuf returns the next read-ring buffer resized to n, growing the
-// slot on first use (or if a larger payload ever appears).
-func (c *Chip) readBuf(n int) []byte {
-	i := c.readCur
-	c.readCur = (i + 1) % len(c.readRing)
-	if cap(c.readRing[i]) < n {
+// readBuf returns the plane's next read-ring buffer resized to n,
+// growing the slot on first use (or if a larger payload ever appears).
+func (c *Chip) readBuf(pl *plane, n int) []byte {
+	i := pl.readCur
+	pl.readCur = (i + 1) % len(pl.readRing)
+	if cap(pl.readRing[i]) < n {
 		m := c.geo.RawPageBytes()
 		if m < n {
 			m = n
 		}
-		c.readRing[i] = make([]byte, m)
+		pl.readRing[i] = make([]byte, m)
 	}
-	return c.readRing[i][:n]
+	return pl.readRing[i][:n]
 }
 
 // Geometry returns the chip geometry.
@@ -285,16 +340,32 @@ func (c *Chip) Tech() Tech { return c.phys }
 // Blocks returns the number of erase blocks.
 func (c *Chip) Blocks() int { return len(c.blocks) }
 
+// Planes returns the number of independently lockable planes.
+func (c *Chip) Planes() int { return len(c.planes) }
+
+// PlaneOf returns the plane that owns block b. Blocks stripe across
+// planes by index, so consecutively allocated blocks land on different
+// planes and a multi-block write burst spreads naturally.
+func (c *Chip) PlaneOf(b int) int { return b % len(c.planes) }
+
+// planeFor returns the plane owning block b; b must be in range.
+func (c *Chip) planeFor(b int) *plane { return &c.planes[b%len(c.planes)] }
+
 // PagesIn returns the number of pages block b exposes in its current
 // operating mode.
 func (c *Chip) PagesIn(b int) (int, error) {
 	if b < 0 || b >= len(c.blocks) {
 		return 0, ErrBadAddress
 	}
-	return c.blocks[b].pagesAvab, nil
+	pl := c.planeFor(b)
+	pl.mu.Lock()
+	n := c.blocks[b].pagesAvab
+	pl.mu.Unlock()
+	return n, nil
 }
 
-// checkAddr validates a block/page address.
+// checkAddr validates a block/page address. Callers must hold the
+// owning plane's lock (pagesAvab can change under SetMode).
 func (c *Chip) checkAddr(b, page int) (*block, error) {
 	if b < 0 || b >= len(c.blocks) {
 		return nil, ErrBadAddress
@@ -311,6 +382,20 @@ func (c *Chip) checkAddr(b, page int) (*block, error) {
 // (length dataLen), which models bulk traffic without storing payload
 // bytes. Programming bumps nothing on wear — wear accrues at erase.
 func (c *Chip) Program(b, page int, data []byte, dataLen int) error {
+	if b < 0 || b >= len(c.blocks) {
+		return ErrBadAddress
+	}
+	pl := c.planeFor(b)
+	pl.mu.Lock()
+	err := c.programLocked(pl, b, page, data, dataLen, false)
+	pl.mu.Unlock()
+	return err
+}
+
+// programLocked stores one page. own marks data as an already-pooled
+// buffer the chip may keep without copying (see ProgramOp.Own); the
+// caller reclaims it on error.
+func (c *Chip) programLocked(pl *plane, b, page int, data []byte, dataLen int, own bool) error {
 	blk, err := c.checkAddr(b, page)
 	if err != nil {
 		return err
@@ -325,10 +410,15 @@ func (c *Chip) Program(b, page int, data []byte, dataLen int) error {
 		return ErrOutOfOrder
 	}
 	// Hard wear-out: programs past the endurance limit start failing
-	// their status checks. The page stays erased.
-	if p := c.model.FailureProb(blk.mode, blk.pec, blk.endScale); p > 0 && c.rng.Bool(p) {
-		c.progFails++
-		return ErrProgramFail
+	// their status checks. The page stays erased. The cached threshold
+	// keeps FailureProb (mode switches, float math) off the hot path for
+	// the overwhelmingly common below-rated case; at or below ratedEnd
+	// the probability is exactly 0, so no RNG draw is skipped.
+	if float64(blk.pec) > blk.ratedEnd {
+		if p := c.model.FailureProb(blk.mode, blk.pec, blk.endScale); p > 0 && pl.rng.Bool(p) {
+			pl.progFails++
+			return ErrProgramFail
+		}
 	}
 	if data != nil {
 		dataLen = len(data)
@@ -339,12 +429,14 @@ func (c *Chip) Program(b, page int, data []byte, dataLen int) error {
 	if dataLen < 0 {
 		return fmt.Errorf("flash: negative payload length %d", dataLen)
 	}
-	if data != nil {
-		stored := c.getPageBuf(len(data))
+	if data == nil {
+		blk.data[page] = nil
+	} else if own {
+		blk.data[page] = data
+	} else {
+		stored := c.getPageBuf(pl, len(data))
 		copy(stored, data)
 		blk.data[page] = stored
-	} else {
-		blk.data[page] = nil
 	}
 	blk.dataLen[page] = int32(dataLen)
 	blk.state[page] = PageWritten
@@ -354,14 +446,20 @@ func (c *Chip) Program(b, page int, data []byte, dataLen int) error {
 	blk.injected[page] = 0
 	blk.tagged[page] = false
 	blk.nextPage = page + 1
-	c.programs++
+	pl.programs++
 	return nil
 }
 
 // ProgramTagged programs a page and records OOB controller metadata for
 // later table rebuilds.
 func (c *Chip) ProgramTagged(b, page int, data []byte, dataLen int, tag PageTag) error {
-	if err := c.Program(b, page, data, dataLen); err != nil {
+	if b < 0 || b >= len(c.blocks) {
+		return ErrBadAddress
+	}
+	pl := c.planeFor(b)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if err := c.programLocked(pl, b, page, data, dataLen, false); err != nil {
 		return err
 	}
 	blk := &c.blocks[b]
@@ -370,8 +468,97 @@ func (c *Chip) ProgramTagged(b, page int, data []byte, dataLen int, tag PageTag)
 	return nil
 }
 
+// ProgramOp is one entry of a multi-page program run. Outcomes land in
+// Err per op; a run call never fails as a whole. Own marks Data as a
+// buffer obtained from TakeProgramBufs: the chip stores it directly
+// instead of copying into a fresh pool buffer — the caller must not
+// touch it afterwards. If an owned program fails, the chip reclaims the
+// buffer into its pool.
+type ProgramOp struct {
+	Block, Page int
+	Data        []byte
+	DataLen     int
+	Tag         PageTag
+	Own         bool
+	Err         error
+}
+
+// TakeProgramBufs hands out len(sizes) payload buffers from plane p's
+// pool under one lock acquisition; bufs[i] gets length sizes[i] (full
+// raw-page capacity underneath, like every pooled buffer). Intended for
+// encoding payloads in place ahead of an owned program run, eliminating
+// the per-page copy Program would otherwise do.
+func (c *Chip) TakeProgramBufs(p int, sizes []int, bufs [][]byte) {
+	pl := &c.planes[p]
+	pl.mu.Lock()
+	for i, n := range sizes {
+		bufs[i] = c.getPageBuf(pl, n)
+	}
+	pl.mu.Unlock()
+}
+
+// ReturnProgramBufs gives taken-but-unused buffers back to plane p's
+// pool (an owned program that never reached the chip).
+func (c *Chip) ReturnProgramBufs(p int, bufs [][]byte) {
+	pl := &c.planes[p]
+	pl.mu.Lock()
+	for _, b := range bufs {
+		c.putPageBuf(pl, b)
+	}
+	pl.mu.Unlock()
+}
+
+// ProgramRunTagged executes a run of tagged programs that all target the
+// plane owning ops[0].Block, under a single plane-lock acquisition —
+// per-page locking is measurable overhead when a batch maps dozens of
+// programs onto the same plane. Ops are executed blindly in order; an op
+// addressing a different plane gets ErrBadAddress without executing.
+//
+// Equivalence with per-op ProgramTagged calls is exact, including the
+// plane RNG stream: after a program-status failure the block's page
+// cursor stalls, so later ops on it return ErrOutOfOrder before any
+// failure-probability draw — zero draws, just as if they were skipped.
+func (c *Chip) ProgramRunTagged(ops []ProgramOp) {
+	if len(ops) == 0 {
+		return
+	}
+	b0 := ops[0].Block
+	if b0 < 0 || b0 >= len(c.blocks) {
+		for i := range ops {
+			ops[i].Err = ErrBadAddress
+		}
+		return
+	}
+	pl := c.planeFor(b0)
+	pl.mu.Lock()
+	for i := range ops {
+		op := &ops[i]
+		if op.Block < 0 || op.Block >= len(c.blocks) || c.planeFor(op.Block) != pl {
+			op.Err = ErrBadAddress
+		} else {
+			op.Err = c.programLocked(pl, op.Block, op.Page, op.Data, op.DataLen, op.Own)
+		}
+		if op.Err == nil {
+			blk := &c.blocks[op.Block]
+			blk.tags[op.Page] = op.Tag
+			blk.tagged[op.Page] = true
+		} else if op.Own && op.Data != nil {
+			// The chip committed to owning this buffer; a failed program
+			// reclaims it so the pool doesn't leak.
+			c.putPageBuf(pl, op.Data)
+		}
+	}
+	pl.mu.Unlock()
+}
+
 // Tag returns the OOB metadata of a written page, if any.
 func (c *Chip) Tag(b, page int) (PageTag, bool, error) {
+	if b < 0 || b >= len(c.blocks) {
+		return PageTag{}, false, ErrBadAddress
+	}
+	pl := c.planeFor(b)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	blk, err := c.checkAddr(b, page)
 	if err != nil {
 		return PageTag{}, false, err
@@ -403,10 +590,16 @@ type ReadResult struct {
 // flips it stays flipped until the block is erased (retention and wear
 // failures are persistent charge loss, not transient noise).
 //
-// The returned Data aliases a chip-owned ring buffer that is reused
-// after a few subsequent payload reads (see readRing); callers that
-// retain the payload beyond that must copy it.
+// The returned Data aliases a plane-owned ring buffer that is reused
+// after a few subsequent payload reads on the same plane (see
+// readRing); callers that retain the payload beyond that must copy it.
 func (c *Chip) Read(b, page int) (ReadResult, error) {
+	if b < 0 || b >= len(c.blocks) {
+		return ReadResult{}, ErrBadAddress
+	}
+	pl := c.planeFor(b)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	blk, err := c.checkAddr(b, page)
 	if err != nil {
 		return ReadResult{}, err
@@ -415,7 +608,7 @@ func (c *Chip) Read(b, page int) (ReadResult, error) {
 		return ReadResult{}, ErrNotWritten
 	}
 	blk.reads[page]++
-	c.readsT++
+	pl.readsT++
 
 	retention := c.clock.Now() - blk.writtenAt[page]
 	rber := c.model.RBER(blk.mode, blk.pec, retention, int(blk.reads[page]), blk.endScale)
@@ -428,7 +621,7 @@ func (c *Chip) Read(b, page int) (ReadResult, error) {
 	target := float64(nbits) * rber
 	newFlips := 0
 	if delta := target - blk.injected[page]; delta > 0 {
-		newFlips = c.rng.Poisson(delta)
+		newFlips = pl.rng.Poisson(delta)
 		if max := nbits - int(blk.flips[page]); newFlips > max {
 			newFlips = max
 		}
@@ -436,10 +629,10 @@ func (c *Chip) Read(b, page int) (ReadResult, error) {
 	}
 	if newFlips > 0 {
 		if blk.data[page] != nil {
-			c.flipBits(blk.data[page], newFlips)
+			flipBits(pl.rng, blk.data[page], newFlips)
 		}
 		blk.flips[page] += uint32(newFlips)
-		c.bitFlips += int64(newFlips)
+		pl.bitFlips += int64(newFlips)
 	}
 
 	res := ReadResult{
@@ -449,7 +642,7 @@ func (c *Chip) Read(b, page int) (ReadResult, error) {
 		RBER:         rber,
 	}
 	if blk.data[page] != nil {
-		out := c.readBuf(len(blk.data[page]))
+		out := c.readBuf(pl, len(blk.data[page]))
 		copy(out, blk.data[page])
 		res.Data = out
 	}
@@ -459,13 +652,13 @@ func (c *Chip) Read(b, page int) (ReadResult, error) {
 // flipBits flips n random bit positions in data (repeats allowed across
 // calls; within a call positions are drawn independently, which at flash
 // error rates almost never collides).
-func (c *Chip) flipBits(data []byte, n int) {
+func flipBits(rng *sim.RNG, data []byte, n int) {
 	nbits := len(data) * 8
 	if nbits == 0 {
 		return
 	}
 	for i := 0; i < n; i++ {
-		pos := c.rng.Intn(nbits)
+		pos := rng.Intn(nbits)
 		data[pos/8] ^= 1 << uint(pos%8)
 	}
 }
@@ -474,6 +667,12 @@ func (c *Chip) flipBits(data []byte, n int) {
 // logical page elsewhere). The medium still holds the bits; the state is
 // bookkeeping for GC.
 func (c *Chip) MarkStale(b, page int) error {
+	if b < 0 || b >= len(c.blocks) {
+		return ErrBadAddress
+	}
+	pl := c.planeFor(b)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	blk, err := c.checkAddr(b, page)
 	if err != nil {
 		return err
@@ -491,19 +690,24 @@ func (c *Chip) Erase(b int) error {
 	if b < 0 || b >= len(c.blocks) {
 		return ErrBadAddress
 	}
+	pl := c.planeFor(b)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	blk := &c.blocks[b]
 	if blk.retired {
 		return ErrRetired
 	}
-	if p := c.model.FailureProb(blk.mode, blk.pec, blk.endScale); p > 0 && c.rng.Bool(p) {
-		c.eraseFails++
-		return ErrEraseFail
+	if float64(blk.pec) > blk.ratedEnd {
+		if p := c.model.FailureProb(blk.mode, blk.pec, blk.endScale); p > 0 && pl.rng.Bool(p) {
+			pl.eraseFails++
+			return ErrEraseFail
+		}
 	}
 	blk.pec++
 	blk.nextPage = 0
 	for i := 0; i < blk.pagesAvab; i++ {
 		blk.state[i] = PageErased
-		c.putPageBuf(blk.data[i])
+		c.putPageBuf(pl, blk.data[i])
 		blk.data[i] = nil
 		blk.dataLen[i] = 0
 		blk.reads[i] = 0
@@ -511,7 +715,7 @@ func (c *Chip) Erase(b int) error {
 		blk.injected[i] = 0
 		blk.tagged[i] = false
 	}
-	c.erases++
+	pl.erases++
 	return nil
 }
 
@@ -525,6 +729,9 @@ func (c *Chip) SetMode(b int, m Mode) error {
 	if !m.Valid() || m.Phys != c.phys {
 		return fmt.Errorf("flash: mode %v invalid for %v chip", m, c.phys)
 	}
+	pl := c.planeFor(b)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	blk := &c.blocks[b]
 	if blk.retired {
 		return ErrRetired
@@ -545,7 +752,10 @@ func (c *Chip) Retire(b int) error {
 	if b < 0 || b >= len(c.blocks) {
 		return ErrBadAddress
 	}
+	pl := c.planeFor(b)
+	pl.mu.Lock()
 	c.blocks[b].retired = true
+	pl.mu.Unlock()
 	return nil
 }
 
@@ -567,6 +777,9 @@ func (c *Chip) Info(b int) (BlockInfo, error) {
 	if b < 0 || b >= len(c.blocks) {
 		return BlockInfo{}, ErrBadAddress
 	}
+	pl := c.planeFor(b)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	blk := &c.blocks[b]
 	rated := blk.mode.RatedPEC()
 	return BlockInfo{
@@ -585,6 +798,12 @@ func (c *Chip) Info(b int) (BlockInfo, error) {
 // PageRBER returns the modelled RBER a read of (b, page) would see now,
 // without performing the read (no disturb added). Used by the scrubber.
 func (c *Chip) PageRBER(b, page int) (float64, error) {
+	if b < 0 || b >= len(c.blocks) {
+		return 0, ErrBadAddress
+	}
+	pl := c.planeFor(b)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	blk, err := c.checkAddr(b, page)
 	if err != nil {
 		return 0, err
@@ -598,6 +817,12 @@ func (c *Chip) PageRBER(b, page int) (float64, error) {
 
 // StateOf returns the state of (b, page).
 func (c *Chip) StateOf(b, page int) (PageState, error) {
+	if b < 0 || b >= len(c.blocks) {
+		return 0, ErrBadAddress
+	}
+	pl := c.planeFor(b)
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	blk, err := c.checkAddr(b, page)
 	if err != nil {
 		return 0, err
@@ -615,12 +840,21 @@ type Stats struct {
 	EraseFails int64
 }
 
-// Stats returns cumulative operation counts.
+// Stats returns cumulative operation counts, summed across planes.
 func (c *Chip) Stats() Stats {
-	return Stats{
-		Programs: c.programs, Reads: c.readsT, Erases: c.erases,
-		BitFlips: c.bitFlips, ProgFails: c.progFails, EraseFails: c.eraseFails,
+	var s Stats
+	for i := range c.planes {
+		pl := &c.planes[i]
+		pl.mu.Lock()
+		s.Programs += pl.programs
+		s.Reads += pl.readsT
+		s.Erases += pl.erases
+		s.BitFlips += pl.bitFlips
+		s.ProgFails += pl.progFails
+		s.EraseFails += pl.eraseFails
+		pl.mu.Unlock()
 	}
+	return s
 }
 
 // Model returns the chip's error model.

@@ -1,0 +1,146 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sos/internal/sim"
+)
+
+// runChip builds a small multi-plane chip for program-run tests.
+func runChip(t *testing.T) *Chip {
+	t.Helper()
+	c, err := NewChip(ChipConfig{
+		Geometry: Geometry{PageSize: 256, PagesPerBlock: 8, Blocks: 16},
+		Tech:     TLC,
+		Clock:    &sim.Clock{},
+		Seed:     7,
+		Planes:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestProgramRunMatchesPerOp: a run of tagged programs must leave the
+// chip in the same state as the same ops issued through ProgramTagged
+// one by one — same data, same tags, same cursor.
+func TestProgramRunMatchesPerOp(t *testing.T) {
+	run, ref := runChip(t), runChip(t)
+	// Blocks 0 and 4 share plane 0 (block % planes).
+	ops := make([]ProgramOp, 0, 6)
+	for i := 0; i < 3; i++ {
+		for _, b := range []int{0, 4} {
+			data := bytes.Repeat([]byte{byte(16*b + i + 1)}, 100)
+			ops = append(ops, ProgramOp{
+				Block: b, Page: i, Data: data,
+				Tag: PageTag{LPA: int64(100*b + i), Serial: uint64(len(ops) + 1)},
+			})
+		}
+	}
+	run.ProgramRunTagged(ops)
+	for i := range ops {
+		if ops[i].Err != nil {
+			t.Fatalf("run op %d: %v", i, ops[i].Err)
+		}
+		if err := ref.ProgramTagged(ops[i].Block, ops[i].Page, ops[i].Data, 0, ops[i].Tag); err != nil {
+			t.Fatalf("ref op %d: %v", i, err)
+		}
+	}
+	for i := range ops {
+		rr, err1 := run.Read(ops[i].Block, ops[i].Page)
+		fr, err2 := ref.Read(ops[i].Block, ops[i].Page)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("read op %d: run=%v ref=%v", i, err1, err2)
+		}
+		if !bytes.Equal(rr.Data, fr.Data) {
+			t.Fatalf("op %d: run data diverges from per-op data", i)
+		}
+		tag, ok, err := run.Tag(ops[i].Block, ops[i].Page)
+		if err != nil || !ok || tag != ops[i].Tag {
+			t.Fatalf("op %d: tag not recorded by run (%v, %v, %v)", i, tag, ok, err)
+		}
+	}
+}
+
+// TestProgramRunCrossPlane: an op addressing a foreign plane must be
+// rejected without executing, and must not disturb its neighbours.
+func TestProgramRunCrossPlane(t *testing.T) {
+	c := runChip(t)
+	data := bytes.Repeat([]byte{0xEE}, 64)
+	ops := []ProgramOp{
+		{Block: 0, Page: 0, Data: data, Tag: PageTag{LPA: 1, Serial: 1}},
+		{Block: 1, Page: 0, Data: data, Tag: PageTag{LPA: 2, Serial: 2}}, // plane 1: foreign
+		{Block: 4, Page: 0, Data: data, Tag: PageTag{LPA: 3, Serial: 3}},
+	}
+	c.ProgramRunTagged(ops)
+	if ops[0].Err != nil || ops[2].Err != nil {
+		t.Fatalf("same-plane ops failed: %v, %v", ops[0].Err, ops[2].Err)
+	}
+	if !errors.Is(ops[1].Err, ErrBadAddress) {
+		t.Fatalf("cross-plane op got %v, want ErrBadAddress", ops[1].Err)
+	}
+	if st, _ := c.StateOf(1, 0); st != PageErased {
+		t.Fatal("cross-plane op must not execute")
+	}
+}
+
+// TestProgramRunOwnedBuffers pins the no-copy handoff lifecycle: a
+// buffer from TakeProgramBufs becomes chip storage verbatim on an owned
+// program, a failed owned program reclaims the buffer into the pool,
+// and erase recycles stored buffers back for the next take.
+func TestProgramRunOwnedBuffers(t *testing.T) {
+	c := runChip(t)
+	sizes := []int{100, 100}
+	bufs := make([][]byte, 2)
+	c.TakeProgramBufs(0, sizes, bufs)
+	for i, b := range bufs {
+		if len(b) != sizes[i] {
+			t.Fatalf("buf %d: length %d, want %d", i, len(b), sizes[i])
+		}
+		for j := range b {
+			b[j] = byte(i + 1)
+		}
+	}
+	ops := []ProgramOp{
+		{Block: 0, Page: 0, Data: bufs[0], Own: true, Tag: PageTag{LPA: 1, Serial: 1}},
+		{Block: 0, Page: 5, Data: bufs[1], Own: true, Tag: PageTag{LPA: 2, Serial: 2}}, // out of order: fails
+	}
+	c.ProgramRunTagged(ops)
+	if ops[0].Err != nil {
+		t.Fatal(ops[0].Err)
+	}
+	if !errors.Is(ops[1].Err, ErrOutOfOrder) {
+		t.Fatalf("out-of-order owned program got %v", ops[1].Err)
+	}
+	// The stored page must read back as the exact buffer contents, with
+	// no intermediate copy having intervened.
+	rr, err := c.Read(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rr.Data {
+		if v != 1 {
+			t.Fatal("owned buffer contents not stored verbatim")
+		}
+	}
+	// The failed op's buffer went back to the pool: taking one buffer
+	// must hand it out again (the pool held exactly that one).
+	re := make([][]byte, 1)
+	c.TakeProgramBufs(0, []int{64}, re)
+	if &re[0][0] != &bufs[1][0] {
+		t.Fatal("failed owned program did not reclaim its buffer into the pool")
+	}
+	c.ReturnProgramBufs(0, re)
+	// Erase recycles the stored page's buffer too.
+	if err := c.Erase(0); err != nil {
+		t.Fatal(err)
+	}
+	two := make([][]byte, 2)
+	c.TakeProgramBufs(0, []int{32, 32}, two)
+	if len(c.planes[0].bufPool) != 0 {
+		t.Fatalf("pool should be drained after taking both recycled buffers, has %d", len(c.planes[0].bufPool))
+	}
+}

@@ -65,6 +65,9 @@ type FS struct {
 	// handlers run re-entrantly (a write can trigger auto-delete) and
 	// must not delete the file under mutation — they consult Busy().
 	busy FileID
+
+	// batch is the reusable scratch for batched multi-page writes.
+	batch []device.BatchWrite
 }
 
 // New mounts a filesystem on the device.
@@ -177,32 +180,41 @@ func (f *FS) writePagesOnce(e *fileEntry, payload []byte, size int64, class devi
 	e.pages = e.pages[:0]
 
 	ps := f.pageSize()
-	for p := int64(0); p < npages; p++ {
-		lba := f.nextLB
-		f.nextLB++
-		var chunk []byte
-		chunkLen := int(ps)
-		if p == npages-1 {
-			chunkLen = int(size - p*ps)
-		}
-		if payload != nil {
-			lo := p * ps
-			hi := lo + int64(chunkLen)
-			chunk = payload[lo:hi]
-		}
-		if _, err := f.dev.Write(lba, chunk, chunkLen, class); err != nil {
-			// Roll back already-written pages of this attempt.
-			for _, w := range e.pages {
-				_ = f.dev.Trim(w)
-			}
-			e.pages = e.pages[:0]
-			e.size = 0
-			if errors.Is(err, storage.ErrNoSpace) {
-				return ErrNoSpace
-			}
+	if npages > 1 {
+		// Multi-page files go down the device's batched multi-queue
+		// path; its results are identical to the page-at-a-time loop at
+		// every queue and worker count.
+		if err := f.writeBatchOnce(e, payload, size, npages, class); err != nil {
 			return err
 		}
-		e.pages = append(e.pages, lba)
+	} else {
+		for p := int64(0); p < npages; p++ {
+			lba := f.nextLB
+			f.nextLB++
+			var chunk []byte
+			chunkLen := int(ps)
+			if p == npages-1 {
+				chunkLen = int(size - p*ps)
+			}
+			if payload != nil {
+				lo := p * ps
+				hi := lo + int64(chunkLen)
+				chunk = payload[lo:hi]
+			}
+			if _, err := f.dev.Write(lba, chunk, chunkLen, class); err != nil {
+				// Roll back already-written pages of this attempt.
+				for _, w := range e.pages {
+					_ = f.dev.Trim(w)
+				}
+				e.pages = e.pages[:0]
+				e.size = 0
+				if errors.Is(err, storage.ErrNoSpace) {
+					return ErrNoSpace
+				}
+				return err
+			}
+			e.pages = append(e.pages, lba)
+		}
 	}
 	e.size = size
 	e.class = class
@@ -210,6 +222,57 @@ func (f *FS) writePagesOnce(e *fileEntry, payload []byte, size int64, class devi
 	e.updated = f.dev.Clock().Now()
 	e.writes++
 	f.used += npages * ps
+	return nil
+}
+
+// writeBatchOnce writes all of a file's pages as one device batch. On
+// any per-page failure the pages that did land are trimmed and the
+// first error is returned, matching the serial loop's rollback.
+func (f *FS) writeBatchOnce(e *fileEntry, payload []byte, size, npages int64, class device.Class) error {
+	ps := f.pageSize()
+	if cap(f.batch) < int(npages) {
+		f.batch = make([]device.BatchWrite, npages)
+	}
+	ws := f.batch[:npages]
+	for p := int64(0); p < npages; p++ {
+		lba := f.nextLB
+		f.nextLB++
+		chunkLen := int(ps)
+		if p == npages-1 {
+			chunkLen = int(size - p*ps)
+		}
+		var chunk []byte
+		if payload != nil {
+			lo := p * ps
+			chunk = payload[lo : lo+int64(chunkLen)]
+		}
+		ws[p] = device.BatchWrite{LBA: lba, Data: chunk, DataLen: chunkLen, Class: class}
+	}
+	_, fates, err := f.dev.WriteBatch(ws)
+	if err == nil {
+		for i := range fates {
+			if fates[i].Err != nil {
+				err = fates[i].Err
+				break
+			}
+		}
+	}
+	if err != nil {
+		for i := range ws {
+			if fates != nil && fates[i].Err == nil {
+				_ = f.dev.Trim(ws[i].LBA)
+			}
+		}
+		e.pages = e.pages[:0]
+		e.size = 0
+		if errors.Is(err, storage.ErrNoSpace) {
+			return ErrNoSpace
+		}
+		return err
+	}
+	for i := range ws {
+		e.pages = append(e.pages, ws[i].LBA)
+	}
 	return nil
 }
 

@@ -1,0 +1,567 @@
+package ftl
+
+import (
+	"errors"
+	"sync"
+
+	"sos/internal/ecc"
+	"sos/internal/flash"
+	"sos/internal/obs"
+	"sos/internal/storage"
+)
+
+// Batched multi-queue writes. WriteBatch is semantically one Write per
+// op in submission (Seq) order, restructured so the expensive parts run
+// concurrently — and each payload byte is written exactly once — without
+// perturbing any result:
+//
+//	phase A — validate: reject malformed ops, size their codewords
+//	phase B — place:    one serial pass in canonical order reserves
+//	                    (block, page) slots and write serials — all
+//	                    allocation-policy state advances here
+//	phase C — encode:   per-queue ECC encode, written directly into
+//	                    chip-owned page buffers taken per plane
+//	                    (parallel across queues; output depends only on
+//	                    the bytes, not on scheduling)
+//	phase D — program:  per-plane workers execute the reserved programs,
+//	                    one whole-plane run per lock acquisition, with
+//	                    buffer ownership handed to the chip (no copy)
+//	phase E — settle:   one serial pass in canonical order applies
+//	                    mapping updates, telemetry, and failure repair
+//
+// Placement before encode is what makes the no-copy handoff possible:
+// the plane that will store a payload is known before its codeword is
+// produced, so the codeword can be born in the buffer the chip will
+// keep. Every op that needs the allocator's slow machinery — GC,
+// allocation under a low pool, a static wear-leveling check, or an LPA
+// already pending in the current run — stops the run and goes through
+// the unmodified serial path (writeOne) instead, so all reclamation
+// hazards stay confined to code that predates batching.
+//
+// The structure is identical at every queue and worker count; those
+// only change wall-clock time.
+
+// batchDesc is one reserved program, recorded in phase B, encoded in
+// phase C, executed in phase D, settled in phase E.
+type batchDesc struct {
+	opIdx   int
+	lpa     int64
+	stream  StreamID
+	dataLen int
+	block   int
+	page    int
+	plane   int32
+	serial  uint64
+	payload bool   // op carries bytes (vs accounting-only)
+	stored  []byte // chip-owned encode target; nil = accounting-only
+	storedN int
+
+	// Phase C/D outcome.
+	err     error
+	runPos  int32 // index into the plane's program run; -1 = never ran
+	skipped bool  // never attempted: an earlier program failed this block
+}
+
+// batchScratch is WriteBatch's reusable state.
+type batchScratch struct {
+	descs    []batchDesc
+	encN     []int               // per-op codeword size; -1 = rejected
+	planes   int                 // plane count of the current medium
+	planeIdx [][]int32           // per-plane descriptor index lists
+	planeOps [][]flash.ProgramOp // per-plane program-run scratch
+	sizes    []int               // buffer-take scratch
+	bufs     [][]byte            // buffer-take scratch
+	pending  map[int64]struct{}  // LPAs placed in the current run
+	wg       sync.WaitGroup
+}
+
+// WriteBatch implements storage.BatchWriter. fates[i] records the
+// outcome of ops[i]; queues is the submission-queue count the ops were
+// dealt across and workers bounds goroutine use. Results are identical
+// for every (queues, workers) pair.
+func (f *FTL) WriteBatch(ops []storage.BatchOp, fates []storage.BatchFate, queues, workers int) {
+	defer f.flushCapacity()
+	if len(ops) == 0 {
+		return
+	}
+	pf, planed := f.chip.(storage.PlanedFlash)
+	rp, runs := f.chip.(storage.RunProgrammer)
+	if !planed || !runs {
+		// The medium didn't opt into plane parallelism — the fault
+		// interposer's plans are op-indexed and unsynchronized, for one.
+		// Run the ops through the serial path in canonical order.
+		for i := range ops {
+			b, p, err := f.writeOne(ops[i].LPA, ops[i].Data, ops[i].DataLen, ops[i].Stream)
+			fates[i] = storage.BatchFate{Err: err, Block: b, Page: p}
+		}
+		return
+	}
+	if queues < 1 {
+		queues = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	f.ensureBatchScratch(len(ops), pf.Planes())
+
+	f.validateBatch(ops, fates)
+
+	for i := 0; i < len(ops); {
+		placed := f.placeRun(ops, fates, i)
+		if placed == 0 {
+			// Head op needs the slow path (GC, static WL, pressure
+			// allocation); no placements are pending here, so every
+			// reclamation hazard is exactly as in the serial design.
+			op := &ops[i]
+			b, p, err := f.writeOne(op.LPA, op.Data, op.DataLen, op.Stream)
+			fates[i] = storage.BatchFate{Err: err, Block: b, Page: p}
+			i++
+			continue
+		}
+		f.groupPlanes(pf)
+		f.takeRunBufs(rp)
+		f.encodeRun(ops, queues, workers)
+		f.execDescs(rp, workers)
+		f.settleDescs(ops, fates)
+		i += placed
+	}
+}
+
+// ensureBatchScratch sizes the reusable scratch for a batch of n ops
+// over a medium with the given plane count.
+func (f *FTL) ensureBatchScratch(n, planes int) {
+	bs := &f.bs
+	if cap(bs.encN) < n {
+		bs.encN = make([]int, n)
+	}
+	if cap(bs.descs) < n {
+		bs.descs = make([]batchDesc, 0, n)
+	}
+	if cap(bs.sizes) < n {
+		bs.sizes = make([]int, n)
+	}
+	if cap(bs.bufs) < n {
+		bs.bufs = make([][]byte, n)
+	}
+	bs.planes = planes
+	for len(bs.planeIdx) < planes {
+		bs.planeIdx = append(bs.planeIdx, nil)
+	}
+	for len(bs.planeOps) < planes {
+		bs.planeOps = append(bs.planeOps, nil)
+	}
+	if bs.pending == nil {
+		bs.pending = make(map[int64]struct{}, 64)
+	}
+	if len(f.pendingProgs) < len(f.blocks) {
+		f.pendingProgs = make([]int32, len(f.blocks))
+	}
+}
+
+// hasPending reports whether block b has unsettled batch placements.
+func (f *FTL) hasPending(b int) bool {
+	return f.pendingCnt > 0 && f.pendingProgs[b] > 0
+}
+
+// validateBatch is phase A: reject malformed ops (their fates are final
+// here) and record each accepted op's codeword size in encN — 0 for
+// accounting-only ops, -1 for rejects.
+func (f *FTL) validateBatch(ops []storage.BatchOp, fates []storage.BatchFate) {
+	bs := &f.bs
+	encN := bs.encN[:len(ops)]
+	for i := range ops {
+		op := &ops[i]
+		fates[i] = storage.BatchFate{Block: -1, Page: -1}
+		pol, err := f.policy(op.Stream)
+		if err != nil {
+			fates[i].Err = err
+			encN[i] = -1
+			continue
+		}
+		if op.LPA < 0 {
+			fates[i].Err = ErrBadLPA
+			encN[i] = -1
+			continue
+		}
+		dataLen := op.DataLen
+		if op.Data != nil {
+			dataLen = len(op.Data)
+		}
+		if dataLen <= 0 || dataLen > f.logicalSz {
+			fates[i].Err = ErrPayloadSize
+			encN[i] = -1
+			continue
+		}
+		if op.Data == nil {
+			encN[i] = 0
+			continue
+		}
+		padded := dataLen
+		if _, isHamming := pol.Scheme.(ecc.HammingScheme); isHamming {
+			padded = (dataLen + 7) &^ 7
+		}
+		encN[i] = pol.Scheme.Overhead(padded)
+	}
+}
+
+// encodeIntoFor encodes into dst via the scheme's IntoEncoder when it
+// has one, falling back to the allocating path (Hamming's 8-byte
+// padding, any future scheme without in-place support).
+func encodeIntoFor(s ecc.Scheme, dst, data []byte) (int, error) {
+	if enc, ok := s.(ecc.IntoEncoder); ok {
+		return enc.EncodeInto(dst, data)
+	}
+	out, err := encodeFor(s, data)
+	if err != nil {
+		return 0, err
+	}
+	return copy(dst, out), nil
+}
+
+// placeRun is phase B: starting at ops[start], reserve placements for
+// the longest prefix of ops the fast path can take — stream active
+// block has room, or a fresh block is allocatable without GC, without
+// tripping the static wear-leveling check, and above the reserve. The
+// run also stops before an op whose LPA is already placed in this run
+// (its mapping update must observe the earlier op's settle first).
+// Returns how many ops it consumed (descs may be fewer: ops rejected by
+// validation are consumed without a descriptor).
+func (f *FTL) placeRun(ops []storage.BatchOp, fates []storage.BatchFate, start int) int {
+	bs := &f.bs
+	bs.descs = bs.descs[:0]
+	clear(bs.pending)
+	placed := 0
+	for idx := start; idx < len(ops); idx++ {
+		op := &ops[idx]
+		if bs.encN[idx] < 0 {
+			// Rejected by validation; fate already set.
+			placed++
+			continue
+		}
+		if _, dup := bs.pending[op.LPA]; dup {
+			break
+		}
+		id := op.Stream
+		b := f.active[id]
+		if b >= 0 {
+			pages, err := f.chip.PagesIn(b)
+			if err != nil {
+				break // let the serial path surface chip errors
+			}
+			if f.blocks[b].fullPages >= pages {
+				f.active[id] = -1
+				b = -1
+			}
+		}
+		if b < 0 {
+			// Allocation needed: only when it cannot trigger GC or the
+			// static wear-leveling check — those run writeOne-only.
+			if len(f.freePool) <= f.gcLow || len(f.freePool) <= f.reserve {
+				break
+			}
+			if f.allocsSinceWL+1 >= staticWLCheckEvery {
+				break
+			}
+			f.allocsSinceWL++
+			nb, err := f.allocBlock(id)
+			if err != nil {
+				break
+			}
+			f.active[id] = nb
+			b = nb
+		}
+		st := &f.blocks[b]
+		page := st.fullPages
+		st.fullPages++
+		st.valid++ // optimistic; settle undoes it on failure
+		f.pendingProgs[b]++
+		f.pendingCnt++
+		f.writeSerial++
+		dataLen := op.DataLen
+		if op.Data != nil {
+			dataLen = len(op.Data)
+		}
+		d := batchDesc{
+			opIdx: idx, lpa: op.LPA, stream: id, dataLen: dataLen,
+			block: b, page: page, serial: f.writeSerial, runPos: -1,
+		}
+		if op.Data != nil {
+			d.payload = true
+			d.storedN = bs.encN[idx]
+		} else {
+			d.storedN = f.streams[id].Scheme.Overhead(dataLen)
+		}
+		bs.descs = append(bs.descs, d)
+		bs.pending[op.LPA] = struct{}{}
+		placed++
+	}
+	return placed
+}
+
+// groupPlanes buckets the run's descriptors by owning plane; each
+// bucket keeps canonical (Seq) order.
+func (f *FTL) groupPlanes(pf storage.PlanedFlash) {
+	bs := &f.bs
+	pidx := bs.planeIdx[:bs.planes]
+	for p := range pidx {
+		pidx[p] = pidx[p][:0]
+	}
+	for di := range bs.descs {
+		d := &bs.descs[di]
+		p := pf.PlaneOf(d.block)
+		d.plane = int32(p)
+		pidx[p] = append(pidx[p], int32(di))
+	}
+}
+
+// takeRunBufs hands each payload descriptor a chip-owned page buffer
+// from its plane's pool — one locked call per plane — for phase C to
+// encode into. Ownership passes to the chip at program time; buffers of
+// descriptors that never reach the chip are returned after phase D.
+func (f *FTL) takeRunBufs(rp storage.RunProgrammer) {
+	bs := &f.bs
+	for p := 0; p < bs.planes; p++ {
+		k := 0
+		for _, di := range bs.planeIdx[p] {
+			d := &bs.descs[di]
+			if d.payload {
+				bs.sizes[k] = d.storedN
+				k++
+			}
+		}
+		if k == 0 {
+			continue
+		}
+		rp.TakeProgramBufs(p, bs.sizes[:k], bs.bufs[:k])
+		k = 0
+		for _, di := range bs.planeIdx[p] {
+			d := &bs.descs[di]
+			if d.payload {
+				d.stored = bs.bufs[k]
+				bs.bufs[k] = nil
+				k++
+			}
+		}
+	}
+}
+
+// encodeRun is phase C: encode every payload descriptor's codeword into
+// its chip-owned buffer, parallel across queues when workers allow.
+// Each descriptor writes only its own buffer, its own stored slot, and
+// its own err, so queues share nothing.
+func (f *FTL) encodeRun(ops []storage.BatchOp, queues, workers int) {
+	bs := &f.bs
+	if workers > 1 && queues > 1 {
+		for q := 1; q < queues; q++ {
+			bs.wg.Add(1)
+			f.encodeRunAsync(ops, q, queues)
+		}
+		f.encodeRunQueue(ops, 0, queues)
+		bs.wg.Wait()
+		return
+	}
+	for q := 0; q < queues; q++ {
+		f.encodeRunQueue(ops, q, queues)
+	}
+}
+
+// encodeRunAsync runs encodeRunQueue on its own goroutine; a method
+// call rather than a closure so the spawn allocates no capture
+// environment.
+func (f *FTL) encodeRunAsync(ops []storage.BatchOp, q, queues int) {
+	go func() {
+		defer f.bs.wg.Done()
+		f.encodeRunQueue(ops, q, queues)
+	}()
+}
+
+// encodeRunQueue encodes queue q's payload descriptors. An encode
+// failure (unreachable after phase A validation, kept for safety) is
+// recorded as a program-status failure so phase E's repair machinery —
+// reservation rollback, block seal, serial-path retry — restores
+// consistency; the retry surfaces the real error as the op's fate.
+func (f *FTL) encodeRunQueue(ops []storage.BatchOp, q, queues int) {
+	bs := &f.bs
+	for di := range bs.descs {
+		d := &bs.descs[di]
+		if !d.payload {
+			continue
+		}
+		op := &ops[d.opIdx]
+		oq := op.Queue
+		if oq < 0 || oq >= queues {
+			oq = 0
+		}
+		if oq != q {
+			continue
+		}
+		pol := &f.streams[d.stream]
+		n, err := encodeIntoFor(pol.Scheme, d.stored, op.Data)
+		if err != nil {
+			d.err = flash.ErrProgramFail
+			continue
+		}
+		d.stored = d.stored[:n]
+	}
+}
+
+// execDescs is phase D: execute the run's reserved programs, fanned out
+// across plane workers. Each plane's descriptors run in canonical
+// order, so per-plane RNG draws are identical at every worker count.
+// Afterwards, buffers of descriptors that never reached the chip go
+// back to their plane's pool.
+func (f *FTL) execDescs(rp storage.RunProgrammer, workers int) {
+	bs := &f.bs
+	if len(bs.descs) == 0 {
+		return
+	}
+	pidx := bs.planeIdx[:bs.planes]
+	nw := workers
+	if nw > bs.planes {
+		nw = bs.planes
+	}
+	if nw <= 1 {
+		for p := range pidx {
+			f.execPlane(rp, p, pidx[p])
+		}
+	} else {
+		for w := 1; w < nw; w++ {
+			bs.wg.Add(1)
+			f.execPlanesAsync(rp, pidx, w, nw)
+		}
+		f.execPlanesWorker(rp, pidx, 0, nw)
+		bs.wg.Wait()
+	}
+	for di := range bs.descs {
+		d := &bs.descs[di]
+		if d.payload && d.runPos < 0 && d.stored != nil {
+			bs.bufs[0] = d.stored
+			rp.ReturnProgramBufs(int(d.plane), bs.bufs[:1])
+			bs.bufs[0] = nil
+			d.stored = nil
+		}
+	}
+}
+
+// execPlanesAsync runs one plane worker on its own goroutine.
+func (f *FTL) execPlanesAsync(rp storage.RunProgrammer, pidx [][]int32, w, nw int) {
+	go func() {
+		defer f.bs.wg.Done()
+		f.execPlanesWorker(rp, pidx, w, nw)
+	}()
+}
+
+// execPlanesWorker executes every plane assigned to worker w (static
+// stride assignment: plane p belongs to worker p % nw).
+func (f *FTL) execPlanesWorker(rp storage.RunProgrammer, pidx [][]int32, w, nw int) {
+	for p := w; p < len(pidx); p += nw {
+		f.execPlane(rp, p, pidx[p])
+	}
+}
+
+// execPlane executes one plane's descriptors in canonical order as a
+// single program run under one plane-lock acquisition. After a
+// program-status failure the block takes no further programs (its page
+// cursor stalled), so the chip reports that block's later descriptors
+// as ErrOutOfOrder — translated back here to skipped ErrProgramFail,
+// exactly the descriptors a per-op path would have skipped, with
+// identical RNG draws (ErrOutOfOrder returns before any failure draw).
+// Descriptors that already failed encode poison their block the same
+// way without reaching the chip.
+func (f *FTL) execPlane(rp storage.RunProgrammer, p int, idxs []int32) {
+	if len(idxs) == 0 {
+		return
+	}
+	bs := &f.bs
+	var failedBlocks []int
+	failed := func(b int) bool {
+		for _, fb := range failedBlocks {
+			if fb == b {
+				return true
+			}
+		}
+		return false
+	}
+	run := bs.planeOps[p][:0]
+	for _, di := range idxs {
+		d := &bs.descs[di]
+		if d.err != nil {
+			// Encode failure: the block's reserved pages after this one
+			// must not program (the cursor would skip a page).
+			failedBlocks = append(failedBlocks, d.block)
+			continue
+		}
+		if len(failedBlocks) > 0 && failed(d.block) {
+			d.err = flash.ErrProgramFail
+			d.skipped = true
+			continue
+		}
+		d.runPos = int32(len(run))
+		run = append(run, flash.ProgramOp{
+			Block: d.block, Page: d.page, Data: d.stored, DataLen: d.storedN, Own: d.payload,
+			Tag: flash.PageTag{LPA: d.lpa, Stream: uint8(d.stream), DataLen: int32(d.dataLen), Serial: d.serial},
+		})
+	}
+	bs.planeOps[p] = run
+	rp.ProgramRunTagged(run)
+	for _, di := range idxs {
+		d := &bs.descs[di]
+		if d.runPos < 0 {
+			continue
+		}
+		err := run[d.runPos].Err
+		if err != nil && errors.Is(err, flash.ErrOutOfOrder) && failed(d.block) {
+			err = flash.ErrProgramFail
+			d.skipped = true
+		}
+		d.err = err
+		if err != nil {
+			if d.payload {
+				d.stored = nil // chip reclaimed the owned buffer
+			}
+			if !d.skipped && errors.Is(err, flash.ErrProgramFail) {
+				failedBlocks = append(failedBlocks, d.block)
+			}
+		}
+	}
+}
+
+// settleDescs is phase E: one serial pass in canonical order applies
+// every descriptor's outcome — mapping updates and telemetry for
+// successes, reservation rollback plus a serial-path retry for program
+// failures. Pending counts drop one descriptor at a time, so a retry's
+// GC can never touch a block that still has unsettled placements.
+func (f *FTL) settleDescs(ops []storage.BatchOp, fates []storage.BatchFate) {
+	bs := &f.bs
+	for di := range bs.descs {
+		d := &bs.descs[di]
+		f.pendingProgs[d.block]--
+		f.pendingCnt--
+		if d.err == nil {
+			f.hostWrites++
+			f.flashPrograms++
+			f.obs.Record(obs.Event{Kind: obs.EvProgram, LBA: d.lpa, Block: d.block, Page: d.page, Stream: int(d.stream), Aux: int64(d.dataLen)})
+			if old, ok := f.lookup(d.lpa); ok {
+				f.invalidate(old.ppa)
+			}
+			f.setMapping(d.lpa, mapping{ppa: PPA{Block: d.block, Page: d.page}, stream: d.stream, dataLen: d.dataLen})
+			fates[d.opIdx] = storage.BatchFate{Block: d.block, Page: d.page}
+			continue
+		}
+		// Roll back the optimistic reservation.
+		f.blocks[d.block].valid--
+		if !errors.Is(d.err, flash.ErrProgramFail) {
+			fates[d.opIdx] = storage.BatchFate{Err: d.err, Block: -1, Page: -1}
+			continue
+		}
+		if !d.skipped {
+			// First failure on this block: seal it (freezing its page
+			// cursor at the chip's) and count the wear event, exactly as
+			// programToStream would.
+			f.sealFailedBlock(d.block)
+		}
+		op := &ops[d.opIdx]
+		b, p, err := f.writeOne(op.LPA, op.Data, op.DataLen, op.Stream)
+		fates[d.opIdx] = storage.BatchFate{Err: err, Block: b, Page: p}
+	}
+}

@@ -1,0 +1,82 @@
+package ftl
+
+import (
+	"testing"
+
+	"sos/internal/storage"
+)
+
+// TestWriteBatchZeroAlloc pins the steady-state batched submission path
+// at zero allocations per batch (workers=1, so no goroutine spawns):
+// encode arenas, descriptor lists, plane index lists, and the pending
+// set are all reused scratch. A regression here means a per-batch
+// allocation crept into the hot path (see DESIGN.md §9/§10).
+func TestWriteBatchZeroAlloc(t *testing.T) {
+	f := noneFTL(t, 128) // large enough that GC never runs in-measurement
+	const nOps = 4
+	ops := make([]storage.BatchOp, nOps)
+	fates := make([]storage.BatchFate, nOps)
+	payload := make([]byte, 256)
+	var seq uint64
+	build := func() {
+		for i := range ops {
+			seq++
+			ops[i] = storage.BatchOp{Seq: seq, Queue: 0}
+			if i%2 == 0 {
+				ops[i].LPA = int64(i)
+				ops[i].Data = payload
+			} else {
+				ops[i].LPA = int64(100 + i) // accounting-only namespace
+				ops[i].DataLen = 64
+			}
+		}
+	}
+	// Warm the chip's per-plane page-buffer pools: program a few hundred
+	// scratch pages, trim them, and reclaim the now-fully-stale blocks —
+	// erase returns every buffer to its plane's pool. Without this the
+	// measurement would charge the batch path for the chip's pool-growth
+	// allocations (one buffer per net-new programmed page).
+	scratchBlocks := map[int]struct{}{}
+	for lpa := int64(5000); lpa < 5400; lpa++ {
+		if err := f.Write(lpa, payload, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if ppa, _, _, ok := f.Locate(lpa); ok {
+			scratchBlocks[ppa.Block] = struct{}{}
+		}
+	}
+	for lpa := int64(5000); lpa < 5400; lpa++ {
+		if err := f.Trim(lpa); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for b := range scratchBlocks {
+		if f.blocks[b].valid == 0 && f.active[0] != b {
+			if err := f.reclaim(b); err != nil {
+				t.Fatalf("reclaim scratch block %d: %v", b, err)
+			}
+		}
+	}
+	// Warm the batch scratch (arenas, descs, pending set) itself.
+	for k := 0; k < 3; k++ {
+		build()
+		f.WriteBatch(ops, fates, 1, 1)
+		for i := range fates {
+			if fates[i].Err != nil {
+				t.Fatal(fates[i].Err)
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		build()
+		f.WriteBatch(ops, fates, 1, 1)
+		for i := range fates {
+			if fates[i].Err != nil {
+				t.Fatal(fates[i].Err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state WriteBatch allocates %.1f times per batch, want 0", allocs)
+	}
+}

@@ -108,6 +108,21 @@ type FTL struct {
 	// scrub pass allocates no per-call map.
 	scrubDirty []bool
 
+	// pendingProgs counts batch placements per block that have been
+	// reserved (page cursor advanced, descriptor issued) but not yet
+	// settled. Reclamation — victim selection, dead-block sweeps, static
+	// wear leveling — must not touch a block with pending placements:
+	// GC relocations would program at stale cursors and static WL would
+	// move pages that are not programmed yet. pendingCnt is the total,
+	// for a cheap all-clear test. See batch.go.
+	pendingProgs []int32
+	pendingCnt   int
+
+	// bs is the batched-write scratch; every slice and map in it is
+	// reused across WriteBatch calls so steady-state batches allocate
+	// nothing.
+	bs batchScratch
+
 	blocks    []blockState
 	freePool  []int // erased, unallocated block ids
 	active    []int // active (partially programmed) block per stream; -1 none
@@ -432,32 +447,41 @@ func (f *FTL) writableActive(id StreamID) (int, error) {
 // (no payload stored; error counts still modelled).
 func (f *FTL) Write(lpa int64, data []byte, dataLen int, id StreamID) error {
 	defer f.flushCapacity()
+	_, _, err := f.writeOne(lpa, data, dataLen, id)
+	return err
+}
+
+// writeOne is the full serial write path — validation, encode, program
+// (GC, allocation, and static wear leveling all permitted), mapping
+// update — returning where the page landed. Write wraps it; the batched
+// path falls back to it for ops its placement fast path cannot take.
+func (f *FTL) writeOne(lpa int64, data []byte, dataLen int, id StreamID) (int, int, error) {
 	pol, err := f.policy(id)
 	if err != nil {
-		return err
+		return -1, -1, err
 	}
 	if lpa < 0 {
-		return ErrBadLPA
+		return -1, -1, ErrBadLPA
 	}
 	if data != nil {
 		dataLen = len(data)
 	}
 	if dataLen <= 0 || dataLen > f.logicalSz {
-		return ErrPayloadSize
+		return -1, -1, ErrPayloadSize
 	}
 	var stored []byte
 	storedLen := pol.Scheme.Overhead(dataLen)
 	if data != nil {
 		stored, err = encodeFor(pol.Scheme, data)
 		if err != nil {
-			return err
+			return -1, -1, err
 		}
 		storedLen = len(stored)
 	}
 
 	b, page, err := f.programToStream(id, lpa, dataLen, stored, storedLen)
 	if err != nil {
-		return err
+		return -1, -1, err
 	}
 	f.hostWrites++
 
@@ -466,7 +490,7 @@ func (f *FTL) Write(lpa int64, data []byte, dataLen int, id StreamID) error {
 		f.invalidate(old.ppa)
 	}
 	f.setMapping(lpa, mapping{ppa: PPA{Block: b, Page: page}, stream: id, dataLen: dataLen})
-	return nil
+	return b, page, nil
 }
 
 // programToStream programs one page into the stream's active block,

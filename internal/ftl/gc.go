@@ -23,9 +23,14 @@ func (f *FTL) runGC(prefer StreamID) {
 		}
 	}()
 	// Dead-block sweep: guaranteed progress under pool exhaustion.
+	// Blocks with pending batch placements are off limits (their valid
+	// counts are optimistic and their pages not all programmed yet).
 	swept := false
 	for b := range f.blocks {
 		st := &f.blocks[b]
+		if f.hasPending(b) {
+			continue
+		}
 		if st.allocated && !st.retired && st.valid == 0 && st.fullPages > 0 && !f.isActive(b) {
 			if err := f.eraseAndFree(b); err == nil {
 				f.gcRuns++
@@ -79,7 +84,7 @@ func (f *FTL) maybeStaticWL(id StreamID) {
 	rated := 0
 	for b := range f.blocks {
 		st := &f.blocks[b]
-		if !st.allocated || st.retired || st.owner != id || f.isActive(b) {
+		if !st.allocated || st.retired || st.owner != id || f.isActive(b) || f.hasPending(b) {
 			continue
 		}
 		info, err := f.chip.Info(b)
@@ -129,7 +134,7 @@ func (f *FTL) pickVictim(id StreamID) int {
 		if id >= 0 && st.owner != id {
 			continue
 		}
-		if f.isActive(b) {
+		if f.isActive(b) || f.hasPending(b) {
 			continue
 		}
 		if st.progFailed {

@@ -1,0 +1,150 @@
+package sim
+
+import "testing"
+
+// trace is a seeded synthetic op trace: per-op lane and duration.
+type vtOp struct {
+	lane int
+	dur  Time
+}
+
+func makeTrace(seed uint64, n, lanes int) []vtOp {
+	rng := NewRNG(seed)
+	ops := make([]vtOp, n)
+	for i := range ops {
+		ops[i] = vtOp{
+			lane: rng.Intn(lanes),
+			dur:  Time(1 + rng.Intn(5000)),
+		}
+	}
+	return ops
+}
+
+// stamp runs a trace through a fresh scheduler in canonical order and
+// returns the completion records dealt across `queues` queues.
+func stamp(ops []vtOp, lanes, queues int) []Completion {
+	sched := NewVTScheduler(lanes)
+	out := make([]Completion, len(ops))
+	for i, op := range ops {
+		_, done := sched.Dispatch(op.lane, 0, op.dur)
+		out[i] = Completion{Done: done, Queue: DealQueue(i, len(ops), queues), Seq: uint64(i)}
+	}
+	return out
+}
+
+// TestVTSchedulerCanonicalOrderInvariant is the satellite property test:
+// for a seeded op trace, shuffling the completion records into any
+// wall-clock interleaving and merging with SortCompletions recovers one
+// canonical order — and that order is identical for every queue count.
+func TestVTSchedulerCanonicalOrderInvariant(t *testing.T) {
+	const n, lanes = 500, 4
+	for _, seed := range []uint64{1, 7, 42} {
+		ops := makeTrace(seed, n, lanes)
+
+		var ref []uint64 // canonical Seq order from the queues=1 run
+		for _, queues := range []int{1, 2, 3, 8, 16, n} {
+			cs := stamp(ops, lanes, queues)
+
+			// Simulate an adversarial wall-clock interleaving: shuffle
+			// the records, then merge.
+			shuf := NewRNG(seed ^ uint64(queues))
+			shuf.Shuffle(len(cs), func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
+			SortCompletions(cs)
+
+			got := make([]uint64, len(cs))
+			for i, c := range cs {
+				got[i] = c.Seq
+			}
+			if ref == nil {
+				ref = got
+				continue
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("seed=%d queues=%d: canonical order diverges at %d: got seq %d, want %d",
+						seed, queues, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestVTSchedulerLaneMonotone checks the per-lane FIFO invariant: ops
+// on the same lane complete in submission order with no overlap.
+func TestVTSchedulerLaneMonotone(t *testing.T) {
+	const n, lanes = 300, 5
+	ops := makeTrace(11, n, lanes)
+	sched := NewVTScheduler(lanes)
+	lastDone := make([]Time, lanes)
+	for i, op := range ops {
+		start, done := sched.Dispatch(op.lane, 0, op.dur)
+		if start < lastDone[op.lane] {
+			t.Fatalf("op %d lane %d: start %d before prior completion %d", i, op.lane, start, lastDone[op.lane])
+		}
+		if done != start+op.dur {
+			t.Fatalf("op %d: done %d != start %d + dur %d", i, done, start, op.dur)
+		}
+		lastDone[op.lane] = done
+	}
+	h := sched.Horizon()
+	for l, d := range lastDone {
+		if d > h {
+			t.Fatalf("lane %d busy-until %d exceeds horizon %d", l, d, h)
+		}
+	}
+}
+
+// TestVTSchedulerSubmitAdvances checks that a submit time later than
+// the lane's busy-until moves the start forward (idle gap).
+func TestVTSchedulerSubmitAdvances(t *testing.T) {
+	sched := NewVTScheduler(2)
+	_, done := sched.Dispatch(0, 0, 100)
+	if done != 100 {
+		t.Fatalf("done = %d, want 100", done)
+	}
+	start, done := sched.Dispatch(0, 250, 50)
+	if start != 250 || done != 300 {
+		t.Fatalf("idle-gap dispatch: start=%d done=%d, want 250/300", start, done)
+	}
+	// Earlier submit queues behind the lane.
+	start, done = sched.Dispatch(0, 10, 50)
+	if start != 300 || done != 350 {
+		t.Fatalf("queued dispatch: start=%d done=%d, want 300/350", start, done)
+	}
+	// Reset rebases every lane.
+	sched.Reset(1000)
+	start, _ = sched.Dispatch(1, 0, 1)
+	if start != 1000 {
+		t.Fatalf("post-reset start = %d, want 1000", start)
+	}
+}
+
+// TestDealQueueChunked checks the chunk-dealing contract SortCompletions
+// relies on: queue ids are monotone in index, cover [0, queues), and
+// partition the index space contiguously.
+func TestDealQueueChunked(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 64, 100} {
+		for _, queues := range []int{1, 2, 3, 8, 64, 200} {
+			prev := 0
+			seen := map[int]int{}
+			for i := 0; i < n; i++ {
+				q := DealQueue(i, n, queues)
+				if q < prev {
+					t.Fatalf("n=%d queues=%d: queue id not monotone at %d (%d < %d)", n, queues, i, q, prev)
+				}
+				if q < 0 || q >= queues {
+					t.Fatalf("n=%d queues=%d: queue %d out of range", n, queues, q)
+				}
+				prev = q
+				seen[q]++
+			}
+			want := queues
+			if want > n {
+				want = n
+			}
+			if len(seen) != want {
+				t.Fatalf("n=%d queues=%d: %d distinct queues, want %d", n, queues, len(seen), want)
+			}
+		}
+	}
+}

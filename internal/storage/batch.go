@@ -1,0 +1,72 @@
+package storage
+
+import "sos/internal/flash"
+
+// Batched submission: the multi-queue write path. The device layer
+// collects a burst of logical writes, deals them across submission
+// queues, and hands the whole batch to the backend in one call. The
+// backend parallelizes what is safe to parallelize (per-queue ECC
+// encode, per-plane programs) and keeps everything order-sensitive
+// (placement, mapping updates, telemetry) in one canonical pass, so a
+// batch produces byte-identical state at every worker count.
+
+// BatchOp is one logical write inside a batch. Seq is the op's global
+// submission sequence number and Queue its submission queue; both are
+// assigned by the device before the backend sees the batch (queues are
+// dealt contiguous chunks of Seq — see sim.DealQueue).
+type BatchOp struct {
+	LPA     int64
+	Data    []byte
+	DataLen int
+	Stream  StreamID
+	Seq     uint64
+	Queue   int
+}
+
+// BatchFate is the per-op outcome of a batch, in submission order.
+// Block/Page report where the payload landed (valid when Err is nil).
+type BatchFate struct {
+	Err   error
+	Block int
+	Page  int
+}
+
+// BatchWriter is the optional Backend extension for batched
+// multi-queue submission. WriteBatch stores every op (semantically
+// equivalent to calling Write op-by-op in Seq order) and records each
+// op's fate in fates[i] for ops[i]. queues is the number of submission
+// queues the ops were dealt across; workers bounds the goroutines used
+// for the parallel phases (<=1 runs everything on the caller's
+// goroutine). Neither may change the resulting state — only wall-clock
+// time.
+type BatchWriter interface {
+	WriteBatch(ops []BatchOp, fates []BatchFate, queues, workers int)
+}
+
+// PlanedFlash is the optional Flash extension exposing plane-level
+// parallelism. *flash.Chip implements it; interposers that serialize
+// the medium (the fault injector's op-indexed plans, for one) simply
+// don't, which downgrades batched writers to their serial path — the
+// safe default for any wrapper that didn't opt in.
+type PlanedFlash interface {
+	Flash
+	// Planes returns the number of independently lockable planes.
+	Planes() int
+	// PlaneOf returns the plane that owns block b.
+	PlaneOf(b int) int
+}
+
+// RunProgrammer is the optional PlanedFlash extension for executing a
+// whole run of same-plane programs under one plane-lock acquisition.
+// *flash.Chip implements it; batched writers that find it use one call
+// per plane per run instead of one lock round-trip per page, and encode
+// payloads straight into chip-owned buffers (TakeProgramBufs + Own) so
+// each byte is written to the medium exactly once, with no program-time
+// copy. Results — per-op errors, page state, and the plane RNG stream —
+// are identical to issuing the same ops through ProgramTagged one by
+// one.
+type RunProgrammer interface {
+	ProgramRunTagged(ops []flash.ProgramOp)
+	TakeProgramBufs(plane int, sizes []int, bufs [][]byte)
+	ReturnProgramBufs(plane int, bufs [][]byte)
+}

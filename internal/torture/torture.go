@@ -60,6 +60,13 @@ type Config struct {
 	Plan fault.Plan
 	// Backend selects the translation layer under torture (default ftl).
 	Backend storage.Kind
+	// Queues > 1 coalesces consecutive workload writes into WriteBatch
+	// submissions dealt across that many queues, so power cuts land in
+	// the middle of batches. The chip-op sequence is identical to the
+	// per-op path, so reports match the Queues<=1 run exactly.
+	Queues int
+	// Workers bounds batch-internal goroutine use (encode fan-out).
+	Workers int
 }
 
 // DefaultConfig returns a torture configuration sized for CI: a small
@@ -275,10 +282,19 @@ func (t *trialResult) fail(format string, args ...any) {
 	}
 }
 
+// maxBatchOps caps how many consecutive writes coalesce into one
+// WriteBatch during batched replay. Small enough that the workload's
+// interleaved trims, reads, and ages still break batches up.
+const maxBatchOps = 8
+
 // replay drives steps against f until the power cut (or exhaustion),
 // maintaining the acked-state ledger. It returns the ledger and whether
-// a non-power-cut error aborted the run.
-func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []step) (map[int64]*rec, bool) {
+// a non-power-cut error aborted the run. With queues > 1 (and a backend
+// that batches), consecutive write steps are submitted through
+// WriteBatch so cuts land mid-batch; acks then come from per-op fates
+// instead of Write returns, exercising the batched acknowledgement
+// contract under power loss.
+func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []step, queues, workers int) (map[int64]*rec, bool) {
 	recs := map[int64]*rec{}
 	at := func(s step) *rec {
 		r, ok := recs[s.lpa]
@@ -288,7 +304,82 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 		}
 		return r
 	}
+
+	bw, hasBW := f.(storage.BatchWriter)
+	batched := queues > 1 && hasBW
+	var (
+		bops   []storage.BatchOp
+		bsteps []step
+		seq    uint64
+	)
+	// flush submits the pending batch and settles the ledger from the
+	// fates in Seq order — the exact bookkeeping the per-op path does,
+	// driven by fates instead of Write returns.
+	flush := func() (cut, aborted bool) {
+		if len(bops) == 0 {
+			return false, false
+		}
+		for i := range bops {
+			bops[i].Queue = sim.DealQueue(i, len(bops), queues)
+		}
+		fates := make([]storage.BatchFate, len(bops))
+		bw.WriteBatch(bops, fates, queues, workers)
+		for i := range bops {
+			s := bsteps[i]
+			r := at(s)
+			r.pendSeq, r.pendLen = s.seq, s.dataLen
+			err := fates[i].Err
+			if err == nil {
+				r.stream, r.acct = s.stream, s.kind == kAcct
+				r.ackedSeq, r.pendSeq = s.seq, -1
+				r.dataLen = s.dataLen
+				if s.kind == kWrite {
+					r.trimmed = false
+				}
+				continue
+			}
+			if errors.Is(err, fault.ErrPowerCut) {
+				// Power died on this op; later ops in the batch never
+				// reached the medium, so their pendSeq stays unset.
+				return true, false
+			}
+			return false, true
+		}
+		bops, bsteps = bops[:0], bsteps[:0]
+		return false, false
+	}
+
 	for _, s := range steps {
+		if batched && (s.kind == kWrite || s.kind == kAcct) {
+			seq++
+			op := storage.BatchOp{LPA: s.lpa, Stream: s.stream, Seq: seq}
+			if s.kind == kWrite {
+				op.Data = pat(s.lpa, s.seq, s.dataLen)
+			} else {
+				op.DataLen = s.dataLen
+			}
+			bops = append(bops, op)
+			bsteps = append(bsteps, s)
+			if len(bops) >= maxBatchOps {
+				if cut, aborted := flush(); cut || aborted {
+					return recs, aborted
+				}
+				if inj.Down() {
+					return recs, false
+				}
+			}
+			continue
+		}
+		if batched {
+			// Non-write step: drain the pending batch first so ordering
+			// against trims, reads, and scrubs matches the per-op path.
+			if cut, aborted := flush(); cut || aborted {
+				return recs, aborted
+			}
+			if inj.Down() {
+				return recs, false
+			}
+		}
 		var err error
 		switch s.kind {
 		case kWrite:
@@ -336,6 +427,11 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 		// catches cuts that a step absorbed without surfacing.
 		if inj.Down() {
 			return recs, false
+		}
+	}
+	if batched {
+		if cut, aborted := flush(); cut || aborted {
+			return recs, aborted
 		}
 	}
 	return recs, false
@@ -415,7 +511,7 @@ func runTrial(cfg Config, steps []step, cutOp int64, torn bool) trialResult {
 		return t
 	}
 
-	recs, aborted := replay(f, inj, clock, steps)
+	recs, aborted := replay(f, inj, clock, steps, cfg.Queues, cfg.Workers)
 	if aborted {
 		t.workloadError = true
 		t.fail("replay aborted with non-power-cut error")
@@ -458,7 +554,7 @@ func Run(cfg Config) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	if _, aborted := replay(dryBE, dryInj, dryClock, steps); aborted {
+	if _, aborted := replay(dryBE, dryInj, dryClock, steps, cfg.Queues, cfg.Workers); aborted {
 		return Report{}, errors.New("torture: dry run aborted; workload does not fit the medium")
 	}
 	total := dryInj.Ops()

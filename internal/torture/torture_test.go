@@ -73,6 +73,60 @@ func TestParallelismInvariance(t *testing.T) {
 	})
 }
 
+// TestCrashMatrixBatched re-runs the crash matrix with queues > 1:
+// consecutive workload writes go through WriteBatch, so sampled power
+// cuts land in the middle of batches and acknowledgements come from
+// per-op fates. The full recovery contract must hold unchanged.
+func TestCrashMatrixBatched(t *testing.T) {
+	eachBackend(t, func(t *testing.T, kind storage.Kind) {
+		cfg := DefaultConfig()
+		cfg.Backend = kind
+		cfg.Queues = 4
+		cfg.Workers = 4
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Recovered != rep.Cuts {
+			t.Errorf("recovered %d of %d cuts; failures: %v", rep.Recovered, rep.Cuts, rep.Failures)
+		}
+		if rep.Violations() != 0 || rep.SysLossBytes != 0 || rep.SilentLossBytes != 0 {
+			t.Errorf("contract violations under batched replay: %+v", rep)
+		}
+		if rep.VerifiedPages == 0 {
+			t.Error("no pages verified — batched workload never acked anything")
+		}
+	})
+}
+
+// TestBatchedReplayMatchesSerial pins the strongest form of the batch
+// guarantee under fault injection: because the batched path issues the
+// exact chip-op sequence of the per-op path, the cut-index space, every
+// trial verdict, and the whole report must be identical at Queues=1
+// (per-op Write) and Queues=4 (WriteBatch).
+func TestBatchedReplayMatchesSerial(t *testing.T) {
+	eachBackend(t, func(t *testing.T, kind storage.Kind) {
+		cfg := DefaultConfig()
+		cfg.Backend = kind
+		cfg.Ops = 160
+		cfg.Cuts = 10
+
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Queues = 4
+		cfg.Workers = 8
+		batched, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, batched) {
+			t.Fatalf("batched replay changed the report:\nserial:  %+v\nbatched: %+v", serial, batched)
+		}
+	})
+}
+
 // TestTortureWithFaultStorm layers probabilistic read faults under the
 // crash matrix: recovery must still hold, with SPARE losses reported.
 func TestTortureWithFaultStorm(t *testing.T) {

@@ -58,6 +58,9 @@ type Backend struct {
 
 	onCapacity func(usablePages int)
 	capDirty   bool
+
+	// bs is WriteBatch's reusable scratch (see batch.go).
+	bs batchScratch
 }
 
 // zmapping is the host-side L2P entry.
@@ -379,6 +382,24 @@ func (b *Backend) Write(lpa int64, data []byte, dataLen int, id storage.StreamID
 // retries on a fresh zone — the zone-granular analog of sealing a
 // failed block.
 func (b *Backend) appendToStream(id storage.StreamID, data []byte, dataLen int, tag flash.PageTag, host bool) (zone, idx int, err error) {
+	zone, idx, _, _, err = b.appendCore(id, data, nil, -1, dataLen, tag, host)
+	return zone, idx, err
+}
+
+// appendStoredToStream is appendCore for the batched path: the payload
+// arrives pre-encoded through the zone attribute's scheme (host writes
+// only; relocation always re-encodes device-side).
+func (b *Backend) appendStoredToStream(id storage.StreamID, stored []byte, storedLen, dataLen int, tag flash.PageTag) (zone, idx, blk, page int, err error) {
+	return b.appendCore(id, nil, stored, storedLen, dataLen, tag, true)
+}
+
+// appendCore is the shared append-with-retry machinery. storedLen < 0
+// selects the device-side encoding path over data (which may still be
+// nil: accounting-only); storedLen >= 0 appends the pre-encoded stored
+// payload. It also reports the chip (block, page) the payload landed on
+// (-1/-1 when lookup fails), so batched callers can stamp virtual-time
+// lanes without a second locate.
+func (b *Backend) appendCore(id storage.StreamID, data, stored []byte, storedLen, dataLen int, tag flash.PageTag, host bool) (zn, idx, blk, page int, err error) {
 	const maxAttempts = 4
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		var z int
@@ -389,27 +410,35 @@ func (b *Backend) appendToStream(id storage.StreamID, data []byte, dataLen int, 
 			z, err = b.relocZone(id)
 		}
 		if err != nil {
-			return -1, -1, err
+			return -1, -1, -1, -1, err
 		}
-		idx, aerr := b.dev.AppendTagged(z, data, dataLen, tag)
+		var idx int
+		var aerr error
+		if storedLen >= 0 {
+			idx, aerr = b.dev.AppendTaggedStored(z, stored, storedLen, dataLen, tag)
+		} else {
+			idx, aerr = b.dev.AppendTagged(z, data, dataLen, tag)
+		}
 		if aerr == nil {
 			// The device seals the zone when the append hits capacity.
 			if b.dev.zones[z].state != ZoneOpen && b.active[id] == z {
 				b.active[id] = -1
 			}
 			b.flashPrograms++
-			if blk, page, lerr := b.dev.locate(&b.dev.zones[z], idx); lerr == nil {
-				b.obs.Record(obs.Event{Kind: obs.EvProgram, LBA: tag.LPA, Block: blk, Page: page, Stream: int(id), Aux: int64(dataLen)})
+			blk, page = -1, -1
+			if bk, pg, lerr := b.dev.locate(&b.dev.zones[z], idx); lerr == nil {
+				blk, page = bk, pg
+				b.obs.Record(obs.Event{Kind: obs.EvProgram, LBA: tag.LPA, Block: bk, Page: pg, Stream: int(id), Aux: int64(dataLen)})
 			}
-			return z, idx, nil
+			return z, idx, blk, page, nil
 		}
 		if !errors.Is(aerr, ErrZoneFull) {
-			return -1, -1, fmt.Errorf("zns: append zone %d: %w", z, aerr)
+			return -1, -1, -1, -1, fmt.Errorf("zns: append zone %d: %w", z, aerr)
 		}
 		b.progFailures++
 		b.active[id] = -1
 	}
-	return -1, -1, fmt.Errorf("zns: %d consecutive program failures: %w", maxAttempts, flash.ErrProgramFail)
+	return -1, -1, -1, -1, fmt.Errorf("zns: %d consecutive program failures: %w", maxAttempts, flash.ErrProgramFail)
 }
 
 // pidx converts a zone-relative address to its p2l table index.

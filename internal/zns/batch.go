@@ -1,0 +1,228 @@
+package zns
+
+import (
+	"sync"
+
+	"sos/internal/ecc"
+	"sos/internal/flash"
+	"sos/internal/storage"
+)
+
+// Batched multi-queue writes over zones. Zone appends are inherently
+// serial — every append advances a shared write pointer — so the batch
+// path parallelizes only the ECC encode (per-queue arenas, one worker
+// per queue) and then replays the appends in one canonical pass that is
+// operation-for-operation identical to calling Write in Seq order.
+// Unlike the device-side FTL there is no plane fan-out to guard, so the
+// path needs no PlanedFlash gate: encode is a pure function of the
+// bytes, and the chip sees the same serial op sequence as the unbatched
+// path at every queue and worker count.
+
+// encSlot is per-op encode bookkeeping: the op's slot in its queue
+// arena. n < 0 marks an op rejected by validation; n == 0 marks an
+// accounting-only op (nothing to encode).
+type encSlot struct {
+	off int
+	n   int
+}
+
+// batchScratch is WriteBatch's reusable state.
+type batchScratch struct {
+	enc    []encSlot
+	stored [][]byte // per-op encoded payload (aliases arenas)
+	arenas [][]byte // per-queue encode arenas
+	qsize  []int
+	wg     sync.WaitGroup
+}
+
+var _ storage.BatchWriter = (*Backend)(nil)
+
+// WriteBatch implements storage.BatchWriter. fates[i] records the
+// outcome of ops[i]; queues is the submission-queue count the ops were
+// dealt across and workers bounds goroutine use. Results are identical
+// for every (queues, workers) pair.
+func (b *Backend) WriteBatch(ops []storage.BatchOp, fates []storage.BatchFate, queues, workers int) {
+	defer b.flushCapacity()
+	if len(ops) == 0 {
+		return
+	}
+	if queues < 1 {
+		queues = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	b.ensureBatchScratch(len(ops), queues)
+
+	b.encodeBatch(ops, fates, queues, workers)
+
+	for i := range ops {
+		if b.bs.enc[i].n < 0 {
+			continue // rejected by validation/encode; fate already set
+		}
+		op := &ops[i]
+		dataLen := op.DataLen
+		if op.Data != nil {
+			dataLen = len(op.Data)
+		}
+		var stored []byte
+		var storedLen int
+		if op.Data != nil {
+			stored = b.bs.stored[i]
+			storedLen = len(stored)
+		} else {
+			storedLen = b.dev.pol[b.attrs[op.Stream]].Scheme.Overhead(dataLen)
+		}
+		b.writeSerial++
+		tag := flash.PageTag{LPA: op.LPA, Stream: uint8(op.Stream), DataLen: int32(dataLen), Serial: b.writeSerial}
+		z, idx, blk, page, err := b.appendStoredToStream(op.Stream, stored, storedLen, dataLen, tag)
+		if err != nil {
+			fates[i] = storage.BatchFate{Err: err, Block: -1, Page: -1}
+			continue
+		}
+		b.hostWrites++
+		b.install(op.LPA, zmapping{zone: z, idx: idx, stream: op.Stream, dataLen: dataLen})
+		fates[i] = storage.BatchFate{Block: blk, Page: page}
+	}
+}
+
+// ensureBatchScratch sizes the reusable scratch for a batch of n ops
+// over the given queue count.
+func (b *Backend) ensureBatchScratch(n, queues int) {
+	bs := &b.bs
+	if cap(bs.enc) < n {
+		bs.enc = make([]encSlot, n)
+	}
+	if cap(bs.stored) < n {
+		bs.stored = make([][]byte, n)
+	}
+	if cap(bs.qsize) < queues {
+		bs.qsize = make([]int, queues)
+	}
+	for len(bs.arenas) < queues {
+		bs.arenas = append(bs.arenas, nil)
+	}
+}
+
+// encodeBatch validates every op and runs the encode phase: per-queue
+// ECC encode into per-queue arenas, parallel across queues when workers
+// allow. Rejected ops get their fate set here and are skipped by the
+// append pass. Payloads encode through the zone attribute's scheme —
+// the exact bytes the device would produce — so the append can hand the
+// device a finished page.
+func (b *Backend) encodeBatch(ops []storage.BatchOp, fates []storage.BatchFate, queues, workers int) {
+	bs := &b.bs
+	enc := bs.enc[:len(ops)]
+	stored := bs.stored[:len(ops)]
+	qsize := bs.qsize[:queues]
+	for q := range qsize {
+		qsize[q] = 0
+	}
+	for i := range ops {
+		op := &ops[i]
+		fates[i] = storage.BatchFate{Block: -1, Page: -1}
+		stored[i] = nil
+		if op.Stream < 0 || int(op.Stream) >= len(b.streams) {
+			fates[i].Err = storage.ErrUnknownStream
+			enc[i] = encSlot{n: -1}
+			continue
+		}
+		if op.LPA < 0 {
+			fates[i].Err = storage.ErrBadLPA
+			enc[i] = encSlot{n: -1}
+			continue
+		}
+		dataLen := op.DataLen
+		if op.Data != nil {
+			dataLen = len(op.Data)
+		}
+		if dataLen <= 0 || dataLen > b.logicalSz {
+			fates[i].Err = storage.ErrPayloadSize
+			enc[i] = encSlot{n: -1}
+			continue
+		}
+		if op.Data == nil {
+			enc[i] = encSlot{n: 0}
+			continue
+		}
+		sch := b.dev.pol[b.attrs[op.Stream]].Scheme
+		padded := dataLen
+		if _, isHamming := sch.(ecc.HammingScheme); isHamming {
+			padded = (dataLen + 7) &^ 7
+		}
+		n := sch.Overhead(padded)
+		q := op.Queue
+		if q < 0 || q >= queues {
+			q = 0
+		}
+		enc[i] = encSlot{off: qsize[q], n: n}
+		qsize[q] += n
+	}
+	for q := 0; q < queues; q++ {
+		if cap(bs.arenas[q]) < qsize[q] {
+			bs.arenas[q] = make([]byte, qsize[q])
+		}
+	}
+	if workers > 1 && queues > 1 {
+		for q := 1; q < queues; q++ {
+			bs.wg.Add(1)
+			b.encodeQueueAsync(ops, fates, q, queues)
+		}
+		b.encodeQueue(ops, fates, 0, queues)
+		bs.wg.Wait()
+		return
+	}
+	for q := 0; q < queues; q++ {
+		b.encodeQueue(ops, fates, q, queues)
+	}
+}
+
+// encodeQueueAsync runs encodeQueue on its own goroutine; a method call
+// rather than a closure so the spawn allocates no capture environment.
+func (b *Backend) encodeQueueAsync(ops []storage.BatchOp, fates []storage.BatchFate, q, queues int) {
+	go func() {
+		defer b.bs.wg.Done()
+		b.encodeQueue(ops, fates, q, queues)
+	}()
+}
+
+// encodeQueue encodes every payload op of queue q into the queue's
+// arena. Each op writes only its own arena span, its own stored slot,
+// and its own fate, so queues share nothing.
+func (b *Backend) encodeQueue(ops []storage.BatchOp, fates []storage.BatchFate, q, queues int) {
+	bs := &b.bs
+	arena := bs.arenas[q]
+	for i := range ops {
+		op := &ops[i]
+		oq := op.Queue
+		if oq < 0 || oq >= queues {
+			oq = 0
+		}
+		if oq != q || bs.enc[i].n <= 0 {
+			continue
+		}
+		dst := arena[bs.enc[i].off : bs.enc[i].off+bs.enc[i].n]
+		sch := b.dev.pol[b.attrs[op.Stream]].Scheme
+		n, err := encodeZoneInto(sch, dst, op.Data)
+		if err != nil {
+			fates[i].Err = err
+			bs.enc[i].n = -1
+			continue
+		}
+		bs.stored[i] = dst[:n]
+	}
+}
+
+// encodeZoneInto encodes into dst via the scheme's IntoEncoder when it
+// has one, falling back to the allocating path (Hamming's 8-byte
+// padding, any future scheme without in-place support).
+func encodeZoneInto(s ecc.Scheme, dst, data []byte) (int, error) {
+	if enc, ok := s.(ecc.IntoEncoder); ok {
+		return enc.EncodeInto(dst, data)
+	}
+	out, err := s.Encode(pad8For(s, data))
+	if err != nil {
+		return 0, err
+	}
+	return copy(dst, out), nil
+}

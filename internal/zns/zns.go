@@ -296,34 +296,65 @@ func (d *Device) AppendTagged(z int, data []byte, dataLen int, tag flash.PageTag
 }
 
 func (d *Device) appendPage(z int, data []byte, dataLen int, tag *flash.PageTag) (int, error) {
-	if z < 0 || z >= len(d.zones) {
-		return 0, ErrBadZone
-	}
-	zn := &d.zones[z]
-	if zn.state == ZoneOffline {
-		return 0, ErrOffline
-	}
-	if zn.state != ZoneOpen {
-		return 0, ErrNotOpen
+	zn, err := d.openZone(z)
+	if err != nil {
+		return 0, err
 	}
 	if data != nil {
 		dataLen = len(data)
 	}
-	geo := d.chip.Geometry()
-	if dataLen <= 0 || dataLen > geo.PageSize {
+	if dataLen <= 0 || dataLen > d.chip.Geometry().PageSize {
 		return 0, ErrPayloadLarge
 	}
 	pol := d.pol[zn.attr]
 	var stored []byte
 	storedLen := pol.Scheme.Overhead(dataLen)
 	if data != nil {
-		var err error
 		stored, err = pol.Scheme.Encode(pad8For(pol.Scheme, data))
 		if err != nil {
 			return 0, err
 		}
 		storedLen = len(stored)
 	}
+	return d.appendStored(zn, stored, storedLen, dataLen, tag)
+}
+
+// openZone returns zone z if it currently accepts appends.
+func (d *Device) openZone(z int) (*zone, error) {
+	if z < 0 || z >= len(d.zones) {
+		return nil, ErrBadZone
+	}
+	zn := &d.zones[z]
+	if zn.state == ZoneOffline {
+		return nil, ErrOffline
+	}
+	if zn.state != ZoneOpen {
+		return nil, ErrNotOpen
+	}
+	return zn, nil
+}
+
+// AppendTaggedStored appends a payload already encoded through the zone
+// attribute's scheme, skipping the device-side encode — the batched
+// write path encodes per submission queue up front and lands the
+// results here. stored == nil performs an accounting-only append
+// occupying storedLen physical bytes; dataLen is the logical payload
+// length either way.
+func (d *Device) AppendTaggedStored(z int, stored []byte, storedLen, dataLen int, tag flash.PageTag) (int, error) {
+	zn, err := d.openZone(z)
+	if err != nil {
+		return 0, err
+	}
+	if dataLen <= 0 || dataLen > d.chip.Geometry().PageSize {
+		return 0, ErrPayloadLarge
+	}
+	return d.appendStored(zn, stored, storedLen, dataLen, &tag)
+}
+
+// appendStored is the append tail shared by the encoding and
+// pre-encoded paths: program at the write pointer, advance it, and seal
+// the zone at capacity or on hard program failure.
+func (d *Device) appendStored(zn *zone, stored []byte, storedLen, dataLen int, tag *flash.PageTag) (int, error) {
 	b, page, err := d.locate(zn, zn.wp)
 	if err != nil {
 		return 0, err

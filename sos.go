@@ -145,6 +145,14 @@ type Config struct {
 	// TranscodeBeforeDelete shrinks media in place under capacity
 	// pressure before resorting to deletion (§4.5).
 	TranscodeBeforeDelete bool
+	// Queues is the submission-queue count for batched writes, Planes
+	// the chip's independently lockable plane count, and Workers the
+	// goroutine bound for a batch's parallel phases (defaults 1 /
+	// flash.DefaultPlanes / 1). All three change only wall-clock time:
+	// simulated results are byte-identical at every setting.
+	Queues  int
+	Planes  int
+	Workers int
 	// Observe enables the observability subsystem: a trace ring buffer
 	// and per-operation histograms wired through the device, FTL, and
 	// policy engine. Disabled (the default) the stack carries no
@@ -196,6 +204,9 @@ func New(cfg Config) (*System, error) {
 		Clock:          clock,
 		Seed:           cfg.Seed,
 		EnduranceSigma: 0.1,
+		Queues:         cfg.Queues,
+		Planes:         cfg.Planes,
+		Workers:        cfg.Workers,
 		Obs:            rec,
 	}
 	switch cfg.Profile {
