@@ -3,7 +3,7 @@
 # goroutines; the torture tier replays the crash matrix under the race
 # detector. CI (or a pre-merge hand-run) should execute all three.
 
-.PHONY: verify verify-race verify-all torture bench-parallel bench-smoke bench-json bench-gate determinism fmt obs
+.PHONY: verify verify-race verify-all torture bench-parallel bench-smoke bench-json bench-gate determinism fmt obs audit
 
 # Formatting gate: fail if any file needs gofmt.
 fmt:
@@ -32,7 +32,7 @@ torture:
 	go test -race ./internal/zns/ -run 'TestBackendRecover|TestCrash'
 	go test -race -parallel 8 ./internal/torture/
 
-verify-all: verify verify-race torture bench-smoke bench-gate
+verify-all: verify verify-race torture bench-smoke bench-gate audit
 
 # Serial vs parallel RunAll wall-clock (quick fidelity under -short).
 bench-parallel:
@@ -71,6 +71,17 @@ obs:
 	@go build -o /tmp/promcheck-obs ./cmd/promcheck
 	@/tmp/sossim-obs -sim -days 30 -backend=ftl -metrics | /tmp/promcheck-obs
 	@/tmp/sossim-obs -sim -days 30 -backend=zns -metrics | /tmp/promcheck-obs
+
+# Integrity-audit smoke: an audited simulation's exposition (including
+# the sos_degradation_* family) must pass the scrape validator, and the
+# audit must actually scan (budget spent) — over both backends.
+audit:
+	@go build -o /tmp/sossim-audit ./cmd/sossim
+	@go build -o /tmp/promcheck-audit ./cmd/promcheck
+	@/tmp/sossim-audit -sim -days 30 -backend=ftl -audit -scrub-budget 32 -metrics | /tmp/promcheck-audit
+	@/tmp/sossim-audit -sim -days 30 -backend=zns -audit -scrub-budget 32 -metrics | /tmp/promcheck-audit
+	@/tmp/sossim-audit -sim -days 30 -backend=ftl -audit -scrub-budget 32 | grep -q 'audit            passes=' \
+		&& echo "audit: OK (exposition valid, audit line present)"
 
 # CLI-level determinism check: experiment output must be bit-identical
 # for every -parallel value.

@@ -49,6 +49,8 @@ func main() {
 	// accepted no-ops — output is byte-identical at every value.
 	flag.Int("queues", 1, "accepted for CLI parity; carbon arithmetic has no datapath")
 	flag.Int("planes", 0, "accepted for CLI parity; carbon arithmetic has no datapath")
+	flag.Bool("audit", false, "accepted for CLI parity; carbon arithmetic stores no data to audit")
+	flag.Int("scrub-budget", 0, "accepted for CLI parity; carbon arithmetic stores no data to audit")
 	flag.BoolVar(&opts.Metrics, "metrics", false, "print the Prometheus text exposition instead of the report")
 	flag.StringVar(&opts.TraceFile, "trace", "", "write milestone events (JSON lines) to this file")
 	flag.Parse()

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sos"
+)
+
+// goldenPath resolves a file in the repo-root testdata/preaudit corpus:
+// the -sim report and -metrics exposition captured immediately before
+// the integrity auditor landed.
+func goldenPath(name string) string {
+	return filepath.Join("..", "..", "testdata", "preaudit", name)
+}
+
+// TestAuditOffMatchesPreauditGoldens pins the no-op guarantee: with
+// -audit left off, the whole audit subsystem (digest plumbing, auditor
+// wiring, snapshot/metrics gating) must be invisible — report and
+// exposition byte-identical to the goldens captured before it existed.
+// If an intentional output change lands later, regenerate with:
+//
+//	go run ./cmd/sossim -sim -days 30 -backend=$B          > testdata/preaudit/report_$B.txt
+//	go run ./cmd/sossim -sim -days 30 -backend=$B -metrics > testdata/preaudit/metrics_$B.txt
+func TestAuditOffMatchesPreauditGoldens(t *testing.T) {
+	for _, backend := range sos.Backends() {
+		for _, metrics := range []bool{false, true} {
+			name := "report_" + backend.String() + ".txt"
+			if metrics {
+				name = "metrics_" + backend.String() + ".txt"
+			}
+			want, err := os.ReadFile(goldenPath(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := simulate(simOpts{
+				Backend: backend, Days: 30, Seed: 1,
+				Queues: 1, Workers: 1,
+				Metrics: metrics, Out: &buf,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, buf.Bytes()) {
+				t.Errorf("%s: audit-off output diverged from the preaudit golden (run the regen commands in the test comment if the change is intentional)", name)
+			}
+		}
+	}
+}
+
+// TestAuditOnByteIdenticalAcrossConcurrency extends the concurrency
+// pin to audited runs: split-seed sampling makes every audit pass a
+// pure function of (seed, pass index), so -audit output — including
+// the audit report line and the sos_degradation_* family — must be
+// byte-identical at every -queues and worker combination. Audited runs
+// carry real payloads (every event's bytes are synthesized and
+// encoded), so the matrix sticks to the concurrency extremes.
+func TestAuditOnByteIdenticalAcrossConcurrency(t *testing.T) {
+	for _, backend := range sos.Backends() {
+		for _, metrics := range []bool{false, true} {
+			var ref []byte
+			for _, qw := range [][2]int{{1, 1}, {8, 8}} {
+				queues, workers := qw[0], qw[1]
+				var buf bytes.Buffer
+				err := simulate(simOpts{
+					Backend: backend, Days: 4, Seed: 7,
+					Queues: queues, Workers: workers,
+					Audit: true, ScrubBudget: 32,
+					Metrics: metrics, Out: &buf,
+				})
+				if err != nil {
+					t.Fatalf("%s metrics=%v q=%d w=%d: %v", backend, metrics, queues, workers, err)
+				}
+				if ref == nil {
+					ref = append([]byte(nil), buf.Bytes()...)
+					continue
+				}
+				if !bytes.Equal(ref, buf.Bytes()) {
+					t.Errorf("%s metrics=%v: audited output at queues=%d workers=%d differs from queues=1 workers=1",
+						backend, metrics, queues, workers)
+				}
+			}
+			if len(ref) == 0 {
+				t.Fatalf("%s metrics=%v: empty output", backend, metrics)
+			}
+			if !metrics && !bytes.Contains(ref, []byte("audit            passes=")) {
+				t.Errorf("%s: audited report missing the audit line", backend)
+			}
+			if metrics && !bytes.Contains(ref, []byte("sos_degradation_audit_passes_total")) {
+				t.Errorf("%s: audited exposition missing sos_degradation_*", backend)
+			}
+		}
+	}
+}

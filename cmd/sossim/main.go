@@ -50,6 +50,8 @@ func main() {
 	flag.StringVar(&opts.TraceFile, "trace", "", "with -sim: write the telemetry event trace (JSON lines) to this file")
 	flag.IntVar(&opts.Queues, "queues", 1, "submission queues for batched writes (results identical at every value)")
 	flag.IntVar(&opts.Planes, "planes", 0, "chip planes (0 = profile default; each value is a distinct, equally deterministic device)")
+	flag.BoolVar(&opts.Audit, "audit", false, "with -sim: enable the end-to-end integrity auditor")
+	flag.IntVar(&opts.ScrubBudget, "scrub-budget", 0, "with -audit: slice reads per audit pass (0 = default)")
 	flag.Parse()
 	experiments.SetParallelism(*par)
 	// -parallel doubles as the batch worker bound for -sim runs; the
@@ -93,6 +95,21 @@ func fail(err error) {
 	}
 }
 
+// auditPayload synthesizes a deterministic payload for a create event —
+// an xorshift stream keyed by the workload file id — giving the
+// integrity auditor real bytes to digest and verify.
+func auditPayload(ev workload.Event) []byte {
+	b := make([]byte, ev.Size)
+	x := uint64(ev.FileID)*0x9e3779b97f4a7c15 + 1
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = byte(x)
+	}
+	return b
+}
+
 // simOpts parameterizes one -sim run.
 type simOpts struct {
 	Profile sos.Profile
@@ -109,7 +126,11 @@ type simOpts struct {
 	Workers int
 	// TraceFile receives the telemetry event trace as JSON lines.
 	TraceFile string
-	Out       io.Writer // defaults to os.Stdout
+	// Audit enables the integrity auditor; ScrubBudget is its per-pass
+	// slice-read budget (0 = default).
+	Audit       bool
+	ScrubBudget int
+	Out         io.Writer // defaults to os.Stdout
 }
 
 func simulate(opts simOpts) error {
@@ -118,13 +139,15 @@ func simulate(opts simOpts) error {
 		out = os.Stdout
 	}
 	sys, err := sos.New(sos.Config{
-		Profile: opts.Profile,
-		Backend: opts.Backend,
-		Seed:    opts.Seed,
-		Queues:  opts.Queues,
-		Planes:  opts.Planes,
-		Workers: opts.Workers,
-		Observe: opts.Metrics || opts.TraceFile != "",
+		Profile:     opts.Profile,
+		Backend:     opts.Backend,
+		Seed:        opts.Seed,
+		Queues:      opts.Queues,
+		Planes:      opts.Planes,
+		Workers:     opts.Workers,
+		Observe:     opts.Metrics || opts.TraceFile != "",
+		Audit:       opts.Audit,
+		ScrubBudget: opts.ScrubBudget,
 	})
 	if err != nil {
 		return err
@@ -176,7 +199,15 @@ func simulate(opts simOpts) error {
 		}
 	}
 
-	rep, err := sys.Run(gen, core.RunConfig{})
+	rc := core.RunConfig{}
+	if opts.Audit {
+		// The auditor verifies payload digests, so audit runs carry real
+		// (deterministic, seed-independent) bytes instead of
+		// accounting-only sizes. Audit-off runs keep the accounting-only
+		// fast path and stay byte-identical to earlier builds.
+		rc.PayloadFor = auditPayload
+	}
+	rep, err := sys.Run(gen, rc)
 	if err != nil {
 		return err
 	}
@@ -214,6 +245,11 @@ func simulate(opts simOpts) error {
 		es.Reviewed, es.Demoted, es.Promoted, es.SysMisplaced)
 	fmt.Fprintf(out, "degradation      degraded-reads=%d regret-reads=%d scrub-moves=%d\n",
 		es.DegradedReads, es.RegretReads, es.ScrubMoves)
+	if a := sys.Engine.Auditor(); a != nil {
+		as := a.Stats()
+		fmt.Fprintf(out, "audit            passes=%d scanned=%d clean=%d degraded=%d silent=%d lost=%d repairs=%d\n",
+			as.Passes, as.SlicesScanned, as.Clean, as.Degraded, as.Silent, as.Lost, as.Repairs)
+	}
 	fmt.Fprintf(out, "blocks           retired=%d resuscitated=%d of %d\n",
 		smart.RetiredBlocks, smart.Resuscitations, smart.TotalBlocks)
 	fmt.Fprintf(out, "wear histogram   ")

@@ -1,0 +1,331 @@
+// Package audit implements end-to-end integrity auditing for degraded
+// data. SOS lets SPARE data rot by design; the paper's bargain is only
+// honest if that rot is observable before a user read trips over it.
+// The auditor closes the loop: host-computed page digests (written by
+// the fs at write time, stored durably in OOB tags, carried verbatim
+// through GC/scrub relocations and crash rebuilds) give every real
+// payload an integrity oracle, and a budgeted background pass samples
+// random file slices, re-reads them through the device's full fault
+// ladder, and classifies each as clean, degraded, silently corrupted,
+// or lost.
+//
+// Silent corruption in this model has exactly one source: a GC or scrub
+// relocation reads a degraded-but-decodable approximate page, re-encodes
+// the damaged bytes under fresh ECC, and every later read reports clean.
+// The copied-never-recomputed digest is what still remembers the
+// original payload — a clean read that hashes differently is that
+// crystallized damage, surfaced.
+package audit
+
+import (
+	"sos/internal/device"
+	"sos/internal/fs"
+	"sos/internal/sim"
+	"sos/internal/storage"
+)
+
+// Verdict classifies one sampled slice.
+type Verdict int
+
+// Slice verdicts, ordered by severity.
+const (
+	// Clean: the read succeeded, ECC reported no damage, and the
+	// payload matches its write-time digest (or carries none).
+	Clean Verdict = iota
+	// Degraded: the read succeeded but reported uncorrectable damage —
+	// loss the read path itself would report (never silent).
+	Degraded
+	// Silent: the read reported clean but the payload no longer matches
+	// its write-time digest — corruption the read path would NOT report.
+	// Only the audit can see this class.
+	Silent
+	// Lost: the slice is gone — the ladder exhausted itself, or the
+	// page survives only as a salvaged zero-filled hole.
+	Lost
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Clean:
+		return "clean"
+	case Degraded:
+		return "degraded"
+	case Silent:
+		return "silent"
+	case Lost:
+		return "lost"
+	default:
+		return "unknown"
+	}
+}
+
+// Finding is one non-clean sampled slice, reported to the policy layer
+// so it can prioritize repair, transcoding, and deletion.
+type Finding struct {
+	File    fs.FileID
+	Page    int
+	LBA     int64
+	Verdict Verdict
+	// Sys reports the slice currently lives on the SYS stream, where a
+	// mismatch is escalated rather than tolerated.
+	Sys bool
+}
+
+// Config configures an Auditor.
+type Config struct {
+	// FS and Dev are the mounted filesystem and its device (required).
+	FS  *fs.FS
+	Dev *device.Device
+	// Seed drives slice sampling. Each pass derives a child RNG from
+	// the parent via SplitSeeds before any draw, so a pass's samples
+	// are a pure function of (Seed, pass index) — byte-identical at
+	// every parallelism and queue count.
+	Seed uint64
+	// Budget is the exact number of slice reads a pass issues while any
+	// real payload exists (default 64): sampling is with replacement, so
+	// the read budget is honored exactly regardless of corpus size.
+	// Escalation and repair I/O is accounted separately, never against
+	// the sampling budget.
+	Budget int
+}
+
+// Stats is cumulative auditor telemetry, exported through the
+// sos_degradation_* metric family.
+type Stats struct {
+	// Passes counts completed audit passes.
+	Passes int64
+	// SlicesScanned counts sampled slice reads — the scrub I/O budget
+	// actually spent (Budget per pass while live data exists).
+	SlicesScanned int64
+	// Verdict counters.
+	Clean    int64
+	Degraded int64
+	Silent   int64
+	Lost     int64
+	// Escalations counts SYS mismatches pushed into the device's
+	// relocation machinery; EscalationIO is the extra page I/O those
+	// escalations spent beyond the sampling budget.
+	Escalations  int64
+	EscalationIO int64
+	// Repairs counts files the policy engine restored from cloud backup
+	// because of an audit finding (recorded via NoteRepair).
+	Repairs int64
+}
+
+// SilentRate estimates the silent-corruption rate: the fraction of
+// scanned slices whose damage no ordinary read would have reported.
+func (s *Stats) SilentRate() float64 {
+	if s.SlicesScanned == 0 {
+		return 0
+	}
+	return float64(s.Silent) / float64(s.SlicesScanned)
+}
+
+// fileScore accumulates a file's audit history.
+type fileScore struct {
+	sampled int64
+	bad     int64 // degraded + lost
+	silent  int64
+}
+
+// Auditor is the budgeted background integrity scrubber. It is driven
+// off the sim clock by the policy engine (a Pass per audit interval)
+// and is fully deterministic: sampling uses split seeds, reads go
+// through the device in ascending draw order, and no state depends on
+// wall-clock time or scheduling.
+type Auditor struct {
+	fsys *fs.FS
+	dev  *device.Device
+	rng  *sim.RNG
+	// budget is the per-pass slice-read cap, honored exactly.
+	budget int
+
+	scores   map[fs.FileID]*fileScore
+	stats    Stats
+	findings []Finding // reused across passes
+
+	// cum is reusable scratch: cumulative page counts over the ID-sorted
+	// file list, for mapping a draw to a (file, page) slice.
+	cum  []int64
+	list []fs.Stat
+}
+
+// DefaultBudget is the per-pass slice-read budget when none is
+// configured: enough coverage to bound detection latency on a
+// personal-device corpus without competing with foreground I/O.
+const DefaultBudget = 64
+
+// New builds an auditor.
+func New(cfg Config) *Auditor {
+	budget := cfg.Budget
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	return &Auditor{
+		fsys:   cfg.FS,
+		dev:    cfg.Dev,
+		rng:    sim.NewRNG(cfg.Seed),
+		budget: budget,
+		scores: make(map[fs.FileID]*fileScore),
+	}
+}
+
+// Budget returns the per-pass slice-read budget.
+func (a *Auditor) Budget() int { return a.budget }
+
+// Stats returns cumulative auditor telemetry.
+func (a *Auditor) Stats() Stats { return a.stats }
+
+// Score returns a file's degradation score in [0, 1]: the audited
+// fraction of its sampled slices found damaged, with silent corruption
+// weighted double (it is both data loss and a lie). Files never sampled
+// score zero — the auditor only ever *adds* evidence.
+func (a *Auditor) Score(id fs.FileID) float64 {
+	sc, ok := a.scores[id]
+	if !ok || sc.sampled == 0 {
+		return 0
+	}
+	s := float64(sc.bad+2*sc.silent) / float64(sc.sampled)
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// Forget drops a file's audit history (call on delete — so scores don't
+// leak onto recycled IDs — and on repair, which rewrites the content and
+// invalidates old evidence).
+func (a *Auditor) Forget(id fs.FileID) { delete(a.scores, id) }
+
+// NoteRepair records that the policy layer repaired a file because of an
+// audit finding.
+func (a *Auditor) NoteRepair() { a.stats.Repairs++ }
+
+// ScoreForTest seeds a file's audit history directly. Test hook only —
+// production evidence accumulates exclusively through Pass.
+func (a *Auditor) ScoreForTest(id fs.FileID, sampled, bad int64) {
+	a.scores[id] = &fileScore{sampled: sampled, bad: bad}
+}
+
+// Pass runs one budgeted audit pass and returns its non-clean findings.
+// The returned slice is reused by the next pass.
+//
+// Budget discipline: the pass issues exactly Budget sampled slice reads
+// (zero when no real-payload slices exist). Sampling is uniform over
+// live real-payload slices, with replacement, from a child RNG split
+// off the parent before the first draw.
+func (a *Auditor) Pass() []Finding {
+	a.findings = a.findings[:0]
+	child := sim.NewRNG(a.rng.SplitSeeds(1)[0])
+	a.stats.Passes++
+
+	// Snapshot the auditable population: ID-sorted real files and their
+	// cumulative page counts.
+	a.list = a.list[:0]
+	a.cum = a.cum[:0]
+	total := int64(0)
+	for _, st := range a.fsys.List() {
+		if !st.Real || st.Pages == 0 {
+			continue
+		}
+		total += int64(st.Pages)
+		a.list = append(a.list, st)
+		a.cum = append(a.cum, total)
+	}
+	if total == 0 {
+		return a.findings
+	}
+
+	for k := 0; k < a.budget; k++ {
+		draw := child.Int63n(total)
+		// Binary search the cumulative table for the owning file.
+		lo, hi := 0, len(a.cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if a.cum[mid] <= draw {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		st := &a.list[lo]
+		page := int(draw)
+		if lo > 0 {
+			page = int(draw - a.cum[lo-1])
+		}
+		a.auditSlice(st, page)
+	}
+	return a.findings
+}
+
+// auditSlice reads one sampled slice through the device's full fault
+// ladder and classifies it.
+func (a *Auditor) auditSlice(st *fs.Stat, page int) {
+	lba, ok := a.fsys.PageLBA(st.ID, page)
+	if !ok {
+		// The file shrank between the snapshot and the read (cannot
+		// happen mid-pass today; kept for safety). The draw still counts
+		// against the budget — it was issued.
+		return
+	}
+	a.stats.SlicesScanned++
+	sc := a.scores[st.ID]
+	if sc == nil {
+		sc = &fileScore{}
+		a.scores[st.ID] = sc
+	}
+	sc.sampled++
+
+	cls, sys := a.dev.ClassOf(lba)
+	isSys := sys && cls == device.ClassSys
+
+	res, err := a.dev.Read(lba)
+	v := Clean
+	switch {
+	case err != nil:
+		// The ladder (retry → relocate → salvage → quarantine) already
+		// ran and still failed: the slice is gone.
+		v = Lost
+	case res.Data == nil && res.DataLen > 0:
+		// Salvaged hole: the payload survives only as reported loss.
+		v = Lost
+	case res.Degraded:
+		v = Degraded
+	default:
+		if want, has := a.dev.StoredDigest(lba); has && res.Data != nil &&
+			storage.DigestOf(res.Data) != want {
+			v = Silent
+		}
+	}
+
+	switch v {
+	case Clean:
+		a.stats.Clean++
+		return
+	case Degraded:
+		a.stats.Degraded++
+		sc.bad++
+	case Silent:
+		a.stats.Silent++
+		sc.silent++
+	case Lost:
+		a.stats.Lost++
+		sc.bad++
+	}
+	if isSys && (v == Silent || v == Degraded) {
+		// SYS data must not sit on damaged or lying silicon: refresh the
+		// page within its stream through the device's relocation
+		// machinery (the same escalation the read ladder uses), vacating
+		// the physical page. Content repair is the policy engine's job
+		// (RepairFromCloud).
+		if cur, ok := a.dev.Backend().StreamOf(lba); ok {
+			a.stats.Escalations++
+			if rerr := a.dev.Backend().Relocate(lba, cur); rerr == nil {
+				a.stats.EscalationIO++
+			}
+		}
+	}
+	a.findings = append(a.findings, Finding{
+		File: st.ID, Page: page, LBA: lba, Verdict: v, Sys: isSys,
+	})
+}

@@ -1,0 +1,79 @@
+package audit
+
+import (
+	"testing"
+
+	"sos/internal/storage"
+)
+
+func TestDigestOf(t *testing.T) {
+	// FNV-1a 64 known-answer vectors.
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 14695981039346656037},
+		{"a", 0xaf63dc4c8601ec8c},
+		{"foobar", 0x85944171f73967e8},
+	}
+	for _, c := range cases {
+		if got := storage.DigestOf([]byte(c.in)); got != c.want {
+			t.Errorf("DigestOf(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+	if storage.DigestOf([]byte{0x00}) == storage.DigestOf([]byte{0x01}) {
+		t.Error("single-bit difference collided")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Clean: "clean", Degraded: "degraded", Silent: "silent",
+		Lost: "lost", Verdict(99): "unknown",
+	} {
+		if got := v.String(); got != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", int(v), got, want)
+		}
+	}
+}
+
+func TestSilentRate(t *testing.T) {
+	var s Stats
+	if s.SilentRate() != 0 {
+		t.Fatal("zero-scan rate should be 0")
+	}
+	s.SlicesScanned = 200
+	s.Silent = 3
+	if got := s.SilentRate(); got != 0.015 {
+		t.Fatalf("SilentRate = %v, want 0.015", got)
+	}
+}
+
+func TestScoreWeighting(t *testing.T) {
+	a := New(Config{Seed: 1})
+	if a.Score(7) != 0 {
+		t.Fatal("unsampled file must score 0")
+	}
+	a.ScoreForTest(1, 4, 2) // half the samples bad
+	if got := a.Score(1); got != 0.5 {
+		t.Fatalf("bad-half score = %v, want 0.5", got)
+	}
+	// Silent evidence weighs double and the score saturates at 1.
+	a.scores[2] = &fileScore{sampled: 4, silent: 3}
+	if got := a.Score(2); got != 1 {
+		t.Fatalf("silent-heavy score = %v, want saturation at 1", got)
+	}
+	a.Forget(1)
+	if a.Score(1) != 0 {
+		t.Fatal("Forget did not clear the score")
+	}
+}
+
+func TestDefaultBudget(t *testing.T) {
+	if got := New(Config{Seed: 1}).Budget(); got != DefaultBudget {
+		t.Fatalf("default budget = %d, want %d", got, DefaultBudget)
+	}
+	if got := New(Config{Seed: 1, Budget: 9}).Budget(); got != 9 {
+		t.Fatalf("explicit budget = %d, want 9", got)
+	}
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"sos/internal/audit"
+	"sos/internal/classify"
+	"sos/internal/device"
+	"sos/internal/flash"
+	"sos/internal/fs"
+	"sos/internal/obs"
+	"sos/internal/sim"
+)
+
+// auditEngine builds an audit-enabled engine over a small SOS device.
+func auditEngine(t *testing.T, blocks int, cloud bool, budget int) (*Engine, *sim.Clock) {
+	t.Helper()
+	clock := &sim.Clock{}
+	dev, err := device.NewSOS(flash.Geometry{
+		PageSize: 512, Spare: 128, PagesPerBlock: 10, Blocks: blocks,
+	}, 7, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := fs.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		FS:          fsys,
+		Classifier:  testClassifier(t),
+		CloudBackup: cloud,
+		Audit:       true,
+		AuditBudget: budget,
+		AuditSeed:   42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, clock
+}
+
+// preWear ages every block so SPARE data degrades within simulated years.
+func preWear(t *testing.T, e *Engine, cycles int) {
+	t.Helper()
+	chip := e.Device().Chip()
+	for b := 0; b < chip.Blocks(); b++ {
+		for i := 0; i < cycles; i++ {
+			if err := chip.Erase(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// crystallize promotes a degraded SPARE file back to SYS. The relocation
+// decodes whatever the approximate medium still holds — damage included —
+// and re-encodes it under SYS's correcting ECC, so every later read
+// decodes the corrupted bytes cleanly. This is exactly how silent
+// corruption is born (see the audit package doc); re-review promotions
+// and GC do the same thing in production.
+func crystallize(t *testing.T, e *Engine, id fs.FileID) {
+	t.Helper()
+	if err := e.FS().Reclassify(id, device.ClassSys); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditorDisabledByDefault(t *testing.T) {
+	e, clock := testEngine(t, 32, false)
+	if e.Auditor() != nil {
+		t.Fatal("auditor present without Config.Audit")
+	}
+	clock.Advance(10 * sim.Day)
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Audit(); err != nil {
+		t.Fatal(err) // explicit call is a no-op, not a crash
+	}
+}
+
+func TestAuditBudgetHonoredExactly(t *testing.T) {
+	e, clock := auditEngine(t, 48, false, 16)
+	// SYS-class files: they stay on the durable stream, so a healthy
+	// young device audits them all clean.
+	for i := 0; i < 4; i++ {
+		if _, err := e.CreateFile(sysMeta(i), bytes.Repeat([]byte{byte(i)}, 1500), 0, classify.LabelSys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for day := 0; day < 5; day++ {
+		clock.Advance(sim.Day)
+		if err := e.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Auditor().Stats()
+	if st.Passes == 0 {
+		t.Fatal("tick never ran the auditor")
+	}
+	if want := st.Passes * 16; st.SlicesScanned != want {
+		t.Fatalf("budget not exact: %d passes scanned %d slices, want %d",
+			st.Passes, st.SlicesScanned, want)
+	}
+	if st.Clean != st.SlicesScanned {
+		t.Fatalf("fresh healthy data not all clean: %+v", st)
+	}
+}
+
+func TestAuditSkipsAccountingOnlyFiles(t *testing.T) {
+	e, clock := auditEngine(t, 48, false, 8)
+	// Accounting-only file: size but no payload, hence no digests and
+	// nothing whose integrity could be verified.
+	if _, err := e.CreateFile(spareMeta(0), nil, 4096, classify.LabelSpare); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * sim.Day)
+	if err := e.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Auditor().Stats()
+	if st.Passes == 0 {
+		t.Fatal("no audit pass ran")
+	}
+	if st.SlicesScanned != 0 {
+		t.Fatalf("audited %d slices of a payload-free corpus", st.SlicesScanned)
+	}
+}
+
+// TestAuditDetectsSilentCorruption is the end-to-end story: a worn SPARE
+// payload decays, relocation crystallizes the damage under fresh ECC so
+// the read path reports clean, and only the audit's digest check sees it.
+func TestAuditDetectsSilentCorruption(t *testing.T) {
+	e, clock := auditEngine(t, 16, false, 64)
+	preWear(t, e, 380)
+	payload := bytes.Repeat([]byte{0x3c}, 2048)
+	id, err := e.CreateFile(spareMeta(3), payload, 0, classify.LabelSpare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FS().Reclassify(id, device.ClassSpare); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(3 * sim.Year)
+	res, err := e.ReadFile(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedPages == 0 {
+		t.Skip("medium did not degrade; silent-corruption path not reachable")
+	}
+	crystallize(t, e, id)
+
+	// The read path is now blind to the damage...
+	res, err = e.ReadFile(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedPages != 0 {
+		t.Fatalf("crystallized copy still reads degraded (%d pages)", res.DegradedPages)
+	}
+	if bytes.Equal(res.Data, payload) {
+		t.Fatal("crystallized copy matches the original; nothing was corrupted")
+	}
+
+	// ...but the audit is not.
+	if err := e.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Auditor().Stats()
+	if st.Silent == 0 {
+		t.Fatalf("audit missed crystallized corruption: %+v", st)
+	}
+	if st.Degraded != 0 || st.Lost != 0 {
+		t.Fatalf("crystallized damage misclassified: %+v", st)
+	}
+	if e.Auditor().Score(id) == 0 {
+		t.Fatal("silent findings did not raise the file's degradation score")
+	}
+}
+
+// TestAuditRepairsSilentCorruptionFromCloud verifies the corrective half:
+// with a backup available, audit findings trigger repair, and the next
+// pass finds the file clean again.
+func TestAuditRepairsSilentCorruptionFromCloud(t *testing.T) {
+	e, clock := auditEngine(t, 16, true, 64)
+	preWear(t, e, 380)
+	payload := bytes.Repeat([]byte{0x5a}, 2048)
+	id, err := e.CreateFile(spareMeta(4), payload, 0, classify.LabelSpare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FS().Reclassify(id, device.ClassSpare); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(3 * sim.Year)
+	if res, _ := e.ReadFile(id); res.DegradedPages == 0 {
+		t.Skip("medium did not degrade; repair path not reachable")
+	}
+	crystallize(t, e, id)
+	if err := e.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Auditor().Stats()
+	if st.Silent == 0 {
+		t.Skip("no silent finding this seed; repair path not exercised")
+	}
+	if st.Repairs == 0 {
+		t.Fatal("silent finding with backup did not trigger repair")
+	}
+	if e.Stats().CloudRepairs == 0 {
+		t.Fatal("repair not counted by the engine")
+	}
+	if e.Auditor().Score(id) != 0 {
+		t.Fatal("repair did not clear the file's audit history")
+	}
+	// The freshly-repaired copy audits clean (zero retention so far).
+	before := e.Auditor().Stats().Silent
+	if err := e.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if after := e.Auditor().Stats().Silent; after != before {
+		t.Fatalf("repaired file still audits silent (%d -> %d)", before, after)
+	}
+}
+
+// TestAuditDeterminism runs two identical engines through the same
+// schedule and demands identical auditor telemetry.
+func TestAuditDeterminism(t *testing.T) {
+	run := func() audit.Stats {
+		e, clock := auditEngine(t, 48, false, 32)
+		for i := 0; i < 6; i++ {
+			if _, err := e.CreateFile(spareMeta(i), bytes.Repeat([]byte{byte(i + 1)}, 900+200*i), 0, classify.LabelSpare); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for day := 0; day < 10; day++ {
+			clock.Advance(sim.Day)
+			if err := e.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e.Auditor().Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("audit telemetry not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestAutoDeletePrefersRottenCandidates pins the audit-driven ordering:
+// between two equally-expendable demoted files, pressure deletes the one
+// the auditor has proven rotten first.
+func TestAutoDeletePrefersRottenCandidates(t *testing.T) {
+	clock := &sim.Clock{}
+	rec := obs.New(obs.Config{Clock: clock})
+	dev, err := device.NewSOS(flash.Geometry{
+		PageSize: 512, Spare: 128, PagesPerBlock: 10, Blocks: 48,
+	}, 7, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsys, err := fs.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{
+		FS:         fsys,
+		Classifier: testClassifier(t),
+		Audit:      true,
+		AuditSeed:  42,
+		Obs:        rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idA, err := e.CreateFile(spareMeta(1), bytes.Repeat([]byte{0xaa}, 600), 0, classify.LabelSpare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := e.CreateFile(spareMeta(2), bytes.Repeat([]byte{0xbb}, 600), 0, classify.LabelSpare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same tier, same score: only the audit evidence differs.
+	for _, id := range []fs.FileID{idA, idB} {
+		st := e.files[id]
+		st.demoted = true
+		st.reviewed = true
+		st.score = 0.9
+	}
+	e.auditor.ScoreForTest(idA, 1, 0) // idA: sampled once, clean
+	e.auditor.ScoreForTest(idB, 4, 3) // idB: provably rotten
+	e.autoDelete()
+	var order []fs.FileID
+	for _, ev := range rec.Events() {
+		if ev.Kind == obs.EvAutoDelete {
+			order = append(order, fs.FileID(ev.Aux))
+		}
+	}
+	if len(order) == 0 {
+		t.Fatal("pressure pass deleted nothing")
+	}
+	if order[0] != idB {
+		t.Fatalf("deletion order %v: rotten file %d should go first", order, idB)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"sos/internal/audit"
 	"sos/internal/classify"
 	"sos/internal/device"
 	"sos/internal/fs"
@@ -72,6 +73,20 @@ type Config struct {
 	// demotions, promotions, auto-deletes, transcodes). Recording only
 	// reads engine state and never perturbs decisions.
 	Obs *obs.Recorder
+	// Audit enables the end-to-end integrity auditor: a budgeted
+	// background pass that samples file slices, verifies their
+	// write-time digests, and feeds degradation evidence back into
+	// review, transcoding, auto-delete, and cloud repair. Off by
+	// default; when off the engine's behavior is bit-for-bit identical
+	// to a build without the auditor.
+	Audit bool
+	// AuditInterval is how often the audit pass runs (default 1 day).
+	AuditInterval sim.Time
+	// AuditBudget is the exact number of slice reads per audit pass
+	// (default audit.DefaultBudget).
+	AuditBudget int
+	// AuditSeed seeds the auditor's sampling RNG.
+	AuditSeed uint64
 }
 
 func (c *Config) applyDefaults() {
@@ -96,7 +111,16 @@ func (c *Config) applyDefaults() {
 	if c.PromoteHysteresis == 0 {
 		c.PromoteHysteresis = 0.15
 	}
+	if c.AuditInterval == 0 {
+		c.AuditInterval = sim.Day
+	}
 }
+
+// auditTranscodeScore is the audit degradation score at or above which a
+// demoted media file is transcoded proactively during review — shrink
+// provably-rotten data before pressure forces the choice, while a
+// backup (or the surviving majority of the payload) still anchors it.
+const auditTranscodeScore = 0.5
 
 // fileState is the engine's per-file record.
 type fileState struct {
@@ -140,8 +164,11 @@ type Engine struct {
 
 	files map[fs.FileID]*fileState
 
+	auditor *audit.Auditor // nil unless cfg.Audit
+
 	nextReview sim.Time
 	nextScrub  sim.Time
+	nextAudit  sim.Time
 
 	autoDeleteMode    bool
 	autoDeleteBackoff int // skip counter after a fruitless run
@@ -166,6 +193,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.nextReview = e.now() + cfg.ReviewInterval
 	e.nextScrub = e.now() + cfg.ScrubInterval
+	if cfg.Audit {
+		e.auditor = audit.New(audit.Config{
+			FS:     cfg.FS,
+			Dev:    cfg.FS.Device(),
+			Seed:   cfg.AuditSeed,
+			Budget: cfg.AuditBudget,
+		})
+		e.nextAudit = e.now() + cfg.AuditInterval
+	}
 	e.fs.PressureFrac = 1 - cfg.FreeTarget
 	e.fs.OnPressure = func(used, capacity int64) { e.autoDelete() }
 	return e, nil
@@ -251,6 +287,9 @@ func (e *Engine) DeleteFile(id fs.FileID) error {
 		return err
 	}
 	delete(e.files, id)
+	if e.auditor != nil {
+		e.auditor.Forget(id)
+	}
 	e.stats.Deleted++
 	return nil
 }
@@ -272,6 +311,47 @@ func (e *Engine) Tick() error {
 		}
 		e.nextScrub += e.cfg.ScrubInterval
 	}
+	for e.auditor != nil && now >= e.nextAudit {
+		if err := e.Audit(); err != nil {
+			return err
+		}
+		e.nextAudit += e.cfg.AuditInterval
+	}
+	return nil
+}
+
+// Audit runs one budgeted integrity-audit pass and acts on its
+// findings: files with silently-corrupted or lost slices are repaired
+// from their cloud backup when one exists (the read path would never
+// have flagged the silent ones — that detection is the auditor's whole
+// value), and every file's accumulated degradation score stays
+// available to review and auto-delete for prioritization.
+func (e *Engine) Audit() error {
+	if e.auditor == nil {
+		return nil
+	}
+	findings := e.auditor.Pass()
+	repaired := make(map[fs.FileID]bool)
+	for _, f := range findings {
+		if f.Verdict != audit.Silent && f.Verdict != audit.Lost {
+			continue
+		}
+		if repaired[f.File] {
+			continue
+		}
+		st := e.files[f.File]
+		if st == nil || st.backup == nil {
+			continue
+		}
+		if err := e.RepairFromCloud(f.File); err != nil {
+			return err
+		}
+		repaired[f.File] = true
+		e.auditor.NoteRepair()
+		// The rewrite installed fresh payloads and digests; the old
+		// evidence no longer describes what is on the medium.
+		e.auditor.Forget(f.File)
+	}
 	return nil
 }
 
@@ -280,6 +360,9 @@ type ReviewReport struct {
 	Scanned  int
 	Demoted  int
 	Promoted int
+	// Transcoded counts provably-degraded demoted media shrunk
+	// proactively because of audit evidence (audit-enabled runs only).
+	Transcoded int
 }
 
 // Review is the periodic classification pass (§4.4): it scores settled,
@@ -297,6 +380,16 @@ func (e *Engine) Review() (ReviewReport, error) {
 			// Deleted mid-pass by pressure handling (demotion can
 			// trigger auto-delete of other files).
 			continue
+		}
+		if e.auditor != nil && e.cfg.TranscodeBeforeDelete && st.demoted &&
+			!st.transcoded && e.auditor.Score(id) >= auditTranscodeScore {
+			// Audit-driven response: the auditor has proven this demoted
+			// file substantially rotten, so transcode it now — shrinking
+			// it to a durable smaller encoding first, instead of letting
+			// it keep decaying until pressure deletes it outright.
+			if e.tryTranscode(id) {
+				rep.Transcoded++
+			}
 		}
 		fresh := !st.reviewed
 		if fresh && now-st.createdAt < e.cfg.MinReviewAge {
@@ -438,6 +531,7 @@ func (e *Engine) autoDelete() {
 		id    fs.FileID
 		tier  int
 		score float64
+		rot   float64 // audit degradation score (0 without an auditor)
 	}
 	var cands []cand
 	busy := e.fs.Busy()
@@ -462,11 +556,21 @@ func (e *Engine) autoDelete() {
 		if score < e.cfg.Threshold {
 			continue
 		}
-		cands = append(cands, cand{id: id, tier: tier, score: score})
+		rot := 0.0
+		if e.auditor != nil {
+			rot = e.auditor.Score(id)
+		}
+		cands = append(cands, cand{id: id, tier: tier, score: score, rot: rot})
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].tier != cands[j].tier {
 			return cands[i].tier < cands[j].tier
+		}
+		// Audit-driven response: within a tier, spend the deletions on
+		// data the auditor has already proven rotten — the user has the
+		// least left to lose there.
+		if cands[i].rot != cands[j].rot {
+			return cands[i].rot > cands[j].rot
 		}
 		if cands[i].score != cands[j].score {
 			return cands[i].score > cands[j].score
@@ -486,6 +590,9 @@ func (e *Engine) autoDelete() {
 			continue
 		}
 		delete(e.files, c.id)
+		if e.auditor != nil {
+			e.auditor.Forget(c.id)
+		}
 		e.stats.AutoDeleted++
 		e.obs.Record(obs.Event{Kind: obs.EvAutoDelete, Aux: int64(c.id)})
 		freed++
@@ -538,6 +645,9 @@ func (e *Engine) sortedIDs() []fs.FileID {
 
 // Stats returns a snapshot of engine counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// Auditor exposes the integrity auditor (nil when auditing is off).
+func (e *Engine) Auditor() *audit.Auditor { return e.auditor }
 
 // FS exposes the filesystem.
 func (e *Engine) FS() *fs.FS { return e.fs }

@@ -422,12 +422,50 @@ func (d *Device) Write(lba int64, data []byte, dataLen int, c Class) (sim.Time, 
 	return lat, nil
 }
 
+// WriteDigested is Write plus a host-computed payload digest, recorded
+// durably alongside the page when the mounted backend tracks digests
+// (both bundled backends do). The digest is opaque to the device; the
+// integrity auditor (internal/audit) later re-reads pages and compares.
+func (d *Device) WriteDigested(lba int64, data []byte, dataLen int, c Class, digest uint64) (sim.Time, error) {
+	ds, ok := d.backend.(storage.DigestStore)
+	if !ok {
+		return d.Write(lba, data, dataLen, c)
+	}
+	id, err := d.streamFor(c)
+	if err != nil {
+		return 0, err
+	}
+	if err := ds.WriteDigested(lba, data, dataLen, id, digest); err != nil {
+		return 0, err
+	}
+	pol := d.backend.Streams()[id]
+	lat := d.latency.ProgramLatency(pol.Mode)
+	d.busy += lat
+	d.writeCount++
+	d.obs.ObserveProgram(lat, dataLen)
+	return lat, nil
+}
+
+// StoredDigest returns the digest durably recorded for a mapped lba,
+// if any.
+func (d *Device) StoredDigest(lba int64) (uint64, bool) {
+	ds, ok := d.backend.(storage.DigestStore)
+	if !ok {
+		return 0, false
+	}
+	return ds.Digest(lba)
+}
+
 // BatchWrite is one logical write in a device batch (see WriteBatch).
 type BatchWrite struct {
 	LBA     int64
 	Data    []byte
 	DataLen int
 	Class   Class
+	// Digest/HasDigest carry the host-computed payload digest into the
+	// backend's durable digest store (zero-valued = none tracked).
+	Digest    uint64
+	HasDigest bool
 }
 
 // Queues returns the configured submission-queue count.
@@ -474,6 +512,7 @@ func (d *Device) WriteBatch(ws []BatchWrite) (sim.Time, []storage.BatchFate, err
 		ops[i] = storage.BatchOp{
 			LPA: w.LBA, Data: w.Data, DataLen: w.DataLen,
 			Stream: id, Seq: d.batchSeq, Queue: sim.DealQueue(i, n, d.queues),
+			Digest: w.Digest, HasDigest: w.HasDigest,
 		}
 	}
 	if bw, ok := d.backend.(storage.BatchWriter); ok {

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE20Audit pins the integrity-audit acceptance criteria in quick
+// mode: the audit detects seeded silent corruption the read path never
+// reports, leads organic reads on most files, holds its read budget
+// exactly, and — at an equal deletion budget — leaves fewer
+// visibly-corrupt survivors than the audit-off engine.
+func TestE20Audit(t *testing.T) {
+	r := runQuick(t, "E20")
+
+	// Table 1: detection lead time.
+	files := cellF(t, r, 0, 0, "files")
+	detected := cellF(t, r, 0, 0, "audit_detected")
+	auditFirst := cellF(t, r, 0, 0, "audit_first")
+	silentSeeded := cellF(t, r, 0, 0, "silent_seeded")
+	silentAudit := cellF(t, r, 0, 0, "silent_audit_detected")
+	silentRead := cellF(t, r, 0, 0, "silent_read_visible")
+	if files == 0 || detected == 0 {
+		t.Fatalf("audit detected nothing (files=%v detected=%v)", files, detected)
+	}
+	if auditFirst < files/2 {
+		t.Fatalf("audit led organic reads on only %v of %v files", auditFirst, files)
+	}
+	if silentSeeded == 0 {
+		t.Fatal("no silent corruption seeded; the experiment proves nothing")
+	}
+	if silentAudit != silentSeeded {
+		t.Fatalf("audit detected %v of %v seeded silent corruptions", silentAudit, silentSeeded)
+	}
+	if silentRead != 0 {
+		t.Fatalf("%v crystallized corruptions were read-visible; they must be silent by construction", silentRead)
+	}
+	if cellF(t, r, 0, 0, "lead_p50_days") <= 0 {
+		t.Fatal("non-positive median detection lead")
+	}
+
+	// Table 2: repair priority at equal carbon budget.
+	if off, on := cellF(t, r, 1, 0, "auto_deleted"), cellF(t, r, 1, 1, "auto_deleted"); off != on || off == 0 {
+		t.Fatalf("deletion budgets differ (off=%v on=%v); comparison invalid", off, on)
+	}
+	offBad := cellF(t, r, 1, 0, "visibly_corrupt_survivors")
+	onBad := cellF(t, r, 1, 1, "visibly_corrupt_survivors")
+	if offBad == 0 {
+		t.Fatal("audit-off baseline kept no corrupt survivors; pressure never faced a choice")
+	}
+	if onBad >= offBad {
+		t.Fatalf("audit-prioritized deletion kept %v corrupt survivors vs baseline %v", onBad, offBad)
+	}
+	if cellF(t, r, 1, 0, "audit_passes") != 0 {
+		t.Fatal("audit-off run ran audit passes")
+	}
+	if cellF(t, r, 1, 1, "slices_scanned") == 0 {
+		t.Fatal("audit-on run scanned nothing")
+	}
+
+	// Budget exactness is asserted inside the runner; a violation
+	// surfaces as a WARNING note.
+	for _, n := range r.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Fatalf("runner flagged: %s", n)
+		}
+	}
+}

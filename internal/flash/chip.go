@@ -95,6 +95,15 @@ type PageTag struct {
 	// Serial is a monotonically increasing write sequence number; when
 	// two physical pages claim the same LPA, the higher serial wins.
 	Serial uint64
+	// Digest is the integrity digest of the page's original logical
+	// payload (FNV-1a 64, computed host-side at write time). Relocation
+	// copies it verbatim — it always describes the bytes the host wrote,
+	// not whatever the medium has decayed them into — so a clean read
+	// whose payload no longer matches Digest is exactly a silent
+	// corruption. HasDigest distinguishes "digest is zero" from "no
+	// digest recorded" (accounting pages carry none).
+	Digest    uint64
+	HasDigest bool
 }
 
 // PageState tracks a written page's history for error modelling.

@@ -201,7 +201,16 @@ func (f *FS) writePagesOnce(e *fileEntry, payload []byte, size int64, class devi
 				hi := lo + int64(chunkLen)
 				chunk = payload[lo:hi]
 			}
-			if _, err := f.dev.Write(lba, chunk, chunkLen, class); err != nil {
+			var err error
+			if chunk != nil {
+				// Real payloads carry an integrity digest, computed here —
+				// before any encoding or medium decay — and stored durably
+				// in the page's OOB tag (see storage.DigestStore).
+				_, err = f.dev.WriteDigested(lba, chunk, chunkLen, class, storage.DigestOf(chunk))
+			} else {
+				_, err = f.dev.Write(lba, chunk, chunkLen, class)
+			}
+			if err != nil {
 				// Roll back already-written pages of this attempt.
 				for _, w := range e.pages {
 					_ = f.dev.Trim(w)
@@ -242,11 +251,17 @@ func (f *FS) writeBatchOnce(e *fileEntry, payload []byte, size, npages int64, cl
 			chunkLen = int(size - p*ps)
 		}
 		var chunk []byte
+		var digest uint64
+		hasDigest := false
 		if payload != nil {
 			lo := p * ps
 			chunk = payload[lo : lo+int64(chunkLen)]
+			// Same write-time digest as the serial path, carried through
+			// the batched datapath's OOB tags.
+			digest = storage.DigestOf(chunk)
+			hasDigest = true
 		}
-		ws[p] = device.BatchWrite{LBA: lba, Data: chunk, DataLen: chunkLen, Class: class}
+		ws[p] = device.BatchWrite{LBA: lba, Data: chunk, DataLen: chunkLen, Class: class, Digest: digest, HasDigest: hasDigest}
 	}
 	_, fates, err := f.dev.WriteBatch(ws)
 	if err == nil {
@@ -440,6 +455,17 @@ func (f *FS) List() []Stat {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// PageLBA returns the LBA of the i'th page of a file, for callers that
+// address pages individually (the integrity auditor samples file slices
+// and reads them through the device's fault ladder).
+func (f *FS) PageLBA(id FileID, i int) (int64, bool) {
+	e, ok := f.byID[id]
+	if !ok || i < 0 || i >= len(e.pages) {
+		return 0, false
+	}
+	return e.pages[i], true
 }
 
 // Usage reports used and advertised-capacity bytes.

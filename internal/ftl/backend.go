@@ -8,6 +8,9 @@ import (
 // placement interface compiles down to.
 var _ storage.Backend = (*FTL)(nil)
 
+// The FTL records host digests in OOB tags and mappings.
+var _ storage.DigestStore = (*FTL)(nil)
+
 // Name identifies the backend kind for telemetry and the -backend flag.
 func (f *FTL) Name() string { return "ftl" }
 

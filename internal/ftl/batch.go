@@ -55,6 +55,9 @@ type batchDesc struct {
 	payload bool   // op carries bytes (vs accounting-only)
 	stored  []byte // chip-owned encode target; nil = accounting-only
 	storedN int
+	// Host integrity digest, carried into the OOB tag and mapping.
+	digest    uint64
+	hasDigest bool
 
 	// Phase C/D outcome.
 	err     error
@@ -91,7 +94,7 @@ func (f *FTL) WriteBatch(ops []storage.BatchOp, fates []storage.BatchFate, queue
 		// interposer's plans are op-indexed and unsynchronized, for one.
 		// Run the ops through the serial path in canonical order.
 		for i := range ops {
-			b, p, err := f.writeOne(ops[i].LPA, ops[i].Data, ops[i].DataLen, ops[i].Stream)
+			b, p, err := f.writeOne(ops[i].LPA, ops[i].Data, ops[i].DataLen, ops[i].Stream, ops[i].Digest, ops[i].HasDigest)
 			fates[i] = storage.BatchFate{Err: err, Block: b, Page: p}
 		}
 		return
@@ -113,7 +116,7 @@ func (f *FTL) WriteBatch(ops []storage.BatchOp, fates []storage.BatchFate, queue
 			// allocation); no placements are pending here, so every
 			// reclamation hazard is exactly as in the serial design.
 			op := &ops[i]
-			b, p, err := f.writeOne(op.LPA, op.Data, op.DataLen, op.Stream)
+			b, p, err := f.writeOne(op.LPA, op.Data, op.DataLen, op.Stream, op.Digest, op.HasDigest)
 			fates[i] = storage.BatchFate{Err: err, Block: b, Page: p}
 			i++
 			continue
@@ -284,6 +287,7 @@ func (f *FTL) placeRun(ops []storage.BatchOp, fates []storage.BatchFate, start i
 		d := batchDesc{
 			opIdx: idx, lpa: op.LPA, stream: id, dataLen: dataLen,
 			block: b, page: page, serial: f.writeSerial, runPos: -1,
+			digest: op.Digest, hasDigest: op.HasDigest,
 		}
 		if op.Data != nil {
 			d.payload = true
@@ -499,7 +503,7 @@ func (f *FTL) execPlane(rp storage.RunProgrammer, p int, idxs []int32) {
 		d.runPos = int32(len(run))
 		run = append(run, flash.ProgramOp{
 			Block: d.block, Page: d.page, Data: d.stored, DataLen: d.storedN, Own: d.payload,
-			Tag: flash.PageTag{LPA: d.lpa, Stream: uint8(d.stream), DataLen: int32(d.dataLen), Serial: d.serial},
+			Tag: flash.PageTag{LPA: d.lpa, Stream: uint8(d.stream), DataLen: int32(d.dataLen), Serial: d.serial, Digest: d.digest, HasDigest: d.hasDigest},
 		})
 	}
 	bs.planeOps[p] = run
@@ -544,7 +548,7 @@ func (f *FTL) settleDescs(ops []storage.BatchOp, fates []storage.BatchFate) {
 			if old, ok := f.lookup(d.lpa); ok {
 				f.invalidate(old.ppa)
 			}
-			f.setMapping(d.lpa, mapping{ppa: PPA{Block: d.block, Page: d.page}, stream: d.stream, dataLen: d.dataLen})
+			f.setMapping(d.lpa, mapping{ppa: PPA{Block: d.block, Page: d.page}, stream: d.stream, dataLen: d.dataLen, digest: d.digest, hasDigest: d.hasDigest})
 			fates[d.opIdx] = storage.BatchFate{Block: d.block, Page: d.page}
 			continue
 		}
@@ -561,7 +565,7 @@ func (f *FTL) settleDescs(ops []storage.BatchOp, fates []storage.BatchFate) {
 			f.sealFailedBlock(d.block)
 		}
 		op := &ops[d.opIdx]
-		b, p, err := f.writeOne(op.LPA, op.Data, op.DataLen, op.Stream)
+		b, p, err := f.writeOne(op.LPA, op.Data, op.DataLen, op.Stream, op.Digest, op.HasDigest)
 		fates[d.opIdx] = storage.BatchFate{Err: err, Block: b, Page: p}
 	}
 }

@@ -82,6 +82,11 @@ type mapping struct {
 	// relocation (accounting-only pages; payload pages carry corruption
 	// in the bytes themselves).
 	baseFlips int
+	// digest mirrors the page's OOB tag digest (storage.DigestStore) so
+	// verification and relocation read it without a chip op. Relocation
+	// copies it verbatim: it always hashes the original host payload.
+	digest    uint64
+	hasDigest bool
 }
 
 // FTL is the translation layer over a single chip (or any Flash, e.g. a
@@ -447,15 +452,33 @@ func (f *FTL) writableActive(id StreamID) (int, error) {
 // (no payload stored; error counts still modelled).
 func (f *FTL) Write(lpa int64, data []byte, dataLen int, id StreamID) error {
 	defer f.flushCapacity()
-	_, _, err := f.writeOne(lpa, data, dataLen, id)
+	_, _, err := f.writeOne(lpa, data, dataLen, id, 0, false)
 	return err
+}
+
+// WriteDigested is Write plus a host-computed payload digest recorded
+// in the page's OOB tag and mapping (storage.DigestStore).
+func (f *FTL) WriteDigested(lpa int64, data []byte, dataLen int, id StreamID, digest uint64) error {
+	defer f.flushCapacity()
+	_, _, err := f.writeOne(lpa, data, dataLen, id, digest, true)
+	return err
+}
+
+// Digest returns the recorded payload digest for a mapped lpa
+// (storage.DigestStore).
+func (f *FTL) Digest(lpa int64) (uint64, bool) {
+	m, ok := f.lookup(lpa)
+	if !ok || !m.hasDigest {
+		return 0, false
+	}
+	return m.digest, true
 }
 
 // writeOne is the full serial write path — validation, encode, program
 // (GC, allocation, and static wear leveling all permitted), mapping
 // update — returning where the page landed. Write wraps it; the batched
 // path falls back to it for ops its placement fast path cannot take.
-func (f *FTL) writeOne(lpa int64, data []byte, dataLen int, id StreamID) (int, int, error) {
+func (f *FTL) writeOne(lpa int64, data []byte, dataLen int, id StreamID, digest uint64, hasDigest bool) (int, int, error) {
 	pol, err := f.policy(id)
 	if err != nil {
 		return -1, -1, err
@@ -479,7 +502,7 @@ func (f *FTL) writeOne(lpa int64, data []byte, dataLen int, id StreamID) (int, i
 		storedLen = len(stored)
 	}
 
-	b, page, err := f.programToStream(id, lpa, dataLen, stored, storedLen)
+	b, page, err := f.programToStream(id, lpa, dataLen, stored, storedLen, digest, hasDigest)
 	if err != nil {
 		return -1, -1, err
 	}
@@ -489,7 +512,7 @@ func (f *FTL) writeOne(lpa int64, data []byte, dataLen int, id StreamID) (int, i
 	if old, ok := f.lookup(lpa); ok {
 		f.invalidate(old.ppa)
 	}
-	f.setMapping(lpa, mapping{ppa: PPA{Block: b, Page: page}, stream: id, dataLen: dataLen})
+	f.setMapping(lpa, mapping{ppa: PPA{Block: b, Page: page}, stream: id, dataLen: dataLen, digest: digest, hasDigest: hasDigest})
 	return b, page, nil
 }
 
@@ -498,10 +521,10 @@ func (f *FTL) writeOne(lpa int64, data []byte, dataLen int, id StreamID) (int, i
 // further programs), flagged for priority draining and retirement, and
 // the write retries on a fresh block. The page carries an OOB tag so a
 // remount can rebuild the mapping tables.
-func (f *FTL) programToStream(id StreamID, lpa int64, dataLen int, stored []byte, storedLen int) (blk, page int, err error) {
+func (f *FTL) programToStream(id StreamID, lpa int64, dataLen int, stored []byte, storedLen int, digest uint64, hasDigest bool) (blk, page int, err error) {
 	const maxAttempts = 4
 	f.writeSerial++
-	tag := flash.PageTag{LPA: lpa, Stream: uint8(id), DataLen: int32(dataLen), Serial: f.writeSerial}
+	tag := flash.PageTag{LPA: lpa, Stream: uint8(id), DataLen: int32(dataLen), Serial: f.writeSerial, Digest: digest, HasDigest: hasDigest}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		b, err := f.writableActive(id)
 		if err != nil {

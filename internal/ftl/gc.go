@@ -265,23 +265,27 @@ func (f *FTL) relocate(lpa int64, dst StreamID) error {
 		baseFlips += raw.FlippedTotal
 	}
 
-	b, page, err := f.programForRelocation(dst, lpa, m.dataLen, stored, storedLen)
+	// The digest travels with the page verbatim — never recomputed from
+	// the (possibly decayed) medium — so it keeps describing the bytes
+	// the host wrote. A relocation that crystallizes corruption therefore
+	// leaves a digest mismatch behind for the auditor to find.
+	b, page, err := f.programForRelocation(dst, lpa, m.dataLen, stored, storedLen, m.digest, m.hasDigest)
 	if err != nil {
 		return err
 	}
 	f.gcMoves++
 
 	f.invalidate(m.ppa)
-	f.setMapping(lpa, mapping{ppa: PPA{Block: b, Page: page}, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips})
+	f.setMapping(lpa, mapping{ppa: PPA{Block: b, Page: page}, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips, digest: m.digest, hasDigest: m.hasDigest})
 	return nil
 }
 
 // programForRelocation programs one relocated page, absorbing
 // program-status failures the same way the host write path does.
-func (f *FTL) programForRelocation(dst StreamID, lpa int64, dataLen int, stored []byte, storedLen int) (blk, page int, err error) {
+func (f *FTL) programForRelocation(dst StreamID, lpa int64, dataLen int, stored []byte, storedLen int, digest uint64, hasDigest bool) (blk, page int, err error) {
 	const maxAttempts = 4
 	f.writeSerial++
-	tag := flash.PageTag{LPA: lpa, Stream: uint8(dst), DataLen: int32(dataLen), Serial: f.writeSerial}
+	tag := flash.PageTag{LPA: lpa, Stream: uint8(dst), DataLen: int32(dataLen), Serial: f.writeSerial, Digest: digest, HasDigest: hasDigest}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		b, err := f.relocTarget(dst)
 		if err != nil {

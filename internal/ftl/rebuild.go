@@ -131,9 +131,11 @@ func (f *FTL) Rebuild() error {
 			continue
 		}
 		f.setMapping(lpa, mapping{
-			ppa:     w.ppa,
-			stream:  StreamID(w.tag.Stream),
-			dataLen: int(w.tag.DataLen),
+			ppa:       w.ppa,
+			stream:    StreamID(w.tag.Stream),
+			dataLen:   int(w.tag.DataLen),
+			digest:    w.tag.Digest,
+			hasDigest: w.tag.HasDigest,
 		})
 		f.blocks[w.ppa.Block].valid++
 	}

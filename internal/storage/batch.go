@@ -21,6 +21,11 @@ type BatchOp struct {
 	Stream  StreamID
 	Seq     uint64
 	Queue   int
+	// Digest/HasDigest carry the host-computed payload digest into the
+	// page's OOB tag (see DigestStore). Zero-valued when the writer
+	// tracks no digests.
+	Digest    uint64
+	HasDigest bool
 }
 
 // BatchFate is the per-op outcome of a batch, in submission order.

@@ -1,0 +1,24 @@
+package storage
+
+// The integrity digest is 64-bit FNV-1a, implemented from scratch so
+// the digest pipeline stays dependency-free. FNV is not cryptographic —
+// it doesn't need to be: the threat model is medium decay (bit flips
+// crystallized through relocation re-encoding), not an adversary, and a
+// 64-bit avalanche hash makes an accidental collision on a 4 KiB page
+// vanishingly unlikely while hashing at copy speed on the write path.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// DigestOf returns the FNV-1a 64 digest of data. The empty slice hashes
+// to the offset basis, which is non-zero, so every real payload has a
+// meaningful digest and HasDigest carries the "none recorded" case.
+func DigestOf(data []byte) uint64 {
+	h := fnvOffset64
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}

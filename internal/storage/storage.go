@@ -289,6 +289,25 @@ type Backend interface {
 	CheckInvariants() error
 }
 
+// DigestStore is the optional Backend extension for end-to-end
+// integrity digests (internal/audit). WriteDigested behaves exactly
+// like Write but additionally records the host-computed digest of the
+// payload in the page's OOB tag, so it survives power loss through the
+// same rebuild path as the mapping itself. Digest returns the recorded
+// digest for a mapped lpa (false when the page carries none —
+// accounting-only writes, or pages written before digests existed).
+//
+// The contract that makes digests an integrity oracle: relocation and
+// rebuild carry the digest through verbatim, never recomputing it from
+// the medium. A digest therefore always describes the bytes the host
+// originally wrote; a clean read whose payload hashes differently is a
+// silent corruption (in this model: degraded data crystallized by a
+// GC/scrub relocation re-encoding it under fresh ECC).
+type DigestStore interface {
+	WriteDigested(lpa int64, data []byte, dataLen int, id StreamID, digest uint64) error
+	Digest(lpa int64) (uint64, bool)
+}
+
 // Kind names a backend implementation.
 type Kind int
 

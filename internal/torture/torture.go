@@ -12,6 +12,14 @@
 //     persisted without its acknowledgement — a strictly newer value);
 //   - SPARE data may degrade or be lost, but every loss is REPORTED
 //     (a read error or a Degraded result) — silent corruption is a bug;
+//   - the digest store is crash-consistent: every payload write carries
+//     its host-computed digest into the OOB tag, and after any rebuild a
+//     cleanly-read page's stored digest must hash-match the recovered
+//     content. Acked digests survive; a torn write's digest either
+//     persisted with its page (and matches the strictly newer content)
+//     or the whole page is gone — a digest that disagrees with a clean
+//     read would turn honest rot into a false audit alarm, so it is a
+//     contract breach;
 //   - trimmed pages are exempt: an OOB rebuild may resurrect a trim
 //     issued just before the crash (documented FTL semantics).
 //
@@ -103,6 +111,14 @@ type Report struct {
 	// SilentLossBytes counts bytes that came back wrong with no error
 	// and no Degraded flag, on any stream — must be zero.
 	SilentLossBytes int64
+	// DigestsVerified counts cleanly-read payload pages whose rebuilt
+	// OOB digest was checked against the recovered content.
+	DigestsVerified int64
+	// DigestMismatches counts digest-store inconsistencies after
+	// rebuild: a clean read whose stored digest is missing or disagrees
+	// with the recovered content — must be zero (it would make the
+	// integrity auditor cry wolf on healthy data).
+	DigestMismatches int64
 	// Failures holds diagnostics for the first few violations.
 	Failures []string
 }
@@ -114,6 +130,9 @@ func (r Report) Violations() int {
 		n++
 	}
 	if r.SilentLossBytes > 0 {
+		n++
+	}
+	if r.DigestMismatches > 0 {
 		n++
 	}
 	return n
@@ -269,6 +288,8 @@ type trialResult struct {
 	sysLoss   int64
 	spareLoss int64
 	silent    int64
+	digests   int64
+	digestBad int64
 	failures  []string
 	// exactly one of these is set on a contract breach
 	recoveryFailure    bool
@@ -355,6 +376,10 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 			op := storage.BatchOp{LPA: s.lpa, Stream: s.stream, Seq: seq}
 			if s.kind == kWrite {
 				op.Data = pat(s.lpa, s.seq, s.dataLen)
+				// Digest rides the same program op as the payload, so a
+				// power cut here is a cut mid-digest-update: page and
+				// digest land (or tear) together.
+				op.Digest, op.HasDigest = storage.DigestOf(op.Data), true
 			} else {
 				op.DataLen = s.dataLen
 			}
@@ -385,7 +410,12 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 		case kWrite:
 			r := at(s)
 			r.pendSeq, r.pendLen = s.seq, s.dataLen
-			err = f.Write(s.lpa, pat(s.lpa, s.seq, s.dataLen), 0, s.stream)
+			data := pat(s.lpa, s.seq, s.dataLen)
+			if ds, ok := f.(storage.DigestStore); ok {
+				err = ds.WriteDigested(s.lpa, data, 0, s.stream, storage.DigestOf(data))
+			} else {
+				err = f.Write(s.lpa, data, 0, s.stream)
+			}
 			if err == nil {
 				r.stream, r.acct = s.stream, false
 				r.ackedSeq, r.pendSeq = s.seq, -1
@@ -439,6 +469,7 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 
 // verify checks the recovery contract for every acked LPA.
 func verify(t *trialResult, f storage.Backend, recs map[int64]*rec) {
+	ds, hasDS := f.(storage.DigestStore)
 	lpas := make([]int64, 0, len(recs))
 	for lpa := range recs {
 		lpas = append(lpas, lpa)
@@ -483,6 +514,22 @@ func verify(t *trialResult, f storage.Backend, recs map[int64]*rec) {
 			t.silent += int64(r.dataLen)
 			t.fail("lpa %d (%v): silent content mismatch (acked seq %d, pending %d)",
 				lpa, r.stream, r.ackedSeq, r.pendSeq)
+			continue
+		}
+		if !hasDS {
+			continue
+		}
+		// Digest-store crash consistency: the rebuilt OOB digest must
+		// hash-match the clean content the read just returned — whether
+		// that is the acked generation or a torn-but-persisted newer one
+		// (page and digest share a program op, so they land together).
+		// A missing or disagreeing digest here would make the integrity
+		// auditor flag healthy data as silently corrupt.
+		t.digests++
+		if got, has := ds.Digest(lpa); !has || got != storage.DigestOf(res.Data) {
+			t.digestBad++
+			t.fail("lpa %d (%v): rebuilt digest inconsistent with clean content (present=%v, acked seq %d, pending %d)",
+				lpa, r.stream, has, r.ackedSeq, r.pendSeq)
 		}
 	}
 }
@@ -604,6 +651,8 @@ func Run(cfg Config) (Report, error) {
 		rep.SysLossBytes += t.sysLoss
 		rep.SpareLossBytes += t.spareLoss
 		rep.SilentLossBytes += t.silent
+		rep.DigestsVerified += t.digests
+		rep.DigestMismatches += t.digestBad
 		for _, note := range t.failures {
 			if len(rep.Failures) < maxFailureNotes {
 				rep.Failures = append(rep.Failures, note)

@@ -152,6 +152,41 @@ func TestTortureWithFaultStorm(t *testing.T) {
 	})
 }
 
+// TestDigestStoreCrashConsistency is the integrity-audit extension of
+// the matrix: every payload write carries its digest into the OOB tag,
+// power cuts land mid-digest-update (page and digest share a program op)
+// and mid-scrub (relocations copy digests verbatim), and after every
+// rebuild each cleanly-read page's stored digest must hash-match the
+// recovered content. Runs batched (queues > 1) so torn batch cuts are in
+// the matrix too.
+func TestDigestStoreCrashConsistency(t *testing.T) {
+	eachBackend(t, func(t *testing.T, kind storage.Kind) {
+		cfg := DefaultConfig()
+		cfg.Backend = kind
+		cfg.Cuts = 32
+		cfg.Queues = 4
+		cfg.Workers = 4
+		cfg.Parallel = 4
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Recovered != rep.Cuts {
+			t.Errorf("recovered %d of %d cuts; failures: %v", rep.Recovered, rep.Cuts, rep.Failures)
+		}
+		if rep.DigestsVerified == 0 {
+			t.Fatal("no digests verified — payload writes are not carrying digests")
+		}
+		if rep.DigestMismatches != 0 {
+			t.Errorf("digest store inconsistent after rebuild: %d mismatches of %d verified; %v",
+				rep.DigestMismatches, rep.DigestsVerified, rep.Failures)
+		}
+		if rep.Violations() != 0 || rep.SilentLossBytes != 0 {
+			t.Errorf("contract violations: %+v", rep)
+		}
+	})
+}
+
 // TestDeterminism pins that two identical runs agree exactly.
 func TestDeterminism(t *testing.T) {
 	eachBackend(t, func(t *testing.T, kind storage.Kind) {

@@ -71,6 +71,11 @@ type zmapping struct {
 	// baseFlips carries degradation crystallized across relocations of
 	// accounting-only pages, exactly as in the device-side FTL.
 	baseFlips int
+	// digest mirrors the page's OOB tag digest (storage.DigestStore);
+	// relocation copies it verbatim, so it always hashes the original
+	// host payload.
+	digest    uint64
+	hasDigest bool
 }
 
 // BackendConfig configures the zoned backend. The field vocabulary
@@ -202,6 +207,9 @@ func NewBackend(cfg BackendConfig) (*Backend, error) {
 }
 
 var _ storage.Backend = (*Backend)(nil)
+
+// The zoned backend records host digests in OOB tags and mappings.
+var _ storage.DigestStore = (*Backend)(nil)
 
 // Name identifies the backend kind for telemetry and the -backend flag.
 func (b *Backend) Name() string { return "zns" }
@@ -352,6 +360,26 @@ func (b *Backend) relocZone(id storage.StreamID) (int, error) {
 // Write stores data (length <= LogicalPageSize) at lpa under the given
 // stream. A nil data with dataLen > 0 performs an accounting-only write.
 func (b *Backend) Write(lpa int64, data []byte, dataLen int, id storage.StreamID) error {
+	return b.writeTagged(lpa, data, dataLen, id, 0, false)
+}
+
+// WriteDigested is Write plus a host-computed payload digest recorded
+// in the page's OOB tag and mapping (storage.DigestStore).
+func (b *Backend) WriteDigested(lpa int64, data []byte, dataLen int, id storage.StreamID, digest uint64) error {
+	return b.writeTagged(lpa, data, dataLen, id, digest, true)
+}
+
+// Digest returns the recorded payload digest for a mapped lpa
+// (storage.DigestStore).
+func (b *Backend) Digest(lpa int64) (uint64, bool) {
+	m, ok := b.lookup(lpa)
+	if !ok || !m.hasDigest {
+		return 0, false
+	}
+	return m.digest, true
+}
+
+func (b *Backend) writeTagged(lpa int64, data []byte, dataLen int, id storage.StreamID, digest uint64, hasDigest bool) error {
 	defer b.flushCapacity()
 	if id < 0 || int(id) >= len(b.streams) {
 		return storage.ErrUnknownStream
@@ -366,13 +394,13 @@ func (b *Backend) Write(lpa int64, data []byte, dataLen int, id storage.StreamID
 		return storage.ErrPayloadSize
 	}
 	b.writeSerial++
-	tag := flash.PageTag{LPA: lpa, Stream: uint8(id), DataLen: int32(dataLen), Serial: b.writeSerial}
+	tag := flash.PageTag{LPA: lpa, Stream: uint8(id), DataLen: int32(dataLen), Serial: b.writeSerial, Digest: digest, HasDigest: hasDigest}
 	z, idx, err := b.appendToStream(id, data, dataLen, tag, true)
 	if err != nil {
 		return err
 	}
 	b.hostWrites++
-	b.install(lpa, zmapping{zone: z, idx: idx, stream: id, dataLen: dataLen})
+	b.install(lpa, zmapping{zone: z, idx: idx, stream: id, dataLen: dataLen, digest: digest, hasDigest: hasDigest})
 	return nil
 }
 
@@ -754,14 +782,17 @@ func (b *Backend) relocate(lpa int64, dst storage.StreamID) error {
 		baseFlips += raw.FlippedTotal
 	}
 
+	// The digest is copied verbatim — never recomputed from the decoded
+	// payload — so corruption crystallized by this move stays detectable
+	// as a digest mismatch.
 	b.writeSerial++
-	tag := flash.PageTag{LPA: lpa, Stream: uint8(dst), DataLen: int32(m.dataLen), Serial: b.writeSerial}
+	tag := flash.PageTag{LPA: lpa, Stream: uint8(dst), DataLen: int32(m.dataLen), Serial: b.writeSerial, Digest: m.digest, HasDigest: m.hasDigest}
 	z, idx, err := b.appendToStream(dst, data, m.dataLen, tag, false)
 	if err != nil {
 		return err
 	}
 	b.gcMoves++
-	b.install(lpa, zmapping{zone: z, idx: idx, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips})
+	b.install(lpa, zmapping{zone: z, idx: idx, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips, digest: m.digest, hasDigest: m.hasDigest})
 	return nil
 }
 

@@ -74,14 +74,14 @@ func (b *Backend) WriteBatch(ops []storage.BatchOp, fates []storage.BatchFate, q
 			storedLen = b.dev.pol[b.attrs[op.Stream]].Scheme.Overhead(dataLen)
 		}
 		b.writeSerial++
-		tag := flash.PageTag{LPA: op.LPA, Stream: uint8(op.Stream), DataLen: int32(dataLen), Serial: b.writeSerial}
+		tag := flash.PageTag{LPA: op.LPA, Stream: uint8(op.Stream), DataLen: int32(dataLen), Serial: b.writeSerial, Digest: op.Digest, HasDigest: op.HasDigest}
 		z, idx, blk, page, err := b.appendStoredToStream(op.Stream, stored, storedLen, dataLen, tag)
 		if err != nil {
 			fates[i] = storage.BatchFate{Err: err, Block: -1, Page: -1}
 			continue
 		}
 		b.hostWrites++
-		b.install(op.LPA, zmapping{zone: z, idx: idx, stream: op.Stream, dataLen: dataLen})
+		b.install(op.LPA, zmapping{zone: z, idx: idx, stream: op.Stream, dataLen: dataLen, digest: op.Digest, hasDigest: op.HasDigest})
 		fates[i] = storage.BatchFate{Block: blk, Page: page}
 	}
 }

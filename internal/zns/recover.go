@@ -29,6 +29,8 @@ type rcand struct {
 	zone, idx int
 	stream    storage.StreamID
 	dataLen   int
+	digest    uint64
+	hasDigest bool
 }
 
 // rebuild reconstructs zone states and the mapping tables by scanning
@@ -145,6 +147,7 @@ func (nb *Backend) rebuild() error {
 					winners[tag.LPA] = rcand{
 						serial: tag.Serial, zone: z, idx: idx,
 						stream: storage.StreamID(tag.Stream), dataLen: dataLen,
+						digest: tag.Digest, hasDigest: tag.HasDigest,
 					}
 				}
 			}
@@ -177,7 +180,7 @@ func (nb *Backend) rebuild() error {
 		if w.serial == 0 {
 			continue
 		}
-		nb.install(lpa, zmapping{zone: w.zone, idx: w.idx, stream: w.stream, dataLen: w.dataLen})
+		nb.install(lpa, zmapping{zone: w.zone, idx: w.idx, stream: w.stream, dataLen: w.dataLen, digest: w.digest, hasDigest: w.hasDigest})
 	}
 	nb.writeSerial = maxSerial
 

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 
+	"sos/internal/audit"
 	"sos/internal/core"
 	"sos/internal/device"
 	"sos/internal/obs"
@@ -31,12 +32,16 @@ type Snapshot struct {
 	Engine core.Stats    `json:"engine"`
 	Files  int           `json:"files"`
 	Obs    *obs.Snapshot `json:"obs,omitempty"`
+	// Audit carries integrity-auditor telemetry on audit-enabled runs
+	// and is absent otherwise, keeping audit-off output byte-identical
+	// to builds without the auditor.
+	Audit *audit.Stats `json:"audit,omitempty"`
 }
 
 // Snapshot captures the System's complete telemetry state at the current
 // simulated time.
 func (s *System) Snapshot() Snapshot {
-	return Snapshot{
+	snap := Snapshot{
 		Version: SnapshotVersion,
 		Profile: s.Config.Profile,
 		Backend: s.Device.Backend().Name(),
@@ -47,6 +52,11 @@ func (s *System) Snapshot() Snapshot {
 		Files:   s.Engine.Files(),
 		Obs:     s.Obs.Snapshot(),
 	}
+	if a := s.Engine.Auditor(); a != nil {
+		st := a.Stats()
+		snap.Audit = &st
+	}
+	return snap
 }
 
 // WriteJSON renders the snapshot as indented JSON.
@@ -121,6 +131,22 @@ func (s Snapshot) WritePrometheus(w io.Writer) (int64, error) {
 	e.Counter("sos_engine_scrub_moves_total", "Pages relocated by scrubbing.", float64(g.ScrubMoves))
 	e.Counter("sos_engine_sys_misplaced_total", "Truly-critical files demoted to SPARE.", float64(g.SysMisplaced))
 	e.Counter("sos_engine_spare_retained_total", "Truly-spare files kept on SYS.", float64(g.SpareRetained))
+
+	// Integrity auditor (audit-enabled runs only): the
+	// sos_degradation_* family quantifies how much of the medium's rot
+	// is visible, and of what kind.
+	if a := s.Audit; a != nil {
+		e.Counter("sos_degradation_audit_passes_total", "Integrity-audit passes completed.", float64(a.Passes))
+		e.Counter("sos_degradation_slices_scanned_total", "Slice reads spent sampling (the scrub I/O budget).", float64(a.SlicesScanned))
+		e.Counter("sos_degradation_clean_total", "Sampled slices verified intact.", float64(a.Clean))
+		e.Counter("sos_degradation_degraded_total", "Sampled slices with damage the read path reports.", float64(a.Degraded))
+		e.Counter("sos_degradation_silent_total", "Sampled slices with damage only the digest can see.", float64(a.Silent))
+		e.Counter("sos_degradation_lost_total", "Sampled slices unreadable or surviving only as salvage.", float64(a.Lost))
+		e.Gauge("sos_degradation_silent_rate", "Estimated silent-corruption rate over scanned slices.", a.SilentRate())
+		e.Counter("sos_degradation_escalations_total", "SYS findings escalated into device relocation.", float64(a.Escalations))
+		e.Counter("sos_degradation_escalation_io_total", "Extra page moves spent on escalation beyond the budget.", float64(a.EscalationIO))
+		e.Counter("sos_degradation_repairs_total", "Files repaired from cloud backup on audit evidence.", float64(a.Repairs))
+	}
 
 	// Observability subsystem (enabled runs only).
 	if o := s.Obs; o != nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"sos"
+	"sos/internal/classify"
 	"sos/internal/obs"
 )
 
@@ -173,6 +174,98 @@ func TestSnapshotWithoutObserve(t *testing.T) {
 	}
 	if n, err := obs.ParseExposition(&buf); err != nil || n == 0 {
 		t.Fatalf("exposition invalid: %d, %v", n, err)
+	}
+}
+
+// TestAuditExpositionFamily pins the sos_degradation_* metric family:
+// present (and promcheck-valid, with values matching the auditor's own
+// telemetry) exactly when the auditor is enabled, absent — from both the
+// exposition and the JSON snapshot — when it is not.
+func TestAuditExpositionFamily(t *testing.T) {
+	sys, err := sos.New(sos.Config{Seed: 7, Audit: true, ScrubBudget: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 16<<10)
+	for i := range payload {
+		payload[i] = byte(i*13 + 1)
+	}
+	for f := 0; f < 3; f++ {
+		meta := classify.FileMeta{
+			Path:          fmt.Sprintf("/system/lib64/libsnap%d.so", f),
+			SizeBytes:     int64(len(payload)),
+			AccessCount:   300,
+			Modifications: 1,
+		}
+		if _, err := sys.Engine.CreateFile(meta, payload, 0, classify.LabelSys); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Engine.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Engine.Auditor().Stats()
+	if st.SlicesScanned != 16 {
+		t.Fatalf("scanned %d slices, want the exact budget 16", st.SlicesScanned)
+	}
+
+	snap := sys.Snapshot()
+	if snap.Audit == nil || *snap.Audit != st {
+		t.Fatalf("snapshot audit section %+v, want %+v", snap.Audit, st)
+	}
+	var buf bytes.Buffer
+	if _, err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if n, err := obs.ParseExposition(strings.NewReader(text)); err != nil || n == 0 {
+		t.Fatalf("audited exposition invalid: %d samples, %v", n, err)
+	}
+	for _, want := range []string{
+		fmt.Sprintf("sos_degradation_audit_passes_total %s", promNum(float64(st.Passes))),
+		fmt.Sprintf("sos_degradation_slices_scanned_total %s", promNum(float64(st.SlicesScanned))),
+		fmt.Sprintf("sos_degradation_clean_total %s", promNum(float64(st.Clean))),
+		fmt.Sprintf("sos_degradation_silent_total %s", promNum(float64(st.Silent))),
+		fmt.Sprintf("sos_degradation_silent_rate %s", promNum(st.SilentRate())),
+		fmt.Sprintf("sos_degradation_repairs_total %s", promNum(float64(st.Repairs))),
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("audited exposition missing %q", want)
+		}
+	}
+	var buf2 bytes.Buffer
+	if _, err := snap.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != text {
+		t.Fatal("audited exposition not byte-stable")
+	}
+
+	// Audit off: the family (and the JSON section) must vanish.
+	off, err := sos.New(sos.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := off.RunPersonal(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	osnap := off.Snapshot()
+	if osnap.Audit != nil {
+		t.Fatal("audit-off snapshot has an audit section")
+	}
+	var obuf bytes.Buffer
+	if _, err := osnap.WritePrometheus(&obuf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(obuf.String(), "sos_degradation_") {
+		t.Fatal("audit-off exposition leaks sos_degradation_*")
+	}
+	var js bytes.Buffer
+	if err := osnap.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(js.String(), `"audit"`) {
+		t.Fatal("audit-off JSON snapshot leaks the audit key")
 	}
 }
 

@@ -163,6 +163,15 @@ type Config struct {
 	// TraceCap overrides the trace ring capacity in events
 	// (default obs.DefaultTraceCapacity). Only meaningful with Observe.
 	TraceCap int
+	// Audit enables the end-to-end integrity auditor: write-time page
+	// digests are verified by a budgeted background pass whose findings
+	// drive cloud repair, proactive transcoding, and auto-delete
+	// ordering. Disabled (the default) the system's output is
+	// byte-identical to a build without the auditor.
+	Audit bool
+	// ScrubBudget is the exact number of slice reads per audit pass
+	// (default audit.DefaultBudget). Only meaningful with Audit.
+	ScrubBudget int
 }
 
 // System is an assembled SOS (or baseline) stack.
@@ -254,6 +263,9 @@ func New(cfg Config) (*System, error) {
 		CloudBackup:           cfg.CloudBackup,
 		TranscodeBeforeDelete: cfg.TranscodeBeforeDelete,
 		Obs:                   rec,
+		Audit:                 cfg.Audit,
+		AuditBudget:           cfg.ScrubBudget,
+		AuditSeed:             cfg.Seed + 0xa0d17,
 	})
 	if err != nil {
 		return nil, err
