@@ -3,7 +3,7 @@
 # goroutines; the torture tier replays the crash matrix under the race
 # detector. CI (or a pre-merge hand-run) should execute all three.
 
-.PHONY: verify verify-race verify-all torture bench-parallel bench-smoke bench-json bench-gate determinism fmt obs audit
+.PHONY: verify verify-race verify-all torture bench-parallel bench-smoke bench-json bench-gate determinism fmt obs audit serve-smoke
 
 # Formatting gate: fail if any file needs gofmt.
 fmt:
@@ -32,7 +32,7 @@ torture:
 	go test -race ./internal/zns/ -run 'TestBackendRecover|TestCrash'
 	go test -race -parallel 8 ./internal/torture/
 
-verify-all: verify verify-race torture bench-smoke bench-gate audit
+verify-all: verify verify-race torture bench-smoke bench-gate audit serve-smoke
 
 # Serial vs parallel RunAll wall-clock (quick fidelity under -short).
 bench-parallel:
@@ -82,6 +82,17 @@ audit:
 	@/tmp/sossim-audit -sim -days 30 -backend=zns -audit -scrub-budget 32 -metrics | /tmp/promcheck-audit
 	@/tmp/sossim-audit -sim -days 30 -backend=ftl -audit -scrub-budget 32 | grep -q 'audit            passes=' \
 		&& echo "audit: OK (exposition valid, audit line present)"
+
+# Fleet-daemon smoke: boot `sossim -serve` on an ephemeral port, drive
+# it over real HTTP (64-shard smoke fleet, advance 7 days), diff the
+# report against the checked-in golden, and validate the /metrics
+# scrape with promcheck. Exercises the whole serve path from outside
+# the process.
+serve-smoke:
+	@go build -o /tmp/sossim-serve ./cmd/sossim
+	@go build -o /tmp/promcheck-serve ./cmd/promcheck
+	@go build -o /tmp/fleetsmoke ./cmd/fleetsmoke
+	@/tmp/fleetsmoke -sossim /tmp/sossim-serve -promcheck /tmp/promcheck-serve
 
 # CLI-level determinism check: experiment output must be bit-identical
 # for every -parallel value.

@@ -8,15 +8,19 @@
 //	carbonreport -devices 1500000000 -capacity 128
 //	carbonreport -growth 0.25 -density 4 -shareboost 1.5
 //	carbonreport -capacities 64,128,256,512 -parallel 0
+//	carbonreport -fleet-shards 64 -fleet-days 7 -backend zns
 //	carbonreport -metrics
 //	carbonreport -trace marks.jsonl
 //
 // -capacities adds a fleet sweep across device capacities, fanned out
 // over -parallel workers (0 = all cores). The sweep table is identical
 // for every worker count: rows are computed independently and emitted
-// in capacity order. -metrics replaces the human report with the same
-// numbers in the Prometheus text exposition format; -trace records one
-// milestone event per report section as JSON lines.
+// in capacity order. -fleet-shards adds a simulated fleet section: a
+// real sos.Fleet (the engine behind `sossim -serve`) is advanced
+// -fleet-days and its carbon and wear distributions are reported —
+// byte-identical at every -parallel. -metrics replaces the human report
+// with the same numbers in the Prometheus text exposition format;
+// -trace records one milestone event per report section as JSON lines.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"sos"
 	"sos/internal/carbon"
 	"sos/internal/flash"
 	"sos/internal/metrics"
@@ -43,7 +48,13 @@ func main() {
 	flag.Float64Var(&opts.ShareBoost, "shareboost", 2.0, "flash share-of-storage growth by the horizon")
 	flag.StringVar(&opts.Baseline, "baseline", "tlc", "fleet baseline technology: tlc|qlc")
 	flag.StringVar(&opts.Capacities, "capacities", "", "comma-separated GB list for a fleet capacity sweep")
-	flag.IntVar(&opts.Parallel, "parallel", 1, "worker goroutines for the capacity sweep (0 = all cores)")
+	flag.IntVar(&opts.Parallel, "parallel", 1, "worker goroutines for the capacity sweep and fleet simulation (0 = all cores)")
+	// Same parser as sossim's -backend (sos.Backend's TextUnmarshaler),
+	// so both CLIs accept exactly the same name set.
+	flag.TextVar(&opts.Backend, "backend", sos.BackendFTL, "translation layer for the fleet simulation: ftl|zns")
+	flag.IntVar(&opts.FleetShards, "fleet-shards", 0, "simulate a real device fleet with this many shards (0 = off)")
+	flag.IntVar(&opts.FleetDays, "fleet-days", 7, "with -fleet-shards: simulated days to advance the fleet")
+	flag.Uint64Var(&opts.FleetSeed, "fleet-seed", 21, "with -fleet-shards: fleet seed")
 	// -queues/-planes exist for CLI parity with sossim: carbonreport is
 	// pure carbon arithmetic and never builds a device, so they are
 	// accepted no-ops — output is byte-identical at every value.
@@ -67,8 +78,14 @@ type reportOpts struct {
 	Baseline   string
 	Capacities string
 	Parallel   int
-	Metrics    bool
-	TraceFile  string
+	// Backend/FleetShards/FleetDays/FleetSeed parameterize the simulated
+	// fleet section (FleetShards 0 = off).
+	Backend     sos.Backend
+	FleetShards int
+	FleetDays   int
+	FleetSeed   uint64
+	Metrics     bool
+	TraceFile   string
 }
 
 func run(opts reportOpts, out io.Writer) error {
@@ -160,6 +177,12 @@ func run(opts reportOpts, out io.Writer) error {
 		}
 	}
 
+	if opts.FleetShards > 0 {
+		if err := fleetSim(opts, exp, rec, out); err != nil {
+			return err
+		}
+	}
+
 	if opts.TraceFile != "" {
 		f, err := os.Create(opts.TraceFile)
 		if err != nil {
@@ -235,6 +258,65 @@ func fleetSweep(devices int64, caps []float64, base flash.Tech, workers int) (*m
 		t.AddRow(caps[i], r.baseMt, r.sosMt, r.savedFrac*100)
 	}
 	return t, rows, nil
+}
+
+// fleetSim runs a real simulated fleet — the same engine `sossim
+// -serve` hosts — and reports its carbon and wear distributions. Shard
+// seeds split before dispatch and aggregation runs in shard-index
+// order, so the section is byte-identical at every -parallel value.
+func fleetSim(opts reportOpts, exp *obs.Exposition, rec *obs.Recorder, out io.Writer) error {
+	f, err := sos.NewFleet(sos.FleetConfig{
+		Shards:         opts.FleetShards,
+		Seed:           opts.FleetSeed,
+		Backend:        opts.Backend,
+		Workers:        opts.Parallel,
+		AgeMixDays:     []int{0, 30, 90},
+		StormEvery:     8,
+		StragglerEvery: 16,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := f.Advance(opts.FleetDays)
+	if err != nil {
+		return err
+	}
+	if !opts.Metrics {
+		fmt.Fprintf(out, "\nfleet simulation: %d shards x %d days (%s backend, seed %d)\n",
+			opts.FleetShards, opts.FleetDays, opts.Backend, opts.FleetSeed)
+		fmt.Fprintf(out, "  embodied: %.6f kg vs %.6f kg baseline -> saved %.1f%%\n",
+			rep.Carbon.EmbodiedKg, rep.Carbon.BaselineKg, rep.Carbon.SavedFrac*100)
+		fmt.Fprintf(out, "  expired devices: %d of %d\n", rep.Totals.Expired, rep.Shards)
+		t := &metrics.Table{Header: []string{"metric", "min", "p50", "p90", "p99", "max"}}
+		for _, row := range []struct {
+			name string
+			q    sos.FleetQuantiles
+		}{
+			{"write_amp", rep.Dist.WriteAmp},
+			{"max_wear_frac", rep.Dist.MaxWearFrac},
+			{"used_frac", rep.Dist.UsedFrac},
+			{"auto_deleted", rep.Dist.AutoDeleted},
+		} {
+			t.AddRow(row.name, row.q.Min, row.q.P50, row.q.P90, row.q.P99, row.q.Max)
+		}
+		fmt.Fprintln(out, t)
+	}
+	exp.Gauge("carbon_fleetsim_shards", "Simulated fleet shard population.", float64(rep.Shards))
+	exp.Gauge("carbon_fleetsim_expired", "Simulated fleet devices that wore out.", float64(rep.Totals.Expired))
+	exp.Gauge("carbon_fleetsim_saved_fraction", "Embodied-carbon saving fraction of the simulated fleet.", rep.Carbon.SavedFrac)
+	for _, p := range []struct {
+		label string
+		v     float64
+	}{
+		{"min", rep.Dist.WriteAmp.Min}, {"p50", rep.Dist.WriteAmp.P50},
+		{"p90", rep.Dist.WriteAmp.P90}, {"p99", rep.Dist.WriteAmp.P99},
+		{"max", rep.Dist.WriteAmp.Max},
+	} {
+		exp.GaugeKV("carbon_fleetsim_write_amp", "Per-shard write amplification quantiles.", p.v,
+			obs.Label{Name: "q", Value: p.label})
+	}
+	rec.Record(obs.Event{Kind: obs.EvMark, Aux: int64(opts.FleetShards)})
+	return nil
 }
 
 func fail(err error) {

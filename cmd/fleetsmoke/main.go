@@ -1,0 +1,200 @@
+// Command fleetsmoke is the end-to-end gate behind `make serve-smoke`:
+// it execs a real sossim binary with -serve on an ephemeral port,
+// drives the daemon over actual HTTP — create the canonical 64-shard
+// smoke fleet, advance it 7 simulated days, fetch the aggregate report
+// — then diffs the report against the checked-in golden and pipes the
+// /metrics scrape through the promcheck binary. A clean exit means the
+// whole serve path (flag wiring, listener handshake, JSON codecs, fleet
+// engine, exposition rendering) works from outside the process.
+//
+// Usage:
+//
+//	fleetsmoke -sossim /tmp/sossim -promcheck /tmp/promcheck
+//	fleetsmoke -sossim /tmp/sossim -update   # re-pin the golden
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"sos/internal/fleetd"
+)
+
+func main() {
+	var (
+		sossim    = flag.String("sossim", "", "path to the sossim binary (required)")
+		promcheck = flag.String("promcheck", "", "path to the promcheck binary (skip the metrics pipe when empty)")
+		golden    = flag.String("golden", "testdata/fleet/serve_report.json", "golden report path")
+		update    = flag.Bool("update", false, "rewrite the golden instead of diffing")
+		parallel  = flag.Int("parallel", 8, "daemon -parallel value")
+	)
+	flag.Parse()
+	if *sossim == "" {
+		fail(fmt.Errorf("-sossim is required"))
+	}
+	fail(run(*sossim, *promcheck, *golden, *parallel, *update))
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fleetsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sossim, promcheck, golden string, parallel int, update bool) error {
+	cmd := exec.Command(sossim, "-serve", "-addr", "127.0.0.1:0", "-parallel", fmt.Sprint(parallel))
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The daemon prints "sossim: serving on http://HOST:PORT" once the
+	// listener is bound — that line is the handshake.
+	base, err := readBanner(stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Println("fleetsmoke: daemon at", base)
+
+	id, err := createFleet(base)
+	if err != nil {
+		return err
+	}
+	report, err := advanceAndReport(base, id, 7)
+	if err != nil {
+		return err
+	}
+
+	if update {
+		if err := os.WriteFile(golden, report, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("fleetsmoke: golden updated:", golden)
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			return fmt.Errorf("%w (regenerate with -update)", err)
+		}
+		if !bytes.Equal(want, report) {
+			return fmt.Errorf("report diverged from %s (rerun with -update if intentional)", golden)
+		}
+		fmt.Println("fleetsmoke: report matches", golden)
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if promcheck != "" {
+		check := exec.Command(promcheck)
+		check.Stdin = bytes.NewReader(metrics)
+		check.Stdout = os.Stdout
+		check.Stderr = os.Stderr
+		if err := check.Run(); err != nil {
+			return fmt.Errorf("promcheck rejected /metrics: %w", err)
+		}
+	}
+	fmt.Println("fleetsmoke: OK")
+	return nil
+}
+
+// readBanner scans daemon stdout for the serving line and returns the
+// base URL. A watchdog bounds the wait so a wedged daemon fails fast.
+func readBanner(stdout io.Reader) (string, error) {
+	type result struct {
+		base string
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "sossim: serving on "); ok {
+				ch <- result{base: strings.TrimSpace(rest)}
+				return
+			}
+		}
+		ch <- result{err: fmt.Errorf("daemon exited without a serving banner (%v)", sc.Err())}
+	}()
+	select {
+	case r := <-ch:
+		return r.base, r.err
+	case <-time.After(30 * time.Second):
+		return "", fmt.Errorf("timed out waiting for the serving banner")
+	}
+}
+
+func createFleet(base string) (string, error) {
+	cfg, err := json.Marshal(fleetd.SmokeConfig())
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(base+"/v1/fleet", "application/json", bytes.NewReader(cfg))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("create fleet: status %d: %s", resp.StatusCode, body)
+	}
+	var cr fleetd.CreateResponse
+	if err := json.Unmarshal(body, &cr); err != nil {
+		return "", err
+	}
+	fmt.Printf("fleetsmoke: created %s (%d shards, seed %d)\n", cr.ID, cr.Shards, cr.Seed)
+	return cr.ID, nil
+}
+
+func advanceAndReport(base, id string, days int) ([]byte, error) {
+	body, err := json.Marshal(fleetd.AdvanceRequest{Days: days})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/v1/fleet/"+id+"/advance", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("advance: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/fleet/" + id + "/report")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	report, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("report: status %d: %s", resp.StatusCode, report)
+	}
+	return report, nil
+}

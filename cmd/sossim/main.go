@@ -11,9 +11,12 @@
 //	sossim -sim -profile tlc     ... on the TLC baseline
 //	sossim -sim -metrics         emit Prometheus metrics instead of the report
 //	sossim -sim -trace t.jsonl   dump the telemetry event trace as JSON lines
+//	sossim -serve -addr :8080    host the multi-device fleet daemon
 //
 // Output is bit-identical for every -parallel value: per-trial seeds are
-// derived before dispatch and results are assembled in item order.
+// derived before dispatch and results are assembled in item order. The
+// same holds for the daemon: fleet reports and /metrics scrapes are
+// byte-identical at every -parallel for a given request sequence.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"sos"
 	"sos/internal/core"
 	"sos/internal/experiments"
+	"sos/internal/fleetd"
 	"sos/internal/obs"
 	"sos/internal/trace"
 	"sos/internal/workload"
@@ -34,11 +38,13 @@ import (
 func main() {
 	var opts simOpts
 	var (
-		list   = flag.Bool("list", false, "list experiment ids and titles")
-		exp    = flag.String("exp", "", "experiment id to run, or 'all'")
-		quick  = flag.Bool("quick", false, "reduced-fidelity fast mode")
-		runSim = flag.Bool("sim", false, "run an ad-hoc personal-device simulation")
-		par    = flag.Int("parallel", 1, "worker goroutines for experiments and their trials (0 = all cores)")
+		list    = flag.Bool("list", false, "list experiment ids and titles")
+		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
+		quick   = flag.Bool("quick", false, "reduced-fidelity fast mode")
+		runSim  = flag.Bool("sim", false, "run an ad-hoc personal-device simulation")
+		par     = flag.Int("parallel", 1, "worker goroutines for experiments and their trials (0 = all cores)")
+		doServe = flag.Bool("serve", false, "host the fleet daemon (POST /v1/fleet, GET /metrics, ...)")
+		addr    = flag.String("addr", "127.0.0.1:8080", "with -serve: listen address (use :0 for an ephemeral port)")
 	)
 	flag.TextVar(&opts.Profile, "profile", sos.ProfileSOS, "device profile for -sim: sos|tlc|qlc")
 	flag.TextVar(&opts.Backend, "backend", sos.BackendFTL, "translation layer for -sim: ftl|zns")
@@ -62,6 +68,11 @@ func main() {
 	}
 
 	switch {
+	case *doServe:
+		// -parallel is the daemon's worker bound too; 0 keeps fleetd's
+		// all-cores default.
+		srv := fleetd.New(fleetd.Config{Workers: *par})
+		fail(serve(*addr, srv.Handler()))
 	case *list:
 		for _, id := range experiments.IDs() {
 			title, _ := experiments.Title(id)
@@ -216,7 +227,7 @@ func simulate(opts simOpts) error {
 		if err != nil {
 			return err
 		}
-		if err := obs.WriteEventsJSON(f, sys.Obs.Events()); err != nil {
+		if err := obs.WriteEventsJSON(f, sys.Events()); err != nil {
 			f.Close()
 			return err
 		}

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// serve hosts the fleet daemon (internal/fleetd) on addr. It prints one
+// line — "sossim: serving on http://HOST:PORT" — once the listener is
+// bound, which is the handshake cmd/fleetsmoke (and humans using
+// -addr :0) parse to find the actual port, then blocks serving until
+// the process is killed.
+func serve(addr string, handler http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sossim: serving on http://%s\n", ln.Addr())
+	return http.Serve(ln, handler)
+}

@@ -10,11 +10,11 @@ import (
 
 // Example builds an SOS device and runs a month of simulated phone use.
 func Example() {
-	sys, err := sos.New(sos.Config{
-		Geometry:      flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 10, Blocks: 32},
-		Seed:          1,
-		TrainingFiles: 1500,
-	})
+	sys, err := sos.NewSystem(
+		sos.WithGeometry(flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 10, Blocks: 32}),
+		sos.WithSeed(1),
+		sos.WithTrainingFiles(1500),
+	)
 	if err != nil {
 		panic(err)
 	}
@@ -29,12 +29,17 @@ func Example() {
 	// device survived: true
 }
 
-// ExampleConfig_profiles compares the embodied carbon of the three
+// ExampleNewSystem_profiles compares the embodied carbon of the three
 // device profiles at equal geometry.
-func ExampleConfig_profiles() {
+func ExampleNewSystem_profiles() {
 	geo := flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 30, Blocks: 30}
 	for _, p := range []sos.Profile{sos.ProfileTLC, sos.ProfileQLC, sos.ProfileSOS} {
-		sys, err := sos.New(sos.Config{Profile: p, Geometry: geo, Seed: 1, TrainingFiles: 1500})
+		sys, err := sos.NewSystem(
+			sos.WithProfile(p),
+			sos.WithGeometry(geo),
+			sos.WithSeed(1),
+			sos.WithTrainingFiles(1500),
+		)
 		if err != nil {
 			panic(err)
 		}
@@ -49,6 +54,32 @@ func ExampleConfig_profiles() {
 	// tlc: 0.160 kg CO2e per GB
 	// qlc: 0.120 kg CO2e per GB
 	// sos: 0.108 kg CO2e per GB
+}
+
+// ExampleNewFleet hosts a small multi-device fleet — the same engine
+// `sossim -serve` exposes over HTTP — and advances it a week.
+func ExampleNewFleet() {
+	fleet, err := sos.NewFleet(sos.FleetConfig{
+		Shards:     16,
+		Seed:       21,
+		AgeMixDays: []int{0, 30}, // half the devices start 30 days old
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := fleet.Advance(7)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("shards:", rep.Shards)
+	fmt.Println("report version:", rep.Version)
+	fmt.Printf("carbon saved vs baseline: %.1f%%\n", rep.Carbon.SavedFrac*100)
+	fmt.Println("oldest device days:", rep.DaysMax)
+	// Output:
+	// shards: 16
+	// report version: 1
+	// carbon saved vs baseline: 32.5%
+	// oldest device days: 37
 }
 
 // ExampleDensityGain reproduces the paper's headline density arithmetic.

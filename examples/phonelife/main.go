@@ -21,7 +21,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys, err := sos.New(sos.Config{Profile: profile, Seed: 21})
+		sys, err := sos.NewSystem(sos.WithProfile(profile), sos.WithSeed(21))
 		if err != nil {
 			log.Fatal(err)
 		}

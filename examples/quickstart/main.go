@@ -15,8 +15,9 @@ import (
 func main() {
 	// An SOS device: PLC silicon split into a pseudo-QLC SYS partition
 	// (strong ECC, wear leveling) and a PLC SPARE partition
-	// (approximate storage).
-	sys, err := sos.New(sos.Config{Seed: 7})
+	// (approximate storage). Functional options are the construction
+	// path; zero options would build the same device with seed 1.
+	sys, err := sos.NewSystem(sos.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}

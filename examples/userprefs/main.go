@@ -26,11 +26,11 @@ func main() {
 	}
 	fmt.Println("profile      files  demoted  spare-share  sys-misplaced")
 	for _, p := range profiles {
-		sys, err := sos.New(sos.Config{
-			Seed:                  31,
-			Prefs:                 p.prefs,
-			TranscodeBeforeDelete: true,
-		})
+		opts := []sos.Option{sos.WithSeed(31), sos.WithTranscode()}
+		if p.prefs != nil {
+			opts = append(opts, sos.WithPrefs(*p.prefs))
+		}
+		sys, err := sos.NewSystem(opts...)
 		if err != nil {
 			log.Fatal(err)
 		}

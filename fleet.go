@@ -1,0 +1,330 @@
+package sos
+
+import (
+	"errors"
+	"fmt"
+
+	"sos/internal/carbon"
+	"sos/internal/classify"
+	"sos/internal/core"
+	"sos/internal/flash"
+	"sos/internal/fleet"
+	"sos/internal/fs"
+	"sos/internal/sim"
+	"sos/internal/storage"
+	"sos/internal/workload"
+)
+
+// FleetReport is the versioned aggregate + per-shard-quantile view of a
+// Fleet (see internal/fleet.Report for the schema).
+type FleetReport = fleet.Report
+
+// FleetProgress reports one completed admission batch during Advance.
+type FleetProgress = fleet.Progress
+
+// FleetQuantiles summarizes one per-shard metric's distribution.
+type FleetQuantiles = fleet.Quantiles
+
+// FleetGate bounds in-flight shard simulations across every fleet that
+// shares it — the daemon's admission-control valve.
+type FleetGate = fleet.Gate
+
+// NewFleetGate returns a gate admitting at most n concurrent shard
+// simulations.
+func NewFleetGate(n int) *FleetGate { return fleet.NewGate(n) }
+
+// FleetGeometry returns the default per-shard chip geometry: deliberately
+// tiny (512 KiB native) so a laptop can host 10^5-10^6 shards and so
+// capacity pressure — the auto-delete regime the paper's policy engine
+// exists for — shows up within simulated days, not years.
+func FleetGeometry() flash.Geometry {
+	return flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 16, Blocks: 64}
+}
+
+// FleetConfig parameterizes a Fleet. The JSON form is the wire config
+// of the daemon's POST /v1/fleet endpoint; Profile and Backend marshal
+// as their text names ("sos", "zns", ...).
+type FleetConfig struct {
+	// Shards is the simulated device population (required).
+	Shards int `json:"shards"`
+	// Seed is the fleet seed; per-shard seeds split from it before any
+	// parallel dispatch, so every result is scheduling-independent.
+	Seed uint64 `json:"seed,omitempty"`
+	// Profile selects every shard's device build (default ProfileSOS).
+	Profile Profile `json:"profile,omitempty"`
+	// Backend selects every shard's translation layer (default ftl).
+	Backend Backend `json:"backend,omitempty"`
+	// Workers bounds the goroutines replaying shards (<1 = all cores).
+	// Results are byte-identical at every value.
+	Workers int `json:"workers,omitempty"`
+	// BatchShards is the admission batch size — the grain of progress
+	// streaming (default fleet.DefaultBatchShards).
+	BatchShards int `json:"batch_shards,omitempty"`
+	// WorkloadScale multiplies the per-day event volumes of the
+	// personal workload driving each shard (default 1; < 1 thins the
+	// workload for very large fleets). File sizes are not scaled.
+	WorkloadScale float64 `json:"workload_scale,omitempty"`
+	// AgeMixDays assigns heterogeneous initial device ages in days,
+	// cycled across shards by index. Empty = all devices start new.
+	AgeMixDays []int `json:"age_mix_days,omitempty"`
+	// StormEvery >= 1 puts every StormEvery-th shard inside a rolling
+	// ingest-storm window (media volume x StormBoost), driving
+	// capacity pressure and auto-delete storms. The window shifts by
+	// one shard position per advance, rolling across the fleet.
+	StormEvery int `json:"storm_every,omitempty"`
+	// StormBoost is the media-ingest multiplier inside a storm
+	// (default 4).
+	StormBoost float64 `json:"storm_boost,omitempty"`
+	// StragglerEvery >= 1 makes every StragglerEvery-th shard advance
+	// at half rate, so the fleet's age distribution disperses.
+	StragglerEvery int `json:"straggler_every,omitempty"`
+	// TrainingFiles sizes the fleet-shared classifier corpus
+	// (default 1500). One classifier is trained from the fleet seed
+	// and shared read-only by every shard.
+	TrainingFiles int `json:"training_files,omitempty"`
+	// Geometry overrides the per-shard chip geometry
+	// (zero = FleetGeometry()).
+	Geometry flash.Geometry `json:"geometry,omitempty"`
+
+	// Gate, when set, bounds in-flight shard simulations across every
+	// fleet sharing it. Not part of the JSON surface; the daemon
+	// installs its own.
+	Gate *FleetGate `json:"-"`
+}
+
+// Fleet hosts a sharded population of simulated devices behind one
+// deterministic engine. Shards are virtual: each Advance re-materializes
+// every due shard from its split seed, replays it to its new total day
+// count, keeps only a compact stats record, and drops the simulation —
+// memory stays O(shards x ~200 B) no matter how long the fleet lives.
+// All derived output (reports, metrics) is byte-identical for a given
+// fleet seed and call sequence at every Workers setting.
+type Fleet struct {
+	cfg  FleetConfig
+	base Config
+	cls  classify.Classifier
+	eng  *fleet.Engine
+}
+
+// NewFleet builds a fleet. opts apply to every shard's System — the
+// same composable configuration surface NewSystem uses — on top of the
+// FleetConfig's own Profile/Backend/Geometry selections.
+func NewFleet(cfg FleetConfig, opts ...Option) (*Fleet, error) {
+	if cfg.Shards < 1 {
+		return nil, errors.New("sos: fleet needs Shards >= 1")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.WorkloadScale < 0 {
+		return nil, fmt.Errorf("sos: negative workload scale %v", cfg.WorkloadScale)
+	}
+	if cfg.WorkloadScale == 0 {
+		cfg.WorkloadScale = 1
+	}
+	if cfg.StormBoost == 0 {
+		cfg.StormBoost = 4
+	}
+	if cfg.StormBoost < 1 {
+		return nil, fmt.Errorf("sos: storm boost %v < 1", cfg.StormBoost)
+	}
+	if cfg.TrainingFiles == 0 {
+		cfg.TrainingFiles = 1500
+	}
+	if cfg.Geometry == (flash.Geometry{}) {
+		cfg.Geometry = FleetGeometry()
+	}
+
+	base := Config{
+		Profile:  cfg.Profile,
+		Backend:  cfg.Backend,
+		Geometry: cfg.Geometry,
+	}
+	for _, opt := range opts {
+		if err := opt(&base); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := base.Profile.MarshalText(); err != nil {
+		return nil, err
+	}
+	if _, err := storage.Kind(base.Backend).MarshalText(); err != nil {
+		return nil, err
+	}
+
+	// One classifier, trained deterministically from the fleet seed,
+	// serves every shard: Score is read-only, and sharing it keeps
+	// shard materialization to device+fs assembly only.
+	cls := base.Classifier
+	if cls == nil {
+		corpus, err := classify.GenerateCorpus(sim.NewRNG(cfg.Seed+0xc0de), cfg.TrainingFiles)
+		if err != nil {
+			return nil, err
+		}
+		lr := &classify.Logistic{}
+		if err := lr.Train(corpus.Metas, corpus.Labels); err != nil {
+			return nil, err
+		}
+		cls = lr
+	}
+	if base.Prefs != nil {
+		cls = classify.WithPrefs(cls, *base.Prefs)
+		base.Prefs = nil // already folded in; don't re-wrap per shard
+	}
+
+	f := &Fleet{cfg: cfg, base: base, cls: cls}
+	eng, err := fleet.New(fleet.Config{
+		Shards:         cfg.Shards,
+		Seed:           cfg.Seed,
+		Workers:        cfg.Workers,
+		BatchShards:    cfg.BatchShards,
+		Gate:           cfg.Gate,
+		AgeMixDays:     cfg.AgeMixDays,
+		StormEvery:     cfg.StormEvery,
+		StragglerEvery: cfg.StragglerEvery,
+		Run:            f.runShard,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.eng = eng
+	return f, nil
+}
+
+// Shards returns the shard population.
+func (f *Fleet) Shards() int { return f.eng.Shards() }
+
+// Advances returns the number of completed Advance calls.
+func (f *Fleet) Advances() int { return f.eng.Advances() }
+
+// Config returns the (defaulted) fleet configuration.
+func (f *Fleet) Config() FleetConfig { return f.cfg }
+
+// Advance moves every shard forward by days simulated days (stragglers
+// by half) and returns the refreshed aggregate report.
+func (f *Fleet) Advance(days int) (*FleetReport, error) {
+	return f.eng.Advance(days, nil)
+}
+
+// AdvanceProgress is Advance with a per-batch progress callback,
+// invoked in deterministic batch order from the calling goroutine.
+func (f *Fleet) AdvanceProgress(days int, progress func(FleetProgress)) (*FleetReport, error) {
+	return f.eng.Advance(days, progress)
+}
+
+// Report recomputes the aggregate report from retained shard stats;
+// perShard attaches every shard's record.
+func (f *Fleet) Report(perShard bool) *FleetReport {
+	return f.eng.Report(perShard)
+}
+
+// fleetWorkloadConfig is the per-shard personal workload, resized for
+// the fleet chip: file sizes shrink so the capacity:file-size ratio
+// matches a phone's (the tiny FleetGeometry would otherwise hold ~5
+// media files and thrash), and read traffic thins (whole-file reads
+// dominate replay cost). scale multiplies the per-day event volumes.
+func fleetWorkloadConfig(days int, scale float64) workload.PersonalConfig {
+	cfg := workload.DefaultPersonalConfig(days)
+	cfg.NewMediaPerDay = 4
+	cfg.MediaBytes = 12 * 1024
+	cfg.AppDBCount = 6
+	cfg.AppDBBytes = 4 * 1024
+	cfg.AppDBUpdatesPerDay = 16
+	cfg.ReadsPerDay = 15
+	cfg.NewMediaPerDay *= scale
+	cfg.AppDBUpdatesPerDay *= scale
+	cfg.ReadsPerDay *= scale
+	cfg.DeletesPerDay *= scale
+	return cfg
+}
+
+// runShard replays one shard from scratch: a fresh System at the shard
+// seed, driven by that shard's personal workload for the request's
+// total day count. It is a pure function of the request plus the
+// fleet's immutable configuration — the determinism contract.
+func (f *Fleet) runShard(req fleet.ShardRequest) (fleet.ShardStats, error) {
+	cfg := f.base
+	cfg.Seed = req.Seed
+	cfg.Classifier = f.cls
+	sys, err := New(cfg)
+	if err != nil {
+		return fleet.ShardStats{}, err
+	}
+
+	wcfg := fleetWorkloadConfig(req.Days, f.cfg.WorkloadScale)
+	if req.Storm {
+		wcfg.NewMediaPerDay *= f.cfg.StormBoost
+	}
+	wcfg.Seed = req.Seed + 0x7ead
+	gen, err := workload.NewPersonal(wcfg)
+	if err != nil {
+		return fleet.ShardStats{}, err
+	}
+	rep, err := sys.Run(gen, core.RunConfig{})
+	expired := false
+	if err != nil {
+		if !errors.Is(err, storage.ErrNoSpace) && !errors.Is(err, fs.ErrNoSpace) {
+			return fleet.ShardStats{}, err
+		}
+		// The device died mid-replay — wore out or filled beyond what
+		// auto-delete could reclaim. That is a fleet outcome (the
+		// lifetime distribution), not a failure of the advance.
+		expired = true
+	}
+
+	// Harvest telemetry from the live system rather than the report:
+	// an expired replay returns before stamping FinalSmart/EngineStats.
+	smart := sys.Device.Smart()
+	es := sys.Engine.Stats()
+	used, capacity := sys.FS.Usage()
+	kg, err := sys.EmbodiedKg()
+	if err != nil {
+		return fleet.ShardStats{}, err
+	}
+	baseKg, err := carbon.DeviceEmbodiedKg(float64(capacity)/1e9, []carbon.PartitionSpec{
+		{Mode: flash.NativeMode(flash.TLC), CapacityFrac: 1},
+	})
+	if err != nil {
+		return fleet.ShardStats{}, err
+	}
+
+	st := fleet.ShardStats{
+		Shard:     req.Shard,
+		Seed:      req.Seed,
+		Days:      req.Days,
+		AgeDays:   req.AgeDays,
+		Storm:     req.Storm,
+		Straggler: req.Straggler,
+
+		CapacityBytes:   smart.CapacityBytes,
+		UsedBytes:       used,
+		AvgWearFrac:     smart.AvgWearFrac,
+		MaxWearFrac:     smart.MaxWearFrac,
+		PercentLifeUsed: smart.PercentLifeUsed,
+		WriteAmp:        smart.WriteAmp,
+		Reads:           smart.Reads,
+		Writes:          smart.Writes,
+		BusySeconds:     smart.BusyTime.Seconds(),
+		RetiredBlocks:   smart.RetiredBlocks,
+		Resuscitations:  smart.Resuscitations,
+
+		Events:        int64(rep.Events),
+		NoSpace:       int64(rep.NoSpace),
+		Created:       es.Created,
+		Deleted:       es.Deleted,
+		AutoDeleted:   es.AutoDeleted,
+		Transcoded:    es.Transcoded,
+		DegradedReads: es.DegradedReads,
+
+		EmbodiedKg: kg,
+		BaselineKg: baseKg,
+	}
+	if expired {
+		st.Expired = true
+		st.ExpiredDay = sys.Clock.Now().Days()
+		// Pin Days to the death day so a fleet that reached this state
+		// through any advance interleaving reports identical records.
+		st.Days = int(st.ExpiredDay)
+	}
+	return st, nil
+}

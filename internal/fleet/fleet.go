@@ -1,0 +1,333 @@
+// Package fleet is the sharded multi-device engine behind sos.Fleet
+// and the sossim -serve daemon. A fleet hosts N device shards, each an
+// independent deterministic simulation seeded from one fleet seed via
+// sim.RNG.SplitSeeds, and advances them in simulated time through the
+// bounded worker pool in internal/parallel.
+//
+// Shards are virtual: the engine stores one compact ShardStats record
+// per shard (a few hundred bytes), never a live device, which is what
+// lets a laptop host 10^5-10^6 shards. A shard's state at D total
+// simulated days is DEFINED as "a fresh system replayed for D days
+// from the shard seed", so Advance materializes each due shard, replays
+// it to its new day count, harvests its stats, and lets it go. Replay
+// makes determinism trivial — state is a pure function of
+// (seed, days, flags), so reports are byte-identical at every worker
+// count and across advance interleavings — at the cost of re-simulating
+// prior days on each Advance (document: k small Advances cost more than
+// one big one).
+//
+// Admission control is two-layered: Advance processes shards in batches
+// of Config.BatchShards (the progress/streaming grain, and the bound on
+// per-batch bookkeeping), and an optional shared Gate bounds the number
+// of shard simulations in flight across every fleet that shares it —
+// the daemon's backpressure valve.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"sos/internal/parallel"
+	"sos/internal/sim"
+)
+
+// ReportVersion identifies the Report JSON schema. It bumps whenever a
+// field changes meaning or disappears (adding fields does not bump it).
+const ReportVersion = 1
+
+// DefaultBatchShards is the default admission batch: how many shards
+// are dispatched to the worker pool per progress tick.
+const DefaultBatchShards = 1024
+
+// ShardRequest asks the run callback to materialize one shard at a
+// target day count. Everything a shard's replay depends on is in here,
+// so the callback must be a pure function of the request (plus
+// immutable fleet-wide configuration) — the determinism contract.
+type ShardRequest struct {
+	// Shard is the shard index in [0, Shards).
+	Shard int
+	// Seed is the shard's split seed (derived from the fleet seed
+	// before any dispatch).
+	Seed uint64
+	// Days is the TOTAL day count to replay, including AgeDays.
+	Days int
+	// AgeDays is the shard's initial device age (heterogeneous fleets).
+	AgeDays int
+	// Storm marks the shard as inside the rolling ingest-storm window
+	// for this advance epoch.
+	Storm bool
+	// Straggler marks a shard that advances at half rate.
+	Straggler bool
+}
+
+// RunShard replays one shard from scratch and returns its stats. It is
+// called concurrently from worker goroutines and must not share mutable
+// state across calls.
+type RunShard func(req ShardRequest) (ShardStats, error)
+
+// ShardStats is the compact per-shard summary the engine retains — the
+// only per-shard state, so its size bounds fleet memory (~200 B/shard).
+type ShardStats struct {
+	Shard     int    `json:"shard"`
+	Seed      uint64 `json:"seed"`
+	Days      int    `json:"days"`
+	AgeDays   int    `json:"age_days"`
+	Storm     bool   `json:"storm,omitempty"`
+	Straggler bool   `json:"straggler,omitempty"`
+
+	// Expired marks a device that died during replay — wore out or
+	// filled beyond what auto-delete could reclaim — at ExpiredDay
+	// simulated days. Expired shards stop accumulating days; their
+	// telemetry freezes at death. Device lifetime is the fleet metric
+	// the paper's embodied-carbon argument amortizes over, so expiry
+	// is a first-class outcome, not an error.
+	Expired    bool    `json:"expired,omitempty"`
+	ExpiredDay float64 `json:"expired_day,omitempty"`
+
+	// Device telemetry.
+	CapacityBytes   int64   `json:"capacity_bytes"`
+	UsedBytes       int64   `json:"used_bytes"`
+	AvgWearFrac     float64 `json:"avg_wear_frac"`
+	MaxWearFrac     float64 `json:"max_wear_frac"`
+	PercentLifeUsed float64 `json:"percent_life_used"`
+	WriteAmp        float64 `json:"write_amp"`
+	Reads           int64   `json:"reads"`
+	Writes          int64   `json:"writes"`
+	BusySeconds     float64 `json:"busy_seconds"`
+	RetiredBlocks   int64   `json:"retired_blocks"`
+	Resuscitations  int64   `json:"resuscitations"`
+
+	// Workload / policy-engine outcomes.
+	Events        int64 `json:"events"`
+	NoSpace       int64 `json:"no_space"`
+	Created       int64 `json:"created"`
+	Deleted       int64 `json:"deleted"`
+	AutoDeleted   int64 `json:"auto_deleted"`
+	Transcoded    int64 `json:"transcoded"`
+	DegradedReads int64 `json:"degraded_reads"`
+
+	// Embodied carbon of this shard's device, and of a conventional
+	// single-partition baseline at the same capacity.
+	EmbodiedKg float64 `json:"embodied_kg"`
+	BaselineKg float64 `json:"baseline_kg"`
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Shards is the device population (required, >= 1).
+	Shards int
+	// Seed is the fleet seed; every shard seed splits from it.
+	Seed uint64
+	// Workers bounds the goroutines replaying shards (<1 = all cores).
+	Workers int
+	// BatchShards is the admission batch size (default
+	// DefaultBatchShards).
+	BatchShards int
+	// Gate, when set, bounds in-flight shard replays across every
+	// fleet sharing it. Nil means only Workers bounds concurrency.
+	Gate *Gate
+	// AgeMixDays assigns heterogeneous initial device ages, cycled
+	// across shards by index (shard i gets AgeMixDays[i % len]).
+	// Empty means every device starts new.
+	AgeMixDays []int
+	// StormEvery >= 1 puts every StormEvery-th shard inside the
+	// rolling ingest-storm window; the window shifts by one shard
+	// position per advance epoch, so storms roll across the fleet.
+	// 0 disables storms.
+	StormEvery int
+	// StragglerEvery >= 1 makes every StragglerEvery-th shard a
+	// straggler that advances ceil(days/2) per Advance. 0 disables.
+	StragglerEvery int
+	// Run replays one shard (required).
+	Run RunShard
+}
+
+// Engine hosts one fleet.
+type Engine struct {
+	cfg   Config
+	seeds []uint64
+
+	mu       sync.Mutex
+	days     []int // advanced days per shard, excluding age
+	stats    []ShardStats
+	advances int
+}
+
+// New builds a fleet engine. Shard seeds are split from the fleet seed
+// immediately — before any parallel work — so every later Advance is
+// scheduling-independent.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards < 1 {
+		return nil, errors.New("fleet: Shards must be >= 1")
+	}
+	if cfg.Run == nil {
+		return nil, errors.New("fleet: Run callback is required")
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.BatchShards <= 0 {
+		cfg.BatchShards = DefaultBatchShards
+	}
+	if cfg.StormEvery < 0 || cfg.StragglerEvery < 0 {
+		return nil, errors.New("fleet: StormEvery/StragglerEvery must be >= 0")
+	}
+	for _, age := range cfg.AgeMixDays {
+		if age < 0 {
+			return nil, errors.New("fleet: negative age in AgeMixDays")
+		}
+	}
+	// The split RNG is decorrelated from the seed's other uses (shard
+	// systems hash the same seed for workload and audit streams).
+	rng := sim.NewRNG(cfg.Seed + 0xf1ee7)
+	return &Engine{
+		cfg:   cfg,
+		seeds: rng.SplitSeeds(cfg.Shards),
+		days:  make([]int, cfg.Shards),
+		stats: make([]ShardStats, cfg.Shards),
+	}, nil
+}
+
+// Shards returns the shard population.
+func (e *Engine) Shards() int { return e.cfg.Shards }
+
+// Advances returns the number of completed Advance calls.
+func (e *Engine) Advances() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.advances
+}
+
+func (e *Engine) age(i int) int {
+	if len(e.cfg.AgeMixDays) == 0 {
+		return 0
+	}
+	return e.cfg.AgeMixDays[i%len(e.cfg.AgeMixDays)]
+}
+
+// storm reports whether shard i is inside the storm window at the given
+// advance epoch. The window rolls: each epoch shifts membership by one
+// shard position, so over StormEvery epochs the storm sweeps the fleet.
+func (e *Engine) storm(i, epoch int) bool {
+	return e.cfg.StormEvery > 0 && (i+epoch)%e.cfg.StormEvery == 0
+}
+
+func (e *Engine) straggler(i int) bool {
+	return e.cfg.StragglerEvery > 0 && (i+1)%e.cfg.StragglerEvery == 0
+}
+
+// Progress reports one completed admission batch.
+type Progress struct {
+	// Done is the number of shards replayed so far this Advance.
+	Done int `json:"done"`
+	// Total is the shard population.
+	Total int `json:"total"`
+	// Batch is the 1-based admission batch just completed.
+	Batch int `json:"batch"`
+}
+
+// Advance moves every shard forward by days simulated days (stragglers
+// by ceil(days/2)) and returns the refreshed aggregate report. progress,
+// when non-nil, is invoked after each admission batch — from the
+// Advance goroutine, in deterministic batch order. Concurrent Advances
+// on one engine serialize; the report is byte-identical for a given
+// call sequence at every Workers setting.
+func (e *Engine) Advance(days int, progress func(Progress)) (*Report, error) {
+	if days <= 0 {
+		return nil, errors.New("fleet: Advance needs days >= 1")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	epoch := e.advances
+	reqs := make([]ShardRequest, e.cfg.Shards)
+	for i := range reqs {
+		if e.stats[i].Expired {
+			// Dead devices stay dead: their stats froze at death and
+			// re-replaying them would only rediscover the same demise.
+			continue
+		}
+		eff := days
+		if e.straggler(i) {
+			eff = days - days/2
+		}
+		e.days[i] += eff
+		reqs[i] = ShardRequest{
+			Shard:     i,
+			Seed:      e.seeds[i],
+			Days:      e.days[i] + e.age(i),
+			AgeDays:   e.age(i),
+			Storm:     e.storm(i, epoch),
+			Straggler: e.straggler(i),
+		}
+	}
+
+	total := e.cfg.Shards
+	for lo, batch := 0, 1; lo < total; batch++ {
+		hi := lo + e.cfg.BatchShards
+		if hi > total {
+			hi = total
+		}
+		err := parallel.ForEach(hi-lo, e.cfg.Workers, func(j int) error {
+			i := lo + j
+			if e.stats[i].Expired {
+				return nil
+			}
+			e.cfg.Gate.Acquire()
+			defer e.cfg.Gate.Release()
+			st, err := e.cfg.Run(reqs[i])
+			if err != nil {
+				return fmt.Errorf("fleet: shard %d (seed %d, %d days): %w", i, reqs[i].Seed, reqs[i].Days, err)
+			}
+			e.stats[i] = st
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		lo = hi
+		if progress != nil {
+			progress(Progress{Done: hi, Total: total, Batch: batch})
+		}
+	}
+	e.advances++
+	return e.reportLocked(false), nil
+}
+
+// Report recomputes the aggregate report from the retained shard stats.
+// perShard additionally attaches every shard's record (mind the size on
+// large fleets).
+func (e *Engine) Report(perShard bool) *Report {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.reportLocked(perShard)
+}
+
+// Gate bounds in-flight shard replays across every engine that shares
+// it. A nil *Gate is a no-op, so engines without one pay a nil check.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting at most n concurrent holders.
+func NewGate(n int) *Gate {
+	if n < 1 {
+		n = 1
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Acquire blocks until a slot frees up. Nil-safe.
+func (g *Gate) Acquire() {
+	if g != nil {
+		g.slots <- struct{}{}
+	}
+}
+
+// Release returns the slot. Nil-safe.
+func (g *Gate) Release() {
+	if g != nil {
+		<-g.slots
+	}
+}

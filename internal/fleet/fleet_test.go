@@ -1,0 +1,361 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stubRun returns a deterministic ShardStats derived from the request
+// alone, recording every request it sees.
+type stubRun struct {
+	mu   sync.Mutex
+	reqs []ShardRequest
+}
+
+func (s *stubRun) run(req ShardRequest) (ShardStats, error) {
+	s.mu.Lock()
+	s.reqs = append(s.reqs, req)
+	s.mu.Unlock()
+	st := ShardStats{
+		Shard:     req.Shard,
+		Seed:      req.Seed,
+		Days:      req.Days,
+		AgeDays:   req.AgeDays,
+		Storm:     req.Storm,
+		Straggler: req.Straggler,
+		Events:    int64(req.Days * 10),
+		Writes:    int64(req.Days * 100),
+		WriteAmp:  1 + float64(req.Shard%5)/10,
+	}
+	return st, nil
+}
+
+func newTestEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return e
+}
+
+func TestNewValidates(t *testing.T) {
+	run := func(ShardRequest) (ShardStats, error) { return ShardStats{}, nil }
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no shards", Config{Run: run}},
+		{"no run", Config{Shards: 4}},
+		{"negative storm", Config{Shards: 4, Run: run, StormEvery: -1}},
+		{"negative straggler", Config{Shards: 4, Run: run, StragglerEvery: -2}},
+		{"negative age", Config{Shards: 4, Run: run, AgeMixDays: []int{0, -7}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestSeedsSplitUpFront(t *testing.T) {
+	stub := &stubRun{}
+	e := newTestEngine(t, Config{Shards: 8, Seed: 9, Run: stub.run})
+	seen := map[uint64]bool{}
+	for i, s := range e.seeds {
+		if s == 0 {
+			t.Fatalf("shard %d: zero seed", i)
+		}
+		if seen[s] {
+			t.Fatalf("shard %d: duplicate seed %d", i, s)
+		}
+		seen[s] = true
+	}
+	// Same fleet seed, same split — independent of Workers.
+	e2 := newTestEngine(t, Config{Shards: 8, Seed: 9, Workers: 4, Run: stub.run})
+	if !reflect.DeepEqual(e.seeds, e2.seeds) {
+		t.Fatal("shard seeds depend on Workers")
+	}
+}
+
+func TestAdvanceRequestShape(t *testing.T) {
+	stub := &stubRun{}
+	e := newTestEngine(t, Config{
+		Shards:         12,
+		Seed:           3,
+		AgeMixDays:     []int{0, 100},
+		StormEvery:     4,
+		StragglerEvery: 3,
+		Run:            stub.run,
+	})
+	if _, err := e.Advance(10, nil); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	rep := e.Report(true)
+	for i, st := range rep.PerShard {
+		wantAge := []int{0, 100}[i%2]
+		if st.AgeDays != wantAge {
+			t.Errorf("shard %d: age %d, want %d", i, st.AgeDays, wantAge)
+		}
+		wantStraggler := (i+1)%3 == 0
+		if st.Straggler != wantStraggler {
+			t.Errorf("shard %d: straggler %v, want %v", i, st.Straggler, wantStraggler)
+		}
+		wantDays := 10
+		if wantStraggler {
+			wantDays = 5
+		}
+		if st.Days != wantDays+wantAge {
+			t.Errorf("shard %d: days %d, want %d", i, st.Days, wantDays+wantAge)
+		}
+		// Epoch 0: storm window is shards where i % 4 == 0.
+		if st.Storm != (i%4 == 0) {
+			t.Errorf("shard %d: storm %v at epoch 0", i, st.Storm)
+		}
+	}
+	if rep.DaysMin != 5 || rep.DaysMax != 110 {
+		t.Errorf("days bounds [%d, %d], want [5, 110]", rep.DaysMin, rep.DaysMax)
+	}
+}
+
+func TestStormWindowRolls(t *testing.T) {
+	stub := &stubRun{}
+	e := newTestEngine(t, Config{Shards: 8, StormEvery: 4, Run: stub.run})
+	for epoch := 0; epoch < 3; epoch++ {
+		if _, err := e.Advance(1, nil); err != nil {
+			t.Fatalf("Advance: %v", err)
+		}
+		rep := e.Report(true)
+		for i, st := range rep.PerShard {
+			want := (i+epoch)%4 == 0
+			if st.Storm != want {
+				t.Errorf("epoch %d shard %d: storm %v, want %v", epoch, i, st.Storm, want)
+			}
+		}
+	}
+}
+
+func TestStragglersAdvanceHalfRate(t *testing.T) {
+	stub := &stubRun{}
+	e := newTestEngine(t, Config{Shards: 4, StragglerEvery: 2, Run: stub.run})
+	for range 3 {
+		if _, err := e.Advance(7, nil); err != nil {
+			t.Fatalf("Advance: %v", err)
+		}
+	}
+	rep := e.Report(true)
+	for i, st := range rep.PerShard {
+		want := 21
+		if (i+1)%2 == 0 {
+			want = 12 // ceil(7/2) per advance
+		}
+		if st.Days != want {
+			t.Errorf("shard %d: days %d, want %d", i, st.Days, want)
+		}
+	}
+}
+
+func TestProgressBatches(t *testing.T) {
+	stub := &stubRun{}
+	e := newTestEngine(t, Config{Shards: 10, BatchShards: 4, Workers: 3, Run: stub.run})
+	var got []Progress
+	if _, err := e.Advance(1, func(p Progress) { got = append(got, p) }); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	want := []Progress{
+		{Done: 4, Total: 10, Batch: 1},
+		{Done: 8, Total: 10, Batch: 2},
+		{Done: 10, Total: 10, Batch: 3},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("progress %+v, want %+v", got, want)
+	}
+}
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	const bound = 2
+	gate := NewGate(bound)
+	var inFlight, peak atomic.Int64
+	run := func(req ShardRequest) (ShardStats, error) {
+		n := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+		return ShardStats{Shard: req.Shard}, nil
+	}
+	e := newTestEngine(t, Config{Shards: 64, Workers: 16, Gate: gate, Run: run})
+	if _, err := e.Advance(1, nil); err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if p := peak.Load(); p > bound {
+		t.Fatalf("peak in-flight %d exceeds gate bound %d", p, bound)
+	}
+}
+
+func TestNilGateIsNoop(t *testing.T) {
+	var g *Gate
+	g.Acquire()
+	g.Release() // must not panic
+}
+
+func TestRunErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	run := func(req ShardRequest) (ShardStats, error) {
+		if req.Shard == 5 {
+			return ShardStats{}, boom
+		}
+		return ShardStats{Shard: req.Shard}, nil
+	}
+	e := newTestEngine(t, Config{Shards: 8, Workers: 4, Run: run})
+	_, err := e.Advance(1, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "shard 5") {
+		t.Fatalf("err %q does not name the failing shard", err)
+	}
+}
+
+func TestExpiredShardsFreeze(t *testing.T) {
+	var calls atomic.Int64
+	run := func(req ShardRequest) (ShardStats, error) {
+		calls.Add(1)
+		st := ShardStats{Shard: req.Shard, Days: req.Days}
+		if req.Shard == 1 {
+			st.Expired = true
+			st.ExpiredDay = 3.5
+			st.Days = 3
+		}
+		return st, nil
+	}
+	e := newTestEngine(t, Config{Shards: 4, Run: run})
+	if _, err := e.Advance(5, nil); err != nil {
+		t.Fatalf("Advance 1: %v", err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("first advance ran %d shards, want 4", got)
+	}
+	rep, err := e.Advance(5, nil)
+	if err != nil {
+		t.Fatalf("Advance 2: %v", err)
+	}
+	// The expired shard must not have been re-replayed.
+	if got := calls.Load(); got != 7 {
+		t.Fatalf("second advance ran %d total calls, want 7", got)
+	}
+	full := e.Report(true)
+	if !full.PerShard[1].Expired || full.PerShard[1].Days != 3 {
+		t.Fatalf("expired shard mutated: %+v", full.PerShard[1])
+	}
+	if full.PerShard[0].Days != 10 {
+		t.Fatalf("live shard days %d, want 10", full.PerShard[0].Days)
+	}
+	if rep.Totals.Expired != 1 {
+		t.Fatalf("Totals.Expired = %d, want 1", rep.Totals.Expired)
+	}
+	if rep.Dist.LifetimeDays.Max != 3.5 {
+		t.Fatalf("LifetimeDays.Max = %v, want 3.5", rep.Dist.LifetimeDays.Max)
+	}
+	if rep.DaysMin != 3 || rep.DaysMax != 10 {
+		t.Fatalf("days bounds [%d, %d], want [3, 10]", rep.DaysMin, rep.DaysMax)
+	}
+}
+
+func TestReportDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		stub := &stubRun{}
+		e := newTestEngine(t, Config{
+			Shards:         33,
+			Seed:           7,
+			Workers:        workers,
+			BatchShards:    5,
+			AgeMixDays:     []int{0, 30, 90},
+			StormEvery:     8,
+			StragglerEvery: 16,
+			Run:            stub.run,
+		})
+		if _, err := e.Advance(4, nil); err != nil {
+			t.Fatalf("Advance: %v", err)
+		}
+		var b strings.Builder
+		if err := e.Report(true).WriteJSON(&b); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return b.String()
+	}
+	if render(1) != render(8) {
+		t.Fatal("report differs between 1 and 8 workers")
+	}
+}
+
+func TestAdvanceValidatesDays(t *testing.T) {
+	stub := &stubRun{}
+	e := newTestEngine(t, Config{Shards: 2, Run: stub.run})
+	if _, err := e.Advance(0, nil); err == nil {
+		t.Fatal("Advance(0): want error")
+	}
+}
+
+func TestReportAggregates(t *testing.T) {
+	run := func(req ShardRequest) (ShardStats, error) {
+		return ShardStats{
+			Shard:         req.Shard,
+			Days:          req.Days,
+			Events:        10,
+			Writes:        100,
+			CapacityBytes: 1000,
+			UsedBytes:     int64(250 * (req.Shard + 1)),
+			EmbodiedKg:    2,
+			BaselineKg:    3,
+			WriteAmp:      float64(req.Shard + 1),
+		}, nil
+	}
+	e := newTestEngine(t, Config{Shards: 3, Run: run})
+	rep, err := e.Advance(2, nil)
+	if err != nil {
+		t.Fatalf("Advance: %v", err)
+	}
+	if rep.Version != ReportVersion {
+		t.Errorf("Version = %d, want %d", rep.Version, ReportVersion)
+	}
+	if rep.Totals.Events != 30 || rep.Totals.Writes != 300 {
+		t.Errorf("totals %+v", rep.Totals)
+	}
+	if rep.Carbon.EmbodiedKg != 6 || rep.Carbon.BaselineKg != 9 || rep.Carbon.SavedKg != 3 {
+		t.Errorf("carbon %+v", rep.Carbon)
+	}
+	if got := rep.Carbon.SavedFrac; got < 0.333 || got > 0.334 {
+		t.Errorf("SavedFrac = %v", got)
+	}
+	if rep.Dist.WriteAmp.Min != 1 || rep.Dist.WriteAmp.Max != 3 || rep.Dist.WriteAmp.P50 != 2 {
+		t.Errorf("WriteAmp quantiles %+v", rep.Dist.WriteAmp)
+	}
+	if rep.Dist.UsedFrac.Max != 0.75 {
+		t.Errorf("UsedFrac.Max = %v, want 0.75", rep.Dist.UsedFrac.Max)
+	}
+	// Aggregate report must not carry per-shard records by default, and
+	// must round-trip as JSON.
+	if rep.PerShard != nil {
+		t.Error("Advance report carries PerShard")
+	}
+	var b strings.Builder
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Totals != rep.Totals {
+		t.Errorf("totals changed across JSON round-trip")
+	}
+}

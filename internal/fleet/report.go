@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+
+	"sos/internal/metrics"
+)
+
+// Quantiles summarizes one per-shard metric's distribution across the
+// fleet: nearest-rank quantiles (metrics.Dist semantics — empty
+// distributions summarize as all zeros) plus the mean, which aggregate
+// consumers (the daemon's shard-free metric families) re-weight by
+// shard count.
+type Quantiles struct {
+	Min  float64 `json:"min"`
+	P25  float64 `json:"p25"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+func quantilesOf(n int, val func(i int) float64) Quantiles {
+	d := &metrics.Dist{}
+	for i := 0; i < n; i++ {
+		d.Observe(val(i))
+	}
+	return Quantiles{
+		Min:  d.Min(),
+		P25:  d.Quantile(0.25),
+		P50:  d.Quantile(0.5),
+		P90:  d.Quantile(0.9),
+		P99:  d.Quantile(0.99),
+		Max:  d.Max(),
+		Mean: d.Mean(),
+	}
+}
+
+// Totals sums the per-shard counters across the fleet.
+type Totals struct {
+	Events         int64   `json:"events"`
+	NoSpace        int64   `json:"no_space"`
+	Created        int64   `json:"created"`
+	Deleted        int64   `json:"deleted"`
+	AutoDeleted    int64   `json:"auto_deleted"`
+	Transcoded     int64   `json:"transcoded"`
+	DegradedReads  int64   `json:"degraded_reads"`
+	Reads          int64   `json:"reads"`
+	Writes         int64   `json:"writes"`
+	BusySeconds    float64 `json:"busy_seconds"`
+	CapacityBytes  int64   `json:"capacity_bytes"`
+	UsedBytes      int64   `json:"used_bytes"`
+	RetiredBlocks  int64   `json:"retired_blocks"`
+	Resuscitations int64   `json:"resuscitations"`
+	// Expired counts shards whose device died during replay.
+	Expired int64 `json:"expired"`
+}
+
+// Carbon is the fleet's embodied-carbon roll-up — the population claim
+// the paper makes, in kilograms.
+type Carbon struct {
+	EmbodiedKg float64 `json:"embodied_kg"`
+	BaselineKg float64 `json:"baseline_kg"`
+	SavedKg    float64 `json:"saved_kg"`
+	SavedFrac  float64 `json:"saved_frac"`
+}
+
+// Distributions holds the per-shard-quantile view of the fleet.
+type Distributions struct {
+	Days          Quantiles `json:"days"`
+	AvgWearFrac   Quantiles `json:"avg_wear_frac"`
+	MaxWearFrac   Quantiles `json:"max_wear_frac"`
+	WriteAmp      Quantiles `json:"write_amp"`
+	CapacityBytes Quantiles `json:"capacity_bytes"`
+	UsedFrac      Quantiles `json:"used_frac"`
+	EmbodiedKg    Quantiles `json:"embodied_kg"`
+	AutoDeleted   Quantiles `json:"auto_deleted"`
+	// LifetimeDays summarizes the death day of EXPIRED shards only —
+	// the population lifetime the embodied-carbon argument amortizes
+	// over. All zeros while no shard has died.
+	LifetimeDays Quantiles `json:"lifetime_days"`
+}
+
+// Report is the versioned aggregate view of a fleet. It is recomputed
+// from the retained shard stats on demand, in shard-index order, so
+// its JSON rendering is byte-identical for a given fleet state
+// regardless of how many workers produced that state.
+type Report struct {
+	Version  int    `json:"version"`
+	Seed     uint64 `json:"seed"`
+	Shards   int    `json:"shards"`
+	Advances int    `json:"advances"`
+	// DaysMin/DaysMax bound the shard total-day counts (age included);
+	// they diverge on fleets with age mixes or stragglers.
+	DaysMin int `json:"days_min"`
+	DaysMax int `json:"days_max"`
+
+	Totals Totals        `json:"totals"`
+	Carbon Carbon        `json:"carbon"`
+	Dist   Distributions `json:"distributions"`
+
+	// PerShard carries every shard record when requested.
+	PerShard []ShardStats `json:"per_shard,omitempty"`
+}
+
+// WriteJSON renders the report as indented JSON — the /v1/fleet/{id}/report
+// wire format the goldens pin.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+func (e *Engine) reportLocked(perShard bool) *Report {
+	s := e.stats
+	rep := &Report{
+		Version:  ReportVersion,
+		Seed:     e.cfg.Seed,
+		Shards:   e.cfg.Shards,
+		Advances: e.advances,
+	}
+	for i := range s {
+		if i == 0 || s[i].Days < rep.DaysMin {
+			rep.DaysMin = s[i].Days
+		}
+		if s[i].Days > rep.DaysMax {
+			rep.DaysMax = s[i].Days
+		}
+		t := &rep.Totals
+		t.Events += s[i].Events
+		t.NoSpace += s[i].NoSpace
+		t.Created += s[i].Created
+		t.Deleted += s[i].Deleted
+		t.AutoDeleted += s[i].AutoDeleted
+		t.Transcoded += s[i].Transcoded
+		t.DegradedReads += s[i].DegradedReads
+		t.Reads += s[i].Reads
+		t.Writes += s[i].Writes
+		t.BusySeconds += s[i].BusySeconds
+		t.CapacityBytes += s[i].CapacityBytes
+		t.UsedBytes += s[i].UsedBytes
+		t.RetiredBlocks += s[i].RetiredBlocks
+		t.Resuscitations += s[i].Resuscitations
+		if s[i].Expired {
+			t.Expired++
+		}
+		rep.Carbon.EmbodiedKg += s[i].EmbodiedKg
+		rep.Carbon.BaselineKg += s[i].BaselineKg
+	}
+	rep.Carbon.SavedKg = rep.Carbon.BaselineKg - rep.Carbon.EmbodiedKg
+	if rep.Carbon.BaselineKg > 0 {
+		rep.Carbon.SavedFrac = rep.Carbon.SavedKg / rep.Carbon.BaselineKg
+	}
+	n := len(s)
+	rep.Dist = Distributions{
+		Days:          quantilesOf(n, func(i int) float64 { return float64(s[i].Days) }),
+		AvgWearFrac:   quantilesOf(n, func(i int) float64 { return s[i].AvgWearFrac }),
+		MaxWearFrac:   quantilesOf(n, func(i int) float64 { return s[i].MaxWearFrac }),
+		WriteAmp:      quantilesOf(n, func(i int) float64 { return s[i].WriteAmp }),
+		CapacityBytes: quantilesOf(n, func(i int) float64 { return float64(s[i].CapacityBytes) }),
+		UsedFrac: quantilesOf(n, func(i int) float64 {
+			if s[i].CapacityBytes == 0 {
+				return 0
+			}
+			return float64(s[i].UsedBytes) / float64(s[i].CapacityBytes)
+		}),
+		EmbodiedKg:  quantilesOf(n, func(i int) float64 { return s[i].EmbodiedKg }),
+		AutoDeleted: quantilesOf(n, func(i int) float64 { return float64(s[i].AutoDeleted) }),
+	}
+	var deaths []float64
+	for i := range s {
+		if s[i].Expired {
+			deaths = append(deaths, s[i].ExpiredDay)
+		}
+	}
+	rep.Dist.LifetimeDays = quantilesOf(len(deaths), func(i int) float64 { return deaths[i] })
+	if perShard {
+		rep.PerShard = append([]ShardStats(nil), s...)
+	}
+	return rep
+}

@@ -73,6 +73,38 @@ func (e *Exposition) LabeledGauge(name, help, label, labelValue string, v float6
 	f.samples = append(f.samples, promSample{labels: renderLabel(label, labelValue), value: v})
 }
 
+// Label is one label pair for the KV sample forms.
+type Label struct {
+	Name  string
+	Value string
+}
+
+func renderLabels(labels []Label) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(renderLabel(l.Name, l.Value))
+	}
+	return b.String()
+}
+
+// CounterKV adds one counter sample carrying any number of labels,
+// rendered in argument order. The fleet daemon uses this for its
+// multi-dimensional roll-ups (sos_fleet_*{fleet,q}).
+func (e *Exposition) CounterKV(name, help string, v float64, labels ...Label) {
+	f := e.family(name, "counter", help)
+	f.samples = append(f.samples, promSample{labels: renderLabels(labels), value: v})
+}
+
+// GaugeKV adds one gauge sample carrying any number of labels, rendered
+// in argument order.
+func (e *Exposition) GaugeKV(name, help string, v float64, labels ...Label) {
+	f := e.family(name, "gauge", help)
+	f.samples = append(f.samples, promSample{labels: renderLabels(labels), value: v})
+}
+
 // Histogram adds a full histogram family from a snapshot: cumulative
 // _bucket samples (le-labeled, ending at +Inf), then _sum and _count.
 func (e *Exposition) Histogram(name, help string, snap HistogramSnapshot) {

@@ -62,6 +62,39 @@ sos_wear_mean 12.5
 	}
 }
 
+// TestExpositionKV pins the multi-label sample forms the fleet daemon
+// emits: labels render in argument order, zero labels degrade to the
+// unlabeled form, and the validator accepts the output.
+func TestExpositionKV(t *testing.T) {
+	e := NewExposition()
+	e.GaugeKV("sos_fleet_write_amp", "Write amplification quantiles.", 1.5,
+		Label{"fleet", "f1"}, Label{"q", "p50"})
+	e.GaugeKV("sos_fleet_write_amp", "Write amplification quantiles.", 2.25,
+		Label{"fleet", "f1"}, Label{"q", "p99"})
+	e.CounterKV("sos_fleet_events_total", "Workload events.", 12,
+		Label{"fleet", "f1"})
+	e.CounterKV("sos_fleet_scrapes_total", "Scrapes.", 1)
+
+	const want = `# HELP sos_fleet_events_total Workload events.
+# TYPE sos_fleet_events_total counter
+sos_fleet_events_total{fleet="f1"} 12
+# HELP sos_fleet_scrapes_total Scrapes.
+# TYPE sos_fleet_scrapes_total counter
+sos_fleet_scrapes_total 1
+# HELP sos_fleet_write_amp Write amplification quantiles.
+# TYPE sos_fleet_write_amp gauge
+sos_fleet_write_amp{fleet="f1",q="p50"} 1.5
+sos_fleet_write_amp{fleet="f1",q="p99"} 2.25
+`
+	got := e.String()
+	if got != want {
+		t.Fatalf("KV exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if n, err := ParseExposition(strings.NewReader(got)); err != nil || n != 4 {
+		t.Fatalf("validator: %d samples, %v", n, err)
+	}
+}
+
 func TestExpositionWriteToCount(t *testing.T) {
 	e := NewExposition()
 	e.Counter("x_total", "X.", 1)

@@ -1,0 +1,219 @@
+package sos
+
+import (
+	"fmt"
+
+	"sos/internal/classify"
+	"sos/internal/flash"
+)
+
+// Option configures a System (or every shard of a Fleet) during
+// assembly. Options are the documented construction path:
+//
+//	sys, err := sos.NewSystem(
+//		sos.WithProfile(sos.ProfileSOS),
+//		sos.WithBackend(sos.BackendZNS),
+//		sos.WithSeed(42),
+//		sos.WithAudit(64),
+//	)
+//
+// The flat Config struct keeps working — New routes it through the
+// same machinery — and WithConfig bridges the two styles, so existing
+// configuration can be composed with new options. Fleet and System
+// share this one configuration surface: NewFleet applies the same
+// options to every shard it materializes.
+type Option func(*Config) error
+
+// WithConfig replaces the whole base configuration, then lets later
+// options amend it. It is the bridge from the flat-Config style.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) error {
+		*c = cfg
+		return nil
+	}
+}
+
+// WithProfile selects the device build.
+func WithProfile(p Profile) Option {
+	return func(c *Config) error {
+		switch p {
+		case ProfileSOS, ProfileTLC, ProfileQLC:
+			c.Profile = p
+			return nil
+		default:
+			return fmt.Errorf("sos: unknown profile %d", int(p))
+		}
+	}
+}
+
+// WithBackend selects the translation layer mounted under the device.
+func WithBackend(b Backend) Option {
+	return func(c *Config) error {
+		// Round-tripping through MarshalText rejects unknown kinds.
+		if _, err := b.MarshalText(); err != nil {
+			return err
+		}
+		c.Backend = b
+		return nil
+	}
+}
+
+// WithGeometry overrides the flash-chip geometry.
+func WithGeometry(g flash.Geometry) Option {
+	return func(c *Config) error {
+		c.Geometry = g
+		return nil
+	}
+}
+
+// WithSeed sets the seed driving every random subsystem.
+func WithSeed(seed uint64) Option {
+	return func(c *Config) error {
+		c.Seed = seed
+		return nil
+	}
+}
+
+// WithThreshold sets the classifier demotion confidence.
+func WithThreshold(t float64) Option {
+	return func(c *Config) error {
+		if t < 0 || t > 1 {
+			return fmt.Errorf("sos: threshold %v outside [0, 1]", t)
+		}
+		c.Threshold = t
+		return nil
+	}
+}
+
+// WithCloudBackup enables degraded-file repair from pristine copies.
+func WithCloudBackup() Option {
+	return func(c *Config) error {
+		c.CloudBackup = true
+		return nil
+	}
+}
+
+// WithTranscode shrinks media in place under capacity pressure before
+// resorting to deletion (§4.5).
+func WithTranscode() Option {
+	return func(c *Config) error {
+		c.TranscodeBeforeDelete = true
+		return nil
+	}
+}
+
+// WithTrainingFiles sizes the synthetic classifier corpus.
+func WithTrainingFiles(n int) Option {
+	return func(c *Config) error {
+		if n <= 0 {
+			return fmt.Errorf("sos: non-positive training corpus size %d", n)
+		}
+		c.TrainingFiles = n
+		return nil
+	}
+}
+
+// WithClassifier installs a pre-trained classifier instead of training
+// the default logistic regression. Sharing one trained classifier is
+// how fleets keep shard construction cheap: Score is read-only, so a
+// single model serves every shard concurrently.
+func WithClassifier(cls classify.Classifier) Option {
+	return func(c *Config) error {
+		if cls == nil {
+			return fmt.Errorf("sos: nil classifier")
+		}
+		c.Classifier = cls
+		return nil
+	}
+}
+
+// WithPrefs biases classification with the user's setup preferences
+// (§4.4).
+func WithPrefs(p classify.Prefs) Option {
+	return func(c *Config) error {
+		c.Prefs = &p
+		return nil
+	}
+}
+
+// WithQueues sets the submission-queue count for batched writes.
+// Results are byte-identical at every value; only wall time changes.
+func WithQueues(n int) Option {
+	return func(c *Config) error {
+		if n < 1 {
+			return fmt.Errorf("sos: queues must be >= 1, got %d", n)
+		}
+		c.Queues = n
+		return nil
+	}
+}
+
+// WithPlanes sets the chip's independently lockable plane count
+// (0 = profile default). Each value is a distinct, equally
+// deterministic device.
+func WithPlanes(n int) Option {
+	return func(c *Config) error {
+		if n < 0 {
+			return fmt.Errorf("sos: planes must be >= 0, got %d", n)
+		}
+		c.Planes = n
+		return nil
+	}
+}
+
+// WithWorkers bounds the goroutines used for a batch's parallel phases.
+func WithWorkers(n int) Option {
+	return func(c *Config) error {
+		c.Workers = n
+		return nil
+	}
+}
+
+// WithObserve enables the observability subsystem: event tracing and
+// per-operation histograms, read through Snapshot(). Recording never
+// perturbs determinism.
+func WithObserve() Option {
+	return func(c *Config) error {
+		c.Observe = true
+		return nil
+	}
+}
+
+// WithTraceCap overrides the trace ring capacity in events and implies
+// WithObserve.
+func WithTraceCap(n int) Option {
+	return func(c *Config) error {
+		if n < 0 {
+			return fmt.Errorf("sos: negative trace capacity %d", n)
+		}
+		c.Observe = true
+		c.TraceCap = n
+		return nil
+	}
+}
+
+// WithAudit enables the end-to-end integrity auditor with the given
+// per-pass slice-read budget (0 = the auditor's default budget).
+func WithAudit(budget int) Option {
+	return func(c *Config) error {
+		if budget < 0 {
+			return fmt.Errorf("sos: negative scrub budget %d", budget)
+		}
+		c.Audit = true
+		c.ScrubBudget = budget
+		return nil
+	}
+}
+
+// NewSystem assembles a System from functional options — the preferred
+// construction path since the fleet redesign. Zero options build the
+// default SOS device, exactly like New(Config{}).
+func NewSystem(opts ...Option) (*System, error) {
+	var cfg Config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return build(cfg)
+}

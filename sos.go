@@ -48,6 +48,13 @@ const (
 // Backends returns every backend kind in declaration order.
 func Backends() []Backend { return storage.Kinds() }
 
+// ParseBackend maps a backend name ("ftl", "zns"; case- and
+// space-insensitive) to its Backend, mirroring ParseProfile. It is the
+// single parser behind every -backend flag and config file: Backend's
+// TextUnmarshaler (used via flag.TextVar in sossim and carbonreport,
+// and by JSON fleet configs) routes through the same name set.
+func ParseBackend(s string) (Backend, error) { return storage.ParseKind(s) }
+
 // Profile selects a device build.
 type Profile int
 
@@ -174,7 +181,10 @@ type Config struct {
 	ScrubBudget int
 }
 
-// System is an assembled SOS (or baseline) stack.
+// System is an assembled SOS (or baseline) stack. The Clock, Device,
+// FS, Engine, and Classifier fields are the composition handles for
+// driving a system by hand (create files, advance time, trigger
+// reviews); read telemetry through Snapshot(), never by poking fields.
 type System struct {
 	Config     Config
 	Clock      *sim.Clock
@@ -182,14 +192,32 @@ type System struct {
 	FS         *fs.FS
 	Engine     *core.Engine
 	Classifier classify.Classifier
-	// Obs is the shared observability recorder, nil unless
-	// Config.Observe was set. Prefer Snapshot() for reading telemetry;
-	// the recorder itself is for trace dumps (Obs.Events()).
+	// Obs is the shared observability recorder, nil unless observing.
+	//
+	// Deprecated: read telemetry through Snapshot() and trace events
+	// through Events(); construct with NewSystem(WithObserve()). The
+	// field remains for compatibility with pre-fleet callers.
 	Obs *obs.Recorder
 }
 
-// New builds a System.
+// Events returns the recorded telemetry event trace, or nil when the
+// system was built without WithObserve / Config.Observe. It replaces
+// direct pokes at the deprecated Obs field.
+func (s *System) Events() []obs.Event {
+	if s.Obs == nil {
+		return nil
+	}
+	return s.Obs.Events()
+}
+
+// New builds a System from a flat Config. It is equivalent to
+// NewSystem(WithConfig(cfg)); new code should prefer the options form.
 func New(cfg Config) (*System, error) {
+	return NewSystem(WithConfig(cfg))
+}
+
+// build assembles the stack; both construction paths funnel here.
+func build(cfg Config) (*System, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
