@@ -3,7 +3,7 @@
 # goroutines; the torture tier replays the crash matrix under the race
 # detector. CI (or a pre-merge hand-run) should execute all three.
 
-.PHONY: verify verify-race verify-all torture bench-parallel bench-smoke bench-json bench-gate determinism fmt obs audit serve-smoke
+.PHONY: verify verify-race verify-all torture bench-parallel bench-smoke bench-json bench-gate determinism fmt obs audit serve-smoke placement
 
 # Formatting gate: fail if any file needs gofmt.
 fmt:
@@ -32,7 +32,7 @@ torture:
 	go test -race ./internal/zns/ -run 'TestBackendRecover|TestCrash'
 	go test -race -parallel 8 ./internal/torture/
 
-verify-all: verify verify-race torture bench-smoke bench-gate audit serve-smoke
+verify-all: verify verify-race torture bench-smoke bench-gate audit serve-smoke placement
 
 # Serial vs parallel RunAll wall-clock (quick fidelity under -short).
 bench-parallel:
@@ -93,6 +93,23 @@ serve-smoke:
 	@go build -o /tmp/promcheck-serve ./cmd/promcheck
 	@go build -o /tmp/fleetsmoke ./cmd/fleetsmoke
 	@/tmp/fleetsmoke -sossim /tmp/sossim-serve -promcheck /tmp/promcheck-serve
+
+# Placement smoke: the full-fidelity E19 run (fast — small chip) must
+# report the longevity win on every backend/family cell without
+# concurrency warnings, and a -placement=longevity simulation must be
+# byte-identical at workers 1 vs 8 (the E19 table itself re-checks
+# queues=4/workers=8 per cell via identical_q4w8).
+placement:
+	@go build -o /tmp/sossim-placement ./cmd/sossim
+	@/tmp/sossim-placement -exp E19 -parallel 0 > /tmp/sossim-placement-e19.txt
+	@! grep -q 'WARNING' /tmp/sossim-placement-e19.txt || \
+		{ echo "placement: E19 reported a concurrency warning"; exit 1; }
+	@grep -q 'longevity improves on hints-off' /tmp/sossim-placement-e19.txt \
+		&& echo "placement: OK (E19 shows the longevity win)"
+	@/tmp/sossim-placement -sim -days 30 -placement=longevity -parallel 1 > /tmp/sossim-placement-w1.txt
+	@/tmp/sossim-placement -sim -days 30 -placement=longevity -parallel 8 > /tmp/sossim-placement-w8.txt
+	@cmp /tmp/sossim-placement-w1.txt /tmp/sossim-placement-w8.txt \
+		&& echo "placement: OK (longevity sim identical at workers 1 and 8)"
 
 # CLI-level determinism check: experiment output must be bit-identical
 # for every -parallel value.

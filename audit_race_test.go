@@ -60,8 +60,10 @@ func TestAuditHammerWithBatchedWrites(t *testing.T) {
 						case <-stop:
 							return
 						default:
-							_ = sys.Obs.Snapshot()
-							_ = sys.Obs.Events()
+							// Events() is the race-safe trace accessor (the
+							// full System.Snapshot reads live device state
+							// and is not meant for mid-write concurrency).
+							_ = sys.Events()
 						}
 					}
 				}()

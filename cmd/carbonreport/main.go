@@ -62,6 +62,10 @@ func main() {
 	flag.Int("planes", 0, "accepted for CLI parity; carbon arithmetic has no datapath")
 	flag.Bool("audit", false, "accepted for CLI parity; carbon arithmetic stores no data to audit")
 	flag.Int("scrub-budget", 0, "accepted for CLI parity; carbon arithmetic stores no data to audit")
+	// TextVar (not a no-op string) so the flag rejects bad names with the
+	// same error sossim's -placement does.
+	var placement sos.Placement
+	flag.TextVar(&placement, "placement", sos.PlacementOff, "accepted for CLI parity; carbon arithmetic places no data")
 	flag.BoolVar(&opts.Metrics, "metrics", false, "print the Prometheus text exposition instead of the report")
 	flag.StringVar(&opts.TraceFile, "trace", "", "write milestone events (JSON lines) to this file")
 	flag.Parse()

@@ -58,6 +58,7 @@ func main() {
 	flag.IntVar(&opts.Planes, "planes", 0, "chip planes (0 = profile default; each value is a distinct, equally deterministic device)")
 	flag.BoolVar(&opts.Audit, "audit", false, "with -sim: enable the end-to-end integrity auditor")
 	flag.IntVar(&opts.ScrubBudget, "scrub-budget", 0, "with -audit: slice reads per audit pass (0 = default)")
+	flag.TextVar(&opts.Placement, "placement", sos.PlacementOff, "lifetime-hint policy for -sim: off|binary|longevity")
 	flag.Parse()
 	experiments.SetParallelism(*par)
 	// -parallel doubles as the batch worker bound for -sim runs; the
@@ -141,7 +142,10 @@ type simOpts struct {
 	// slice-read budget (0 = default).
 	Audit       bool
 	ScrubBudget int
-	Out         io.Writer // defaults to os.Stdout
+	// Placement is the lifetime-hint policy; off keeps the report
+	// byte-identical to builds without placement support.
+	Placement sos.Placement
+	Out       io.Writer // defaults to os.Stdout
 }
 
 func simulate(opts simOpts) error {
@@ -159,6 +163,7 @@ func simulate(opts simOpts) error {
 		Observe:     opts.Metrics || opts.TraceFile != "",
 		Audit:       opts.Audit,
 		ScrubBudget: opts.ScrubBudget,
+		Placement:   opts.Placement,
 	})
 	if err != nil {
 		return err
@@ -245,6 +250,11 @@ func simulate(opts simOpts) error {
 	es := rep.EngineStats
 	fmt.Fprintf(out, "profile          %s\n", opts.Profile)
 	fmt.Fprintf(out, "backend          %s\n", smart.Backend)
+	if opts.Placement != sos.PlacementOff {
+		// Emitted only when placement is on, so -placement=off output
+		// stays byte-identical to pre-placement builds.
+		fmt.Fprintf(out, "placement        %s\n", opts.Placement)
+	}
 	fmt.Fprintf(out, "simulated        %v (%d events, %d skipped reads, %d no-space)\n",
 		rep.Elapsed, rep.Events, rep.SkippedReads, rep.NoSpace)
 	fmt.Fprintf(out, "capacity         %d bytes (page %d B)\n", smart.CapacityBytes, smart.PageSize)

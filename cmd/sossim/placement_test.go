@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sos"
+)
+
+// placementGoldenPath resolves a file in the repo-root
+// testdata/placement corpus: the -sim report and -metrics exposition
+// captured immediately before lifetime-hinted placement landed.
+func placementGoldenPath(name string) string {
+	return filepath.Join("..", "..", "testdata", "placement", name)
+}
+
+// TestPlacementOffMatchesGoldens pins the refactor's no-op guarantee:
+// with -placement left off, the whole placement subsystem (hint
+// plumbing through BatchOp/device/fs, per-bin active blocks, dead-skip
+// GC, OOB hint persistence) must be invisible — report and exposition
+// byte-identical to the goldens captured before it existed, at every
+// tested (queues, workers) point. If an intentional output change
+// lands later, regenerate with:
+//
+//	go run ./cmd/sossim -sim -days 30 -backend=$B          > testdata/placement/report_$B.txt
+//	go run ./cmd/sossim -sim -days 30 -backend=$B -metrics > testdata/placement/metrics_$B.txt
+func TestPlacementOffMatchesGoldens(t *testing.T) {
+	for _, backend := range sos.Backends() {
+		for _, metrics := range []bool{false, true} {
+			name := "report_" + backend.String() + ".txt"
+			if metrics {
+				name = "metrics_" + backend.String() + ".txt"
+			}
+			want, err := os.ReadFile(placementGoldenPath(name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, qw := range [][2]int{{1, 1}, {4, 8}} {
+				var buf bytes.Buffer
+				if err := simulate(simOpts{
+					Backend: backend, Days: 30, Seed: 1,
+					Queues: qw[0], Workers: qw[1],
+					Placement: sos.PlacementOff,
+					Metrics:   metrics, Out: &buf,
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, buf.Bytes()) {
+					t.Errorf("%s (queues=%d workers=%d): placement-off output diverged from the pre-placement golden (run the regen commands in the test comment if the change is intentional)",
+						name, qw[0], qw[1])
+				}
+			}
+		}
+	}
+}
+
+// TestPlacementByteIdenticalAcrossConcurrency pins the same determinism
+// contract the rest of the datapath carries: with placement on, results
+// depend on the policy but never on (queues, workers).
+func TestPlacementByteIdenticalAcrossConcurrency(t *testing.T) {
+	for _, backend := range sos.Backends() {
+		for _, placement := range []sos.Placement{sos.PlacementBinary, sos.PlacementLongevity} {
+			var ref []byte
+			for _, qw := range [][2]int{{1, 1}, {8, 8}} {
+				var buf bytes.Buffer
+				err := simulate(simOpts{
+					Backend: backend, Days: 10, Seed: 3,
+					Queues: qw[0], Workers: qw[1],
+					Placement: placement, Out: &buf,
+				})
+				if err != nil {
+					t.Fatalf("%s %s q=%d w=%d: %v", backend, placement, qw[0], qw[1], err)
+				}
+				if ref == nil {
+					ref = append([]byte(nil), buf.Bytes()...)
+					continue
+				}
+				if !bytes.Equal(ref, buf.Bytes()) {
+					t.Errorf("%s %s: output at queues=%d workers=%d differs from queues=1 workers=1",
+						backend, placement, qw[0], qw[1])
+				}
+			}
+			if !bytes.Contains(ref, []byte("placement        "+placement.String())) {
+				t.Errorf("%s %s: report missing the placement line", backend, placement)
+			}
+		}
+	}
+}

@@ -233,6 +233,64 @@ type Corpus struct {
 	Labels []Label
 	// CategoryOf records the generating category index per file.
 	CategoryOf []int
+	// LifetimeDays is the ground-truth days-to-death per file, filled by
+	// GenerateLifetimes (nil until then). It is generated in a separate
+	// pass with its own RNG so corpora built before lifetimes existed are
+	// bit-for-bit unchanged.
+	LifetimeDays []float64
+}
+
+// lifetimeMedians gives, per category, the median days-to-death indexed
+// by Label (LabelSys, LabelSpare). Expendable data dies fast
+// (screenshots in days, messaging media in weeks); critical data
+// lingers (OS files outlive the device).
+var lifetimeMedians = map[string][2]float64{
+	"os":              {3000, 3000},
+	"app-binary":      {2500, 2000},
+	"app-db":          {1000, 700},
+	"document":        {400, 60},
+	"camera-photo":    {800, 30},
+	"screenshot":      {120, 7},
+	"messaging-media": {300, 14},
+	"music":           {600, 90},
+	"personal-video":  {900, 45},
+	"download":        {200, 10},
+}
+
+// GenerateLifetimes draws a ground-truth days-to-death for every corpus
+// file: a category- and label-correlated median with lognormal-ish
+// noise, shifted by the same per-file signals the labeler uses, so the
+// feature vector genuinely predicts deathtime. rng must be dedicated to
+// this pass (callers use a distinct seed) — the corpus's own generation
+// sequence is never touched.
+func (c *Corpus) GenerateLifetimes(rng *sim.RNG) {
+	cats := Categories()
+	c.LifetimeDays = make([]float64, len(c.Metas))
+	for i := range c.Metas {
+		cat := &cats[c.CategoryOf[i]]
+		base := lifetimeMedians[cat.Name][c.Labels[i]]
+		m := &c.Metas[i]
+		// Shared and face-bearing files are kept longer; duplicated and
+		// long-idle files are culled sooner — mirroring labelFor's signals
+		// so deathtime is learnable from the same features.
+		if m.Shared {
+			base *= 1.5
+		}
+		if m.HasFaces {
+			base *= 1.3
+		}
+		if m.DuplicateCount > 0 {
+			base *= 0.6
+		}
+		if m.DaysSinceAccess > 180 {
+			base *= 0.7
+		}
+		d := base * expApprox(rng.NormFloat64()*0.6)
+		if d < 0.5 {
+			d = 0.5
+		}
+		c.LifetimeDays[i] = d
+	}
 }
 
 // GenerateCorpus builds n labeled files with the default category mix.
@@ -281,6 +339,9 @@ func (c *Corpus) Split(rng *sim.RNG, trainFrac float64) (train, test *Corpus) {
 			out.Metas = append(out.Metas, c.Metas[i])
 			out.Labels = append(out.Labels, c.Labels[i])
 			out.CategoryOf = append(out.CategoryOf, c.CategoryOf[i])
+			if c.LifetimeDays != nil {
+				out.LifetimeDays = append(out.LifetimeDays, c.LifetimeDays[i])
+			}
 		}
 		return out
 	}

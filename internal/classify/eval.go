@@ -1,6 +1,10 @@
 package classify
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"sort"
+)
 
 // Metrics summarizes classifier performance on a labeled set. The
 // operationally critical number for SOS is SysLossRate: the fraction of
@@ -77,4 +81,119 @@ func ThresholdSweep(c Classifier, corpus *Corpus, thresholds []float64) ([]Sweep
 		})
 	}
 	return out, nil
+}
+
+// ---- Lifetime calibration and evaluation ----
+
+// LifetimeBin is a quantized deathtime class, ordered hot to immortal.
+// The storage layer maps these onto its placement hints.
+type LifetimeBin int
+
+// Deathtime bins.
+const (
+	// BinHot data dies soonest (below the first calibrated threshold).
+	BinHot LifetimeBin = iota
+	// BinWarm data dies within the middle quartiles.
+	BinWarm
+	// BinCold data lives past the median but inside the horizon.
+	BinCold
+	// BinImmortal data outlives the calibration population's bulk.
+	BinImmortal
+
+	// NumLifetimeBins is the bin count.
+	NumLifetimeBins = int(BinImmortal) + 1
+)
+
+func (b LifetimeBin) String() string {
+	switch b {
+	case BinHot:
+		return "hot"
+	case BinWarm:
+		return "warm"
+	case BinCold:
+		return "cold"
+	case BinImmortal:
+		return "immortal"
+	default:
+		return fmt.Sprintf("LifetimeBin(%d)", int(b))
+	}
+}
+
+// Bins holds calibrated deathtime thresholds in days: lifetimes below
+// Edges[0] are hot, below Edges[1] warm, below Edges[2] cold, else
+// immortal.
+type Bins struct {
+	Edges [NumLifetimeBins - 1]float64
+}
+
+// Bin quantizes a predicted days-to-death.
+func (b Bins) Bin(days float64) LifetimeBin {
+	switch {
+	case days < b.Edges[0]:
+		return BinHot
+	case days < b.Edges[1]:
+		return BinWarm
+	case days < b.Edges[2]:
+		return BinCold
+	default:
+		return BinImmortal
+	}
+}
+
+// CalibrateBins derives bin thresholds from a training population's
+// lifetimes: the 25th, 50th, and 75th percentiles, so each bin holds a
+// quarter of the calibration mass. Deterministic (sorts a copy).
+func CalibrateBins(days []float64) (Bins, error) {
+	if len(days) == 0 {
+		return Bins{}, ErrNoLifetimes
+	}
+	sorted := append([]float64(nil), days...)
+	sort.Float64s(sorted)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	b := Bins{Edges: [NumLifetimeBins - 1]float64{q(0.25), q(0.50), q(0.75)}}
+	return b, nil
+}
+
+// LifetimeMetrics summarizes regressor performance on held-out
+// lifetimes. MAELogDays is the mean absolute error in log1p(days) —
+// robust to the immortal tail; BinAccuracy is what placement actually
+// consumes: the fraction of files quantized into their true bin.
+type LifetimeMetrics struct {
+	N           int
+	MAELogDays  float64
+	BinAccuracy float64
+	// Confusion[actual][predicted], indices are LifetimeBin values.
+	Confusion [NumLifetimeBins][NumLifetimeBins]int
+}
+
+// EvaluateLifetime scores a trained lifetime predictor against true
+// lifetimes, quantizing both through the same calibrated bins.
+func EvaluateLifetime(p LifetimePredictor, metas []FileMeta, days []float64, bins Bins) (LifetimeMetrics, error) {
+	if len(metas) == 0 || len(metas) != len(days) {
+		return LifetimeMetrics{}, ErrNoLifetimes
+	}
+	var m LifetimeMetrics
+	m.N = len(metas)
+	correct := 0
+	for i := range metas {
+		pred := p.PredictDays(metas[i])
+		m.MAELogDays += math.Abs(math.Log1p(pred) - math.Log1p(days[i]))
+		pb := bins.Bin(pred)
+		ab := bins.Bin(days[i])
+		m.Confusion[ab][pb]++
+		if pb == ab {
+			correct++
+		}
+	}
+	m.MAELogDays /= float64(m.N)
+	m.BinAccuracy = float64(correct) / float64(m.N)
+	return m, nil
+}
+
+func (m LifetimeMetrics) String() string {
+	return fmt.Sprintf("n=%d mae-log-days=%.3f bin-acc=%.3f",
+		m.N, m.MAELogDays, m.BinAccuracy)
 }

@@ -1,0 +1,136 @@
+package classify
+
+import (
+	"errors"
+	"math"
+)
+
+// Lifetime prediction: the longevity-placement upgrade of the binary
+// SYS/SPARE rule. Instead of asking "may this file degrade?", the
+// regressor asks "when will this file die?" — deletion, overwrite, or
+// auto-cleanup — and the answer, quantized into deathtime bins, drives
+// data placement so whole flash blocks (or zones) die together and GC
+// relocates less. Same from-scratch discipline as the classifiers:
+// standardized features, full-batch gradient descent, deterministic.
+
+// LifetimePredictor is a trainable days-to-death regressor.
+type LifetimePredictor interface {
+	// Name identifies the model in experiment tables.
+	Name() string
+	// TrainLifetime fits the model. len(metas) == len(days) > 0; days[i]
+	// is file i's observed lifetime in days (creation to death).
+	TrainLifetime(metas []FileMeta, days []float64) error
+	// PredictDays returns the predicted days-to-death (>= 0).
+	PredictDays(meta FileMeta) float64
+}
+
+// ErrNoLifetimes reports an empty or inconsistent lifetime training set.
+var ErrNoLifetimes = errors.New("classify: empty or inconsistent lifetime training set")
+
+// LinearLifetime is an L2-regularized linear regression on log1p(days)
+// over standardized features, trained with full-batch gradient descent.
+// Lifetimes span four orders of magnitude (screenshots die in days, OS
+// files never), so the log target keeps the short-lived mass from being
+// drowned out by the immortal tail. Training is deterministic.
+type LinearLifetime struct {
+	w     [NumFeatures]float64
+	b     float64
+	mu    [NumFeatures]float64
+	sigma [NumFeatures]float64
+	ready bool
+
+	// Epochs (default 400), LearningRate (default 0.3) and L2 (default
+	// 1e-4) may be tuned before TrainLifetime.
+	Epochs       int
+	LearningRate float64
+	L2           float64
+}
+
+// Name implements LifetimePredictor.
+func (ll *LinearLifetime) Name() string { return "linear-lifetime" }
+
+// TrainLifetime implements LifetimePredictor.
+func (ll *LinearLifetime) TrainLifetime(metas []FileMeta, days []float64) error {
+	if len(metas) == 0 || len(metas) != len(days) {
+		return ErrNoLifetimes
+	}
+	if ll.Epochs == 0 {
+		ll.Epochs = 400
+	}
+	if ll.LearningRate == 0 {
+		ll.LearningRate = 0.3
+	}
+	if ll.L2 == 0 {
+		ll.L2 = 1e-4
+	}
+	n := len(metas)
+	X := make([][NumFeatures]float64, n)
+	y := make([]float64, n)
+	for i, m := range metas {
+		X[i] = Features(m)
+		d := days[i]
+		if d < 0 {
+			d = 0
+		}
+		y[i] = math.Log1p(d)
+	}
+	// Standardize.
+	for j := 0; j < NumFeatures; j++ {
+		var sum float64
+		for i := range X {
+			sum += X[i][j]
+		}
+		ll.mu[j] = sum / float64(n)
+		var ss float64
+		for i := range X {
+			d := X[i][j] - ll.mu[j]
+			ss += d * d
+		}
+		ll.sigma[j] = math.Sqrt(ss/float64(n)) + 1e-9
+		for i := range X {
+			X[i][j] = (X[i][j] - ll.mu[j]) / ll.sigma[j]
+		}
+	}
+	// Gradient descent on squared error.
+	ll.w = [NumFeatures]float64{}
+	ll.b = 0
+	for epoch := 0; epoch < ll.Epochs; epoch++ {
+		var gw [NumFeatures]float64
+		var gb float64
+		for i := range X {
+			z := ll.b
+			for j := range ll.w {
+				z += ll.w[j] * X[i][j]
+			}
+			e := z - y[i]
+			for j := range gw {
+				gw[j] += e * X[i][j]
+			}
+			gb += e
+		}
+		inv := 1 / float64(n)
+		for j := range ll.w {
+			ll.w[j] -= ll.LearningRate * (gw[j]*inv + ll.L2*ll.w[j])
+		}
+		ll.b -= ll.LearningRate * gb * inv
+	}
+	ll.ready = true
+	return nil
+}
+
+// PredictDays implements LifetimePredictor.
+func (ll *LinearLifetime) PredictDays(meta FileMeta) float64 {
+	if !ll.ready {
+		return 0
+	}
+	f := Features(meta)
+	z := ll.b
+	for j := range f {
+		z += ll.w[j] * (f[j] - ll.mu[j]) / ll.sigma[j]
+	}
+	d := math.Expm1(z)
+	if d < 0 {
+		return 0
+	}
+	return d
+}

@@ -1,0 +1,187 @@
+package classify
+
+import (
+	"math"
+	"testing"
+
+	"sos/internal/sim"
+)
+
+// lifetimeFixture builds a lifetimed corpus split for the regressor
+// tests: corpus at one seed, lifetimes from a dedicated RNG (mirroring
+// the engine's separate-pass discipline).
+func lifetimeFixture(t *testing.T, n int) (train, test *Corpus) {
+	t.Helper()
+	rng := sim.NewRNG(1)
+	c, err := GenerateCorpus(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.GenerateLifetimes(sim.NewRNG(2))
+	return c.Split(sim.NewRNG(3), 0.7)
+}
+
+func TestGenerateLifetimesShape(t *testing.T) {
+	rng := sim.NewRNG(1)
+	c, err := GenerateCorpus(rng, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.GenerateLifetimes(sim.NewRNG(2))
+	if len(c.LifetimeDays) != len(c.Metas) {
+		t.Fatalf("lifetimes %d != metas %d", len(c.LifetimeDays), len(c.Metas))
+	}
+	var spareSum, sysSum float64
+	var spareN, sysN int
+	for i, d := range c.LifetimeDays {
+		if d <= 0 {
+			t.Fatalf("file %d has non-positive lifetime %v", i, d)
+		}
+		if c.Labels[i] == LabelSpare {
+			spareSum += d
+			spareN++
+		} else {
+			sysSum += d
+			sysN++
+		}
+	}
+	if spareN == 0 || sysN == 0 {
+		t.Fatal("corpus missing a label class")
+	}
+	if spareSum/float64(spareN) >= sysSum/float64(sysN) {
+		t.Fatalf("spare files should die sooner on average: spare=%.1f sys=%.1f",
+			spareSum/float64(spareN), sysSum/float64(sysN))
+	}
+}
+
+func TestGenerateLifetimesDeterministic(t *testing.T) {
+	build := func() []float64 {
+		c, err := GenerateCorpus(sim.NewRNG(7), 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.GenerateLifetimes(sim.NewRNG(9))
+		return c.LifetimeDays
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("lifetime %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateLifetimesLeavesCorpusUnchanged(t *testing.T) {
+	// The lifetime pass uses its own RNG, so a corpus generated with and
+	// without it is bit-for-bit identical.
+	a, err := GenerateCorpus(sim.NewRNG(5), 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCorpus(sim.NewRNG(5), 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.GenerateLifetimes(sim.NewRNG(6))
+	for i := range a.Metas {
+		if a.Metas[i] != b.Metas[i] || a.Labels[i] != b.Labels[i] {
+			t.Fatalf("file %d perturbed by lifetime generation", i)
+		}
+	}
+}
+
+func TestLinearLifetimeBeatsNaiveBaselines(t *testing.T) {
+	train, test := lifetimeFixture(t, 6000)
+	ll := &LinearLifetime{}
+	if err := ll.TrainLifetime(train.Metas, train.LifetimeDays); err != nil {
+		t.Fatal(err)
+	}
+	bins, err := CalibrateBins(train.LifetimeDays)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := EvaluateLifetime(ll, test.Metas, test.LifetimeDays, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("lifetime eval: %v", m)
+	// Majority baseline for quartile bins is ~0.25; the regressor must
+	// comfortably beat it for placement to pay off.
+	if m.BinAccuracy < 0.45 {
+		t.Fatalf("bin accuracy %.3f below 0.45", m.BinAccuracy)
+	}
+	// Constant-predictor baseline: predict the train mean log-lifetime.
+	var mean float64
+	for _, d := range train.LifetimeDays {
+		mean += math.Log1p(d)
+	}
+	mean /= float64(len(train.LifetimeDays))
+	var baseMAE float64
+	for _, d := range test.LifetimeDays {
+		baseMAE += math.Abs(mean - math.Log1p(d))
+	}
+	baseMAE /= float64(len(test.LifetimeDays))
+	if m.MAELogDays >= baseMAE {
+		t.Fatalf("regressor MAE %.3f not better than constant baseline %.3f", m.MAELogDays, baseMAE)
+	}
+}
+
+func TestLinearLifetimeDeterministic(t *testing.T) {
+	train, test := lifetimeFixture(t, 2000)
+	fit := func() []float64 {
+		ll := &LinearLifetime{}
+		if err := ll.TrainLifetime(train.Metas, train.LifetimeDays); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(test.Metas))
+		for i, m := range test.Metas {
+			out[i] = ll.PredictDays(m)
+		}
+		return out
+	}
+	a, b := fit(), fit()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction %d differs across identical fits", i)
+		}
+	}
+}
+
+func TestLifetimeValidation(t *testing.T) {
+	ll := &LinearLifetime{}
+	if err := ll.TrainLifetime(nil, nil); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	if ll.PredictDays(FileMeta{}) != 0 {
+		t.Fatal("untrained predictor not zero")
+	}
+	if _, err := CalibrateBins(nil); err == nil {
+		t.Fatal("empty calibration accepted")
+	}
+	if _, err := EvaluateLifetime(ll, nil, nil, Bins{}); err == nil {
+		t.Fatal("empty eval accepted")
+	}
+}
+
+func TestBinsQuantize(t *testing.T) {
+	b := Bins{Edges: [NumLifetimeBins - 1]float64{10, 100, 1000}}
+	cases := []struct {
+		days float64
+		want LifetimeBin
+	}{
+		{1, BinHot}, {9.9, BinHot}, {10, BinWarm}, {99, BinWarm},
+		{100, BinCold}, {999, BinCold}, {1000, BinImmortal}, {5000, BinImmortal},
+	}
+	for _, c := range cases {
+		if got := b.Bin(c.days); got != c.want {
+			t.Errorf("Bin(%v) = %v, want %v", c.days, got, c.want)
+		}
+	}
+	bins, err := CalibrateBins([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bins.Edges[0] < bins.Edges[1] && bins.Edges[1] < bins.Edges[2]) {
+		t.Fatalf("edges not increasing: %v", bins.Edges)
+	}
+}

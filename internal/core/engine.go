@@ -20,6 +20,7 @@ import (
 	"sos/internal/media"
 	"sos/internal/obs"
 	"sos/internal/sim"
+	"sos/internal/storage"
 )
 
 // Engine errors.
@@ -87,6 +88,15 @@ type Config struct {
 	AuditBudget int
 	// AuditSeed seeds the auditor's sampling RNG.
 	AuditSeed uint64
+	// Placement selects how lifetime hints are derived for new writes
+	// (default PlacementOff — byte-identical to a build without hints).
+	Placement storage.Placement
+	// Lifetime is the trained days-to-death regressor; required when
+	// Placement is PlacementLongevity, ignored otherwise.
+	Lifetime classify.LifetimePredictor
+	// LifetimeBins are the calibrated deathtime thresholds quantizing
+	// Lifetime's predictions; required with PlacementLongevity.
+	LifetimeBins classify.Bins
 }
 
 func (c *Config) applyDefaults() {
@@ -183,6 +193,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Classifier == nil {
 		return nil, errors.New("core: nil classifier")
 	}
+	if cfg.Placement == storage.PlacementLongevity && cfg.Lifetime == nil {
+		return nil, errors.New("core: longevity placement requires a lifetime predictor")
+	}
 	cfg.applyDefaults()
 	e := &Engine{
 		cfg:   cfg,
@@ -209,12 +222,33 @@ func New(cfg Config) (*Engine, error) {
 
 func (e *Engine) now() sim.Time { return e.dev.Clock().Now() }
 
+// hintFor derives the placement hint for a file's next write. With
+// PlacementOff it returns HintNone without consulting any model, so the
+// hints-off datapath is untouched. Binary placement reuses the SYS/SPARE
+// score (likely-demoted files die sooner → hot); longevity placement
+// quantizes the regressor's predicted days-to-death through the
+// calibrated bins, mapping BinHot..BinImmortal onto HintHot..HintImmortal.
+func (e *Engine) hintFor(meta classify.FileMeta) storage.LifetimeHint {
+	switch e.cfg.Placement {
+	case storage.PlacementBinary:
+		if e.cfg.Classifier.Score(meta) >= e.cfg.Threshold {
+			return storage.HintHot
+		}
+		return storage.HintCold
+	case storage.PlacementLongevity:
+		bin := e.cfg.LifetimeBins.Bin(e.cfg.Lifetime.PredictDays(meta))
+		return storage.LifetimeHint(bin) + 1
+	default:
+		return storage.HintNone
+	}
+}
+
 // CreateFile ingests a new file. Per §4.4, new data is first written to
 // the high-endurance SYS partition; the periodic review demotes it later
 // if the classifier deems it low-priority. trueLabel is ground truth for
 // regret accounting only.
 func (e *Engine) CreateFile(meta classify.FileMeta, payload []byte, size int64, trueLabel classify.Label) (fs.FileID, error) {
-	id, err := e.fs.Create(meta.Path, payload, size, device.ClassSys)
+	id, err := e.fs.CreateHinted(meta.Path, payload, size, device.ClassSys, e.hintFor(meta))
 	if err != nil {
 		return 0, err
 	}
@@ -234,7 +268,7 @@ func (e *Engine) UpdateFile(id fs.FileID, payload []byte, size int64) error {
 	if !ok {
 		return ErrNotTracked
 	}
-	if err := e.fs.Update(id, payload, size); err != nil {
+	if err := e.fs.UpdateHinted(id, payload, size, e.hintFor(st.meta)); err != nil {
 		return err
 	}
 	st.meta.Modifications++

@@ -446,6 +446,43 @@ func (d *Device) WriteDigested(lba int64, data []byte, dataLen int, c Class, dig
 	return lat, nil
 }
 
+// WriteHinted is WriteDigested plus a predicted-lifetime bin routing
+// the page to the backend's per-(stream, bin) active block or zone.
+// A HintNone hint — or a backend without the HintedStore extension —
+// degrades to the digest path, byte for byte.
+func (d *Device) WriteHinted(lba int64, data []byte, dataLen int, c Class, digest uint64, hasDigest bool, hint storage.LifetimeHint) (sim.Time, error) {
+	hs, ok := d.backend.(storage.HintedStore)
+	if !ok || hint == storage.HintNone {
+		if hasDigest {
+			return d.WriteDigested(lba, data, dataLen, c, digest)
+		}
+		return d.Write(lba, data, dataLen, c)
+	}
+	id, err := d.streamFor(c)
+	if err != nil {
+		return 0, err
+	}
+	if err := hs.WriteHinted(lba, data, dataLen, id, digest, hasDigest, hint); err != nil {
+		return 0, err
+	}
+	pol := d.backend.Streams()[id]
+	lat := d.latency.ProgramLatency(pol.Mode)
+	d.busy += lat
+	d.writeCount++
+	d.obs.ObserveProgram(lat, dataLen)
+	return lat, nil
+}
+
+// StoredHint returns the lifetime bin durably recorded for a mapped
+// lba, if the mounted backend tracks hints.
+func (d *Device) StoredHint(lba int64) (storage.LifetimeHint, bool) {
+	hs, ok := d.backend.(storage.HintedStore)
+	if !ok {
+		return storage.HintNone, false
+	}
+	return hs.Hint(lba)
+}
+
 // StoredDigest returns the digest durably recorded for a mapped lba,
 // if any.
 func (d *Device) StoredDigest(lba int64) (uint64, bool) {
@@ -466,6 +503,9 @@ type BatchWrite struct {
 	// backend's durable digest store (zero-valued = none tracked).
 	Digest    uint64
 	HasDigest bool
+	// Hint is the predicted-lifetime bin (zero value = unhinted, which
+	// reproduces pre-hint placement exactly).
+	Hint storage.LifetimeHint
 }
 
 // Queues returns the configured submission-queue count.
@@ -512,7 +552,7 @@ func (d *Device) WriteBatch(ws []BatchWrite) (sim.Time, []storage.BatchFate, err
 		ops[i] = storage.BatchOp{
 			LPA: w.LBA, Data: w.Data, DataLen: w.DataLen,
 			Stream: id, Seq: d.batchSeq, Queue: sim.DealQueue(i, n, d.queues),
-			Digest: w.Digest, HasDigest: w.HasDigest,
+			Digest: w.Digest, HasDigest: w.HasDigest, Hint: w.Hint,
 		}
 	}
 	if bw, ok := d.backend.(storage.BatchWriter); ok {

@@ -104,6 +104,12 @@ type PageTag struct {
 	// digest recorded" (accounting pages carry none).
 	Digest    uint64
 	HasDigest bool
+	// Hint is the predicted-lifetime bin the host attached to the write
+	// (storage.LifetimeHint values; 0 = unhinted). Persisting it in OOB
+	// makes placement crash-safe: rebuild re-adopts per-(stream, bin)
+	// active blocks and dead-data-aware GC re-derives its skip decisions
+	// from the same hints the pre-crash instance saw.
+	Hint uint8
 }
 
 // PageState tracks a written page's history for error modelling.

@@ -33,6 +33,7 @@ type fileEntry struct {
 	id      FileID
 	name    string
 	class   device.Class
+	hint    storage.LifetimeHint // predicted-lifetime bin for placement
 	size    int64
 	pages   []int64 // LBAs, in order
 	real    bool    // payload bytes stored (vs accounting-only)
@@ -125,6 +126,14 @@ func (f *FS) pagesFor(size int64) int64 {
 // data) in which case size must be positive; with a payload, size is
 // len(payload). Returns the new file's id.
 func (f *FS) Create(name string, payload []byte, size int64, class device.Class) (FileID, error) {
+	return f.CreateHinted(name, payload, size, class, storage.HintNone)
+}
+
+// CreateHinted is Create plus a predicted-lifetime bin stamped on the
+// file: every page write carries the bin to the device so the backend
+// co-locates same-bin data (longevity placement). HintNone reproduces
+// Create exactly.
+func (f *FS) CreateHinted(name string, payload []byte, size int64, class device.Class, hint storage.LifetimeHint) (FileID, error) {
 	if name == "" {
 		return 0, ErrEmptyName
 	}
@@ -140,7 +149,7 @@ func (f *FS) Create(name string, payload []byte, size int64, class device.Class)
 	id := f.nextID
 	f.nextID++
 	e := &fileEntry{
-		id: id, name: name, class: class, real: payload != nil,
+		id: id, name: name, class: class, hint: hint, real: payload != nil,
 		created: f.dev.Clock().Now(), updated: f.dev.Clock().Now(),
 	}
 	defer f.enter(id)()
@@ -205,8 +214,12 @@ func (f *FS) writePagesOnce(e *fileEntry, payload []byte, size int64, class devi
 			if chunk != nil {
 				// Real payloads carry an integrity digest, computed here —
 				// before any encoding or medium decay — and stored durably
-				// in the page's OOB tag (see storage.DigestStore).
-				_, err = f.dev.WriteDigested(lba, chunk, chunkLen, class, storage.DigestOf(chunk))
+				// in the page's OOB tag (see storage.DigestStore). The
+				// file's lifetime bin rides along; WriteHinted degrades to
+				// the digest path when the bin is HintNone.
+				_, err = f.dev.WriteHinted(lba, chunk, chunkLen, class, storage.DigestOf(chunk), true, e.hint)
+			} else if e.hint != storage.HintNone {
+				_, err = f.dev.WriteHinted(lba, chunk, chunkLen, class, 0, false, e.hint)
 			} else {
 				_, err = f.dev.Write(lba, chunk, chunkLen, class)
 			}
@@ -261,7 +274,7 @@ func (f *FS) writeBatchOnce(e *fileEntry, payload []byte, size, npages int64, cl
 			digest = storage.DigestOf(chunk)
 			hasDigest = true
 		}
-		ws[p] = device.BatchWrite{LBA: lba, Data: chunk, DataLen: chunkLen, Class: class, Digest: digest, HasDigest: hasDigest}
+		ws[p] = device.BatchWrite{LBA: lba, Data: chunk, DataLen: chunkLen, Class: class, Digest: digest, HasDigest: hasDigest, Hint: e.hint}
 	}
 	_, fates, err := f.dev.WriteBatch(ws)
 	if err == nil {
@@ -292,19 +305,35 @@ func (f *FS) writeBatchOnce(e *fileEntry, payload []byte, size, npages int64, cl
 }
 
 // Update rewrites an existing file with new content (same semantics as
-// Create for payload/size).
+// Create for payload/size). The file keeps its stored lifetime bin.
 func (f *FS) Update(id FileID, payload []byte, size int64) error {
 	e, ok := f.byID[id]
 	if !ok {
 		return ErrNotFound
 	}
+	return f.update(e, payload, size)
+}
+
+// UpdateHinted is Update with a freshly predicted lifetime bin: an
+// updated file's remaining lifetime is a new prediction, not the one
+// made at creation.
+func (f *FS) UpdateHinted(id FileID, payload []byte, size int64, hint storage.LifetimeHint) error {
+	e, ok := f.byID[id]
+	if !ok {
+		return ErrNotFound
+	}
+	e.hint = hint
+	return f.update(e, payload, size)
+}
+
+func (f *FS) update(e *fileEntry, payload []byte, size int64) error {
 	if payload != nil {
 		size = int64(len(payload))
 	}
 	if size <= 0 {
 		return ErrBadSize
 	}
-	defer f.enter(id)()
+	defer f.enter(e.id)()
 	if err := f.writePages(e, payload, size, e.class); err != nil {
 		return err
 	}
@@ -414,6 +443,7 @@ type Stat struct {
 	ID      FileID
 	Name    string
 	Class   device.Class
+	Hint    storage.LifetimeHint
 	Size    int64
 	Pages   int
 	Real    bool
@@ -430,7 +460,7 @@ func (f *FS) Stat(id FileID) (Stat, error) {
 		return Stat{}, ErrNotFound
 	}
 	return Stat{
-		ID: e.id, Name: e.name, Class: e.class, Size: e.size,
+		ID: e.id, Name: e.name, Class: e.class, Hint: e.hint, Size: e.size,
 		Pages: len(e.pages), Real: e.real,
 		Created: e.created, Updated: e.updated,
 		Reads: e.reads, Writes: e.writes,

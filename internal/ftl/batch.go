@@ -58,6 +58,8 @@ type batchDesc struct {
 	// Host integrity digest, carried into the OOB tag and mapping.
 	digest    uint64
 	hasDigest bool
+	// Predicted-lifetime bin, routed at place time and persisted in OOB.
+	hint storage.LifetimeHint
 
 	// Phase C/D outcome.
 	err     error
@@ -94,7 +96,7 @@ func (f *FTL) WriteBatch(ops []storage.BatchOp, fates []storage.BatchFate, queue
 		// interposer's plans are op-indexed and unsynchronized, for one.
 		// Run the ops through the serial path in canonical order.
 		for i := range ops {
-			b, p, err := f.writeOne(ops[i].LPA, ops[i].Data, ops[i].DataLen, ops[i].Stream, ops[i].Digest, ops[i].HasDigest)
+			b, p, err := f.writeOne(ops[i].LPA, ops[i].Data, ops[i].DataLen, ops[i].Stream, ops[i].Digest, ops[i].HasDigest, ops[i].Hint)
 			fates[i] = storage.BatchFate{Err: err, Block: b, Page: p}
 		}
 		return
@@ -116,7 +118,7 @@ func (f *FTL) WriteBatch(ops []storage.BatchOp, fates []storage.BatchFate, queue
 			// allocation); no placements are pending here, so every
 			// reclamation hazard is exactly as in the serial design.
 			op := &ops[i]
-			b, p, err := f.writeOne(op.LPA, op.Data, op.DataLen, op.Stream, op.Digest, op.HasDigest)
+			b, p, err := f.writeOne(op.LPA, op.Data, op.DataLen, op.Stream, op.Digest, op.HasDigest, op.Hint)
 			fates[i] = storage.BatchFate{Err: err, Block: b, Page: p}
 			i++
 			continue
@@ -245,14 +247,15 @@ func (f *FTL) placeRun(ops []storage.BatchOp, fates []storage.BatchFate, start i
 			break
 		}
 		id := op.Stream
-		b := f.active[id]
+		slot := aidx(id, op.Hint)
+		b := f.active[slot]
 		if b >= 0 {
 			pages, err := f.chip.PagesIn(b)
 			if err != nil {
 				break // let the serial path surface chip errors
 			}
 			if f.blocks[b].fullPages >= pages {
-				f.active[id] = -1
+				f.active[slot] = -1
 				b = -1
 			}
 		}
@@ -266,11 +269,11 @@ func (f *FTL) placeRun(ops []storage.BatchOp, fates []storage.BatchFate, start i
 				break
 			}
 			f.allocsSinceWL++
-			nb, err := f.allocBlock(id)
+			nb, err := f.allocBlock(id, op.Hint)
 			if err != nil {
 				break
 			}
-			f.active[id] = nb
+			f.active[slot] = nb
 			b = nb
 		}
 		st := &f.blocks[b]
@@ -287,7 +290,7 @@ func (f *FTL) placeRun(ops []storage.BatchOp, fates []storage.BatchFate, start i
 		d := batchDesc{
 			opIdx: idx, lpa: op.LPA, stream: id, dataLen: dataLen,
 			block: b, page: page, serial: f.writeSerial, runPos: -1,
-			digest: op.Digest, hasDigest: op.HasDigest,
+			digest: op.Digest, hasDigest: op.HasDigest, hint: op.Hint,
 		}
 		if op.Data != nil {
 			d.payload = true
@@ -503,7 +506,7 @@ func (f *FTL) execPlane(rp storage.RunProgrammer, p int, idxs []int32) {
 		d.runPos = int32(len(run))
 		run = append(run, flash.ProgramOp{
 			Block: d.block, Page: d.page, Data: d.stored, DataLen: d.storedN, Own: d.payload,
-			Tag: flash.PageTag{LPA: d.lpa, Stream: uint8(d.stream), DataLen: int32(d.dataLen), Serial: d.serial, Digest: d.digest, HasDigest: d.hasDigest},
+			Tag: flash.PageTag{LPA: d.lpa, Stream: uint8(d.stream), DataLen: int32(d.dataLen), Serial: d.serial, Digest: d.digest, HasDigest: d.hasDigest, Hint: uint8(d.hint)},
 		})
 	}
 	bs.planeOps[p] = run
@@ -544,11 +547,14 @@ func (f *FTL) settleDescs(ops []storage.BatchOp, fates []storage.BatchFate) {
 		if d.err == nil {
 			f.hostWrites++
 			f.flashPrograms++
+			if d.hint != storage.HintNone {
+				f.hintedWrites++
+			}
 			f.obs.Record(obs.Event{Kind: obs.EvProgram, LBA: d.lpa, Block: d.block, Page: d.page, Stream: int(d.stream), Aux: int64(d.dataLen)})
 			if old, ok := f.lookup(d.lpa); ok {
 				f.invalidate(old.ppa)
 			}
-			f.setMapping(d.lpa, mapping{ppa: PPA{Block: d.block, Page: d.page}, stream: d.stream, dataLen: d.dataLen, digest: d.digest, hasDigest: d.hasDigest})
+			f.setMapping(d.lpa, mapping{ppa: PPA{Block: d.block, Page: d.page}, stream: d.stream, dataLen: d.dataLen, digest: d.digest, hasDigest: d.hasDigest, hint: d.hint})
 			fates[d.opIdx] = storage.BatchFate{Block: d.block, Page: d.page}
 			continue
 		}
@@ -565,7 +571,7 @@ func (f *FTL) settleDescs(ops []storage.BatchOp, fates []storage.BatchFate) {
 			f.sealFailedBlock(d.block)
 		}
 		op := &ops[d.opIdx]
-		b, p, err := f.writeOne(op.LPA, op.Data, op.DataLen, op.Stream, op.Digest, op.HasDigest)
+		b, p, err := f.writeOne(op.LPA, op.Data, op.DataLen, op.Stream, op.Digest, op.HasDigest, op.Hint)
 		fates[d.opIdx] = storage.BatchFate{Err: err, Block: b, Page: p}
 	}
 }

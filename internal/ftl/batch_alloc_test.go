@@ -79,4 +79,35 @@ func TestWriteBatchZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("steady-state WriteBatch allocates %.1f times per batch, want 0", allocs)
 	}
+
+	// The hinted path must hold the same bound: per-(stream, bin) active
+	// blocks are fixed slots, not maps, so routing ops to four distinct
+	// bins allocates nothing once each bin's active block exists.
+	buildHinted := func() {
+		build()
+		for i := range ops {
+			ops[i].Hint = storage.LifetimeHint(1 + i%4)
+		}
+	}
+	for k := 0; k < 3; k++ {
+		buildHinted()
+		f.WriteBatch(ops, fates, 1, 1)
+		for i := range fates {
+			if fates[i].Err != nil {
+				t.Fatal(fates[i].Err)
+			}
+		}
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		buildHinted()
+		f.WriteBatch(ops, fates, 1, 1)
+		for i := range fates {
+			if fates[i].Err != nil {
+				t.Fatal(fates[i].Err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state hinted WriteBatch allocates %.1f times per batch, want 0", allocs)
+	}
 }

@@ -61,7 +61,8 @@ const DefaultRetireRBER = storage.DefaultRetireRBER
 
 // blockState tracks FTL-side per-block bookkeeping.
 type blockState struct {
-	owner     StreamID // valid when allocated
+	owner     StreamID             // valid when allocated
+	hint      storage.LifetimeHint // lifetime bin the block collects (valid when allocated)
 	allocated bool
 	valid     int // live pages
 	stale     int // superseded pages
@@ -71,6 +72,10 @@ type blockState struct {
 	// progFailed marks a block whose program status failed: no further
 	// programs; GC drains it with priority and it retires at erase.
 	progFailed bool
+	// parks counts consecutive GC victim deferrals (dead-data-aware GC
+	// waiting for predicted-dead pages to actually die); capped so a
+	// wrong prediction cannot stall reclamation forever.
+	parks uint8
 }
 
 // mapping is the L2P entry.
@@ -87,6 +92,10 @@ type mapping struct {
 	// copies it verbatim: it always hashes the original host payload.
 	digest    uint64
 	hasDigest bool
+	// hint mirrors the page's OOB lifetime bin (storage.HintedStore) so
+	// dead-data-aware GC scans it without a chip op. Relocation carries
+	// it verbatim: relocated data keeps its predicted deathtime.
+	hint storage.LifetimeHint
 }
 
 // FTL is the translation layer over a single chip (or any Flash, e.g. a
@@ -128,12 +137,23 @@ type FTL struct {
 	// nothing.
 	bs batchScratch
 
-	blocks    []blockState
-	freePool  []int // erased, unallocated block ids
-	active    []int // active (partially programmed) block per stream; -1 none
-	gcLow     int   // free-pool low-water mark triggering GC
-	reserve   int   // blocks permanently held back (over-provisioning)
-	logicalSz int   // logical payload bytes per page
+	blocks   []blockState
+	freePool []int // erased, unallocated block ids
+	// active holds the active (partially programmed) block per
+	// (stream, lifetime bin) slot, indexed by aidx; -1 means none. The
+	// HintNone column is the pre-hint behavior: unhinted writes see
+	// exactly one active block per stream, as they always did.
+	active    []int
+	gcLow     int // free-pool low-water mark triggering GC
+	reserve   int // blocks permanently held back (over-provisioning)
+	logicalSz int // logical payload bytes per page
+
+	// gcSkip marks blocks the current GC pass deferred (dead-data-aware
+	// victim parking) so re-picks exclude them; gcSkipped lists the
+	// marked blocks for O(parked) clearing. Both are reusable scratch —
+	// see runGC.
+	gcSkip    []bool
+	gcSkipped []int
 
 	// Telemetry.
 	hostWrites    int64 // host-initiated page writes
@@ -150,6 +170,11 @@ type FTL struct {
 	salvagedBytes int64  // logical bytes crystallized as lost by salvage
 	allocsSinceWL int    // rate limiter for static WL checks
 	writeSerial   uint64 // monotone OOB serial for rebuilds
+	// Dead-data-aware GC telemetry (backend-local: storage.Stats is
+	// golden-coupled and must not grow fields).
+	hintedWrites   int64 // writes carrying a non-None lifetime hint
+	deadSkipDefers int64 // GC victims parked awaiting predicted deaths
+	deadSkipPages  int64 // live predicted-dead pages whose relocation was deferred
 
 	// OnCapacityChange, when set, fires after retirement,
 	// resuscitation, or an allocation-time mode switch changes the
@@ -242,7 +267,8 @@ func New(cfg Config) (*FTL, error) {
 		p2l:       make([]int64, cfg.Chip.Blocks()*geo.PagesPerBlock),
 		ppb:       geo.PagesPerBlock,
 		blocks:    make([]blockState, cfg.Chip.Blocks()),
-		active:    make([]int, len(cfg.Streams)),
+		active:    make([]int, len(cfg.Streams)*storage.NumLifetimeHints),
+		gcSkip:    make([]bool, cfg.Chip.Blocks()),
 		gcLow:     low,
 		reserve:   reserve,
 		logicalSz: geo.PageSize,
@@ -322,9 +348,15 @@ func (f *FTL) clearMapping(lpa int64) {
 	}
 }
 
-// allocBlock takes a block from the free pool for the stream, honoring
-// its wear-leveling policy, and sets the operating mode.
-func (f *FTL) allocBlock(id StreamID) (int, error) {
+// aidx maps a (stream, lifetime bin) pair to its active-block slot.
+func aidx(id StreamID, h storage.LifetimeHint) int {
+	return int(id)*storage.NumLifetimeHints + int(h)
+}
+
+// allocBlock takes a block from the free pool for the stream and bin,
+// honoring the stream's wear-leveling policy, and sets the operating
+// mode.
+func (f *FTL) allocBlock(id StreamID, h storage.LifetimeHint) (int, error) {
 	pol := &f.streams[id]
 	if len(f.freePool) == 0 {
 		return -1, ErrNoSpace
@@ -374,18 +406,20 @@ func (f *FTL) allocBlock(id StreamID) (int, error) {
 	}
 	st := &f.blocks[b]
 	st.owner = id
+	st.hint = h
 	st.allocated = true
 	st.valid = 0
 	st.stale = 0
 	st.fullPages = 0
+	st.parks = 0
 	return b, nil
 }
 
-// activeWritable returns the stream's current active block if it still
-// has room, rotating it out when full. Returns -1 when a new allocation
-// is needed.
-func (f *FTL) activeWritable(id StreamID) (int, error) {
-	b := f.active[id]
+// activeWritable returns the (stream, bin) slot's current active block
+// if it still has room, rotating it out when full. Returns -1 when a new
+// allocation is needed.
+func (f *FTL) activeWritable(id StreamID, h storage.LifetimeHint) (int, error) {
+	b := f.active[aidx(id, h)]
 	if b < 0 {
 		return -1, nil
 	}
@@ -397,14 +431,14 @@ func (f *FTL) activeWritable(id StreamID) (int, error) {
 		return b, nil
 	}
 	// Block full; it remains owned by the stream for GC accounting.
-	f.active[id] = -1
+	f.active[aidx(id, h)] = -1
 	return -1, nil
 }
 
-// writableActive returns the stream's active block with space for one
-// more page, allocating or rotating blocks as needed.
-func (f *FTL) writableActive(id StreamID) (int, error) {
-	if b, err := f.activeWritable(id); err != nil || b >= 0 {
+// writableActive returns the (stream, bin) slot's active block with
+// space for one more page, allocating or rotating blocks as needed.
+func (f *FTL) writableActive(id StreamID, h storage.LifetimeHint) (int, error) {
+	if b, err := f.activeWritable(id, h); err != nil || b >= 0 {
 		return b, err
 	}
 	// Reclaim until the pool is healthy or GC stops making progress.
@@ -416,8 +450,8 @@ func (f *FTL) writableActive(id StreamID) (int, error) {
 		}
 	}
 	// GC relocation may have installed a fresh active block for this
-	// stream; reuse it rather than stranding it behind a new allocation.
-	if b, err := f.activeWritable(id); err != nil || b >= 0 {
+	// slot; reuse it rather than stranding it behind a new allocation.
+	if b, err := f.activeWritable(id, h); err != nil || b >= 0 {
 		return b, err
 	}
 	// Host allocations never drain the reserve: those blocks are GC's
@@ -434,16 +468,16 @@ func (f *FTL) writableActive(id StreamID) (int, error) {
 	if f.allocsSinceWL >= staticWLCheckEvery {
 		f.allocsSinceWL = 0
 		f.maybeStaticWL(id)
-		if b, err := f.activeWritable(id); err != nil || b >= 0 {
+		if b, err := f.activeWritable(id, h); err != nil || b >= 0 {
 			// Static WL may have installed an active block.
 			return b, err
 		}
 	}
-	nb, err := f.allocBlock(id)
+	nb, err := f.allocBlock(id, h)
 	if err != nil {
 		return -1, err
 	}
-	f.active[id] = nb
+	f.active[aidx(id, h)] = nb
 	return nb, nil
 }
 
@@ -452,7 +486,7 @@ func (f *FTL) writableActive(id StreamID) (int, error) {
 // (no payload stored; error counts still modelled).
 func (f *FTL) Write(lpa int64, data []byte, dataLen int, id StreamID) error {
 	defer f.flushCapacity()
-	_, _, err := f.writeOne(lpa, data, dataLen, id, 0, false)
+	_, _, err := f.writeOne(lpa, data, dataLen, id, 0, false, storage.HintNone)
 	return err
 }
 
@@ -460,8 +494,28 @@ func (f *FTL) Write(lpa int64, data []byte, dataLen int, id StreamID) error {
 // in the page's OOB tag and mapping (storage.DigestStore).
 func (f *FTL) WriteDigested(lpa int64, data []byte, dataLen int, id StreamID, digest uint64) error {
 	defer f.flushCapacity()
-	_, _, err := f.writeOne(lpa, data, dataLen, id, digest, true)
+	_, _, err := f.writeOne(lpa, data, dataLen, id, digest, true, storage.HintNone)
 	return err
+}
+
+// WriteHinted is WriteDigested plus a predicted-lifetime bin recorded in
+// the page's OOB tag and mapping, routing the page to the stream's
+// per-bin active block (storage.HintedStore). hasDigest false
+// degenerates to an unhinted-digest Write.
+func (f *FTL) WriteHinted(lpa int64, data []byte, dataLen int, id StreamID, digest uint64, hasDigest bool, hint storage.LifetimeHint) error {
+	defer f.flushCapacity()
+	_, _, err := f.writeOne(lpa, data, dataLen, id, digest, hasDigest, hint)
+	return err
+}
+
+// Hint returns the recorded lifetime bin for a mapped lpa
+// (storage.HintedStore).
+func (f *FTL) Hint(lpa int64) (storage.LifetimeHint, bool) {
+	m, ok := f.lookup(lpa)
+	if !ok {
+		return storage.HintNone, false
+	}
+	return m.hint, true
 }
 
 // Digest returns the recorded payload digest for a mapped lpa
@@ -478,7 +532,7 @@ func (f *FTL) Digest(lpa int64) (uint64, bool) {
 // (GC, allocation, and static wear leveling all permitted), mapping
 // update — returning where the page landed. Write wraps it; the batched
 // path falls back to it for ops its placement fast path cannot take.
-func (f *FTL) writeOne(lpa int64, data []byte, dataLen int, id StreamID, digest uint64, hasDigest bool) (int, int, error) {
+func (f *FTL) writeOne(lpa int64, data []byte, dataLen int, id StreamID, digest uint64, hasDigest bool, hint storage.LifetimeHint) (int, int, error) {
 	pol, err := f.policy(id)
 	if err != nil {
 		return -1, -1, err
@@ -502,17 +556,20 @@ func (f *FTL) writeOne(lpa int64, data []byte, dataLen int, id StreamID, digest 
 		storedLen = len(stored)
 	}
 
-	b, page, err := f.programToStream(id, lpa, dataLen, stored, storedLen, digest, hasDigest)
+	b, page, err := f.programToStream(id, lpa, dataLen, stored, storedLen, digest, hasDigest, hint)
 	if err != nil {
 		return -1, -1, err
 	}
 	f.hostWrites++
+	if hint != storage.HintNone {
+		f.hintedWrites++
+	}
 
 	// Supersede the old location.
 	if old, ok := f.lookup(lpa); ok {
 		f.invalidate(old.ppa)
 	}
-	f.setMapping(lpa, mapping{ppa: PPA{Block: b, Page: page}, stream: id, dataLen: dataLen, digest: digest, hasDigest: hasDigest})
+	f.setMapping(lpa, mapping{ppa: PPA{Block: b, Page: page}, stream: id, dataLen: dataLen, digest: digest, hasDigest: hasDigest, hint: hint})
 	return b, page, nil
 }
 
@@ -521,15 +578,20 @@ func (f *FTL) writeOne(lpa int64, data []byte, dataLen int, id StreamID, digest 
 // further programs), flagged for priority draining and retirement, and
 // the write retries on a fresh block. The page carries an OOB tag so a
 // remount can rebuild the mapping tables.
-func (f *FTL) programToStream(id StreamID, lpa int64, dataLen int, stored []byte, storedLen int, digest uint64, hasDigest bool) (blk, page int, err error) {
+func (f *FTL) programToStream(id StreamID, lpa int64, dataLen int, stored []byte, storedLen int, digest uint64, hasDigest bool, hint storage.LifetimeHint) (blk, page int, err error) {
 	const maxAttempts = 4
-	f.writeSerial++
-	tag := flash.PageTag{LPA: lpa, Stream: uint8(id), DataLen: int32(dataLen), Serial: f.writeSerial, Digest: digest, HasDigest: hasDigest}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		b, err := f.writableActive(id)
+		b, err := f.writableActive(id, hint)
 		if err != nil {
 			return -1, -1, err
 		}
+		// The serial is taken only after the destination is secured:
+		// writableActive may run GC, and GC relocations stamp serials of
+		// their own. Stamping earlier would let a relocated stale copy of
+		// this very LPA carry a newer serial than the write being acked —
+		// and win the rebuild election after a crash (silent loss).
+		f.writeSerial++
+		tag := flash.PageTag{LPA: lpa, Stream: uint8(id), DataLen: int32(dataLen), Serial: f.writeSerial, Digest: digest, HasDigest: hasDigest, Hint: uint8(hint)}
 		page := f.blocks[b].fullPages
 		perr := f.chip.ProgramTagged(b, page, stored, storedLen, tag)
 		if perr == nil {
@@ -556,8 +618,8 @@ func (f *FTL) sealBlock(b int) {
 	if info, err := f.chip.Info(b); err == nil {
 		st.fullPages = info.NextPage
 	}
-	if f.active[st.owner] == b {
-		f.active[st.owner] = -1
+	if s := aidx(st.owner, st.hint); f.active[s] == b {
+		f.active[s] = -1
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"sos/internal/flash"
 	"sos/internal/obs"
+	"sos/internal/storage"
 )
 
 // runGC reclaims stale capacity. Fully-dead blocks (no live pages) are
@@ -45,6 +46,23 @@ func (f *FTL) runGC(prefer StreamID) {
 	if victim < 0 {
 		victim = f.pickVictim(-1)
 	}
+	// Dead-data-aware deferral: a victim whose live pages are mostly
+	// predicted to die soon is parked instead of reclaimed — relocating
+	// about-to-be-TRIMmed data never pays for itself. The pass re-picks
+	// among the remaining candidates; parked blocks come back into
+	// consideration next pass (and are force-collected after a bounded
+	// number of parks, so a wrong prediction cannot wedge reclamation).
+	for victim >= 0 && f.deferVictim(victim) {
+		next := f.pickVictim(prefer)
+		if next < 0 {
+			next = f.pickVictim(-1)
+		}
+		victim = next
+	}
+	for _, b := range f.gcSkipped {
+		f.gcSkip[b] = false
+	}
+	f.gcSkipped = f.gcSkipped[:0]
 	if victim < 0 {
 		// No garbage to collect; static wear leveling may still have
 		// work (moving cold data off pristine blocks).
@@ -58,6 +76,50 @@ func (f *FTL) runGC(prefer StreamID) {
 	}
 	f.gcRuns++
 	f.maybeStaticWL(prefer)
+}
+
+// maxVictimParks bounds how many consecutive GC passes may defer the
+// same victim on a predicted-death bet before it is collected anyway.
+const maxVictimParks = 4
+
+// deferVictim decides whether dead-data-aware GC parks this victim for
+// a later pass. The decision is a pure function of OOB-persisted state
+// (per-page lifetime hints mirrored in the mapping) plus pool pressure,
+// so a crash-rebuilt FTL facing the same state defers identically —
+// the recovery contract of DESIGN.md §13. With no hinted writes ever
+// issued the fast path keeps GC byte-identical to pre-hint builds.
+func (f *FTL) deferVictim(b int) bool {
+	if f.hintedWrites == 0 {
+		return false
+	}
+	st := &f.blocks[b]
+	if st.progFailed || st.parks >= maxVictimParks {
+		return false
+	}
+	if len(f.freePool) <= f.reserve+1 {
+		return false // emergency reclamation cannot wait for deaths
+	}
+	// Count live pages predicted to die within days.
+	hot := 0
+	base := b * f.ppb
+	for page := 0; page < st.fullPages; page++ {
+		lpa := f.p2l[base+page]
+		if lpa < 0 {
+			continue
+		}
+		if f.l2p[lpa].hint == storage.HintHot {
+			hot++
+		}
+	}
+	if hot == 0 || hot*2 < st.valid {
+		return false // relocating the minority of soon-dead pages is fine
+	}
+	st.parks++
+	f.deadSkipDefers++
+	f.deadSkipPages += int64(hot)
+	f.gcSkip[b] = true
+	f.gcSkipped = append(f.gcSkipped, b)
+	return true
 }
 
 // staticWLGapFrac is the wear spread (as a fraction of rated endurance)
@@ -136,6 +198,9 @@ func (f *FTL) pickVictim(id StreamID) int {
 		}
 		if f.isActive(b) || f.hasPending(b) {
 			continue
+		}
+		if f.gcSkip[b] {
+			continue // parked this pass by dead-data-aware deferral
 		}
 		if st.progFailed {
 			// Drain failed blocks first: their data must move off the
@@ -269,28 +334,35 @@ func (f *FTL) relocate(lpa int64, dst StreamID) error {
 	// the (possibly decayed) medium — so it keeps describing the bytes
 	// the host wrote. A relocation that crystallizes corruption therefore
 	// leaves a digest mismatch behind for the auditor to find.
-	b, page, err := f.programForRelocation(dst, lpa, m.dataLen, stored, storedLen, m.digest, m.hasDigest)
+	// The lifetime hint travels with the page the same way: relocated
+	// data keeps its predicted deathtime and lands in the destination
+	// stream's matching bin, so same-deathtime data stays co-located
+	// even across GC and demotion moves.
+	b, page, err := f.programForRelocation(dst, lpa, m.dataLen, stored, storedLen, m.digest, m.hasDigest, m.hint)
 	if err != nil {
 		return err
 	}
 	f.gcMoves++
 
 	f.invalidate(m.ppa)
-	f.setMapping(lpa, mapping{ppa: PPA{Block: b, Page: page}, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips, digest: m.digest, hasDigest: m.hasDigest})
+	f.setMapping(lpa, mapping{ppa: PPA{Block: b, Page: page}, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips, digest: m.digest, hasDigest: m.hasDigest, hint: m.hint})
 	return nil
 }
 
 // programForRelocation programs one relocated page, absorbing
 // program-status failures the same way the host write path does.
-func (f *FTL) programForRelocation(dst StreamID, lpa int64, dataLen int, stored []byte, storedLen int, digest uint64, hasDigest bool) (blk, page int, err error) {
+func (f *FTL) programForRelocation(dst StreamID, lpa int64, dataLen int, stored []byte, storedLen int, digest uint64, hasDigest bool, hint storage.LifetimeHint) (blk, page int, err error) {
 	const maxAttempts = 4
-	f.writeSerial++
-	tag := flash.PageTag{LPA: lpa, Stream: uint8(dst), DataLen: int32(dataLen), Serial: f.writeSerial, Digest: digest, HasDigest: hasDigest}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		b, err := f.relocTarget(dst)
+		b, err := f.relocTarget(dst, hint)
 		if err != nil {
 			return -1, -1, err
 		}
+		// Serial stamped after the destination is secured, and afresh per
+		// attempt: a program-status failure can leave a readable tag
+		// behind, and the successful copy must outrank it at rebuild.
+		f.writeSerial++
+		tag := flash.PageTag{LPA: lpa, Stream: uint8(dst), DataLen: int32(dataLen), Serial: f.writeSerial, Digest: digest, HasDigest: hasDigest, Hint: uint8(hint)}
 		page := f.blocks[b].fullPages
 		perr := f.chip.ProgramTagged(b, page, stored, storedLen, tag)
 		if perr == nil {
@@ -309,10 +381,12 @@ func (f *FTL) programForRelocation(dst StreamID, lpa int64, dataLen int, stored 
 		maxAttempts, flash.ErrProgramFail)
 }
 
-// relocTarget returns a writable block for relocation without triggering
-// recursive GC; it may dip into the reserve.
-func (f *FTL) relocTarget(id StreamID) (int, error) {
-	b := f.active[id]
+// relocTarget returns a writable block for relocation in the
+// destination's (stream, bin) slot without triggering recursive GC; it
+// may dip into the reserve.
+func (f *FTL) relocTarget(id StreamID, h storage.LifetimeHint) (int, error) {
+	s := aidx(id, h)
+	b := f.active[s]
 	if b >= 0 {
 		pages, err := f.chip.PagesIn(b)
 		if err != nil {
@@ -321,16 +395,16 @@ func (f *FTL) relocTarget(id StreamID) (int, error) {
 		if f.blocks[b].fullPages < pages {
 			return b, nil
 		}
-		f.active[id] = -1
+		f.active[s] = -1
 	}
 	if len(f.freePool) == 0 {
 		return -1, ErrNoSpace
 	}
-	nb, err := f.allocBlock(id)
+	nb, err := f.allocBlock(id, h)
 	if err != nil {
 		return -1, err
 	}
-	f.active[id] = nb
+	f.active[s] = nb
 	return nb, nil
 }
 
@@ -356,8 +430,9 @@ func (f *FTL) eraseAndFree(b int) error {
 	st.allocated = false
 	st.stale = 0
 	st.fullPages = 0
-	if f.active[owner] == b {
-		f.active[owner] = -1
+	st.parks = 0
+	if s := aidx(owner, st.hint); f.active[s] == b {
+		f.active[s] = -1
 	}
 	f.obs.Record(obs.Event{Kind: obs.EvErase, Block: b, Stream: int(owner)})
 
@@ -607,4 +682,16 @@ func (f *FTL) WriteAmplification() float64 {
 		return 0
 	}
 	return float64(f.flashPrograms) / float64(f.hostWrites)
+}
+
+// HintedWrites returns the number of writes that carried a non-None
+// lifetime hint. Backend-local (storage.Stats is golden-coupled and
+// must not grow fields).
+func (f *FTL) HintedWrites() int64 { return f.hintedWrites }
+
+// DeadSkipStats returns dead-data-aware GC telemetry: victims parked
+// awaiting predicted deaths, and the live predicted-dead pages whose
+// relocation those parks deferred.
+func (f *FTL) DeadSkipStats() (defers, pages int64) {
+	return f.deadSkipDefers, f.deadSkipPages
 }

@@ -6,6 +6,7 @@ import (
 
 	"sos/internal/flash"
 	"sos/internal/obs"
+	"sos/internal/storage"
 )
 
 // ErrNotFresh reports that Rebuild was invoked on an FTL that has
@@ -101,6 +102,9 @@ func (f *FTL) Rebuild() error {
 			if int(tag.Stream) < len(f.streams) {
 				st.owner = StreamID(tag.Stream)
 			}
+			if int(tag.Hint) < storage.NumLifetimeHints {
+				st.hint = storage.LifetimeHint(tag.Hint)
+			}
 			if tag.Serial > maxSerial {
 				maxSerial = tag.Serial
 			}
@@ -130,12 +134,17 @@ func (f *FTL) Rebuild() error {
 		if w.tag.Serial == 0 {
 			continue
 		}
+		hint := storage.LifetimeHint(w.tag.Hint)
+		if int(w.tag.Hint) >= storage.NumLifetimeHints {
+			hint = storage.HintNone
+		}
 		f.setMapping(lpa, mapping{
 			ppa:       w.ppa,
 			stream:    StreamID(w.tag.Stream),
 			dataLen:   int(w.tag.DataLen),
 			digest:    w.tag.Digest,
 			hasDigest: w.tag.HasDigest,
+			hint:      hint,
 		})
 		f.blocks[w.ppa.Block].valid++
 	}
@@ -151,9 +160,10 @@ func (f *FTL) Rebuild() error {
 	}
 	f.writeSerial = maxSerial
 
-	// Pass 3: adopt partially-filled blocks as their stream's active
-	// block (at most one per stream; the rest stay as-is and are
-	// GC-reclaimable once stale).
+	// Pass 3: adopt partially-filled blocks as their (stream, bin)'s
+	// active block (at most one per slot; the rest stay as-is and are
+	// GC-reclaimable once stale). The bin comes from the block's OOB
+	// tags, so hinted placement survives the crash exactly.
 	for i := range f.active {
 		f.active[i] = -1
 	}
@@ -166,8 +176,8 @@ func (f *FTL) Rebuild() error {
 		if err != nil {
 			return err
 		}
-		if st.fullPages < pages && f.active[st.owner] == -1 {
-			f.active[st.owner] = b
+		if s := aidx(st.owner, st.hint); st.fullPages < pages && f.active[s] == -1 {
+			f.active[s] = b
 		}
 	}
 	f.obs.Record(obs.Event{Kind: obs.EvRebuild, Aux: int64(f.mapped)})

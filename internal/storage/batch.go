@@ -26,6 +26,10 @@ type BatchOp struct {
 	// tracks no digests.
 	Digest    uint64
 	HasDigest bool
+	// Hint is the predicted-lifetime bin routing this op to its
+	// per-(stream, bin) active block or zone (see HintedStore). The zero
+	// value HintNone reproduces unhinted placement exactly.
+	Hint LifetimeHint
 }
 
 // BatchFate is the per-op outcome of a batch, in submission order.

@@ -75,6 +75,24 @@ type Config struct {
 	Queues int
 	// Workers bounds batch-internal goroutine use (encode fan-out).
 	Workers int
+	// Hints attaches a lifetime hint to every write, derived as a pure
+	// function of the step's existing fields (no extra RNG draws, so the
+	// workload script and chip-op sequence are unchanged). With hints on,
+	// GC's dead-skip deferral is active during the cut window, and verify
+	// additionally checks that every surviving page's rebuilt OOB hint
+	// matches the generation the read returned.
+	Hints bool
+}
+
+// stepHint derives the lifetime hint for a write step: a pure function
+// of fields the script already carries. The mix is half HintHot so that
+// on the small torture chip GC victims routinely carry a hot majority
+// and the dead-skip deferral actually fires, while the warm and cold
+// slots keep relocation moving more than one bin.
+func stepHint(s step) storage.LifetimeHint {
+	return [...]storage.LifetimeHint{
+		storage.HintHot, storage.HintHot, storage.HintWarm, storage.HintCold,
+	}[(s.lpa+s.seq)%4]
 }
 
 // DefaultConfig returns a torture configuration sized for CI: a small
@@ -119,6 +137,16 @@ type Report struct {
 	// with the recovered content — must be zero (it would make the
 	// integrity auditor cry wolf on healthy data).
 	DigestMismatches int64
+	// HintsVerified counts payload pages whose rebuilt OOB lifetime hint
+	// was checked against the generation the read returned (Hints runs).
+	HintsVerified int64
+	// HintMismatches counts rebuilt hints that disagree with the
+	// surviving generation's — must be zero, or dead-skip GC decisions
+	// would diverge between the pre-crash and rebuilt instances.
+	HintMismatches int64
+	// DeadSkipDefers totals GC victim deferrals observed before the cut
+	// across trials (Hints runs exercise the deferral path; informational).
+	DeadSkipDefers int64
 	// Failures holds diagnostics for the first few violations.
 	Failures []string
 }
@@ -133,6 +161,9 @@ func (r Report) Violations() int {
 		n++
 	}
 	if r.DigestMismatches > 0 {
+		n++
+	}
+	if r.HintMismatches > 0 {
 		n++
 	}
 	return n
@@ -278,6 +309,10 @@ type rec struct {
 	dataLen  int   // acked write's payload length
 	pendLen  int   // in-flight write's payload length
 	trimmed  bool
+	// ackedHint/pendHint mirror the seq pair for Hints runs (HintNone
+	// when hints are off).
+	ackedHint storage.LifetimeHint
+	pendHint  storage.LifetimeHint
 }
 
 // trialResult is one power-cut trial's verdict.
@@ -290,6 +325,9 @@ type trialResult struct {
 	silent    int64
 	digests   int64
 	digestBad int64
+	hints     int64
+	hintBad   int64
+	defers    int64
 	failures  []string
 	// exactly one of these is set on a contract breach
 	recoveryFailure    bool
@@ -315,7 +353,9 @@ const maxBatchOps = 8
 // WriteBatch so cuts land mid-batch; acks then come from per-op fates
 // instead of Write returns, exercising the batched acknowledgement
 // contract under power loss.
-func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []step, queues, workers int) (map[int64]*rec, bool) {
+func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []step, queues, workers int, hints bool) (map[int64]*rec, bool) {
+	hs, hasHS := f.(storage.HintedStore)
+	hints = hints && hasHS
 	recs := map[int64]*rec{}
 	at := func(s step) *rec {
 		r, ok := recs[s.lpa]
@@ -349,11 +389,13 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 			s := bsteps[i]
 			r := at(s)
 			r.pendSeq, r.pendLen = s.seq, s.dataLen
+			r.pendHint = bops[i].Hint
 			err := fates[i].Err
 			if err == nil {
 				r.stream, r.acct = s.stream, s.kind == kAcct
 				r.ackedSeq, r.pendSeq = s.seq, -1
 				r.dataLen = s.dataLen
+				r.ackedHint = bops[i].Hint
 				if s.kind == kWrite {
 					r.trimmed = false
 				}
@@ -374,6 +416,9 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 		if batched && (s.kind == kWrite || s.kind == kAcct) {
 			seq++
 			op := storage.BatchOp{LPA: s.lpa, Stream: s.stream, Seq: seq}
+			if hints {
+				op.Hint = stepHint(s)
+			}
 			if s.kind == kWrite {
 				op.Data = pat(s.lpa, s.seq, s.dataLen)
 				// Digest rides the same program op as the payload, so a
@@ -411,25 +456,38 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 			r := at(s)
 			r.pendSeq, r.pendLen = s.seq, s.dataLen
 			data := pat(s.lpa, s.seq, s.dataLen)
-			if ds, ok := f.(storage.DigestStore); ok {
-				err = ds.WriteDigested(s.lpa, data, 0, s.stream, storage.DigestOf(data))
-			} else {
-				err = f.Write(s.lpa, data, 0, s.stream)
+			switch {
+			case hints:
+				r.pendHint = stepHint(s)
+				err = hs.WriteHinted(s.lpa, data, 0, s.stream, storage.DigestOf(data), true, r.pendHint)
+			default:
+				if ds, ok := f.(storage.DigestStore); ok {
+					err = ds.WriteDigested(s.lpa, data, 0, s.stream, storage.DigestOf(data))
+				} else {
+					err = f.Write(s.lpa, data, 0, s.stream)
+				}
 			}
 			if err == nil {
 				r.stream, r.acct = s.stream, false
 				r.ackedSeq, r.pendSeq = s.seq, -1
 				r.dataLen = s.dataLen
+				r.ackedHint = r.pendHint
 				r.trimmed = false
 			}
 		case kAcct:
 			r := at(s)
 			r.pendSeq = s.seq
-			err = f.Write(s.lpa, nil, s.dataLen, s.stream)
+			if hints {
+				r.pendHint = stepHint(s)
+				err = hs.WriteHinted(s.lpa, nil, s.dataLen, s.stream, 0, false, r.pendHint)
+			} else {
+				err = f.Write(s.lpa, nil, s.dataLen, s.stream)
+			}
 			if err == nil {
 				r.stream, r.acct = s.stream, true
 				r.ackedSeq, r.pendSeq = s.seq, -1
 				r.dataLen = s.dataLen
+				r.ackedHint = r.pendHint
 			}
 		case kTrim:
 			err = f.Trim(s.lpa)
@@ -468,8 +526,10 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 }
 
 // verify checks the recovery contract for every acked LPA.
-func verify(t *trialResult, f storage.Backend, recs map[int64]*rec) {
+func verify(t *trialResult, f storage.Backend, recs map[int64]*rec, hints bool) {
 	ds, hasDS := f.(storage.DigestStore)
+	hs, hasHS := f.(storage.HintedStore)
+	hints = hints && hasHS
 	lpas := make([]int64, 0, len(recs))
 	for lpa := range recs {
 		lpas = append(lpas, lpa)
@@ -505,16 +565,31 @@ func verify(t *trialResult, f storage.Backend, recs map[int64]*rec) {
 		}
 		want := pat(lpa, r.ackedSeq, r.dataLen)
 		ok := bytes.Equal(res.Data, want)
+		wantHint := r.ackedHint
 		if !ok && r.pendSeq >= 0 {
 			// A torn cut may persist the in-flight write unacknowledged;
 			// recovering the strictly newer value is legal.
 			ok = bytes.Equal(res.Data, pat(lpa, r.pendSeq, r.pendLen))
+			wantHint = r.pendHint
 		}
 		if !ok {
 			t.silent += int64(r.dataLen)
 			t.fail("lpa %d (%v): silent content mismatch (acked seq %d, pending %d)",
 				lpa, r.stream, r.ackedSeq, r.pendSeq)
 			continue
+		}
+		if hints {
+			// Hint crash consistency: dead-skip decisions are a pure
+			// function of OOB-persisted hints, so the rebuilt hint must be
+			// the one written with the generation the read just returned
+			// (relocation carries hints verbatim; hint and page share a
+			// program op, so they land or tear together).
+			t.hints++
+			if got, has := hs.Hint(lpa); !has || got != wantHint {
+				t.hintBad++
+				t.fail("lpa %d (%v): rebuilt hint %v (present=%v) != %v of surviving generation",
+					lpa, r.stream, got, has, wantHint)
+			}
 		}
 		if !hasDS {
 			continue
@@ -558,11 +633,14 @@ func runTrial(cfg Config, steps []step, cutOp int64, torn bool) trialResult {
 		return t
 	}
 
-	recs, aborted := replay(f, inj, clock, steps, cfg.Queues, cfg.Workers)
+	recs, aborted := replay(f, inj, clock, steps, cfg.Queues, cfg.Workers, cfg.Hints)
 	if aborted {
 		t.workloadError = true
 		t.fail("replay aborted with non-power-cut error")
 		return t
+	}
+	if ds, ok := f.(interface{ DeadSkipStats() (int64, int64) }); ok {
+		t.defers, _ = ds.DeadSkipStats()
 	}
 
 	// Power restored: remount from the surviving medium alone.
@@ -578,7 +656,7 @@ func runTrial(cfg Config, steps []step, cutOp int64, torn bool) trialResult {
 		t.invariantViolation = true
 		t.fail("invariants after cut at op %d: %v", cutOp, err)
 	}
-	verify(&t, f2, recs)
+	verify(&t, f2, recs, cfg.Hints)
 	return t
 }
 
@@ -601,7 +679,7 @@ func Run(cfg Config) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	if _, aborted := replay(dryBE, dryInj, dryClock, steps, cfg.Queues, cfg.Workers); aborted {
+	if _, aborted := replay(dryBE, dryInj, dryClock, steps, cfg.Queues, cfg.Workers, cfg.Hints); aborted {
 		return Report{}, errors.New("torture: dry run aborted; workload does not fit the medium")
 	}
 	total := dryInj.Ops()
@@ -653,6 +731,9 @@ func Run(cfg Config) (Report, error) {
 		rep.SilentLossBytes += t.silent
 		rep.DigestsVerified += t.digests
 		rep.DigestMismatches += t.digestBad
+		rep.HintsVerified += t.hints
+		rep.HintMismatches += t.hintBad
+		rep.DeadSkipDefers += t.defers
 		for _, note := range t.failures {
 			if len(rep.Failures) < maxFailureNotes {
 				rep.Failures = append(rep.Failures, note)

@@ -187,6 +187,77 @@ func TestDigestStoreCrashConsistency(t *testing.T) {
 	})
 }
 
+// TestHintedCrashMatrix is the placement extension of the matrix: every
+// write carries a lifetime hint (a pure function of the step, cycling
+// all four bins), so GC's dead-skip deferral is active while sampled
+// power cuts land mid-GC and mid-batch (queues > 1). The rebuilt
+// instance must reach the same L2P and digest state — and because
+// deferral decisions are a pure function of OOB-persisted hints, every
+// surviving page's rebuilt hint must match its surviving generation.
+func TestHintedCrashMatrix(t *testing.T) {
+	eachBackend(t, func(t *testing.T, kind storage.Kind) {
+		cfg := DefaultConfig()
+		cfg.Backend = kind
+		cfg.Hints = true
+		cfg.Cuts = 32
+		cfg.Queues = 4
+		cfg.Workers = 4
+		cfg.Parallel = 4
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Recovered != rep.Cuts {
+			t.Errorf("recovered %d of %d cuts; failures: %v", rep.Recovered, rep.Cuts, rep.Failures)
+		}
+		if rep.DigestsVerified == 0 {
+			t.Fatal("no digests verified — hinted writes are not carrying digests")
+		}
+		if rep.HintsVerified == 0 {
+			t.Fatal("no hints verified — writes are not carrying hints")
+		}
+		if rep.HintMismatches != 0 {
+			t.Errorf("rebuilt hints inconsistent: %d mismatches of %d verified; %v",
+				rep.HintMismatches, rep.HintsVerified, rep.Failures)
+		}
+		if rep.DeadSkipDefers == 0 {
+			t.Error("dead-skip never deferred a victim — the hinted matrix is not exercising deferral")
+		}
+		if rep.Violations() != 0 || rep.SysLossBytes != 0 || rep.SilentLossBytes != 0 {
+			t.Errorf("contract violations under hinted replay: %+v", rep)
+		}
+	})
+}
+
+// TestHintedReplayMatchesSerial extends the batch-equivalence pin to
+// hinted writes: the hinted batched path must issue the exact chip-op
+// sequence of the hinted per-op path, so the whole report — including
+// hint verification and dead-skip counts — is identical at Queues=1
+// and Queues=4.
+func TestHintedReplayMatchesSerial(t *testing.T) {
+	eachBackend(t, func(t *testing.T, kind storage.Kind) {
+		cfg := DefaultConfig()
+		cfg.Backend = kind
+		cfg.Hints = true
+		cfg.Ops = 160
+		cfg.Cuts = 10
+
+		serial, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Queues = 4
+		cfg.Workers = 8
+		batched, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, batched) {
+			t.Fatalf("hinted batched replay changed the report:\nserial:  %+v\nbatched: %+v", serial, batched)
+		}
+	})
+}
+
 // TestDeterminism pins that two identical runs agree exactly.
 func TestDeterminism(t *testing.T) {
 	eachBackend(t, func(t *testing.T, kind storage.Kind) {

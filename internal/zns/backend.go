@@ -36,13 +36,20 @@ type Backend struct {
 	zcap   int
 	mapped int
 
-	owner     []storage.StreamID // per zone: stream that opened it
-	live      []int              // per zone: live page count
-	condemned []bool             // per zone: drain with priority, then force offline
-	active    []int              // per stream: open zone taking appends; -1 none
-	gcLow     int                // empty-zone low water triggering GC
-	reserve   int                // zones held back as relocation headroom
+	owner     []storage.StreamID     // per zone: stream that opened it
+	live      []int                  // per zone: live page count
+	condemned []bool                 // per zone: drain with priority, then force offline
+	zhint     []storage.LifetimeHint // per zone: lifetime bin it was opened for
+	zparks    []uint8                // per zone: consecutive GC victim deferrals
+	active    []int                  // per (stream, bin) slot: open zone taking appends; -1 none
+	gcLow     int                    // empty-zone low water triggering GC
+	reserve   int                    // zones held back as relocation headroom
 	logicalSz int
+
+	// gcSkip marks zones deferred as GC victims within one runGC pass;
+	// gcSkipped lists the marked zones so clearing is O(deferred).
+	gcSkip    []bool
+	gcSkipped []int
 
 	// Telemetry (the storage.Stats vocabulary at zone granularity).
 	hostWrites    int64
@@ -55,6 +62,12 @@ type Backend struct {
 	salvagedPages int64
 	salvagedBytes int64
 	writeSerial   uint64
+
+	// Lifetime-hint telemetry: hintedWrites gates the dead-skip GC fast
+	// path (zero hints => pre-hint behavior, byte for byte).
+	hintedWrites   int64
+	deadSkipDefers int64
+	deadSkipPages  int64
 
 	onCapacity func(usablePages int)
 	capDirty   bool
@@ -76,6 +89,9 @@ type zmapping struct {
 	// host payload.
 	digest    uint64
 	hasDigest bool
+	// hint mirrors the page's OOB lifetime bin; relocation carries it
+	// verbatim so same-bin data stays co-located across moves.
+	hint storage.LifetimeHint
 }
 
 // BackendConfig configures the zoned backend. The field vocabulary
@@ -192,7 +208,10 @@ func NewBackend(cfg BackendConfig) (*Backend, error) {
 		owner:     make([]storage.StreamID, nz),
 		live:      make([]int, nz),
 		condemned: make([]bool, nz),
-		active:    make([]int, len(cfg.Streams)),
+		zhint:     make([]storage.LifetimeHint, nz),
+		zparks:    make([]uint8, nz),
+		gcSkip:    make([]bool, nz),
+		active:    make([]int, len(cfg.Streams)*storage.NumLifetimeHints),
 		gcLow:     low,
 		reserve:   reserve,
 		logicalSz: cfg.Chip.Geometry().PageSize,
@@ -210,6 +229,16 @@ var _ storage.Backend = (*Backend)(nil)
 
 // The zoned backend records host digests in OOB tags and mappings.
 var _ storage.DigestStore = (*Backend)(nil)
+
+// The zoned backend routes hinted writes to per-(stream, bin) zones.
+var _ storage.HintedStore = (*Backend)(nil)
+
+// aidx maps a (stream, lifetime-bin) pair to its active-zone slot.
+// aidx(0, HintNone) == 0, so unhinted single-stream state lands exactly
+// where the pre-hint design kept it.
+func aidx(id storage.StreamID, h storage.LifetimeHint) int {
+	return int(id)*storage.NumLifetimeHints + int(h)
+}
 
 // Name identifies the backend kind for telemetry and the -backend flag.
 func (b *Backend) Name() string { return "zns" }
@@ -264,10 +293,12 @@ func (b *Backend) isActive(z int) bool {
 	return false
 }
 
-// openFor opens the best empty zone for the stream: min-wear for
+// openFor opens the best empty zone for the (stream, bin): min-wear for
 // wear-leveled streams, max-wear (keep reusing the hot zones) otherwise
-// — the zone-granular analog of the FTL's allocation policy.
-func (b *Backend) openFor(id storage.StreamID) (int, error) {
+// — the zone-granular analog of the FTL's allocation policy. The bin is
+// recorded on the zone so dead-data-aware GC and crash recovery see the
+// same placement.
+func (b *Backend) openFor(id storage.StreamID, h storage.LifetimeHint) (int, error) {
 	pol := &b.streams[id]
 	best := -1
 	var bestWear float64
@@ -298,27 +329,32 @@ func (b *Backend) openFor(id storage.StreamID) (int, error) {
 		return -1, err
 	}
 	b.owner[best] = id
+	b.zhint[best] = h
+	b.zparks[best] = 0
 	return best, nil
 }
 
-// activeWritable returns the stream's open zone if it still accepts
-// appends (the device seals zones at capacity and on program failure).
-func (b *Backend) activeWritable(id storage.StreamID) (int, error) {
-	z := b.active[id]
+// activeWritable returns the (stream, bin)'s open zone if it still
+// accepts appends (the device seals zones at capacity and on program
+// failure).
+func (b *Backend) activeWritable(id storage.StreamID, h storage.LifetimeHint) (int, error) {
+	s := aidx(id, h)
+	z := b.active[s]
 	if z < 0 {
 		return -1, nil
 	}
 	if b.dev.zones[z].state == ZoneOpen {
 		return z, nil
 	}
-	b.active[id] = -1
+	b.active[s] = -1
 	return -1, nil
 }
 
-// writableZone returns an appendable zone for the stream, reclaiming
-// and opening zones as needed. Host opens never drain the reserve.
-func (b *Backend) writableZone(id storage.StreamID) (int, error) {
-	if z, err := b.activeWritable(id); err != nil || z >= 0 {
+// writableZone returns an appendable zone for the (stream, bin),
+// reclaiming and opening zones as needed. Host opens never drain the
+// reserve.
+func (b *Backend) writableZone(id storage.StreamID, h storage.LifetimeHint) (int, error) {
+	if z, err := b.activeWritable(id, h); err != nil || z >= 0 {
 		return z, err
 	}
 	for b.emptyZones() <= b.gcLow {
@@ -328,45 +364,62 @@ func (b *Backend) writableZone(id storage.StreamID) (int, error) {
 			break
 		}
 	}
-	// GC relocation may have opened a zone for this stream already.
-	if z, err := b.activeWritable(id); err != nil || z >= 0 {
+	// GC relocation may have opened a zone for this slot already.
+	if z, err := b.activeWritable(id, h); err != nil || z >= 0 {
 		return z, err
 	}
 	if b.emptyZones() <= b.reserve {
 		return -1, storage.ErrNoSpace
 	}
-	z, err := b.openFor(id)
+	z, err := b.openFor(id, h)
 	if err != nil {
 		return -1, err
 	}
-	b.active[id] = z
+	b.active[aidx(id, h)] = z
 	return z, nil
 }
 
 // relocZone returns an appendable zone for relocation; it may dip into
 // the reserve but never triggers recursive GC.
-func (b *Backend) relocZone(id storage.StreamID) (int, error) {
-	if z, err := b.activeWritable(id); err != nil || z >= 0 {
+func (b *Backend) relocZone(id storage.StreamID, h storage.LifetimeHint) (int, error) {
+	if z, err := b.activeWritable(id, h); err != nil || z >= 0 {
 		return z, err
 	}
-	z, err := b.openFor(id)
+	z, err := b.openFor(id, h)
 	if err != nil {
 		return -1, err
 	}
-	b.active[id] = z
+	b.active[aidx(id, h)] = z
 	return z, nil
 }
 
 // Write stores data (length <= LogicalPageSize) at lpa under the given
 // stream. A nil data with dataLen > 0 performs an accounting-only write.
 func (b *Backend) Write(lpa int64, data []byte, dataLen int, id storage.StreamID) error {
-	return b.writeTagged(lpa, data, dataLen, id, 0, false)
+	return b.writeTagged(lpa, data, dataLen, id, 0, false, storage.HintNone)
 }
 
 // WriteDigested is Write plus a host-computed payload digest recorded
 // in the page's OOB tag and mapping (storage.DigestStore).
 func (b *Backend) WriteDigested(lpa int64, data []byte, dataLen int, id storage.StreamID, digest uint64) error {
-	return b.writeTagged(lpa, data, dataLen, id, digest, true)
+	return b.writeTagged(lpa, data, dataLen, id, digest, true, storage.HintNone)
+}
+
+// WriteHinted is WriteDigested plus a lifetime bin routing the page to
+// the (stream, bin)'s open zone and persisted in OOB
+// (storage.HintedStore).
+func (b *Backend) WriteHinted(lpa int64, data []byte, dataLen int, id storage.StreamID, digest uint64, hasDigest bool, hint storage.LifetimeHint) error {
+	return b.writeTagged(lpa, data, dataLen, id, digest, hasDigest, hint)
+}
+
+// Hint returns the recorded lifetime bin for a mapped lpa
+// (storage.HintedStore).
+func (b *Backend) Hint(lpa int64) (storage.LifetimeHint, bool) {
+	m, ok := b.lookup(lpa)
+	if !ok {
+		return storage.HintNone, false
+	}
+	return m.hint, true
 }
 
 // Digest returns the recorded payload digest for a mapped lpa
@@ -379,7 +432,7 @@ func (b *Backend) Digest(lpa int64) (uint64, bool) {
 	return m.digest, true
 }
 
-func (b *Backend) writeTagged(lpa int64, data []byte, dataLen int, id storage.StreamID, digest uint64, hasDigest bool) error {
+func (b *Backend) writeTagged(lpa int64, data []byte, dataLen int, id storage.StreamID, digest uint64, hasDigest bool, hint storage.LifetimeHint) error {
 	defer b.flushCapacity()
 	if id < 0 || int(id) >= len(b.streams) {
 		return storage.ErrUnknownStream
@@ -393,14 +446,18 @@ func (b *Backend) writeTagged(lpa int64, data []byte, dataLen int, id storage.St
 	if dataLen <= 0 || dataLen > b.logicalSz {
 		return storage.ErrPayloadSize
 	}
-	b.writeSerial++
-	tag := flash.PageTag{LPA: lpa, Stream: uint8(id), DataLen: int32(dataLen), Serial: b.writeSerial, Digest: digest, HasDigest: hasDigest}
-	z, idx, err := b.appendToStream(id, data, dataLen, tag, true)
+	// Serial left zero here: appendCore stamps it once the destination
+	// zone is secured (GC relocations must not outrank this write).
+	tag := flash.PageTag{LPA: lpa, Stream: uint8(id), DataLen: int32(dataLen), Digest: digest, HasDigest: hasDigest, Hint: uint8(hint)}
+	z, idx, err := b.appendToStream(id, data, dataLen, tag, true, hint)
 	if err != nil {
 		return err
 	}
 	b.hostWrites++
-	b.install(lpa, zmapping{zone: z, idx: idx, stream: id, dataLen: dataLen, digest: digest, hasDigest: hasDigest})
+	if hint != storage.HintNone {
+		b.hintedWrites++
+	}
+	b.install(lpa, zmapping{zone: z, idx: idx, stream: id, dataLen: dataLen, digest: digest, hasDigest: hasDigest, hint: hint})
 	return nil
 }
 
@@ -409,16 +466,16 @@ func (b *Backend) writeTagged(lpa int64, data []byte, dataLen int, id storage.St
 // early (ErrZoneFull below the capacity we pre-checked) and the append
 // retries on a fresh zone — the zone-granular analog of sealing a
 // failed block.
-func (b *Backend) appendToStream(id storage.StreamID, data []byte, dataLen int, tag flash.PageTag, host bool) (zone, idx int, err error) {
-	zone, idx, _, _, err = b.appendCore(id, data, nil, -1, dataLen, tag, host)
+func (b *Backend) appendToStream(id storage.StreamID, data []byte, dataLen int, tag flash.PageTag, host bool, hint storage.LifetimeHint) (zone, idx int, err error) {
+	zone, idx, _, _, err = b.appendCore(id, data, nil, -1, dataLen, tag, host, hint)
 	return zone, idx, err
 }
 
 // appendStoredToStream is appendCore for the batched path: the payload
 // arrives pre-encoded through the zone attribute's scheme (host writes
 // only; relocation always re-encodes device-side).
-func (b *Backend) appendStoredToStream(id storage.StreamID, stored []byte, storedLen, dataLen int, tag flash.PageTag) (zone, idx, blk, page int, err error) {
-	return b.appendCore(id, nil, stored, storedLen, dataLen, tag, true)
+func (b *Backend) appendStoredToStream(id storage.StreamID, stored []byte, storedLen, dataLen int, tag flash.PageTag, hint storage.LifetimeHint) (zone, idx, blk, page int, err error) {
+	return b.appendCore(id, nil, stored, storedLen, dataLen, tag, true, hint)
 }
 
 // appendCore is the shared append-with-retry machinery. storedLen < 0
@@ -427,19 +484,29 @@ func (b *Backend) appendStoredToStream(id storage.StreamID, stored []byte, store
 // payload. It also reports the chip (block, page) the payload landed on
 // (-1/-1 when lookup fails), so batched callers can stamp virtual-time
 // lanes without a second locate.
-func (b *Backend) appendCore(id storage.StreamID, data, stored []byte, storedLen, dataLen int, tag flash.PageTag, host bool) (zn, idx, blk, page int, err error) {
+func (b *Backend) appendCore(id storage.StreamID, data, stored []byte, storedLen, dataLen int, tag flash.PageTag, host bool, hint storage.LifetimeHint) (zn, idx, blk, page int, err error) {
 	const maxAttempts = 4
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		var z int
 		var err error
 		if host {
-			z, err = b.writableZone(id)
+			z, err = b.writableZone(id, hint)
 		} else {
-			z, err = b.relocZone(id)
+			z, err = b.relocZone(id, hint)
 		}
 		if err != nil {
 			return -1, -1, -1, -1, err
 		}
+		// The serial is stamped only after the destination zone is
+		// secured: writableZone may run GC, and GC relocations stamp
+		// serials of their own through this same path. Stamping before
+		// zone selection would let a relocated stale copy of this very
+		// LPA carry a newer serial than the write being acked — and win
+		// the newest-serial rebuild election after a crash (silent loss).
+		// A fresh serial per attempt also keeps a successful retry ahead
+		// of any readable tag a failed program left behind.
+		b.writeSerial++
+		tag.Serial = b.writeSerial
 		var idx int
 		var aerr error
 		if storedLen >= 0 {
@@ -449,8 +516,8 @@ func (b *Backend) appendCore(id storage.StreamID, data, stored []byte, storedLen
 		}
 		if aerr == nil {
 			// The device seals the zone when the append hits capacity.
-			if b.dev.zones[z].state != ZoneOpen && b.active[id] == z {
-				b.active[id] = -1
+			if s := aidx(id, hint); b.dev.zones[z].state != ZoneOpen && b.active[s] == z {
+				b.active[s] = -1
 			}
 			b.flashPrograms++
 			blk, page = -1, -1
@@ -464,7 +531,7 @@ func (b *Backend) appendCore(id storage.StreamID, data, stored []byte, storedLen
 			return -1, -1, -1, -1, fmt.Errorf("zns: append zone %d: %w", z, aerr)
 		}
 		b.progFailures++
-		b.active[id] = -1
+		b.active[aidx(id, hint)] = -1
 	}
 	return -1, -1, -1, -1, fmt.Errorf("zns: %d consecutive program failures: %w", maxAttempts, flash.ErrProgramFail)
 }
@@ -626,6 +693,22 @@ func (b *Backend) runGC(prefer storage.StreamID) {
 	if victim < 0 {
 		victim = b.pickVictim(-1)
 	}
+	// Dead-data-aware deferral: a victim holding mostly hot data (bins
+	// predicting imminent death) is parked — its pages will self-
+	// invalidate, so relocating them now is wasted wear. The decision is
+	// a pure function of OOB-persisted hints plus pool pressure, so a
+	// crash-rebuilt backend reaches it identically.
+	for victim >= 0 && b.deferVictim(victim) {
+		next := b.pickVictim(prefer)
+		if next < 0 {
+			next = b.pickVictim(-1)
+		}
+		victim = next
+	}
+	for _, z := range b.gcSkipped {
+		b.gcSkip[z] = false
+	}
+	b.gcSkipped = b.gcSkipped[:0]
 	if victim < 0 {
 		return
 	}
@@ -635,6 +718,51 @@ func (b *Backend) runGC(prefer storage.StreamID) {
 		return
 	}
 	b.gcRuns++
+}
+
+// maxZoneParks caps consecutive deferrals of one zone, so parked hot
+// data cannot starve reclamation if predictions are wrong.
+const maxZoneParks = 4
+
+// deferVictim decides whether to park zone z instead of reclaiming it.
+// Parking is profitable when at least half the zone's live pages are
+// hot-binned: they are predicted to die (TRIM or overwrite) before the
+// relocation pays for itself. Never defers with no hinted writes (the
+// byte-identity fast path), for condemned zones, past the park cap, or
+// when the empty pool is nearly exhausted.
+func (b *Backend) deferVictim(z int) bool {
+	if b.hintedWrites == 0 {
+		return false
+	}
+	if b.condemned[z] || b.zparks[z] >= maxZoneParks {
+		return false
+	}
+	if b.emptyZones() <= b.reserve+1 {
+		return false // emergency: reclaim whatever we have
+	}
+	hot := 0
+	liveSeen := 0
+	base := z * b.zcap
+	wp := b.dev.zones[z].wp
+	for idx := 0; idx < wp; idx++ {
+		lpa := b.p2l[base+idx]
+		if lpa < 0 {
+			continue
+		}
+		liveSeen++
+		if b.l2p[lpa].hint == storage.HintHot {
+			hot++
+		}
+	}
+	if hot == 0 || hot*2 < liveSeen {
+		return false
+	}
+	b.zparks[z]++
+	b.deadSkipDefers++
+	b.deadSkipPages += int64(hot)
+	b.gcSkip[z] = true
+	b.gcSkipped = append(b.gcSkipped, z)
+	return true
 }
 
 // pickVictim chooses the zone with the most reclaimable space among
@@ -654,6 +782,9 @@ func (b *Backend) pickVictim(id storage.StreamID) int {
 		}
 		if b.isActive(z) {
 			continue
+		}
+		if b.gcSkip[z] {
+			continue // parked this pass by deferVictim
 		}
 		if b.condemned[z] {
 			return z
@@ -719,6 +850,8 @@ func (b *Backend) resetZone(z int) error {
 		b.dev.goOffline(zn)
 	}
 	b.condemned[z] = false
+	b.zhint[z] = storage.HintNone
+	b.zparks[z] = 0
 	if zn.state == ZoneOffline {
 		b.notifyCapacity()
 		for _, blk := range zn.blocks {
@@ -785,14 +918,16 @@ func (b *Backend) relocate(lpa int64, dst storage.StreamID) error {
 	// The digest is copied verbatim — never recomputed from the decoded
 	// payload — so corruption crystallized by this move stays detectable
 	// as a digest mismatch.
-	b.writeSerial++
-	tag := flash.PageTag{LPA: lpa, Stream: uint8(dst), DataLen: int32(m.dataLen), Serial: b.writeSerial, Digest: m.digest, HasDigest: m.hasDigest}
-	z, idx, err := b.appendToStream(dst, data, m.dataLen, tag, false)
+	// The hint moves verbatim with the page, so same-bin data stays
+	// co-located across GC and demotion moves. appendCore stamps the
+	// serial once the destination zone is secured.
+	tag := flash.PageTag{LPA: lpa, Stream: uint8(dst), DataLen: int32(m.dataLen), Digest: m.digest, HasDigest: m.hasDigest, Hint: uint8(m.hint)}
+	z, idx, err := b.appendToStream(dst, data, m.dataLen, tag, false, m.hint)
 	if err != nil {
 		return err
 	}
 	b.gcMoves++
-	b.install(lpa, zmapping{zone: z, idx: idx, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips, digest: m.digest, hasDigest: m.hasDigest})
+	b.install(lpa, zmapping{zone: z, idx: idx, stream: dst, dataLen: m.dataLen, baseFlips: baseFlips, digest: m.digest, hasDigest: m.hasDigest, hint: m.hint})
 	return nil
 }
 
@@ -963,4 +1098,13 @@ func (b *Backend) WriteAmplification() float64 {
 		return 0
 	}
 	return float64(b.flashPrograms) / float64(b.hostWrites)
+}
+
+// HintedWrites returns how many host writes carried a lifetime bin.
+func (b *Backend) HintedWrites() int64 { return b.hintedWrites }
+
+// DeadSkipStats reports dead-data-aware GC activity: victim deferrals
+// and the hot live pages those deferrals declined to relocate.
+func (b *Backend) DeadSkipStats() (defers, pages int64) {
+	return b.deadSkipDefers, b.deadSkipPages
 }

@@ -73,15 +73,19 @@ func (b *Backend) WriteBatch(ops []storage.BatchOp, fates []storage.BatchFate, q
 		} else {
 			storedLen = b.dev.pol[b.attrs[op.Stream]].Scheme.Overhead(dataLen)
 		}
-		b.writeSerial++
-		tag := flash.PageTag{LPA: op.LPA, Stream: uint8(op.Stream), DataLen: int32(dataLen), Serial: b.writeSerial, Digest: op.Digest, HasDigest: op.HasDigest}
-		z, idx, blk, page, err := b.appendStoredToStream(op.Stream, stored, storedLen, dataLen, tag)
+		// Serial left zero: appendCore stamps it once the destination zone
+		// is secured, exactly as the per-op path does.
+		tag := flash.PageTag{LPA: op.LPA, Stream: uint8(op.Stream), DataLen: int32(dataLen), Digest: op.Digest, HasDigest: op.HasDigest, Hint: uint8(op.Hint)}
+		z, idx, blk, page, err := b.appendStoredToStream(op.Stream, stored, storedLen, dataLen, tag, op.Hint)
 		if err != nil {
 			fates[i] = storage.BatchFate{Err: err, Block: -1, Page: -1}
 			continue
 		}
 		b.hostWrites++
-		b.install(op.LPA, zmapping{zone: z, idx: idx, stream: op.Stream, dataLen: dataLen, digest: op.Digest, hasDigest: op.HasDigest})
+		if op.Hint != storage.HintNone {
+			b.hintedWrites++
+		}
+		b.install(op.LPA, zmapping{zone: z, idx: idx, stream: op.Stream, dataLen: dataLen, digest: op.Digest, hasDigest: op.HasDigest, hint: op.Hint})
 		fates[i] = storage.BatchFate{Block: blk, Page: page}
 	}
 }

@@ -147,26 +147,31 @@ func CheckInvariants(b *Backend) error {
 		}
 	}
 
-	// Append targets.
-	for id, z := range b.active {
+	// Append targets: active is indexed per (stream, bin) slot.
+	for slot, z := range b.active {
 		if z < 0 {
 			continue
 		}
+		id := slot / storage.NumLifetimeHints
+		h := storage.LifetimeHint(slot % storage.NumLifetimeHints)
 		if z >= len(d.zones) {
-			return fmt.Errorf("zns: stream %d active zone %d out of range", id, z)
+			return fmt.Errorf("zns: stream %d/%v active zone %d out of range", id, h, z)
 		}
 		zn := &d.zones[z]
 		if zn.state != ZoneOpen {
-			return fmt.Errorf("zns: stream %d active zone %d is %v", id, z, zn.state)
+			return fmt.Errorf("zns: stream %d/%v active zone %d is %v", id, h, z, zn.state)
 		}
 		if b.owner[z] != storage.StreamID(id) {
-			return fmt.Errorf("zns: stream %d active zone %d owned by stream %d", id, z, b.owner[z])
+			return fmt.Errorf("zns: stream %d/%v active zone %d owned by stream %d", id, h, z, b.owner[z])
+		}
+		if b.zhint[z] != h {
+			return fmt.Errorf("zns: stream %d/%v active zone %d holds bin %v", id, h, z, b.zhint[z])
 		}
 		if zn.attr != b.attrs[id] {
-			return fmt.Errorf("zns: stream %d active zone %d has attribute %v, want %v", id, z, zn.attr, b.attrs[id])
+			return fmt.Errorf("zns: stream %d/%v active zone %d has attribute %v, want %v", id, h, z, zn.attr, b.attrs[id])
 		}
 		if b.condemned[z] {
-			return fmt.Errorf("zns: stream %d active zone %d is condemned", id, z)
+			return fmt.Errorf("zns: stream %d/%v active zone %d is condemned", id, h, z)
 		}
 	}
 	return nil

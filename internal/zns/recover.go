@@ -31,6 +31,7 @@ type rcand struct {
 	dataLen   int
 	digest    uint64
 	hasDigest bool
+	hint      storage.LifetimeHint
 }
 
 // rebuild reconstructs zone states and the mapping tables by scanning
@@ -128,6 +129,11 @@ func (nb *Backend) rebuild() error {
 				if int(tag.Stream) < len(nb.streams) {
 					sawStream = storage.StreamID(tag.Stream)
 				}
+				// Zones hold a single bin by construction; any tag's hint
+				// identifies the zone's bin after a crash.
+				if int(tag.Hint) < storage.NumLifetimeHints {
+					nb.zhint[z] = storage.LifetimeHint(tag.Hint)
+				}
 				if tag.Serial > zmax[z] {
 					zmax[z] = tag.Serial
 				}
@@ -143,11 +149,16 @@ func (nb *Backend) rebuild() error {
 					copy(grown, winners)
 					winners = grown
 				}
+				hint := storage.LifetimeHint(tag.Hint)
+				if int(tag.Hint) >= storage.NumLifetimeHints {
+					hint = storage.HintNone
+				}
 				if w := winners[tag.LPA]; w.serial == 0 || tag.Serial > w.serial {
 					winners[tag.LPA] = rcand{
 						serial: tag.Serial, zone: z, idx: idx,
 						stream: storage.StreamID(tag.Stream), dataLen: dataLen,
 						digest: tag.Digest, hasDigest: tag.HasDigest,
+						hint: hint,
 					}
 				}
 			}
@@ -180,30 +191,35 @@ func (nb *Backend) rebuild() error {
 		if w.serial == 0 {
 			continue
 		}
-		nb.install(lpa, zmapping{zone: w.zone, idx: w.idx, stream: w.stream, dataLen: w.dataLen, digest: w.digest, hasDigest: w.hasDigest})
+		nb.install(lpa, zmapping{zone: w.zone, idx: w.idx, stream: w.stream, dataLen: w.dataLen, digest: w.digest, hasDigest: w.hasDigest, hint: w.hint})
 	}
 	nb.writeSerial = maxSerial
 
-	// Adopt the most recently written partially-filled zone per stream
-	// as its append target; seal any other partial zones.
+	// Adopt the most recently written partially-filled zone per
+	// (stream, bin) slot as its append target; seal any other partial
+	// zones. The bin comes from the zone's OOB tags, so hinted placement
+	// survives the crash exactly.
 	for id := range nb.streams {
-		best := -1
-		var bestSerial uint64
-		for z := range d.zones {
-			if d.zones[z].state != ZoneOpen || nb.owner[z] != storage.StreamID(id) {
+		for h := 0; h < storage.NumLifetimeHints; h++ {
+			hint := storage.LifetimeHint(h)
+			best := -1
+			var bestSerial uint64
+			for z := range d.zones {
+				if d.zones[z].state != ZoneOpen || nb.owner[z] != storage.StreamID(id) || nb.zhint[z] != hint {
+					continue
+				}
+				if best < 0 || zmax[z] > bestSerial {
+					best, bestSerial = z, zmax[z]
+				}
+			}
+			if best < 0 {
 				continue
 			}
-			if best < 0 || zmax[z] > bestSerial {
-				best, bestSerial = z, zmax[z]
-			}
-		}
-		if best < 0 {
-			continue
-		}
-		nb.active[id] = best
-		for z := range d.zones {
-			if z != best && d.zones[z].state == ZoneOpen && nb.owner[z] == storage.StreamID(id) {
-				d.zones[z].state = ZoneFull
+			nb.active[aidx(storage.StreamID(id), hint)] = best
+			for z := range d.zones {
+				if z != best && d.zones[z].state == ZoneOpen && nb.owner[z] == storage.StreamID(id) && nb.zhint[z] == hint {
+					d.zones[z].state = ZoneFull
+				}
 			}
 		}
 	}

@@ -205,6 +205,21 @@ func WithAudit(budget int) Option {
 	}
 }
 
+// WithPlacement selects the lifetime-hint policy for new writes.
+// PlacementOff (the default) is byte-identical to a build without
+// placement support; PlacementLongevity trains the days-to-death
+// regressor during assembly.
+func WithPlacement(p Placement) Option {
+	return func(c *Config) error {
+		// Round-tripping through MarshalText rejects unknown policies.
+		if _, err := p.MarshalText(); err != nil {
+			return err
+		}
+		c.Placement = p
+		return nil
+	}
+}
+
 // NewSystem assembles a System from functional options — the preferred
 // construction path since the fleet redesign. Zero options build the
 // default SOS device, exactly like New(Config{}).

@@ -175,4 +175,60 @@ func TestParserNameSetsAgree(t *testing.T) {
 			t.Errorf("profile %q does not round-trip through its String", name)
 		}
 	}
+	if got := len(sos.Placements()); got != 3 {
+		t.Fatalf("Placements() has %d entries, want 3", got)
+	}
+	for _, p := range sos.Placements() {
+		name := p.String()
+		if got, err := sos.ParsePlacement(name); err != nil || got != p {
+			t.Errorf("placement %q does not round-trip through its String", name)
+		}
+	}
+}
+
+// TestParsePlacementRoundTrip mirrors TestParseBackendRoundTrip for the
+// -placement name set shared by sossim and carbonreport.
+func TestParsePlacementRoundTrip(t *testing.T) {
+	for _, p := range sos.Placements() {
+		text, err := p.MarshalText()
+		if err != nil {
+			t.Fatalf("%v: MarshalText: %v", p, err)
+		}
+		got, err := sos.ParsePlacement(string(text))
+		if err != nil || got != p {
+			t.Fatalf("ParsePlacement(%q) = %v, %v; want %v", text, got, err, p)
+		}
+		var u sos.Placement
+		if err := u.UnmarshalText(text); err != nil || u != p {
+			t.Fatalf("UnmarshalText(%q) = %v, %v", text, u, err)
+		}
+	}
+	for in, want := range map[string]sos.Placement{
+		" OFF ":     sos.PlacementOff,
+		"Binary":    sos.PlacementBinary,
+		"Longevity": sos.PlacementLongevity,
+	} {
+		if got, err := sos.ParsePlacement(in); err != nil || got != want {
+			t.Errorf("ParsePlacement(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := sos.ParsePlacement("hot-cold"); err == nil {
+		t.Error("ParsePlacement(hot-cold): want error")
+	}
+}
+
+// TestWithPlacement covers the option path: the policy lands in config,
+// unknown values are rejected, and longevity assembles a working system
+// (regressor trained, bins calibrated) without error.
+func TestWithPlacement(t *testing.T) {
+	sys, err := sos.NewSystem(sos.WithPlacement(sos.PlacementLongevity))
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	if sys.Config.Placement != sos.PlacementLongevity {
+		t.Fatalf("WithPlacement: config %+v", sys.Config)
+	}
+	if _, err := sos.NewSystem(sos.WithPlacement(sos.Placement(42))); err == nil {
+		t.Fatal("WithPlacement(42): want error")
+	}
 }

@@ -158,7 +158,7 @@ func TestSnapshotWithoutObserve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sys.Obs != nil {
+	if sys.Events() != nil {
 		t.Fatal("recorder built without Observe")
 	}
 	if _, err := sys.RunPersonal(5, 0); err != nil {

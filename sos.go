@@ -55,6 +55,29 @@ func Backends() []Backend { return storage.Kinds() }
 // and by JSON fleet configs) routes through the same name set.
 func ParseBackend(s string) (Backend, error) { return storage.ParseKind(s) }
 
+// Placement selects how lifetime hints are derived for new writes:
+// off (the default — byte-identical to a build without hints), binary
+// (reuse the SYS/SPARE score as a two-bin hint), or longevity (the
+// trained days-to-death regressor quantized into deathtime bins).
+// Re-exported so callers need not import internals.
+type Placement = storage.Placement
+
+// Placement policies.
+const (
+	PlacementOff       = storage.PlacementOff
+	PlacementBinary    = storage.PlacementBinary
+	PlacementLongevity = storage.PlacementLongevity
+)
+
+// Placements returns every placement policy in declaration order.
+func Placements() []Placement { return storage.Placements() }
+
+// ParsePlacement maps a placement name ("off", "binary", "longevity";
+// case- and space-insensitive) to its Placement, mirroring
+// ParseBackend. It is the single parser behind every -placement flag:
+// Placement's TextUnmarshaler routes through the same name set.
+func ParsePlacement(s string) (Placement, error) { return storage.ParsePlacement(s) }
+
 // Profile selects a device build.
 type Profile int
 
@@ -179,6 +202,13 @@ type Config struct {
 	// ScrubBudget is the exact number of slice reads per audit pass
 	// (default audit.DefaultBudget). Only meaningful with Audit.
 	ScrubBudget int
+	// Placement selects the lifetime-hint policy for new writes
+	// (default PlacementOff). With PlacementLongevity, build trains a
+	// days-to-death regressor on a synthetic lifetimed corpus (its own
+	// RNG stream, so the classifier corpus is untouched) and calibrates
+	// deathtime bins from the training lifetimes. Off is byte-identical
+	// to a build without placement support.
+	Placement Placement
 }
 
 // System is an assembled SOS (or baseline) stack. The Clock, Device,
@@ -284,6 +314,27 @@ func build(cfg Config) (*System, error) {
 		cls = classify.WithPrefs(cls, *cfg.Prefs)
 	}
 
+	var lifetime classify.LifetimePredictor
+	var bins classify.Bins
+	if cfg.Placement == PlacementLongevity {
+		// Lifetimes ride a dedicated corpus + RNG stream so the
+		// classifier's training draws (seed+0xc0de) are untouched.
+		lrng := sim.NewRNG(cfg.Seed + 0x11fe)
+		corpus, err := classify.GenerateCorpus(lrng, cfg.TrainingFiles)
+		if err != nil {
+			return nil, err
+		}
+		corpus.GenerateLifetimes(lrng)
+		ll := &classify.LinearLifetime{}
+		if err := ll.TrainLifetime(corpus.Metas, corpus.LifetimeDays); err != nil {
+			return nil, err
+		}
+		if bins, err = classify.CalibrateBins(corpus.LifetimeDays); err != nil {
+			return nil, err
+		}
+		lifetime = ll
+	}
+
 	eng, err := core.New(core.Config{
 		FS:                    fsys,
 		Classifier:            cls,
@@ -294,6 +345,9 @@ func build(cfg Config) (*System, error) {
 		Audit:                 cfg.Audit,
 		AuditBudget:           cfg.ScrubBudget,
 		AuditSeed:             cfg.Seed + 0xa0d17,
+		Placement:             cfg.Placement,
+		Lifetime:              lifetime,
+		LifetimeBins:          bins,
 	})
 	if err != nil {
 		return nil, err
