@@ -16,11 +16,13 @@ import (
 	"strconv"
 	"testing"
 
+	"sos/internal/audit"
 	"sos/internal/classify"
 	"sos/internal/device"
 	"sos/internal/ecc"
 	"sos/internal/experiments"
 	"sos/internal/flash"
+	"sos/internal/fs"
 	"sos/internal/ftl"
 	"sos/internal/media"
 	"sos/internal/obs"
@@ -503,6 +505,193 @@ func BenchmarkDeviceWriteSerial(b *testing.B) {
 		if _, err := dev.Write(int64(i%8000), data, 0, device.ClassSys); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchReadDevice builds the PLC SOS device at the given datapath shape
+// and pre-fills `fill` logical pages through the batched write path so
+// read benchmarks run against a fully mapped L2P.
+func benchReadDevice(b *testing.B, queues, planes, readWorkers, fill int) *device.Device {
+	b.Helper()
+	clock := &sim.Clock{}
+	dev, err := device.New(device.Config{
+		Geometry:       device.DefaultGeometry(),
+		Tech:           flash.PLC,
+		Streams:        device.SOSStreams(),
+		Clock:          clock,
+		Seed:           1,
+		EnduranceSigma: 0.1,
+		Queues:         queues,
+		Planes:         planes,
+		Workers:        runtime.GOMAXPROCS(0),
+		ReadWorkers:    readWorkers,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	ws := make([]device.BatchWrite, 64)
+	for at := 0; at < fill; at += len(ws) {
+		n := len(ws)
+		if rem := fill - at; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			ws[j] = device.BatchWrite{LBA: int64(at + j), Data: data, Class: device.ClassSys}
+		}
+		_, fates, err := dev.WriteBatch(ws[:n])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range fates {
+			if fates[j].Err != nil {
+				b.Fatal(fates[j].Err)
+			}
+		}
+	}
+	return dev
+}
+
+// BenchmarkDeviceRead drives the multi-queue batched read path at the
+// gated datapath shape (queues=4, planes=4, read-workers=8): per-plane
+// reads and per-queue RS decode fan out, completions settle in
+// canonical order, and per-op cost is the batch total amortized over
+// its ops. The clean batched path is zero-alloc — the warm-up batch
+// below charges the scratch growth, and the alloc gate in BENCH_PR10
+// keeps it pinned at 0 afterward.
+func BenchmarkDeviceRead(b *testing.B) {
+	const fill = 8000
+	dev := benchReadDevice(b, 4, 4, 8, fill)
+	const batch = 64
+	rds := make([]device.BatchRead, batch)
+	for j := range rds {
+		rds[j] = device.BatchRead{LBA: int64(j)}
+	}
+	dev.ReadBatch(rds) // warm the reusable op/fate/decode scratch
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	lba := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		n := batch
+		if rem := b.N - i; rem < n {
+			n = rem
+		}
+		for j := 0; j < n; j++ {
+			rds[j] = device.BatchRead{LBA: int64(lba % fill)}
+			lba++
+		}
+		_, fates := dev.ReadBatch(rds[:n])
+		for j := range fates {
+			if fates[j].Err != nil {
+				b.Fatal(fates[j].Err)
+			}
+		}
+	}
+}
+
+// BenchmarkDeviceReadSerial is the per-op read path on the same
+// geometry, kept under measurement so the batched read speedup stays an
+// observable ratio rather than replacing its own denominator.
+func BenchmarkDeviceReadSerial(b *testing.B) {
+	const fill = 8000
+	dev := benchReadDevice(b, 1, 1, 1, fill)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dev.Read(int64(i % fill)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGCRelocateBatch measures sustained batched overwrites into a
+// nearly full device under a skewed hot/cold mix, where GC victims hold
+// live cold pages that must relocate through the batched read-run path
+// (one lock acquisition per plane run, pooled program buffers). A
+// uniform round-robin overwrite would invalidate pages in write order
+// and hand GC only fully dead victims (WA 1, zero moves — what
+// BenchmarkDeviceWrite measures); the every-8th cold refresh below
+// keeps ~0.2 relocations riding each host write (WA ≈ 1.2).
+func BenchmarkGCRelocateBatch(b *testing.B) {
+	const fill = 11000   // ~90% of the ~12.2k usable pages: steady GC pressure
+	const hotSpan = 8000 // LBAs below churn fast; the tail above stays live in victims
+	dev := benchReadDevice(b, 4, 4, 8, fill)
+	const batch = 64
+	ws := make([]device.BatchWrite, batch)
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	hot, cold, n := 0, hotSpan, 0
+	nextLBA := func() int64 {
+		n++
+		if n%8 == 0 { // every 8th write refreshes a cold page
+			lba := cold
+			cold++
+			if cold >= fill {
+				cold = hotSpan
+			}
+			return int64(lba)
+		}
+		lba := hot % hotSpan
+		hot++
+		return int64(lba)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		k := batch
+		if rem := b.N - i; rem < k {
+			k = rem
+		}
+		for j := 0; j < k; j++ {
+			ws[j] = device.BatchWrite{LBA: nextLBA(), Data: data, Class: device.ClassSys}
+		}
+		_, fates, err := dev.WriteBatch(ws[:k])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range fates {
+			if fates[j].Err == nil {
+				continue
+			}
+			if errors.Is(fates[j].Err, ftl.ErrNoSpace) {
+				// The PLC medium genuinely wears out at high b.N; renew
+				// it outside the timing and retry the batch so every
+				// counted iteration performs exactly one timed write.
+				b.StopTimer()
+				dev = benchReadDevice(b, 4, 4, 8, fill)
+				b.StartTimer()
+				i -= batch
+				break
+			}
+			b.Fatal(fates[j].Err)
+		}
+	}
+}
+
+// BenchmarkAuditPass measures one budgeted integrity-audit pass: 64
+// sampled slices resolved up front and issued to the device as one
+// batched read, then classified in draw order against their write-time
+// digests. The corpus is 64 real files of 16 pages each.
+func BenchmarkAuditPass(b *testing.B) {
+	dev := benchReadDevice(b, 4, 4, 8, 0)
+	fsys, err := fs.New(dev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 16*4096)
+	for i := 0; i < 64; i++ {
+		if _, err := fsys.Create("f"+strconv.Itoa(i), payload, int64(len(payload)), device.ClassSys); err != nil {
+			b.Fatal(err)
+		}
+	}
+	a := audit.New(audit.Config{FS: fsys, Dev: dev, Seed: 7})
+	a.Pass() // warm the reusable draw/batch/finding scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Pass()
 	}
 }
 

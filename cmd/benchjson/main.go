@@ -11,8 +11,9 @@
 // With -diff it becomes the regression gate behind `make bench-gate`:
 // fresh bench output (stdin or files) is compared against a committed
 // baseline JSON, and any benchmark that got slower than the tolerance
-// allows — or that newly allocates on a zero-alloc path, or that
-// vanished from the run — fails the gate with a non-zero exit.
+// allows — or whose allocs/op or B/op regressed (a zero baseline is an
+// exact contract, a non-zero one may grow by at most the tolerance), or
+// that vanished from the run — fails the gate with a non-zero exit.
 //
 // Usage:
 //
@@ -94,9 +95,10 @@ func main() {
 // list of regressions. The rules:
 //
 //   - ns/op may grow by at most tol (fractional); any speedup passes.
-//   - a baseline of 0 allocs/op is a contract: the current run must
-//     also report 0. Non-zero alloc counts drift with iteration counts
-//     and are only reported, never gated.
+//   - allocs/op and B/op follow the same discipline: a baseline of 0 is
+//     an exact contract (the current run must also report 0), and a
+//     non-zero baseline may grow by at most tol — allocation-count and
+//     footprint regressions gate alongside time.
 //   - a benchmark present in the baseline but missing from the current
 //     run is a regression (coverage silently disappeared). New
 //     benchmarks without a baseline entry are reported, not gated.
@@ -123,11 +125,24 @@ func diff(w io.Writer, base, cur []Result, tol float64) []string {
 				fmt.Sprintf("%s: %.4g ns/op vs baseline %.4g (%+.1f%%, tol %+.0f%%)",
 					b.Name, c.NsPerOp, b.NsPerOp, delta*100, tol*100))
 		}
-		if b.AllocsPerOp != nil && *b.AllocsPerOp == 0 && c.AllocsPerOp != nil && *c.AllocsPerOp != 0 {
-			verdict = "REGRESSED"
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %d allocs/op on a zero-alloc baseline", b.Name, *c.AllocsPerOp))
+		gateMem := func(unit string, bv, cv *int64) {
+			if bv == nil || cv == nil {
+				return
+			}
+			switch {
+			case *bv == 0 && *cv != 0:
+				verdict = "REGRESSED"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %d %s on a zero-%s baseline", b.Name, *cv, unit, unit))
+			case *bv > 0 && float64(*cv)/float64(*bv)-1 > tol:
+				verdict = "REGRESSED"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %d %s vs baseline %d (%+.1f%%, tol %+.0f%%)",
+						b.Name, *cv, unit, *bv, (float64(*cv)/float64(*bv)-1)*100, tol*100))
+			}
 		}
+		gateMem("allocs/op", b.AllocsPerOp, c.AllocsPerOp)
+		gateMem("B/op", b.BytesPerOp, c.BytesPerOp)
 		fmt.Fprintf(w, "%-40s %12.4g -> %12.4g ns/op  %+6.1f%%  %s\n", b.Name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
 		delete(curByName, b.Name)
 	}

@@ -47,27 +47,38 @@ func TestParse(t *testing.T) {
 
 func TestDiff(t *testing.T) {
 	z, one := int64(0), int64(1)
+	b64, b70, a8, a12 := int64(64), int64(70), int64(8), int64(12)
 	base := []Result{
 		{Name: "BenchmarkFast", NsPerOp: 100, AllocsPerOp: &z},
+		{Name: "BenchmarkFootprint", NsPerOp: 100, BytesPerOp: &z},
 		{Name: "BenchmarkGone", NsPerOp: 50},
+		{Name: "BenchmarkMemGrow", NsPerOp: 100, AllocsPerOp: &a8, BytesPerOp: &b64},
 		{Name: "BenchmarkSlow", NsPerOp: 1000},
 		{Name: "BenchmarkWiggle", NsPerOp: 200},
 	}
 	cur := []Result{
-		{Name: "BenchmarkFast", NsPerOp: 90, AllocsPerOp: &one}, // faster but now allocates
-		{Name: "BenchmarkNew", NsPerOp: 10},                     // no baseline: reported only
-		{Name: "BenchmarkSlow", NsPerOp: 1600},                  // +60% > tol
-		{Name: "BenchmarkWiggle", NsPerOp: 240},                 // +20% <= tol
+		{Name: "BenchmarkFast", NsPerOp: 90, AllocsPerOp: &one},                       // faster but now allocates
+		{Name: "BenchmarkFootprint", NsPerOp: 95, BytesPerOp: &b64},                   // bytes on a zero-byte baseline
+		{Name: "BenchmarkMemGrow", NsPerOp: 100, AllocsPerOp: &a12, BytesPerOp: &b70}, // +50% allocs > tol; +9% bytes <= tol
+		{Name: "BenchmarkNew", NsPerOp: 10},                                           // no baseline: reported only
+		{Name: "BenchmarkSlow", NsPerOp: 1600},                                        // +60% > tol
+		{Name: "BenchmarkWiggle", NsPerOp: 240},                                       // +20% <= tol
 	}
 	var out strings.Builder
 	regs := diff(&out, base, cur, 0.25)
-	if len(regs) != 3 {
-		t.Fatalf("got %d regressions, want 3: %v", len(regs), regs)
+	if len(regs) != 5 {
+		t.Fatalf("got %d regressions, want 5: %v", len(regs), regs)
 	}
-	for i, want := range []string{"BenchmarkFast", "BenchmarkGone", "BenchmarkSlow"} {
+	for i, want := range []string{"BenchmarkFast", "BenchmarkFootprint", "BenchmarkGone", "BenchmarkMemGrow", "BenchmarkSlow"} {
 		if !strings.Contains(regs[i], want) {
 			t.Errorf("regression %d = %q, want it to name %s", i, regs[i], want)
 		}
+	}
+	if !strings.Contains(regs[1], "B/op") {
+		t.Errorf("footprint regression should cite B/op: %q", regs[1])
+	}
+	if !strings.Contains(regs[3], "allocs/op") || strings.Contains(regs[3], "B/op") {
+		t.Errorf("mem-growth regression should cite allocs/op only: %q", regs[3])
 	}
 	report := out.String()
 	for _, want := range []string{"BenchmarkWiggle", "ok", "REGRESSED", "no baseline"} {

@@ -60,6 +60,7 @@ func main() {
 	// accepted no-ops — output is byte-identical at every value.
 	flag.Int("queues", 1, "accepted for CLI parity; carbon arithmetic has no datapath")
 	flag.Int("planes", 0, "accepted for CLI parity; carbon arithmetic has no datapath")
+	flag.Int("read-workers", 1, "accepted for CLI parity; carbon arithmetic has no datapath")
 	flag.Bool("audit", false, "accepted for CLI parity; carbon arithmetic stores no data to audit")
 	flag.Int("scrub-budget", 0, "accepted for CLI parity; carbon arithmetic stores no data to audit")
 	// TextVar (not a no-op string) so the flag rejects bad names with the

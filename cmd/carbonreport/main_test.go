@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -150,5 +151,50 @@ func TestRunTrace(t *testing.T) {
 	}
 	if !strings.Contains(lines[0], `"kind":"mark"`) {
 		t.Fatalf("unexpected event %q", lines[0])
+	}
+}
+
+// registeredFlags extracts the flag names a main.go registers, by
+// scanning its source for flag.Xxx("name", ...) / flag.XxxVar(&v,
+// "name", ...) calls. Source-level scanning (rather than running the
+// binary) keeps the test hermetic and catches a flag that was renamed
+// in one CLI but not the other.
+func registeredFlags(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`flag\.[A-Za-z0-9]+\((?:&[\w.\[\]]+,\s*)?"([^"]+)"`)
+	names := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(string(src), -1) {
+		names[m[1]] = true
+	}
+	if len(names) == 0 {
+		t.Fatalf("no flag registrations found in %s", path)
+	}
+	return names
+}
+
+// TestDatapathFlagParity pins the shared datapath flag vocabulary
+// across both CLIs: every knob that shapes (or, for carbonreport,
+// deliberately no-ops on) the simulated datapath must be spelled the
+// same in sossim and carbonreport, so fleet scripts can pass one flag
+// set to either tool.
+func TestDatapathFlagParity(t *testing.T) {
+	shared := []string{
+		"backend", "queues", "planes", "read-workers",
+		"audit", "scrub-budget", "placement",
+		"metrics", "trace", "parallel",
+	}
+	carbon := registeredFlags(t, "main.go")
+	sossim := registeredFlags(t, filepath.Join("..", "sossim", "main.go"))
+	for _, name := range shared {
+		if !carbon[name] {
+			t.Errorf("carbonreport does not register -%s", name)
+		}
+		if !sossim[name] {
+			t.Errorf("sossim does not register -%s", name)
+		}
 	}
 }

@@ -94,3 +94,47 @@ func TestAuditOnByteIdenticalAcrossConcurrency(t *testing.T) {
 		}
 	}
 }
+
+// TestReadWorkersByteIdentical pins the batched read datapath's
+// determinism guarantee at the CLI level: -read-workers only bounds
+// goroutine use in the per-plane read and per-queue decode phases, so
+// the full report and metrics exposition — with and without -audit,
+// whose sampled slice reads ride the same batched path — must be
+// byte-identical at every -read-workers setting for both backends.
+// (Two simulated days keep the 24-cell matrix affordable under -race
+// on small machines; audit passes and GC both fire well within them.)
+func TestReadWorkersByteIdentical(t *testing.T) {
+	for _, backend := range sos.Backends() {
+		for _, audit := range []bool{false, true} {
+			for _, metrics := range []bool{false, true} {
+				var ref []byte
+				var refWorkers int
+				for _, rw := range []int{1, 4, 8} {
+					var buf bytes.Buffer
+					err := simulate(simOpts{
+						Backend: backend, Days: 2, Seed: 7,
+						Queues: 4, Planes: 4, Workers: 4,
+						ReadWorkers: rw,
+						Audit:       audit, ScrubBudget: 32,
+						Metrics: metrics, Out: &buf,
+					})
+					if err != nil {
+						t.Fatalf("%s audit=%v metrics=%v rw=%d: %v", backend, audit, metrics, rw, err)
+					}
+					if ref == nil {
+						ref = append([]byte(nil), buf.Bytes()...)
+						refWorkers = rw
+						continue
+					}
+					if !bytes.Equal(ref, buf.Bytes()) {
+						t.Errorf("%s audit=%v metrics=%v: output at read-workers=%d differs from read-workers=%d",
+							backend, audit, metrics, rw, refWorkers)
+					}
+				}
+				if len(ref) == 0 {
+					t.Fatalf("%s audit=%v metrics=%v: empty output", backend, audit, metrics)
+				}
+			}
+		}
+	}
+}

@@ -56,6 +56,7 @@ func main() {
 	flag.StringVar(&opts.TraceFile, "trace", "", "with -sim: write the telemetry event trace (JSON lines) to this file")
 	flag.IntVar(&opts.Queues, "queues", 1, "submission queues for batched writes (results identical at every value)")
 	flag.IntVar(&opts.Planes, "planes", 0, "chip planes (0 = profile default; each value is a distinct, equally deterministic device)")
+	flag.IntVar(&opts.ReadWorkers, "read-workers", 1, "goroutine bound for batched reads (results identical at every value)")
 	flag.BoolVar(&opts.Audit, "audit", false, "with -sim: enable the end-to-end integrity auditor")
 	flag.IntVar(&opts.ScrubBudget, "scrub-budget", 0, "with -audit: slice reads per audit pass (0 = default)")
 	flag.TextVar(&opts.Placement, "placement", sos.PlacementOff, "lifetime-hint policy for -sim: off|binary|longevity")
@@ -131,11 +132,12 @@ type simOpts struct {
 	Record  string // record the workload trace to this file
 	Replay  string // replay a recorded workload trace
 	Metrics bool   // print the Prometheus exposition instead of the report
-	// Queues/Planes/Workers configure the concurrent datapath; results
-	// are byte-identical at every setting.
-	Queues  int
-	Planes  int
-	Workers int
+	// Queues/Planes/Workers/ReadWorkers configure the concurrent
+	// datapath; results are byte-identical at every setting.
+	Queues      int
+	Planes      int
+	Workers     int
+	ReadWorkers int
 	// TraceFile receives the telemetry event trace as JSON lines.
 	TraceFile string
 	// Audit enables the integrity auditor; ScrubBudget is its per-pass
@@ -160,6 +162,7 @@ func simulate(opts simOpts) error {
 		Queues:      opts.Queues,
 		Planes:      opts.Planes,
 		Workers:     opts.Workers,
+		ReadWorkers: opts.ReadWorkers,
 		Observe:     opts.Metrics || opts.TraceFile != "",
 		Audit:       opts.Audit,
 		ScrubBudget: opts.ScrubBudget,

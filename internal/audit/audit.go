@@ -148,6 +148,23 @@ type Auditor struct {
 	// file list, for mapping a draw to a (file, page) slice.
 	cum  []int64
 	list []fs.Stat
+	// draws/batch are reusable scratch for the batched sampling pass:
+	// every budget draw is resolved up front (the draw sequence is a pure
+	// function of the child RNG, so collecting them first changes
+	// nothing), then issued to the device as one batched read.
+	draws []sliceRef
+	batch []device.BatchRead
+}
+
+// sliceRef is one resolved budget draw: the sampled (file, page) slice
+// and its logical address. ok is false when the file shrank between the
+// snapshot and the draw — the draw still counts against the budget, but
+// nothing is read.
+type sliceRef struct {
+	file int // index into list
+	page int
+	lba  int64
+	ok   bool
 }
 
 // DefaultBudget is the per-pass slice-read budget when none is
@@ -236,6 +253,15 @@ func (a *Auditor) Pass() []Finding {
 		return a.findings
 	}
 
+	// Collect every budget draw up front — the draw sequence is a pure
+	// function of the child RNG, so resolving them before any read is
+	// issued changes nothing — then issue the resolved slices to the
+	// device as one batched read. Sampling is logical (PageLBA) and
+	// reads never remap LBAs, so the resolution cannot go stale
+	// mid-batch; classification and SYS escalation replay in draw order
+	// on the settled results.
+	a.draws = a.draws[:0]
+	a.batch = a.batch[:0]
 	for k := 0; k < a.budget; k++ {
 		draw := child.Int63n(total)
 		// Binary search the cumulative table for the owning file.
@@ -248,26 +274,36 @@ func (a *Auditor) Pass() []Finding {
 				hi = mid
 			}
 		}
-		st := &a.list[lo]
 		page := int(draw)
 		if lo > 0 {
 			page = int(draw - a.cum[lo-1])
 		}
-		a.auditSlice(st, page)
+		lba, ok := a.fsys.PageLBA(a.list[lo].ID, page)
+		a.draws = append(a.draws, sliceRef{file: lo, page: page, lba: lba, ok: ok})
+		if ok {
+			a.batch = append(a.batch, device.BatchRead{LBA: lba})
+		}
+	}
+	_, fates := a.dev.ReadBatch(a.batch)
+	fi := 0
+	for i := range a.draws {
+		d := &a.draws[i]
+		if !d.ok {
+			// The file shrank between the snapshot and the read (cannot
+			// happen mid-pass today; kept for safety). The draw still
+			// counts against the budget — it was issued.
+			continue
+		}
+		f := &fates[fi]
+		fi++
+		a.classifySlice(&a.list[d.file], d.page, d.lba, f.Res, f.Err)
 	}
 	return a.findings
 }
 
-// auditSlice reads one sampled slice through the device's full fault
-// ladder and classifies it.
-func (a *Auditor) auditSlice(st *fs.Stat, page int) {
-	lba, ok := a.fsys.PageLBA(st.ID, page)
-	if !ok {
-		// The file shrank between the snapshot and the read (cannot
-		// happen mid-pass today; kept for safety). The draw still counts
-		// against the budget — it was issued.
-		return
-	}
+// classifySlice classifies one sampled slice from its settled read
+// (already taken through the device's full fault ladder by ReadBatch).
+func (a *Auditor) classifySlice(st *fs.Stat, page int, lba int64, res storage.ReadResult, err error) {
 	a.stats.SlicesScanned++
 	sc := a.scores[st.ID]
 	if sc == nil {
@@ -279,7 +315,6 @@ func (a *Auditor) auditSlice(st *fs.Stat, page int) {
 	cls, sys := a.dev.ClassOf(lba)
 	isSys := sys && cls == device.ClassSys
 
-	res, err := a.dev.Read(lba)
 	v := Clean
 	switch {
 	case err != nil:

@@ -290,11 +290,30 @@ type ReadResult struct {
 
 // ReadFile reads a file, tracking degradation and access recency.
 func (e *Engine) ReadFile(id fs.FileID) (ReadResult, error) {
+	return e.readFile(id, false)
+}
+
+// ReadFileBatch is ReadFile through the device's batched multi-queue
+// read path: all of the file's pages are submitted as one batch
+// (fs.ReadBatch). Results are byte-identical to ReadFile; only the
+// latency model differs (batch makespan instead of per-page sum). The
+// workload runner uses it for read events.
+func (e *Engine) ReadFileBatch(id fs.FileID) (ReadResult, error) {
+	return e.readFile(id, true)
+}
+
+func (e *Engine) readFile(id fs.FileID, batched bool) (ReadResult, error) {
 	st, ok := e.files[id]
 	if !ok {
 		return ReadResult{}, ErrNotTracked
 	}
-	res, err := e.fs.Read(id)
+	var res fs.ReadResult
+	var err error
+	if batched {
+		res, err = e.fs.ReadBatch(id)
+	} else {
+		res, err = e.fs.Read(id)
+	}
 	if err != nil {
 		return ReadResult{}, err
 	}

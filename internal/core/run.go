@@ -120,7 +120,7 @@ func Run(e *Engine, gen workload.Generator, cfg RunConfig) (*RunReport, error) {
 				rep.SkippedReads++
 				continue
 			}
-			if _, err := e.ReadFile(id); err != nil {
+			if _, err := e.ReadFileBatch(id); err != nil {
 				if errors.Is(err, ErrNotTracked) || errors.Is(err, fs.ErrNotFound) {
 					rep.SkippedReads++
 					continue

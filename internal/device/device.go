@@ -84,6 +84,11 @@ type Config struct {
 	Queues  int
 	Planes  int
 	Workers int
+	// ReadWorkers bounds the goroutines the batched read path may use
+	// (default 1, fully serial). Like Queues/Planes/Workers it changes
+	// only wall-clock time — simulated results are identical at every
+	// setting.
+	ReadWorkers int
 	// Fault, when non-nil, interposes a deterministic fault injector
 	// between the FTL and the chip (see internal/fault). Nil keeps the
 	// stack byte-identical to an uninstrumented device.
@@ -154,13 +159,16 @@ type Device struct {
 	// Multi-queue batched submission state: queue/worker counts, the
 	// virtual-time scheduler (one lane per chip plane), the global
 	// submission sequence, and reusable batch scratch.
-	queues   int
-	workers  int
-	vt       *sim.VTScheduler
-	batchSeq uint64
-	bops     []storage.BatchOp
-	bfates   []storage.BatchFate
-	bcomps   []sim.Completion
+	queues      int
+	workers     int
+	readWorkers int
+	vt          *sim.VTScheduler
+	batchSeq    uint64
+	bops        []storage.BatchOp
+	bfates      []storage.BatchFate
+	bcomps      []sim.Completion
+	brops       []storage.BatchReadOp
+	brfates     []storage.BatchReadFate
 
 	readCount  int64
 	writeCount int64
@@ -240,14 +248,19 @@ func New(cfg Config) (*Device, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	readWorkers := cfg.ReadWorkers
+	if readWorkers < 1 {
+		readWorkers = 1
+	}
 	d := &Device{
 		chip: chip, medium: medium, inj: inj,
 		backend: be, clock: clock, latency: lat,
-		obs:        cfg.Obs,
-		queues:     queues,
-		workers:    workers,
-		vt:         sim.NewVTScheduler(chip.Planes()),
-		hardFaults: make([]int, chip.Blocks()),
+		obs:         cfg.Obs,
+		queues:      queues,
+		workers:     workers,
+		readWorkers: readWorkers,
+		vt:          sim.NewVTScheduler(chip.Planes()),
+		hardFaults:  make([]int, chip.Blocks()),
 	}
 	d.wireCapacity()
 	return d, nil
@@ -514,6 +527,9 @@ func (d *Device) Queues() int { return d.queues }
 // Workers returns the configured parallel-phase worker bound.
 func (d *Device) Workers() int { return d.workers }
 
+// ReadWorkers returns the configured batched-read worker bound.
+func (d *Device) ReadWorkers() int { return d.readWorkers }
+
 // WriteBatch stores a burst of logical pages through the multi-queue
 // batched path. Each op gets a global submission sequence number and a
 // submission queue (contiguous Seq chunks — sim.DealQueue), the backend
@@ -692,6 +708,111 @@ func (d *Device) Read(lba int64) (ReadResult, error) {
 	d.readCount++
 	d.obs.ObserveRead(lat, res.DataLen)
 	return ReadResult{ReadResult: res, Latency: lat}, nil
+}
+
+// BatchRead is one logical read in a device batch (see ReadBatch).
+type BatchRead struct {
+	LBA int64
+}
+
+// ReadBatch fetches a burst of logical pages through the multi-queue
+// batched path: each op gets a global submission sequence number and a
+// submission queue (contiguous Seq chunks — sim.DealQueue), the backend
+// reads planes and decodes queues in parallel as its safety rules
+// allow, and completions merge back in canonical (virtual-time, queue,
+// sequence) order. Results are byte-identical to issuing the same reads
+// one at a time in order, at every (queues, read-workers) setting.
+//
+// The device read ladder (retry → relocate → salvage → quarantine)
+// applies per-slice on the settled results in canonical order, so fault
+// semantics are unchanged; on a clean medium no fate ever carries a
+// hard fault and the pass is a no-op.
+//
+// Modelled latency is the batch makespan: each successful read occupies
+// its source block's plane for the stream's read latency on a
+// virtual-time lane, and the returned time is the horizon across lanes.
+// fates[i] is the outcome of rs[i]; the slice — and every payload it
+// carries — is reused/invalidated by the next batch.
+func (d *Device) ReadBatch(rds []BatchRead) (sim.Time, []storage.BatchReadFate) {
+	n := len(rds)
+	if n == 0 {
+		return 0, nil
+	}
+	if cap(d.brops) < n {
+		d.brops = make([]storage.BatchReadOp, n)
+		d.brfates = make([]storage.BatchReadFate, n)
+	}
+	ops := d.brops[:n]
+	fates := d.brfates[:n]
+	seq0 := d.batchSeq + 1
+	for i := range rds {
+		d.batchSeq++
+		ops[i] = storage.BatchReadOp{
+			LPA: rds[i].LBA, Seq: d.batchSeq,
+			Queue: sim.DealQueue(i, n, d.queues),
+		}
+	}
+	if br, ok := d.backend.(storage.BatchReader); ok {
+		br.ReadBatch(ops, fates, d.queues, d.readWorkers)
+	} else {
+		for i := range ops {
+			fates[i] = storage.BatchReadFate{Block: -1, Page: -1}
+			if ppa, _, _, ok := d.backend.Locate(ops[i].LPA); ok {
+				fates[i].Block, fates[i].Page = ppa.Block, ppa.Page
+			}
+			fates[i].Res, fates[i].Err = d.backend.Read(ops[i].LPA)
+		}
+	}
+	// Fault ladder, per slice in canonical order — exactly what Read
+	// does after a hard fault, including relocation and quarantine.
+	for i := range ops {
+		if fates[i].Err == nil || !errors.Is(fates[i].Err, flash.ErrReadFault) {
+			continue
+		}
+		fates[i].Res, fates[i].Err = d.readLadder(ops[i].LPA, fates[i].Err)
+	}
+	// Dispatch successes onto virtual-time lanes in canonical Seq order
+	// (one lane per plane), then merge the completions.
+	d.vt.Reset(0)
+	comps := d.bcomps[:0]
+	for i := range ops {
+		if fates[i].Err != nil {
+			continue
+		}
+		lane := 0
+		if fates[i].Block >= 0 {
+			lane = d.chip.PlaneOf(fates[i].Block)
+		}
+		_, done := d.vt.Dispatch(lane, 0, d.readFateLatency(&fates[i].Res))
+		comps = append(comps, sim.Completion{Done: done, Queue: ops[i].Queue, Seq: ops[i].Seq})
+	}
+	d.bcomps = comps
+	sim.SortCompletions(comps)
+	// Observe in merged completion order — the order a host would see
+	// interrupts — which is itself deterministic at every concurrency.
+	for _, c := range comps {
+		i := int(c.Seq - seq0)
+		d.readCount++
+		d.obs.ObserveRead(d.readFateLatency(&fates[i].Res), fates[i].Res.DataLen)
+	}
+	makespan := d.vt.Horizon()
+	d.busy += makespan
+	return makespan, fates
+}
+
+// readFateLatency models one settled read's latency, exactly as the
+// serial Read path does.
+func (d *Device) readFateLatency(res *ftl.ReadResult) sim.Time {
+	pol := d.backend.Streams()[res.Stream]
+	_, tolerant := pol.Scheme.(ecc.None)
+	if _, det := pol.Scheme.(ecc.DetectOnly); det {
+		tolerant = true
+	}
+	rber := 0.0
+	if res.DataLen > 0 {
+		rber = float64(res.RawFlips) / float64(res.DataLen*8)
+	}
+	return d.latency.ReadLatency(pol.Mode, rber, tolerant)
 }
 
 // Trim discards a logical page.

@@ -220,3 +220,47 @@ func TestRSShortCodeword(t *testing.T) {
 		t.Fatalf("shortened code: got=%v corrected=%d err=%v", got, corrected, err)
 	}
 }
+
+func TestSyndromesSparseMatchesReference(t *testing.T) {
+	// syndromesInto picks a sparse evaluation for nearly-zero codewords
+	// and Horner's rule for dense ones; both must agree with the direct
+	// polynomial evaluation S_i = cw(α^i) at every density, especially
+	// around the sparseSyndromeMax crossover.
+	rng := sim.NewRNG(11)
+	for _, np := range []int{16, 32} {
+		rs, err := NewRS(np)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := make([]byte, np)
+		got := make([]byte, np)
+		for _, nz := range []int{0, 1, 2, 3, sparseSyndromeMax - 1, sparseSyndromeMax, sparseSyndromeMax + 1, 100, 255} {
+			cw := make([]byte, 255)
+			for placed := 0; placed < nz; {
+				p := rng.Intn(len(cw))
+				if cw[p] != 0 {
+					continue
+				}
+				cw[p] = byte(1 + rng.Intn(255))
+				placed++
+			}
+			wantClean := true
+			for i := 0; i < np; i++ {
+				ref[i] = polyEval(cw, gfExp[i])
+				if ref[i] != 0 {
+					wantClean = false
+				}
+			}
+			clean := rs.syndromesInto(got, cw)
+			if clean != wantClean {
+				t.Errorf("np=%d nz=%d: clean=%v, want %v", np, nz, clean, wantClean)
+			}
+			for i := 0; i < np; i++ {
+				if got[i] != ref[i] {
+					t.Errorf("np=%d nz=%d: syndrome %d = %#x, want %#x", np, nz, i, got[i], ref[i])
+					break
+				}
+			}
+		}
+	}
+}

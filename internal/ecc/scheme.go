@@ -62,6 +62,30 @@ func EncodeToBuf(s Scheme, buf, data []byte) ([]byte, error) {
 	return buf[:n], nil
 }
 
+// IntoDecoder is the optional Scheme extension for the batched read
+// path: decode within the stored buffer itself so the clean-read steady
+// state allocates nothing. The returned data aliases stored. Schemes
+// whose Decode already returns an alias of stored (None, DetectOnly)
+// don't need it; DecodeStored falls back to Decode.
+type IntoDecoder interface {
+	// DecodeInPlace recovers data from a stored representation without
+	// allocating on the clean path, correcting errors in place within
+	// stored. The returned data aliases stored.
+	DecodeInPlace(stored []byte) (data []byte, corrected int, err error)
+}
+
+// DecodeStored decodes a stored payload with s, using the scheme's
+// in-place decoder when it has one. For every scheme the stack
+// configures (None, DetectOnly, RS) the clean path allocates nothing;
+// the returned data may alias stored either way, so callers that retain
+// it beyond the buffer's lifetime must copy.
+func DecodeStored(s Scheme, stored []byte) (data []byte, corrected int, err error) {
+	if dec, ok := s.(IntoDecoder); ok {
+		return dec.DecodeInPlace(stored)
+	}
+	return s.Decode(stored)
+}
+
 // None is the no-protection scheme: bits read back exactly as the medium
 // degraded them. This is the paper's approximate storage for SPARE media.
 type None struct{}
@@ -295,6 +319,44 @@ func (s *RSScheme) Decode(stored []byte) ([]byte, int, error) {
 		data = append(data, d...)
 	}
 	return data, corrected, firstErr
+}
+
+// DecodeInPlace implements IntoDecoder: shard-by-shard in-place decode
+// with stack-scratch syndrome checks, compacting the data parts
+// leftward within stored so the result is one contiguous alias of
+// stored[:dataLen]. Clean pages — the overwhelming steady state —
+// allocate nothing; shards that need correction fall back to the
+// allocating BM/Chien/Forney machinery (the error path), which corrects
+// in place before compaction. Like Decode, every shard is processed
+// even after a failure so the caller gets maximally repaired data.
+func (s *RSScheme) DecodeInPlace(stored []byte) (data []byte, corrected int, err error) {
+	full := s.dataShard + s.rs.ParityBytes()
+	pos := 0
+	var firstErr error
+	for off := 0; off < len(stored); off += full {
+		end := off + full
+		if end > len(stored) {
+			end = len(stored)
+		}
+		shard := stored[off:end]
+		if len(shard) <= s.rs.ParityBytes() {
+			return nil, corrected, fmt.Errorf("ecc: truncated RS shard (%d bytes)", len(shard))
+		}
+		d, c, derr := s.rs.DecodeInPlace(shard)
+		if derr != nil && firstErr == nil {
+			firstErr = derr
+		}
+		corrected += c
+		if derr != nil && d == nil {
+			// Malformed shard geometry: nothing usable came back.
+			return nil, corrected, derr
+		}
+		// Compact this shard's data part leftward; the destination never
+		// overtakes the source (pos <= off), so the overlapping copy is
+		// safe.
+		pos += copy(stored[pos:pos+len(d)], d)
+	}
+	return stored[:pos], corrected, firstErr
 }
 
 // Overhead implements Scheme.

@@ -615,6 +615,14 @@ func (c *Chip) Read(b, page int) (ReadResult, error) {
 	pl := c.planeFor(b)
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
+	return c.readLocked(pl, b, page, nil)
+}
+
+// readLocked reads one page under the plane lock. dst, when non-nil,
+// receives the payload instead of a read-ring slot; its capacity must
+// cover the page's stored length (any buffer from TakeProgramBufs
+// does).
+func (c *Chip) readLocked(pl *plane, b, page int, dst []byte) (ReadResult, error) {
 	blk, err := c.checkAddr(b, page)
 	if err != nil {
 		return ReadResult{}, err
@@ -657,11 +665,61 @@ func (c *Chip) Read(b, page int) (ReadResult, error) {
 		RBER:         rber,
 	}
 	if blk.data[page] != nil {
-		out := c.readBuf(pl, len(blk.data[page]))
+		out := dst
+		if out != nil {
+			out = out[:len(blk.data[page])]
+		} else {
+			out = c.readBuf(pl, len(blk.data[page]))
+		}
 		copy(out, blk.data[page])
 		res.Data = out
 	}
 	return res, nil
+}
+
+// ReadOp is one entry of a multi-page read run. Outcomes land in Res
+// and Err per op; a run call never fails as a whole. Dst, when
+// non-nil, receives the payload (capacity must cover the page's stored
+// length — buffers from TakeProgramBufs always do); a nil Dst falls
+// back to the plane's read ring, exactly like Read.
+type ReadOp struct {
+	Block, Page int
+	Dst         []byte
+	Res         ReadResult
+	Err         error
+}
+
+// ReadRunInto executes a run of reads that all target the plane owning
+// ops[0].Block, under a single plane-lock acquisition — the read-side
+// mirror of ProgramRunTagged. Ops execute blindly in order; an op
+// addressing a different plane gets ErrBadAddress without executing.
+//
+// Equivalence with per-op Read calls in the same order is exact,
+// including the plane RNG stream: error injection draws (Poisson
+// increment, bit positions) happen per op in run order, and read
+// telemetry (disturb counters, plane read totals) advances identically.
+func (c *Chip) ReadRunInto(ops []ReadOp) {
+	if len(ops) == 0 {
+		return
+	}
+	b0 := ops[0].Block
+	if b0 < 0 || b0 >= len(c.blocks) {
+		for i := range ops {
+			ops[i].Err = ErrBadAddress
+		}
+		return
+	}
+	pl := c.planeFor(b0)
+	pl.mu.Lock()
+	for i := range ops {
+		op := &ops[i]
+		if op.Block < 0 || op.Block >= len(c.blocks) || c.planeFor(op.Block) != pl {
+			op.Err = ErrBadAddress
+			continue
+		}
+		op.Res, op.Err = c.readLocked(pl, op.Block, op.Page, op.Dst)
+	}
+	pl.mu.Unlock()
 }
 
 // flipBits flips n random bit positions in data (repeats allowed across

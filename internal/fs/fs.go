@@ -67,8 +67,10 @@ type FS struct {
 	// must not delete the file under mutation — they consult Busy().
 	busy FileID
 
-	// batch is the reusable scratch for batched multi-page writes.
-	batch []device.BatchWrite
+	// batch/rbatch are the reusable scratch for batched multi-page
+	// writes and reads.
+	batch  []device.BatchWrite
+	rbatch []device.BatchRead
 }
 
 // New mounts a filesystem on the device.
@@ -385,6 +387,58 @@ func (f *FS) Read(id FileID) (ReadResult, error) {
 				// Salvaged page: the device degraded an unreadable SPARE
 				// page to a hole rather than failing the read. Zero-fill
 				// so the file keeps its length; DegradedPages reports it.
+				out.Data = append(out.Data, make([]byte, res.DataLen)...)
+			} else {
+				out.Data = append(out.Data, res.Data...)
+			}
+		}
+	}
+	e.reads++
+	return out, nil
+}
+
+// ReadBatch fetches a file's full content through the device's batched
+// multi-queue read path: all pages are submitted as one batch, planes
+// read in parallel and queues decode in parallel as the backend's
+// safety rules allow, and the reassembled payload is byte-identical to
+// Read at every (queues, read-workers) setting. Latency is the batch
+// makespan — where plane parallelism shows up in modelled time — rather
+// than Read's per-page sum. Single-page files take the serial path.
+func (f *FS) ReadBatch(id FileID) (ReadResult, error) {
+	e, ok := f.byID[id]
+	if !ok {
+		return ReadResult{}, ErrNotFound
+	}
+	if len(e.pages) <= 1 {
+		return f.Read(id)
+	}
+	var out ReadResult
+	out.Size = e.size
+	out.Pages = len(e.pages)
+	if e.real {
+		out.Data = make([]byte, 0, e.size)
+	}
+	if cap(f.rbatch) < len(e.pages) {
+		f.rbatch = make([]device.BatchRead, len(e.pages))
+	}
+	rds := f.rbatch[:len(e.pages)]
+	for i, lba := range e.pages {
+		rds[i] = device.BatchRead{LBA: lba}
+	}
+	lat, fates := f.dev.ReadBatch(rds)
+	out.Latency = lat
+	for i := range fates {
+		if fates[i].Err != nil {
+			return out, fmt.Errorf("fs: read %q page: %w", e.name, fates[i].Err)
+		}
+		res := &fates[i].Res
+		if res.Degraded {
+			out.DegradedPages++
+		}
+		out.RawFlips += res.RawFlips
+		if e.real {
+			if res.Data == nil && res.DataLen > 0 {
+				// Salvaged page: zero-fill the hole, exactly as Read does.
 				out.Data = append(out.Data, make([]byte, res.DataLen)...)
 			} else {
 				out.Data = append(out.Data, res.Data...)

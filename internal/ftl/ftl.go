@@ -136,6 +136,11 @@ type FTL struct {
 	// reused across WriteBatch calls so steady-state batches allocate
 	// nothing.
 	bs batchScratch
+	// rs is the batched-read scratch, likewise reused across ReadBatch
+	// calls (see readbatch.go).
+	rs readScratch
+	// gcr is the batched GC victim-read scratch (see gc.go).
+	gcr gcReadScratch
 
 	blocks   []blockState
 	freePool []int // erased, unallocated block ids

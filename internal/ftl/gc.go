@@ -4,10 +4,23 @@ import (
 	"errors"
 	"fmt"
 
+	"sos/internal/ecc"
 	"sos/internal/flash"
 	"sos/internal/obs"
 	"sos/internal/storage"
 )
+
+// gcReadScratch is reclaimBatched's reusable state: the victim's live
+// pages, their chip-pool destination buffers, and the read run that
+// fills them. Kept separate from the ReadBatch scratch because GC can
+// run (via escalation-driven relocation) while a previous ReadBatch's
+// returned payloads are still live in their retained buffers.
+type gcReadScratch struct {
+	lpas  []int64
+	sizes []int
+	bufs  [][]byte
+	ops   []flash.ReadOp
+}
 
 // runGC reclaims stale capacity. Fully-dead blocks (no live pages) are
 // erased first — they need no relocation destination, so they are
@@ -241,8 +254,18 @@ func (f *FTL) isActive(b int) bool {
 }
 
 // reclaim moves the victim's live pages to their stream's active block
-// and erases the victim back into the free pool.
+// and erases the victim back into the free pool. When the medium
+// supports read runs, the victim's live pages — all on one plane, the
+// victim's own — are read as a single batched submission under one
+// plane-lock acquisition before the relocations replay in page order;
+// otherwise every page goes through the serial read-then-move path.
 func (f *FTL) reclaim(victim int) error {
+	rr, runs := f.chip.(storage.RunReader)
+	rp, pools := f.chip.(storage.RunProgrammer)
+	pf, planed := f.chip.(storage.PlanedFlash)
+	if runs && pools && planed {
+		return f.reclaimBatched(victim, pf, rr, rp)
+	}
 	st := &f.blocks[victim]
 	base := victim * f.ppb
 	for page := 0; page < st.fullPages; page++ {
@@ -253,6 +276,77 @@ func (f *FTL) reclaim(victim int) error {
 		if err := f.moveLive(lpa); err != nil {
 			return err
 		}
+	}
+	return f.eraseAndFree(victim)
+}
+
+// reclaimBatched is reclaim's batched read path: one chip-pool buffer
+// take, one read run in page order (identical plane RNG draws to
+// per-page reads), then the relocations in the same order, each
+// consuming its pre-read result. Scratch is separate from ReadBatch's
+// (gcr), because GC can run while a ReadBatch's returned payloads are
+// still live in their retained buffers.
+func (f *FTL) reclaimBatched(victim int, pf storage.PlanedFlash, rr storage.RunReader, rp storage.RunProgrammer) error {
+	st := &f.blocks[victim]
+	base := victim * f.ppb
+	g := &f.gcr
+	g.lpas = g.lpas[:0]
+	g.ops = g.ops[:0]
+	g.sizes = g.sizes[:0]
+	for page := 0; page < st.fullPages; page++ {
+		lpa := f.p2l[base+page]
+		if lpa < 0 {
+			continue
+		}
+		m := f.l2p[lpa]
+		pol := &f.streams[m.stream]
+		padded := m.dataLen
+		if _, isHamming := pol.Scheme.(ecc.HammingScheme); isHamming {
+			padded = (m.dataLen + 7) &^ 7
+		}
+		g.lpas = append(g.lpas, lpa)
+		g.sizes = append(g.sizes, pol.Scheme.Overhead(padded))
+		g.ops = append(g.ops, flash.ReadOp{Block: victim, Page: page})
+	}
+	if len(g.lpas) == 0 {
+		return f.eraseAndFree(victim)
+	}
+	n := len(g.lpas)
+	if cap(g.bufs) < n {
+		g.bufs = make([][]byte, n)
+	}
+	plane := pf.PlaneOf(victim)
+	rp.TakeProgramBufs(plane, g.sizes[:n], g.bufs[:n])
+	for k := range g.ops {
+		g.ops[k].Dst = g.bufs[k]
+	}
+	rr.ReadRunInto(g.ops)
+	// Mirror readForRelocate's bounded retry of transient read faults:
+	// unreachable on the bare chip (it never returns ErrReadFault), but a
+	// run-capable fault interposer injects them per op.
+	for k := range g.ops {
+		op := &g.ops[k]
+		for attempt := 1; op.Err != nil && errors.Is(op.Err, flash.ErrReadFault) && attempt < relocReadAttempts; attempt++ {
+			f.relocRetries++
+			op.Res, op.Err = f.chip.Read(op.Block, op.Page)
+		}
+	}
+	var firstErr error
+	for k := 0; k < n; k++ {
+		lpa := g.lpas[k]
+		if err := f.relocateFrom(lpa, f.l2p[lpa].stream, g.ops[k].Res, g.ops[k].Err); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	rp.ReturnProgramBufs(plane, g.bufs[:n])
+	for k := 0; k < n; k++ {
+		g.bufs[k] = nil
+		g.ops[k].Dst = nil
+		g.ops[k].Res = flash.ReadResult{}
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	return f.eraseAndFree(victim)
 }
@@ -288,8 +382,19 @@ func (f *FTL) relocate(lpa int64, dst StreamID) error {
 	if !ok {
 		return ErrUnknownLPA
 	}
-	pol := &f.streams[dst]
 	raw, err := f.readForRelocate(m.ppa)
+	return f.relocateFrom(lpa, dst, raw, err)
+}
+
+// relocateFrom finishes a relocation whose source page has already been
+// read (possibly as part of a batched victim read): salvage, decode,
+// re-encode, program, remap — exactly relocate's tail.
+func (f *FTL) relocateFrom(lpa int64, dst StreamID, raw flash.ReadResult, err error) error {
+	m, ok := f.lookup(lpa)
+	if !ok {
+		return ErrUnknownLPA
+	}
+	pol := &f.streams[dst]
 	if err != nil {
 		if !errors.Is(err, flash.ErrReadFault) || !f.streams[m.stream].Approximate() {
 			return fmt.Errorf("ftl: relocate read %v: %w", m.ppa, err)

@@ -1,0 +1,390 @@
+package ftl
+
+import (
+	"fmt"
+	"sync"
+
+	"sos/internal/ecc"
+	"sos/internal/flash"
+	"sos/internal/obs"
+	"sos/internal/storage"
+)
+
+// Batched multi-queue reads: the read-side mirror of batch.go.
+// ReadBatch is semantically one Read per op in submission (Seq) order,
+// restructured so the expensive parts run concurrently without
+// perturbing any result:
+//
+//	phase A — resolve: one serial pass in canonical order looks up every
+//	                   LPA and sizes a chip-pool destination buffer per
+//	                   mapped op
+//	phase B — read:    per-plane workers execute the resolved reads, one
+//	                   whole-plane run per lock acquisition, each plane's
+//	                   ops in canonical order so the plane RNG draws
+//	                   (error injection) and disturb counters advance
+//	                   exactly as serial reads would
+//	phase C — decode:  per-queue ECC decode, in place within the chip-
+//	                   owned buffers (parallel across queues; output
+//	                   depends only on the bytes, not on scheduling)
+//	phase D — settle:  one serial pass in canonical order applies
+//	                   telemetry and builds each op's result, exactly as
+//	                   Read would have
+//
+// Reads mutate no mapping state, so unlike the write path there is no
+// placement phase and no slow-path fallback mid-batch; the only state
+// reads advance — per-plane RNG streams, read-disturb counters,
+// degraded-read telemetry — is confined to phases B and D, both of
+// which run in canonical per-plane / global order. The structure is
+// identical at every queue and worker count; those only change
+// wall-clock time.
+//
+// Returned payloads alias chip-pool buffers the batch retains; they
+// stay valid until the next ReadBatch call returns them to their
+// plane's pool.
+
+// readDesc is one resolved read, recorded in phase A, executed in
+// phase B, decoded in phase C, settled in phase D.
+type readDesc struct {
+	opIdx     int
+	lpa       int64
+	ppa       PPA
+	stream    StreamID
+	dataLen   int
+	baseFlips int
+	storedN   int // stored (encoded) length, for buffer sizing
+	plane     int32
+	runPos    int32
+
+	dst []byte // chip-pool destination, retained until the next batch
+
+	// Phase B outcome.
+	raw  flash.ReadResult
+	rerr error
+
+	// Phase C outcome.
+	data      []byte
+	corrected int
+	derr      error
+}
+
+// readScratch is ReadBatch's reusable state.
+type readScratch struct {
+	descs    []readDesc
+	planes   int              // plane count of the current medium
+	planeIdx [][]int32        // per-plane descriptor index lists
+	planeOps [][]flash.ReadOp // per-plane read-run scratch
+	sizes    []int            // buffer-take scratch
+	bufs     [][]byte         // buffer-take scratch
+	ret      [][][]byte       // per-plane buffers retained for the caller
+	wg       sync.WaitGroup
+}
+
+var _ storage.BatchReader = (*FTL)(nil)
+
+// ReadBatch implements storage.BatchReader. fates[i] records the
+// outcome of ops[i]; queues is the submission-queue count the ops were
+// dealt across and workers bounds goroutine use. Results are identical
+// for every (queues, workers) pair.
+func (f *FTL) ReadBatch(ops []storage.BatchReadOp, fates []storage.BatchReadFate, queues, workers int) {
+	if len(ops) == 0 {
+		return
+	}
+	pf, planed := f.chip.(storage.PlanedFlash)
+	rr, runs := f.chip.(storage.RunReader)
+	rp, pools := f.chip.(storage.RunProgrammer)
+	if !planed || !runs || !pools {
+		// The medium didn't opt into plane parallelism (the fault
+		// interposer's plans are op-indexed and unsynchronized, for one).
+		// Run the ops through the serial path in canonical order.
+		for i := range ops {
+			fates[i] = storage.BatchReadFate{Block: -1, Page: -1}
+			if m, ok := f.lookup(ops[i].LPA); ok {
+				fates[i].Block, fates[i].Page = m.ppa.Block, m.ppa.Page
+			}
+			fates[i].Res, fates[i].Err = f.Read(ops[i].LPA)
+		}
+		return
+	}
+	if queues < 1 {
+		queues = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	f.ensureReadScratch(len(ops), pf.Planes())
+	f.releaseReadBufs(rp)
+
+	f.resolveReads(ops, fates)
+	f.groupReadPlanes(pf)
+	f.takeReadBufs(rp)
+	f.execReads(rr, workers)
+	f.decodeReads(ops, queues, workers)
+	f.settleReads(fates)
+}
+
+// ensureReadScratch sizes the reusable scratch for a batch of n ops
+// over a medium with the given plane count.
+func (f *FTL) ensureReadScratch(n, planes int) {
+	rs := &f.rs
+	if cap(rs.descs) < n {
+		rs.descs = make([]readDesc, 0, n)
+	}
+	if cap(rs.sizes) < n {
+		rs.sizes = make([]int, n)
+	}
+	if cap(rs.bufs) < n {
+		rs.bufs = make([][]byte, n)
+	}
+	rs.planes = planes
+	for len(rs.planeIdx) < planes {
+		rs.planeIdx = append(rs.planeIdx, nil)
+	}
+	for len(rs.planeOps) < planes {
+		rs.planeOps = append(rs.planeOps, nil)
+	}
+	for len(rs.ret) < planes {
+		rs.ret = append(rs.ret, nil)
+	}
+}
+
+// releaseReadBufs returns the previous batch's retained destination
+// buffers to their plane pools — the point at which the previous
+// batch's returned payloads stop being valid.
+func (f *FTL) releaseReadBufs(rp storage.RunProgrammer) {
+	rs := &f.rs
+	for p := range rs.ret {
+		if len(rs.ret[p]) == 0 {
+			continue
+		}
+		rp.ReturnProgramBufs(p, rs.ret[p])
+		for i := range rs.ret[p] {
+			rs.ret[p][i] = nil
+		}
+		rs.ret[p] = rs.ret[p][:0]
+	}
+}
+
+// resolveReads is phase A: look up every op's mapping in canonical
+// order. Unmapped LPAs get their final fate here; mapped ops get a
+// descriptor carrying everything later phases need, so they never
+// touch the L2P table concurrently.
+func (f *FTL) resolveReads(ops []storage.BatchReadOp, fates []storage.BatchReadFate) {
+	rs := &f.rs
+	rs.descs = rs.descs[:0]
+	for i := range ops {
+		op := &ops[i]
+		fates[i] = storage.BatchReadFate{Block: -1, Page: -1}
+		m, ok := f.lookup(op.LPA)
+		if !ok {
+			fates[i].Err = ErrUnknownLPA
+			continue
+		}
+		fates[i].Block, fates[i].Page = m.ppa.Block, m.ppa.Page
+		pol := &f.streams[m.stream]
+		padded := m.dataLen
+		if _, isHamming := pol.Scheme.(ecc.HammingScheme); isHamming {
+			padded = (m.dataLen + 7) &^ 7
+		}
+		rs.descs = append(rs.descs, readDesc{
+			opIdx: i, lpa: op.LPA, ppa: m.ppa, stream: m.stream,
+			dataLen: m.dataLen, baseFlips: m.baseFlips,
+			storedN: pol.Scheme.Overhead(padded), runPos: -1,
+		})
+	}
+}
+
+// groupReadPlanes buckets the batch's descriptors by owning plane; each
+// bucket keeps canonical (Seq) order, which is what makes per-plane RNG
+// draws identical to serial reads.
+func (f *FTL) groupReadPlanes(pf storage.PlanedFlash) {
+	rs := &f.rs
+	pidx := rs.planeIdx[:rs.planes]
+	for p := range pidx {
+		pidx[p] = pidx[p][:0]
+	}
+	for di := range rs.descs {
+		d := &rs.descs[di]
+		p := pf.PlaneOf(d.ppa.Block)
+		d.plane = int32(p)
+		pidx[p] = append(pidx[p], int32(di))
+	}
+}
+
+// takeReadBufs hands each descriptor a chip-owned destination buffer
+// from its plane's pool — one locked call per plane. Accounting-only
+// pages simply leave theirs unused; every buffer is retained and
+// returned at the start of the next batch, so decoded payloads stay
+// valid for the caller in between.
+func (f *FTL) takeReadBufs(rp storage.RunProgrammer) {
+	rs := &f.rs
+	for p := 0; p < rs.planes; p++ {
+		idxs := rs.planeIdx[p]
+		if len(idxs) == 0 {
+			continue
+		}
+		for k, di := range idxs {
+			rs.sizes[k] = rs.descs[di].storedN
+		}
+		rp.TakeProgramBufs(p, rs.sizes[:len(idxs)], rs.bufs[:len(idxs)])
+		for k, di := range idxs {
+			rs.descs[di].dst = rs.bufs[k]
+			rs.ret[p] = append(rs.ret[p], rs.bufs[k])
+			rs.bufs[k] = nil
+		}
+	}
+}
+
+// execReads is phase B: execute every plane's reads as a single run
+// under one plane-lock acquisition, fanned out across plane workers.
+// Each plane's descriptors run in canonical order, so per-plane RNG
+// draws and disturb counters are identical at every worker count.
+func (f *FTL) execReads(rr storage.RunReader, workers int) {
+	rs := &f.rs
+	if len(rs.descs) == 0 {
+		return
+	}
+	pidx := rs.planeIdx[:rs.planes]
+	nw := workers
+	if nw > rs.planes {
+		nw = rs.planes
+	}
+	if nw <= 1 {
+		for p := range pidx {
+			f.execReadPlane(rr, p, pidx[p])
+		}
+		return
+	}
+	for w := 1; w < nw; w++ {
+		rs.wg.Add(1)
+		f.execReadPlanesAsync(rr, pidx, w, nw)
+	}
+	f.execReadPlanesWorker(rr, pidx, 0, nw)
+	rs.wg.Wait()
+}
+
+// execReadPlanesAsync runs one plane worker on its own goroutine; a
+// method call rather than a closure so the spawn allocates no capture
+// environment.
+func (f *FTL) execReadPlanesAsync(rr storage.RunReader, pidx [][]int32, w, nw int) {
+	go func() {
+		defer f.rs.wg.Done()
+		f.execReadPlanesWorker(rr, pidx, w, nw)
+	}()
+}
+
+// execReadPlanesWorker executes every plane assigned to worker w
+// (static stride assignment: plane p belongs to worker p % nw).
+func (f *FTL) execReadPlanesWorker(rr storage.RunReader, pidx [][]int32, w, nw int) {
+	for p := w; p < len(pidx); p += nw {
+		f.execReadPlane(rr, p, pidx[p])
+	}
+}
+
+// execReadPlane executes one plane's descriptors in canonical order as
+// a single read run under one plane-lock acquisition.
+func (f *FTL) execReadPlane(rr storage.RunReader, p int, idxs []int32) {
+	if len(idxs) == 0 {
+		return
+	}
+	rs := &f.rs
+	run := rs.planeOps[p][:0]
+	for _, di := range idxs {
+		d := &rs.descs[di]
+		d.runPos = int32(len(run))
+		run = append(run, flash.ReadOp{Block: d.ppa.Block, Page: d.ppa.Page, Dst: d.dst})
+	}
+	rs.planeOps[p] = run
+	rr.ReadRunInto(run)
+	for _, di := range idxs {
+		d := &rs.descs[di]
+		d.raw = run[d.runPos].Res
+		d.rerr = run[d.runPos].Err
+	}
+}
+
+// decodeReads is phase C: decode every payload read through its
+// stream's ECC scheme, in place within the chip-owned buffer, parallel
+// across queues when workers allow. Each descriptor writes only its own
+// buffer and its own fields, so queues share nothing. Decoding is a
+// pure function of the bytes phase B produced; telemetry waits for the
+// serial settle.
+func (f *FTL) decodeReads(ops []storage.BatchReadOp, queues, workers int) {
+	rs := &f.rs
+	if workers > 1 && queues > 1 {
+		for q := 1; q < queues; q++ {
+			rs.wg.Add(1)
+			f.decodeReadsAsync(ops, q, queues)
+		}
+		f.decodeReadQueue(ops, 0, queues)
+		rs.wg.Wait()
+		return
+	}
+	for q := 0; q < queues; q++ {
+		f.decodeReadQueue(ops, q, queues)
+	}
+}
+
+// decodeReadsAsync runs decodeReadQueue on its own goroutine.
+func (f *FTL) decodeReadsAsync(ops []storage.BatchReadOp, q, queues int) {
+	go func() {
+		defer f.rs.wg.Done()
+		f.decodeReadQueue(ops, q, queues)
+	}()
+}
+
+// decodeReadQueue decodes queue q's payload descriptors.
+func (f *FTL) decodeReadQueue(ops []storage.BatchReadOp, q, queues int) {
+	rs := &f.rs
+	for di := range rs.descs {
+		d := &rs.descs[di]
+		if d.rerr != nil || d.raw.Data == nil {
+			continue
+		}
+		oq := ops[d.opIdx].Queue
+		if oq < 0 || oq >= queues {
+			oq = 0
+		}
+		if oq != q {
+			continue
+		}
+		pol := &f.streams[d.stream]
+		d.data, d.corrected, d.derr = ecc.DecodeStored(pol.Scheme, d.raw.Data)
+	}
+}
+
+// settleReads is phase D: one serial pass in canonical order applies
+// telemetry and builds each op's result, field for field what Read
+// would have produced.
+func (f *FTL) settleReads(fates []storage.BatchReadFate) {
+	rs := &f.rs
+	for di := range rs.descs {
+		d := &rs.descs[di]
+		if d.rerr != nil {
+			fates[d.opIdx].Err = fmt.Errorf("ftl: read %v: %w", d.ppa, d.rerr)
+			continue
+		}
+		f.obs.Record(obs.Event{Kind: obs.EvRead, LBA: d.lpa, Block: d.ppa.Block, Page: d.ppa.Page, Stream: int(d.stream), Aux: int64(d.dataLen)})
+		res := ReadResult{DataLen: d.dataLen, RawFlips: d.baseFlips + d.raw.FlippedTotal, Stream: d.stream}
+		if d.raw.Data == nil {
+			// Accounting-only: estimate decodability from the flip count,
+			// including corruption crystallized across relocations.
+			pol := &f.streams[d.stream]
+			res.Degraded = !pol.Scheme.EstimateDecode(d.baseFlips+d.raw.FlippedTotal, d.dataLen)
+			if res.Degraded {
+				f.degradedReads++
+			}
+		} else {
+			data := d.data
+			if len(data) > d.dataLen {
+				data = data[:d.dataLen] // strip alignment padding
+			}
+			res.Data = data
+			res.Corrected = d.corrected
+			if d.derr != nil {
+				res.Degraded = true
+				f.degradedReads++
+			}
+		}
+		fates[d.opIdx].Res = res
+	}
+}

@@ -65,6 +65,57 @@ type PlanedFlash interface {
 	PlaneOf(b int) int
 }
 
+// BatchReadOp is one logical read inside a batch. Seq/Queue are
+// assigned by the device before the backend sees the batch, exactly as
+// for BatchOp (contiguous Seq chunks per queue — see sim.DealQueue).
+type BatchReadOp struct {
+	LPA   int64
+	Seq   uint64
+	Queue int
+}
+
+// BatchReadFate is the per-op outcome of a read batch, in submission
+// order. Res/Err are exactly what the backend's per-op Read would have
+// returned for the same LPA at the same point in the op sequence.
+// Block/Page report the physical page the read resolved to (-1 when the
+// LPA was unmapped), so the device layer can lane the completion onto
+// the owning plane's virtual-time timeline.
+type BatchReadFate struct {
+	Res   ReadResult
+	Err   error
+	Block int
+	Page  int
+}
+
+// BatchReader is the optional Backend extension for batched multi-queue
+// reads: the read-side mirror of BatchWriter. ReadBatch resolves,
+// reads, and decodes every op (semantically equivalent to calling Read
+// op-by-op in Seq order) and records each op's fate in fates[i] for
+// ops[i]. queues is the number of submission queues the ops were dealt
+// across; workers bounds the goroutines used for the parallel phases
+// (<=1 runs everything on the caller's goroutine). Neither may change
+// the resulting state — mappings, telemetry, and the plane RNG streams
+// land exactly where serial reads would leave them.
+//
+// Returned payloads alias chip-owned buffers that remain valid until
+// the backend's next batched or per-op read; callers that retain them
+// longer must copy.
+type BatchReader interface {
+	ReadBatch(ops []BatchReadOp, fates []BatchReadFate, queues, workers int)
+}
+
+// RunReader is the optional PlanedFlash extension for executing a whole
+// run of same-plane reads under one plane-lock acquisition.
+// *flash.Chip implements it; batched readers that find it (alongside
+// RunProgrammer's buffer pool) issue one call per plane per run,
+// reading payloads straight into caller-provided buffers. Per-op
+// results, error injection, and the plane RNG stream are identical to
+// issuing the same reads through Read one by one in the same per-plane
+// order.
+type RunReader interface {
+	ReadRunInto(ops []flash.ReadOp)
+}
+
 // RunProgrammer is the optional PlanedFlash extension for executing a
 // whole run of same-plane programs under one plane-lock acquisition.
 // *flash.Chip implements it; batched writers that find it use one call

@@ -44,8 +44,15 @@ import (
 	"sos/internal/storage"
 )
 
-// The injector must remain drop-in flash for either backend.
-var _ storage.Flash = (*fault.Injector)(nil)
+// The injector must remain drop-in flash for either backend; the run
+// variant must additionally satisfy the batched medium gate so backends
+// take their batched read/GC paths under fault injection.
+var (
+	_ storage.Flash         = (*fault.Injector)(nil)
+	_ storage.PlanedFlash   = (*fault.RunInjector)(nil)
+	_ storage.RunReader     = (*fault.RunInjector)(nil)
+	_ storage.RunProgrammer = (*fault.RunInjector)(nil)
+)
 
 // Config parameterizes a torture run. The zero value is invalid; use
 // DefaultConfig as a base.
@@ -75,6 +82,14 @@ type Config struct {
 	Queues int
 	// Workers bounds batch-internal goroutine use (encode fan-out).
 	Workers int
+	// ReadWorkers > 1 wraps the medium with fault.NewRuns, exposing the
+	// batched run surface: both backends then take their batched GC
+	// victim-read path (power cuts land inside batched relocation), and
+	// consecutive host reads ride ReadBatch with this worker bound. The
+	// run injector reports a single plane and applies the fault schedule
+	// one page op at a time in run order, so the chip-op sequence — the
+	// cut-index space — stays deterministic at any worker count.
+	ReadWorkers int
 	// Hints attaches a lifetime hint to every write, derived as a pure
 	// function of the step's existing fields (no extra RNG draws, so the
 	// workload script and chip-op sequence are unchanged). With hints on,
@@ -283,6 +298,18 @@ func tortureStreams() ([]storage.StreamPolicy, error) {
 	}, nil
 }
 
+// newInjector wraps the trial chip per the config: ReadWorkers > 1 opts
+// into the batched run surface (see Config.ReadWorkers), otherwise the
+// plain injector keeps every backend on its serial medium paths.
+func newInjector(cfg Config, chip *flash.Chip, plan fault.Plan) (*fault.Injector, storage.Flash) {
+	if cfg.ReadWorkers > 1 {
+		ri := fault.NewRuns(chip, plan)
+		return &ri.Injector, ri
+	}
+	inj := fault.New(chip, plan)
+	return inj, inj
+}
+
 // newBackend mounts the configured translation layer over the medium.
 // The zns variant groups the small chip into two-block zones so the cut
 // matrix exercises zone reclamation and offline transitions.
@@ -353,7 +380,7 @@ const maxBatchOps = 8
 // WriteBatch so cuts land mid-batch; acks then come from per-op fates
 // instead of Write returns, exercising the batched acknowledgement
 // contract under power loss.
-func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []step, queues, workers int, hints bool) (map[int64]*rec, bool) {
+func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []step, queues, workers, readWorkers int, hints bool) (map[int64]*rec, bool) {
 	hs, hasHS := f.(storage.HintedStore)
 	hints = hints && hasHS
 	recs := map[int64]*rec{}
@@ -368,11 +395,50 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 
 	bw, hasBW := f.(storage.BatchWriter)
 	batched := queues > 1 && hasBW
+	br, hasBR := f.(storage.BatchReader)
+	batchedReads := readWorkers > 1 && hasBR
+	rq := queues
+	if rq < 1 {
+		rq = 1
+	}
 	var (
 		bops   []storage.BatchOp
 		bsteps []step
 		seq    uint64
+		rops   []storage.BatchReadOp
+		rfates []storage.BatchReadFate
 	)
+	// flushReads submits the pending read batch; fate errors are triaged
+	// exactly like the serial kRead path's Read returns (unknown LPAs
+	// tolerated, the power cut ends the trial, anything else aborts).
+	flushReads := func() (cut, aborted bool) {
+		if len(rops) == 0 {
+			return false, false
+		}
+		for i := range rops {
+			rops[i].Queue = sim.DealQueue(i, len(rops), rq)
+		}
+		if cap(rfates) < len(rops) {
+			rfates = make([]storage.BatchReadFate, len(rops))
+		}
+		fates := rfates[:len(rops)]
+		for i := range fates {
+			fates[i] = storage.BatchReadFate{}
+		}
+		br.ReadBatch(rops, fates, rq, readWorkers)
+		rops = rops[:0]
+		for i := range fates {
+			err := fates[i].Err
+			switch {
+			case err == nil, errors.Is(err, storage.ErrUnknownLPA):
+			case errors.Is(err, fault.ErrPowerCut):
+				return true, false
+			default:
+				return false, true
+			}
+		}
+		return false, false
+	}
 	// flush submits the pending batch and settles the ledger from the
 	// fates in Seq order — the exact bookkeeping the per-op path does,
 	// driven by fates instead of Write returns.
@@ -413,6 +479,29 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 	}
 
 	for _, s := range steps {
+		if batchedReads && s.kind == kRead {
+			seq++
+			rops = append(rops, storage.BatchReadOp{LPA: s.lpa, Seq: seq})
+			if len(rops) >= maxBatchOps {
+				if cut, aborted := flushReads(); cut || aborted {
+					return recs, aborted
+				}
+				if inj.Down() {
+					return recs, false
+				}
+			}
+			continue
+		}
+		if batchedReads {
+			// Non-read step: drain pending reads first so ordering against
+			// writes, trims, and scrubs matches the per-op path.
+			if cut, aborted := flushReads(); cut || aborted {
+				return recs, aborted
+			}
+			if inj.Down() {
+				return recs, false
+			}
+		}
 		if batched && (s.kind == kWrite || s.kind == kAcct) {
 			seq++
 			op := storage.BatchOp{LPA: s.lpa, Stream: s.stream, Seq: seq}
@@ -522,6 +611,11 @@ func replay(f storage.Backend, inj *fault.Injector, clock *sim.Clock, steps []st
 			return recs, aborted
 		}
 	}
+	if batchedReads {
+		if _, aborted := flushReads(); aborted {
+			return recs, aborted
+		}
+	}
 	return recs, false
 }
 
@@ -624,16 +718,16 @@ func runTrial(cfg Config, steps []step, cutOp int64, torn bool) trialResult {
 	plan.Seed = cfg.Seed ^ 0xfa017
 	plan.PowerCutAtOp = cutOp
 	plan.TornCut = torn
-	inj := fault.New(chip, plan)
+	inj, medium := newInjector(cfg, chip, plan)
 
-	f, err := newBackend(cfg.Backend, inj)
+	f, err := newBackend(cfg.Backend, medium)
 	if err != nil {
 		t.workloadError = true
 		t.fail("new backend: %v", err)
 		return t
 	}
 
-	recs, aborted := replay(f, inj, clock, steps, cfg.Queues, cfg.Workers, cfg.Hints)
+	recs, aborted := replay(f, inj, clock, steps, cfg.Queues, cfg.Workers, cfg.ReadWorkers, cfg.Hints)
 	if aborted {
 		t.workloadError = true
 		t.fail("replay aborted with non-power-cut error")
@@ -674,12 +768,12 @@ func Run(cfg Config) (Report, error) {
 	if err != nil {
 		return Report{}, err
 	}
-	dryInj := fault.New(dryChip, fault.Plan{})
-	dryBE, err := newBackend(cfg.Backend, dryInj)
+	dryInj, dryMedium := newInjector(cfg, dryChip, fault.Plan{})
+	dryBE, err := newBackend(cfg.Backend, dryMedium)
 	if err != nil {
 		return Report{}, err
 	}
-	if _, aborted := replay(dryBE, dryInj, dryClock, steps, cfg.Queues, cfg.Workers, cfg.Hints); aborted {
+	if _, aborted := replay(dryBE, dryInj, dryClock, steps, cfg.Queues, cfg.Workers, cfg.ReadWorkers, cfg.Hints); aborted {
 		return Report{}, errors.New("torture: dry run aborted; workload does not fit the medium")
 	}
 	total := dryInj.Ops()

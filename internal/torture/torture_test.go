@@ -258,6 +258,82 @@ func TestHintedReplayMatchesSerial(t *testing.T) {
 	})
 }
 
+// TestBatchedGCReadCrashMatrix is the read-datapath extension of the
+// matrix: ReadWorkers > 1 exposes the batched run surface through the
+// fault injector, so both backends take their batched GC victim-read
+// path (one buffer take + one read run per victim, relocations replaying
+// on pre-read results) and consecutive host reads ride ReadBatch —
+// sampled power cuts now land inside batched GC relocation and batched
+// read runs. The full recovery contract must hold unchanged, including
+// PR 9's hint contract: rebuilt L2P, digest, and hint state exact.
+func TestBatchedGCReadCrashMatrix(t *testing.T) {
+	eachBackend(t, func(t *testing.T, kind storage.Kind) {
+		cfg := DefaultConfig()
+		cfg.Backend = kind
+		cfg.Hints = true
+		cfg.Cuts = 32
+		cfg.Queues = 4
+		cfg.Workers = 4
+		cfg.ReadWorkers = 4
+		cfg.Parallel = 4
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Recovered != rep.Cuts {
+			t.Errorf("recovered %d of %d cuts; failures: %v", rep.Recovered, rep.Cuts, rep.Failures)
+		}
+		if rep.DigestsVerified == 0 {
+			t.Fatal("no digests verified — batched-read replay is not carrying digests")
+		}
+		if rep.DigestMismatches != 0 {
+			t.Errorf("digest store inconsistent after rebuild: %d mismatches of %d verified; %v",
+				rep.DigestMismatches, rep.DigestsVerified, rep.Failures)
+		}
+		if rep.HintsVerified == 0 {
+			t.Fatal("no hints verified — batched-read replay is not carrying hints")
+		}
+		if rep.HintMismatches != 0 {
+			t.Errorf("rebuilt hints inconsistent: %d mismatches of %d verified; %v",
+				rep.HintMismatches, rep.HintsVerified, rep.Failures)
+		}
+		if rep.Violations() != 0 || rep.SysLossBytes != 0 || rep.SilentLossBytes != 0 {
+			t.Errorf("contract violations under batched GC reads: %+v", rep)
+		}
+	})
+}
+
+// TestBatchedGCReadDeterminism pins the run injector's
+// schedule-independence claim: with the single-plane report every
+// batched phase drives the medium from one goroutine, so the whole
+// report — cut-index space included — is identical across repeat runs
+// and worker counts.
+func TestBatchedGCReadDeterminism(t *testing.T) {
+	eachBackend(t, func(t *testing.T, kind storage.Kind) {
+		cfg := DefaultConfig()
+		cfg.Backend = kind
+		cfg.Hints = true
+		cfg.Ops = 160
+		cfg.Cuts = 10
+		cfg.Queues = 4
+		cfg.Workers = 4
+		cfg.ReadWorkers = 4
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.ReadWorkers = 8
+		cfg.Parallel = 4
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("batched GC-read report depends on workers:\n%+v\n%+v", a, b)
+		}
+	})
+}
+
 // TestDeterminism pins that two identical runs agree exactly.
 func TestDeterminism(t *testing.T) {
 	eachBackend(t, func(t *testing.T, kind storage.Kind) {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"sos/internal/ecc"
 	"sos/internal/flash"
 	"sos/internal/obs"
 	"sos/internal/storage"
@@ -74,6 +75,23 @@ type Backend struct {
 
 	// bs is WriteBatch's reusable scratch (see batch.go).
 	bs batchScratch
+	// rs is ReadBatch's reusable scratch (see readbatch.go).
+	rs readScratch
+	// gcr is the batched GC victim-read scratch (see reclaimBatched).
+	gcr gcReadScratch
+}
+
+// gcReadScratch is reclaimBatched's reusable state: the victim zone's
+// live pages, their chip-pool destination buffers, and the read runs
+// that fill them. Kept separate from the ReadBatch scratch because GC
+// can run (via escalation-driven relocation) while a previous
+// ReadBatch's returned payloads are still live in their retained
+// buffers.
+type gcReadScratch struct {
+	lpas  []int64
+	sizes []int
+	bufs  [][]byte
+	ops   []flash.ReadOp
 }
 
 // zmapping is the host-side L2P entry.
@@ -813,7 +831,18 @@ func (b *Backend) pickVictim(id storage.StreamID) int {
 }
 
 // reclaim drains the victim's live pages in append order and resets it.
+// When the medium supports read runs, the victim's live pages are read
+// as batched per-plane submissions — a zone's blocks are consecutive
+// chip blocks, so append order visits each block (= one plane) as a
+// contiguous segment — before the relocations replay in append order;
+// otherwise every page goes through the serial read-then-move path.
 func (b *Backend) reclaim(z int) error {
+	rr, runs := b.chip.(storage.RunReader)
+	rp, pools := b.chip.(storage.RunProgrammer)
+	pf, planed := b.chip.(storage.PlanedFlash)
+	if runs && pools && planed {
+		return b.reclaimBatched(z, pf, rr, rp)
+	}
 	zn := &b.dev.zones[z]
 	base := z * b.zcap
 	for idx := 0; idx < zn.wp; idx++ {
@@ -824,6 +853,93 @@ func (b *Backend) reclaim(z int) error {
 		if err := b.relocate(lpa, b.l2p[lpa].stream); err != nil {
 			return err
 		}
+	}
+	return b.resetZone(z)
+}
+
+// reclaimBatched is reclaim's batched read path: chip-pool buffer takes
+// and one read run per block segment (in append order, so plane RNG
+// draws match per-page reads exactly), then the relocations in append
+// order, each consuming its pre-read result.
+func (b *Backend) reclaimBatched(z int, pf storage.PlanedFlash, rr storage.RunReader, rp storage.RunProgrammer) error {
+	zn := &b.dev.zones[z]
+	base := z * b.zcap
+	g := &b.gcr
+	g.lpas = g.lpas[:0]
+	g.sizes = g.sizes[:0]
+	g.ops = g.ops[:0]
+	for idx := 0; idx < zn.wp; idx++ {
+		lpa := b.p2l[base+idx]
+		if lpa < 0 {
+			continue
+		}
+		blk, page, err := b.dev.locate(zn, idx)
+		if err != nil {
+			return err
+		}
+		m := b.l2p[lpa]
+		pol := &b.streams[m.stream]
+		padded := m.dataLen
+		if _, isHamming := pol.Scheme.(ecc.HammingScheme); isHamming {
+			padded = (m.dataLen + 7) &^ 7
+		}
+		g.lpas = append(g.lpas, lpa)
+		g.sizes = append(g.sizes, pol.Scheme.Overhead(padded))
+		g.ops = append(g.ops, flash.ReadOp{Block: blk, Page: page})
+	}
+	if len(g.lpas) == 0 {
+		return b.resetZone(z)
+	}
+	n := len(g.lpas)
+	if cap(g.bufs) < n {
+		g.bufs = make([][]byte, n)
+	}
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && g.ops[hi].Block == g.ops[lo].Block {
+			hi++
+		}
+		plane := pf.PlaneOf(g.ops[lo].Block)
+		rp.TakeProgramBufs(plane, g.sizes[lo:hi], g.bufs[lo:hi])
+		for k := lo; k < hi; k++ {
+			g.ops[k].Dst = g.bufs[k]
+		}
+		rr.ReadRunInto(g.ops[lo:hi])
+		lo = hi
+	}
+	// Mirror relocate's bounded retry of transient read faults:
+	// unreachable on the bare chip (it never returns ErrReadFault), but a
+	// run-capable fault interposer injects them per op.
+	for k := range g.ops {
+		op := &g.ops[k]
+		for attempt := 1; op.Err != nil && errors.Is(op.Err, flash.ErrReadFault) && attempt < relocReadAttempts; attempt++ {
+			b.relocRetries++
+			op.Res, op.Err = b.chip.Read(op.Block, op.Page)
+		}
+	}
+	var firstErr error
+	for k := 0; k < n; k++ {
+		lpa := g.lpas[k]
+		if err := b.relocateFrom(lpa, b.l2p[lpa].stream, g.ops[k].Block, g.ops[k].Page, g.ops[k].Res, g.ops[k].Err); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		for hi < n && g.ops[hi].Block == g.ops[lo].Block {
+			hi++
+		}
+		rp.ReturnProgramBufs(pf.PlaneOf(g.ops[lo].Block), g.bufs[lo:hi])
+		lo = hi
+	}
+	for k := 0; k < n; k++ {
+		g.bufs[k] = nil
+		g.ops[k].Dst = nil
+		g.ops[k].Res = flash.ReadResult{}
+	}
+	if firstErr != nil {
+		return firstErr
 	}
 	return b.resetZone(z)
 }
@@ -881,6 +997,17 @@ func (b *Backend) relocate(lpa int64, dst storage.StreamID) error {
 	for attempt := 1; rerr != nil && errors.Is(rerr, flash.ErrReadFault) && attempt < relocReadAttempts; attempt++ {
 		b.relocRetries++
 		raw, rerr = b.chip.Read(blk, page)
+	}
+	return b.relocateFrom(lpa, dst, blk, page, raw, rerr)
+}
+
+// relocateFrom finishes a relocation whose source page has already been
+// read (possibly as part of a batched victim read): salvage, decode,
+// re-append, remap — exactly relocate's tail.
+func (b *Backend) relocateFrom(lpa int64, dst storage.StreamID, blk, page int, raw flash.ReadResult, rerr error) error {
+	m, ok := b.lookup(lpa)
+	if !ok {
+		return storage.ErrUnknownLPA
 	}
 	if rerr != nil {
 		if !errors.Is(rerr, flash.ErrReadFault) || !b.streams[m.stream].Approximate() {

@@ -2,9 +2,12 @@ package zns
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"testing"
 
+	"sos/internal/ecc"
+	"sos/internal/flash"
 	"sos/internal/sim"
 	"sos/internal/storage"
 )
@@ -122,5 +125,112 @@ func TestZNSWriteBatchValidation(t *testing.T) {
 	}
 	if !b.Contains(0) || !b.Contains(3) || b.Contains(1) || b.Contains(2) {
 		t.Error("mapping state inconsistent with fates")
+	}
+}
+
+// alwaysDegraded is DetectOnly whose verification always fails: the
+// payload still aliases the stored buffer and the sentinel error marks
+// the slice degraded. It drives the batched read path's degraded-SPARE
+// decode branch deterministically — the same code a real CRC mismatch
+// takes, without depending on the media model's flip schedule.
+type alwaysDegraded struct{ ecc.DetectOnly }
+
+func (alwaysDegraded) Decode(stored []byte) ([]byte, int, error) {
+	return stored[:len(stored)-4], 0, ecc.ErrUncorrectable
+}
+
+func (alwaysDegraded) DecodeInPlace(stored []byte) ([]byte, int, error) {
+	return stored[:len(stored)-4], 0, ecc.ErrUncorrectable
+}
+
+// TestReadBatchZeroAlloc pins the zone backend's steady-state batched
+// read path at zero allocations per batch (workers=1, so no goroutine
+// spawns), mirroring the FTL's contract: descriptors, plane index
+// lists, read runs, pool buffers, and the retained-buffer lists are all
+// reused scratch. The batch mixes the clean aliasing decode, the
+// degraded-SPARE decode branch (payload alias + sentinel error), and an
+// unmapped LPA (sentinel fate).
+func TestReadBatchZeroAlloc(t *testing.T) {
+	clock := &sim.Clock{}
+	chip, err := flash.NewChip(flash.ChipConfig{
+		Geometry: flash.Geometry{PageSize: 512, Spare: 128, PagesPerBlock: 10, Blocks: 64},
+		Tech:     flash.PLC,
+		Clock:    clock,
+		Seed:     77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBackend(BackendConfig{
+		Chip: chip,
+		Streams: []storage.StreamPolicy{
+			{Name: "spare", Mode: flash.NativeMode(flash.PLC), Scheme: ecc.None{}},
+			{Name: "degraded", Mode: flash.NativeMode(flash.PLC), Scheme: alwaysDegraded{}},
+		},
+		BlocksPerZone: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	for lpa := int64(0); lpa < 24; lpa++ {
+		if err := b.Write(lpa, payload, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for lpa := int64(100); lpa < 124; lpa++ {
+		if err := b.Write(lpa, payload, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const nOps = 8
+	ops := make([]storage.BatchReadOp, nOps)
+	fates := make([]storage.BatchReadFate, nOps)
+	var seq uint64
+	build := func() {
+		for i := range ops {
+			seq++
+			lpa := int64(i % 24) // clean aliasing decode
+			switch i % 4 {
+			case 1:
+				lpa = int64(100 + i%24) // degraded decode branch
+			case 3:
+				lpa = 9000 // unmapped: sentinel fate, no descriptor
+			}
+			ops[i] = storage.BatchReadOp{LPA: lpa, Seq: seq, Queue: 0}
+		}
+	}
+	check := func() {
+		for i := range fates {
+			switch i % 4 {
+			case 1:
+				if fates[i].Err != nil || !fates[i].Res.Degraded {
+					t.Fatalf("op %d: want degraded fate, got err=%v res=%+v", i, fates[i].Err, fates[i].Res)
+				}
+			case 3:
+				if !errors.Is(fates[i].Err, storage.ErrUnknownLPA) {
+					t.Fatalf("op %d: want ErrUnknownLPA, got %v", i, fates[i].Err)
+				}
+			default:
+				if fates[i].Err != nil || fates[i].Res.Data == nil {
+					t.Fatalf("op %d: want clean payload, got err=%v", i, fates[i].Err)
+				}
+			}
+		}
+	}
+	// Warm the batch scratch and the plane buffer pools (the first
+	// batches grow both; steady state reuses them).
+	for k := 0; k < 3; k++ {
+		build()
+		b.ReadBatch(ops, fates, 1, 1)
+		check()
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		build()
+		b.ReadBatch(ops, fates, 1, 1)
+	})
+	check()
+	if allocs != 0 {
+		t.Fatalf("steady-state ReadBatch allocates %.1f times per batch, want 0", allocs)
 	}
 }

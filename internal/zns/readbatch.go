@@ -1,0 +1,378 @@
+package zns
+
+import (
+	"fmt"
+	"sync"
+
+	"sos/internal/ecc"
+	"sos/internal/flash"
+	"sos/internal/obs"
+	"sos/internal/storage"
+)
+
+// Batched multi-queue reads over zones: the read-side mirror of
+// batch.go, with the same phase structure as the device-side FTL's
+// ReadBatch. Unlike zone appends — which serialize on the write
+// pointer — zone reads have no shared cursor, so the batch fans out
+// across planes exactly like the FTL: a zone's blocks are consecutive
+// chip blocks striped across planes, and each plane's reads execute as
+// one run in canonical (Seq) order, reproducing the serial path's
+// per-plane RNG draws and disturb counters at every worker count.
+//
+// Returned payloads alias chip-pool buffers the batch retains; they
+// stay valid until the next ReadBatch call returns them to their
+// plane's pool.
+
+// zreadDesc is one resolved read, recorded in the resolve phase,
+// executed in the read phase, decoded, then settled.
+type zreadDesc struct {
+	opIdx     int
+	lpa       int64
+	zone, idx int
+	blk, page int
+	stream    storage.StreamID
+	dataLen   int
+	baseFlips int
+	storedN   int // stored (encoded) length, for buffer sizing
+	plane     int32
+	runPos    int32
+
+	dst []byte // chip-pool destination, retained until the next batch
+
+	// Read-phase outcome.
+	raw  flash.ReadResult
+	rerr error
+
+	// Decode-phase outcome.
+	data      []byte
+	corrected int
+	derr      error
+}
+
+// readScratch is ReadBatch's reusable state.
+type readScratch struct {
+	descs    []zreadDesc
+	planes   int              // plane count of the current medium
+	planeIdx [][]int32        // per-plane descriptor index lists
+	planeOps [][]flash.ReadOp // per-plane read-run scratch
+	sizes    []int            // buffer-take scratch
+	bufs     [][]byte         // buffer-take scratch
+	ret      [][][]byte       // per-plane buffers retained for the caller
+	wg       sync.WaitGroup
+}
+
+var _ storage.BatchReader = (*Backend)(nil)
+
+// ReadBatch implements storage.BatchReader. fates[i] records the
+// outcome of ops[i]; queues is the submission-queue count the ops were
+// dealt across and workers bounds goroutine use. Results are identical
+// for every (queues, workers) pair.
+func (b *Backend) ReadBatch(ops []storage.BatchReadOp, fates []storage.BatchReadFate, queues, workers int) {
+	if len(ops) == 0 {
+		return
+	}
+	pf, planed := b.chip.(storage.PlanedFlash)
+	rr, runs := b.chip.(storage.RunReader)
+	rp, pools := b.chip.(storage.RunProgrammer)
+	if !planed || !runs || !pools {
+		// The medium didn't opt into plane parallelism (the fault
+		// interposer's plans are op-indexed and unsynchronized, for one).
+		// Run the ops through the serial path in canonical order.
+		for i := range ops {
+			fates[i] = storage.BatchReadFate{Block: -1, Page: -1}
+			if m, ok := b.lookup(ops[i].LPA); ok {
+				if blk, page, err := b.dev.locate(&b.dev.zones[m.zone], m.idx); err == nil {
+					fates[i].Block, fates[i].Page = blk, page
+				}
+			}
+			fates[i].Res, fates[i].Err = b.Read(ops[i].LPA)
+		}
+		return
+	}
+	if queues < 1 {
+		queues = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	b.ensureReadScratch(len(ops), pf.Planes())
+	b.releaseReadBufs(rp)
+
+	b.resolveReads(ops, fates)
+	b.groupReadPlanes(pf)
+	b.takeReadBufs(rp)
+	b.execReads(rr, workers)
+	b.decodeReads(ops, queues, workers)
+	b.settleReads(fates)
+}
+
+// ensureReadScratch sizes the reusable scratch for a batch of n ops
+// over a medium with the given plane count.
+func (b *Backend) ensureReadScratch(n, planes int) {
+	rs := &b.rs
+	if cap(rs.descs) < n {
+		rs.descs = make([]zreadDesc, 0, n)
+	}
+	if cap(rs.sizes) < n {
+		rs.sizes = make([]int, n)
+	}
+	if cap(rs.bufs) < n {
+		rs.bufs = make([][]byte, n)
+	}
+	rs.planes = planes
+	for len(rs.planeIdx) < planes {
+		rs.planeIdx = append(rs.planeIdx, nil)
+	}
+	for len(rs.planeOps) < planes {
+		rs.planeOps = append(rs.planeOps, nil)
+	}
+	for len(rs.ret) < planes {
+		rs.ret = append(rs.ret, nil)
+	}
+}
+
+// releaseReadBufs returns the previous batch's retained destination
+// buffers to their plane pools — the point at which the previous
+// batch's returned payloads stop being valid.
+func (b *Backend) releaseReadBufs(rp storage.RunProgrammer) {
+	rs := &b.rs
+	for p := range rs.ret {
+		if len(rs.ret[p]) == 0 {
+			continue
+		}
+		rp.ReturnProgramBufs(p, rs.ret[p])
+		for i := range rs.ret[p] {
+			rs.ret[p][i] = nil
+		}
+		rs.ret[p] = rs.ret[p][:0]
+	}
+}
+
+// resolveReads looks up every op's mapping and zone location in
+// canonical order. Unmapped or unlocatable LPAs get their final fate
+// here; the rest get a descriptor carrying everything later phases
+// need, so they never touch the L2P table concurrently.
+func (b *Backend) resolveReads(ops []storage.BatchReadOp, fates []storage.BatchReadFate) {
+	rs := &b.rs
+	rs.descs = rs.descs[:0]
+	for i := range ops {
+		op := &ops[i]
+		fates[i] = storage.BatchReadFate{Block: -1, Page: -1}
+		m, ok := b.lookup(op.LPA)
+		if !ok {
+			fates[i].Err = storage.ErrUnknownLPA
+			continue
+		}
+		blk, page, err := b.dev.locate(&b.dev.zones[m.zone], m.idx)
+		if err != nil {
+			fates[i].Err = err
+			continue
+		}
+		fates[i].Block, fates[i].Page = blk, page
+		pol := &b.streams[m.stream]
+		padded := m.dataLen
+		if _, isHamming := pol.Scheme.(ecc.HammingScheme); isHamming {
+			padded = (m.dataLen + 7) &^ 7
+		}
+		rs.descs = append(rs.descs, zreadDesc{
+			opIdx: i, lpa: op.LPA, zone: m.zone, idx: m.idx,
+			blk: blk, page: page, stream: m.stream,
+			dataLen: m.dataLen, baseFlips: m.baseFlips,
+			storedN: pol.Scheme.Overhead(padded), runPos: -1,
+		})
+	}
+}
+
+// groupReadPlanes buckets the batch's descriptors by owning plane; each
+// bucket keeps canonical (Seq) order, which is what makes per-plane RNG
+// draws identical to serial reads.
+func (b *Backend) groupReadPlanes(pf storage.PlanedFlash) {
+	rs := &b.rs
+	pidx := rs.planeIdx[:rs.planes]
+	for p := range pidx {
+		pidx[p] = pidx[p][:0]
+	}
+	for di := range rs.descs {
+		d := &rs.descs[di]
+		p := pf.PlaneOf(d.blk)
+		d.plane = int32(p)
+		pidx[p] = append(pidx[p], int32(di))
+	}
+}
+
+// takeReadBufs hands each descriptor a chip-owned destination buffer
+// from its plane's pool — one locked call per plane. Accounting-only
+// pages simply leave theirs unused; every buffer is retained and
+// returned at the start of the next batch, so decoded payloads stay
+// valid for the caller in between.
+func (b *Backend) takeReadBufs(rp storage.RunProgrammer) {
+	rs := &b.rs
+	for p := 0; p < rs.planes; p++ {
+		idxs := rs.planeIdx[p]
+		if len(idxs) == 0 {
+			continue
+		}
+		for k, di := range idxs {
+			rs.sizes[k] = rs.descs[di].storedN
+		}
+		rp.TakeProgramBufs(p, rs.sizes[:len(idxs)], rs.bufs[:len(idxs)])
+		for k, di := range idxs {
+			rs.descs[di].dst = rs.bufs[k]
+			rs.ret[p] = append(rs.ret[p], rs.bufs[k])
+			rs.bufs[k] = nil
+		}
+	}
+}
+
+// execReads executes every plane's reads as a single run under one
+// plane-lock acquisition, fanned out across plane workers. Each plane's
+// descriptors run in canonical order, so per-plane RNG draws and
+// disturb counters are identical at every worker count.
+func (b *Backend) execReads(rr storage.RunReader, workers int) {
+	rs := &b.rs
+	if len(rs.descs) == 0 {
+		return
+	}
+	pidx := rs.planeIdx[:rs.planes]
+	nw := workers
+	if nw > rs.planes {
+		nw = rs.planes
+	}
+	if nw <= 1 {
+		for p := range pidx {
+			b.execReadPlane(rr, p, pidx[p])
+		}
+		return
+	}
+	for w := 1; w < nw; w++ {
+		rs.wg.Add(1)
+		b.execReadPlanesAsync(rr, pidx, w, nw)
+	}
+	b.execReadPlanesWorker(rr, pidx, 0, nw)
+	rs.wg.Wait()
+}
+
+// execReadPlanesAsync runs one plane worker on its own goroutine; a
+// method call rather than a closure so the spawn allocates no capture
+// environment.
+func (b *Backend) execReadPlanesAsync(rr storage.RunReader, pidx [][]int32, w, nw int) {
+	go func() {
+		defer b.rs.wg.Done()
+		b.execReadPlanesWorker(rr, pidx, w, nw)
+	}()
+}
+
+// execReadPlanesWorker executes every plane assigned to worker w
+// (static stride assignment: plane p belongs to worker p % nw).
+func (b *Backend) execReadPlanesWorker(rr storage.RunReader, pidx [][]int32, w, nw int) {
+	for p := w; p < len(pidx); p += nw {
+		b.execReadPlane(rr, p, pidx[p])
+	}
+}
+
+// execReadPlane executes one plane's descriptors in canonical order as
+// a single read run under one plane-lock acquisition.
+func (b *Backend) execReadPlane(rr storage.RunReader, p int, idxs []int32) {
+	if len(idxs) == 0 {
+		return
+	}
+	rs := &b.rs
+	run := rs.planeOps[p][:0]
+	for _, di := range idxs {
+		d := &rs.descs[di]
+		d.runPos = int32(len(run))
+		run = append(run, flash.ReadOp{Block: d.blk, Page: d.page, Dst: d.dst})
+	}
+	rs.planeOps[p] = run
+	rr.ReadRunInto(run)
+	for _, di := range idxs {
+		d := &rs.descs[di]
+		d.raw = run[d.runPos].Res
+		d.rerr = run[d.runPos].Err
+	}
+}
+
+// decodeReads decodes every payload read through its stream's ECC
+// scheme, in place within the chip-owned buffer, parallel across queues
+// when workers allow. Each descriptor writes only its own buffer and
+// its own fields, so queues share nothing. Decoding is a pure function
+// of the bytes the read phase produced; telemetry waits for the serial
+// settle.
+func (b *Backend) decodeReads(ops []storage.BatchReadOp, queues, workers int) {
+	rs := &b.rs
+	if workers > 1 && queues > 1 {
+		for q := 1; q < queues; q++ {
+			rs.wg.Add(1)
+			b.decodeReadsAsync(ops, q, queues)
+		}
+		b.decodeReadQueue(ops, 0, queues)
+		rs.wg.Wait()
+		return
+	}
+	for q := 0; q < queues; q++ {
+		b.decodeReadQueue(ops, q, queues)
+	}
+}
+
+// decodeReadsAsync runs decodeReadQueue on its own goroutine.
+func (b *Backend) decodeReadsAsync(ops []storage.BatchReadOp, q, queues int) {
+	go func() {
+		defer b.rs.wg.Done()
+		b.decodeReadQueue(ops, q, queues)
+	}()
+}
+
+// decodeReadQueue decodes queue q's payload descriptors.
+func (b *Backend) decodeReadQueue(ops []storage.BatchReadOp, q, queues int) {
+	rs := &b.rs
+	for di := range rs.descs {
+		d := &rs.descs[di]
+		if d.rerr != nil || d.raw.Data == nil {
+			continue
+		}
+		oq := ops[d.opIdx].Queue
+		if oq < 0 || oq >= queues {
+			oq = 0
+		}
+		if oq != q {
+			continue
+		}
+		pol := &b.streams[d.stream]
+		d.data, d.corrected, d.derr = ecc.DecodeStored(pol.Scheme, d.raw.Data)
+	}
+}
+
+// settleReads is one serial pass in canonical order applying telemetry
+// and building each op's result, field for field what Read would have
+// produced.
+func (b *Backend) settleReads(fates []storage.BatchReadFate) {
+	rs := &b.rs
+	for di := range rs.descs {
+		d := &rs.descs[di]
+		if d.rerr != nil {
+			fates[d.opIdx].Err = fmt.Errorf("zns: read zone %d idx %d: %w", d.zone, d.idx, d.rerr)
+			continue
+		}
+		b.obs.Record(obs.Event{Kind: obs.EvRead, LBA: d.lpa, Block: d.blk, Page: d.page, Stream: int(d.stream), Aux: int64(d.dataLen)})
+		res := storage.ReadResult{DataLen: d.dataLen, RawFlips: d.baseFlips + d.raw.FlippedTotal, Stream: d.stream}
+		if d.raw.Data == nil {
+			pol := &b.streams[d.stream]
+			res.Degraded = !pol.Scheme.EstimateDecode(d.baseFlips+d.raw.FlippedTotal, d.dataLen)
+			if res.Degraded {
+				b.degradedReads++
+			}
+		} else {
+			data := d.data
+			if len(data) > d.dataLen {
+				data = data[:d.dataLen] // strip alignment padding
+			}
+			res.Data = data
+			res.Corrected = d.corrected
+			if d.derr != nil {
+				res.Degraded = true
+				b.degradedReads++
+			}
+		}
+		fates[d.opIdx].Res = res
+	}
+}

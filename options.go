@@ -169,6 +169,16 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithReadWorkers bounds the goroutines used for the batched read
+// datapath's parallel phases (per-plane reads, per-queue decode).
+// Results are byte-identical at every value; only wall time changes.
+func WithReadWorkers(n int) Option {
+	return func(c *Config) error {
+		c.ReadWorkers = n
+		return nil
+	}
+}
+
 // WithObserve enables the observability subsystem: event tracing and
 // per-operation histograms, read through Snapshot(). Recording never
 // perturbs determinism.

@@ -183,6 +183,11 @@ type Config struct {
 	Queues  int
 	Planes  int
 	Workers int
+	// ReadWorkers bounds the goroutines the batched read datapath may
+	// use for per-plane reads and per-queue decode (default 1, fully
+	// serial). Like Workers it changes only wall-clock time: simulated
+	// results are byte-identical at every setting.
+	ReadWorkers int
 	// Observe enables the observability subsystem: a trace ring buffer
 	// and per-operation histograms wired through the device, FTL, and
 	// policy engine. Disabled (the default) the stack carries no
@@ -274,6 +279,7 @@ func build(cfg Config) (*System, error) {
 		Queues:         cfg.Queues,
 		Planes:         cfg.Planes,
 		Workers:        cfg.Workers,
+		ReadWorkers:    cfg.ReadWorkers,
 		Obs:            rec,
 	}
 	switch cfg.Profile {
